@@ -1,0 +1,284 @@
+//! Last-level cache models.
+//!
+//! The coupled architecture shares a 4 MB L2 cache between the CPU and the
+//! GPU (Table 1), which is the source of the cache-reuse benefit the paper
+//! attributes to shared hash tables and fine-grained steps (Figure 10 and
+//! Table 3).  Two models are provided:
+//!
+//! * [`AnalyticCache`] — a closed-form steady-state hit-rate estimate used by
+//!   the fast timing path (random accesses over a working set `W` with cache
+//!   capacity `C` hit with probability ≈ `min(1, C/W)`).
+//! * [`CacheSim`] — an exact set-associative LRU simulator used when an
+//!   experiment needs miss *counts* (Table 3) rather than just elapsed time.
+
+/// Hit/miss counters of a cache model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Closed-form steady-state model of a shared last-level cache.
+///
+/// For uniformly random accesses into a working set of `w` bytes, the
+/// probability that the touched line is resident in a cache of `c` bytes is
+/// approximately `min(1, c/w)`.  This is the same simplification the
+/// calibration-based cost models the paper builds on (Manegold et al.) use
+/// for the "random access within a region" pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticCache {
+    capacity_bytes: f64,
+}
+
+impl AnalyticCache {
+    /// Creates a model of a cache with the given capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        AnalyticCache {
+            capacity_bytes: capacity_bytes as f64,
+        }
+    }
+
+    /// The cache capacity in bytes.
+    pub fn capacity_bytes(&self) -> f64 {
+        self.capacity_bytes
+    }
+
+    /// Estimated hit rate for random accesses over `working_set_bytes`.
+    pub fn hit_rate(&self, working_set_bytes: f64) -> f64 {
+        if working_set_bytes <= 0.0 {
+            1.0
+        } else {
+            (self.capacity_bytes / working_set_bytes).min(1.0)
+        }
+    }
+
+    /// Estimated hit rate when two working sets compete for the cache
+    /// (e.g. the hash table plus the probe stream); the cache is shared
+    /// proportionally to the access volume of each set.
+    pub fn hit_rate_shared(&self, working_set_bytes: f64, competing_bytes: f64) -> f64 {
+        self.hit_rate(working_set_bytes + competing_bytes.max(0.0))
+    }
+}
+
+/// An exact set-associative, write-allocate, LRU cache simulator.
+///
+/// Used to produce the L2 miss counts of Table 3 (fine vs. coarse step
+/// definition) and the cache-miss comparison of shared vs. separate hash
+/// tables (Section 5.4).
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_bytes: u64,
+    num_sets: u64,
+    ways: usize,
+    /// `sets[set][way]` holds a line tag; `u64::MAX` marks an empty way.
+    /// Ways are kept in LRU order: index 0 is the most recently used.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity and
+    /// `line_bytes` cache lines.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly or any parameter is 0.
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
+        assert!(
+            capacity_bytes % (ways * line_bytes) == 0,
+            "capacity must be a multiple of ways * line size"
+        );
+        let num_sets = (capacity_bytes / (ways * line_bytes)) as u64;
+        CacheSim {
+            line_bytes: line_bytes as u64,
+            num_sets,
+            ways,
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The 4 MB shared L2 of the A8-3870K (16-way, 64-byte lines).
+    pub fn a8_3870k_l2() -> Self {
+        CacheSim::new(4 * 1024 * 1024, 16, 64)
+    }
+
+    /// Accesses one byte address; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.num_sets) as usize;
+        let tag = line / self.num_sets;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() == self.ways {
+                set.pop();
+            }
+            set.insert(0, tag);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Accesses `bytes` consecutive bytes starting at `addr`, touching each
+    /// covered cache line once.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            self.access(line * self.line_bytes);
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the counters but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and resets counters.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+
+    /// Cache capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.num_sets as usize) * self.ways * (self.line_bytes as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_hit_rate_bounds() {
+        let c = AnalyticCache::new(4 * 1024 * 1024);
+        assert_eq!(c.hit_rate(0.0), 1.0);
+        assert_eq!(c.hit_rate(1024.0), 1.0);
+        assert!((c.hit_rate(8.0 * 1024.0 * 1024.0) - 0.5).abs() < 1e-9);
+        assert!(c.hit_rate(1e12) < 1e-4);
+    }
+
+    #[test]
+    fn analytic_shared_sets_reduce_hit_rate() {
+        let c = AnalyticCache::new(4 * 1024 * 1024);
+        let alone = c.hit_rate(6.0 * 1024.0 * 1024.0);
+        let shared = c.hit_rate_shared(6.0 * 1024.0 * 1024.0, 6.0 * 1024.0 * 1024.0);
+        assert!(shared < alone);
+    }
+
+    #[test]
+    fn sim_small_working_set_hits_after_warmup() {
+        let mut sim = CacheSim::new(64 * 1024, 8, 64);
+        // Working set of 32 KB fits entirely.
+        for round in 0..4 {
+            for addr in (0..32 * 1024u64).step_by(64) {
+                let hit = sim.access(addr);
+                if round > 0 {
+                    assert!(hit, "resident line must hit on later rounds");
+                }
+            }
+        }
+        assert!(sim.stats().hit_ratio() > 0.7);
+    }
+
+    #[test]
+    fn sim_streaming_over_large_set_mostly_misses() {
+        let mut sim = CacheSim::new(64 * 1024, 8, 64);
+        for addr in (0..16 * 1024 * 1024u64).step_by(64) {
+            sim.access(addr);
+        }
+        assert!(sim.stats().miss_ratio() > 0.99);
+    }
+
+    #[test]
+    fn sim_lru_evicts_least_recently_used() {
+        // 2 sets * 2 ways * 16B lines = 64B cache.
+        let mut sim = CacheSim::new(64, 2, 16);
+        // All these addresses map to set 0 (line % 2 == 0).
+        let a = 0u64; // line 0
+        let b = 64u64; // line 4
+        let c = 128u64; // line 8
+        assert!(!sim.access(a));
+        assert!(!sim.access(b));
+        assert!(sim.access(a)); // a is MRU now
+        assert!(!sim.access(c)); // evicts b (LRU)
+        assert!(sim.access(a));
+        assert!(!sim.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn sim_access_range_touches_every_line() {
+        let mut sim = CacheSim::new(4096, 4, 64);
+        sim.access_range(0, 256);
+        assert_eq!(sim.stats().accesses(), 4);
+        sim.access_range(10, 1); // within an already-resident line
+        assert_eq!(sim.stats().hits, 1);
+    }
+
+    #[test]
+    fn sim_geometry() {
+        let sim = CacheSim::a8_3870k_l2();
+        assert_eq!(sim.capacity_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sim_rejects_bad_geometry() {
+        let _ = CacheSim::new(1000, 3, 64);
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

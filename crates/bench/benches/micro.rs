@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the core building blocks: hashing,
+//! hash-table build/probe, radix partitioning, the software allocators and
+//! the co-processing schemes end-to-end (wall-clock of the host execution;
+//! the paper-shaped elapsed times come from the `experiments` binary, which
+//! reports simulated device time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::DataGenConfig;
+use hj_core::{
+    hash::hash_key, run_build_phase, run_join, run_probe_phase, BuildTarget, ExecContext,
+    HashTable, JoinConfig, Ratios, Scheme,
+};
+use mem_alloc::{AllocatorKind, BlockAllocator, BumpAllocator, KernelAllocator};
+
+const BENCH_TUPLES: usize = 64 * 1024;
+
+fn bench_hash(c: &mut Criterion) {
+    let keys: Vec<u32> = (0..BENCH_TUPLES as u32).collect();
+    let mut group = c.benchmark_group("hash");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("murmur2_64k_keys", |b| {
+        b.iter(|| keys.iter().map(|&k| hash_key(k) as u64).sum::<u64>())
+    });
+    group.finish();
+}
+
+fn bench_build_probe(c: &mut Criterion) {
+    let sys = apu_sim::SystemSpec::coupled_a8_3870k();
+    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(BENCH_TUPLES, BENCH_TUPLES));
+    let mut group = c.benchmark_group("phases");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BENCH_TUPLES as u64));
+    group.bench_function("build_shared_64k", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new(
+                &sys,
+                AllocatorKind::tuned(),
+                hj_core::arena_bytes_for(build.len(), probe.len()),
+                false,
+            );
+            let mut table = HashTable::for_build_size(build.len());
+            run_build_phase(
+                &mut ctx,
+                &build,
+                BuildTarget::Shared(&mut table),
+                &Ratios::uniform(0.3, 4),
+                false,
+            );
+            table.tuple_count()
+        })
+    });
+    group.bench_function("probe_64k", |b| {
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            hj_core::arena_bytes_for(build.len(), probe.len() * 64),
+            false,
+        );
+        let mut table = HashTable::for_build_size(build.len());
+        run_build_phase(
+            &mut ctx,
+            &build,
+            BuildTarget::Shared(&mut table),
+            &Ratios::uniform(0.3, 4),
+            false,
+        );
+        b.iter(|| {
+            // The result arena is reused across iterations, as a query
+            // executor reusing its output buffer would.
+            ctx.allocator.reset();
+            let (out, _) =
+                run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.4, 4), false, false);
+            out.matches
+        })
+    });
+    group.finish();
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("bump_100k_allocs", |b| {
+        b.iter(|| {
+            let mut a = BumpAllocator::new(16 << 20);
+            for i in 0..100_000usize {
+                a.alloc(i % 64, 12);
+            }
+            a.stats().allocations
+        })
+    });
+    group.bench_function("block_2k_100k_allocs", |b| {
+        b.iter(|| {
+            let mut a = BlockAllocator::new(16 << 20, 2048, 64);
+            for i in 0..100_000usize {
+                a.alloc(i % 64, 12);
+            }
+            a.stats().allocations
+        })
+    });
+    group.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let sys = apu_sim::SystemSpec::coupled_a8_3870k();
+    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(BENCH_TUPLES, BENCH_TUPLES));
+    let mut group = c.benchmark_group("schemes_end_to_end_64k");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("cpu_only", Scheme::CpuOnly),
+        ("dd", Scheme::data_dividing_paper()),
+        ("pl", Scheme::pipelined_paper()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("shj", name), &scheme, |b, scheme| {
+            b.iter(|| run_join(&sys, &build, &probe, &JoinConfig::shj(scheme.clone())).matches)
+        });
+        group.bench_with_input(BenchmarkId::new("phj", name), &scheme, |b, scheme| {
+            b.iter(|| run_join(&sys, &build, &probe, &JoinConfig::phj(scheme.clone())).matches)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_build_probe, bench_allocators, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Experiment runner: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! cargo run --release -p hj-bench --bin experiments -- all
+//! cargo run --release -p hj-bench --bin experiments -- fig13 fig16
+//! HJ_SCALE=1 cargo run --release -p hj-bench --bin experiments -- fig03   # paper-sized
+//! ```
+//!
+//! Results are printed to stdout and written as CSV files under `results/`.
+
+use hj_bench::{registry, ExpContext};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = registry();
+
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        println!("Usage: experiments [all | <name>...]\n");
+        println!("Available experiments (HJ_SCALE={} by default):", hj_bench::default_scale());
+        for e in &experiments {
+            println!("  {:<9} {}", e.name, e.description);
+        }
+        return;
+    }
+
+    let mut ctx = ExpContext::from_env();
+    println!(
+        "# Running at scale 1/{} (set HJ_SCALE=1 for the paper's 16M-tuple workloads)",
+        ctx.scale
+    );
+
+    let run_all = args.iter().any(|a| a == "all");
+    let mut ran = 0;
+    for exp in &experiments {
+        if run_all || args.iter().any(|a| a == exp.name) {
+            let start = std::time::Instant::now();
+            (exp.run)(&mut ctx);
+            println!("[{} finished in {:.1}s wall time]", exp.name, start.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("No matching experiment. Run with --help to list the available names.");
+        std::process::exit(1);
+    }
+    println!("\n# {ran} experiment(s) complete; CSV output in {}", ctx.out_dir.display());
+}

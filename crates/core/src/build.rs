@@ -1,0 +1,363 @@
+//! The build phase: steps `b1..b4` of Algorithm 1, split between devices.
+
+use crate::context::ExecContext;
+use crate::divergence::{grouping_order, DEFAULT_GROUPS};
+use crate::hash::hash_key;
+use crate::hashtable::{HashTable, KEY_NODE_BYTES, RID_NODE_BYTES};
+use crate::phase::{run_step, PhaseExecution};
+use crate::schedule::Ratios;
+use crate::steps::{instr, StepId};
+use apu_sim::{DeviceKind, Phase};
+use datagen::Relation;
+
+/// Where the build phase inserts tuples: one shared hash table latched
+/// between the devices, or one private table per device (which later
+/// requires a merge step) — the design tradeoff of Figure 10.
+pub enum BuildTarget<'t> {
+    /// A single hash table shared by CPU and GPU.
+    Shared(&'t mut HashTable),
+    /// Private tables; the CPU portion of the input goes into `cpu`, the GPU
+    /// portion into `gpu`.
+    Separate {
+        /// Table receiving the CPU portion.
+        cpu: &'t mut HashTable,
+        /// Table receiving the GPU portion.
+        gpu: &'t mut HashTable,
+    },
+}
+
+impl BuildTarget<'_> {
+    fn is_separate(&self) -> bool {
+        matches!(self, BuildTarget::Separate { .. })
+    }
+
+    fn bucket_array_bytes(&self) -> usize {
+        match self {
+            BuildTarget::Shared(t) => t.bucket_array_bytes(),
+            BuildTarget::Separate { cpu, gpu } => cpu.bucket_array_bytes() + gpu.bucket_array_bytes(),
+        }
+    }
+}
+
+/// Runs the build phase over `rel` with per-step CPU ratios `ratios`
+/// (length 4: `b1..b4`).
+///
+/// With [`BuildTarget::Separate`] the ratios must be uniform (the same tuple
+/// must stay on one device for the whole phase, otherwise table ownership
+/// would be ambiguous); the executor enforces this by construction.
+///
+/// # Panics
+/// Panics if `ratios.len() != 4`, if separate tables are combined with
+/// non-uniform ratios, or if the allocator arena is exhausted (the executor
+/// sizes it via [`crate::context::arena_bytes_for`]).
+pub fn run_build_phase(
+    ctx: &mut ExecContext<'_>,
+    rel: &Relation,
+    mut target: BuildTarget<'_>,
+    ratios: &Ratios,
+    grouping: bool,
+) -> PhaseExecution {
+    assert_eq!(ratios.len(), 4, "build phase has 4 steps (b1..b4)");
+    assert!(
+        !target.is_separate() || ratios.is_uniform(),
+        "separate hash tables require a uniform (data-dividing) ratio"
+    );
+    let n = rel.len();
+    let separate = target.is_separate();
+    let bucket_bytes = target.bucket_array_bytes() as f64;
+    let mut steps = Vec::with_capacity(4);
+
+    // Per-tuple state carried between steps (the intermediate results of the
+    // fine-grained decomposition).
+    let mut hashes = vec![0u32; n];
+    let mut bucket_idx = vec![0u32; n];
+    let mut key_node = vec![0u32; n];
+
+    // The device split of the *phase*, used to pick the table in separate
+    // mode (constant across steps because ratios are uniform there).
+    let phase_cut = ((n as f64) * ratios.get(0)).round() as usize;
+
+    // b1: compute hash bucket number.
+    steps.push(run_step(ctx, StepId::B1, n, ratios.get(0), 0.0, |_, i, _, _, rec| {
+        hashes[i] = hash_key(rel.key(i));
+        rec.item(instr::HASH);
+        rec.seq_read(4.0);
+        rec.seq_write(4.0);
+    }));
+
+    // b2: visit the hash bucket header (and claim a slot).
+    steps.push(run_step(
+        ctx,
+        StepId::B2,
+        n,
+        ratios.get(1),
+        bucket_bytes,
+        |ctx, i, kind, _, rec| {
+            let table = table_for(&mut target, kind, i, phase_cut);
+            let idx = table.bucket_index(hashes[i]);
+            bucket_idx[i] = idx as u32;
+            table.visit_bucket_for_build(idx);
+            let addr = table.bucket_addr(idx);
+            ctx.cache_access(addr);
+            rec.item(instr::VISIT_HEADER);
+            rec.random_read(1.0);
+            rec.random_write(1.0);
+            if !separate {
+                // The shared table's bucket counter is a latch between devices.
+                rec.parallel_atomic(1.0);
+            }
+        },
+    ));
+
+    // Optional grouping: order tuples by the current occupancy of their
+    // bucket so wavefronts see similar key-list lengths in b3/b4.
+    let order: Vec<u32> = if grouping {
+        let work: Vec<u32> = (0..n)
+            .map(|i| {
+                let table = table_for_read(&target, i, phase_cut);
+                table.bucket(bucket_idx[i] as usize).count
+            })
+            .collect();
+        grouping_order(&work, DEFAULT_GROUPS)
+    } else {
+        (0..n as u32).collect()
+    };
+
+    // b3: visit the key list, creating a key node if necessary.
+    let key_ws = bucket_bytes + (n * KEY_NODE_BYTES) as f64;
+    steps.push(run_step(
+        ctx,
+        StepId::B3,
+        n,
+        ratios.get(2),
+        key_ws,
+        |ctx, pos, kind, group, rec| {
+            let i = order[pos] as usize;
+            let table = table_for(&mut target, kind, i, phase_cut);
+            let idx = bucket_idx[i] as usize;
+            let (kn, created, visited) = table
+                .find_or_create_key(idx, rel.key(i), ctx.allocator.as_mut(), group)
+                .expect("hash-table arena exhausted; enlarge arena_bytes_for");
+            key_node[i] = kn;
+            for v in 0..visited {
+                ctx.cache_access(table.key_node_addr(kn.saturating_sub(v)));
+            }
+            rec.item(0.0);
+            rec.instructions(visited as f64 * instr::KEY_NODE_VISIT);
+            if created {
+                rec.instructions(instr::KEY_NODE_CREATE);
+                rec.random_write(1.0);
+            }
+            if grouping {
+                rec.instructions(instr::GROUPING_PER_TUPLE);
+                rec.seq_read(4.0);
+                rec.seq_write(4.0);
+            }
+            rec.random_read(visited as f64);
+            rec.work(visited.max(1));
+            if !separate {
+                rec.parallel_atomic(1.0);
+            }
+        },
+    ));
+
+    // b4: insert the record id into the rid list.
+    let rid_ws = (n * (KEY_NODE_BYTES + RID_NODE_BYTES)) as f64;
+    steps.push(run_step(
+        ctx,
+        StepId::B4,
+        n,
+        ratios.get(3),
+        rid_ws,
+        |ctx, pos, kind, group, rec| {
+            let i = order[pos] as usize;
+            let table = table_for(&mut target, kind, i, phase_cut);
+            table
+                .insert_rid(key_node[i], rel.rid(i), ctx.allocator.as_mut(), group)
+                .expect("hash-table arena exhausted; enlarge arena_bytes_for");
+            ctx.cache_access(table.key_node_addr(key_node[i]));
+            rec.item(instr::RID_INSERT);
+            rec.random_write(1.0);
+            rec.work(1);
+            if !separate {
+                rec.parallel_atomic(1.0);
+            }
+        },
+    ));
+
+    PhaseExecution::from_steps(Phase::Build, ratios.clone(), steps, n)
+}
+
+fn table_for<'a>(
+    target: &'a mut BuildTarget<'_>,
+    kind: DeviceKind,
+    item: usize,
+    phase_cut: usize,
+) -> &'a mut HashTable {
+    match target {
+        BuildTarget::Shared(t) => t,
+        BuildTarget::Separate { cpu, gpu } => {
+            // In separate mode the ratio is uniform, so device assignment is
+            // positional and consistent across steps.
+            let _ = kind;
+            if item < phase_cut {
+                cpu
+            } else {
+                gpu
+            }
+        }
+    }
+}
+
+fn table_for_read<'a>(target: &'a BuildTarget<'_>, item: usize, phase_cut: usize) -> &'a HashTable {
+    match target {
+        BuildTarget::Shared(t) => t,
+        BuildTarget::Separate { cpu, gpu } => {
+            if item < phase_cut {
+                cpu
+            } else {
+                gpu
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::arena_bytes_for;
+    use apu_sim::SystemSpec;
+    use datagen::DataGenConfig;
+    use mem_alloc::AllocatorKind;
+
+    fn small_relation(n: usize) -> Relation {
+        let (r, _) = datagen::generate_pair(&DataGenConfig::small(n, n));
+        r
+    }
+
+    #[test]
+    fn shared_build_inserts_every_tuple() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let rel = small_relation(4096);
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(4096, 4096), false);
+        let mut table = HashTable::for_build_size(rel.len());
+        let phase = run_build_phase(
+            &mut ctx,
+            &rel,
+            BuildTarget::Shared(&mut table),
+            &Ratios::uniform(0.3, 4),
+            false,
+        );
+        assert_eq!(table.tuple_count(), 4096);
+        assert_eq!(table.rid_node_count(), 4096);
+        assert_eq!(phase.steps.len(), 4);
+        assert!(phase.elapsed() > apu_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn separate_build_splits_tuples_between_tables() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let rel = small_relation(1000);
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(1000, 1000), false);
+        let mut cpu = HashTable::for_build_size(rel.len());
+        let mut gpu = HashTable::for_build_size(rel.len());
+        run_build_phase(
+            &mut ctx,
+            &rel,
+            BuildTarget::Separate {
+                cpu: &mut cpu,
+                gpu: &mut gpu,
+            },
+            &Ratios::uniform(0.25, 4),
+            false,
+        );
+        assert_eq!(cpu.tuple_count(), 250);
+        assert_eq!(gpu.tuple_count(), 750);
+        assert_eq!(cpu.tuple_count() + gpu.tuple_count(), 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn separate_tables_reject_pipelined_ratios() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let rel = small_relation(100);
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(100, 100), false);
+        let mut cpu = HashTable::for_build_size(100);
+        let mut gpu = HashTable::for_build_size(100);
+        let _ = run_build_phase(
+            &mut ctx,
+            &rel,
+            BuildTarget::Separate {
+                cpu: &mut cpu,
+                gpu: &mut gpu,
+            },
+            &Ratios::new(vec![0.0, 0.5, 0.5, 0.5]),
+            false,
+        );
+    }
+
+    #[test]
+    fn gpu_only_build_runs_everything_on_gpu() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let rel = small_relation(512);
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(512, 512), false);
+        let mut table = HashTable::for_build_size(rel.len());
+        let phase = run_build_phase(
+            &mut ctx,
+            &rel,
+            BuildTarget::Shared(&mut table),
+            &Ratios::gpu_only(4),
+            false,
+        );
+        for step in &phase.steps {
+            assert_eq!(step.cpu_items, 0);
+            assert_eq!(step.gpu_items, 512);
+        }
+        assert_eq!(table.tuple_count(), 512);
+    }
+
+    #[test]
+    fn grouping_does_not_change_table_contents() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let rel = small_relation(2048);
+        let build = |grouping: bool| {
+            let mut ctx =
+                ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(2048, 2048), false);
+            let mut table = HashTable::for_build_size(rel.len());
+            run_build_phase(
+                &mut ctx,
+                &rel,
+                BuildTarget::Shared(&mut table),
+                &Ratios::uniform(0.5, 4),
+                grouping,
+            );
+            (table.tuple_count(), table.key_node_count(), table.rid_node_count())
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn hash_step_is_much_faster_on_gpu() {
+        // The per-step unit costs that motivate fine-grained co-processing
+        // (Figure 4): b1 on the GPU should be many times cheaper than on the
+        // CPU.
+        let sys = SystemSpec::coupled_a8_3870k();
+        let rel = small_relation(8192);
+        let run = |ratios: Ratios| {
+            let mut ctx =
+                ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(8192, 8192), false);
+            let mut table = HashTable::for_build_size(rel.len());
+            run_build_phase(&mut ctx, &rel, BuildTarget::Shared(&mut table), &ratios, false)
+        };
+        let cpu_phase = run(Ratios::cpu_only(4));
+        let gpu_phase = run(Ratios::gpu_only(4));
+        let cpu_unit = cpu_phase.steps[0].unit_cost(DeviceKind::Cpu).unwrap();
+        let gpu_unit = gpu_phase.steps[0].unit_cost(DeviceKind::Gpu).unwrap();
+        assert!(
+            cpu_unit.as_ns() > 8.0 * gpu_unit.as_ns(),
+            "b1: CPU {} vs GPU {}",
+            cpu_unit,
+            gpu_unit
+        );
+    }
+}

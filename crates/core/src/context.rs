@@ -1,0 +1,223 @@
+//! Execution context shared by all phase runners: devices, allocator,
+//! cache model and run-wide counters.
+
+use apu_sim::{
+    AnalyticCache, CacheSim, CacheStats, CostRecorder, Device, DeviceKind, MemContext, SimTime,
+};
+use apu_sim::SystemSpec;
+use mem_alloc::{AllocStats, AllocatorKind, KernelAllocator};
+
+/// Work groups the CPU device runs concurrently (one per core).
+pub const CPU_WORK_GROUPS: usize = 4;
+/// Work groups the GPU device runs concurrently.
+pub const GPU_WORK_GROUPS: usize = 64;
+
+/// Run-wide counters accumulated across all phases of one join execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCounters {
+    /// Number of result pairs produced.
+    pub matches: u64,
+    /// Tuples that crossed between devices because consecutive steps used
+    /// different workload ratios (the intermediate results of PL).
+    pub intermediate_tuples: u64,
+    /// Bytes moved over PCI-e (discrete topology only).
+    pub pcie_bytes: u64,
+    /// Number of PCI-e transfers.
+    pub pcie_transfers: u64,
+    /// Total latch/atomic overhead charged by the device model.
+    pub lock_overhead: SimTime,
+    /// Total SIMD divergence overhead charged by the device model.
+    pub divergence_overhead: SimTime,
+    /// Allocator activity.
+    pub alloc: AllocStats,
+    /// Last-level-cache counters, present when cache profiling was enabled.
+    pub cache: Option<CacheStats>,
+    /// Random accesses charged by the analytic cache model.
+    pub analytic_accesses: f64,
+    /// Estimated misses under the analytic cache model
+    /// (`accesses × (1 − hit rate)` per step).
+    pub analytic_misses: f64,
+}
+
+/// Mutable state threaded through every phase of one join execution.
+pub struct ExecContext<'a> {
+    /// The system (devices + topology) the join runs on.
+    pub sys: &'a SystemSpec,
+    cpu: Device,
+    gpu: Device,
+    cpu_cache: AnalyticCache,
+    gpu_cache: AnalyticCache,
+    /// The software allocator serving key/rid nodes, partition buffers and
+    /// result output.
+    pub allocator: Box<dyn KernelAllocator>,
+    /// Exact cache simulator, enabled only when miss counts are required.
+    pub cache_sim: Option<CacheSim>,
+    /// Run-wide counters.
+    pub counters: ExecCounters,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Creates a context for one join run.
+    ///
+    /// `arena_bytes` sizes the allocator arena; `profile_cache` enables the
+    /// exact L2 simulator (slower, used for Table 3).
+    pub fn new(
+        sys: &'a SystemSpec,
+        allocator: AllocatorKind,
+        arena_bytes: usize,
+        profile_cache: bool,
+    ) -> Self {
+        let work_groups = CPU_WORK_GROUPS + GPU_WORK_GROUPS;
+        ExecContext {
+            sys,
+            cpu: sys.device(DeviceKind::Cpu),
+            gpu: sys.device(DeviceKind::Gpu),
+            cpu_cache: AnalyticCache::new(sys.cache_bytes_for(DeviceKind::Cpu)),
+            gpu_cache: AnalyticCache::new(sys.cache_bytes_for(DeviceKind::Gpu)),
+            allocator: allocator.build(arena_bytes, work_groups),
+            cache_sim: if profile_cache {
+                Some(CacheSim::a8_3870k_l2())
+            } else {
+                None
+            },
+            counters: ExecCounters::default(),
+        }
+    }
+
+    /// The device of the given kind.
+    pub fn device(&self, kind: DeviceKind) -> &Device {
+        match kind {
+            DeviceKind::Cpu => &self.cpu,
+            DeviceKind::Gpu => &self.gpu,
+        }
+    }
+
+    /// A cost recorder configured with the device's wavefront width.
+    pub fn recorder_for(&self, kind: DeviceKind) -> CostRecorder {
+        CostRecorder::new(self.device(kind).wavefront_size())
+    }
+
+    /// The memory context a kernel with the given random-access working set
+    /// sees on the given device.
+    pub fn mem_ctx(&self, kind: DeviceKind, working_set_bytes: f64) -> MemContext {
+        let cache = match kind {
+            DeviceKind::Cpu => &self.cpu_cache,
+            DeviceKind::Gpu => &self.gpu_cache,
+        };
+        MemContext::with_hit_rate(cache.hit_rate(working_set_bytes))
+    }
+
+    /// The allocator work-group id for item `offset_in_range` of a kernel of
+    /// `range_len` items running on `kind`.
+    ///
+    /// CPU work groups are 0..[`CPU_WORK_GROUPS`]; GPU work groups follow.
+    /// Items are assigned contiguously, as a real work-group decomposition
+    /// would.
+    pub fn group_for(&self, kind: DeviceKind, offset_in_range: usize, range_len: usize) -> usize {
+        let (base, n) = match kind {
+            DeviceKind::Cpu => (0, CPU_WORK_GROUPS),
+            DeviceKind::Gpu => (CPU_WORK_GROUPS, GPU_WORK_GROUPS),
+        };
+        if range_len == 0 {
+            return base;
+        }
+        base + (offset_in_range * n / range_len).min(n - 1)
+    }
+
+    /// Feeds one address to the exact cache simulator, if enabled.
+    #[inline]
+    pub fn cache_access(&mut self, addr: u64) {
+        if let Some(sim) = self.cache_sim.as_mut() {
+            sim.access(addr);
+        }
+    }
+
+    /// Snapshot of the allocator counters (used to attribute allocator
+    /// atomics to the kernel that caused them).
+    pub fn alloc_snapshot(&self) -> AllocStats {
+        self.allocator.stats()
+    }
+
+    /// Finalises run-wide counters that are derived from other state
+    /// (allocator totals, cache statistics).
+    pub fn finalize_counters(&mut self) {
+        self.counters.alloc = self.allocator.stats();
+        self.counters.cache = self.cache_sim.as_ref().map(|c| c.stats());
+    }
+}
+
+/// Sizes the allocator arena for a join of `build_tuples` ⨝ `probe_tuples`:
+/// key and rid nodes for every build tuple, partition copies of both
+/// relations (PHJ), result pairs for every probe tuple, plus block-allocation
+/// slack.
+pub fn arena_bytes_for(build_tuples: usize, probe_tuples: usize) -> usize {
+    let nodes = build_tuples * (crate::hashtable::KEY_NODE_BYTES + crate::hashtable::RID_NODE_BYTES);
+    let partitions = (build_tuples + probe_tuples) * 8 * 2;
+    let results = probe_tuples * 8 * 2;
+    let slack = 4 << 20;
+    // Merge re-inserts into a fresh table in the worst (separate-table) case.
+    nodes * 2 + partitions + results + slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::SystemSpec;
+
+    #[test]
+    fn devices_and_recorders_match_kind() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        assert_eq!(ctx.device(DeviceKind::Cpu).kind(), DeviceKind::Cpu);
+        assert_eq!(ctx.device(DeviceKind::Gpu).wavefront_size(), 64);
+    }
+
+    #[test]
+    fn mem_ctx_reflects_working_set() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        let small = ctx.mem_ctx(DeviceKind::Cpu, 64.0 * 1024.0);
+        let huge = ctx.mem_ctx(DeviceKind::Cpu, 1e9);
+        assert!(small.random_hit_rate > 0.9);
+        assert!(huge.random_hit_rate < 0.01);
+    }
+
+    #[test]
+    fn group_assignment_is_contiguous_and_in_range() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        let g0 = ctx.group_for(DeviceKind::Cpu, 0, 1000);
+        let g_last = ctx.group_for(DeviceKind::Cpu, 999, 1000);
+        assert_eq!(g0, 0);
+        assert_eq!(g_last, CPU_WORK_GROUPS - 1);
+        let gpu0 = ctx.group_for(DeviceKind::Gpu, 0, 10);
+        assert!(gpu0 >= CPU_WORK_GROUPS);
+        assert!(ctx.group_for(DeviceKind::Gpu, 9, 10) < CPU_WORK_GROUPS + GPU_WORK_GROUPS);
+        // Degenerate empty range still returns a valid group.
+        assert_eq!(ctx.group_for(DeviceKind::Cpu, 0, 0), 0);
+    }
+
+    #[test]
+    fn cache_profiling_is_optional() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut off = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        off.cache_access(0x1234);
+        off.finalize_counters();
+        assert!(off.counters.cache.is_none());
+
+        let mut on = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, true);
+        on.cache_access(0x1234);
+        on.cache_access(0x1234);
+        on.finalize_counters();
+        let stats = on.counters.cache.unwrap();
+        assert_eq!(stats.accesses(), 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn arena_sizing_covers_node_requirements() {
+        let bytes = arena_bytes_for(1000, 2000);
+        // At minimum: key+rid nodes for every build tuple.
+        assert!(bytes > 1000 * 20);
+    }
+}

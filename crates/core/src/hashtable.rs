@@ -1,0 +1,457 @@
+//! The paper's hash-table layout: bucket headers → key lists → rid lists.
+//!
+//! Section 3.1: "A hash table consists of an array of bucket headers.  Each
+//! bucket header contains two fields: total number of tuples within that
+//! bucket and the pointer to a key list.  The key list contains all the
+//! unique keys with the same hash value, each of which links a rid list
+//! storing the IDs for all tuples with the same key."
+//!
+//! Nodes live in index-based arenas (`u32` indices with a NIL sentinel); each
+//! node creation is accounted through the simulated
+//! [`KernelAllocator`](mem_alloc::KernelAllocator) so the latch overhead of
+//! dynamic allocation (Figures 11 and 12) is charged faithfully.
+
+use mem_alloc::KernelAllocator;
+
+/// Sentinel index meaning "null pointer".
+pub const NIL: u32 = u32::MAX;
+
+/// Bytes occupied by one bucket header (count + key-list head).
+pub const BUCKET_HEADER_BYTES: usize = 8;
+/// Bytes occupied by one key-list node (key, rid-list head, next).
+pub const KEY_NODE_BYTES: usize = 12;
+/// Bytes occupied by one rid-list node (rid, next).
+pub const RID_NODE_BYTES: usize = 8;
+
+/// A bucket header: tuple count plus the head of the key list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketHeader {
+    /// Number of tuples inserted into this bucket.
+    pub count: u32,
+    /// Index of the first key node, or [`NIL`].
+    pub key_head: u32,
+}
+
+impl Default for BucketHeader {
+    fn default() -> Self {
+        BucketHeader {
+            count: 0,
+            key_head: NIL,
+        }
+    }
+}
+
+/// A node of a bucket's key list: one distinct key and its rid list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyNode {
+    /// The key value.
+    pub key: u32,
+    /// Index of the first rid node, or [`NIL`].
+    pub rid_head: u32,
+    /// Next key node in the bucket, or [`NIL`].
+    pub next: u32,
+}
+
+/// A node of a key's rid list: one build-tuple record ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RidNode {
+    /// The record ID.
+    pub rid: u32,
+    /// Next rid node, or [`NIL`].
+    pub next: u32,
+}
+
+/// Error returned when the pre-allocated arena backing the table is
+/// exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableFull;
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("hash-table arena exhausted")
+    }
+}
+
+impl std::error::Error for TableFull {}
+
+/// Statistics of merging one hash table into another (the *merge* overhead
+/// of separate hash tables, Figure 3 / Figure 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Key nodes moved.
+    pub keys_moved: u64,
+    /// Rid nodes moved.
+    pub rids_moved: u64,
+}
+
+/// The chained hash table of the paper.
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    buckets: Vec<BucketHeader>,
+    key_nodes: Vec<KeyNode>,
+    rid_nodes: Vec<RidNode>,
+    /// Right-shift applied to the 32-bit hash to obtain the bucket index.
+    ///
+    /// Buckets are addressed by the *high* bits of the hash because the radix
+    /// partitioning of PHJ consumes the low bits (Section 3.1); using the low
+    /// bits again inside a partition would collapse every tuple of the
+    /// partition into a handful of buckets.
+    shift: u32,
+    /// Synthetic base address used when feeding a cache simulator.
+    base_addr: u64,
+}
+
+impl HashTable {
+    /// Creates a table with at least `num_buckets` buckets (rounded up to a
+    /// power of two).
+    pub fn with_buckets(num_buckets: usize) -> Self {
+        let n = num_buckets.max(1).next_power_of_two();
+        HashTable {
+            buckets: vec![BucketHeader::default(); n],
+            key_nodes: Vec::new(),
+            rid_nodes: Vec::new(),
+            shift: 32 - n.trailing_zeros(),
+            base_addr: 0x1000_0000,
+        }
+    }
+
+    /// Creates a table sized for a build relation of `build_tuples` tuples
+    /// (one bucket per expected tuple, as in the paper's implementation).
+    pub fn for_build_size(build_tuples: usize) -> Self {
+        Self::with_buckets(build_tuples.max(1))
+    }
+
+    /// Sets the synthetic base address used for cache simulation, returning
+    /// `self` for chaining.
+    pub fn with_base_addr(mut self, base: u64) -> Self {
+        self.base_addr = base;
+        self
+    }
+
+    /// Number of buckets (a power of two).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Maps a hash value to its bucket index (high hash bits, disjoint from
+    /// the low bits that radix partitioning consumes).
+    #[inline]
+    pub fn bucket_index(&self, hash: u32) -> usize {
+        if self.shift >= 32 {
+            0
+        } else {
+            (hash >> self.shift) as usize
+        }
+    }
+
+    /// The header of bucket `idx`.
+    #[inline]
+    pub fn bucket(&self, idx: usize) -> BucketHeader {
+        self.buckets[idx]
+    }
+
+    /// Step `b2` primitive: visits the bucket header, increments its tuple
+    /// count, and returns the previous key-list head.
+    #[inline]
+    pub fn visit_bucket_for_build(&mut self, idx: usize) -> u32 {
+        let b = &mut self.buckets[idx];
+        b.count += 1;
+        b.key_head
+    }
+
+    /// Step `p2` primitive: reads the bucket header.
+    #[inline]
+    pub fn visit_bucket_for_probe(&self, idx: usize) -> BucketHeader {
+        self.buckets[idx]
+    }
+
+    /// Step `b3` primitive: walks bucket `idx`'s key list looking for `key`,
+    /// creating a new key node at the list head if absent.
+    ///
+    /// Returns `(key_node_index, created, nodes_visited)`; `nodes_visited`
+    /// feeds the divergence accounting (skewed keys make long lists).
+    pub fn find_or_create_key(
+        &mut self,
+        idx: usize,
+        key: u32,
+        alloc: &mut dyn KernelAllocator,
+        group: usize,
+    ) -> Result<(u32, bool, u32), TableFull> {
+        let mut visited = 0u32;
+        let mut cur = self.buckets[idx].key_head;
+        while cur != NIL {
+            visited += 1;
+            let node = self.key_nodes[cur as usize];
+            if node.key == key {
+                return Ok((cur, false, visited));
+            }
+            cur = node.next;
+        }
+        // Create a new key node at the head of the list.
+        alloc.alloc(group, KEY_NODE_BYTES).ok_or(TableFull)?;
+        let new_idx = self.key_nodes.len() as u32;
+        self.key_nodes.push(KeyNode {
+            key,
+            rid_head: NIL,
+            next: self.buckets[idx].key_head,
+        });
+        self.buckets[idx].key_head = new_idx;
+        Ok((new_idx, true, visited + 1))
+    }
+
+    /// Step `p3` primitive: walks bucket `idx`'s key list looking for `key`.
+    ///
+    /// Returns `(matching key node if any, nodes_visited)`.
+    pub fn find_key(&self, idx: usize, key: u32) -> (Option<u32>, u32) {
+        let mut visited = 0u32;
+        let mut cur = self.buckets[idx].key_head;
+        while cur != NIL {
+            visited += 1;
+            let node = self.key_nodes[cur as usize];
+            if node.key == key {
+                return (Some(cur), visited);
+            }
+            cur = node.next;
+        }
+        (None, visited)
+    }
+
+    /// Step `b4` primitive: prepends `rid` to the rid list of `key_node`.
+    pub fn insert_rid(
+        &mut self,
+        key_node: u32,
+        rid: u32,
+        alloc: &mut dyn KernelAllocator,
+        group: usize,
+    ) -> Result<(), TableFull> {
+        alloc.alloc(group, RID_NODE_BYTES).ok_or(TableFull)?;
+        let new_idx = self.rid_nodes.len() as u32;
+        let head = self.key_nodes[key_node as usize].rid_head;
+        self.rid_nodes.push(RidNode { rid, next: head });
+        self.key_nodes[key_node as usize].rid_head = new_idx;
+        Ok(())
+    }
+
+    /// Step `p4` primitive: iterates the rids stored under `key_node`.
+    pub fn rids_of(&self, key_node: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.key_nodes[key_node as usize].rid_head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let node = self.rid_nodes[cur as usize];
+                cur = node.next;
+                Some(node.rid)
+            }
+        })
+    }
+
+    /// Number of key nodes created so far.
+    pub fn key_node_count(&self) -> usize {
+        self.key_nodes.len()
+    }
+
+    /// Number of rid nodes created so far.
+    pub fn rid_node_count(&self) -> usize {
+        self.rid_nodes.len()
+    }
+
+    /// Total tuples inserted (sum of bucket counts).
+    pub fn tuple_count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count as u64).sum()
+    }
+
+    /// Bytes of the bucket-header array.
+    pub fn bucket_array_bytes(&self) -> usize {
+        self.buckets.len() * BUCKET_HEADER_BYTES
+    }
+
+    /// Total bytes of the table (headers plus nodes) — the probe-time working
+    /// set used by the analytic cache model.
+    pub fn total_bytes(&self) -> usize {
+        self.bucket_array_bytes()
+            + self.key_nodes.len() * KEY_NODE_BYTES
+            + self.rid_nodes.len() * RID_NODE_BYTES
+    }
+
+    /// Synthetic address of bucket `idx` (for cache simulation).
+    pub fn bucket_addr(&self, idx: usize) -> u64 {
+        self.base_addr + (idx * BUCKET_HEADER_BYTES) as u64
+    }
+
+    /// Synthetic address of key node `idx` (for cache simulation).
+    pub fn key_node_addr(&self, idx: u32) -> u64 {
+        self.base_addr + self.bucket_array_bytes() as u64 + (idx as usize * KEY_NODE_BYTES) as u64
+    }
+
+    /// Synthetic address of rid node `idx` (for cache simulation).
+    pub fn rid_node_addr(&self, idx: u32) -> u64 {
+        self.base_addr
+            + (self.bucket_array_bytes() + (64 << 20)) as u64
+            + (idx as usize * RID_NODE_BYTES) as u64
+    }
+
+    /// Merges `other` into `self` (the merge step required by separate hash
+    /// tables), re-inserting every `(key, rid)` pair.
+    pub fn merge_from(
+        &mut self,
+        other: &HashTable,
+        alloc: &mut dyn KernelAllocator,
+        group: usize,
+    ) -> Result<MergeStats, TableFull> {
+        let mut stats = MergeStats::default();
+        for bucket in 0..other.num_buckets() {
+            let mut key_cur = other.buckets[bucket].key_head;
+            while key_cur != NIL {
+                let key_node = other.key_nodes[key_cur as usize];
+                stats.keys_moved += 1;
+                for rid in other.rids_of(key_cur) {
+                    let hash = crate::hash::hash_key(key_node.key);
+                    let idx = self.bucket_index(hash);
+                    self.visit_bucket_for_build(idx);
+                    let (kn, _, _) = self.find_or_create_key(idx, key_node.key, alloc, group)?;
+                    self.insert_rid(kn, rid, alloc, group)?;
+                    stats.rids_moved += 1;
+                }
+                key_cur = key_node.next;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_key;
+    use mem_alloc::BumpAllocator;
+
+    fn alloc() -> BumpAllocator {
+        BumpAllocator::new(1 << 20)
+    }
+
+    fn insert(table: &mut HashTable, alloc: &mut dyn KernelAllocator, key: u32, rid: u32) {
+        let idx = table.bucket_index(hash_key(key));
+        table.visit_bucket_for_build(idx);
+        let (kn, _, _) = table.find_or_create_key(idx, key, alloc, 0).unwrap();
+        table.insert_rid(kn, rid, alloc, 0).unwrap();
+    }
+
+    #[test]
+    fn bucket_count_rounds_to_power_of_two() {
+        assert_eq!(HashTable::with_buckets(1000).num_buckets(), 1024);
+        assert_eq!(HashTable::for_build_size(3).num_buckets(), 4);
+        assert_eq!(HashTable::with_buckets(0).num_buckets(), 1);
+    }
+
+    #[test]
+    fn insert_and_probe_single_key() {
+        let mut t = HashTable::for_build_size(16);
+        let mut a = alloc();
+        insert(&mut t, &mut a, 42, 7);
+        let idx = t.bucket_index(hash_key(42));
+        let (found, visited) = t.find_key(idx, 42);
+        assert!(found.is_some());
+        assert_eq!(visited, 1);
+        let rids: Vec<_> = t.rids_of(found.unwrap()).collect();
+        assert_eq!(rids, vec![7]);
+        assert_eq!(t.tuple_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_share_one_key_node() {
+        let mut t = HashTable::for_build_size(16);
+        let mut a = alloc();
+        insert(&mut t, &mut a, 5, 100);
+        insert(&mut t, &mut a, 5, 101);
+        insert(&mut t, &mut a, 5, 102);
+        assert_eq!(t.key_node_count(), 1);
+        assert_eq!(t.rid_node_count(), 3);
+        let idx = t.bucket_index(hash_key(5));
+        let (kn, _) = t.find_key(idx, 5);
+        let mut rids: Vec<_> = t.rids_of(kn.unwrap()).collect();
+        rids.sort_unstable();
+        assert_eq!(rids, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn colliding_keys_chain_in_the_same_bucket() {
+        // A single-bucket table forces every key into one chain.
+        let mut t = HashTable::with_buckets(1);
+        let mut a = alloc();
+        for k in 0..20u32 {
+            insert(&mut t, &mut a, k, k + 1000);
+        }
+        assert_eq!(t.key_node_count(), 20);
+        let (found, visited) = t.find_key(0, 0);
+        assert!(found.is_some());
+        assert!(visited >= 1 && visited <= 20);
+        let (missing, visited_all) = t.find_key(0, 999);
+        assert!(missing.is_none());
+        assert_eq!(visited_all, 20);
+    }
+
+    #[test]
+    fn probe_misses_on_absent_key() {
+        let mut t = HashTable::for_build_size(8);
+        let mut a = alloc();
+        insert(&mut t, &mut a, 1, 1);
+        let idx = t.bucket_index(hash_key(777));
+        let (found, _) = t.find_key(idx, 777);
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn arena_exhaustion_reports_table_full() {
+        let mut t = HashTable::for_build_size(8);
+        let mut tiny = BumpAllocator::new(KEY_NODE_BYTES); // room for exactly one key node
+        let idx = t.bucket_index(hash_key(1));
+        t.visit_bucket_for_build(idx);
+        let (kn, created, _) = t.find_or_create_key(idx, 1, &mut tiny, 0).unwrap();
+        assert!(created);
+        assert_eq!(t.insert_rid(kn, 9, &mut tiny, 0), Err(TableFull));
+    }
+
+    #[test]
+    fn sizes_track_contents() {
+        let mut t = HashTable::for_build_size(4);
+        let mut a = alloc();
+        insert(&mut t, &mut a, 1, 1);
+        insert(&mut t, &mut a, 2, 2);
+        assert_eq!(t.bucket_array_bytes(), 4 * BUCKET_HEADER_BYTES);
+        assert_eq!(
+            t.total_bytes(),
+            4 * BUCKET_HEADER_BYTES + 2 * KEY_NODE_BYTES + 2 * RID_NODE_BYTES
+        );
+    }
+
+    #[test]
+    fn merge_moves_every_pair() {
+        let mut a_table = HashTable::for_build_size(16);
+        let mut b_table = HashTable::for_build_size(16);
+        let mut a = alloc();
+        insert(&mut a_table, &mut a, 1, 10);
+        insert(&mut b_table, &mut a, 1, 11);
+        insert(&mut b_table, &mut a, 2, 20);
+        let stats = a_table.merge_from(&b_table, &mut a, 0).unwrap();
+        assert_eq!(stats.rids_moved, 2);
+        assert_eq!(a_table.tuple_count(), 3);
+        let idx = a_table.bucket_index(hash_key(1));
+        let (kn, _) = a_table.find_key(idx, 1);
+        let mut rids: Vec<_> = a_table.rids_of(kn.unwrap()).collect();
+        rids.sort_unstable();
+        assert_eq!(rids, vec![10, 11]);
+    }
+
+    #[test]
+    fn addresses_are_disjoint_between_regions() {
+        let mut t = HashTable::for_build_size(8);
+        let mut a = alloc();
+        insert(&mut t, &mut a, 3, 30);
+        let b_addr = t.bucket_addr(7);
+        let k_addr = t.key_node_addr(0);
+        let r_addr = t.rid_node_addr(0);
+        assert!(k_addr > b_addr);
+        assert!(r_addr > k_addr);
+    }
+}

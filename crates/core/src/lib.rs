@@ -1,0 +1,71 @@
+//! # hj-core — fine-grained CPU-GPU co-processing for hash joins
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *"Revisiting Co-Processing for Hash Joins on the Coupled CPU-GPU
+//! Architecture"* (He, Lu, He; VLDB 2013): hash joins decomposed into
+//! per-tuple steps, co-processed across a CPU and a GPU that share memory
+//! and cache.
+//!
+//! ## What it provides
+//!
+//! * **Algorithms** — the simple hash join (SHJ) and the radix-partitioned
+//!   hash join (PHJ), built on the paper's bucket-header → key-list →
+//!   rid-list hash table ([`hashtable`]) and MurmurHash 2.0 ([`hash`]).
+//! * **Fine-grained steps** — `n1..n3`, `b1..b4`, `p1..p4` ([`steps`]), each
+//!   a data-parallel kernel whose work can be split between the devices at a
+//!   per-step workload ratio ([`schedule`]).
+//! * **Co-processing schemes** — CPU-only, GPU-only, off-loading (OL), data
+//!   dividing (DD), pipelined fine-grained co-processing (PL) and the
+//!   BasicUnit chunk scheduler ([`config::Scheme`], [`scheme`]).
+//! * **Design tradeoffs** — shared vs. separate hash tables, the basic vs.
+//!   block software memory allocator, grouping-based divergence reduction
+//!   ([`divergence`]), fine vs. coarse step granularity ([`coarse`]) and
+//!   out-of-core execution beyond the zero-copy buffer ([`outofcore`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hj_core::{run_join, JoinConfig, Scheme};
+//! use apu_sim::SystemSpec;
+//! use datagen::DataGenConfig;
+//!
+//! let sys = SystemSpec::coupled_a8_3870k();
+//! let (build, probe) = datagen::generate_pair(&DataGenConfig::small(10_000, 20_000));
+//! let cfg = JoinConfig::phj(Scheme::pipelined_paper());
+//! let outcome = run_join(&sys, &build, &probe, &cfg);
+//! assert_eq!(outcome.matches, hj_core::reference_match_count(&build, &probe));
+//! println!("PHJ-PL took {} (simulated)", outcome.total_time());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod coarse;
+pub mod config;
+pub mod context;
+pub mod divergence;
+pub mod executor;
+pub mod hash;
+pub mod hashtable;
+pub mod outofcore;
+pub mod partition;
+pub mod phase;
+pub mod probe;
+pub mod result;
+pub mod schedule;
+pub mod scheme;
+pub mod steps;
+
+pub use build::{run_build_phase, BuildTarget};
+pub use config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
+pub use context::{arena_bytes_for, ExecContext, ExecCounters};
+pub use executor::run_join;
+pub use hashtable::HashTable;
+pub use outofcore::{run_out_of_core_join, DEFAULT_CHUNK_TUPLES};
+pub use partition::{default_radix_bits, run_partition_pass};
+pub use phase::{PhaseExecution, StepExecution};
+pub use probe::{run_probe_phase, ProbeOutput};
+pub use result::{reference_match_count, reference_pairs, BasicUnitRatios, JoinOutcome};
+pub use schedule::{compose_pipeline, PipelineTiming, Ratios};
+pub use scheme::RatioPlan;
+pub use steps::StepId;

@@ -1,0 +1,247 @@
+//! Generic machinery for running one step series split between the CPU and
+//! the GPU, and the per-phase execution record.
+
+use crate::context::ExecContext;
+use crate::schedule::{compose_pipeline, PipelineTiming, Ratios};
+use crate::steps::StepId;
+use apu_sim::{CostRecorder, DeviceKind, KernelTime, Phase, SimTime, StepCost};
+
+/// Execution record of one step: how many items each device processed, the
+/// measured cost profiles and the resulting simulated kernel times.
+#[derive(Debug, Clone)]
+pub struct StepExecution {
+    /// Which step this was.
+    pub step: StepId,
+    /// Items processed by the CPU.
+    pub cpu_items: usize,
+    /// Items processed by the GPU.
+    pub gpu_items: usize,
+    /// Measured cost profile of the CPU portion.
+    pub cpu_cost: StepCost,
+    /// Measured cost profile of the GPU portion.
+    pub gpu_cost: StepCost,
+    /// Simulated time of the CPU portion.
+    pub cpu_time: KernelTime,
+    /// Simulated time of the GPU portion.
+    pub gpu_time: KernelTime,
+}
+
+impl StepExecution {
+    /// Total simulated time on one device.
+    pub fn device_time(&self, kind: DeviceKind) -> SimTime {
+        match kind {
+            DeviceKind::Cpu => self.cpu_time.total(),
+            DeviceKind::Gpu => self.gpu_time.total(),
+        }
+    }
+
+    /// Per-tuple unit cost on one device (`None` when that device processed
+    /// no items) — the quantity plotted in Figure 4.
+    pub fn unit_cost(&self, kind: DeviceKind) -> Option<SimTime> {
+        let (items, time) = match kind {
+            DeviceKind::Cpu => (self.cpu_items, self.cpu_time.total()),
+            DeviceKind::Gpu => (self.gpu_items, self.gpu_time.total()),
+        };
+        if items == 0 {
+            None
+        } else {
+            Some(time / items as f64)
+        }
+    }
+}
+
+/// Execution record of one step series (one phase, or one partition pass).
+#[derive(Debug, Clone)]
+pub struct PhaseExecution {
+    /// Which join phase this series belongs to.
+    pub phase: Phase,
+    /// The workload ratios used.
+    pub ratios: Ratios,
+    /// Per-step execution records.
+    pub steps: Vec<StepExecution>,
+    /// The composed pipeline timing (Eqs. 1–5).
+    pub timing: PipelineTiming,
+    /// Tuples that crossed devices between consecutive steps.
+    pub intermediate_tuples: u64,
+}
+
+impl PhaseExecution {
+    /// Builds the phase record from its per-step executions, composing the
+    /// pipeline timing.
+    pub fn from_steps(phase: Phase, ratios: Ratios, steps: Vec<StepExecution>, items: usize) -> Self {
+        let cpu: Vec<SimTime> = steps.iter().map(|s| s.cpu_time.total()).collect();
+        let gpu: Vec<SimTime> = steps.iter().map(|s| s.gpu_time.total()).collect();
+        let timing = compose_pipeline(&cpu, &gpu, &ratios);
+        let intermediate_tuples = (ratios.intermediate_fraction() * items as f64).round() as u64;
+        PhaseExecution {
+            phase,
+            ratios,
+            steps,
+            timing,
+            intermediate_tuples,
+        }
+    }
+
+    /// Elapsed simulated time of the series.
+    pub fn elapsed(&self) -> SimTime {
+        self.timing.elapsed
+    }
+
+    /// Sum of a device's busy time across all steps.
+    pub fn device_busy(&self, kind: DeviceKind) -> SimTime {
+        match kind {
+            DeviceKind::Cpu => self.timing.cpu_busy,
+            DeviceKind::Gpu => self.timing.gpu_busy,
+        }
+    }
+}
+
+/// Splits `items` into the CPU range `[0, cut)` and GPU range `[cut, items)`
+/// according to the CPU ratio `r`.
+pub fn split_items(items: usize, r: f64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    let cut = ((items as f64) * r.clamp(0.0, 1.0)).round() as usize;
+    let cut = cut.min(items);
+    (0..cut, cut..items)
+}
+
+/// Runs one step over `items` items, splitting them between the devices by
+/// `ratio`, and returns the execution record.
+///
+/// `body` is invoked once per item with `(ctx, item_index, device, work_group,
+/// recorder)` and performs the real work, recording its cost as it goes.
+/// Allocator activity during each device's portion is attributed to that
+/// device automatically.
+pub fn run_step<F>(
+    ctx: &mut ExecContext<'_>,
+    step: StepId,
+    items: usize,
+    ratio: f64,
+    working_set_bytes: f64,
+    mut body: F,
+) -> StepExecution
+where
+    F: FnMut(&mut ExecContext<'_>, usize, DeviceKind, usize, &mut CostRecorder),
+{
+    let (cpu_range, gpu_range) = split_items(items, ratio);
+    let mut costs: [StepCost; 2] = [StepCost::zero(), StepCost::zero()];
+    let mut counts = [0usize; 2];
+
+    for (slot, (kind, range)) in [
+        (DeviceKind::Cpu, cpu_range.clone()),
+        (DeviceKind::Gpu, gpu_range.clone()),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rec = ctx.recorder_for(kind);
+        let before = ctx.alloc_snapshot();
+        let len = range.len();
+        for (offset, i) in range.clone().enumerate() {
+            let group = ctx.group_for(kind, offset, len);
+            body(ctx, i, kind, group, &mut rec);
+        }
+        let delta = ctx.alloc_snapshot().delta_since(&before);
+        rec.serial_atomic(delta.global_atomics as f64);
+        rec.local_atomic(delta.local_atomics as f64);
+        costs[slot] = rec.finish();
+        counts[slot] = len;
+    }
+
+    let [cpu_cost, gpu_cost] = costs;
+    let cpu_mem = ctx.mem_ctx(DeviceKind::Cpu, working_set_bytes);
+    let gpu_mem = ctx.mem_ctx(DeviceKind::Gpu, working_set_bytes);
+    let cpu_time = ctx.device(DeviceKind::Cpu).kernel_time(&cpu_cost, &cpu_mem);
+    let gpu_time = ctx.device(DeviceKind::Gpu).kernel_time(&gpu_cost, &gpu_mem);
+
+    ctx.counters.lock_overhead += cpu_time.atomic + gpu_time.atomic;
+    ctx.counters.divergence_overhead += cpu_time.divergence_overhead + gpu_time.divergence_overhead;
+    let cpu_accesses = cpu_cost.random_reads + cpu_cost.random_writes;
+    let gpu_accesses = gpu_cost.random_reads + gpu_cost.random_writes;
+    ctx.counters.analytic_accesses += cpu_accesses + gpu_accesses;
+    ctx.counters.analytic_misses += cpu_accesses * (1.0 - cpu_mem.random_hit_rate)
+        + gpu_accesses * (1.0 - gpu_mem.random_hit_rate);
+
+    StepExecution {
+        step,
+        cpu_items: counts[0],
+        gpu_items: counts[1],
+        cpu_cost,
+        gpu_cost,
+        cpu_time,
+        gpu_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::SystemSpec;
+    use mem_alloc::AllocatorKind;
+
+    #[test]
+    fn split_items_respects_ratio_bounds() {
+        assert_eq!(split_items(100, 0.0).0.len(), 0);
+        assert_eq!(split_items(100, 1.0).0.len(), 100);
+        assert_eq!(split_items(100, 0.25).0.len(), 25);
+        assert_eq!(split_items(100, 2.0).0.len(), 100);
+        let (c, g) = split_items(7, 0.5);
+        assert_eq!(c.len() + g.len(), 7);
+    }
+
+    #[test]
+    fn run_step_splits_and_times_both_devices() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        let exec = run_step(&mut ctx, StepId::B1, 1000, 0.3, 0.0, |_, _, _, _, rec| {
+            rec.item(100.0);
+        });
+        assert_eq!(exec.cpu_items, 300);
+        assert_eq!(exec.gpu_items, 700);
+        assert!(exec.cpu_time.total() > SimTime::ZERO);
+        assert!(exec.gpu_time.total() > SimTime::ZERO);
+        assert!(exec.unit_cost(DeviceKind::Cpu).is_some());
+    }
+
+    #[test]
+    fn run_step_attributes_allocator_atomics_to_the_right_device() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::Basic, 1 << 20, false);
+        // Only the GPU portion allocates.
+        let exec = run_step(&mut ctx, StepId::B3, 100, 0.5, 0.0, |ctx, _, kind, group, rec| {
+            rec.item(10.0);
+            if kind == DeviceKind::Gpu {
+                ctx.allocator.alloc(group, 8);
+            }
+        });
+        assert_eq!(exec.cpu_cost.serial_atomics, 0.0);
+        assert!(exec.gpu_cost.serial_atomics >= 50.0);
+    }
+
+    #[test]
+    fn phase_execution_composes_steps() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        let ratios = Ratios::new(vec![0.0, 1.0]);
+        let s1 = run_step(&mut ctx, StepId::B1, 500, ratios.get(0), 0.0, |_, _, _, _, rec| {
+            rec.item(50.0);
+        });
+        let s2 = run_step(&mut ctx, StepId::B2, 500, ratios.get(1), 0.0, |_, _, _, _, rec| {
+            rec.item(50.0);
+        });
+        let phase = PhaseExecution::from_steps(Phase::Build, ratios, vec![s1, s2], 500);
+        assert_eq!(phase.steps.len(), 2);
+        assert_eq!(phase.intermediate_tuples, 500);
+        assert!(phase.elapsed() >= phase.device_busy(DeviceKind::Cpu));
+    }
+
+    #[test]
+    fn unit_cost_is_none_for_idle_device() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        let exec = run_step(&mut ctx, StepId::P1, 10, 1.0, 0.0, |_, _, _, _, rec| {
+            rec.item(1.0);
+        });
+        assert!(exec.unit_cost(DeviceKind::Gpu).is_none());
+        assert!(exec.unit_cost(DeviceKind::Cpu).is_some());
+    }
+}

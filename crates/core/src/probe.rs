@@ -1,0 +1,261 @@
+//! The probe phase: steps `p1..p4` of Algorithm 1, split between devices.
+
+use crate::context::ExecContext;
+use crate::divergence::{grouping_order, DEFAULT_GROUPS};
+use crate::hash::hash_key;
+use crate::hashtable::{HashTable, KEY_NODE_BYTES, RID_NODE_BYTES, NIL};
+use crate::phase::{run_step, PhaseExecution};
+use crate::schedule::Ratios;
+use crate::steps::{instr, StepId};
+use apu_sim::Phase;
+use datagen::Relation;
+
+/// The output of the probe phase.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeOutput {
+    /// Number of `(build rid, probe rid)` result pairs produced.
+    pub matches: u64,
+    /// The materialised result pairs, when collection was requested.
+    pub pairs: Option<Vec<(u32, u32)>>,
+}
+
+/// Runs the probe phase of `probe_rel` against `table` with per-step CPU
+/// ratios `ratios` (length 4: `p1..p4`).
+///
+/// When `collect_pairs` is set the `(build rid, probe rid)` pairs are
+/// materialised (useful for correctness checks); otherwise only the count is
+/// kept, matching the paper's implementation which "simply outputs the
+/// matching rid pair".
+///
+/// # Panics
+/// Panics if `ratios.len() != 4` or the allocator arena is exhausted.
+pub fn run_probe_phase(
+    ctx: &mut ExecContext<'_>,
+    probe_rel: &Relation,
+    table: &HashTable,
+    ratios: &Ratios,
+    grouping: bool,
+    collect_pairs: bool,
+) -> (ProbeOutput, PhaseExecution) {
+    assert_eq!(ratios.len(), 4, "probe phase has 4 steps (p1..p4)");
+    let n = probe_rel.len();
+    let mut steps = Vec::with_capacity(4);
+
+    let mut bucket_idx = vec![0u32; n];
+    let mut matched_key = vec![NIL; n];
+    let mut matches: u64 = 0;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    if collect_pairs {
+        pairs.reserve(n);
+    }
+
+    // p1: compute hash bucket number.
+    steps.push(run_step(ctx, StepId::P1, n, ratios.get(0), 0.0, |_, i, _, _, rec| {
+        bucket_idx[i] = table.bucket_index(hash_key(probe_rel.key(i))) as u32;
+        rec.item(instr::HASH);
+        rec.seq_read(4.0);
+        rec.seq_write(4.0);
+    }));
+
+    // p2: visit the hash bucket header.
+    let bucket_ws = table.bucket_array_bytes() as f64;
+    let mut bucket_count = vec![0u32; n];
+    steps.push(run_step(
+        ctx,
+        StepId::P2,
+        n,
+        ratios.get(1),
+        bucket_ws,
+        |ctx, i, _, _, rec| {
+            let idx = bucket_idx[i] as usize;
+            let header = table.visit_bucket_for_probe(idx);
+            bucket_count[i] = header.count;
+            ctx.cache_access(table.bucket_addr(idx));
+            rec.item(instr::VISIT_HEADER);
+            rec.random_read(1.0);
+        },
+    ));
+
+    // Optional grouping by expected probe work (the bucket occupancy read in
+    // p2), exactly as Section 3.3 describes.
+    let order: Vec<u32> = if grouping {
+        grouping_order(&bucket_count, DEFAULT_GROUPS)
+    } else {
+        (0..n as u32).collect()
+    };
+
+    // p3: visit the key list.
+    let key_ws = bucket_ws + (table.key_node_count() * KEY_NODE_BYTES) as f64;
+    steps.push(run_step(
+        ctx,
+        StepId::P3,
+        n,
+        ratios.get(2),
+        key_ws,
+        |ctx, pos, _, _, rec| {
+            let i = order[pos] as usize;
+            let idx = bucket_idx[i] as usize;
+            let (found, visited) = table.find_key(idx, probe_rel.key(i));
+            matched_key[i] = found.unwrap_or(NIL);
+            for v in 0..visited {
+                ctx.cache_access(table.key_node_addr(v));
+            }
+            rec.item(0.0);
+            rec.instructions((visited.max(1)) as f64 * instr::KEY_NODE_VISIT);
+            if grouping {
+                rec.instructions(instr::GROUPING_PER_TUPLE);
+                rec.seq_read(4.0);
+                rec.seq_write(4.0);
+            }
+            rec.random_read(visited.max(1) as f64);
+            rec.work(visited.max(1));
+        },
+    ));
+
+    // p4: visit the matching build tuples, compare keys and produce output.
+    let out_ws = (table.key_node_count() * KEY_NODE_BYTES
+        + table.rid_node_count() * RID_NODE_BYTES) as f64;
+    steps.push(run_step(
+        ctx,
+        StepId::P4,
+        n,
+        ratios.get(3),
+        out_ws,
+        |ctx, pos, _, group, rec| {
+            let i = order[pos] as usize;
+            rec.item(instr::VISIT_HEADER);
+            let kn = matched_key[i];
+            if kn == NIL {
+                rec.work(1);
+                return;
+            }
+            let mut local_matches = 0u32;
+            for build_rid in table.rids_of(kn) {
+                local_matches += 1;
+                ctx.allocator
+                    .alloc(group, 8)
+                    .expect("result arena exhausted; enlarge arena_bytes_for");
+                if collect_pairs {
+                    pairs.push((build_rid, probe_rel.rid(i)));
+                }
+                ctx.cache_access(table.rid_node_addr(kn));
+            }
+            matches += local_matches as u64;
+            rec.instructions(local_matches as f64 * instr::OUTPUT_MATCH);
+            // Visiting the rid nodes plus the matching build tuple.
+            rec.random_read(local_matches as f64 + 1.0);
+            rec.seq_write(8.0 * local_matches as f64);
+            rec.work(local_matches.max(1));
+        },
+    ));
+
+    let output = ProbeOutput {
+        matches,
+        pairs: if collect_pairs { Some(pairs) } else { None },
+    };
+    ctx.counters.matches += output.matches;
+    (output, PhaseExecution::from_steps(Phase::Probe, ratios.clone(), steps, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{run_build_phase, BuildTarget};
+    use crate::context::arena_bytes_for;
+    use apu_sim::SystemSpec;
+    use datagen::DataGenConfig;
+    use mem_alloc::AllocatorKind;
+    use std::collections::HashMap;
+
+    /// Reference join result computed with a plain hash map.
+    fn reference_matches(build: &Relation, probe: &Relation) -> u64 {
+        let mut map: HashMap<u32, u64> = HashMap::new();
+        for &k in build.keys() {
+            *map.entry(k).or_insert(0) += 1;
+        }
+        probe.keys().iter().map(|k| map.get(k).copied().unwrap_or(0)).sum()
+    }
+
+    fn build_table<'a>(sys: &'a SystemSpec, rel: &Relation) -> (HashTable, ExecContext<'a>) {
+        let mut ctx = ExecContext::new(
+            sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(rel.len(), rel.len() * 2),
+            false,
+        );
+        let mut table = HashTable::for_build_size(rel.len());
+        run_build_phase(
+            &mut ctx,
+            rel,
+            BuildTarget::Shared(&mut table),
+            &Ratios::uniform(0.5, 4),
+            false,
+        );
+        (table, ctx)
+    }
+
+    #[test]
+    fn probe_counts_match_reference_join() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let (build, probe) = datagen::generate_pair(&DataGenConfig::small(2000, 4000));
+        let (table, mut ctx) = build_table(&sys, &build);
+        let (out, phase) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.4, 4), false, false);
+        assert_eq!(out.matches, reference_matches(&build, &probe));
+        assert_eq!(phase.steps.len(), 4);
+        assert!(out.pairs.is_none());
+    }
+
+    #[test]
+    fn collected_pairs_are_real_matches() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let (build, probe) = datagen::generate_pair(&DataGenConfig::small(500, 1000));
+        let (table, mut ctx) = build_table(&sys, &build);
+        let (out, _) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::gpu_only(4), false, true);
+        let pairs = out.pairs.unwrap();
+        assert_eq!(pairs.len() as u64, out.matches);
+        let build_keys: HashMap<u32, u32> =
+            build.iter().map(|(rid, key)| (rid, key)).collect();
+        let probe_keys: HashMap<u32, u32> =
+            probe.iter().map(|(rid, key)| (rid, key)).collect();
+        for (brid, prid) in pairs.iter().take(200) {
+            assert_eq!(build_keys[brid], probe_keys[prid], "joined pair keys must be equal");
+        }
+    }
+
+    #[test]
+    fn selective_probe_produces_fewer_matches() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let low = DataGenConfig::small(1000, 2000).with_selectivity(0.125);
+        let (build, probe) = datagen::generate_pair(&low);
+        let (table, mut ctx) = build_table(&sys, &build);
+        let (out, _) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.5, 4), false, false);
+        assert_eq!(out.matches, reference_matches(&build, &probe));
+        assert!(out.matches < 2000 / 4);
+    }
+
+    #[test]
+    fn grouping_preserves_the_result() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let cfg = DataGenConfig::small(2000, 3000)
+            .with_distribution(datagen::KeyDistribution::high_skew());
+        let (build, probe) = datagen::generate_pair(&cfg);
+        let (table, mut ctx) = build_table(&sys, &build);
+        let (plain, _) =
+            run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.5, 4), false, false);
+        let (grouped, _) =
+            run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.5, 4), true, false);
+        assert_eq!(plain.matches, grouped.matches);
+    }
+
+    #[test]
+    fn probe_ratio_splits_items() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let (build, probe) = datagen::generate_pair(&DataGenConfig::small(100, 1000));
+        let (table, mut ctx) = build_table(&sys, &build);
+        let (_, phase) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.3, 4), false, false);
+        for step in &phase.steps {
+            assert_eq!(step.cpu_items, 300);
+            assert_eq!(step.gpu_items, 700);
+        }
+    }
+}

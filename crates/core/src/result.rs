@@ -1,0 +1,118 @@
+//! The outcome of one join execution, and a reference join used to verify
+//! correctness.
+
+use crate::context::ExecCounters;
+use crate::phase::PhaseExecution;
+use apu_sim::{PhaseBreakdown, SimTime};
+use datagen::Relation;
+use std::collections::HashMap;
+
+/// The per-phase CPU share that the BasicUnit chunk scheduler ended up
+/// choosing (Figures 17 and 18 of the appendix).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BasicUnitRatios {
+    /// CPU share of the partition phase.
+    pub partition: f64,
+    /// CPU share of the build phase.
+    pub build: f64,
+    /// CPU share of the probe phase.
+    pub probe: f64,
+}
+
+/// Everything a join execution produces: the result (or its cardinality),
+/// the per-phase simulated time breakdown, per-step execution records and
+/// run-wide counters.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// Number of `(build rid, probe rid)` result pairs.
+    pub matches: u64,
+    /// Materialised result pairs, when requested via
+    /// [`JoinConfig::collect_results`](crate::config::JoinConfig).
+    pub pairs: Option<Vec<(u32, u32)>>,
+    /// Simulated elapsed time per phase (the stacked bars of Figures 3, 15
+    /// and 19).
+    pub breakdown: PhaseBreakdown,
+    /// Per-phase execution records (per-step costs, ratios, pipeline delays).
+    pub phases: Vec<PhaseExecution>,
+    /// Run-wide counters (latch overhead, cache statistics, allocator
+    /// activity, PCI-e traffic, intermediate results).
+    pub counters: ExecCounters,
+    /// Observed per-phase CPU shares when the BasicUnit scheduler was used.
+    pub basic_unit_ratios: Option<BasicUnitRatios>,
+}
+
+impl JoinOutcome {
+    /// Total simulated elapsed time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown.total()
+    }
+
+    /// Throughput in (probe) tuples per second of simulated time.
+    pub fn tuples_per_second(&self, probe_tuples: usize) -> f64 {
+        let secs = self.total_time().as_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            probe_tuples as f64 / secs
+        }
+    }
+}
+
+/// Reference equi-join result cardinality computed with a plain hash map;
+/// used by tests and examples to verify every scheme produces the same
+/// number of matches.
+pub fn reference_match_count(build: &Relation, probe: &Relation) -> u64 {
+    let mut counts: HashMap<u32, u64> = HashMap::with_capacity(build.len());
+    for &k in build.keys() {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    probe
+        .keys()
+        .iter()
+        .map(|k| counts.get(k).copied().unwrap_or(0))
+        .sum()
+}
+
+/// Reference equi-join result pairs `(build rid, probe rid)`, sorted, for
+/// exact comparison against materialised results.
+pub fn reference_pairs(build: &Relation, probe: &Relation) -> Vec<(u32, u32)> {
+    let mut by_key: HashMap<u32, Vec<u32>> = HashMap::with_capacity(build.len());
+    for (rid, key) in build.iter() {
+        by_key.entry(key).or_default().push(rid);
+    }
+    let mut out = Vec::new();
+    for (prid, key) in probe.iter() {
+        if let Some(brids) = by_key.get(&key) {
+            for &brid in brids {
+                out.push((brid, prid));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_sim::Phase;
+
+    #[test]
+    fn reference_join_counts_duplicates() {
+        let build = Relation::from_columns(vec![0, 1, 2], vec![5, 5, 7]);
+        let probe = Relation::from_columns(vec![10, 11, 12], vec![5, 7, 9]);
+        assert_eq!(reference_match_count(&build, &probe), 3);
+        let pairs = reference_pairs(&build, &probe);
+        assert_eq!(pairs, vec![(0, 10), (1, 10), (2, 11)]);
+    }
+
+    #[test]
+    fn outcome_total_is_breakdown_total() {
+        let mut o = JoinOutcome::default();
+        o.breakdown.add(Phase::Build, SimTime::from_ms(3.0));
+        o.breakdown.add(Phase::Probe, SimTime::from_ms(7.0));
+        assert_eq!(o.total_time().as_ms(), 10.0);
+        assert!(o.tuples_per_second(1000) > 0.0);
+        assert_eq!(JoinOutcome::default().tuples_per_second(10), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Workload ratios and the pipelined-execution timing composition.
+//!
+//! A *ratio* `r_i ∈ [0, 1]` is the fraction of step `i`'s tuples processed by
+//! the CPU (the rest goes to the GPU).  The three co-processing schemes of
+//! the paper are all expressible as ratio vectors over a step series
+//! (Section 3.2):
+//!
+//! * **OL** — every `r_i` is 0 or 1;
+//! * **DD** — all `r_i` are equal;
+//! * **PL** — arbitrary `r_i` per step.
+//!
+//! [`compose_pipeline`] combines per-device per-step times into the elapsed
+//! time of the series, implementing Eqs. 1, 2, 4 and 5 of the paper: each
+//! device's total is the sum of its step times plus pipeline delays incurred
+//! when consecutive steps use different ratios, and the series' elapsed time
+//! is the maximum over the two devices.
+
+use apu_sim::SimTime;
+
+/// Per-step CPU workload ratios for one step series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ratios(Vec<f64>);
+
+impl Ratios {
+    /// Creates a ratio vector, clamping every entry into `[0, 1]`.
+    pub fn new(ratios: Vec<f64>) -> Self {
+        Ratios(ratios.into_iter().map(|r| r.clamp(0.0, 1.0)).collect())
+    }
+
+    /// A data-dividing vector: the same ratio for all `steps` steps.
+    pub fn uniform(r: f64, steps: usize) -> Self {
+        Ratios::new(vec![r; steps])
+    }
+
+    /// CPU-only execution of `steps` steps.
+    pub fn cpu_only(steps: usize) -> Self {
+        Ratios::uniform(1.0, steps)
+    }
+
+    /// GPU-only execution of `steps` steps.
+    pub fn gpu_only(steps: usize) -> Self {
+        Ratios::uniform(0.0, steps)
+    }
+
+    /// An off-loading vector: `true` entries run on the CPU, `false` on the
+    /// GPU.
+    pub fn offload(on_cpu: &[bool]) -> Self {
+        Ratios::new(on_cpu.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect())
+    }
+
+    /// The ratio of step `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no steps.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The ratios as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// True when all ratios are equal (a DD schedule) within `1e-9`.
+    pub fn is_uniform(&self) -> bool {
+        self.0.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9)
+    }
+
+    /// Total fraction of tuples that change device between consecutive steps
+    /// (`Σ |r_i − r_{i-1}|`); multiplied by the item count this is the amount
+    /// of intermediate results the pipelined scheme materialises.
+    pub fn intermediate_fraction(&self) -> f64 {
+        self.0.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+    }
+}
+
+impl From<Vec<f64>> for Ratios {
+    fn from(v: Vec<f64>) -> Self {
+        Ratios::new(v)
+    }
+}
+
+/// The composed timing of one step series under pipelined co-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineTiming {
+    /// CPU busy time (sum of its step times).
+    pub cpu_busy: SimTime,
+    /// GPU busy time (sum of its step times).
+    pub gpu_busy: SimTime,
+    /// Total pipeline delay charged to the CPU (Eq. 4).
+    pub cpu_delay: SimTime,
+    /// Total pipeline delay charged to the GPU (Eq. 5).
+    pub gpu_delay: SimTime,
+    /// Elapsed time of the series: `max(CPU total, GPU total)` (Eq. 1).
+    pub elapsed: SimTime,
+}
+
+/// Composes per-device per-step times into the elapsed time of the series.
+///
+/// `cpu[i]` and `gpu[i]` are the times each device spends on its share of
+/// step `i` (zero when its ratio gives it no tuples); `ratios[i]` is the CPU
+/// share of step `i`.  Implements Eqs. 1, 2, 4, 5 of the paper.
+///
+/// # Panics
+/// Panics if the three slices have different lengths.
+pub fn compose_pipeline(cpu: &[SimTime], gpu: &[SimTime], ratios: &Ratios) -> PipelineTiming {
+    assert_eq!(cpu.len(), gpu.len(), "per-device step counts differ");
+    assert_eq!(cpu.len(), ratios.len(), "ratio count differs from step count");
+    let n = cpu.len();
+    if n == 0 {
+        return PipelineTiming::default();
+    }
+
+    // Running totals of T^j_XPU including already-charged delays, as the
+    // paper's Σ T^j terms require.
+    let mut cpu_total = SimTime::ZERO;
+    let mut gpu_total = SimTime::ZERO;
+    let mut cpu_delay_total = SimTime::ZERO;
+    let mut gpu_delay_total = SimTime::ZERO;
+    let mut cpu_busy = SimTime::ZERO;
+    let mut gpu_busy = SimTime::ZERO;
+
+    for i in 0..n {
+        let t_cpu = cpu[i];
+        let t_gpu = gpu[i];
+        cpu_busy += t_cpu;
+        gpu_busy += t_gpu;
+
+        let mut d_cpu = SimTime::ZERO;
+        let mut d_gpu = SimTime::ZERO;
+        if i > 0 {
+            let r_i = ratios.get(i);
+            let r_prev = ratios.get(i - 1);
+            if r_i > r_prev + 1e-12 {
+                // Case 1 (Eq. 4): the CPU takes on more work than in the
+                // previous step, so it may stall waiting for GPU output of
+                // step i-1.
+                let frac = if (1.0 - r_prev) > 1e-12 {
+                    (1.0 - r_i) / (1.0 - r_prev)
+                } else {
+                    0.0
+                };
+                let gpu_pipelined_end = gpu_total.saturating_sub(gpu[i - 1] * frac);
+                d_cpu = gpu_pipelined_end.saturating_sub(cpu_total + t_cpu);
+            } else if r_i + 1e-12 < r_prev {
+                // Case 2 (Eq. 5): the GPU takes on more work, so it may stall
+                // waiting for CPU output of step i-1.
+                let frac = if (1.0 - r_i) > 1e-12 {
+                    (1.0 - r_prev) / (1.0 - r_i)
+                } else {
+                    0.0
+                };
+                let gpu_after_step = gpu_total + t_gpu;
+                d_gpu = cpu_total.saturating_sub(gpu_after_step.saturating_sub(t_gpu * frac));
+            }
+        }
+
+        cpu_total += t_cpu + d_cpu;
+        gpu_total += t_gpu + d_gpu;
+        cpu_delay_total += d_cpu;
+        gpu_delay_total += d_gpu;
+    }
+
+    PipelineTiming {
+        cpu_busy,
+        gpu_busy,
+        cpu_delay: cpu_delay_total,
+        gpu_delay: gpu_delay_total,
+        elapsed: cpu_total.max(gpu_total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: f64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    #[test]
+    fn ratios_constructors_and_queries() {
+        let dd = Ratios::uniform(0.3, 4);
+        assert!(dd.is_uniform());
+        assert_eq!(dd.len(), 4);
+        assert_eq!(dd.intermediate_fraction(), 0.0);
+
+        let ol = Ratios::offload(&[false, true, true, false]);
+        assert_eq!(ol.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+        assert!(!ol.is_uniform());
+        assert!((ol.intermediate_fraction() - 2.0).abs() < 1e-12);
+
+        assert_eq!(Ratios::cpu_only(3).as_slice(), &[1.0; 3]);
+        assert_eq!(Ratios::gpu_only(3).as_slice(), &[0.0; 3]);
+        assert!(Ratios::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn ratios_are_clamped() {
+        let r = Ratios::new(vec![-0.5, 1.5]);
+        assert_eq!(r.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn single_device_pipeline_is_a_plain_sum() {
+        let cpu = [t(100.0), t(200.0), t(50.0)];
+        let gpu = [t(0.0); 3];
+        let timing = compose_pipeline(&cpu, &gpu, &Ratios::cpu_only(3));
+        assert_eq!(timing.elapsed.as_ns(), 350.0);
+        assert_eq!(timing.cpu_delay, SimTime::ZERO);
+        assert_eq!(timing.gpu_delay, SimTime::ZERO);
+    }
+
+    #[test]
+    fn equal_ratios_have_no_pipeline_delay() {
+        let cpu = [t(100.0), t(120.0)];
+        let gpu = [t(90.0), t(80.0)];
+        let timing = compose_pipeline(&cpu, &gpu, &Ratios::uniform(0.5, 2));
+        assert_eq!(timing.cpu_delay, SimTime::ZERO);
+        assert_eq!(timing.gpu_delay, SimTime::ZERO);
+        assert_eq!(timing.elapsed.as_ns(), 220.0);
+    }
+
+    #[test]
+    fn elapsed_is_max_of_device_totals() {
+        let cpu = [t(10.0), t(10.0)];
+        let gpu = [t(500.0), t(500.0)];
+        let timing = compose_pipeline(&cpu, &gpu, &Ratios::uniform(0.1, 2));
+        assert_eq!(timing.elapsed.as_ns(), 1000.0);
+        assert_eq!(timing.cpu_busy.as_ns(), 20.0);
+        assert_eq!(timing.gpu_busy.as_ns(), 1000.0);
+    }
+
+    #[test]
+    fn cpu_stalls_when_it_needs_gpu_output() {
+        // Step 1 runs entirely on the GPU and is slow; step 2 runs entirely
+        // on the CPU.  Execution is pipelined at tuple granularity, so the
+        // CPU consumes GPU output as it is produced and finishes (per Eq. 4)
+        // together with the GPU's last tuple: the stall is the difference
+        // between the GPU production time and the CPU's own work.
+        let cpu = [t(0.0), t(300.0)];
+        let gpu = [t(1000.0), t(0.0)];
+        let ratios = Ratios::new(vec![0.0, 1.0]);
+        let timing = compose_pipeline(&cpu, &gpu, &ratios);
+        assert!((timing.cpu_delay.as_ns() - 700.0).abs() < 1e-6);
+        assert!((timing.elapsed.as_ns() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpu_stalls_when_it_needs_cpu_output() {
+        let cpu = [t(1000.0), t(0.0)];
+        let gpu = [t(0.0), t(400.0)];
+        let ratios = Ratios::new(vec![1.0, 0.0]);
+        let timing = compose_pipeline(&cpu, &gpu, &ratios);
+        assert!((timing.gpu_delay.as_ns() - 600.0).abs() < 1e-6);
+        assert!((timing.elapsed.as_ns() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_ratio_shift_stalls_less_than_full_shift() {
+        // Shifting only part of the workload between devices should stall
+        // less than handing the entire step over.
+        let cpu_full = [t(0.0), t(400.0)];
+        let gpu_full = [t(800.0), t(0.0)];
+        let full = compose_pipeline(&cpu_full, &gpu_full, &Ratios::new(vec![0.0, 1.0]));
+
+        let cpu_part = [t(0.0), t(200.0)];
+        let gpu_part = [t(800.0), t(200.0)];
+        let part = compose_pipeline(&cpu_part, &gpu_part, &Ratios::new(vec![0.0, 0.5]));
+        assert!(part.cpu_delay <= full.cpu_delay);
+    }
+
+    #[test]
+    fn empty_series_is_zero() {
+        let timing = compose_pipeline(&[], &[], &Ratios::new(vec![]));
+        assert_eq!(timing.elapsed, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = compose_pipeline(&[t(1.0)], &[t(1.0), t(2.0)], &Ratios::uniform(0.5, 2));
+    }
+}

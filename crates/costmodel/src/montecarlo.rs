@@ -1,0 +1,111 @@
+//! Monte-Carlo evaluation of ratio choices (Figure 9).
+//!
+//! The paper draws one thousand random ratio settings for PL, measures each,
+//! and shows the cumulative distribution of their elapsed times together
+//! with the time achieved by the cost-model-chosen ratios — which lands very
+//! close to the best sampled setting.  This module reproduces the sampling
+//! and CDF construction over the cost model (and the experiment binary also
+//! measures a sampled subset on the simulator).
+
+use crate::model::SeriesCostModel;
+use apu_sim::SimTime;
+use hj_core::Ratios;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws `runs` random per-step ratio settings for the series and returns
+/// the model-predicted elapsed time of each, together with the sampled
+/// ratio vectors.
+pub fn monte_carlo_series(
+    model: &SeriesCostModel,
+    items: usize,
+    runs: usize,
+    seed: u64,
+) -> Vec<(Ratios, SimTime)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = model.num_steps();
+    (0..runs)
+        .map(|_| {
+            let ratios = Ratios::new((0..n).map(|_| rng.random_range(0.0..=1.0)).collect());
+            let t = model.estimate(items, &ratios);
+            (ratios, t)
+        })
+        .collect()
+}
+
+/// Builds CDF points `(elapsed seconds, cumulative fraction)` from a set of
+/// sampled times, using `bins` equally spaced thresholds between the fastest
+/// and slowest sample.
+pub fn cdf_points(times: &[SimTime], bins: usize) -> Vec<(f64, f64)> {
+    if times.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    let mut secs: Vec<f64> = times.iter().map(|t| t.as_secs()).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = secs[0];
+    let hi = *secs.last().unwrap();
+    let width = ((hi - lo) / bins as f64).max(f64::EPSILON);
+    (0..=bins)
+        .map(|i| {
+            let threshold = lo + width * i as f64;
+            let count = secs.iter().filter(|&&s| s <= threshold + 1e-15).count();
+            (threshold, count as f64 / secs.len() as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SeriesUnitCosts;
+    use hj_core::StepId;
+
+    fn model() -> SeriesCostModel {
+        SeriesCostModel::new(SeriesUnitCosts::new(
+            StepId::BUILD.to_vec(),
+            vec![22.0, 5.0, 10.0, 6.0],
+            vec![1.5, 4.0, 9.0, 5.0],
+        ))
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = model();
+        let a = monte_carlo_series(&m, 10_000, 50, 7);
+        let b = monte_carlo_series(&m, 10_000, 50, 7);
+        let c = monte_carlo_series(&m, 10_000, 50, 8);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.1 == y.1));
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.1 != y.1));
+    }
+
+    #[test]
+    fn model_chosen_ratios_beat_most_random_settings() {
+        // The claim of Figure 9: the cost-model choice sits at the far left
+        // of the Monte-Carlo CDF.
+        let m = model();
+        let n = 1_000_000;
+        let samples = monte_carlo_series(&m, n, 1000, 42);
+        let (_, chosen) = crate::optimizer::optimize_pl_ratios(&m, n, 0.02);
+        let better = samples.iter().filter(|(_, t)| *t < chosen).count();
+        assert!(
+            better <= 10,
+            "only a handful of 1000 random settings may beat the model, got {better}"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let m = model();
+        let samples = monte_carlo_series(&m, 100_000, 200, 1);
+        let times: Vec<SimTime> = samples.iter().map(|(_, t)| *t).collect();
+        let cdf = cdf_points(&times, 20);
+        assert_eq!(cdf.len(), 21);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(cdf_points(&[], 10).is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Choosing workload ratios with the cost model.
+//!
+//! The paper enumerates all ratio combinations at a step of δ = 0.02 and
+//! keeps the best prediction (Section 3.2).  For a 4-step series that grid
+//! has 51⁴ ≈ 6.8 M points, so this module uses the same idea with a cheap
+//! refinement: a coarse full grid followed by per-step coordinate descent at
+//! the fine δ, which reaches the same optima in a fraction of the
+//! evaluations.
+
+use crate::model::{JoinCostModel, SeriesCostModel};
+use apu_sim::SimTime;
+use hj_core::{Algorithm, RatioPlan, Ratios, Scheme};
+
+/// The paper's ratio granularity δ.
+pub const PAPER_DELTA: f64 = 0.02;
+
+/// Chooses the best single (data-dividing) ratio for a series by scanning
+/// `r = 0, δ, 2δ, …, 1`.
+pub fn optimize_dd_ratio(model: &SeriesCostModel, items: usize, delta: f64) -> (f64, SimTime) {
+    let delta = delta.clamp(1e-3, 0.5);
+    let mut best = (0.0f64, SimTime::from_secs(f64::MAX / 1e9));
+    let mut r = 0.0f64;
+    while r <= 1.0 + 1e-9 {
+        let t = model.estimate(items, &Ratios::uniform(r.min(1.0), model.num_steps()));
+        if t < best.1 {
+            best = (r.min(1.0), t);
+        }
+        r += delta;
+    }
+    best
+}
+
+/// Chooses the best off-loading placement (each step entirely on one device)
+/// by enumerating all `2^n` assignments.
+pub fn optimize_offload(model: &SeriesCostModel, items: usize) -> (Vec<bool>, SimTime) {
+    let n = model.num_steps();
+    let mut best: (Vec<bool>, SimTime) = (vec![false; n], SimTime::from_secs(f64::MAX / 1e9));
+    for mask in 0u32..(1 << n) {
+        let on_cpu: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        let t = model.estimate(items, &Ratios::offload(&on_cpu));
+        if t < best.1 {
+            best = (on_cpu, t);
+        }
+    }
+    best
+}
+
+/// Chooses per-step ratios for pipelined co-processing.
+///
+/// A full grid at a coarse δ seeds per-step coordinate descent at the fine
+/// `delta` (default [`PAPER_DELTA`]); the result is the model-optimal ratio
+/// vector and its predicted time.
+pub fn optimize_pl_ratios(model: &SeriesCostModel, items: usize, delta: f64) -> (Ratios, SimTime) {
+    let n = model.num_steps();
+    let delta = delta.clamp(1e-3, 0.5);
+    let coarse = 0.1f64.max(delta);
+
+    // Coarse full grid.
+    let levels: Vec<f64> = steps_between(0.0, 1.0, coarse);
+    let mut best_vec = vec![0.0; n];
+    let mut best_time = SimTime::from_secs(f64::MAX / 1e9);
+    let mut current = vec![0usize; n];
+    loop {
+        let ratios = Ratios::new(current.iter().map(|&i| levels[i]).collect());
+        let t = model.estimate(items, &ratios);
+        if t < best_time {
+            best_time = t;
+            best_vec = ratios.as_slice().to_vec();
+        }
+        // Odometer increment over the grid.
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                // Grid exhausted: refine and return.
+                let (refined, time) = coordinate_descent(model, items, best_vec, delta);
+                return (Ratios::new(refined), time);
+            }
+            current[pos] += 1;
+            if current[pos] < levels.len() {
+                break;
+            }
+            current[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Per-step refinement at the fine δ around a seed vector.
+fn coordinate_descent(
+    model: &SeriesCostModel,
+    items: usize,
+    mut seed: Vec<f64>,
+    delta: f64,
+) -> (Vec<f64>, SimTime) {
+    let n = seed.len();
+    let levels: Vec<f64> = steps_between(0.0, 1.0, delta);
+    let mut best_time = model.estimate(items, &Ratios::new(seed.clone()));
+    for _round in 0..4 {
+        let mut improved = false;
+        for step in 0..n {
+            let mut local_best = (seed[step], best_time);
+            for &candidate in &levels {
+                let mut trial = seed.clone();
+                trial[step] = candidate;
+                let t = model.estimate(items, &Ratios::new(trial));
+                if t < local_best.1 {
+                    local_best = (candidate, t);
+                }
+            }
+            if local_best.1 < best_time {
+                seed[step] = local_best.0;
+                best_time = local_best.1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (seed, best_time)
+}
+
+fn steps_between(lo: f64, hi: f64, delta: f64) -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x < hi + 1e-9 {
+        v.push(x.min(hi));
+        x += delta;
+    }
+    if (v.last().copied().unwrap_or(lo) - hi).abs() > 1e-9 {
+        v.push(hi);
+    }
+    v
+}
+
+/// A scheme tuned by the cost model, together with its predicted times.
+#[derive(Debug, Clone)]
+pub struct TunedScheme {
+    /// The tuned pipelined scheme (per-step ratios for all three series).
+    pub pipelined: Scheme,
+    /// The tuned data-dividing scheme (one ratio per phase).
+    pub data_dividing: Scheme,
+    /// The tuned off-loading scheme.
+    pub offload: Scheme,
+    /// Predicted total time of the tuned PL scheme.
+    pub predicted_pl: SimTime,
+    /// Predicted total time of the tuned DD scheme.
+    pub predicted_dd: SimTime,
+    /// Predicted total time of the tuned OL scheme.
+    pub predicted_ol: SimTime,
+}
+
+/// Tunes PL, DD and OL ratio choices for a join of `build_tuples` ⨝
+/// `probe_tuples` with the given calibrated model.
+///
+/// `algorithm` only determines whether partition passes are included in the
+/// predicted totals.
+pub fn tune_scheme(
+    model: &JoinCostModel,
+    build_tuples: usize,
+    probe_tuples: usize,
+    algorithm: Algorithm,
+    delta: f64,
+) -> TunedScheme {
+    let passes = match algorithm {
+        Algorithm::Simple => 0,
+        Algorithm::Partitioned { passes, .. } => passes.max(1),
+    };
+
+    let (part_pl, _) = if passes > 0 {
+        optimize_pl_ratios(&model.partition, build_tuples + probe_tuples, delta)
+    } else {
+        (Ratios::gpu_only(3), SimTime::ZERO)
+    };
+    let (build_pl, _) = optimize_pl_ratios(&model.build, build_tuples, delta);
+    let (probe_pl, _) = optimize_pl_ratios(&model.probe, probe_tuples, delta);
+
+    let (part_dd, _) = if passes > 0 {
+        optimize_dd_ratio(&model.partition, build_tuples + probe_tuples, delta)
+    } else {
+        (0.0, SimTime::ZERO)
+    };
+    let (build_dd, _) = optimize_dd_ratio(&model.build, build_tuples, delta);
+    let (probe_dd, _) = optimize_dd_ratio(&model.probe, probe_tuples, delta);
+
+    let (part_ol, _) = optimize_offload(&model.partition, build_tuples + probe_tuples);
+    let (build_ol, _) = optimize_offload(&model.build, build_tuples);
+    let (probe_ol, _) = optimize_offload(&model.probe, probe_tuples);
+
+    let pipelined = Scheme::Pipelined {
+        partition: to_array3(part_pl.as_slice()),
+        build: to_array4(build_pl.as_slice()),
+        probe: to_array4(probe_pl.as_slice()),
+    };
+    let data_dividing = Scheme::DataDividing {
+        partition_ratio: part_dd,
+        build_ratio: build_dd,
+        probe_ratio: probe_dd,
+    };
+    let offload = Scheme::Offload {
+        partition_on_cpu: to_barray3(&part_ol),
+        build_on_cpu: to_barray4(&build_ol),
+        probe_on_cpu: to_barray4(&probe_ol),
+    };
+
+    let predict = |scheme: &Scheme| {
+        let plan = RatioPlan::from_scheme(scheme).expect("ratio-based scheme");
+        model.estimate_total(build_tuples, probe_tuples, passes, &plan)
+    };
+    let predicted_pl = predict(&pipelined);
+    let predicted_dd = predict(&data_dividing);
+    let predicted_ol = predict(&offload);
+
+    TunedScheme {
+        pipelined,
+        data_dividing,
+        offload,
+        predicted_pl,
+        predicted_dd,
+        predicted_ol,
+    }
+}
+
+fn to_array3(v: &[f64]) -> [f64; 3] {
+    [v[0], v[1], v[2]]
+}
+
+fn to_array4(v: &[f64]) -> [f64; 4] {
+    [v[0], v[1], v[2], v[3]]
+}
+
+fn to_barray3(v: &[bool]) -> [bool; 3] {
+    [v[0], v[1], v[2]]
+}
+
+fn to_barray4(v: &[bool]) -> [bool; 4] {
+    [v[0], v[1], v[2], v[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SeriesUnitCosts;
+    use hj_core::StepId;
+
+    fn figure4_build_model() -> SeriesCostModel {
+        SeriesCostModel::new(SeriesUnitCosts::new(
+            StepId::BUILD.to_vec(),
+            vec![22.0, 5.0, 10.0, 6.0],
+            vec![1.5, 4.0, 9.0, 5.0],
+        ))
+    }
+
+    #[test]
+    fn dd_ratio_lands_between_the_extremes() {
+        let m = figure4_build_model();
+        let (r, t) = optimize_dd_ratio(&m, 1_000_000, PAPER_DELTA);
+        assert!(r > 0.0 && r < 0.6, "DD ratio {r}");
+        assert!(t <= m.estimate_single_device(1_000_000, true));
+        assert!(t <= m.estimate_single_device(1_000_000, false));
+    }
+
+    #[test]
+    fn offload_puts_hash_step_on_gpu() {
+        let m = figure4_build_model();
+        let (placement, _) = optimize_offload(&m, 1_000_000);
+        assert!(!placement[0], "b1 must be off-loaded to the GPU");
+    }
+
+    #[test]
+    fn pl_beats_dd_and_ol_in_prediction() {
+        let m = figure4_build_model();
+        let n = 1_000_000;
+        let (_, t_dd) = optimize_dd_ratio(&m, n, PAPER_DELTA);
+        let (_, t_ol) = optimize_offload(&m, n);
+        let (ratios, t_pl) = optimize_pl_ratios(&m, n, PAPER_DELTA);
+        assert!(t_pl <= t_dd, "PL {} vs DD {}", t_pl, t_dd);
+        assert!(t_pl <= t_ol, "PL {} vs OL {}", t_pl, t_ol);
+        // The hash step should be (almost) entirely on the GPU.
+        assert!(ratios.get(0) <= 0.1, "b1 ratio {}", ratios.get(0));
+    }
+
+    #[test]
+    fn pl_grid_is_near_exhaustive_optimum_on_small_grid() {
+        // With a coarse delta we can verify the optimiser against brute force.
+        let m = figure4_build_model();
+        let n = 100_000;
+        let delta = 0.25;
+        let levels = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let mut brute = SimTime::from_secs(1e18);
+        for a in levels {
+            for b in levels {
+                for c in levels {
+                    for d in levels {
+                        let t = m.estimate(n, &Ratios::new(vec![a, b, c, d]));
+                        brute = brute.min(t);
+                    }
+                }
+            }
+        }
+        let (_, ours) = optimize_pl_ratios(&m, n, delta);
+        assert!(ours.as_ns() <= brute.as_ns() * 1.001);
+    }
+
+    #[test]
+    fn tune_scheme_produces_consistent_predictions() {
+        let costs = crate::params::JoinUnitCosts {
+            partition: SeriesUnitCosts::new(StepId::PARTITION.to_vec(), vec![20.0, 4.0, 8.0], vec![1.5, 3.0, 7.0]),
+            build: SeriesUnitCosts::new(StepId::BUILD.to_vec(), vec![22.0, 5.0, 10.0, 6.0], vec![1.5, 4.0, 9.0, 5.0]),
+            probe: SeriesUnitCosts::new(StepId::PROBE.to_vec(), vec![23.0, 5.0, 9.0, 6.0], vec![1.4, 4.0, 8.5, 5.0]),
+        };
+        let model = JoinCostModel::new(costs);
+        let tuned = tune_scheme(&model, 500_000, 1_000_000, Algorithm::partitioned_auto(), 0.05);
+        assert!(tuned.predicted_pl <= tuned.predicted_dd);
+        assert!(tuned.predicted_pl <= tuned.predicted_ol);
+        assert!(matches!(tuned.pipelined, Scheme::Pipelined { .. }));
+        assert!(matches!(tuned.data_dividing, Scheme::DataDividing { .. }));
+        assert!(matches!(tuned.offload, Scheme::Offload { .. }));
+    }
+
+    #[test]
+    fn steps_between_includes_endpoints() {
+        let v = steps_between(0.0, 1.0, 0.25);
+        assert_eq!(v.first().copied(), Some(0.0));
+        assert_eq!(v.last().copied(), Some(1.0));
+        assert_eq!(v.len(), 5);
+    }
+}

@@ -1,0 +1,105 @@
+//! Calibrated per-step unit costs (the model parameters of Table 2).
+
+use hj_core::StepId;
+
+/// Per-step, per-device unit costs (nanoseconds per input tuple) of one step
+/// series, excluding latch/lock contention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesUnitCosts {
+    /// The steps of the series, in order.
+    pub steps: Vec<StepId>,
+    /// Unit cost of each step on the CPU, ns per tuple.
+    pub cpu_ns: Vec<f64>,
+    /// Unit cost of each step on the GPU, ns per tuple.
+    pub gpu_ns: Vec<f64>,
+}
+
+impl SeriesUnitCosts {
+    /// Creates a series cost table.
+    ///
+    /// # Panics
+    /// Panics if the vectors have different lengths.
+    pub fn new(steps: Vec<StepId>, cpu_ns: Vec<f64>, gpu_ns: Vec<f64>) -> Self {
+        assert_eq!(steps.len(), cpu_ns.len());
+        assert_eq!(steps.len(), gpu_ns.len());
+        SeriesUnitCosts { steps, cpu_ns, gpu_ns }
+    }
+
+    /// Number of steps in the series.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the series has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The GPU speedup of step `i` (CPU unit cost / GPU unit cost).
+    pub fn gpu_speedup(&self, i: usize) -> f64 {
+        if self.gpu_ns[i] <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cpu_ns[i] / self.gpu_ns[i]
+        }
+    }
+}
+
+/// Unit costs for all three step series of a hash join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinUnitCosts {
+    /// One partition pass (`n1..n3`); empty for SHJ.
+    pub partition: SeriesUnitCosts,
+    /// The build phase (`b1..b4`).
+    pub build: SeriesUnitCosts,
+    /// The probe phase (`p1..p4`).
+    pub probe: SeriesUnitCosts,
+}
+
+impl JoinUnitCosts {
+    /// Renders the unit-cost table in the layout of Figure 4 (one row per
+    /// step: CPU ns/tuple, GPU ns/tuple).
+    pub fn figure4_rows(&self) -> Vec<(StepId, f64, f64)> {
+        let mut rows = Vec::new();
+        for series in [&self.partition, &self.build, &self.probe] {
+            for i in 0..series.len() {
+                rows.push((series.steps[i], series.cpu_ns[i], series.gpu_ns[i]));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accessors() {
+        let s = SeriesUnitCosts::new(
+            vec![StepId::B1, StepId::B2],
+            vec![20.0, 5.0],
+            vec![1.5, 4.0],
+        );
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!((s.gpu_speedup(0) - 20.0 / 1.5).abs() < 1e-9);
+        assert!(s.gpu_speedup(1) < 2.0);
+    }
+
+    #[test]
+    fn figure4_rows_cover_all_steps() {
+        let costs = JoinUnitCosts {
+            partition: SeriesUnitCosts::new(StepId::PARTITION.to_vec(), vec![1.0; 3], vec![1.0; 3]),
+            build: SeriesUnitCosts::new(StepId::BUILD.to_vec(), vec![1.0; 4], vec![1.0; 4]),
+            probe: SeriesUnitCosts::new(StepId::PROBE.to_vec(), vec![1.0; 4], vec![1.0; 4]),
+        };
+        assert_eq!(costs.figure4_rows().len(), 11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = SeriesUnitCosts::new(vec![StepId::B1], vec![1.0, 2.0], vec![1.0]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Deterministic generators for the paper's synthetic workloads.
+//!
+//! Section 5.1 of the paper: both relations are `<rid, key>` pairs of 4-byte
+//! integers; the default is 16 M tuples per relation with uniform keys; the
+//! skewed datasets duplicate `s` % of the tuples' key values (low-skew
+//! `s = 10`, high-skew `s = 25`); and join selectivity is varied in
+//! Figure 15 (12.5 %, 50 %, 100 %).
+
+use crate::relation::Relation;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Key-value distribution of a generated relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every build key value is distinct (up to the random draws of the
+    /// probe side); the paper's default.
+    Uniform,
+    /// A fraction of the tuples carries a key value duplicated from another
+    /// tuple of the same relation ("s % of tuples with one duplicate key
+    /// value").
+    Skewed {
+        /// The duplicated fraction `s` in `[0, 1]`.
+        duplicate_fraction: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// The paper's low-skew dataset: `s = 10 %`.
+    pub fn low_skew() -> Self {
+        KeyDistribution::Skewed {
+            duplicate_fraction: 0.10,
+        }
+    }
+
+    /// The paper's high-skew dataset: `s = 25 %`.
+    pub fn high_skew() -> Self {
+        KeyDistribution::Skewed {
+            duplicate_fraction: 0.25,
+        }
+    }
+
+    /// The duplicated fraction (0 for uniform).
+    pub fn duplicate_fraction(&self) -> f64 {
+        match self {
+            KeyDistribution::Uniform => 0.0,
+            KeyDistribution::Skewed { duplicate_fraction } => *duplicate_fraction,
+        }
+    }
+
+    /// A short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeyDistribution::Uniform => "uniform",
+            KeyDistribution::Skewed { duplicate_fraction } => {
+                if *duplicate_fraction <= 0.15 {
+                    "low-skew"
+                } else {
+                    "high-skew"
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of one generated build/probe relation pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataGenConfig {
+    /// Number of tuples in the build relation `R` (the smaller relation).
+    pub build_tuples: usize,
+    /// Number of tuples in the probe relation `S`.
+    pub probe_tuples: usize,
+    /// Key distribution applied to both relations.
+    pub distribution: KeyDistribution,
+    /// Fraction of probe tuples whose key matches some build key
+    /// (1.0 = every probe tuple matches, the paper's default).
+    pub selectivity: f64,
+    /// RNG seed; the same configuration always generates the same data.
+    pub seed: u64,
+}
+
+impl Default for DataGenConfig {
+    /// The paper's default workload: 16 M ⨝ 16 M uniform tuples, selectivity
+    /// 100 %.
+    fn default() -> Self {
+        DataGenConfig {
+            build_tuples: 16 * 1024 * 1024,
+            probe_tuples: 16 * 1024 * 1024,
+            distribution: KeyDistribution::Uniform,
+            selectivity: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl DataGenConfig {
+    /// A small configuration convenient for tests and examples.
+    pub fn small(build_tuples: usize, probe_tuples: usize) -> Self {
+        DataGenConfig {
+            build_tuples,
+            probe_tuples,
+            distribution: KeyDistribution::Uniform,
+            selectivity: 1.0,
+            seed: 42,
+        }
+    }
+
+    /// Sets the key distribution.
+    pub fn with_distribution(mut self, distribution: KeyDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Sets the join selectivity.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = selectivity.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Offset added to keys that must *not* match any build key (used to dial in
+/// selectivity below 100 %).
+const NON_MATCHING_OFFSET: u32 = 1 << 30;
+
+/// Generates a `(build, probe)` relation pair according to `cfg`.
+///
+/// Properties guaranteed by construction (and checked by the tests):
+///
+/// * build keys lie in `1..=build_tuples`, so every build key can be matched;
+/// * a fraction `selectivity` of probe tuples draws its key uniformly from
+///   the build keys, the rest draw from a disjoint range;
+/// * under a skewed distribution, a fraction `s` of each relation's tuples
+///   duplicates the key of another tuple of the same relation.
+pub fn generate_pair(cfg: &DataGenConfig) -> (Relation, Relation) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let build = generate_build(cfg, &mut rng);
+    let probe = generate_probe(cfg, build.keys(), &mut rng);
+    (build, probe)
+}
+
+fn generate_build(cfg: &DataGenConfig, rng: &mut SmallRng) -> Relation {
+    let n = cfg.build_tuples;
+    let dup_fraction = cfg.distribution.duplicate_fraction();
+    let duplicates = ((n as f64) * dup_fraction).round() as usize;
+    let distinct = n - duplicates;
+
+    // Distinct keys 1..=distinct, shuffled so bucket order is not correlated
+    // with tuple order.
+    let mut keys: Vec<u32> = (1..=distinct.max(1) as u32).collect();
+    keys.truncate(distinct);
+    keys.shuffle(rng);
+
+    // Duplicated tuples copy the key of a random already-generated tuple.
+    for _ in 0..duplicates {
+        let pick = if keys.is_empty() {
+            1
+        } else {
+            keys[rng.random_range(0..keys.len())]
+        };
+        keys.push(pick);
+    }
+    keys.shuffle(rng);
+    Relation::from_keys(keys)
+}
+
+fn generate_probe(cfg: &DataGenConfig, build_keys: &[u32], rng: &mut SmallRng) -> Relation {
+    let n = cfg.probe_tuples;
+    let matching = ((n as f64) * cfg.selectivity).round() as usize;
+    let mut keys = Vec::with_capacity(n);
+    for i in 0..n {
+        if i < matching && !build_keys.is_empty() {
+            keys.push(build_keys[rng.random_range(0..build_keys.len())]);
+        } else {
+            // Keys guaranteed not to collide with any build key.
+            keys.push(NON_MATCHING_OFFSET + rng.random_range(0..(1 << 29)) as u32);
+        }
+    }
+    keys.shuffle(rng);
+    Relation::from_keys(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn cfg(n: usize) -> DataGenConfig {
+        DataGenConfig::small(n, n)
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let (r, s) = generate_pair(&DataGenConfig {
+            build_tuples: 1000,
+            probe_tuples: 2000,
+            ..DataGenConfig::small(0, 0)
+        });
+        assert_eq!(r.len(), 1000);
+        assert_eq!(s.len(), 2000);
+    }
+
+    #[test]
+    fn uniform_build_keys_are_distinct() {
+        let (r, _) = generate_pair(&cfg(10_000));
+        let distinct: HashSet<_> = r.keys().iter().collect();
+        assert_eq!(distinct.len(), r.len());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (r1, s1) = generate_pair(&cfg(5000));
+        let (r2, s2) = generate_pair(&cfg(5000));
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        let (r3, _) = generate_pair(&cfg(5000).with_seed(7));
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn skew_produces_expected_duplicate_fraction() {
+        let n = 20_000;
+        let (r, _) = generate_pair(&cfg(n).with_distribution(KeyDistribution::high_skew()));
+        let distinct: HashSet<_> = r.keys().iter().collect();
+        let dup_tuples = n - distinct.len();
+        let frac = dup_tuples as f64 / n as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "expected ~25% duplicated tuples, got {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn low_skew_has_fewer_duplicates_than_high_skew() {
+        let n = 20_000;
+        let count_distinct = |d: KeyDistribution| {
+            let (r, _) = generate_pair(&cfg(n).with_distribution(d));
+            r.keys().iter().collect::<HashSet<_>>().len()
+        };
+        assert!(count_distinct(KeyDistribution::low_skew()) > count_distinct(KeyDistribution::high_skew()));
+    }
+
+    #[test]
+    fn selectivity_controls_matching_fraction() {
+        let n = 10_000;
+        for sel in [0.125, 0.5, 1.0] {
+            let (r, s) = generate_pair(&cfg(n).with_selectivity(sel));
+            let build_keys: HashSet<_> = r.keys().iter().collect();
+            let matching = s.keys().iter().filter(|k| build_keys.contains(k)).count();
+            let frac = matching as f64 / n as f64;
+            assert!(
+                (frac - sel).abs() < 0.02,
+                "selectivity {sel}: got matching fraction {frac:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_selectivity_produces_no_matches() {
+        let (r, s) = generate_pair(&cfg(1000).with_selectivity(0.0));
+        let build_keys: HashSet<_> = r.keys().iter().collect();
+        assert!(s.keys().iter().all(|k| !build_keys.contains(k)));
+    }
+
+    #[test]
+    fn distribution_labels() {
+        assert_eq!(KeyDistribution::Uniform.label(), "uniform");
+        assert_eq!(KeyDistribution::low_skew().label(), "low-skew");
+        assert_eq!(KeyDistribution::high_skew().label(), "high-skew");
+        assert_eq!(KeyDistribution::Uniform.duplicate_fraction(), 0.0);
+    }
+
+    #[test]
+    fn default_config_is_paper_default() {
+        let d = DataGenConfig::default();
+        assert_eq!(d.build_tuples, 16 * 1024 * 1024);
+        assert_eq!(d.probe_tuples, 16 * 1024 * 1024);
+        assert_eq!(d.selectivity, 1.0);
+        assert_eq!(d.distribution, KeyDistribution::Uniform);
+    }
+}

@@ -1,0 +1,93 @@
+//! Summary statistics of generated relations.
+//!
+//! Experiments use these to sanity-check the generators (duplicate fraction,
+//! key range) and to size hash tables and partitions (distinct-key
+//! estimates, working-set bytes).
+
+use crate::relation::{Relation, TUPLE_BYTES};
+use std::collections::HashMap;
+
+/// Summary statistics of one relation's key column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Number of tuples.
+    pub tuples: usize,
+    /// Number of distinct key values.
+    pub distinct_keys: usize,
+    /// Largest number of tuples sharing one key value.
+    pub max_duplicates: usize,
+    /// Fraction of tuples whose key appears more than once.
+    pub duplicate_fraction: f64,
+    /// Smallest key value (0 when empty).
+    pub min_key: u32,
+    /// Largest key value (0 when empty).
+    pub max_key: u32,
+}
+
+impl RelationStats {
+    /// Computes statistics over a relation (O(n) with a hash map).
+    pub fn of(relation: &Relation) -> Self {
+        let mut counts: HashMap<u32, usize> = HashMap::with_capacity(relation.len());
+        for &k in relation.keys() {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        let distinct_keys = counts.len();
+        let max_duplicates = counts.values().copied().max().unwrap_or(0);
+        let duplicated_tuples: usize = counts.values().filter(|&&c| c > 1).sum();
+        let duplicate_fraction = if relation.is_empty() {
+            0.0
+        } else {
+            duplicated_tuples as f64 / relation.len() as f64
+        };
+        RelationStats {
+            tuples: relation.len(),
+            distinct_keys,
+            max_duplicates,
+            duplicate_fraction,
+            min_key: relation.keys().iter().copied().min().unwrap_or(0),
+            max_key: relation.keys().iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// The relation's footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.tuples * TUPLE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_relation() {
+        let s = RelationStats::of(&Relation::new());
+        assert_eq!(s.tuples, 0);
+        assert_eq!(s.distinct_keys, 0);
+        assert_eq!(s.duplicate_fraction, 0.0);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn stats_count_duplicates() {
+        let r = Relation::from_keys(vec![1, 2, 2, 3, 3, 3]);
+        let s = RelationStats::of(&r);
+        assert_eq!(s.tuples, 6);
+        assert_eq!(s.distinct_keys, 3);
+        assert_eq!(s.max_duplicates, 3);
+        // 5 of 6 tuples share a key with another tuple.
+        assert!((s.duplicate_fraction - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.min_key, 1);
+        assert_eq!(s.max_key, 3);
+        assert_eq!(s.bytes(), 48);
+    }
+
+    #[test]
+    fn stats_all_distinct() {
+        let r = Relation::from_keys((1..=100).collect());
+        let s = RelationStats::of(&r);
+        assert_eq!(s.distinct_keys, 100);
+        assert_eq!(s.max_duplicates, 1);
+        assert_eq!(s.duplicate_fraction, 0.0);
+    }
+}

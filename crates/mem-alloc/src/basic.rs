@@ -1,0 +1,105 @@
+//! The basic allocator: one global pointer, one atomic add per request.
+
+use crate::stats::AllocStats;
+use crate::KernelAllocator;
+
+/// The paper's "Basic" software allocator.
+///
+/// A single pointer marks the start of free space in a pre-allocated array;
+/// every allocation advances it with an atomic add, which acts as a latch.
+/// Every request therefore issues one serialising global atomic — the source
+/// of the contention measured in Figures 11 and 12.
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    capacity: usize,
+    offset: usize,
+    stats: AllocStats,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over an arena of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        BumpAllocator {
+            capacity,
+            offset: 0,
+            stats: AllocStats::default(),
+        }
+    }
+}
+
+impl KernelAllocator for BumpAllocator {
+    fn alloc(&mut self, _group: usize, bytes: usize) -> Option<usize> {
+        // One atomic add on the global pointer per request.
+        self.stats.global_atomics += 1;
+        if self.offset + bytes > self.capacity {
+            self.stats.failed += 1;
+            return None;
+        }
+        let at = self.offset;
+        self.offset += bytes;
+        self.stats.allocations += 1;
+        self.stats.requested_bytes += bytes as u64;
+        Some(at)
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn used(&self) -> usize {
+        self.offset
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0;
+        self.stats = AllocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_contiguous_and_disjoint() {
+        let mut a = BumpAllocator::new(100);
+        let x = a.alloc(0, 40).unwrap();
+        let y = a.alloc(1, 40).unwrap();
+        assert_eq!(x, 0);
+        assert_eq!(y, 40);
+        assert_eq!(a.used(), 80);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_counts_failure() {
+        let mut a = BumpAllocator::new(64);
+        assert!(a.alloc(0, 64).is_some());
+        assert!(a.alloc(0, 1).is_none());
+        assert_eq!(a.stats().failed, 1);
+        assert_eq!(a.stats().allocations, 1);
+    }
+
+    #[test]
+    fn every_request_is_a_global_atomic() {
+        let mut a = BumpAllocator::new(1024);
+        for _ in 0..10 {
+            a.alloc(0, 8);
+        }
+        assert_eq!(a.stats().global_atomics, 10);
+        assert_eq!(a.stats().local_atomics, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut a = BumpAllocator::new(64);
+        a.alloc(0, 32);
+        a.reset();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.stats(), AllocStats::default());
+        assert_eq!(a.alloc(0, 64), Some(0));
+    }
+}

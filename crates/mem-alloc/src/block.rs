@@ -1,0 +1,196 @@
+//! The optimised allocator: per-work-group blocks with a local pointer.
+
+use crate::stats::AllocStats;
+use crate::KernelAllocator;
+
+/// One work group's current block.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupBlock {
+    /// Next free offset within the arena.
+    cursor: usize,
+    /// One past the end of the block.
+    end: usize,
+}
+
+/// The paper's optimised ("Ours") software allocator.
+///
+/// Memory is claimed from the global pointer at the granularity of a *block*
+/// (work item 0 of the work group performs that single global atomic), and
+/// the work items of the group then carve their requests out of the block
+/// through a pointer kept in local memory.  Larger blocks mean fewer global
+/// atomics and therefore less latch contention — the trend of Figure 11 —
+/// at the price of per-group slack at the end of each block.
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    capacity: usize,
+    block_size: usize,
+    global_offset: usize,
+    groups: Vec<GroupBlock>,
+    stats: AllocStats,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator over `capacity` bytes, handing out blocks of
+    /// `block_size` bytes to `work_groups` work groups.
+    ///
+    /// # Panics
+    /// Panics if `block_size` is 0 or `work_groups` is 0.
+    pub fn new(capacity: usize, block_size: usize, work_groups: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(work_groups > 0, "need at least one work group");
+        BlockAllocator {
+            capacity,
+            block_size,
+            global_offset: 0,
+            groups: vec![GroupBlock::default(); work_groups],
+            stats: AllocStats::default(),
+        }
+    }
+
+    /// The configured block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn fetch_block(&mut self, bytes_needed: usize) -> Option<GroupBlock> {
+        // Requests larger than the block size fetch a dedicated oversized
+        // block (still a single global atomic).
+        let size = self.block_size.max(bytes_needed);
+        // Work item 0 advances the global pointer once per block.
+        self.stats.global_atomics += 1;
+        if self.global_offset + size > self.capacity {
+            return None;
+        }
+        let block = GroupBlock {
+            cursor: self.global_offset,
+            end: self.global_offset + size,
+        };
+        self.global_offset += size;
+        self.stats.blocks_fetched += 1;
+        Some(block)
+    }
+}
+
+impl KernelAllocator for BlockAllocator {
+    fn alloc(&mut self, group: usize, bytes: usize) -> Option<usize> {
+        let group = group % self.groups.len();
+        // Sub-allocation from the group's block uses the local-memory
+        // pointer: one local atomic per request.
+        self.stats.local_atomics += 1;
+        if self.groups[group].cursor + bytes > self.groups[group].end {
+            match self.fetch_block(bytes) {
+                Some(block) => self.groups[group] = block,
+                None => {
+                    self.stats.failed += 1;
+                    return None;
+                }
+            }
+        }
+        let at = self.groups[group].cursor;
+        self.groups[group].cursor += bytes;
+        self.stats.allocations += 1;
+        self.stats.requested_bytes += bytes as u64;
+        Some(at)
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn used(&self) -> usize {
+        self.global_offset
+    }
+
+    fn reset(&mut self) {
+        self.global_offset = 0;
+        for g in &mut self.groups {
+            *g = GroupBlock::default();
+        }
+        self.stats = AllocStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_within_a_group_are_disjoint() {
+        let mut a = BlockAllocator::new(4096, 256, 2);
+        let mut seen = Vec::new();
+        for i in 0..20 {
+            let off = a.alloc(i % 2, 16).unwrap();
+            seen.push((off, off + 16));
+        }
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping allocations: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn larger_blocks_mean_fewer_global_atomics() {
+        let run = |block: usize| {
+            let mut a = BlockAllocator::new(1 << 20, block, 8);
+            for i in 0..4096 {
+                a.alloc(i % 8, 16).unwrap();
+            }
+            a.stats().global_atomics
+        };
+        let small = run(32);
+        let large = run(4096);
+        assert!(
+            small > 8 * large,
+            "expected far fewer global atomics with big blocks: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn oversized_requests_get_dedicated_blocks() {
+        let mut a = BlockAllocator::new(1 << 16, 64, 2);
+        let off = a.alloc(0, 1000).unwrap();
+        assert_eq!(off, 0);
+        // The next small allocation in the same group comes from a fresh
+        // block because the oversized one is exhausted.
+        let off2 = a.alloc(0, 16).unwrap();
+        assert!(off2 >= 1000);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut a = BlockAllocator::new(128, 64, 1);
+        assert!(a.alloc(0, 64).is_some());
+        assert!(a.alloc(0, 64).is_some());
+        assert!(a.alloc(0, 64).is_none());
+        assert_eq!(a.stats().failed, 1);
+    }
+
+    #[test]
+    fn groups_do_not_share_blocks() {
+        let mut a = BlockAllocator::new(1 << 16, 256, 2);
+        let x = a.alloc(0, 8).unwrap();
+        let y = a.alloc(1, 8).unwrap();
+        // Different groups fetched different blocks, so the offsets are at
+        // least a block apart.
+        assert!(x.abs_diff(y) >= 256);
+    }
+
+    #[test]
+    fn reset_reuses_the_arena() {
+        let mut a = BlockAllocator::new(512, 128, 1);
+        a.alloc(0, 100).unwrap();
+        a.reset();
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.alloc(0, 100), Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_is_rejected() {
+        let _ = BlockAllocator::new(1024, 0, 1);
+    }
+}

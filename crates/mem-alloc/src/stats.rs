@@ -1,0 +1,105 @@
+//! Allocation counters and their conversion into latch-overhead time.
+
+use apu_sim::{DeviceSpec, SimTime};
+
+/// Counters accumulated by a kernel allocator.
+///
+/// The distinction between *global* and *local* atomics is the whole point of
+/// the optimised allocator: global atomics serialise every work item in the
+/// device on one cache line, local atomics only serialise the (at most 256)
+/// work items of one work group and stay in on-chip memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of allocation requests served.
+    pub allocations: u64,
+    /// Bytes requested by callers (excluding block slack).
+    pub requested_bytes: u64,
+    /// Atomic operations on the single global pointer (serialising).
+    pub global_atomics: u64,
+    /// Atomic operations on per-work-group local pointers.
+    pub local_atomics: u64,
+    /// Blocks fetched from the global pointer (block allocator only).
+    pub blocks_fetched: u64,
+    /// Requests that failed because the arena was exhausted.
+    pub failed: u64,
+}
+
+impl AllocStats {
+    /// Component-wise difference `self - earlier`, for measuring the
+    /// allocator activity of a single kernel.
+    pub fn delta_since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocations: self.allocations - earlier.allocations,
+            requested_bytes: self.requested_bytes - earlier.requested_bytes,
+            global_atomics: self.global_atomics - earlier.global_atomics,
+            local_atomics: self.local_atomics - earlier.local_atomics,
+            blocks_fetched: self.blocks_fetched - earlier.blocks_fetched,
+            failed: self.failed - earlier.failed,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &AllocStats) {
+        self.allocations += other.allocations;
+        self.requested_bytes += other.requested_bytes;
+        self.global_atomics += other.global_atomics;
+        self.local_atomics += other.local_atomics;
+        self.blocks_fetched += other.blocks_fetched;
+        self.failed += other.failed;
+    }
+
+    /// The latch overhead these allocations cost on `device`: serialising
+    /// global atomics plus cheap local atomics.
+    ///
+    /// This is the quantity plotted in Figure 11(b); in the paper it is
+    /// estimated "as the difference of the measured time and estimated time
+    /// based on our cost model", here the simulator can report it directly.
+    pub fn lock_overhead(&self, device: &DeviceSpec) -> SimTime {
+        SimTime::from_ns(
+            self.global_atomics as f64 * device.serial_atomic_ns
+                + self.local_atomics as f64 * device.local_atomic_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_merge_are_inverse() {
+        let a = AllocStats {
+            allocations: 10,
+            requested_bytes: 100,
+            global_atomics: 2,
+            local_atomics: 8,
+            blocks_fetched: 2,
+            failed: 0,
+        };
+        let mut b = a;
+        let extra = AllocStats {
+            allocations: 5,
+            requested_bytes: 50,
+            global_atomics: 1,
+            local_atomics: 4,
+            blocks_fetched: 1,
+            failed: 1,
+        };
+        b.merge(&extra);
+        assert_eq!(b.delta_since(&a), extra);
+    }
+
+    #[test]
+    fn lock_overhead_prefers_local_atomics() {
+        let gpu = DeviceSpec::a8_3870k_gpu();
+        let global_heavy = AllocStats {
+            global_atomics: 1000,
+            ..Default::default()
+        };
+        let local_heavy = AllocStats {
+            local_atomics: 1000,
+            ..Default::default()
+        };
+        assert!(global_heavy.lock_overhead(&gpu) > local_heavy.lock_overhead(&gpu) * 10.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Joining data sets larger than the zero-copy buffer: the out-of-core path
+//! of Appendix A (Figure 19), demonstrated by shrinking the buffer so the
+//! spill behaviour appears at example scale.
+//!
+//! ```text
+//! cargo run --release --example out_of_core
+//! ```
+
+use coupled_hashjoin::prelude::*;
+use coupled_hashjoin::hj_core::run_out_of_core_join;
+
+fn main() {
+    // Shrink the zero-copy buffer to 8 MB so a few-million-tuple join
+    // already exceeds it (on the real APU the limit is 512 MB).
+    let mut sys = SystemSpec::coupled_a8_3870k();
+    sys.topology = Topology::Coupled {
+        shared_cache_bytes: 4 * 1024 * 1024,
+        zero_copy_bytes: 8 * 1024 * 1024,
+    };
+    let chunk_tuples = 256 * 1024; // tuples streamed through the buffer at a time
+
+    println!("zero-copy buffer: 8 MB, chunk: {chunk_tuples} tuples");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "|R|=|S|", "matches", "partition", "join", "copy", "total"
+    );
+
+    for tuples in [256 * 1024, 512 * 1024, 1024 * 1024, 2 * 1024 * 1024] {
+        let (build, probe) = datagen::generate_pair(&DataGenConfig::small(tuples, tuples));
+        let cfg = JoinConfig::phj(Scheme::pipelined_paper());
+        let out = run_out_of_core_join(&sys, &build, &probe, &cfg, chunk_tuples);
+        assert_eq!(out.matches, reference_match_count(&build, &probe));
+        let join_time = out.breakdown.get(Phase::Build)
+            + out.breakdown.get(Phase::Probe)
+            + out.breakdown.get(Phase::Merge);
+        println!(
+            "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            tuples,
+            out.matches,
+            format!("{}", out.breakdown.get(Phase::Partition)),
+            format!("{}", join_time),
+            format!("{}", out.breakdown.get(Phase::DataCopy)),
+            format!("{}", out.total_time()),
+        );
+    }
+
+    println!();
+    println!("As in Figure 19: partition and join time grow roughly linearly with the input,");
+    println!("while the copy between system memory and the zero-copy buffer stays a small share.");
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run one fine-grained co-processed hash join on the simulated
+//! APU and inspect its result and time breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use coupled_hashjoin::prelude::*;
+
+fn main() {
+    // The system under test: the AMD A8-3870K APU of the paper — 4 CPU cores
+    // and a 400-core integrated GPU sharing the cache and the zero-copy
+    // buffer.
+    let sys = SystemSpec::coupled_a8_3870k();
+
+    // A scaled-down version of the paper's default workload: |R| = |S| with
+    // uniformly distributed 4-byte keys and 100 % join selectivity.
+    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(512 * 1024, 512 * 1024));
+    println!(
+        "joining |R| = {} with |S| = {} tuples on {}",
+        build.len(),
+        probe.len(),
+        sys.cpu.name
+    );
+
+    // PHJ-PL: the partitioned hash join with pipelined (per-step) CPU/GPU
+    // workload ratios — the configuration the paper finds fastest overall.
+    let cfg = JoinConfig::phj(Scheme::pipelined_paper());
+    let outcome = run_join(&sys, &build, &probe, &cfg);
+
+    // The result is real and verifiable.
+    assert_eq!(outcome.matches, reference_match_count(&build, &probe));
+    println!("matches: {}", outcome.matches);
+
+    // The elapsed time is simulated device time, broken down by phase as in
+    // Figure 3 of the paper.
+    println!("simulated time breakdown:");
+    for (phase, time) in outcome.breakdown.iter() {
+        println!("  {phase:<13} {time}");
+    }
+    println!("  total         {}", outcome.total_time());
+    println!(
+        "latch overhead: {}, intermediate tuples between devices: {}",
+        outcome.counters.lock_overhead, outcome.counters.intermediate_tuples
+    );
+
+    // Compare against running the same join on one device only.
+    for (label, scheme) in [("CPU-only", Scheme::CpuOnly), ("GPU-only", Scheme::GpuOnly)] {
+        let single = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme));
+        let gain = 100.0 * (1.0 - outcome.total_time().as_secs() / single.total_time().as_secs());
+        println!("{label:<9} {}  (PL is {gain:.0}% faster)", single.total_time());
+    }
+}

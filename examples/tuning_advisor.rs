@@ -1,0 +1,71 @@
+//! Using the cost model to tune the co-processing knobs for a workload:
+//! calibrate per-step unit costs, optimise the workload ratios for OL, DD
+//! and PL, then validate the prediction against the simulator.
+//!
+//! ```text
+//! cargo run --release --example tuning_advisor
+//! ```
+
+use coupled_hashjoin::prelude::*;
+use coupled_hashjoin::hj_core::Algorithm as Alg;
+
+fn main() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    // A skewed workload, where tuned ratios differ visibly from naive 50/50.
+    let (build, probe) = datagen::generate_pair(
+        &DataGenConfig::small(512 * 1024, 1024 * 1024)
+            .with_distribution(KeyDistribution::high_skew()),
+    );
+    println!(
+        "tuning for |R|={} |S|={} (high-skew keys) on {}",
+        build.len(),
+        probe.len(),
+        sys.cpu.name
+    );
+
+    // 1. Calibrate per-step unit costs by profiling CPU-only and GPU-only
+    //    executions (the stand-in for the paper's hardware profilers).
+    let costs = calibrate_from_relations(&sys, &build, &probe, Alg::partitioned_auto());
+    println!("\nper-step unit costs (ns/tuple):");
+    for (step, cpu, gpu) in costs.figure4_rows() {
+        println!("  {:<3} CPU {:>7.2}   GPU {:>7.2}   ({:>5.1}x)", step.label(), cpu, gpu, cpu / gpu);
+    }
+
+    // 2. Let the optimiser pick the ratios (δ = 0.02 as in the paper).
+    let model = JoinCostModel::new(costs);
+    let tuned = tune_scheme(&model, build.len(), probe.len(), Alg::partitioned_auto(), 0.02);
+    println!("\nrecommended schemes:");
+    println!("  PL ratios: {:?}", tuned.pipelined);
+    println!("  DD ratios: {:?}", tuned.data_dividing);
+    println!(
+        "  predicted: PL {} | DD {} | OL {}",
+        tuned.predicted_pl, tuned.predicted_dd, tuned.predicted_ol
+    );
+
+    // 3. Validate the recommendation against the simulator.
+    println!("\nmeasured on the simulator:");
+    for (label, scheme, predicted) in [
+        ("PL", tuned.pipelined.clone(), tuned.predicted_pl),
+        ("DD", tuned.data_dividing.clone(), tuned.predicted_dd),
+        ("OL", tuned.offload.clone(), tuned.predicted_ol),
+    ] {
+        let out = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme));
+        let err = 100.0 * (out.total_time().as_secs() - predicted.as_secs()).abs()
+            / out.total_time().as_secs();
+        println!(
+            "  {label}: measured {} vs predicted {} ({err:.0}% off; the model ignores latch contention)",
+            out.total_time(),
+            predicted
+        );
+    }
+
+    // 4. Compare with the untuned single-device baselines.
+    let cpu = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::CpuOnly));
+    let gpu = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::GpuOnly));
+    let pl = run_join(&sys, &build, &probe, &JoinConfig::phj(tuned.pipelined));
+    println!(
+        "\nPL beats CPU-only by {:.0}% and GPU-only by {:.0}%",
+        100.0 * (1.0 - pl.total_time().as_secs() / cpu.total_time().as_secs()),
+        100.0 * (1.0 - pl.total_time().as_secs() / gpu.total_time().as_secs()),
+    );
+}

@@ -1,0 +1,63 @@
+//! # coupled-hashjoin
+//!
+//! A reproduction of *"Revisiting Co-Processing for Hash Joins on the
+//! Coupled CPU-GPU Architecture"* (Jiong He, Mian Lu, Bingsheng He;
+//! VLDB 2013 / arXiv:1307.1955) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`apu_sim`] — the coupled / discrete CPU-GPU architecture simulator
+//!   (devices, shared cache, zero-copy buffer, PCI-e, simulated clock);
+//! * [`datagen`] — synthetic `<rid, key>` relations (uniform, skewed,
+//!   selectivity-controlled);
+//! * [`mem_alloc`] — the software dynamic memory allocators (basic bump
+//!   pointer vs per-work-group blocks);
+//! * [`hj_core`] — the paper's contribution: fine-grained hash-join steps,
+//!   SHJ/PHJ, and the OL/DD/PL/BasicUnit co-processing schemes;
+//! * [`costmodel`] — the abstract cost model, calibration, ratio optimiser
+//!   and Monte-Carlo evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use coupled_hashjoin::prelude::*;
+//!
+//! let sys = SystemSpec::coupled_a8_3870k();
+//! let (build, probe) = datagen::generate_pair(&DataGenConfig::small(8_192, 16_384));
+//! let outcome = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::pipelined_paper()));
+//! assert_eq!(outcome.matches, reference_match_count(&build, &probe));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use apu_sim;
+pub use costmodel;
+pub use datagen;
+pub use hj_core;
+pub use mem_alloc;
+
+/// The most commonly used types and functions, re-exported for convenience.
+pub mod prelude {
+    pub use apu_sim::{DeviceKind, DeviceSpec, Phase, PhaseBreakdown, SimTime, SystemSpec, Topology};
+    pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel};
+    pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
+    pub use hj_core::{
+        reference_match_count, run_join, run_out_of_core_join, Algorithm, HashTableMode,
+        JoinConfig, JoinOutcome, Ratios, Scheme, StepGranularity,
+    };
+    pub use mem_alloc::AllocatorKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_prelude_is_usable() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let (r, s) = datagen::generate_pair(&DataGenConfig::small(512, 1024));
+        let out = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+        assert_eq!(out.matches, reference_match_count(&r, &s));
+    }
+}

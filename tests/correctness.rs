@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: every configuration of the join executor
+//! must produce exactly the reference join result.
+
+use coupled_hashjoin::prelude::*;
+use datagen::DataGenConfig;
+
+fn workload(n_build: usize, n_probe: usize) -> (datagen::Relation, datagen::Relation, u64) {
+    let (r, s) = datagen::generate_pair(&DataGenConfig::small(n_build, n_probe));
+    let expected = reference_match_count(&r, &s);
+    (r, s, expected)
+}
+
+fn all_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::CpuOnly,
+        Scheme::GpuOnly,
+        Scheme::offload_gpu(),
+        Scheme::data_dividing_paper(),
+        Scheme::pipelined_paper(),
+        Scheme::basic_unit_default(),
+    ]
+}
+
+#[test]
+fn every_scheme_algorithm_and_table_mode_agrees_with_the_reference() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s, expected) = workload(4000, 8000);
+    for scheme in all_schemes() {
+        for algorithm in [Algorithm::Simple, Algorithm::partitioned_auto()] {
+            for table in [HashTableMode::Shared, HashTableMode::Separate] {
+                let cfg = JoinConfig {
+                    algorithm,
+                    ..JoinConfig::shj(scheme.clone())
+                }
+                .with_hash_table(table);
+                let out = run_join(&sys, &r, &s, &cfg);
+                assert_eq!(
+                    out.matches,
+                    expected,
+                    "scheme {} algorithm {:?} table {:?}",
+                    scheme.label(),
+                    algorithm,
+                    table
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn discrete_and_coupled_topologies_compute_the_same_result() {
+    let (r, s, expected) = workload(3000, 6000);
+    for sys in [SystemSpec::coupled_a8_3870k(), SystemSpec::discrete_emulated()] {
+        for scheme in [Scheme::data_dividing_paper(), Scheme::offload_gpu(), Scheme::pipelined_paper()] {
+            let out = run_join(&sys, &r, &s, &JoinConfig::phj(scheme));
+            assert_eq!(out.matches, expected);
+        }
+    }
+}
+
+#[test]
+fn allocator_choice_and_grouping_do_not_change_results() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = datagen::generate_pair(
+        &DataGenConfig::small(3000, 6000).with_distribution(KeyDistribution::high_skew()),
+    );
+    let expected = reference_match_count(&r, &s);
+    for allocator in [AllocatorKind::Basic, AllocatorKind::tuned(), AllocatorKind::Block { block_size: 64 }] {
+        for grouping in [false, true] {
+            let cfg = JoinConfig::phj(Scheme::pipelined_paper())
+                .with_allocator(allocator)
+                .with_grouping(grouping);
+            assert_eq!(run_join(&sys, &r, &s, &cfg).matches, expected);
+        }
+    }
+}
+
+#[test]
+fn materialised_pairs_equal_the_reference_pairs_for_every_scheme() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = datagen::generate_pair(&DataGenConfig::small(600, 1200).with_selectivity(0.5));
+    let expected = coupled_hashjoin::hj_core::reference_pairs(&r, &s);
+    for scheme in all_schemes() {
+        let cfg = JoinConfig::phj(scheme.clone()).with_collect_results(true);
+        let mut got = run_join(&sys, &r, &s, &cfg).pairs.expect("pairs requested");
+        got.sort_unstable();
+        assert_eq!(got, expected, "scheme {}", scheme.label());
+    }
+}
+
+#[test]
+fn coarse_granularity_and_out_of_core_agree_with_in_core_results() {
+    let mut sys = SystemSpec::coupled_a8_3870k();
+    let (r, s, expected) = workload(5000, 10_000);
+
+    let coarse = JoinConfig::phj(Scheme::pipelined_paper()).with_granularity(StepGranularity::Coarse);
+    assert_eq!(run_join(&sys, &r, &s, &coarse).matches, expected);
+
+    // Force the out-of-core path with a tiny buffer.
+    sys.topology = Topology::Coupled {
+        shared_cache_bytes: 4 * 1024 * 1024,
+        zero_copy_bytes: 32 * 1024,
+    };
+    let out = run_out_of_core_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()), 2048);
+    assert_eq!(out.matches, expected);
+    assert!(out.breakdown.get(Phase::DataCopy) > SimTime::ZERO);
+}
+
+#[test]
+fn selectivity_and_skew_sweeps_stay_correct() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    for selectivity in [0.0, 0.125, 0.5, 1.0] {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::low_skew(),
+            KeyDistribution::high_skew(),
+        ] {
+            let (r, s) = datagen::generate_pair(
+                &DataGenConfig::small(2000, 4000)
+                    .with_selectivity(selectivity)
+                    .with_distribution(dist),
+            );
+            let expected = reference_match_count(&r, &s);
+            let out = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+            assert_eq!(out.matches, expected);
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_inputs_are_handled() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let empty = datagen::Relation::new();
+    let (r, s) = datagen::generate_pair(&DataGenConfig::small(100, 100));
+
+    let cfg = JoinConfig::shj(Scheme::pipelined_paper());
+    assert_eq!(run_join(&sys, &empty, &s, &cfg).matches, 0);
+    assert_eq!(run_join(&sys, &r, &empty, &cfg).matches, 0);
+
+    // A single-tuple build relation probed by everything.
+    let one = datagen::Relation::from_keys(vec![42]);
+    let many = datagen::Relation::from_keys(vec![42; 1000]);
+    assert_eq!(run_join(&sys, &one, &many, &cfg).matches, 1000);
+}

@@ -1,0 +1,257 @@
+//! Integration tests asserting that the simulator reproduces the *shape* of
+//! the paper's findings (Sections 5.2–5.6).  These run on scaled-down
+//! workloads; the bounds are deliberately loose — we check who wins and by
+//! roughly how much, not absolute numbers.
+
+use coupled_hashjoin::prelude::*;
+use datagen::DataGenConfig;
+
+const N: usize = 200_000;
+
+fn default_workload() -> (datagen::Relation, datagen::Relation) {
+    datagen::generate_pair(&DataGenConfig::small(N, N))
+}
+
+#[test]
+fn fine_grained_pl_beats_cpu_gpu_and_dd() {
+    // Headline claim: PL improves on CPU-only, GPU-only and conventional
+    // co-processing (Section 5.5: up to 53 %, 35 % and 28 %).
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let time = |scheme: Scheme| run_join(&sys, &r, &s, &JoinConfig::phj(scheme)).total_time().as_secs();
+
+    let cpu = time(Scheme::CpuOnly);
+    let gpu = time(Scheme::GpuOnly);
+    let dd = time(Scheme::data_dividing_paper());
+    let pl = time(Scheme::pipelined_paper());
+
+    assert!(pl < cpu, "PL {pl:.3}s must beat CPU-only {cpu:.3}s");
+    assert!(pl < gpu, "PL {pl:.3}s must beat GPU-only {gpu:.3}s");
+    assert!(pl < dd * 1.02, "PL {pl:.3}s must be at least on par with DD {dd:.3}s");
+    let vs_cpu = 1.0 - pl / cpu;
+    assert!(
+        vs_cpu > 0.25,
+        "improvement over CPU-only should be substantial, got {:.0}%",
+        vs_cpu * 100.0
+    );
+}
+
+#[test]
+fn transfer_overhead_on_discrete_is_a_modest_share() {
+    // Section 5.2: the PCI-e transfer overhead is 4-10 % of the total time;
+    // conventional co-processing gains only marginally from the coupled
+    // architecture once the transfer is removed.
+    let (r, s) = default_workload();
+    let cfg = JoinConfig::shj(Scheme::data_dividing_paper());
+    let discrete = run_join(&SystemSpec::discrete_emulated(), &r, &s, &cfg);
+    let transfer_share = discrete.breakdown.get(Phase::DataTransfer).as_secs()
+        / discrete.total_time().as_secs();
+    // At the paper's 16M-tuple scale this share is 4-10%; at the scaled-down
+    // integration size the compute side benefits from cache residency while
+    // transfers scale linearly, so the share is somewhat higher.  The bound
+    // still guarantees transfers are an overhead, not the dominant cost.
+    assert!(
+        transfer_share > 0.01 && transfer_share < 0.35,
+        "transfer share should be a modest fraction, got {:.1}%",
+        transfer_share * 100.0
+    );
+
+    // The merge required by separate tables costs more than the transfer
+    // itself (Section 5.2).
+    let merge_share =
+        discrete.breakdown.get(Phase::Merge).as_secs() / discrete.total_time().as_secs();
+    assert!(
+        merge_share > transfer_share,
+        "merge ({merge_share:.3}) should outweigh transfer ({transfer_share:.3})"
+    );
+}
+
+#[test]
+fn shared_hash_table_beats_separate_tables() {
+    // Figure 10: shared tables win by ~16-26 % in the build phase of DD.
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let cfg = JoinConfig::shj(Scheme::data_dividing_paper());
+    let shared = run_join(&sys, &r, &s, &cfg.clone().with_hash_table(HashTableMode::Shared));
+    let separate = run_join(&sys, &r, &s, &cfg.with_hash_table(HashTableMode::Separate));
+    let shared_build = shared.breakdown.get(Phase::Build);
+    let separate_build = separate.breakdown.get(Phase::Build) + separate.breakdown.get(Phase::Merge);
+    assert!(
+        shared_build.as_secs() < separate_build.as_secs() * 0.95,
+        "shared {shared_build} should clearly beat separate {separate_build}"
+    );
+}
+
+#[test]
+fn optimized_allocator_beats_basic_allocator() {
+    // Figure 12: up to 36-39 % improvement from the block allocator.
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let basic = run_join(
+        &sys,
+        &r,
+        &s,
+        &JoinConfig::phj(Scheme::pipelined_paper()).with_allocator(AllocatorKind::Basic),
+    );
+    let ours = run_join(
+        &sys,
+        &r,
+        &s,
+        &JoinConfig::phj(Scheme::pipelined_paper()).with_allocator(AllocatorKind::tuned()),
+    );
+    let gain = 1.0 - ours.total_time().as_secs() / basic.total_time().as_secs();
+    assert!(
+        gain > 0.10,
+        "the optimised allocator should win clearly, got {:.0}%",
+        gain * 100.0
+    );
+    assert!(ours.counters.lock_overhead < basic.counters.lock_overhead);
+}
+
+#[test]
+fn lock_overhead_shrinks_as_block_size_grows() {
+    // Figure 11(b).
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let overhead = |block: usize| {
+        run_join(
+            &sys,
+            &r,
+            &s,
+            &JoinConfig::phj(Scheme::data_dividing_paper())
+                .with_allocator(AllocatorKind::Block { block_size: block }),
+        )
+        .counters
+        .lock_overhead
+        .as_secs()
+    };
+    let small = overhead(8);
+    let large = overhead(2048);
+    assert!(
+        small > large * 2.0,
+        "8B blocks ({small:.4}s) should have far more lock overhead than 2KB blocks ({large:.4}s)"
+    );
+}
+
+#[test]
+fn coarse_step_definition_has_more_misses_and_is_slower() {
+    // Table 3: PHJ-PL' (coarse) vs PHJ-PL (fine).
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let fine = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+    let coarse = run_join(
+        &sys,
+        &r,
+        &s,
+        &JoinConfig::phj(Scheme::pipelined_paper()).with_granularity(StepGranularity::Coarse),
+    );
+    assert!(coarse.total_time() > fine.total_time());
+    let fine_ratio = fine.counters.analytic_misses / fine.counters.analytic_accesses.max(1.0);
+    let coarse_ratio = coarse.counters.analytic_misses / coarse.counters.analytic_accesses.max(1.0);
+    assert!(
+        coarse_ratio > fine_ratio,
+        "coarse miss ratio {coarse_ratio:.3} must exceed fine {fine_ratio:.3}"
+    );
+}
+
+#[test]
+fn phj_and_shj_are_competitive_with_phj_slightly_ahead() {
+    // Section 5.5: PHJ-PL is usually the fastest (2-6 % ahead of SHJ-PL) on
+    // the 16M-tuple workload, where the SHJ hash table dwarfs the 4 MB cache.
+    // At the scaled-down integration size the partition pass is not yet
+    // amortised, so we assert two things: (a) the variants stay within a
+    // factor of two of each other, and (b) once the hash table clearly
+    // exceeds the cache (emulated by shrinking the cache), PHJ-PL wins.
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let shj = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+    let phj = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+    let ratio = phj.total_time().as_secs() / shj.total_time().as_secs();
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "PHJ-PL / SHJ-PL = {ratio:.2} should stay competitive"
+    );
+
+    let mut small_cache = SystemSpec::coupled_a8_3870k();
+    small_cache.topology = Topology::Coupled {
+        shared_cache_bytes: 256 * 1024,
+        zero_copy_bytes: 512 * 1024 * 1024,
+    };
+    let shj_small = run_join(&small_cache, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+    let phj_small = run_join(&small_cache, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+    assert!(
+        phj_small.total_time() < shj_small.total_time(),
+        "with a cache-dwarfing table PHJ-PL ({}) must beat SHJ-PL ({})",
+        phj_small.total_time(),
+        shj_small.total_time()
+    );
+}
+
+#[test]
+fn skewed_data_is_not_slower_than_uniform_for_pl() {
+    // Section 5.5: high-skew runs are comparable to or faster than uniform,
+    // because locality compensates the latch overhead.
+    let sys = SystemSpec::coupled_a8_3870k();
+    let uniform = datagen::generate_pair(&DataGenConfig::small(N, N));
+    let skewed = datagen::generate_pair(
+        &DataGenConfig::small(N, N).with_distribution(KeyDistribution::high_skew()),
+    );
+    let cfg = JoinConfig::phj(Scheme::pipelined_paper());
+    let t_uniform = run_join(&sys, &uniform.0, &uniform.1, &cfg).total_time().as_secs();
+    let t_skewed = run_join(&sys, &skewed.0, &skewed.1, &cfg).total_time().as_secs();
+    assert!(
+        t_skewed < t_uniform * 1.15,
+        "high-skew ({t_skewed:.3}s) should not be much slower than uniform ({t_uniform:.3}s)"
+    );
+}
+
+#[test]
+fn cost_model_tracks_measured_times_within_tolerance() {
+    // Section 5.3: estimates are close to (and slightly below) measurements,
+    // since the model ignores lock contention.
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let model = coupled_hashjoin::costmodel::calibrate_from_relations(&sys, &r, &s, Algorithm::Simple);
+    let model = JoinCostModel::new(model);
+    for ratio in [0.1, 0.3, 0.5] {
+        let estimated = model
+            .build
+            .estimate(r.len(), &Ratios::uniform(ratio, 4))
+            .as_secs();
+        let cfg = JoinConfig::shj(Scheme::DataDividing {
+            partition_ratio: ratio,
+            build_ratio: ratio,
+            probe_ratio: ratio,
+        });
+        let measured = run_join(&sys, &r, &s, &cfg)
+            .breakdown
+            .get(Phase::Build)
+            .as_secs();
+        let rel_err = (measured - estimated).abs() / measured;
+        assert!(
+            rel_err < 0.25,
+            "ratio {ratio}: estimate {estimated:.3}s vs measured {measured:.3}s ({rel_err:.2} off)"
+        );
+    }
+}
+
+#[test]
+fn gpu_dominates_hash_steps_but_not_pointer_chasing() {
+    // Figure 4's shape, asserted on calibrated unit costs at integration
+    // scale.
+    let sys = SystemSpec::coupled_a8_3870k();
+    let (r, s) = default_workload();
+    let costs =
+        coupled_hashjoin::costmodel::calibrate_from_relations(&sys, &r, &s, Algorithm::partitioned_auto());
+    for (step, cpu, gpu) in costs.figure4_rows() {
+        let speedup = cpu / gpu;
+        if step.is_hash_step() {
+            assert!(speedup > 8.0, "{step}: hash step speedup only {speedup:.1}x");
+        } else {
+            assert!(
+                speedup < 8.0,
+                "{step}: pointer-chasing step should not be GPU-dominated ({speedup:.1}x)"
+            );
+        }
+    }
+}
