@@ -114,7 +114,7 @@ impl CacheSim {
     pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(capacity_bytes > 0 && ways > 0 && line_bytes > 0);
         assert!(
-            capacity_bytes % (ways * line_bytes) == 0,
+            capacity_bytes.is_multiple_of(ways * line_bytes),
             "capacity must be a multiple of ways * line size"
         );
         let num_sets = (capacity_bytes / (ways * line_bytes)) as u64;

@@ -229,12 +229,16 @@ pub struct MemContext {
 impl MemContext {
     /// A context where every random access misses the cache.
     pub fn uncached() -> Self {
-        MemContext { random_hit_rate: 0.0 }
+        MemContext {
+            random_hit_rate: 0.0,
+        }
     }
 
     /// A context where every random access hits the cache.
     pub fn fully_cached() -> Self {
-        MemContext { random_hit_rate: 1.0 }
+        MemContext {
+            random_hit_rate: 1.0,
+        }
     }
 
     /// A context with the given hit rate (clamped to `[0, 1]`).

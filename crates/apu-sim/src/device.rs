@@ -165,7 +165,10 @@ impl DeviceSpec {
     /// Peak aggregate instruction throughput in instructions per nanosecond
     /// (`compute_units × lanes × frequency × IPC`), the denominator of Eq. 3.
     pub fn instr_throughput_per_ns(&self) -> f64 {
-        self.compute_units as f64 * self.lanes_per_cu as f64 * self.frequency_ghz * self.ipc_per_lane
+        self.compute_units as f64
+            * self.lanes_per_cu as f64
+            * self.frequency_ghz
+            * self.ipc_per_lane
     }
 
     /// Total number of hardware lanes.
@@ -299,7 +302,10 @@ mod tests {
             .kernel_elapsed(&pure_compute_cost(1_000_000, 200.0, 64), &mem)
             .as_ns();
         let speedup = t_cpu / t_gpu;
-        assert!(speedup > 10.0, "expected a large GPU speedup, got {speedup:.1}x");
+        assert!(
+            speedup > 10.0,
+            "expected a large GPU speedup, got {speedup:.1}x"
+        );
     }
 
     #[test]

@@ -112,7 +112,8 @@ impl LatchModel {
         let threads = workload.threads as f64;
         let uniform_contention = (threads / uniform_targets).max(1.0);
         let hot_contention = (threads / hot_targets).max(1.0);
-        workload.skew_fraction * hot_contention + (1.0 - workload.skew_fraction) * uniform_contention
+        workload.skew_fraction * hot_contention
+            + (1.0 - workload.skew_fraction) * uniform_contention
     }
 
     /// Total elapsed time of the micro-benchmark on `device`.
@@ -151,7 +152,10 @@ mod tests {
         let mut work = vec![1u32; 64];
         work[0] = 64;
         let f = divergence_factor(&work, 64);
-        assert!(f > 30.0, "one hot lane should dominate the wavefront, got {f}");
+        assert!(
+            f > 30.0,
+            "one hot lane should dominate the wavefront, got {f}"
+        );
     }
 
     #[test]

@@ -133,7 +133,9 @@ impl SystemSpec {
     /// The zero-copy buffer capacity, if the topology has one.
     pub fn zero_copy_bytes(&self) -> Option<usize> {
         match &self.topology {
-            Topology::Coupled { zero_copy_bytes, .. } => Some(*zero_copy_bytes),
+            Topology::Coupled {
+                zero_copy_bytes, ..
+            } => Some(*zero_copy_bytes),
             Topology::Discrete { .. } => None,
         }
     }

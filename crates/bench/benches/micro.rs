@@ -1,59 +1,58 @@
-//! Criterion micro-benchmarks of the core building blocks: hashing,
-//! hash-table build/probe, radix partitioning, the software allocators and
-//! the co-processing schemes end-to-end (wall-clock of the host execution;
-//! the paper-shaped elapsed times come from the `experiments` binary, which
+//! Micro-benchmarks of the core building blocks: hashing, hash-table
+//! build/probe, radix partitioning, the software allocators and the
+//! co-processing schemes end-to-end (wall-clock of the host execution; the
+//! paper-shaped elapsed times come from the `experiments` binary, which
 //! reports simulated device time).
+//!
+//! A minimal self-timed harness (`harness = false`) keeps the workspace
+//! free of external dependencies:
+//!
+//! ```text
+//! cargo bench -p hj-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datagen::DataGenConfig;
 use hj_core::{
-    hash::hash_key, run_build_phase, run_join, run_probe_phase, BuildTarget, ExecContext,
-    HashTable, JoinConfig, Ratios, Scheme,
+    hash::hash_key, run_build_phase, run_partition_pass, run_probe_phase, BuildTarget,
+    EngineConfig, ExecContext, HashTable, JoinEngine, JoinRequest, Ratios, Scheme,
 };
 use mem_alloc::{AllocatorKind, BlockAllocator, BumpAllocator, KernelAllocator};
+use std::time::Instant;
 
 const BENCH_TUPLES: usize = 64 * 1024;
 
-fn bench_hash(c: &mut Criterion) {
-    let keys: Vec<u32> = (0..BENCH_TUPLES as u32).collect();
-    let mut group = c.benchmark_group("hash");
-    group.throughput(Throughput::Elements(keys.len() as u64));
-    group.bench_function("murmur2_64k_keys", |b| {
-        b.iter(|| keys.iter().map(|&k| hash_key(k) as u64).sum::<u64>())
-    });
-    group.finish();
+/// Times `iters` runs of `body` and prints mean wall-clock per iteration and
+/// per element.
+fn bench<F: FnMut() -> u64>(name: &str, elements: u64, iters: u32, mut body: F) {
+    // One warm-up run; the checksum keeps the work observable.
+    let mut checksum = body();
+    let start = Instant::now();
+    for _ in 0..iters {
+        checksum = checksum.wrapping_add(body());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed / iters;
+    let per_elem_ns = elapsed.as_nanos() as f64 / (iters as f64 * elements as f64);
+    println!(
+        "{name:<28} {per_iter:>12.2?}/iter {per_elem_ns:>9.2} ns/elem   (checksum {checksum:x})"
+    );
 }
 
-fn bench_build_probe(c: &mut Criterion) {
+fn bench_hash() {
+    let keys: Vec<u32> = (0..BENCH_TUPLES as u32).collect();
+    bench("hash/murmur2_64k_keys", keys.len() as u64, 50, || {
+        keys.iter().map(|&k| hash_key(k) as u64).sum::<u64>()
+    });
+}
+
+fn bench_build_probe() {
     let sys = apu_sim::SystemSpec::coupled_a8_3870k();
     let (build, probe) = datagen::generate_pair(&DataGenConfig::small(BENCH_TUPLES, BENCH_TUPLES));
-    let mut group = c.benchmark_group("phases");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(BENCH_TUPLES as u64));
-    group.bench_function("build_shared_64k", |b| {
-        b.iter(|| {
-            let mut ctx = ExecContext::new(
-                &sys,
-                AllocatorKind::tuned(),
-                hj_core::arena_bytes_for(build.len(), probe.len()),
-                false,
-            );
-            let mut table = HashTable::for_build_size(build.len());
-            run_build_phase(
-                &mut ctx,
-                &build,
-                BuildTarget::Shared(&mut table),
-                &Ratios::uniform(0.3, 4),
-                false,
-            );
-            table.tuple_count()
-        })
-    });
-    group.bench_function("probe_64k", |b| {
+    bench("phases/build_shared_64k", BENCH_TUPLES as u64, 10, || {
         let mut ctx = ExecContext::new(
             &sys,
             AllocatorKind::tuned(),
-            hj_core::arena_bytes_for(build.len(), probe.len() * 64),
+            hj_core::arena_bytes_for(build.len(), probe.len()),
             false,
         );
         let mut table = HashTable::for_build_size(build.len());
@@ -63,62 +62,100 @@ fn bench_build_probe(c: &mut Criterion) {
             BuildTarget::Shared(&mut table),
             &Ratios::uniform(0.3, 4),
             false,
-        );
-        b.iter(|| {
-            // The result arena is reused across iterations, as a query
-            // executor reusing its output buffer would.
-            ctx.allocator.reset();
-            let (out, _) =
-                run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.4, 4), false, false);
-            out.matches
-        })
+        )
+        .unwrap();
+        table.tuple_count()
     });
-    group.finish();
+
+    // The probe benchmark reuses one context (and its result arena) across
+    // iterations, as a query executor reusing its output buffer would.
+    let mut ctx = ExecContext::new(
+        &sys,
+        AllocatorKind::tuned(),
+        hj_core::arena_bytes_for(build.len(), probe.len() * 2),
+        false,
+    );
+    let mut table = HashTable::for_build_size(build.len());
+    run_build_phase(
+        &mut ctx,
+        &build,
+        BuildTarget::Shared(&mut table),
+        &Ratios::uniform(0.3, 4),
+        false,
+    )
+    .unwrap();
+    bench("phases/probe_64k", BENCH_TUPLES as u64, 10, || {
+        ctx.allocator.reset();
+        let (out, _) = run_probe_phase(
+            &mut ctx,
+            &probe,
+            &table,
+            &Ratios::uniform(0.4, 4),
+            false,
+            false,
+        )
+        .unwrap();
+        out.matches
+    });
 }
 
-fn bench_allocators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocator");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("bump_100k_allocs", |b| {
-        b.iter(|| {
-            let mut a = BumpAllocator::new(16 << 20);
-            for i in 0..100_000usize {
-                a.alloc(i % 64, 12);
-            }
-            a.stats().allocations
-        })
-    });
-    group.bench_function("block_2k_100k_allocs", |b| {
-        b.iter(|| {
-            let mut a = BlockAllocator::new(16 << 20, 2048, 64);
-            for i in 0..100_000usize {
-                a.alloc(i % 64, 12);
-            }
-            a.stats().allocations
-        })
-    });
-    group.finish();
-}
-
-fn bench_schemes(c: &mut Criterion) {
+fn bench_partition() {
     let sys = apu_sim::SystemSpec::coupled_a8_3870k();
+    let (rel, _) = datagen::generate_pair(&DataGenConfig::small(BENCH_TUPLES, 16));
+    bench("partition/radix6_64k", BENCH_TUPLES as u64, 10, || {
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            hj_core::arena_bytes_for(rel.len(), rel.len()),
+            false,
+        );
+        let (parts, _) =
+            run_partition_pass(&mut ctx, &rel, 6, 0, &Ratios::uniform(0.5, 3)).unwrap();
+        parts.len() as u64
+    });
+}
+
+fn bench_allocators() {
+    const REQUESTS: usize = 100_000;
+    bench("alloc/bump_100k_x12B", REQUESTS as u64, 20, || {
+        let mut a = BumpAllocator::new(16 << 20);
+        for i in 0..REQUESTS {
+            a.alloc(i % 64, 12);
+        }
+        a.stats().allocations
+    });
+    bench("alloc/block_2k_100k_x12B", REQUESTS as u64, 20, || {
+        let mut a = BlockAllocator::new(16 << 20, 2048, 64);
+        for i in 0..REQUESTS {
+            a.alloc(i % 64, 12);
+        }
+        a.stats().allocations
+    });
+}
+
+fn bench_schemes_end_to_end() {
     let (build, probe) = datagen::generate_pair(&DataGenConfig::small(BENCH_TUPLES, BENCH_TUPLES));
-    let mut group = c.benchmark_group("schemes_end_to_end_64k");
-    group.sample_size(10);
+    // One long-lived engine per variant — the arena is allocated once and
+    // reused by every iteration, which is exactly the serving-path shape.
     for (name, scheme) in [
-        ("cpu_only", Scheme::CpuOnly),
-        ("dd", Scheme::data_dividing_paper()),
-        ("pl", Scheme::pipelined_paper()),
+        ("engine/shj_cpu_only_64k", Scheme::CpuOnly),
+        ("engine/shj_dd_64k", Scheme::data_dividing_paper()),
+        ("engine/shj_pl_64k", Scheme::pipelined_paper()),
     ] {
-        group.bench_with_input(BenchmarkId::new("shj", name), &scheme, |b, scheme| {
-            b.iter(|| run_join(&sys, &build, &probe, &JoinConfig::shj(scheme.clone())).matches)
-        });
-        group.bench_with_input(BenchmarkId::new("phj", name), &scheme, |b, scheme| {
-            b.iter(|| run_join(&sys, &build, &probe, &JoinConfig::phj(scheme.clone())).matches)
+        let mut engine =
+            JoinEngine::coupled(EngineConfig::for_tuples(build.len(), probe.len())).unwrap();
+        let request = JoinRequest::builder().scheme(scheme).build().unwrap();
+        bench(name, BENCH_TUPLES as u64, 5, || {
+            engine.execute(&request, &build, &probe).unwrap().matches
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_build_probe, bench_allocators, bench_schemes);
-criterion_main!(benches);
+fn main() {
+    println!("# hj-bench micro (host wall-clock, {BENCH_TUPLES} tuples)");
+    bench_hash();
+    bench_build_probe();
+    bench_partition();
+    bench_allocators();
+    bench_schemes_end_to_end();
+}

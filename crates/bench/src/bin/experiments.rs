@@ -15,9 +15,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiments = registry();
 
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
         println!("Usage: experiments [all | <name>...]\n");
-        println!("Available experiments (HJ_SCALE={} by default):", hj_bench::default_scale());
+        println!(
+            "Available experiments (HJ_SCALE={} by default):",
+            hj_bench::default_scale()
+        );
         for e in &experiments {
             println!("  {:<9} {}", e.name, e.description);
         }
@@ -36,7 +43,11 @@ fn main() {
         if run_all || args.iter().any(|a| a == exp.name) {
             let start = std::time::Instant::now();
             (exp.run)(&mut ctx);
-            println!("[{} finished in {:.1}s wall time]", exp.name, start.elapsed().as_secs_f64());
+            println!(
+                "[{} finished in {:.1}s wall time]",
+                exp.name,
+                start.elapsed().as_secs_f64()
+            );
             ran += 1;
         }
     }
@@ -44,5 +55,8 @@ fn main() {
         eprintln!("No matching experiment. Run with --help to list the available names.");
         std::process::exit(1);
     }
-    println!("\n# {ran} experiment(s) complete; CSV output in {}", ctx.out_dir.display());
+    println!(
+        "\n# {ran} experiment(s) complete; CSV output in {}",
+        ctx.out_dir.display()
+    );
 }

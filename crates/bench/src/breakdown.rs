@@ -4,7 +4,7 @@
 use crate::common::{banner, secs, ExpContext, PAPER_TUPLES};
 use apu_sim::{Phase, SystemSpec, Topology};
 use datagen::KeyDistribution;
-use hj_core::{run_join, run_out_of_core_join, JoinConfig, JoinOutcome, Scheme};
+use hj_core::{JoinConfig, JoinOutcome, Scheme};
 
 fn breakdown_row(label: &str, arch: &str, out: &JoinOutcome) -> (String, String) {
     let printable = format!(
@@ -18,7 +18,11 @@ fn breakdown_row(label: &str, arch: &str, out: &JoinOutcome) -> (String, String)
         secs(out.breakdown.get(Phase::Probe)),
         secs(out.total_time()),
     );
-    let csv = format!("{label},{arch},{},{:.6}", out.breakdown.csv_row(), out.total_time().as_secs());
+    let csv = format!(
+        "{label},{arch},{},{:.6}",
+        out.breakdown.csv_row(),
+        out.total_time().as_secs()
+    );
     (printable, csv)
 }
 
@@ -42,13 +46,16 @@ pub fn fig03(ctx: &mut ExpContext) {
     let mut rows = Vec::new();
     for (label, cfg) in &variants {
         for (arch, sys) in [("discrete", ctx.discrete()), ("coupled", ctx.coupled())] {
-            let out = run_join(&sys, &build, &probe, cfg);
+            let out = ctx.run_join(&sys, cfg, &build, &probe);
             let (line, csv) = breakdown_row(label, arch, &out);
             println!("{line}");
             rows.push(csv);
         }
     }
-    let header = format!("variant,architecture,{},total", apu_sim::PhaseBreakdown::csv_header());
+    let header = format!(
+        "variant,architecture,{},total",
+        apu_sim::PhaseBreakdown::csv_header()
+    );
     ctx.write_csv("fig03.csv", &header, &rows);
     println!("(transfer and merge exist only on the discrete architecture, as in the paper)");
 }
@@ -60,13 +67,18 @@ pub fn fig15(ctx: &mut ExpContext) {
     let sys = ctx.coupled();
     let mut rows = Vec::new();
     for selectivity in [0.125, 0.5, 1.0] {
-        let (build, probe) = ctx.relations(PAPER_TUPLES, PAPER_TUPLES, KeyDistribution::Uniform, selectivity);
+        let (build, probe) = ctx.relations(
+            PAPER_TUPLES,
+            PAPER_TUPLES,
+            KeyDistribution::Uniform,
+            selectivity,
+        );
         for (label, scheme) in [
             ("DD", Scheme::data_dividing_paper()),
             ("OL", Scheme::offload_gpu()),
             ("PL", Scheme::pipelined_paper()),
         ] {
-            let out = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme));
+            let out = ctx.run_join(&sys, &JoinConfig::phj(scheme), &build, &probe);
             println!(
                 "selectivity {:>5.1}% {:<3} partition {:>7} build {:>7} probe {:>7} | total {:>7} ({} matches)",
                 selectivity * 100.0,
@@ -116,7 +128,7 @@ pub fn fig19(ctx: &mut ExpContext) {
             ("SHJ-PL", JoinConfig::shj(Scheme::pipelined_paper())),
             ("PHJ-PL", JoinConfig::phj(Scheme::pipelined_paper())),
         ] {
-            let out = run_out_of_core_join(&sys, &build, &probe, &cfg, chunk);
+            let out = ctx.run_out_of_core(&sys, &cfg, &build, &probe, chunk);
             let join_time = out.breakdown.get(Phase::Build)
                 + out.breakdown.get(Phase::Probe)
                 + out.breakdown.get(Phase::Merge);

@@ -3,6 +3,7 @@
 
 use apu_sim::SystemSpec;
 use datagen::{DataGenConfig, KeyDistribution, Relation};
+use hj_core::{arena_bytes_for, EngineConfig, JoinConfig, JoinEngine, JoinOutcome, JoinRequest};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
@@ -33,6 +34,10 @@ pub struct ExpContext {
     /// Directory receiving CSV output.
     pub out_dir: PathBuf,
     data_cache: HashMap<(usize, usize, u32, u32), (Relation, Relation)>,
+    /// Long-lived engines keyed by system, reused (arena and all) across
+    /// every run of an invocation; an engine is only rebuilt when a larger
+    /// workload arrives.
+    engines: Vec<(SystemSpec, JoinEngine)>,
 }
 
 impl ExpContext {
@@ -44,6 +49,7 @@ impl ExpContext {
             scale: scale.max(1),
             out_dir,
             data_cache: HashMap::new(),
+            engines: Vec::new(),
         }
     }
 
@@ -103,6 +109,77 @@ impl ExpContext {
     /// scaled.
     pub fn default_relations(&mut self) -> (Relation, Relation) {
         self.relations(PAPER_TUPLES, PAPER_TUPLES, KeyDistribution::Uniform, 1.0)
+    }
+
+    /// Runs one join on `sys` through the pooled engine for that system.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a failed execution — an
+    /// experiment harness has no meaningful recovery.
+    pub fn run_join(
+        &mut self,
+        sys: &SystemSpec,
+        cfg: &JoinConfig,
+        build: &Relation,
+        probe: &Relation,
+    ) -> JoinOutcome {
+        let request =
+            JoinRequest::from_config(cfg.clone()).expect("valid experiment configuration");
+        self.run_request(sys, &request, build, probe)
+    }
+
+    /// Runs one join on `sys` through the pooled engine, taking the
+    /// out-of-core path with the given chunk size.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or a failed execution.
+    pub fn run_out_of_core(
+        &mut self,
+        sys: &SystemSpec,
+        cfg: &JoinConfig,
+        build: &Relation,
+        probe: &Relation,
+        chunk_tuples: usize,
+    ) -> JoinOutcome {
+        let request = JoinRequest::from_config(cfg.clone())
+            .and_then(|r| r.with_out_of_core(chunk_tuples))
+            .expect("valid experiment configuration");
+        self.run_request(sys, &request, build, probe)
+    }
+
+    fn run_request(
+        &mut self,
+        sys: &SystemSpec,
+        request: &JoinRequest,
+        build: &Relation,
+        probe: &Relation,
+    ) -> JoinOutcome {
+        let required = arena_bytes_for(build.len(), probe.len());
+        let slot = self.engines.iter().position(|(s, _)| s == sys);
+        let engine = match slot {
+            Some(i) if self.engines[i].1.stats().arena_capacity >= required => {
+                &mut self.engines[i].1
+            }
+            _ => {
+                let config = EngineConfig::for_tuples(build.len(), probe.len())
+                    .with_allocator(request.config().allocator);
+                let engine = JoinEngine::for_system(sys.clone(), config)
+                    .expect("experiment engine construction");
+                match slot {
+                    Some(i) => {
+                        self.engines[i].1 = engine;
+                        &mut self.engines[i].1
+                    }
+                    None => {
+                        self.engines.push((sys.clone(), engine));
+                        &mut self.engines.last_mut().expect("just pushed").1
+                    }
+                }
+            }
+        };
+        engine
+            .execute(request, build, probe)
+            .expect("experiment join execution")
     }
 
     /// Writes `rows` as a CSV file named `name` (header first), returning

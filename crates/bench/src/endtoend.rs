@@ -5,7 +5,7 @@
 use crate::common::{banner, ExpContext, PAPER_TUPLES};
 use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel};
 use datagen::KeyDistribution;
-use hj_core::{run_join, Algorithm, JoinConfig, Scheme};
+use hj_core::{Algorithm, JoinConfig, Scheme};
 
 /// The build-relation sizes of Figures 13/14, expressed at paper scale.
 fn build_sizes() -> Vec<usize> {
@@ -51,7 +51,7 @@ fn size_sweep(ctx: &mut ExpContext, distribution: KeyDistribution, csv_name: &st
                 } else {
                     JoinConfig::shj(scheme.clone())
                 };
-                let out = run_join(&sys, &build, &probe, &cfg);
+                let out = ctx.run_join(&sys, &cfg, &build, &probe);
                 cells.push(out.total_time().as_secs());
             }
             println!(
@@ -111,8 +111,19 @@ pub fn fig16(ctx: &mut ExpContext) {
     let (build, probe) = ctx.default_relations();
 
     // Tune PL and DD ratios with the cost model, as the paper does.
-    let shj_model = JoinCostModel::new(calibrate_from_relations(&sys, &build, &probe, Algorithm::Simple));
-    let shj_tuned = tune_scheme(&shj_model, build.len(), probe.len(), Algorithm::Simple, 0.02);
+    let shj_model = JoinCostModel::new(calibrate_from_relations(
+        &sys,
+        &build,
+        &probe,
+        Algorithm::Simple,
+    ));
+    let shj_tuned = tune_scheme(
+        &shj_model,
+        build.len(),
+        probe.len(),
+        Algorithm::Simple,
+        0.02,
+    );
     let phj_model = JoinCostModel::new(calibrate_from_relations(
         &sys,
         &build,
@@ -135,14 +146,22 @@ pub fn fig16(ctx: &mut ExpContext) {
     let mut rows = Vec::new();
     let mut summary: Vec<(String, f64)> = Vec::new();
     for (algo, tuned, make) in [
-        ("SHJ", &shj_tuned, JoinConfig::shj as fn(Scheme) -> JoinConfig),
-        ("PHJ", &phj_tuned, JoinConfig::phj as fn(Scheme) -> JoinConfig),
+        (
+            "SHJ",
+            &shj_tuned,
+            JoinConfig::shj as fn(Scheme) -> JoinConfig,
+        ),
+        (
+            "PHJ",
+            &phj_tuned,
+            JoinConfig::phj as fn(Scheme) -> JoinConfig,
+        ),
     ] {
-        let basic_unit = run_join(&sys, &build, &probe, &make(basic_unit.clone()));
-        let dd = run_join(&sys, &build, &probe, &make(tuned.data_dividing.clone()));
-        let pl = run_join(&sys, &build, &probe, &make(tuned.pipelined.clone()));
-        let cpu = run_join(&sys, &build, &probe, &make(Scheme::CpuOnly));
-        let gpu = run_join(&sys, &build, &probe, &make(Scheme::GpuOnly));
+        let basic_unit = ctx.run_join(&sys, &make(basic_unit.clone()), &build, &probe);
+        let dd = ctx.run_join(&sys, &make(tuned.data_dividing.clone()), &build, &probe);
+        let pl = ctx.run_join(&sys, &make(tuned.pipelined.clone()), &build, &probe);
+        let cpu = ctx.run_join(&sys, &make(Scheme::CpuOnly), &build, &probe);
+        let gpu = ctx.run_join(&sys, &make(Scheme::GpuOnly), &build, &probe);
         println!(
             "{algo}: BasicUnit {:.3}s  DD {:.3}s  PL {:.3}s  (CPU-only {:.3}s, GPU-only {:.3}s)",
             basic_unit.total_time().as_secs(),
@@ -193,7 +212,7 @@ pub fn fig17_18(ctx: &mut ExpContext) {
         ("SHJ", JoinConfig::shj(scheme.clone())),
         ("PHJ", JoinConfig::phj(scheme)),
     ] {
-        let out = run_join(&sys, &build, &probe, &cfg);
+        let out = ctx.run_join(&sys, &cfg, &build, &probe);
         let ratios = out.basic_unit_ratios.expect("BasicUnit reports its ratios");
         if algo == "PHJ" {
             println!(
@@ -215,5 +234,9 @@ pub fn fig17_18(ctx: &mut ExpContext) {
         ));
     }
     println!("(BasicUnit forces the same ratio on every step of a phase — the deficiency Figure 16 quantifies)");
-    ctx.write_csv("fig17_18.csv", "algorithm,partition_cpu,build_cpu,probe_cpu", &rows);
+    ctx.write_csv(
+        "fig17_18.csv",
+        "algorithm,partition_cpu,build_cpu,probe_cpu",
+        &rows,
+    );
 }

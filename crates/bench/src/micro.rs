@@ -42,5 +42,9 @@ pub fn fig20(ctx: &mut ExpContext) {
     }
     println!("(contention dominates small arrays; cache misses dominate beyond 1M integers = 4MB,");
     println!(" where skewed access becomes slightly cheaper than uniform — as in the paper)");
-    ctx.write_csv("fig20.csv", "device,array_len,uniform_s,low_skew_s,high_skew_s", &rows);
+    ctx.write_csv(
+        "fig20.csv",
+        "device,array_len,uniform_s,low_skew_s,high_skew_s",
+        &rows,
+    );
 }

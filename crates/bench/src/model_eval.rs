@@ -2,8 +2,10 @@
 
 use crate::common::{banner, ExpContext};
 use apu_sim::Phase;
-use costmodel::{calibrate_from_relations, cdf_points, monte_carlo_series, optimize_pl_ratios, JoinCostModel};
-use hj_core::{run_join, Algorithm, JoinConfig, Ratios, Scheme};
+use costmodel::{
+    calibrate_from_relations, cdf_points, monte_carlo_series, optimize_pl_ratios, JoinCostModel,
+};
+use hj_core::{Algorithm, JoinConfig, Ratios, Scheme};
 
 /// Figure 7: estimated vs measured elapsed time of SHJ-DD while sweeping the
 /// workload ratio of the build phase and of the probe phase.
@@ -11,10 +13,18 @@ pub fn fig07(ctx: &mut ExpContext) {
     banner("Figure 7: estimated and measured time for SHJ-DD with workload ratios varied");
     let sys = ctx.coupled();
     let (build, probe) = ctx.default_relations();
-    let model = JoinCostModel::new(calibrate_from_relations(&sys, &build, &probe, Algorithm::Simple));
+    let model = JoinCostModel::new(calibrate_from_relations(
+        &sys,
+        &build,
+        &probe,
+        Algorithm::Simple,
+    ));
 
     let mut rows = Vec::new();
-    println!("{:<6} {:>6} {:>14} {:>14} {:>14} {:>14}", "ratio", "%", "est build(s)", "meas build(s)", "est probe(s)", "meas probe(s)");
+    println!(
+        "{:<6} {:>6} {:>14} {:>14} {:>14} {:>14}",
+        "ratio", "%", "est build(s)", "meas build(s)", "est probe(s)", "meas probe(s)"
+    );
     for step in 0..=10 {
         let r = step as f64 / 10.0;
         let est_build = model.build.estimate(build.len(), &Ratios::uniform(r, 4));
@@ -24,7 +34,7 @@ pub fn fig07(ctx: &mut ExpContext) {
             build_ratio: r,
             probe_ratio: r,
         });
-        let out = run_join(&sys, &build, &probe, &cfg);
+        let out = ctx.run_join(&sys, &cfg, &build, &probe);
         let meas_build = out.breakdown.get(Phase::Build);
         let meas_probe = out.breakdown.get(Phase::Probe);
         println!(
@@ -49,7 +59,9 @@ pub fn fig07(ctx: &mut ExpContext) {
         "cpu_ratio,estimated_build_s,measured_build_s,estimated_probe_s,measured_probe_s",
         &rows,
     );
-    println!("(estimates sit slightly below measurements because the model ignores lock contention)");
+    println!(
+        "(estimates sit slightly below measurements because the model ignores lock contention)"
+    );
 }
 
 /// Figure 8: the PL special case — `b1`/`p1` entirely off-loaded to the GPU,
@@ -58,10 +70,18 @@ pub fn fig08(ctx: &mut ExpContext) {
     banner("Figure 8: estimated and measured time for the PL special case (hash steps on GPU)");
     let sys = ctx.coupled();
     let (build, probe) = ctx.default_relations();
-    let model = JoinCostModel::new(calibrate_from_relations(&sys, &build, &probe, Algorithm::Simple));
+    let model = JoinCostModel::new(calibrate_from_relations(
+        &sys,
+        &build,
+        &probe,
+        Algorithm::Simple,
+    ));
 
     let mut rows = Vec::new();
-    println!("{:<6} {:>14} {:>14} {:>14} {:>14}", "r", "est build(s)", "meas build(s)", "est probe(s)", "meas probe(s)");
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14}",
+        "r", "est build(s)", "meas build(s)", "est probe(s)", "meas probe(s)"
+    );
     for step in 0..=10 {
         let r = step as f64 / 10.0;
         let build_ratios = Ratios::new(vec![0.0, r, r, r]);
@@ -73,7 +93,7 @@ pub fn fig08(ctx: &mut ExpContext) {
             build: [0.0, r, r, r],
             probe: [0.0, r, r, r],
         });
-        let out = run_join(&sys, &build, &probe, &cfg);
+        let out = ctx.run_join(&sys, &cfg, &build, &probe);
         println!(
             "{:<6.2} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
             r,
@@ -105,7 +125,12 @@ pub fn fig09(ctx: &mut ExpContext) {
     let sys = ctx.coupled();
     let (build, probe) = ctx.default_relations();
 
-    let shj = JoinCostModel::new(calibrate_from_relations(&sys, &build, &probe, Algorithm::Simple));
+    let shj = JoinCostModel::new(calibrate_from_relations(
+        &sys,
+        &build,
+        &probe,
+        Algorithm::Simple,
+    ));
     let phj = JoinCostModel::new(calibrate_from_relations(
         &sys,
         &build,
@@ -120,7 +145,8 @@ pub fn fig09(ctx: &mut ExpContext) {
     ] {
         let samples = monte_carlo_series(model, items, 1000, 2013);
         let times: Vec<_> = samples.iter().map(|(_, t)| *t).collect();
-        let (chosen_ratios, chosen) = optimize_pl_ratios(model, items, costmodel::optimizer::PAPER_DELTA);
+        let (chosen_ratios, chosen) =
+            optimize_pl_ratios(model, items, costmodel::optimizer::PAPER_DELTA);
         let beaten = times.iter().filter(|t| **t < chosen).count();
         let best = times
             .iter()
@@ -133,7 +159,10 @@ pub fn fig09(ctx: &mut ExpContext) {
             chosen_ratios.as_slice(),
         );
         for (threshold, fraction) in cdf_points(&times, 25) {
-            rows.push(format!("{label},{threshold:.6},{fraction:.4},{:.6}", chosen.as_secs()));
+            rows.push(format!(
+                "{label},{threshold:.6},{fraction:.4},{:.6}",
+                chosen.as_secs()
+            ));
         }
     }
     ctx.write_csv("fig09.csv", "series,elapsed_s,cdf,ours_s", &rows);

@@ -4,7 +4,7 @@
 
 use crate::common::{banner, secs, ExpContext};
 use apu_sim::Phase;
-use hj_core::{run_join, HashTableMode, JoinConfig, Scheme, StepGranularity};
+use hj_core::{HashTableMode, JoinConfig, Scheme, StepGranularity};
 use mem_alloc::AllocatorKind;
 
 /// Figure 10: elapsed time of the build phase of DD with separate and shared
@@ -15,12 +15,18 @@ pub fn fig10(ctx: &mut ExpContext) {
     let (build, probe) = ctx.default_relations();
     let mut rows = Vec::new();
     for (algo_label, cfg) in [
-        ("Simple hash join", JoinConfig::shj(Scheme::data_dividing_paper())),
-        ("Partitioned hash join", JoinConfig::phj(Scheme::data_dividing_paper())),
+        (
+            "Simple hash join",
+            JoinConfig::shj(Scheme::data_dividing_paper()),
+        ),
+        (
+            "Partitioned hash join",
+            JoinConfig::phj(Scheme::data_dividing_paper()),
+        ),
     ] {
         let mut per_mode = Vec::new();
         for mode in [HashTableMode::Separate, HashTableMode::Shared] {
-            let out = run_join(&sys, &build, &probe, &cfg.clone().with_hash_table(mode));
+            let out = ctx.run_join(&sys, &cfg.clone().with_hash_table(mode), &build, &probe);
             // The separate-table bar includes the merge it necessitates.
             let build_time = out.breakdown.get(Phase::Build) + out.breakdown.get(Phase::Merge);
             per_mode.push(build_time);
@@ -48,12 +54,16 @@ pub fn fig11(ctx: &mut ExpContext) {
         ("PHJ-PL", Scheme::pipelined_paper()),
     ];
     let mut rows = Vec::new();
-    println!("{:<10} {:>10} {:>12} {:>14}", "block", "variant", "elapsed(s)", "lock ovh(s)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14}",
+        "block", "variant", "elapsed(s)", "lock ovh(s)"
+    );
     let mut size = 8usize;
     while size <= 32 * 1024 {
         for (label, scheme) in &schemes {
-            let cfg = JoinConfig::phj(scheme.clone()).with_allocator(AllocatorKind::Block { block_size: size });
-            let out = run_join(&sys, &build, &probe, &cfg);
+            let cfg = JoinConfig::phj(scheme.clone())
+                .with_allocator(AllocatorKind::Block { block_size: size });
+            let out = ctx.run_join(&sys, &cfg, &build, &probe);
             println!(
                 "{:<10} {:>10} {:>12.3} {:>14.3}",
                 format!("{size}B"),
@@ -69,7 +79,11 @@ pub fn fig11(ctx: &mut ExpContext) {
         }
         size *= 2;
     }
-    ctx.write_csv("fig11.csv", "block_bytes,variant,elapsed_s,lock_overhead_s", &rows);
+    ctx.write_csv(
+        "fig11.csv",
+        "block_bytes,variant,elapsed_s,lock_overhead_s",
+        &rows,
+    );
     println!("(the paper's sweet spot is 2 KB; beyond that the curves flatten)");
 }
 
@@ -80,30 +94,52 @@ pub fn fig12(ctx: &mut ExpContext) {
     let sys = ctx.coupled();
     let (build, probe) = ctx.default_relations();
     let mut rows = Vec::new();
-    let algos: [(&str, fn(Scheme) -> JoinConfig); 2] =
-        [("SHJ", JoinConfig::shj), ("PHJ", JoinConfig::phj)];
-    for (algo, make) in algos {
-        for (label, scheme) in [
-            ("DD", Scheme::data_dividing_paper()),
-            ("OL", Scheme::offload_gpu()),
-            ("PL", Scheme::pipelined_paper()),
-        ] {
-            let basic = run_join(&sys, &build, &probe, &make(scheme.clone()).with_allocator(AllocatorKind::Basic));
-            let ours = run_join(&sys, &build, &probe, &make(scheme.clone()).with_allocator(AllocatorKind::tuned()));
-            let gain = 100.0 * (1.0 - ours.total_time().as_secs() / basic.total_time().as_secs());
-            println!(
-                "{algo}-{label:<3} Basic {:>8}  Ours {:>8}  (improvement {gain:.0}%)",
-                secs(basic.total_time()),
-                secs(ours.total_time())
+    type MakeConfig = fn(Scheme) -> JoinConfig;
+    let algos: [(&str, MakeConfig); 2] = [("SHJ", JoinConfig::shj), ("PHJ", JoinConfig::phj)];
+    let schemes = [
+        ("DD", Scheme::data_dividing_paper()),
+        ("OL", Scheme::offload_gpu()),
+        ("PL", Scheme::pipelined_paper()),
+    ];
+    // Run all Basic-allocator variants first, then all tuned ones, so the
+    // pooled engine rebuilds its arena once per allocator design instead of
+    // on every alternation.
+    let mut timed = |allocator: AllocatorKind| -> Vec<f64> {
+        let mut times = Vec::new();
+        for (_, make) in algos {
+            for (_, scheme) in &schemes {
+                let out = ctx.run_join(
+                    &sys,
+                    &make(scheme.clone()).with_allocator(allocator),
+                    &build,
+                    &probe,
+                );
+                times.push(out.total_time().as_secs());
+            }
+        }
+        times
+    };
+    let basic_times = timed(AllocatorKind::Basic);
+    let ours_times = timed(AllocatorKind::tuned());
+    for (i, (algo, _)) in algos.iter().enumerate() {
+        for (j, (label, _)) in schemes.iter().enumerate() {
+            let (basic, ours) = (
+                basic_times[i * schemes.len() + j],
+                ours_times[i * schemes.len() + j],
             );
-            rows.push(format!(
-                "{algo},{label},{:.6},{:.6},{gain:.1}",
-                basic.total_time().as_secs(),
-                ours.total_time().as_secs()
-            ));
+            let gain = 100.0 * (1.0 - ours / basic);
+            println!(
+                "{algo}-{label:<3} Basic {:>8.3}  Ours {:>8.3}  (improvement {gain:.0}%)",
+                basic, ours
+            );
+            rows.push(format!("{algo},{label},{basic:.6},{ours:.6},{gain:.1}"));
         }
     }
-    ctx.write_csv("fig12.csv", "algorithm,scheme,basic_s,ours_s,improvement_pct", &rows);
+    ctx.write_csv(
+        "fig12.csv",
+        "algorithm,scheme,basic_s,ours_s,improvement_pct",
+        &rows,
+    );
 }
 
 /// Table 3: fine-grained (PHJ-PL) vs coarse-grained (PHJ-PL') step
@@ -112,12 +148,17 @@ pub fn table3(ctx: &mut ExpContext) {
     banner("Table 3: fine-grained vs coarse-grained step definitions in PL");
     let sys = ctx.coupled();
     let (build, probe) = ctx.default_relations();
-    let fine = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::pipelined_paper()));
-    let coarse = run_join(
+    let fine = ctx.run_join(
         &sys,
+        &JoinConfig::phj(Scheme::pipelined_paper()),
         &build,
         &probe,
+    );
+    let coarse = ctx.run_join(
+        &sys,
         &JoinConfig::phj(Scheme::pipelined_paper()).with_granularity(StepGranularity::Coarse),
+        &build,
+        &probe,
     );
     let mut rows = Vec::new();
     println!(
@@ -140,6 +181,13 @@ pub fn table3(ctx: &mut ExpContext) {
             out.total_time().as_secs()
         ));
     }
-    assert_eq!(fine.matches, coarse.matches, "both variants must agree on the result");
-    ctx.write_csv("table3.csv", "variant,l2_misses_millions,miss_ratio,time_s", &rows);
+    assert_eq!(
+        fine.matches, coarse.matches,
+        "both variants must agree on the result"
+    );
+    ctx.write_csv(
+        "table3.csv",
+        "variant,l2_misses_millions,miss_ratio,time_s",
+        &rows,
+    );
 }

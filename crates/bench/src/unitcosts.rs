@@ -53,14 +53,33 @@ pub fn fig04(ctx: &mut ExpContext) {
     let sys = ctx.coupled();
     let (build, probe) = ctx.default_relations();
     let costs = calibrate_from_relations(&sys, &build, &probe, Algorithm::partitioned_auto());
-    println!("{:<6} {:>12} {:>12} {:>10}", "step", "CPU (ns)", "GPU (ns)", "speedup");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "step", "CPU (ns)", "GPU (ns)", "speedup"
+    );
     let mut rows = Vec::new();
     for (step, cpu, gpu) in costs.figure4_rows() {
         let speedup = if gpu > 0.0 { cpu / gpu } else { f64::NAN };
-        println!("{:<6} {:>12.2} {:>12.2} {:>9.1}x", step.label(), cpu, gpu, speedup);
-        rows.push(format!("{},{:.3},{:.3},{:.2}", step.label(), cpu, gpu, speedup));
+        println!(
+            "{:<6} {:>12.2} {:>12.2} {:>9.1}x",
+            step.label(),
+            cpu,
+            gpu,
+            speedup
+        );
+        rows.push(format!(
+            "{},{:.3},{:.3},{:.2}",
+            step.label(),
+            cpu,
+            gpu,
+            speedup
+        ));
     }
-    ctx.write_csv("fig04.csv", "step,cpu_ns_per_tuple,gpu_ns_per_tuple,gpu_speedup", &rows);
+    ctx.write_csv(
+        "fig04.csv",
+        "step,cpu_ns_per_tuple,gpu_ns_per_tuple,gpu_speedup",
+        &rows,
+    );
 }
 
 fn print_ratio_figure(
@@ -74,8 +93,15 @@ fn print_ratio_figure(
     for (phase, labels, ratios) in series {
         for (i, label) in labels.iter().enumerate() {
             let cpu = ratios.get(i) * 100.0;
-            println!("{phase:<10} {label:<4} CPU {cpu:>5.1}%   GPU {:>5.1}%", 100.0 - cpu);
-            rows.push(format!("{phase},{label},{:.3},{:.3}", ratios.get(i), 1.0 - ratios.get(i)));
+            println!(
+                "{phase:<10} {label:<4} CPU {cpu:>5.1}%   GPU {:>5.1}%",
+                100.0 - cpu
+            );
+            rows.push(format!(
+                "{phase},{label},{:.3},{:.3}",
+                ratios.get(i),
+                1.0 - ratios.get(i)
+            ));
         }
     }
     ctx.write_csv(name, "phase,step,cpu_ratio,gpu_ratio", &rows);
@@ -87,8 +113,10 @@ pub fn fig05(ctx: &mut ExpContext) {
     let (build, probe) = ctx.default_relations();
     let costs = calibrate_from_relations(&sys, &build, &probe, Algorithm::Simple);
     let model = JoinCostModel::new(costs);
-    let (build_r, _) = optimize_pl_ratios(&model.build, build.len(), costmodel::optimizer::PAPER_DELTA);
-    let (probe_r, _) = optimize_pl_ratios(&model.probe, probe.len(), costmodel::optimizer::PAPER_DELTA);
+    let (build_r, _) =
+        optimize_pl_ratios(&model.build, build.len(), costmodel::optimizer::PAPER_DELTA);
+    let (probe_r, _) =
+        optimize_pl_ratios(&model.probe, probe.len(), costmodel::optimizer::PAPER_DELTA);
     print_ratio_figure(
         ctx,
         "fig05.csv",

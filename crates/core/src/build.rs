@@ -2,6 +2,7 @@
 
 use crate::context::ExecContext;
 use crate::divergence::{grouping_order, DEFAULT_GROUPS};
+use crate::error::JoinError;
 use crate::hash::hash_key;
 use crate::hashtable::{HashTable, KEY_NODE_BYTES, RID_NODE_BYTES};
 use crate::phase::{run_step, PhaseExecution};
@@ -34,7 +35,9 @@ impl BuildTarget<'_> {
     fn bucket_array_bytes(&self) -> usize {
         match self {
             BuildTarget::Shared(t) => t.bucket_array_bytes(),
-            BuildTarget::Separate { cpu, gpu } => cpu.bucket_array_bytes() + gpu.bucket_array_bytes(),
+            BuildTarget::Separate { cpu, gpu } => {
+                cpu.bucket_array_bytes() + gpu.bucket_array_bytes()
+            }
         }
     }
 }
@@ -46,17 +49,20 @@ impl BuildTarget<'_> {
 /// must stay on one device for the whole phase, otherwise table ownership
 /// would be ambiguous); the executor enforces this by construction.
 ///
+/// # Errors
+/// Returns [`JoinError::ArenaExhausted`] when the allocator arena runs out
+/// of space (the engine sizes it via [`crate::context::arena_bytes_for`]).
+///
 /// # Panics
-/// Panics if `ratios.len() != 4`, if separate tables are combined with
-/// non-uniform ratios, or if the allocator arena is exhausted (the executor
-/// sizes it via [`crate::context::arena_bytes_for`]).
+/// Panics if `ratios.len() != 4` or if separate tables are combined with
+/// non-uniform ratios — both are internal invariants upheld by the executor.
 pub fn run_build_phase(
     ctx: &mut ExecContext<'_>,
     rel: &Relation,
     mut target: BuildTarget<'_>,
     ratios: &Ratios,
     grouping: bool,
-) -> PhaseExecution {
+) -> Result<PhaseExecution, JoinError> {
     assert_eq!(ratios.len(), 4, "build phase has 4 steps (b1..b4)");
     assert!(
         !target.is_separate() || ratios.is_uniform(),
@@ -72,18 +78,28 @@ pub fn run_build_phase(
     let mut hashes = vec![0u32; n];
     let mut bucket_idx = vec![0u32; n];
     let mut key_node = vec![0u32; n];
+    // Bytes of the first allocation that failed, if any; checked after each
+    // step so exhaustion aborts the phase instead of panicking mid-kernel.
+    let mut oom: Option<usize> = None;
 
     // The device split of the *phase*, used to pick the table in separate
     // mode (constant across steps because ratios are uniform there).
     let phase_cut = ((n as f64) * ratios.get(0)).round() as usize;
 
     // b1: compute hash bucket number.
-    steps.push(run_step(ctx, StepId::B1, n, ratios.get(0), 0.0, |_, i, _, _, rec| {
-        hashes[i] = hash_key(rel.key(i));
-        rec.item(instr::HASH);
-        rec.seq_read(4.0);
-        rec.seq_write(4.0);
-    }));
+    steps.push(run_step(
+        ctx,
+        StepId::B1,
+        n,
+        ratios.get(0),
+        0.0,
+        |_, i, _, _, rec| {
+            hashes[i] = hash_key(rel.key(i));
+            rec.item(instr::HASH);
+            rec.seq_read(4.0);
+            rec.seq_write(4.0);
+        },
+    ));
 
     // b2: visit the hash bucket header (and claim a slot).
     steps.push(run_step(
@@ -132,12 +148,18 @@ pub fn run_build_phase(
         ratios.get(2),
         key_ws,
         |ctx, pos, kind, group, rec| {
+            if oom.is_some() {
+                return;
+            }
             let i = order[pos] as usize;
             let table = table_for(&mut target, kind, i, phase_cut);
             let idx = bucket_idx[i] as usize;
-            let (kn, created, visited) = table
-                .find_or_create_key(idx, rel.key(i), ctx.allocator.as_mut(), group)
-                .expect("hash-table arena exhausted; enlarge arena_bytes_for");
+            let Ok((kn, created, visited)) =
+                table.find_or_create_key(idx, rel.key(i), ctx.allocator.as_mut(), group)
+            else {
+                oom = Some(KEY_NODE_BYTES);
+                return;
+            };
             key_node[i] = kn;
             for v in 0..visited {
                 ctx.cache_access(table.key_node_addr(kn.saturating_sub(v)));
@@ -170,11 +192,18 @@ pub fn run_build_phase(
         ratios.get(3),
         rid_ws,
         |ctx, pos, kind, group, rec| {
+            if oom.is_some() {
+                return;
+            }
             let i = order[pos] as usize;
             let table = table_for(&mut target, kind, i, phase_cut);
-            table
+            if table
                 .insert_rid(key_node[i], rel.rid(i), ctx.allocator.as_mut(), group)
-                .expect("hash-table arena exhausted; enlarge arena_bytes_for");
+                .is_err()
+            {
+                oom = Some(RID_NODE_BYTES);
+                return;
+            }
             ctx.cache_access(table.key_node_addr(key_node[i]));
             rec.item(instr::RID_INSERT);
             rec.random_write(1.0);
@@ -185,7 +214,15 @@ pub fn run_build_phase(
         },
     ));
 
-    PhaseExecution::from_steps(Phase::Build, ratios.clone(), steps, n)
+    if let Some(requested) = oom {
+        return Err(ctx.arena_error(requested));
+    }
+    Ok(PhaseExecution::from_steps(
+        Phase::Build,
+        ratios.clone(),
+        steps,
+        n,
+    ))
 }
 
 fn table_for<'a>(
@@ -239,7 +276,12 @@ mod tests {
     fn shared_build_inserts_every_tuple() {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = small_relation(4096);
-        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(4096, 4096), false);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(4096, 4096),
+            false,
+        );
         let mut table = HashTable::for_build_size(rel.len());
         let phase = run_build_phase(
             &mut ctx,
@@ -247,7 +289,8 @@ mod tests {
             BuildTarget::Shared(&mut table),
             &Ratios::uniform(0.3, 4),
             false,
-        );
+        )
+        .unwrap();
         assert_eq!(table.tuple_count(), 4096);
         assert_eq!(table.rid_node_count(), 4096);
         assert_eq!(phase.steps.len(), 4);
@@ -258,7 +301,12 @@ mod tests {
     fn separate_build_splits_tuples_between_tables() {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = small_relation(1000);
-        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(1000, 1000), false);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(1000, 1000),
+            false,
+        );
         let mut cpu = HashTable::for_build_size(rel.len());
         let mut gpu = HashTable::for_build_size(rel.len());
         run_build_phase(
@@ -270,7 +318,8 @@ mod tests {
             },
             &Ratios::uniform(0.25, 4),
             false,
-        );
+        )
+        .unwrap();
         assert_eq!(cpu.tuple_count(), 250);
         assert_eq!(gpu.tuple_count(), 750);
         assert_eq!(cpu.tuple_count() + gpu.tuple_count(), 1000);
@@ -281,7 +330,12 @@ mod tests {
     fn separate_tables_reject_pipelined_ratios() {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = small_relation(100);
-        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(100, 100), false);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(100, 100),
+            false,
+        );
         let mut cpu = HashTable::for_build_size(100);
         let mut gpu = HashTable::for_build_size(100);
         let _ = run_build_phase(
@@ -300,7 +354,12 @@ mod tests {
     fn gpu_only_build_runs_everything_on_gpu() {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = small_relation(512);
-        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(512, 512), false);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(512, 512),
+            false,
+        );
         let mut table = HashTable::for_build_size(rel.len());
         let phase = run_build_phase(
             &mut ctx,
@@ -308,7 +367,8 @@ mod tests {
             BuildTarget::Shared(&mut table),
             &Ratios::gpu_only(4),
             false,
-        );
+        )
+        .unwrap();
         for step in &phase.steps {
             assert_eq!(step.cpu_items, 0);
             assert_eq!(step.gpu_items, 512);
@@ -321,8 +381,12 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = small_relation(2048);
         let build = |grouping: bool| {
-            let mut ctx =
-                ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(2048, 2048), false);
+            let mut ctx = ExecContext::new(
+                &sys,
+                AllocatorKind::tuned(),
+                arena_bytes_for(2048, 2048),
+                false,
+            );
             let mut table = HashTable::for_build_size(rel.len());
             run_build_phase(
                 &mut ctx,
@@ -330,8 +394,13 @@ mod tests {
                 BuildTarget::Shared(&mut table),
                 &Ratios::uniform(0.5, 4),
                 grouping,
-            );
-            (table.tuple_count(), table.key_node_count(), table.rid_node_count())
+            )
+            .unwrap();
+            (
+                table.tuple_count(),
+                table.key_node_count(),
+                table.rid_node_count(),
+            )
         };
         assert_eq!(build(false), build(true));
     }
@@ -344,10 +413,21 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = small_relation(8192);
         let run = |ratios: Ratios| {
-            let mut ctx =
-                ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(8192, 8192), false);
+            let mut ctx = ExecContext::new(
+                &sys,
+                AllocatorKind::tuned(),
+                arena_bytes_for(8192, 8192),
+                false,
+            );
             let mut table = HashTable::for_build_size(rel.len());
-            run_build_phase(&mut ctx, &rel, BuildTarget::Shared(&mut table), &ratios, false)
+            run_build_phase(
+                &mut ctx,
+                &rel,
+                BuildTarget::Shared(&mut table),
+                &ratios,
+                false,
+            )
+            .unwrap()
         };
         let cpu_phase = run(Ratios::cpu_only(4));
         let gpu_phase = run(Ratios::gpu_only(4));

@@ -8,6 +8,7 @@
 //! misses and a higher miss ratio (Table 3).
 
 use crate::context::ExecContext;
+use crate::error::JoinError;
 use crate::hash::hash_key;
 use crate::hashtable::HashTable;
 use crate::steps::instr;
@@ -37,12 +38,15 @@ pub struct CoarseJoinResult {
 /// dispatching pairs to whichever device becomes idle first.
 ///
 /// `collect` appends materialised result pairs to `pairs_out` when provided.
+///
+/// # Errors
+/// Returns [`JoinError::ArenaExhausted`] when the arena runs out of space.
 pub fn run_coarse_pair_joins(
     ctx: &mut ExecContext<'_>,
     parts_r: &[Relation],
     parts_s: &[Relation],
     pairs_out: Option<&mut Vec<(u32, u32)>>,
-) -> CoarseJoinResult {
+) -> Result<CoarseJoinResult, JoinError> {
     assert_eq!(parts_r.len(), parts_s.len(), "partition counts must match");
     let mut result = CoarseJoinResult::default();
     let mut cpu_clock = SimTime::ZERO;
@@ -59,7 +63,7 @@ pub fn run_coarse_pair_joins(
             DeviceKind::Gpu
         };
         let (matches, build_t, probe_t) =
-            join_one_pair(ctx, r_part, s_part, device, collected.as_deref_mut());
+            join_one_pair(ctx, r_part, s_part, device, collected.as_deref_mut())?;
         result.matches += matches;
         result.build_time += build_t;
         result.probe_time += probe_t;
@@ -77,7 +81,7 @@ pub fn run_coarse_pair_joins(
     }
     result.elapsed = cpu_clock.max(gpu_clock);
     ctx.counters.matches += result.matches;
-    result
+    Ok(result)
 }
 
 /// Joins one partition pair entirely on `device` as a single coarse step.
@@ -87,7 +91,7 @@ fn join_one_pair(
     s_part: &Relation,
     device: DeviceKind,
     mut pairs_out: Option<&mut Vec<(u32, u32)>>,
-) -> (u64, SimTime, SimTime) {
+) -> Result<(u64, SimTime, SimTime), JoinError> {
     let mut table = HashTable::for_build_size(r_part.len());
     // The per-pair table is private to one thread; several pairs are in
     // flight concurrently on the device, so they compete for the cache.
@@ -104,12 +108,17 @@ fn join_one_pair(
     for i in 0..r_part.len() {
         let idx = table.bucket_index(hash_key(r_part.key(i)));
         table.visit_bucket_for_build(idx);
-        let (kn, created, visited) = table
-            .find_or_create_key(idx, r_part.key(i), ctx.allocator.as_mut(), 0)
-            .expect("arena exhausted in coarse join");
-        table
+        let Ok((kn, created, visited)) =
+            table.find_or_create_key(idx, r_part.key(i), ctx.allocator.as_mut(), 0)
+        else {
+            return Err(ctx.arena_error(crate::hashtable::KEY_NODE_BYTES));
+        };
+        if table
             .insert_rid(kn, r_part.rid(i), ctx.allocator.as_mut(), 0)
-            .expect("arena exhausted in coarse join");
+            .is_err()
+        {
+            return Err(ctx.arena_error(crate::hashtable::RID_NODE_BYTES));
+        }
         build_rec.item(instr::HASH + instr::VISIT_HEADER + instr::RID_INSERT);
         build_rec.instructions(visited as f64 * instr::KEY_NODE_VISIT);
         if created {
@@ -138,9 +147,9 @@ fn join_one_pair(
         if let Some(kn) = found {
             for build_rid in table.rids_of(kn) {
                 local += 1;
-                ctx.allocator
-                    .alloc(0, 8)
-                    .expect("result arena exhausted in coarse join");
+                if ctx.allocator.alloc(0, 8).is_none() {
+                    return Err(ctx.arena_error(8));
+                }
                 if let Some(out) = pairs_out.as_deref_mut() {
                     out.push((build_rid, s_part.rid(i)));
                 }
@@ -169,7 +178,7 @@ fn join_one_pair(
     ctx.counters.analytic_accesses += accesses;
     ctx.counters.analytic_misses += accesses * (1.0 - mem.random_hit_rate);
 
-    (matches, build_kt.total(), probe_kt.total())
+    Ok((matches, build_kt.total(), probe_kt.total()))
 }
 
 /// Reference join over partition pairs with a plain hash map (used in tests).
@@ -202,9 +211,14 @@ mod tests {
     fn partitioned_pair(n: usize, bits: u32) -> (Vec<Relation>, Vec<Relation>, u64) {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(n, n * 2));
-        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(n, n * 2), false);
-        let (pr, _) = run_partition_pass(&mut ctx, &r, bits, 0, &Ratios::uniform(0.5, 3));
-        let (ps, _) = run_partition_pass(&mut ctx, &s, bits, 0, &Ratios::uniform(0.5, 3));
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(n, n * 2),
+            false,
+        );
+        let (pr, _) = run_partition_pass(&mut ctx, &r, bits, 0, &Ratios::uniform(0.5, 3)).unwrap();
+        let (ps, _) = run_partition_pass(&mut ctx, &s, bits, 0, &Ratios::uniform(0.5, 3)).unwrap();
         let expected = crate::result::reference_match_count(&r, &s);
         (pr, ps, expected)
     }
@@ -213,9 +227,13 @@ mod tests {
     fn coarse_join_matches_reference() {
         let (pr, ps, expected) = partitioned_pair(3000, 4);
         let sys = SystemSpec::coupled_a8_3870k();
-        let mut ctx =
-            ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(3000, 6000), false);
-        let result = run_coarse_pair_joins(&mut ctx, &pr, &ps, None);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(3000, 6000),
+            false,
+        );
+        let result = run_coarse_pair_joins(&mut ctx, &pr, &ps, None).unwrap();
         assert_eq!(result.matches, expected);
         assert_eq!(result.matches, reference_pair_matches(&pr, &ps));
         assert!(result.elapsed > SimTime::ZERO);
@@ -226,9 +244,13 @@ mod tests {
     fn coarse_join_uses_both_devices() {
         let (pr, ps, _) = partitioned_pair(4000, 4);
         let sys = SystemSpec::coupled_a8_3870k();
-        let mut ctx =
-            ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(4000, 8000), false);
-        let result = run_coarse_pair_joins(&mut ctx, &pr, &ps, None);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(4000, 8000),
+            false,
+        );
+        let result = run_coarse_pair_joins(&mut ctx, &pr, &ps, None).unwrap();
         assert!(result.cpu_pairs > 0);
         assert!(result.gpu_pairs > 0);
     }
@@ -237,10 +259,14 @@ mod tests {
     fn coarse_join_collects_pairs_when_asked() {
         let (pr, ps, expected) = partitioned_pair(500, 3);
         let sys = SystemSpec::coupled_a8_3870k();
-        let mut ctx =
-            ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(500, 1000), false);
+        let mut ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(500, 1000),
+            false,
+        );
         let mut pairs = Vec::new();
-        let result = run_coarse_pair_joins(&mut ctx, &pr, &ps, Some(&mut pairs));
+        let result = run_coarse_pair_joins(&mut ctx, &pr, &ps, Some(&mut pairs)).unwrap();
         assert_eq!(pairs.len() as u64, result.matches);
         assert_eq!(result.matches, expected);
     }
@@ -253,15 +279,23 @@ mod tests {
         let (pr, ps, _) = partitioned_pair(20_000, 3);
         let sys = SystemSpec::coupled_a8_3870k();
 
-        let mut coarse_ctx =
-            ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(20_000, 40_000), false);
-        run_coarse_pair_joins(&mut coarse_ctx, &pr, &ps, None);
+        let mut coarse_ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(20_000, 40_000),
+            false,
+        );
+        run_coarse_pair_joins(&mut coarse_ctx, &pr, &ps, None).unwrap();
         let coarse_ratio =
             coarse_ctx.counters.analytic_misses / coarse_ctx.counters.analytic_accesses.max(1.0);
 
         // Fine-grained: join each pair through the shared-table phase runners.
-        let mut fine_ctx =
-            ExecContext::new(&sys, AllocatorKind::tuned(), arena_bytes_for(20_000, 40_000), false);
+        let mut fine_ctx = ExecContext::new(
+            &sys,
+            AllocatorKind::tuned(),
+            arena_bytes_for(20_000, 40_000),
+            false,
+        );
         for (r, s) in pr.iter().zip(ps.iter()) {
             if r.is_empty() && s.is_empty() {
                 continue;
@@ -273,8 +307,17 @@ mod tests {
                 crate::build::BuildTarget::Shared(&mut table),
                 &Ratios::uniform(0.3, 4),
                 false,
-            );
-            crate::probe::run_probe_phase(&mut fine_ctx, s, &table, &Ratios::uniform(0.4, 4), false, false);
+            )
+            .unwrap();
+            crate::probe::run_probe_phase(
+                &mut fine_ctx,
+                s,
+                &table,
+                &Ratios::uniform(0.4, 4),
+                false,
+                false,
+            )
+            .unwrap();
         }
         let fine_ratio =
             fine_ctx.counters.analytic_misses / fine_ctx.counters.analytic_accesses.max(1.0);

@@ -152,8 +152,16 @@ impl Scheme {
                 build_on_cpu,
                 probe_on_cpu,
             } => {
-                let any_cpu = partition_on_cpu.iter().chain(build_on_cpu).chain(probe_on_cpu).any(|&c| c);
-                let any_gpu = partition_on_cpu.iter().chain(build_on_cpu).chain(probe_on_cpu).any(|&c| !c);
+                let any_cpu = partition_on_cpu
+                    .iter()
+                    .chain(build_on_cpu)
+                    .chain(probe_on_cpu)
+                    .any(|&c| c);
+                let any_gpu = partition_on_cpu
+                    .iter()
+                    .chain(build_on_cpu)
+                    .chain(probe_on_cpu)
+                    .any(|&c| !c);
                 any_cpu && any_gpu
             }
             Scheme::DataDividing {
@@ -282,7 +290,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper_variant_names() {
-        assert_eq!(JoinConfig::shj(Scheme::data_dividing_paper()).label(), "SHJ-DD");
+        assert_eq!(
+            JoinConfig::shj(Scheme::data_dividing_paper()).label(),
+            "SHJ-DD"
+        );
         assert_eq!(JoinConfig::phj(Scheme::pipelined_paper()).label(), "PHJ-PL");
         assert_eq!(JoinConfig::phj(Scheme::offload_gpu()).label(), "PHJ-OL");
         assert_eq!(JoinConfig::shj(Scheme::CpuOnly).label(), "CPU-only (SHJ)");

@@ -1,10 +1,11 @@
 //! Execution context shared by all phase runners: devices, allocator,
 //! cache model and run-wide counters.
 
+use crate::error::JoinError;
+use apu_sim::SystemSpec;
 use apu_sim::{
     AnalyticCache, CacheSim, CacheStats, CostRecorder, Device, DeviceKind, MemContext, SimTime,
 };
-use apu_sim::SystemSpec;
 use mem_alloc::{AllocStats, AllocatorKind, KernelAllocator};
 
 /// Work groups the CPU device runs concurrently (one per core).
@@ -68,19 +69,50 @@ impl<'a> ExecContext<'a> {
         profile_cache: bool,
     ) -> Self {
         let work_groups = CPU_WORK_GROUPS + GPU_WORK_GROUPS;
+        ExecContext::with_allocator(
+            sys,
+            allocator.build(arena_bytes, work_groups),
+            profile_cache,
+        )
+    }
+
+    /// Creates a context around an *existing* allocator, so a long-lived
+    /// [`JoinEngine`](crate::engine::JoinEngine) can reuse one arena across
+    /// many requests instead of re-allocating it per join.
+    pub fn with_allocator(
+        sys: &'a SystemSpec,
+        allocator: Box<dyn KernelAllocator>,
+        profile_cache: bool,
+    ) -> Self {
         ExecContext {
             sys,
             cpu: sys.device(DeviceKind::Cpu),
             gpu: sys.device(DeviceKind::Gpu),
             cpu_cache: AnalyticCache::new(sys.cache_bytes_for(DeviceKind::Cpu)),
             gpu_cache: AnalyticCache::new(sys.cache_bytes_for(DeviceKind::Gpu)),
-            allocator: allocator.build(arena_bytes, work_groups),
+            allocator,
             cache_sim: if profile_cache {
                 Some(CacheSim::a8_3870k_l2())
             } else {
                 None
             },
             counters: ExecCounters::default(),
+        }
+    }
+
+    /// Tears the context down, handing the allocator (and its arena) back to
+    /// the owner for reuse.
+    pub fn into_allocator(self) -> Box<dyn KernelAllocator> {
+        self.allocator
+    }
+
+    /// The [`JoinError::ArenaExhausted`] describing a failed allocation of
+    /// `requested` bytes against this context's arena.
+    pub fn arena_error(&self, requested: usize) -> JoinError {
+        JoinError::ArenaExhausted {
+            requested,
+            capacity: self.allocator.capacity(),
+            used: self.allocator.used(),
         }
     }
 
@@ -151,7 +183,8 @@ impl<'a> ExecContext<'a> {
 /// relations (PHJ), result pairs for every probe tuple, plus block-allocation
 /// slack.
 pub fn arena_bytes_for(build_tuples: usize, probe_tuples: usize) -> usize {
-    let nodes = build_tuples * (crate::hashtable::KEY_NODE_BYTES + crate::hashtable::RID_NODE_BYTES);
+    let nodes =
+        build_tuples * (crate::hashtable::KEY_NODE_BYTES + crate::hashtable::RID_NODE_BYTES);
     let partitions = (build_tuples + probe_tuples) * 8 * 2;
     let results = probe_tuples * 8 * 2;
     let slack = 4 << 20;

@@ -1,0 +1,1022 @@
+//! The long-lived join engine: reusable arena, typed requests, pluggable
+//! execution backends.
+//!
+//! The original reproduction exposed one-shot free functions that allocated
+//! a fresh arena and context per call and panicked on exhaustion.  A system
+//! serving many concurrent, heterogeneous join requests needs the opposite
+//! shape — construct once, admit explicitly, fail cleanly:
+//!
+//! * [`JoinEngine`] is built once from an [`ExecBackend`] and an
+//!   [`EngineConfig`]; it owns one arena sized up front and reuses it for
+//!   every request (see [`EngineStats::arenas_created`]).
+//! * [`JoinRequest`] is built with a validating builder
+//!   ([`JoinRequest::builder`]): out-of-range ratios, zero chunk sizes and
+//!   unsupported radix widths are rejected at `build()` time, before they
+//!   reach the execution skeleton.
+//! * [`JoinEngine::execute`] returns `Result<JoinOutcome, JoinError>`:
+//!   oversized inputs are rejected at admission, arena exhaustion
+//!   mid-execution surfaces as an error, and the engine stays usable.
+//! * [`ExecBackend`] abstracts how the join is placed and timed.
+//!   [`CoupledSim`] and [`DiscreteSim`] run the paper's simulator on the
+//!   coupled APU and the emulated discrete architecture; [`NativeCpu`] runs
+//!   the same join for real on host threads and reports wall-clock times —
+//!   the simulator and a production path share one execution skeleton.
+//!
+//! ```
+//! use hj_core::engine::{EngineConfig, JoinEngine, JoinRequest};
+//! use hj_core::{Algorithm, Scheme};
+//!
+//! let (build, probe) = datagen::generate_pair(&datagen::DataGenConfig::small(4_096, 8_192));
+//! let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384)).unwrap();
+//! let request = JoinRequest::builder()
+//!     .algorithm(Algorithm::partitioned_auto())
+//!     .scheme(Scheme::pipelined_paper())
+//!     .build()
+//!     .unwrap();
+//! let outcome = engine.execute(&request, &build, &probe).unwrap();
+//! assert_eq!(outcome.matches, hj_core::reference_match_count(&build, &probe));
+//! assert_eq!(engine.stats().arenas_created, 1);
+//! ```
+
+use crate::config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
+use crate::context::{arena_bytes_for, ExecContext};
+use crate::error::JoinError;
+use crate::hash::hash_key;
+use crate::result::JoinOutcome;
+use apu_sim::{Phase, SimTime, SystemSpec};
+use datagen::Relation;
+use mem_alloc::{AllocatorKind, KernelAllocator};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A validated join request: which algorithm, scheme and tradeoff knobs to
+/// run with, and whether to take the out-of-core path.
+///
+/// Construct one with [`JoinRequest::builder`] (validating) or
+/// [`JoinRequest::from_config`] (validating an existing [`JoinConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinRequest {
+    config: JoinConfig,
+    out_of_core: Option<usize>,
+}
+
+impl JoinRequest {
+    /// A builder with the tuned defaults of [`JoinConfig::shj`] and the
+    /// paper's pipelined scheme.
+    pub fn builder() -> JoinRequestBuilder {
+        JoinRequestBuilder::default()
+    }
+
+    /// Validates an existing [`JoinConfig`] into a request.
+    ///
+    /// # Errors
+    /// Returns the same validation errors as
+    /// [`JoinRequestBuilder::build`].
+    pub fn from_config(config: JoinConfig) -> Result<Self, JoinError> {
+        validate_config(&config)?;
+        Ok(JoinRequest {
+            config,
+            out_of_core: None,
+        })
+    }
+
+    /// Enables the out-of-core path, streaming `chunk_tuples` tuples through
+    /// the zero-copy buffer at a time.
+    ///
+    /// # Errors
+    /// Returns [`JoinError::InvalidChunkSize`] for a zero chunk.
+    pub fn with_out_of_core(mut self, chunk_tuples: usize) -> Result<Self, JoinError> {
+        if chunk_tuples == 0 {
+            return Err(JoinError::InvalidChunkSize);
+        }
+        self.out_of_core = Some(chunk_tuples);
+        Ok(self)
+    }
+
+    /// The validated join configuration.
+    pub fn config(&self) -> &JoinConfig {
+        &self.config
+    }
+
+    /// The out-of-core chunk size, when the out-of-core path was requested.
+    pub fn out_of_core_chunk(&self) -> Option<usize> {
+        self.out_of_core
+    }
+
+    /// Arena bytes this request needs on `sys` for the given input
+    /// cardinalities — the engine's admission test.
+    fn required_arena_bytes(
+        &self,
+        build_tuples: usize,
+        probe_tuples: usize,
+        sys: &SystemSpec,
+    ) -> usize {
+        if let Some(chunk) = self.out_of_core {
+            if crate::outofcore::spills(sys, build_tuples, probe_tuples) {
+                // Chunks stream through the arena one at a time; partition
+                // pairs are re-checked against the arena during execution.
+                return arena_bytes_for(chunk.min(build_tuples), chunk.min(probe_tuples));
+            }
+        }
+        arena_bytes_for(build_tuples, probe_tuples)
+    }
+}
+
+/// Builder for [`JoinRequest`]; every knob of [`JoinConfig`] plus the
+/// out-of-core path, validated at [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct JoinRequestBuilder {
+    config: JoinConfig,
+    out_of_core: Option<usize>,
+}
+
+impl Default for JoinRequestBuilder {
+    fn default() -> Self {
+        JoinRequestBuilder {
+            config: JoinConfig::shj(Scheme::pipelined_paper()),
+            out_of_core: None,
+        }
+    }
+}
+
+impl JoinRequestBuilder {
+    /// Sets the join algorithm (SHJ or PHJ).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the co-processing scheme.
+    ///
+    /// Accepts anything convertible into a [`Scheme`] — including the tuned
+    /// plan produced by the cost model's `tune_scheme`, which converts to
+    /// its best-predicted scheme.
+    pub fn scheme(mut self, scheme: impl Into<Scheme>) -> Self {
+        self.config.scheme = scheme.into();
+        self
+    }
+
+    /// Shared or separate hash tables.
+    pub fn hash_table(mut self, mode: HashTableMode) -> Self {
+        self.config.hash_table = mode;
+        self
+    }
+
+    /// Software allocator design for the engine arena.
+    pub fn allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.config.allocator = allocator;
+        self
+    }
+
+    /// Enables or disables grouping-based divergence reduction.
+    pub fn grouping(mut self, grouping: bool) -> Self {
+        self.config.grouping = grouping;
+        self
+    }
+
+    /// Fine or coarse step definition (PHJ only).
+    pub fn granularity(mut self, granularity: StepGranularity) -> Self {
+        self.config.granularity = granularity;
+        self
+    }
+
+    /// Materialise result pairs instead of only counting them.
+    pub fn collect_results(mut self, collect: bool) -> Self {
+        self.config.collect_results = collect;
+        self
+    }
+
+    /// Enables the exact L2 cache simulator (slower).
+    pub fn profile_cache(mut self, profile: bool) -> Self {
+        self.config.profile_cache = profile;
+        self
+    }
+
+    /// Takes the out-of-core path, streaming `chunk_tuples` tuples through
+    /// the zero-copy buffer at a time.
+    pub fn out_of_core(mut self, chunk_tuples: usize) -> Self {
+        self.out_of_core = Some(chunk_tuples);
+        self
+    }
+
+    /// Validates and builds the request.
+    ///
+    /// # Errors
+    /// * [`JoinError::InvalidRatio`] for a scheme ratio outside `[0, 1]`
+    ///   (or non-finite);
+    /// * [`JoinError::InvalidChunkSize`] for a zero BasicUnit or out-of-core
+    ///   chunk;
+    /// * [`JoinError::InvalidRadixBits`] for more than 16 radix bits.
+    pub fn build(self) -> Result<JoinRequest, JoinError> {
+        validate_config(&self.config)?;
+        if self.out_of_core == Some(0) {
+            return Err(JoinError::InvalidChunkSize);
+        }
+        Ok(JoinRequest {
+            config: self.config,
+            out_of_core: self.out_of_core,
+        })
+    }
+}
+
+fn validate_ratio(series: &'static str, step: usize, value: f64) -> Result<(), JoinError> {
+    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+        return Err(JoinError::InvalidRatio {
+            series,
+            step,
+            value,
+        });
+    }
+    Ok(())
+}
+
+fn validate_config(config: &JoinConfig) -> Result<(), JoinError> {
+    match &config.scheme {
+        Scheme::CpuOnly | Scheme::GpuOnly | Scheme::Offload { .. } => {}
+        Scheme::DataDividing {
+            partition_ratio,
+            build_ratio,
+            probe_ratio,
+        } => {
+            validate_ratio("partition", 0, *partition_ratio)?;
+            validate_ratio("build", 0, *build_ratio)?;
+            validate_ratio("probe", 0, *probe_ratio)?;
+        }
+        Scheme::Pipelined {
+            partition,
+            build,
+            probe,
+        } => {
+            for (series, ratios) in [
+                ("partition", partition.as_slice()),
+                ("build", build.as_slice()),
+                ("probe", probe.as_slice()),
+            ] {
+                for (step, &value) in ratios.iter().enumerate() {
+                    validate_ratio(series, step, value)?;
+                }
+            }
+        }
+        Scheme::BasicUnit { chunk_tuples } => {
+            if *chunk_tuples == 0 {
+                return Err(JoinError::InvalidChunkSize);
+            }
+        }
+    }
+    if let Algorithm::Partitioned { radix_bits, .. } = config.algorithm {
+        if radix_bits > 16 {
+            return Err(JoinError::InvalidRadixBits { radix_bits });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+/// How join phases are placed and timed.
+///
+/// The engine owns admission, the reusable arena and counter finalisation;
+/// a backend only executes an admitted request against the context it is
+/// handed.  Simulator backends account elapsed time with the calibrated
+/// device model; [`NativeCpu`] measures real wall-clock time on host
+/// threads.
+pub trait ExecBackend: Send {
+    /// A short identifier ("coupled-sim", "discrete-sim", "native-cpu").
+    fn name(&self) -> &'static str;
+
+    /// The system specification the engine sizes contexts and admission
+    /// against.
+    fn system(&self) -> &SystemSpec;
+
+    /// Executes one admitted request.
+    ///
+    /// # Errors
+    /// Typically [`JoinError::ArenaExhausted`] when the context's arena is
+    /// too small for the request's working state.
+    fn execute(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError>;
+}
+
+fn simulate(
+    ctx: &mut ExecContext<'_>,
+    build: &Relation,
+    probe: &Relation,
+    request: &JoinRequest,
+) -> Result<JoinOutcome, JoinError> {
+    match request.out_of_core_chunk() {
+        Some(chunk) => {
+            crate::outofcore::execute_out_of_core(ctx, build, probe, request.config(), chunk)
+        }
+        None => crate::executor::execute_join(ctx, build, probe, request.config()),
+    }
+}
+
+/// The coupled CPU-GPU architecture of the paper (shared cache and
+/// zero-copy buffer, no PCI-e), timed by the calibrated simulator.
+#[derive(Debug, Clone)]
+pub struct CoupledSim {
+    sys: SystemSpec,
+}
+
+impl CoupledSim {
+    /// The paper's AMD A8-3870K APU.
+    pub fn new() -> Self {
+        CoupledSim::with_system(SystemSpec::coupled_a8_3870k())
+    }
+
+    /// A custom (typically coupled) system specification.
+    pub fn with_system(sys: SystemSpec) -> Self {
+        CoupledSim { sys }
+    }
+}
+
+impl Default for CoupledSim {
+    fn default() -> Self {
+        CoupledSim::new()
+    }
+}
+
+impl ExecBackend for CoupledSim {
+    fn name(&self) -> &'static str {
+        "coupled-sim"
+    }
+
+    fn system(&self) -> &SystemSpec {
+        &self.sys
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        simulate(ctx, build, probe, request)
+    }
+}
+
+/// The emulated discrete architecture (same devices plus a PCI-e transfer
+/// delay), timed by the calibrated simulator.
+#[derive(Debug, Clone)]
+pub struct DiscreteSim {
+    sys: SystemSpec,
+}
+
+impl DiscreteSim {
+    /// The paper's emulated discrete baseline.
+    pub fn new() -> Self {
+        DiscreteSim::with_system(SystemSpec::discrete_emulated())
+    }
+
+    /// A custom (typically discrete) system specification.
+    pub fn with_system(sys: SystemSpec) -> Self {
+        DiscreteSim { sys }
+    }
+}
+
+impl Default for DiscreteSim {
+    fn default() -> Self {
+        DiscreteSim::new()
+    }
+}
+
+impl ExecBackend for DiscreteSim {
+    fn name(&self) -> &'static str {
+        "discrete-sim"
+    }
+
+    fn system(&self) -> &SystemSpec {
+        &self.sys
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        simulate(ctx, build, probe, request)
+    }
+}
+
+/// A production-shaped backend that runs the equi-join for real on host
+/// threads and reports measured wall-clock times.
+///
+/// The build relation is hash-sharded across threads (each thread owns the
+/// hash map of one shard — no latches), then the probe relation is scanned
+/// in parallel slices against the shared shard maps.  The outcome's
+/// [`Phase::Build`] / [`Phase::Probe`] entries carry *measured* elapsed
+/// time, so the same reporting pipeline serves simulated and native runs.
+///
+/// Scheme, hash-table mode and the out-of-core chunk are placement hints
+/// for the simulator and are ignored here; `collect_results` is honoured.
+#[derive(Debug, Clone)]
+pub struct NativeCpu {
+    threads: usize,
+    sys: SystemSpec,
+}
+
+impl NativeCpu {
+    /// One worker per available hardware thread.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        NativeCpu::with_threads(threads)
+    }
+
+    /// A fixed worker count (at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        NativeCpu {
+            threads: threads.max(1),
+            // The native backend does not simulate; a nominal spec is kept
+            // only so the engine can size contexts and admission uniformly.
+            sys: SystemSpec::coupled_a8_3870k(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for NativeCpu {
+    fn default() -> Self {
+        NativeCpu::new()
+    }
+}
+
+impl ExecBackend for NativeCpu {
+    fn name(&self) -> &'static str {
+        "native-cpu"
+    }
+
+    fn system(&self) -> &SystemSpec {
+        &self.sys
+    }
+
+    fn execute(
+        &self,
+        _ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        let threads = self.threads;
+        let mut outcome = JoinOutcome::default();
+
+        // ---- build: one hash-map shard per thread, no shared writes ----
+        // Two lock-free stages so the relation is scanned (and hashed) once:
+        // each thread scatters its contiguous slice into per-shard buffers,
+        // then each shard owner folds the buffers destined for it into its
+        // private map.
+        let build_start = std::time::Instant::now();
+        let build_slice = build.len().div_ceil(threads).max(1);
+        let scattered: Vec<Vec<Vec<(u32, u32)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let start = (t * build_slice).min(build.len());
+                        let end = ((t + 1) * build_slice).min(build.len());
+                        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
+                        for i in start..end {
+                            let key = build.key(i);
+                            buckets[hash_key(key) as usize % threads].push((key, build.rid(i)));
+                        }
+                        buckets
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("native scatter worker panicked"))
+                .collect()
+        });
+        let scattered_ref = &scattered;
+        let shards: Vec<HashMap<u32, Vec<u32>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+                        for buckets in scattered_ref {
+                            for &(key, rid) in &buckets[shard] {
+                                map.entry(key).or_default().push(rid);
+                            }
+                        }
+                        map
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("native build worker panicked"))
+                .collect()
+        });
+        let build_elapsed = build_start.elapsed();
+
+        // ---- probe: parallel slices over the read-only shard maps ----
+        let collect = request.config().collect_results;
+        let probe_start = std::time::Instant::now();
+        let shards_ref = &shards;
+        let slice_len = probe.len().div_ceil(threads).max(1);
+        let results: Vec<(u64, Vec<(u32, u32)>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let start = (t * slice_len).min(probe.len());
+                        let end = ((t + 1) * slice_len).min(probe.len());
+                        let mut matches = 0u64;
+                        let mut pairs = Vec::new();
+                        for i in start..end {
+                            let key = probe.key(i);
+                            let shard = hash_key(key) as usize % threads;
+                            if let Some(rids) = shards_ref[shard].get(&key) {
+                                matches += rids.len() as u64;
+                                if collect {
+                                    for &brid in rids {
+                                        pairs.push((brid, probe.rid(i)));
+                                    }
+                                }
+                            }
+                        }
+                        (matches, pairs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("native probe worker panicked"))
+                .collect()
+        });
+        let probe_elapsed = probe_start.elapsed();
+
+        for (matches, pairs) in results {
+            outcome.matches += matches;
+            if collect {
+                outcome.pairs.get_or_insert_with(Vec::new).extend(pairs);
+            }
+        }
+        outcome.breakdown.add(
+            Phase::Build,
+            SimTime::from_ns(build_elapsed.as_nanos() as f64),
+        );
+        outcome.breakdown.add(
+            Phase::Probe,
+            SimTime::from_ns(probe_elapsed.as_nanos() as f64),
+        );
+        Ok(outcome)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Sizing and allocator policy of a [`JoinEngine`]'s reusable arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Largest build relation (tuples) the engine admits.
+    pub max_build_tuples: usize,
+    /// Largest probe relation (tuples) the engine admits.
+    pub max_probe_tuples: usize,
+    /// Default software allocator managing the arena (a request may switch
+    /// designs, which rebuilds the arena once).
+    pub allocator: AllocatorKind,
+}
+
+impl EngineConfig {
+    /// An engine admitting joins up to `max_build_tuples` ⨝
+    /// `max_probe_tuples`, with the paper's tuned block allocator.
+    pub fn for_tuples(max_build_tuples: usize, max_probe_tuples: usize) -> Self {
+        EngineConfig {
+            max_build_tuples,
+            max_probe_tuples,
+            allocator: AllocatorKind::tuned(),
+        }
+    }
+
+    /// Sets the default allocator design.
+    pub fn with_allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.allocator = allocator;
+        self
+    }
+
+    /// The arena capacity this configuration provisions.
+    pub fn arena_bytes(&self) -> usize {
+        arena_bytes_for(self.max_build_tuples, self.max_probe_tuples)
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        if let AllocatorKind::Block { block_size } = self.allocator {
+            if block_size == 0 {
+                return Err(JoinError::InvalidConfig(
+                    "block allocator needs a non-zero block size".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Observability counters of one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests executed to completion.
+    pub requests_served: u64,
+    /// Requests rejected at admission or failed during execution.
+    pub requests_failed: u64,
+    /// Arenas allocated over the engine's lifetime (1 after construction;
+    /// grows only when a request switches allocator design).
+    pub arenas_created: u64,
+    /// Capacity of the current arena in bytes.
+    pub arena_capacity: usize,
+}
+
+/// A long-lived join engine: one backend, one reusable arena, many
+/// requests.
+///
+/// See the [module docs](self) for the full picture and an example.
+pub struct JoinEngine {
+    backend: Box<dyn ExecBackend>,
+    config: EngineConfig,
+    allocator: Option<Box<dyn KernelAllocator>>,
+    allocator_kind: AllocatorKind,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for JoinEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinEngine")
+            .field("backend", &self.backend.name())
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JoinEngine {
+    /// Builds an engine over `backend`, provisioning the arena once.
+    ///
+    /// # Errors
+    /// Returns [`JoinError::InvalidConfig`] for an invalid
+    /// [`EngineConfig`].
+    pub fn new(backend: Box<dyn ExecBackend>, config: EngineConfig) -> Result<Self, JoinError> {
+        config.validate()?;
+        let capacity = config.arena_bytes();
+        let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
+        let allocator = config.allocator.build(capacity, work_groups);
+        Ok(JoinEngine {
+            backend,
+            allocator_kind: config.allocator,
+            allocator: Some(allocator),
+            stats: EngineStats {
+                arenas_created: 1,
+                arena_capacity: capacity,
+                ..EngineStats::default()
+            },
+            config,
+        })
+    }
+
+    /// An engine simulating the paper's coupled APU.
+    pub fn coupled(config: EngineConfig) -> Result<Self, JoinError> {
+        JoinEngine::new(Box::new(CoupledSim::new()), config)
+    }
+
+    /// An engine simulating the emulated discrete architecture.
+    pub fn discrete(config: EngineConfig) -> Result<Self, JoinError> {
+        JoinEngine::new(Box::new(DiscreteSim::new()), config)
+    }
+
+    /// An engine running joins natively on host threads.
+    pub fn native(config: EngineConfig) -> Result<Self, JoinError> {
+        JoinEngine::new(Box::new(NativeCpu::new()), config)
+    }
+
+    /// An engine simulating an arbitrary system, picking the coupled or
+    /// discrete simulator backend by the system's topology.
+    pub fn for_system(sys: SystemSpec, config: EngineConfig) -> Result<Self, JoinError> {
+        let backend: Box<dyn ExecBackend> = if sys.is_discrete() {
+            Box::new(DiscreteSim::with_system(sys))
+        } else {
+            Box::new(CoupledSim::with_system(sys))
+        };
+        JoinEngine::new(backend, config)
+    }
+
+    /// The system specification the engine executes against.
+    pub fn system(&self) -> &SystemSpec {
+        self.backend.system()
+    }
+
+    /// The backend's identifier.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The engine's sizing configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Lifetime counters (served/failed requests, arena creations).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Executes one request over the engine's reusable arena.
+    ///
+    /// # Errors
+    /// * [`JoinError::OversizedInput`] when the inputs need more arena than
+    ///   the engine provisioned (admission — nothing is executed);
+    /// * [`JoinError::ArenaExhausted`] when the working state outgrows the
+    ///   arena mid-execution;
+    /// * any backend-specific failure.
+    ///
+    /// After an error the engine remains usable; the arena is reset on the
+    /// next request.
+    pub fn execute(
+        &mut self,
+        request: &JoinRequest,
+        build: &Relation,
+        probe: &Relation,
+    ) -> Result<JoinOutcome, JoinError> {
+        // Admission: reject inputs the arena cannot hold before any work.
+        let required =
+            request.required_arena_bytes(build.len(), probe.len(), self.backend.system());
+        if required > self.stats.arena_capacity {
+            self.stats.requests_failed += 1;
+            return Err(JoinError::OversizedInput {
+                build_tuples: build.len(),
+                probe_tuples: probe.len(),
+                required_bytes: required,
+                arena_bytes: self.stats.arena_capacity,
+            });
+        }
+
+        // A request may choose the other allocator design (the Figure 12
+        // comparison); that rebuilds the arena once and is counted.
+        if request.config().allocator != self.allocator_kind {
+            let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
+            self.allocator = Some(
+                request
+                    .config()
+                    .allocator
+                    .build(self.stats.arena_capacity, work_groups),
+            );
+            self.allocator_kind = request.config().allocator;
+            self.stats.arenas_created += 1;
+        }
+
+        let mut allocator = self.allocator.take().expect("engine allocator present");
+        allocator.reset();
+        let mut ctx = ExecContext::with_allocator(
+            self.backend.system(),
+            allocator,
+            request.config().profile_cache,
+        );
+        let result = self.backend.execute(&mut ctx, build, probe, request);
+        let result = result.map(|mut outcome| {
+            ctx.finalize_counters();
+            outcome.counters = ctx.counters.clone();
+            outcome.counters.matches = outcome.matches;
+            outcome
+        });
+        self.allocator = Some(ctx.into_allocator());
+        match &result {
+            Ok(_) => self.stats.requests_served += 1,
+            Err(_) => self.stats.requests_failed += 1,
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::reference_match_count;
+    use datagen::DataGenConfig;
+
+    fn small_pair(n: usize) -> (Relation, Relation) {
+        datagen::generate_pair(&DataGenConfig::small(n, 2 * n))
+    }
+
+    #[test]
+    fn engine_reuses_one_arena_across_requests() {
+        let (r, s) = small_pair(2000);
+        let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(4000, 8000)).unwrap();
+        let request = JoinRequest::builder().build().unwrap();
+        let a = engine.execute(&request, &r, &s).unwrap();
+        let b = engine.execute(&request, &r, &s).unwrap();
+        assert_eq!(a.matches, b.matches);
+        let stats = engine.stats();
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(
+            stats.arenas_created, 1,
+            "second request must not re-create the arena"
+        );
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_at_admission() {
+        let (r, s) = small_pair(5000);
+        let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(64, 64)).unwrap();
+        let request = JoinRequest::builder().build().unwrap();
+        let err = engine.execute(&request, &r, &s).unwrap_err();
+        assert!(matches!(err, JoinError::OversizedInput { .. }), "{err}");
+        assert_eq!(engine.stats().requests_failed, 1);
+        // The engine stays usable for right-sized requests.
+        let (small_r, small_s) = small_pair(16);
+        assert!(engine.execute(&request, &small_r, &small_s).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_ratios() {
+        let err = JoinRequest::builder()
+            .scheme(Scheme::DataDividing {
+                partition_ratio: 0.1,
+                build_ratio: 1.5,
+                probe_ratio: 0.4,
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JoinError::InvalidRatio {
+                    series: "build",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        let err = JoinRequest::builder()
+            .scheme(Scheme::Pipelined {
+                partition: [0.0, 0.5, 0.5],
+                build: [0.0, 0.5, 0.5, 0.5],
+                probe: [0.0, 0.5, f64::NAN, 0.5],
+            })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JoinError::InvalidRatio {
+                    series: "probe",
+                    step: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_chunks_and_radix_bits() {
+        let err = JoinRequest::builder()
+            .scheme(Scheme::BasicUnit { chunk_tuples: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, JoinError::InvalidChunkSize);
+
+        let err = JoinRequest::builder()
+            .algorithm(Algorithm::Partitioned {
+                radix_bits: 24,
+                passes: 1,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, JoinError::InvalidRadixBits { radix_bits: 24 });
+
+        let err = JoinRequest::builder().out_of_core(0).build().unwrap_err();
+        assert_eq!(err, JoinError::InvalidChunkSize);
+    }
+
+    #[test]
+    fn builder_applies_every_knob() {
+        let request = JoinRequest::builder()
+            .algorithm(Algorithm::partitioned_auto())
+            .scheme(Scheme::data_dividing_paper())
+            .hash_table(HashTableMode::Separate)
+            .allocator(AllocatorKind::Basic)
+            .grouping(false)
+            .granularity(StepGranularity::Coarse)
+            .collect_results(true)
+            .profile_cache(true)
+            .out_of_core(4096)
+            .build()
+            .unwrap();
+        let cfg = request.config();
+        assert_eq!(cfg.algorithm, Algorithm::partitioned_auto());
+        assert_eq!(cfg.hash_table, HashTableMode::Separate);
+        assert_eq!(cfg.allocator, AllocatorKind::Basic);
+        assert!(!cfg.grouping);
+        assert_eq!(cfg.granularity, StepGranularity::Coarse);
+        assert!(cfg.collect_results);
+        assert!(cfg.profile_cache);
+        assert_eq!(request.out_of_core_chunk(), Some(4096));
+    }
+
+    #[test]
+    fn allocator_switch_rebuilds_the_arena_once() {
+        let (r, s) = small_pair(1000);
+        let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(2000, 4000)).unwrap();
+        let tuned = JoinRequest::builder().build().unwrap();
+        let basic = JoinRequest::builder()
+            .allocator(AllocatorKind::Basic)
+            .build()
+            .unwrap();
+        engine.execute(&tuned, &r, &s).unwrap();
+        engine.execute(&basic, &r, &s).unwrap();
+        engine.execute(&basic, &r, &s).unwrap();
+        assert_eq!(engine.stats().arenas_created, 2);
+    }
+
+    #[test]
+    fn native_backend_joins_correctly_with_measured_times() {
+        let (r, s) = small_pair(3000);
+        let expected = reference_match_count(&r, &s);
+        let mut engine = JoinEngine::native(EngineConfig::for_tuples(3000, 6000)).unwrap();
+        assert_eq!(engine.backend_name(), "native-cpu");
+        let request = JoinRequest::builder()
+            .collect_results(true)
+            .build()
+            .unwrap();
+        let out = engine.execute(&request, &r, &s).unwrap();
+        assert_eq!(out.matches, expected);
+        let mut pairs = out.pairs.unwrap();
+        pairs.sort_unstable();
+        assert_eq!(pairs, crate::result::reference_pairs(&r, &s));
+        assert!(out.breakdown.get(Phase::Build) > SimTime::ZERO);
+        assert!(out.breakdown.get(Phase::Probe) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn native_backend_is_deterministic_across_thread_counts() {
+        let (r, s) = small_pair(2000);
+        let expected = reference_match_count(&r, &s);
+        for threads in [1, 2, 7] {
+            let mut engine = JoinEngine::new(
+                Box::new(NativeCpu::with_threads(threads)),
+                EngineConfig::for_tuples(2000, 4000),
+            )
+            .unwrap();
+            let request = JoinRequest::builder().build().unwrap();
+            assert_eq!(engine.execute(&request, &r, &s).unwrap().matches, expected);
+        }
+    }
+
+    #[test]
+    fn undersized_arena_fails_with_arena_exhausted_not_panic() {
+        // Admission passes (the arena was provisioned for these sizes) but a
+        // pathological workload — every probe tuple matching every build
+        // tuple — needs far more result space than the sizing heuristic
+        // provisions.  Execution must fail cleanly.
+        let r = Relation::from_keys(vec![7; 1024]);
+        let s = Relation::from_keys(vec![7; 4096]);
+        let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(1024, 4096)).unwrap();
+        let request = JoinRequest::builder().build().unwrap();
+        let err = engine.execute(&request, &r, &s).unwrap_err();
+        assert!(matches!(err, JoinError::ArenaExhausted { .. }), "{err}");
+        // The engine recovers: a well-behaved request still succeeds.
+        let (ok_r, ok_s) = small_pair(256);
+        assert!(engine.execute(&request, &ok_r, &ok_s).is_ok());
+    }
+
+    #[test]
+    fn for_system_picks_the_matching_simulator() {
+        let coupled = JoinEngine::for_system(
+            SystemSpec::coupled_a8_3870k(),
+            EngineConfig::for_tuples(64, 64),
+        )
+        .unwrap();
+        assert_eq!(coupled.backend_name(), "coupled-sim");
+        let discrete = JoinEngine::for_system(
+            SystemSpec::discrete_emulated(),
+            EngineConfig::for_tuples(64, 64),
+        )
+        .unwrap();
+        assert_eq!(discrete.backend_name(), "discrete-sim");
+    }
+
+    #[test]
+    fn zero_block_size_is_an_invalid_engine_config() {
+        let err = JoinEngine::coupled(
+            EngineConfig::for_tuples(64, 64).with_allocator(AllocatorKind::Block { block_size: 0 }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+}

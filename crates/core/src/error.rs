@@ -1,0 +1,145 @@
+//! The error type of fallible join execution.
+//!
+//! The original reproduction panicked on arena exhaustion and silently
+//! clamped bad configuration; a long-lived [`JoinEngine`](crate::engine::JoinEngine)
+//! serving many requests must instead *reject* a bad request and stay
+//! usable, so every failure surfaces as a [`JoinError`].
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a join request could not be admitted or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinError {
+    /// The software allocator arena ran out of space mid-execution.
+    ///
+    /// The engine's arena is sized once (from
+    /// [`EngineConfig`](crate::engine::EngineConfig)); a request whose
+    /// working state outgrows it fails cleanly instead of panicking, and the
+    /// engine remains usable for subsequent requests.
+    ArenaExhausted {
+        /// Bytes of the allocation that failed.
+        requested: usize,
+        /// Total arena capacity in bytes.
+        capacity: usize,
+        /// Bytes already handed out when the request failed.
+        used: usize,
+    },
+    /// A workload ratio fell outside `[0, 1]` (or was not finite).
+    InvalidRatio {
+        /// Which step series the ratio belongs to ("partition", "build",
+        /// "probe").
+        series: &'static str,
+        /// Zero-based step index within the series.
+        step: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A BasicUnit chunk size of zero tuples was requested.
+    InvalidChunkSize,
+    /// The radix-bit count is outside the supported `0..=16` range
+    /// (0 selects a size-appropriate default).
+    InvalidRadixBits {
+        /// The offending value.
+        radix_bits: u32,
+    },
+    /// The input relations need more arena than the engine owns.
+    ///
+    /// Returned at admission, before any work is done, so an oversized
+    /// request cannot corrupt or exhaust the shared arena mid-flight.
+    OversizedInput {
+        /// Build-relation cardinality of the rejected request.
+        build_tuples: usize,
+        /// Probe-relation cardinality of the rejected request.
+        probe_tuples: usize,
+        /// Arena bytes the request would need.
+        required_bytes: usize,
+        /// Arena bytes the engine owns.
+        arena_bytes: usize,
+    },
+    /// A structurally invalid configuration (mismatched knobs, zero-sized
+    /// engine, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::ArenaExhausted {
+                requested,
+                capacity,
+                used,
+            } => write!(
+                f,
+                "arena exhausted: allocation of {requested} B failed with {used}/{capacity} B used"
+            ),
+            JoinError::InvalidRatio {
+                series,
+                step,
+                value,
+            } => write!(
+                f,
+                "invalid workload ratio {value} for {series} step {step} (must be in [0, 1])"
+            ),
+            JoinError::InvalidChunkSize => {
+                write!(f, "BasicUnit chunk size must be at least one tuple")
+            }
+            JoinError::InvalidRadixBits { radix_bits } => {
+                write!(
+                    f,
+                    "radix bits {radix_bits} outside the supported 0..=16 range"
+                )
+            }
+            JoinError::OversizedInput {
+                build_tuples,
+                probe_tuples,
+                required_bytes,
+                arena_bytes,
+            } => write!(
+                f,
+                "join of {build_tuples} x {probe_tuples} tuples needs {required_bytes} B of arena \
+                 but the engine owns {arena_bytes} B"
+            ),
+            JoinError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for JoinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_the_relevant_numbers() {
+        let e = JoinError::ArenaExhausted {
+            requested: 64,
+            capacity: 1024,
+            used: 1000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("64") && msg.contains("1024") && msg.contains("1000"));
+
+        let e = JoinError::OversizedInput {
+            build_tuples: 10,
+            probe_tuples: 20,
+            required_bytes: 4096,
+            arena_bytes: 1024,
+        };
+        assert!(e.to_string().contains("4096"));
+
+        let e = JoinError::InvalidRatio {
+            series: "build",
+            step: 2,
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("build step 2"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn Error> = Box::new(JoinError::InvalidChunkSize);
+        assert!(!e.to_string().is_empty());
+    }
+}

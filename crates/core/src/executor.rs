@@ -1,14 +1,23 @@
-//! The top-level join executor: turns a [`JoinConfig`] into a
-//! [`JoinOutcome`] on a given [`SystemSpec`].
+//! The join execution skeleton: turns a [`JoinConfig`] into a
+//! [`JoinOutcome`] on a caller-provided [`ExecContext`].
 //!
 //! This is where the co-processing schemes, the hash-table mode, the
 //! discrete-architecture transfer/merge accounting and the two algorithms
-//! (SHJ / PHJ) come together, mirroring Section 3 of the paper.
+//! (SHJ / PHJ) come together, mirroring Section 3 of the paper.  The
+//! functions here are *fallible* and allocate only from the context's
+//! arena, so a long-lived [`JoinEngine`](crate::engine::JoinEngine) can run
+//! many requests over one reusable arena and reject, rather than crash on,
+//! a request that outgrows it.
+//!
+//! The deprecated free function [`run_join`] remains as a thin shim that
+//! spins up a single-use engine.
 
 use crate::build::{run_build_phase, BuildTarget};
 use crate::coarse::run_coarse_pair_joins;
 use crate::config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
-use crate::context::{arena_bytes_for, ExecContext};
+use crate::context::ExecContext;
+use crate::engine::{EngineConfig, JoinEngine, JoinRequest};
+use crate::error::JoinError;
 use crate::hashtable::HashTable;
 use crate::partition::{default_radix_bits, run_partition_pass};
 use crate::phase::PhaseExecution;
@@ -20,38 +29,81 @@ use crate::steps::instr;
 use apu_sim::{DeviceKind, Phase, SimTime, SystemSpec};
 use datagen::Relation;
 
-/// Runs one hash join of `build ⨝ probe` on `sys` as configured by `cfg`.
+/// Runs one hash join of `build ⨝ probe` as configured by `cfg`, using the
+/// devices and arena of `ctx`.
 ///
 /// The relations are processed for real (the outcome's match count can be
 /// checked against [`crate::result::reference_match_count`]); elapsed times
-/// are simulated by the device model of `apu-sim`.
-pub fn run_join(sys: &SystemSpec, build: &Relation, probe: &Relation, cfg: &JoinConfig) -> JoinOutcome {
-    let mut ctx = ExecContext::new(
-        sys,
-        cfg.allocator,
-        arena_bytes_for(build.len(), probe.len()),
-        cfg.profile_cache,
-    );
+/// are simulated by the device model of `apu-sim`.  Run-wide counters
+/// accumulate into `ctx.counters`; the engine copies them into the outcome
+/// after finalisation.
+///
+/// # Errors
+/// Returns [`JoinError::ArenaExhausted`] when the context's arena cannot
+/// hold the join's working state.
+pub fn execute_join(
+    ctx: &mut ExecContext<'_>,
+    build: &Relation,
+    probe: &Relation,
+    cfg: &JoinConfig,
+) -> Result<JoinOutcome, JoinError> {
     let mut outcome = JoinOutcome::default();
 
     match (&cfg.scheme, cfg.algorithm) {
         (Scheme::BasicUnit { chunk_tuples }, _) => {
-            run_basic_unit(&mut ctx, build, probe, cfg, *chunk_tuples, &mut outcome);
+            run_basic_unit(ctx, build, probe, cfg, *chunk_tuples, &mut outcome)?;
         }
         (_, Algorithm::Simple) => {
             let plan = RatioPlan::from_scheme(&cfg.scheme).expect("ratio-based scheme");
-            join_pair(&mut ctx, build, probe, cfg, &plan, &mut outcome, true);
+            join_pair(ctx, build, probe, cfg, &plan, &mut outcome, true)?;
         }
         (_, Algorithm::Partitioned { .. }) => {
             let plan = RatioPlan::from_scheme(&cfg.scheme).expect("ratio-based scheme");
-            run_partitioned(&mut ctx, build, probe, cfg, &plan, &mut outcome);
+            run_partitioned(ctx, build, probe, cfg, &plan, &mut outcome)?;
         }
     }
 
-    ctx.finalize_counters();
-    outcome.counters = ctx.counters.clone();
-    outcome.counters.matches = outcome.matches;
-    outcome
+    Ok(outcome)
+}
+
+/// Runs one hash join of `build ⨝ probe` on `sys` as configured by `cfg`.
+///
+/// # Deprecated
+/// This one-shot entry point allocates a fresh arena and context per call
+/// and panics on failure.  Construct a [`JoinEngine`] once and execute
+/// [`JoinRequest`]s against it instead:
+///
+/// ```
+/// use hj_core::engine::{EngineConfig, JoinEngine, JoinRequest};
+/// use hj_core::Scheme;
+///
+/// # let (build, probe) = datagen::generate_pair(&datagen::DataGenConfig::small(512, 1024));
+/// let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384)).unwrap();
+/// let request = JoinRequest::builder().scheme(Scheme::pipelined_paper()).build().unwrap();
+/// let outcome = engine.execute(&request, &build, &probe).unwrap();
+/// ```
+///
+/// # Panics
+/// Panics when the join fails (e.g. on arena exhaustion); the engine path
+/// returns those failures as [`JoinError`] values.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a JoinEngine once and execute JoinRequests against it; \
+            see the migration note in the hj_core crate docs"
+)]
+pub fn run_join(
+    sys: &SystemSpec,
+    build: &Relation,
+    probe: &Relation,
+    cfg: &JoinConfig,
+) -> JoinOutcome {
+    let request = JoinRequest::from_config(cfg.clone()).expect("invalid join configuration");
+    let config = EngineConfig::for_tuples(build.len(), probe.len()).with_allocator(cfg.allocator);
+    let mut engine =
+        JoinEngine::for_system(sys.clone(), config).expect("engine construction failed");
+    engine
+        .execute(&request, build, probe)
+        .expect("join execution failed")
 }
 
 /// Whether this run must keep per-device hash tables.
@@ -89,14 +141,14 @@ fn merge_tables(
     outcome: &mut JoinOutcome,
     dst: &mut HashTable,
     src: &HashTable,
-) {
+) -> Result<(), JoinError> {
     if src.tuple_count() == 0 {
-        return;
+        return Ok(());
     }
     let before = ctx.alloc_snapshot();
-    let stats = dst
-        .merge_from(src, ctx.allocator.as_mut(), 0)
-        .expect("arena exhausted during merge");
+    let Ok(stats) = dst.merge_from(src, ctx.allocator.as_mut(), 0) else {
+        return Err(ctx.arena_error(crate::hashtable::KEY_NODE_BYTES));
+    };
     let delta = ctx.alloc_snapshot().delta_since(&before);
     let mut rec = ctx.recorder_for(DeviceKind::Cpu);
     for _ in 0..stats.rids_moved {
@@ -111,6 +163,7 @@ fn merge_tables(
     let kt = ctx.device(DeviceKind::Cpu).kernel_time(&cost, &mem);
     ctx.counters.lock_overhead += kt.atomic;
     outcome.breakdown.add(Phase::Merge, kt.total());
+    Ok(())
 }
 
 /// Builds and probes one `(build, probe)` relation pair.
@@ -127,7 +180,7 @@ fn join_pair(
     plan: &RatioPlan,
     outcome: &mut JoinOutcome,
     top_level_io: bool,
-) {
+) -> Result<(), JoinError> {
     let n_r = build_rel.len();
     let separate = use_separate_tables(ctx.sys, cfg, plan);
 
@@ -156,7 +209,7 @@ fn join_pair(
             },
             &build_ratios,
             cfg.grouping,
-        );
+        )?;
         record_phase(ctx, outcome, phase);
         if top_level_io {
             // The GPU's partial hash table travels back for merging.
@@ -165,12 +218,18 @@ fn join_pair(
         if cpu_t.tuple_count() == 0 {
             gpu_t
         } else {
-            merge_tables(ctx, outcome, &mut cpu_t, &gpu_t, );
+            merge_tables(ctx, outcome, &mut cpu_t, &gpu_t)?;
             cpu_t
         }
     } else {
         let mut t = HashTable::for_build_size(n_r);
-        let phase = run_build_phase(ctx, build_rel, BuildTarget::Shared(&mut t), &plan.build, cfg.grouping);
+        let phase = run_build_phase(
+            ctx,
+            build_rel,
+            BuildTarget::Shared(&mut t),
+            &plan.build,
+            cfg.grouping,
+        )?;
         if top_level_io {
             // Pipelined intermediate results would cross the bus on the
             // discrete topology (the inefficiency of PL there, Section 5.2).
@@ -183,7 +242,11 @@ fn join_pair(
     // ---- probe phase ----
     if top_level_io {
         let gpu_share = 1.0 - plan.probe_cpu_share();
-        add_transfer(ctx, outcome, (gpu_share * (probe_rel.len() * 8) as f64) as u64);
+        add_transfer(
+            ctx,
+            outcome,
+            (gpu_share * (probe_rel.len() * 8) as f64) as u64,
+        );
     }
     let (out, phase) = run_probe_phase(
         ctx,
@@ -192,7 +255,7 @@ fn join_pair(
         &plan.probe,
         cfg.grouping,
         cfg.collect_results,
-    );
+    )?;
     if top_level_io {
         add_transfer(ctx, outcome, phase.intermediate_tuples * 8);
         let gpu_share = 1.0 - plan.probe_cpu_share();
@@ -203,6 +266,7 @@ fn join_pair(
         outcome.pairs.get_or_insert_with(Vec::new).extend(p);
     }
     record_phase(ctx, outcome, phase);
+    Ok(())
 }
 
 /// Radix-partitions `rel` over `passes` passes of `bits` bits each.
@@ -213,7 +277,7 @@ fn partition_relation(
     passes: u32,
     plan: &RatioPlan,
     outcome: &mut JoinOutcome,
-) -> Vec<Relation> {
+) -> Result<Vec<Relation>, JoinError> {
     let fanout = 1usize << bits;
     let mut parts = vec![rel.clone()];
     for pass in 0..passes {
@@ -223,14 +287,14 @@ fn partition_relation(
                 next.extend((0..fanout).map(|_| Relation::new()));
                 continue;
             }
-            let (ps, phase) = run_partition_pass(ctx, p, bits, pass, &plan.partition);
+            let (ps, phase) = run_partition_pass(ctx, p, bits, pass, &plan.partition)?;
             add_transfer(ctx, outcome, phase.intermediate_tuples * 8);
             record_phase(ctx, outcome, phase);
             next.extend(ps);
         }
         parts = next;
     }
-    parts
+    Ok(parts)
 }
 
 fn run_partitioned(
@@ -240,7 +304,7 @@ fn run_partitioned(
     cfg: &JoinConfig,
     plan: &RatioPlan,
     outcome: &mut JoinOutcome,
-) {
+) -> Result<(), JoinError> {
     let (bits, passes) = match cfg.algorithm {
         Algorithm::Partitioned { radix_bits, passes } => (radix_bits, passes.max(1)),
         Algorithm::Simple => unreachable!("run_partitioned requires Algorithm::Partitioned"),
@@ -260,13 +324,13 @@ fn run_partitioned(
         (gpu_share * ((build_rel.len() + probe_rel.len()) * 8) as f64) as u64,
     );
 
-    let parts_r = partition_relation(ctx, build_rel, bits, passes, plan, outcome);
-    let parts_s = partition_relation(ctx, probe_rel, bits, passes, plan, outcome);
+    let parts_r = partition_relation(ctx, build_rel, bits, passes, plan, outcome)?;
+    let parts_s = partition_relation(ctx, probe_rel, bits, passes, plan, outcome)?;
 
     match cfg.granularity {
         StepGranularity::Coarse => {
             let mut collected = cfg.collect_results.then(Vec::new);
-            let result = run_coarse_pair_joins(ctx, &parts_r, &parts_s, collected.as_mut());
+            let result = run_coarse_pair_joins(ctx, &parts_r, &parts_s, collected.as_mut())?;
             outcome.matches += result.matches;
             if let Some(p) = collected {
                 outcome.pairs.get_or_insert_with(Vec::new).extend(p);
@@ -282,21 +346,30 @@ fn run_partitioned(
                     result.probe_time.as_ns() / busy.as_ns(),
                 )
             };
-            outcome.breakdown.add(Phase::Build, result.elapsed * build_share);
-            outcome.breakdown.add(Phase::Probe, result.elapsed * probe_share);
+            outcome
+                .breakdown
+                .add(Phase::Build, result.elapsed * build_share);
+            outcome
+                .breakdown
+                .add(Phase::Probe, result.elapsed * probe_share);
         }
         StepGranularity::Fine => {
             for (r_p, s_p) in parts_r.iter().zip(parts_s.iter()) {
                 if r_p.is_empty() && s_p.is_empty() {
                     continue;
                 }
-                join_pair(ctx, r_p, s_p, cfg, plan, outcome, false);
+                join_pair(ctx, r_p, s_p, cfg, plan, outcome, false)?;
             }
             // Result pairs travel back once for the whole join.
             let gpu_share = 1.0 - plan.probe_cpu_share();
-            add_transfer(ctx, outcome, (gpu_share * (outcome.matches * 8) as f64) as u64);
+            add_transfer(
+                ctx,
+                outcome,
+                (gpu_share * (outcome.matches * 8) as f64) as u64,
+            );
         }
     }
+    Ok(())
 }
 
 fn run_basic_unit(
@@ -306,7 +379,7 @@ fn run_basic_unit(
     cfg: &JoinConfig,
     chunk: usize,
     outcome: &mut JoinOutcome,
-) {
+) -> Result<(), JoinError> {
     let mut ratios = BasicUnitRatios::default();
 
     // Optional partition phase (PHJ under BasicUnit), one pass.
@@ -320,27 +393,28 @@ fn run_basic_unit(
         let mut partition_cpu_items = 0usize;
         let mut partition_items = 0usize;
         let mut partition_elapsed = SimTime::ZERO;
-        let mut split = |ctx: &mut ExecContext<'_>, rel: &Relation| -> Vec<Relation> {
-            let mut acc: Vec<Relation> = (0..fanout).map(|_| Relation::new()).collect();
-            let sched = basic_unit::run_chunks(ctx, rel.len(), chunk, |ctx, range, device| {
-                let sub = rel.slice(range);
-                let r = match device {
-                    DeviceKind::Cpu => Ratios::cpu_only(3),
-                    DeviceKind::Gpu => Ratios::gpu_only(3),
-                };
-                let (ps, phase) = run_partition_pass(ctx, &sub, bits, 0, &r);
-                for (i, p) in ps.iter().enumerate() {
-                    acc[i].extend_from(p);
-                }
-                phase.elapsed()
-            });
-            partition_cpu_items += sched.cpu_items;
-            partition_items += sched.cpu_items + sched.gpu_items;
-            partition_elapsed += sched.elapsed;
-            acc
-        };
-        let parts_r = split(ctx, build_rel);
-        let parts_s = split(ctx, probe_rel);
+        let mut split =
+            |ctx: &mut ExecContext<'_>, rel: &Relation| -> Result<Vec<Relation>, JoinError> {
+                let mut acc: Vec<Relation> = (0..fanout).map(|_| Relation::new()).collect();
+                let sched = basic_unit::run_chunks(ctx, rel.len(), chunk, |ctx, range, device| {
+                    let sub = rel.slice(range);
+                    let r = match device {
+                        DeviceKind::Cpu => Ratios::cpu_only(3),
+                        DeviceKind::Gpu => Ratios::gpu_only(3),
+                    };
+                    let (ps, phase) = run_partition_pass(ctx, &sub, bits, 0, &r)?;
+                    for (i, p) in ps.iter().enumerate() {
+                        acc[i].extend_from(p);
+                    }
+                    Ok(phase.elapsed())
+                })?;
+                partition_cpu_items += sched.cpu_items;
+                partition_items += sched.cpu_items + sched.gpu_items;
+                partition_elapsed += sched.elapsed;
+                Ok(acc)
+            };
+        let parts_r = split(ctx, build_rel)?;
+        let parts_s = split(ctx, probe_rel)?;
         outcome.breakdown.add(Phase::Partition, partition_elapsed);
         ratios.partition = if partition_items == 0 {
             0.0
@@ -356,33 +430,42 @@ fn run_basic_unit(
         None => {
             // SHJ: chunk the build, then chunk the probe, over a shared table.
             let mut table = HashTable::for_build_size(build_rel.len());
-            let sched = basic_unit::run_chunks(ctx, build_rel.len(), chunk, |ctx, range, device| {
-                let sub = build_rel.slice(range);
-                let r = match device {
-                    DeviceKind::Cpu => Ratios::cpu_only(4),
-                    DeviceKind::Gpu => Ratios::gpu_only(4),
-                };
-                run_build_phase(ctx, &sub, BuildTarget::Shared(&mut table), &r, cfg.grouping).elapsed()
-            });
+            let sched =
+                basic_unit::run_chunks(ctx, build_rel.len(), chunk, |ctx, range, device| {
+                    let sub = build_rel.slice(range);
+                    let r = match device {
+                        DeviceKind::Cpu => Ratios::cpu_only(4),
+                        DeviceKind::Gpu => Ratios::gpu_only(4),
+                    };
+                    Ok(run_build_phase(
+                        ctx,
+                        &sub,
+                        BuildTarget::Shared(&mut table),
+                        &r,
+                        cfg.grouping,
+                    )?
+                    .elapsed())
+                })?;
             outcome.breakdown.add(Phase::Build, sched.elapsed);
             ratios.build = sched.cpu_ratio();
 
             let mut matches = 0u64;
             let mut all_pairs: Vec<(u32, u32)> = Vec::new();
-            let sched = basic_unit::run_chunks(ctx, probe_rel.len(), chunk, |ctx, range, device| {
-                let sub = probe_rel.slice(range);
-                let r = match device {
-                    DeviceKind::Cpu => Ratios::cpu_only(4),
-                    DeviceKind::Gpu => Ratios::gpu_only(4),
-                };
-                let (out, phase) =
-                    run_probe_phase(ctx, &sub, &table, &r, cfg.grouping, cfg.collect_results);
-                matches += out.matches;
-                if let Some(p) = out.pairs {
-                    all_pairs.extend(p);
-                }
-                phase.elapsed()
-            });
+            let sched =
+                basic_unit::run_chunks(ctx, probe_rel.len(), chunk, |ctx, range, device| {
+                    let sub = probe_rel.slice(range);
+                    let r = match device {
+                        DeviceKind::Cpu => Ratios::cpu_only(4),
+                        DeviceKind::Gpu => Ratios::gpu_only(4),
+                    };
+                    let (out, phase) =
+                        run_probe_phase(ctx, &sub, &table, &r, cfg.grouping, cfg.collect_results)?;
+                    matches += out.matches;
+                    if let Some(p) = out.pairs {
+                        all_pairs.extend(p);
+                    }
+                    Ok(phase.elapsed())
+                })?;
             outcome.breakdown.add(Phase::Probe, sched.elapsed);
             ratios.probe = sched.cpu_ratio();
             outcome.matches += matches;
@@ -412,9 +495,21 @@ fn run_basic_unit(
                     DeviceKind::Gpu => (Ratios::gpu_only(4), Ratios::gpu_only(4)),
                 };
                 let mut table = HashTable::for_build_size(r_p.len());
-                let bp = run_build_phase(ctx, r_p, BuildTarget::Shared(&mut table), &build_r, cfg.grouping);
-                let (out, pp) =
-                    run_probe_phase(ctx, s_p, &table, &probe_r, cfg.grouping, cfg.collect_results);
+                let bp = run_build_phase(
+                    ctx,
+                    r_p,
+                    BuildTarget::Shared(&mut table),
+                    &build_r,
+                    cfg.grouping,
+                )?;
+                let (out, pp) = run_probe_phase(
+                    ctx,
+                    s_p,
+                    &table,
+                    &probe_r,
+                    cfg.grouping,
+                    cfg.collect_results,
+                )?;
                 outcome.matches += out.matches;
                 if let Some(p) = out.pairs {
                     outcome.pairs.get_or_insert_with(Vec::new).extend(p);
@@ -438,7 +533,10 @@ fn run_basic_unit(
             let (bs, ps) = if busy.is_zero() {
                 (0.5, 0.5)
             } else {
-                (build_busy.as_ns() / busy.as_ns(), probe_busy.as_ns() / busy.as_ns())
+                (
+                    build_busy.as_ns() / busy.as_ns(),
+                    probe_busy.as_ns() / busy.as_ns(),
+                )
             };
             outcome.breakdown.add(Phase::Build, elapsed * bs);
             outcome.breakdown.add(Phase::Probe, elapsed * ps);
@@ -453,6 +551,7 @@ fn run_basic_unit(
     }
 
     outcome.basic_unit_ratios = Some(ratios);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -460,6 +559,14 @@ mod tests {
     use super::*;
     use crate::result::reference_match_count;
     use datagen::DataGenConfig;
+
+    /// Engine-backed equivalent of the old one-shot entry point.
+    fn run(sys: &SystemSpec, r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinOutcome {
+        let config = EngineConfig::for_tuples(r.len(), s.len()).with_allocator(cfg.allocator);
+        let mut engine = JoinEngine::for_system(sys.clone(), config).unwrap();
+        let request = JoinRequest::from_config(cfg.clone()).unwrap();
+        engine.execute(&request, r, s).unwrap()
+    }
 
     fn data(n: usize) -> (Relation, Relation, u64) {
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(n, n * 2));
@@ -480,7 +587,7 @@ mod tests {
             Scheme::basic_unit_default(),
         ] {
             let cfg = JoinConfig::shj(scheme.clone());
-            let out = run_join(&sys, &r, &s, &cfg);
+            let out = run(&sys, &r, &s, &cfg);
             assert_eq!(out.matches, expected, "scheme {:?}", scheme.label());
             assert!(out.total_time() > SimTime::ZERO);
         }
@@ -498,7 +605,7 @@ mod tests {
             Scheme::basic_unit_default(),
         ] {
             let cfg = JoinConfig::phj(scheme.clone());
-            let out = run_join(&sys, &r, &s, &cfg);
+            let out = run(&sys, &r, &s, &cfg);
             assert_eq!(out.matches, expected, "scheme {:?}", scheme.label());
             assert!(out.breakdown.get(Phase::Partition) > SimTime::ZERO);
         }
@@ -509,7 +616,7 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s, _) = data(800);
         let cfg = JoinConfig::phj(Scheme::pipelined_paper()).with_collect_results(true);
-        let out = run_join(&sys, &r, &s, &cfg);
+        let out = run(&sys, &r, &s, &cfg);
         let mut got = out.pairs.unwrap();
         got.sort_unstable();
         assert_eq!(got, crate::result::reference_pairs(&r, &s));
@@ -519,12 +626,18 @@ mod tests {
     fn separate_tables_add_a_merge_phase() {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s, expected) = data(2000);
-        let shared = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::data_dividing_paper()));
-        let separate = run_join(
+        let shared = run(
             &sys,
             &r,
             &s,
-            &JoinConfig::shj(Scheme::data_dividing_paper()).with_hash_table(HashTableMode::Separate),
+            &JoinConfig::shj(Scheme::data_dividing_paper()),
+        );
+        let separate = run(
+            &sys,
+            &r,
+            &s,
+            &JoinConfig::shj(Scheme::data_dividing_paper())
+                .with_hash_table(HashTableMode::Separate),
         );
         assert_eq!(shared.matches, expected);
         assert_eq!(separate.matches, expected);
@@ -539,8 +652,8 @@ mod tests {
         let discrete = SystemSpec::discrete_emulated();
         let (r, s, expected) = data(4000);
         let cfg = JoinConfig::shj(Scheme::data_dividing_paper());
-        let on_coupled = run_join(&coupled, &r, &s, &cfg);
-        let on_discrete = run_join(&discrete, &r, &s, &cfg);
+        let on_coupled = run(&coupled, &r, &s, &cfg);
+        let on_discrete = run(&discrete, &r, &s, &cfg);
         assert_eq!(on_coupled.matches, expected);
         assert_eq!(on_discrete.matches, expected);
         assert_eq!(on_coupled.breakdown.get(Phase::DataTransfer), SimTime::ZERO);
@@ -555,7 +668,7 @@ mod tests {
         // GPU-only" (Section 5.2).
         let discrete = SystemSpec::discrete_emulated();
         let (r, s, expected) = data(2000);
-        let out = run_join(&discrete, &r, &s, &JoinConfig::shj(Scheme::offload_gpu()));
+        let out = run(&discrete, &r, &s, &JoinConfig::shj(Scheme::offload_gpu()));
         assert_eq!(out.matches, expected);
         assert_eq!(out.breakdown.get(Phase::Merge), SimTime::ZERO);
         assert!(out.breakdown.get(Phase::DataTransfer) > SimTime::ZERO);
@@ -565,9 +678,9 @@ mod tests {
     fn pipelined_beats_single_device_execution() {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(40_000, 40_000));
-        let cpu = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::CpuOnly));
-        let gpu = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::GpuOnly));
-        let pl = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+        let cpu = run(&sys, &r, &s, &JoinConfig::shj(Scheme::CpuOnly));
+        let gpu = run(&sys, &r, &s, &JoinConfig::shj(Scheme::GpuOnly));
+        let pl = run(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
         assert!(
             pl.total_time() < cpu.total_time(),
             "PL {} should beat CPU-only {}",
@@ -586,8 +699,8 @@ mod tests {
     fn coarse_granularity_is_slower_than_fine() {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s, expected) = data(20_000);
-        let fine = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
-        let coarse = run_join(
+        let fine = run(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+        let coarse = run(
             &sys,
             &r,
             &s,
@@ -603,7 +716,7 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s, expected) = data(10_000);
         let cfg = JoinConfig::shj(Scheme::BasicUnit { chunk_tuples: 1024 });
-        let out = run_join(&sys, &r, &s, &cfg);
+        let out = run(&sys, &r, &s, &cfg);
         assert_eq!(out.matches, expected);
         let ratios = out.basic_unit_ratios.unwrap();
         assert!(ratios.build > 0.0 && ratios.build < 1.0);
@@ -614,14 +727,29 @@ mod tests {
     fn basic_allocator_is_slower_than_block_allocator() {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s, _) = data(20_000);
-        let ours = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::data_dividing_paper()));
-        let basic = run_join(
+        let ours = run(
             &sys,
             &r,
             &s,
-            &JoinConfig::phj(Scheme::data_dividing_paper()).with_allocator(mem_alloc::AllocatorKind::Basic),
+            &JoinConfig::phj(Scheme::data_dividing_paper()),
+        );
+        let basic = run(
+            &sys,
+            &r,
+            &s,
+            &JoinConfig::phj(Scheme::data_dividing_paper())
+                .with_allocator(mem_alloc::AllocatorKind::Basic),
         );
         assert!(basic.total_time() > ours.total_time());
         assert!(basic.counters.lock_overhead > ours.counters.lock_overhead);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_runs() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let (r, s, expected) = data(1000);
+        let out = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+        assert_eq!(out.matches, expected);
     }
 }

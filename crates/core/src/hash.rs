@@ -84,7 +84,11 @@ mod tests {
         for k in 0..10_000u32 {
             seen.insert(bucket_of(hash_key(k), buckets));
         }
-        assert!(seen.len() > buckets * 9 / 10, "only {} buckets hit", seen.len());
+        assert!(
+            seen.len() > buckets * 9 / 10,
+            "only {} buckets hit",
+            seen.len()
+        );
     }
 
     #[test]
@@ -120,7 +124,10 @@ mod tests {
         let expected = (n / buckets) as f64;
         for &c in &counts {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.25, "bucket count {c} deviates {dev:.2} from {expected}");
+            assert!(
+                dev < 0.25,
+                "bucket count {c} deviates {dev:.2} from {expected}"
+            );
         }
     }
 }

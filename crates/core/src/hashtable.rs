@@ -385,7 +385,7 @@ mod tests {
         assert_eq!(t.key_node_count(), 20);
         let (found, visited) = t.find_key(0, 0);
         assert!(found.is_some());
-        assert!(visited >= 1 && visited <= 20);
+        assert!((1..=20).contains(&visited));
         let (missing, visited_all) = t.find_key(0, 999);
         assert!(missing.is_none());
         assert_eq!(visited_all, 20);

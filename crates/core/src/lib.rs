@@ -4,10 +4,17 @@
 //! *"Revisiting Co-Processing for Hash Joins on the Coupled CPU-GPU
 //! Architecture"* (He, Lu, He; VLDB 2013): hash joins decomposed into
 //! per-tuple steps, co-processed across a CPU and a GPU that share memory
-//! and cache.
+//! and cache — served through a long-lived, fallible [`JoinEngine`].
 //!
 //! ## What it provides
 //!
+//! * **The engine** ([`engine`]) — a [`JoinEngine`] is constructed once
+//!   from an [`ExecBackend`] + [`EngineConfig`], owns one reusable arena,
+//!   admits [`JoinRequest`]s built with a validating builder and returns
+//!   `Result<JoinOutcome, JoinError>` instead of panicking.  Backends:
+//!   [`CoupledSim`] (the paper's APU), [`DiscreteSim`] (the emulated PCI-e
+//!   baseline) and [`NativeCpu`] (the same join run for real on host
+//!   threads) share one execution skeleton.
 //! * **Algorithms** — the simple hash join (SHJ) and the radix-partitioned
 //!   hash join (PHJ), built on the paper's bucket-header → key-list →
 //!   rid-list hash table ([`hashtable`]) and MurmurHash 2.0 ([`hash`]).
@@ -25,17 +32,56 @@
 //! ## Quick start
 //!
 //! ```
-//! use hj_core::{run_join, JoinConfig, Scheme};
-//! use apu_sim::SystemSpec;
+//! use hj_core::engine::{EngineConfig, JoinEngine, JoinRequest};
+//! use hj_core::{Algorithm, Scheme};
 //! use datagen::DataGenConfig;
 //!
-//! let sys = SystemSpec::coupled_a8_3870k();
+//! // Construct once: the engine owns a reusable arena sized for the largest
+//! // join it will admit.
+//! let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(16_384, 32_768)).unwrap();
+//!
+//! // Build requests with the typed builder; bad knobs fail at build().
+//! let request = JoinRequest::builder()
+//!     .algorithm(Algorithm::partitioned_auto())
+//!     .scheme(Scheme::pipelined_paper())
+//!     .build()
+//!     .unwrap();
+//!
 //! let (build, probe) = datagen::generate_pair(&DataGenConfig::small(10_000, 20_000));
-//! let cfg = JoinConfig::phj(Scheme::pipelined_paper());
-//! let outcome = run_join(&sys, &build, &probe, &cfg);
+//! let outcome = engine.execute(&request, &build, &probe).unwrap();
 //! assert_eq!(outcome.matches, hj_core::reference_match_count(&build, &probe));
 //! println!("PHJ-PL took {} (simulated)", outcome.total_time());
+//!
+//! // The arena is reused — no per-request allocation:
+//! let again = engine.execute(&request, &build, &probe).unwrap();
+//! assert_eq!(again.matches, outcome.matches);
+//! assert_eq!(engine.stats().arenas_created, 1);
 //! ```
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! `run_join` / `run_out_of_core_join` remain as deprecated shims that
+//! construct a single-use engine per call.  Replace
+//!
+//! ```text
+//! let out = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme));
+//! ```
+//!
+//! with
+//!
+//! ```text
+//! let mut engine = JoinEngine::for_system(sys, EngineConfig::for_tuples(max_r, max_s))?;
+//! let request = JoinRequest::builder()
+//!     .algorithm(Algorithm::partitioned_auto())
+//!     .scheme(scheme)
+//!     .build()?;
+//! let out = engine.execute(&request, &build, &probe)?;
+//! ```
+//!
+//! and reuse the engine for subsequent joins.  `JoinConfig` knob setters map
+//! 1:1 onto builder methods (`with_hash_table` → `hash_table`, …); the
+//! out-of-core entry point becomes `.out_of_core(chunk_tuples)` on the
+//! builder.
 
 #![warn(missing_docs)]
 
@@ -44,6 +90,8 @@ pub mod coarse;
 pub mod config;
 pub mod context;
 pub mod divergence;
+pub mod engine;
+pub mod error;
 pub mod executor;
 pub mod hash;
 pub mod hashtable;
@@ -59,9 +107,19 @@ pub mod steps;
 pub use build::{run_build_phase, BuildTarget};
 pub use config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 pub use context::{arena_bytes_for, ExecContext, ExecCounters};
+pub use engine::{
+    CoupledSim, DiscreteSim, EngineConfig, EngineStats, ExecBackend, JoinEngine, JoinRequest,
+    JoinRequestBuilder, NativeCpu,
+};
+pub use error::JoinError;
+pub use executor::execute_join;
+#[allow(deprecated)]
 pub use executor::run_join;
 pub use hashtable::HashTable;
-pub use outofcore::{run_out_of_core_join, DEFAULT_CHUNK_TUPLES};
+pub use outofcore::execute_out_of_core;
+#[allow(deprecated)]
+pub use outofcore::run_out_of_core_join;
+pub use outofcore::DEFAULT_CHUNK_TUPLES;
 pub use partition::{default_radix_bits, run_partition_pass};
 pub use phase::{PhaseExecution, StepExecution};
 pub use probe::{run_probe_phase, ProbeOutput};

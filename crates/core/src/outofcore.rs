@@ -9,10 +9,16 @@
 //! pair is then joined in the buffer with the in-core algorithms (SHJ-PL or
 //! PHJ-PL).  The elapsed time decomposes into data-copy, partition and join
 //! time, with the copy accounting for only a few percent.
+//!
+//! The out-of-core path is requested through
+//! [`JoinRequest::builder().out_of_core(..)`](crate::engine::JoinRequestBuilder::out_of_core);
+//! the free function [`run_out_of_core_join`] remains as a deprecated shim.
 
 use crate::config::JoinConfig;
 use crate::context::{arena_bytes_for, ExecContext};
-use crate::executor::run_join;
+use crate::engine::{EngineConfig, JoinEngine, JoinRequest};
+use crate::error::JoinError;
+use crate::executor::execute_join;
 use crate::partition::run_partition_pass;
 use crate::result::JoinOutcome;
 use crate::scheme::RatioPlan;
@@ -25,32 +31,44 @@ pub const DEFAULT_CHUNK_TUPLES: usize = 16 * 1024 * 1024;
 
 /// Approximate bytes of buffer needed per build tuple for an in-core join
 /// (both inputs plus the hash table and result output).
-const BYTES_PER_TUPLE_IN_CORE: usize = 48;
+pub(crate) const BYTES_PER_TUPLE_IN_CORE: usize = 48;
 
-/// Runs `build ⨝ probe`, spilling through the zero-copy buffer when the data
-/// set does not fit.
+/// True when a join of these cardinalities exceeds `sys`' zero-copy buffer
+/// and must spill through the out-of-core path.
+pub(crate) fn spills(sys: &SystemSpec, build_tuples: usize, probe_tuples: usize) -> bool {
+    let needed = (build_tuples + probe_tuples) * BYTES_PER_TUPLE_IN_CORE / 2;
+    needed > sys.zero_copy_bytes().unwrap_or(usize::MAX)
+}
+
+/// Runs `build ⨝ probe` on the context's system, spilling through the
+/// zero-copy buffer when the data set does not fit.
 ///
 /// When the inputs (plus working state) fit in the buffer this is exactly
-/// [`run_join`]; otherwise both relations are partitioned chunk-wise until a
-/// partition pair fits, and each pair is joined with the configured in-core
-/// algorithm.  The extra copy traffic is reported under
-/// [`Phase::DataCopy`].
-pub fn run_out_of_core_join(
-    sys: &SystemSpec,
+/// [`execute_join`]; otherwise both relations are partitioned chunk-wise
+/// until a partition pair fits, and each pair is joined with the configured
+/// in-core algorithm over the *same* reusable arena (reset between chunks
+/// and pairs, as the real zero-copy buffer would be).  The extra copy
+/// traffic is reported under [`Phase::DataCopy`].
+///
+/// # Errors
+/// Returns [`JoinError::ArenaExhausted`] when a chunk or partition pair
+/// outgrows the context's arena.
+pub fn execute_out_of_core(
+    ctx: &mut ExecContext<'_>,
     build: &Relation,
     probe: &Relation,
     cfg: &JoinConfig,
     chunk_tuples: usize,
-) -> JoinOutcome {
-    let needed = (build.len() + probe.len()) * BYTES_PER_TUPLE_IN_CORE / 2;
-    let buffer = sys.zero_copy_bytes().unwrap_or(usize::MAX);
-    if needed <= buffer {
-        return run_join(sys, build, probe, cfg);
+) -> Result<JoinOutcome, JoinError> {
+    if !spills(ctx.sys, build.len(), probe.len()) {
+        return execute_join(ctx, build, probe, cfg);
     }
 
-    let plan = RatioPlan::from_scheme(&cfg.scheme)
-        .unwrap_or_else(|| RatioPlan::from_scheme(&crate::config::Scheme::data_dividing_paper()).unwrap());
+    let plan = RatioPlan::from_scheme(&cfg.scheme).unwrap_or_else(|| {
+        RatioPlan::from_scheme(&crate::config::Scheme::data_dividing_paper()).unwrap()
+    });
     let chunk_tuples = chunk_tuples.max(1);
+    let buffer = ctx.sys.zero_copy_bytes().unwrap_or(usize::MAX);
 
     // Choose the number of out-of-core partitions so one partition pair fits
     // comfortably in the buffer.
@@ -61,12 +79,6 @@ pub fn run_out_of_core_join(
     let fanout = 1usize << bits;
 
     let mut outcome = JoinOutcome::default();
-    let mut ctx = ExecContext::new(
-        sys,
-        cfg.allocator,
-        arena_bytes_for(chunk_tuples, chunk_tuples),
-        false,
-    );
 
     // Phase 1: stream both relations through the buffer in chunks,
     // partitioning each chunk and copying the partitions out.
@@ -77,17 +89,17 @@ pub fn run_out_of_core_join(
         while start < rel.len() {
             let end = (start + chunk_tuples).min(rel.len());
             let chunk = rel.slice(start..end);
-            add_copy(&mut outcome, sys, chunk.bytes() as u64); // copy in
-            let (ps, phase) = run_partition_pass(&mut ctx, &chunk, bits, 0, &plan.partition);
+            add_copy(&mut outcome, ctx.sys, chunk.bytes() as u64); // copy in
+            let (ps, phase) = run_partition_pass(ctx, &chunk, bits, 0, &plan.partition)?;
             outcome.breakdown.add(Phase::Partition, phase.elapsed());
             let mut copied_out = 0u64;
             for (i, p) in ps.iter().enumerate() {
                 copied_out += p.bytes() as u64;
                 parts[i].extend_from(p);
             }
-            add_copy(&mut outcome, sys, copied_out); // copy intermediate partitions out
-            // The zero-copy buffer (and its pre-allocated arena) is reused for
-            // the next chunk once its partitions have been copied out.
+            add_copy(&mut outcome, ctx.sys, copied_out); // copy intermediate partitions out
+                                                         // The zero-copy buffer (and its pre-allocated arena) is reused for
+                                                         // the next chunk once its partitions have been copied out.
             ctx.allocator.reset();
             start = end;
         }
@@ -99,20 +111,53 @@ pub fn run_out_of_core_join(
         if r_p.is_empty() && s_p.is_empty() {
             continue;
         }
-        add_copy(&mut outcome, sys, (r_p.bytes() + s_p.bytes()) as u64);
-        let pair_outcome = run_join(sys, r_p, s_p, cfg);
+        let needed = arena_bytes_for(r_p.len(), s_p.len());
+        if needed > ctx.allocator.capacity() {
+            return Err(ctx.arena_error(needed));
+        }
+        ctx.allocator.reset();
+        add_copy(&mut outcome, ctx.sys, (r_p.bytes() + s_p.bytes()) as u64);
+        let pair_outcome = execute_join(ctx, r_p, s_p, cfg)?;
         outcome.matches += pair_outcome.matches;
         if let Some(p) = pair_outcome.pairs {
             outcome.pairs.get_or_insert_with(Vec::new).extend(p);
         }
         outcome.breakdown.merge(&pair_outcome.breakdown);
-        add_copy(&mut outcome, sys, pair_outcome.matches * 8);
+        add_copy(&mut outcome, ctx.sys, pair_outcome.matches * 8);
     }
 
-    ctx.finalize_counters();
-    outcome.counters = ctx.counters.clone();
-    outcome.counters.matches = outcome.matches;
-    outcome
+    Ok(outcome)
+}
+
+/// Runs `build ⨝ probe` on `sys`, spilling through the zero-copy buffer when
+/// the data set does not fit.
+///
+/// # Deprecated
+/// Use a [`JoinEngine`] with
+/// [`JoinRequest::builder().out_of_core(chunk)`](crate::engine::JoinRequestBuilder::out_of_core)
+/// instead; this shim constructs a single-use engine per call and panics on
+/// failure.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct a JoinEngine and set JoinRequest::builder().out_of_core(chunk); \
+            see the migration note in the hj_core crate docs"
+)]
+pub fn run_out_of_core_join(
+    sys: &SystemSpec,
+    build: &Relation,
+    probe: &Relation,
+    cfg: &JoinConfig,
+    chunk_tuples: usize,
+) -> JoinOutcome {
+    let request = JoinRequest::from_config(cfg.clone())
+        .and_then(|r| r.with_out_of_core(chunk_tuples))
+        .expect("invalid join configuration");
+    let config = EngineConfig::for_tuples(build.len(), probe.len()).with_allocator(cfg.allocator);
+    let mut engine =
+        JoinEngine::for_system(sys.clone(), config).expect("engine construction failed");
+    engine
+        .execute(&request, build, probe)
+        .expect("out-of-core join execution failed")
 }
 
 /// Charges a copy between system memory and the zero-copy buffer at the
@@ -138,6 +183,7 @@ pub fn in_core_capacity_tuples(zero_copy_bytes: usize) -> usize {
 mod tests {
     use super::*;
     use crate::config::{JoinConfig, Scheme};
+    use crate::engine::{EngineConfig, JoinEngine, JoinRequest};
     use crate::result::reference_match_count;
     use apu_sim::Topology;
     use datagen::DataGenConfig;
@@ -153,12 +199,28 @@ mod tests {
         sys
     }
 
+    fn run(
+        sys: &SystemSpec,
+        r: &Relation,
+        s: &Relation,
+        cfg: &JoinConfig,
+        chunk: usize,
+    ) -> JoinOutcome {
+        let request = JoinRequest::from_config(cfg.clone())
+            .and_then(|req| req.with_out_of_core(chunk))
+            .unwrap();
+        let mut engine =
+            JoinEngine::for_system(sys.clone(), EngineConfig::for_tuples(r.len(), s.len()))
+                .unwrap();
+        engine.execute(&request, r, s).unwrap()
+    }
+
     #[test]
     fn in_core_data_uses_the_plain_path() {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(1000, 1000));
         let cfg = JoinConfig::shj(Scheme::pipelined_paper());
-        let out = run_out_of_core_join(&sys, &r, &s, &cfg, DEFAULT_CHUNK_TUPLES);
+        let out = run(&sys, &r, &s, &cfg, DEFAULT_CHUNK_TUPLES);
         assert_eq!(out.matches, reference_match_count(&r, &s));
         assert_eq!(out.breakdown.get(Phase::DataCopy), SimTime::ZERO);
     }
@@ -168,7 +230,7 @@ mod tests {
         let sys = tiny_buffer_system(64 * 1024);
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(20_000, 20_000));
         let cfg = JoinConfig::shj(Scheme::pipelined_paper());
-        let out = run_out_of_core_join(&sys, &r, &s, &cfg, 4096);
+        let out = run(&sys, &r, &s, &cfg, 4096);
         assert_eq!(out.matches, reference_match_count(&r, &s));
         assert!(out.breakdown.get(Phase::DataCopy) > SimTime::ZERO);
         assert!(out.breakdown.get(Phase::Partition) > SimTime::ZERO);
@@ -181,8 +243,20 @@ mod tests {
     fn out_of_core_phj_matches_shj() {
         let sys = tiny_buffer_system(64 * 1024);
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(10_000, 10_000));
-        let shj = run_out_of_core_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()), 4096);
-        let phj = run_out_of_core_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()), 4096);
+        let shj = run(
+            &sys,
+            &r,
+            &s,
+            &JoinConfig::shj(Scheme::pipelined_paper()),
+            4096,
+        );
+        let phj = run(
+            &sys,
+            &r,
+            &s,
+            &JoinConfig::phj(Scheme::pipelined_paper()),
+            4096,
+        );
         assert_eq!(shj.matches, phj.matches);
     }
 

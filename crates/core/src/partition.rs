@@ -1,6 +1,7 @@
 //! The radix-partitioning pass: steps `n1..n3` of Algorithm 2.
 
 use crate::context::ExecContext;
+use crate::error::JoinError;
 use crate::hash::{hash_key, partitions_per_pass, radix_partition_of};
 use crate::phase::{run_step, PhaseExecution};
 use crate::schedule::Ratios;
@@ -14,32 +15,45 @@ use datagen::Relation;
 ///
 /// Returns the partitions and the execution record of the pass.
 ///
+/// # Errors
+/// Returns [`JoinError::ArenaExhausted`] when the partition arena runs out
+/// of space.
+///
 /// # Panics
-/// Panics if `ratios.len() != 3` or the allocator arena is exhausted.
+/// Panics if `ratios.len() != 3` or `bits` is outside `1..=16` — internal
+/// invariants upheld by the executor and request validation.
 pub fn run_partition_pass(
     ctx: &mut ExecContext<'_>,
     rel: &Relation,
     bits: u32,
     pass: u32,
     ratios: &Ratios,
-) -> (Vec<Relation>, PhaseExecution) {
+) -> Result<(Vec<Relation>, PhaseExecution), JoinError> {
     assert_eq!(ratios.len(), 3, "a partition pass has 3 steps (n1..n3)");
     assert!(bits > 0 && bits <= 16, "radix bits must be in 1..=16");
     let n = rel.len();
     let num_partitions = partitions_per_pass(bits);
     let mut steps = Vec::with_capacity(3);
+    let mut oom: Option<usize> = None;
 
     let mut part_no = vec![0u32; n];
     let mut histogram = vec![0u32; num_partitions];
 
     // n1: compute partition number.
-    steps.push(run_step(ctx, StepId::N1, n, ratios.get(0), 0.0, |_, i, _, _, rec| {
-        let h = hash_key(rel.key(i));
-        part_no[i] = radix_partition_of(h, bits, pass) as u32;
-        rec.item(instr::HASH);
-        rec.seq_read(4.0);
-        rec.seq_write(4.0);
-    }));
+    steps.push(run_step(
+        ctx,
+        StepId::N1,
+        n,
+        ratios.get(0),
+        0.0,
+        |_, i, _, _, rec| {
+            let h = hash_key(rel.key(i));
+            part_no[i] = radix_partition_of(h, bits, pass) as u32;
+            rec.item(instr::HASH);
+            rec.seq_read(4.0);
+            rec.seq_write(4.0);
+        },
+    ));
 
     // n2: visit the partition header (histogram of partition sizes).
     let header_ws = (num_partitions * 8) as f64;
@@ -75,10 +89,14 @@ pub fn run_partition_pass(
         ratios.get(2),
         scatter_ws,
         |ctx, i, _, group, rec| {
+            if oom.is_some() {
+                return;
+            }
             let p = part_no[i] as usize;
-            ctx.allocator
-                .alloc(group, 8)
-                .expect("partition arena exhausted; enlarge arena_bytes_for");
+            if ctx.allocator.alloc(group, 8).is_none() {
+                oom = Some(8);
+                return;
+            }
             partitions[p].push(rel.rid(i), rel.key(i));
             rec.item(instr::PARTITION_INSERT);
             rec.random_write(1.0);
@@ -87,10 +105,13 @@ pub fn run_partition_pass(
         },
     ));
 
-    (
+    if let Some(requested) = oom {
+        return Err(ctx.arena_error(requested));
+    }
+    Ok((
         partitions,
         PhaseExecution::from_steps(Phase::Partition, ratios.clone(), steps, n),
-    )
+    ))
 }
 
 /// Chooses the number of radix bits for one pass so that an average
@@ -125,7 +146,8 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (rel, _) = datagen::generate_pair(&DataGenConfig::small(5000, 10));
         let mut ctx = ctx_for(&sys, 5000);
-        let (parts, phase) = run_partition_pass(&mut ctx, &rel, 4, 0, &Ratios::uniform(0.3, 3));
+        let (parts, phase) =
+            run_partition_pass(&mut ctx, &rel, 4, 0, &Ratios::uniform(0.3, 3)).unwrap();
         assert_eq!(parts.len(), 16);
         let total: usize = parts.iter().map(|p| p.len()).sum();
         assert_eq!(total, rel.len());
@@ -144,7 +166,8 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let rel = Relation::from_keys(vec![7; 100]);
         let mut ctx = ctx_for(&sys, 100);
-        let (parts, _) = run_partition_pass(&mut ctx, &rel, 3, 0, &Ratios::uniform(0.5, 3));
+        let (parts, _) =
+            run_partition_pass(&mut ctx, &rel, 3, 0, &Ratios::uniform(0.5, 3)).unwrap();
         let non_empty: Vec<_> = parts.iter().filter(|p| !p.is_empty()).collect();
         assert_eq!(non_empty.len(), 1);
         assert_eq!(non_empty[0].len(), 100);
@@ -157,8 +180,8 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(2000, 2000));
         let mut ctx = ctx_for(&sys, 4000);
-        let (pr, _) = run_partition_pass(&mut ctx, &r, 4, 0, &Ratios::uniform(0.5, 3));
-        let (ps, _) = run_partition_pass(&mut ctx, &s, 4, 0, &Ratios::uniform(0.5, 3));
+        let (pr, _) = run_partition_pass(&mut ctx, &r, 4, 0, &Ratios::uniform(0.5, 3)).unwrap();
+        let (ps, _) = run_partition_pass(&mut ctx, &s, 4, 0, &Ratios::uniform(0.5, 3)).unwrap();
         use std::collections::HashMap;
         let mut key_part: HashMap<u32, usize> = HashMap::new();
         for (idx, p) in pr.iter().enumerate() {
@@ -180,11 +203,15 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (rel, _) = datagen::generate_pair(&DataGenConfig::small(4000, 10));
         let mut ctx = ctx_for(&sys, 8000);
-        let (pass0, _) = run_partition_pass(&mut ctx, &rel, 4, 0, &Ratios::uniform(0.5, 3));
+        let (pass0, _) =
+            run_partition_pass(&mut ctx, &rel, 4, 0, &Ratios::uniform(0.5, 3)).unwrap();
         // Re-partition the first non-empty partition with pass 1; tuples must
         // spread again rather than all landing in one place.
-        let sub = pass0.iter().find(|p| p.len() > 32).expect("a sizeable partition");
-        let (pass1, _) = run_partition_pass(&mut ctx, sub, 4, 1, &Ratios::uniform(0.5, 3));
+        let sub = pass0
+            .iter()
+            .find(|p| p.len() > 32)
+            .expect("a sizeable partition");
+        let (pass1, _) = run_partition_pass(&mut ctx, sub, 4, 1, &Ratios::uniform(0.5, 3)).unwrap();
         let non_empty = pass1.iter().filter(|p| !p.is_empty()).count();
         assert!(non_empty > 1, "second pass failed to spread tuples");
     }

@@ -68,7 +68,12 @@ pub struct PhaseExecution {
 impl PhaseExecution {
     /// Builds the phase record from its per-step executions, composing the
     /// pipeline timing.
-    pub fn from_steps(phase: Phase, ratios: Ratios, steps: Vec<StepExecution>, items: usize) -> Self {
+    pub fn from_steps(
+        phase: Phase,
+        ratios: Ratios,
+        steps: Vec<StepExecution>,
+        items: usize,
+    ) -> Self {
         let cpu: Vec<SimTime> = steps.iter().map(|s| s.cpu_time.total()).collect();
         let gpu: Vec<SimTime> = steps.iter().map(|s| s.gpu_time.total()).collect();
         let timing = compose_pipeline(&cpu, &gpu, &ratios);
@@ -207,12 +212,19 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let mut ctx = ExecContext::new(&sys, AllocatorKind::Basic, 1 << 20, false);
         // Only the GPU portion allocates.
-        let exec = run_step(&mut ctx, StepId::B3, 100, 0.5, 0.0, |ctx, _, kind, group, rec| {
-            rec.item(10.0);
-            if kind == DeviceKind::Gpu {
-                ctx.allocator.alloc(group, 8);
-            }
-        });
+        let exec = run_step(
+            &mut ctx,
+            StepId::B3,
+            100,
+            0.5,
+            0.0,
+            |ctx, _, kind, group, rec| {
+                rec.item(10.0);
+                if kind == DeviceKind::Gpu {
+                    ctx.allocator.alloc(group, 8);
+                }
+            },
+        );
         assert_eq!(exec.cpu_cost.serial_atomics, 0.0);
         assert!(exec.gpu_cost.serial_atomics >= 50.0);
     }
@@ -222,12 +234,26 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
         let ratios = Ratios::new(vec![0.0, 1.0]);
-        let s1 = run_step(&mut ctx, StepId::B1, 500, ratios.get(0), 0.0, |_, _, _, _, rec| {
-            rec.item(50.0);
-        });
-        let s2 = run_step(&mut ctx, StepId::B2, 500, ratios.get(1), 0.0, |_, _, _, _, rec| {
-            rec.item(50.0);
-        });
+        let s1 = run_step(
+            &mut ctx,
+            StepId::B1,
+            500,
+            ratios.get(0),
+            0.0,
+            |_, _, _, _, rec| {
+                rec.item(50.0);
+            },
+        );
+        let s2 = run_step(
+            &mut ctx,
+            StepId::B2,
+            500,
+            ratios.get(1),
+            0.0,
+            |_, _, _, _, rec| {
+                rec.item(50.0);
+            },
+        );
         let phase = PhaseExecution::from_steps(Phase::Build, ratios, vec![s1, s2], 500);
         assert_eq!(phase.steps.len(), 2);
         assert_eq!(phase.intermediate_tuples, 500);

@@ -2,8 +2,9 @@
 
 use crate::context::ExecContext;
 use crate::divergence::{grouping_order, DEFAULT_GROUPS};
+use crate::error::JoinError;
 use crate::hash::hash_key;
-use crate::hashtable::{HashTable, KEY_NODE_BYTES, RID_NODE_BYTES, NIL};
+use crate::hashtable::{HashTable, KEY_NODE_BYTES, NIL, RID_NODE_BYTES};
 use crate::phase::{run_step, PhaseExecution};
 use crate::schedule::Ratios;
 use crate::steps::{instr, StepId};
@@ -27,8 +28,12 @@ pub struct ProbeOutput {
 /// kept, matching the paper's implementation which "simply outputs the
 /// matching rid pair".
 ///
+/// # Errors
+/// Returns [`JoinError::ArenaExhausted`] when the result arena runs out of
+/// space.
+///
 /// # Panics
-/// Panics if `ratios.len() != 4` or the allocator arena is exhausted.
+/// Panics if `ratios.len() != 4` (an internal invariant of the executor).
 pub fn run_probe_phase(
     ctx: &mut ExecContext<'_>,
     probe_rel: &Relation,
@@ -36,10 +41,11 @@ pub fn run_probe_phase(
     ratios: &Ratios,
     grouping: bool,
     collect_pairs: bool,
-) -> (ProbeOutput, PhaseExecution) {
+) -> Result<(ProbeOutput, PhaseExecution), JoinError> {
     assert_eq!(ratios.len(), 4, "probe phase has 4 steps (p1..p4)");
     let n = probe_rel.len();
     let mut steps = Vec::with_capacity(4);
+    let mut oom: Option<usize> = None;
 
     let mut bucket_idx = vec![0u32; n];
     let mut matched_key = vec![NIL; n];
@@ -50,12 +56,19 @@ pub fn run_probe_phase(
     }
 
     // p1: compute hash bucket number.
-    steps.push(run_step(ctx, StepId::P1, n, ratios.get(0), 0.0, |_, i, _, _, rec| {
-        bucket_idx[i] = table.bucket_index(hash_key(probe_rel.key(i))) as u32;
-        rec.item(instr::HASH);
-        rec.seq_read(4.0);
-        rec.seq_write(4.0);
-    }));
+    steps.push(run_step(
+        ctx,
+        StepId::P1,
+        n,
+        ratios.get(0),
+        0.0,
+        |_, i, _, _, rec| {
+            bucket_idx[i] = table.bucket_index(hash_key(probe_rel.key(i))) as u32;
+            rec.item(instr::HASH);
+            rec.seq_read(4.0);
+            rec.seq_write(4.0);
+        },
+    ));
 
     // p2: visit the hash bucket header.
     let bucket_ws = table.bucket_array_bytes() as f64;
@@ -113,8 +126,8 @@ pub fn run_probe_phase(
     ));
 
     // p4: visit the matching build tuples, compare keys and produce output.
-    let out_ws = (table.key_node_count() * KEY_NODE_BYTES
-        + table.rid_node_count() * RID_NODE_BYTES) as f64;
+    let out_ws =
+        (table.key_node_count() * KEY_NODE_BYTES + table.rid_node_count() * RID_NODE_BYTES) as f64;
     steps.push(run_step(
         ctx,
         StepId::P4,
@@ -122,6 +135,9 @@ pub fn run_probe_phase(
         ratios.get(3),
         out_ws,
         |ctx, pos, _, group, rec| {
+            if oom.is_some() {
+                return;
+            }
             let i = order[pos] as usize;
             rec.item(instr::VISIT_HEADER);
             let kn = matched_key[i];
@@ -132,9 +148,10 @@ pub fn run_probe_phase(
             let mut local_matches = 0u32;
             for build_rid in table.rids_of(kn) {
                 local_matches += 1;
-                ctx.allocator
-                    .alloc(group, 8)
-                    .expect("result arena exhausted; enlarge arena_bytes_for");
+                if ctx.allocator.alloc(group, 8).is_none() {
+                    oom = Some(8);
+                    return;
+                }
                 if collect_pairs {
                     pairs.push((build_rid, probe_rel.rid(i)));
                 }
@@ -149,12 +166,18 @@ pub fn run_probe_phase(
         },
     ));
 
+    if let Some(requested) = oom {
+        return Err(ctx.arena_error(requested));
+    }
     let output = ProbeOutput {
         matches,
         pairs: if collect_pairs { Some(pairs) } else { None },
     };
     ctx.counters.matches += output.matches;
-    (output, PhaseExecution::from_steps(Phase::Probe, ratios.clone(), steps, n))
+    Ok((
+        output,
+        PhaseExecution::from_steps(Phase::Probe, ratios.clone(), steps, n),
+    ))
 }
 
 #[cfg(test)]
@@ -173,7 +196,11 @@ mod tests {
         for &k in build.keys() {
             *map.entry(k).or_insert(0) += 1;
         }
-        probe.keys().iter().map(|k| map.get(k).copied().unwrap_or(0)).sum()
+        probe
+            .keys()
+            .iter()
+            .map(|k| map.get(k).copied().unwrap_or(0))
+            .sum()
     }
 
     fn build_table<'a>(sys: &'a SystemSpec, rel: &Relation) -> (HashTable, ExecContext<'a>) {
@@ -190,7 +217,8 @@ mod tests {
             BuildTarget::Shared(&mut table),
             &Ratios::uniform(0.5, 4),
             false,
-        );
+        )
+        .unwrap();
         (table, ctx)
     }
 
@@ -199,7 +227,15 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (build, probe) = datagen::generate_pair(&DataGenConfig::small(2000, 4000));
         let (table, mut ctx) = build_table(&sys, &build);
-        let (out, phase) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.4, 4), false, false);
+        let (out, phase) = run_probe_phase(
+            &mut ctx,
+            &probe,
+            &table,
+            &Ratios::uniform(0.4, 4),
+            false,
+            false,
+        )
+        .unwrap();
         assert_eq!(out.matches, reference_matches(&build, &probe));
         assert_eq!(phase.steps.len(), 4);
         assert!(out.pairs.is_none());
@@ -210,15 +246,17 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (build, probe) = datagen::generate_pair(&DataGenConfig::small(500, 1000));
         let (table, mut ctx) = build_table(&sys, &build);
-        let (out, _) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::gpu_only(4), false, true);
+        let (out, _) =
+            run_probe_phase(&mut ctx, &probe, &table, &Ratios::gpu_only(4), false, true).unwrap();
         let pairs = out.pairs.unwrap();
         assert_eq!(pairs.len() as u64, out.matches);
-        let build_keys: HashMap<u32, u32> =
-            build.iter().map(|(rid, key)| (rid, key)).collect();
-        let probe_keys: HashMap<u32, u32> =
-            probe.iter().map(|(rid, key)| (rid, key)).collect();
+        let build_keys: HashMap<u32, u32> = build.iter().collect();
+        let probe_keys: HashMap<u32, u32> = probe.iter().collect();
         for (brid, prid) in pairs.iter().take(200) {
-            assert_eq!(build_keys[brid], probe_keys[prid], "joined pair keys must be equal");
+            assert_eq!(
+                build_keys[brid], probe_keys[prid],
+                "joined pair keys must be equal"
+            );
         }
     }
 
@@ -228,7 +266,15 @@ mod tests {
         let low = DataGenConfig::small(1000, 2000).with_selectivity(0.125);
         let (build, probe) = datagen::generate_pair(&low);
         let (table, mut ctx) = build_table(&sys, &build);
-        let (out, _) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.5, 4), false, false);
+        let (out, _) = run_probe_phase(
+            &mut ctx,
+            &probe,
+            &table,
+            &Ratios::uniform(0.5, 4),
+            false,
+            false,
+        )
+        .unwrap();
         assert_eq!(out.matches, reference_matches(&build, &probe));
         assert!(out.matches < 2000 / 4);
     }
@@ -240,10 +286,24 @@ mod tests {
             .with_distribution(datagen::KeyDistribution::high_skew());
         let (build, probe) = datagen::generate_pair(&cfg);
         let (table, mut ctx) = build_table(&sys, &build);
-        let (plain, _) =
-            run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.5, 4), false, false);
-        let (grouped, _) =
-            run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.5, 4), true, false);
+        let (plain, _) = run_probe_phase(
+            &mut ctx,
+            &probe,
+            &table,
+            &Ratios::uniform(0.5, 4),
+            false,
+            false,
+        )
+        .unwrap();
+        let (grouped, _) = run_probe_phase(
+            &mut ctx,
+            &probe,
+            &table,
+            &Ratios::uniform(0.5, 4),
+            true,
+            false,
+        )
+        .unwrap();
         assert_eq!(plain.matches, grouped.matches);
     }
 
@@ -252,7 +312,15 @@ mod tests {
         let sys = SystemSpec::coupled_a8_3870k();
         let (build, probe) = datagen::generate_pair(&DataGenConfig::small(100, 1000));
         let (table, mut ctx) = build_table(&sys, &build);
-        let (_, phase) = run_probe_phase(&mut ctx, &probe, &table, &Ratios::uniform(0.3, 4), false, false);
+        let (_, phase) = run_probe_phase(
+            &mut ctx,
+            &probe,
+            &table,
+            &Ratios::uniform(0.3, 4),
+            false,
+            false,
+        )
+        .unwrap();
         for step in &phase.steps {
             assert_eq!(step.cpu_items, 300);
             assert_eq!(step.gpu_items, 700);

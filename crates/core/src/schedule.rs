@@ -112,7 +112,11 @@ pub struct PipelineTiming {
 /// Panics if the three slices have different lengths.
 pub fn compose_pipeline(cpu: &[SimTime], gpu: &[SimTime], ratios: &Ratios) -> PipelineTiming {
     assert_eq!(cpu.len(), gpu.len(), "per-device step counts differ");
-    assert_eq!(cpu.len(), ratios.len(), "ratio count differs from step count");
+    assert_eq!(
+        cpu.len(),
+        ratios.len(),
+        "ratio count differs from step count"
+    );
     let n = cpu.len();
     if n == 0 {
         return PipelineTiming::default();

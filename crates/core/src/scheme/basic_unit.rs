@@ -8,6 +8,7 @@
 //! steps (and vice versa), and per-chunk scheduling adds overhead.
 
 use crate::context::ExecContext;
+use crate::error::JoinError;
 use apu_sim::{DeviceKind, SimTime};
 use std::ops::Range;
 
@@ -52,10 +53,16 @@ impl ChunkSchedule {
 /// that becomes idle first.
 ///
 /// `run_chunk(ctx, range, device)` executes the whole phase for the chunk on
-/// that device and returns its simulated elapsed time.
-pub fn run_chunks<F>(ctx: &mut ExecContext<'_>, items: usize, chunk: usize, mut run_chunk: F) -> ChunkSchedule
+/// that device and returns its simulated elapsed time; its error (typically
+/// arena exhaustion) aborts the schedule.
+pub fn run_chunks<F>(
+    ctx: &mut ExecContext<'_>,
+    items: usize,
+    chunk: usize,
+    mut run_chunk: F,
+) -> Result<ChunkSchedule, JoinError>
 where
-    F: FnMut(&mut ExecContext<'_>, Range<usize>, DeviceKind) -> SimTime,
+    F: FnMut(&mut ExecContext<'_>, Range<usize>, DeviceKind) -> Result<SimTime, JoinError>,
 {
     let chunk = chunk.max(1);
     let mut schedule = ChunkSchedule::default();
@@ -71,7 +78,7 @@ where
         } else {
             DeviceKind::Gpu
         };
-        let time = run_chunk(ctx, start..end, device) + overhead;
+        let time = run_chunk(ctx, start..end, device)? + overhead;
         match device {
             DeviceKind::Cpu => {
                 cpu_clock += time;
@@ -89,7 +96,7 @@ where
     }
 
     schedule.elapsed = cpu_clock.max(gpu_clock);
-    schedule
+    Ok(schedule)
 }
 
 #[cfg(test)]
@@ -108,8 +115,9 @@ mod tests {
                 assert!(!seen[i], "item {i} dispatched twice");
                 seen[i] = true;
             }
-            SimTime::from_us(10.0)
-        });
+            Ok(SimTime::from_us(10.0))
+        })
+        .unwrap();
         assert!(seen.iter().all(|&s| s));
         assert_eq!(schedule.cpu_items + schedule.gpu_items, 1000);
         assert_eq!(schedule.chunks, 8);
@@ -125,8 +133,9 @@ mod tests {
                 DeviceKind::Cpu => 400.0,
                 DeviceKind::Gpu => 100.0,
             };
-            SimTime::from_ns(per_item * range.len() as f64)
-        });
+            Ok(SimTime::from_ns(per_item * range.len() as f64))
+        })
+        .unwrap();
         assert!(
             schedule.gpu_items > 2 * schedule.cpu_items,
             "gpu={} cpu={}",
@@ -147,8 +156,8 @@ mod tests {
     fn dispatch_overhead_is_charged_per_chunk() {
         let sys = SystemSpec::coupled_a8_3870k();
         let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
-        let tiny_chunks = run_chunks(&mut ctx, 10_000, 100, |_, _, _| SimTime::ZERO);
-        let big_chunks = run_chunks(&mut ctx, 10_000, 5_000, |_, _, _| SimTime::ZERO);
+        let tiny_chunks = run_chunks(&mut ctx, 10_000, 100, |_, _, _| Ok(SimTime::ZERO)).unwrap();
+        let big_chunks = run_chunks(&mut ctx, 10_000, 5_000, |_, _, _| Ok(SimTime::ZERO)).unwrap();
         assert!(tiny_chunks.elapsed > big_chunks.elapsed);
     }
 
@@ -156,7 +165,7 @@ mod tests {
     fn empty_input_is_a_noop() {
         let sys = SystemSpec::coupled_a8_3870k();
         let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
-        let schedule = run_chunks(&mut ctx, 0, 128, |_, _, _| SimTime::from_secs(1.0));
+        let schedule = run_chunks(&mut ctx, 0, 128, |_, _, _| Ok(SimTime::from_secs(1.0))).unwrap();
         assert_eq!(schedule.chunks, 0);
         assert_eq!(schedule.elapsed, SimTime::ZERO);
         assert_eq!(schedule.cpu_ratio(), 0.0);

@@ -11,7 +11,9 @@
 use crate::params::{JoinUnitCosts, SeriesUnitCosts};
 use apu_sim::{DeviceKind, Phase, SystemSpec};
 use datagen::{DataGenConfig, Relation};
-use hj_core::{run_join, Algorithm, JoinConfig, JoinOutcome, Scheme, StepId};
+use hj_core::{
+    Algorithm, EngineConfig, JoinConfig, JoinEngine, JoinOutcome, JoinRequest, Scheme, StepId,
+};
 
 /// Calibrates per-step unit costs for `algorithm` on `sys` using the given
 /// relations as the profiling workload.
@@ -42,8 +44,20 @@ pub fn calibrate_from_relations(
         scheme: Scheme::GpuOnly,
         ..base
     };
-    let cpu_run = run_join(sys, build, probe, &cpu_cfg);
-    let gpu_run = run_join(sys, build, probe, &gpu_cfg);
+    // One engine serves both profiling runs over the same arena.
+    let mut engine = JoinEngine::for_system(
+        sys.clone(),
+        EngineConfig::for_tuples(build.len(), probe.len()),
+    )
+    .expect("calibration engine construction");
+    let mut run = |cfg: JoinConfig| {
+        let request = JoinRequest::from_config(cfg).expect("calibration configuration is valid");
+        engine
+            .execute(&request, build, probe)
+            .expect("calibration run failed")
+    };
+    let cpu_run = run(cpu_cfg);
+    let gpu_run = run(gpu_cfg);
 
     JoinUnitCosts {
         partition: series_costs(&cpu_run, &gpu_run, Phase::Partition, &StepId::PARTITION),
@@ -54,8 +68,13 @@ pub fn calibrate_from_relations(
 
 /// Calibrates on a small synthetic profiling workload (handy for examples
 /// and tests when the target relations are not at hand).
-pub fn calibrate_quick(sys: &SystemSpec, sample_tuples: usize, algorithm: Algorithm) -> JoinUnitCosts {
-    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(sample_tuples, sample_tuples));
+pub fn calibrate_quick(
+    sys: &SystemSpec,
+    sample_tuples: usize,
+    algorithm: Algorithm,
+) -> JoinUnitCosts {
+    let (build, probe) =
+        datagen::generate_pair(&DataGenConfig::small(sample_tuples, sample_tuples));
     calibrate_from_relations(sys, &build, &probe, algorithm)
 }
 
@@ -115,8 +134,16 @@ mod tests {
         let costs = calibrate_quick(&sys, 20_000, Algorithm::partitioned_auto());
         for series in [&costs.partition, &costs.build, &costs.probe] {
             for i in 0..series.len() {
-                assert!(series.cpu_ns[i] > 0.0, "{:?} cpu cost missing", series.steps[i]);
-                assert!(series.gpu_ns[i] > 0.0, "{:?} gpu cost missing", series.steps[i]);
+                assert!(
+                    series.cpu_ns[i] > 0.0,
+                    "{:?} cpu cost missing",
+                    series.steps[i]
+                );
+                assert!(
+                    series.gpu_ns[i] > 0.0,
+                    "{:?} gpu cost missing",
+                    series.steps[i]
+                );
                 if series.steps[i].is_hash_step() {
                     assert!(
                         series.gpu_speedup(i) > 8.0,

@@ -30,5 +30,7 @@ pub mod params;
 pub use calibration::{calibrate_from_relations, calibrate_quick};
 pub use model::{JoinCostModel, SeriesCostModel};
 pub use montecarlo::{cdf_points, monte_carlo_series};
-pub use optimizer::{optimize_dd_ratio, optimize_offload, optimize_pl_ratios, tune_scheme, TunedScheme};
+pub use optimizer::{
+    optimize_dd_ratio, optimize_offload, optimize_pl_ratios, tune_scheme, TunedScheme,
+};
 pub use params::{JoinUnitCosts, SeriesUnitCosts};

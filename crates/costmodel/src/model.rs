@@ -157,9 +157,21 @@ mod tests {
     #[test]
     fn join_model_includes_partition_passes() {
         let costs = JoinUnitCosts {
-            partition: SeriesUnitCosts::new(StepId::PARTITION.to_vec(), vec![20.0, 4.0, 8.0], vec![1.5, 3.0, 7.0]),
-            build: SeriesUnitCosts::new(StepId::BUILD.to_vec(), vec![22.0, 5.0, 10.0, 6.0], vec![1.5, 4.0, 9.0, 5.0]),
-            probe: SeriesUnitCosts::new(StepId::PROBE.to_vec(), vec![22.0, 5.0, 10.0, 6.0], vec![1.5, 4.0, 9.0, 5.0]),
+            partition: SeriesUnitCosts::new(
+                StepId::PARTITION.to_vec(),
+                vec![20.0, 4.0, 8.0],
+                vec![1.5, 3.0, 7.0],
+            ),
+            build: SeriesUnitCosts::new(
+                StepId::BUILD.to_vec(),
+                vec![22.0, 5.0, 10.0, 6.0],
+                vec![1.5, 4.0, 9.0, 5.0],
+            ),
+            probe: SeriesUnitCosts::new(
+                StepId::PROBE.to_vec(),
+                vec![22.0, 5.0, 10.0, 6.0],
+                vec![1.5, 4.0, 9.0, 5.0],
+            ),
         };
         let model = JoinCostModel::new(costs);
         let plan = RatioPlan::from_scheme(&hj_core::Scheme::data_dividing_paper()).unwrap();

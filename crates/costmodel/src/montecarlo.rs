@@ -9,9 +9,8 @@
 
 use crate::model::SeriesCostModel;
 use apu_sim::SimTime;
+use datagen::rng::SmallRng;
 use hj_core::Ratios;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Draws `runs` random per-step ratio settings for the series and returns
 /// the model-predicted elapsed time of each, together with the sampled
@@ -26,7 +25,7 @@ pub fn monte_carlo_series(
     let n = model.num_steps();
     (0..runs)
         .map(|_| {
-            let ratios = Ratios::new((0..n).map(|_| rng.random_range(0.0..=1.0)).collect());
+            let ratios = Ratios::new((0..n).map(|_| rng.random_unit()).collect());
             let t = model.estimate(items, &ratios);
             (ratios, t)
         })

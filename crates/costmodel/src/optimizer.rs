@@ -133,7 +133,27 @@ fn steps_between(lo: f64, hi: f64, delta: f64) -> Vec<f64> {
     v
 }
 
-/// A scheme tuned by the cost model, together with its predicted times.
+/// The plan produced by [`tune_scheme`]: the tuned PL, DD and OL schemes
+/// with their predicted times.
+///
+/// The plan is consumed *directly* by the engine's request builder — it
+/// converts into its best-predicted [`Scheme`], so
+/// `JoinRequest::builder().scheme(&tuned)` runs the cost model's
+/// recommendation without manual unpacking:
+///
+/// ```
+/// use costmodel::{calibrate_quick, tune_scheme, JoinCostModel};
+/// use hj_core::{Algorithm, EngineConfig, JoinEngine, JoinRequest};
+/// use apu_sim::SystemSpec;
+///
+/// let sys = SystemSpec::coupled_a8_3870k();
+/// let costs = calibrate_quick(&sys, 2_000, Algorithm::Simple);
+/// let tuned = tune_scheme(&JoinCostModel::new(costs), 2_000, 4_000, Algorithm::Simple, 0.1);
+/// let request = JoinRequest::builder().scheme(&tuned).build().unwrap();
+/// # let (r, s) = datagen::generate_pair(&datagen::DataGenConfig::small(2_000, 4_000));
+/// # let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(2_000, 4_000)).unwrap();
+/// # assert!(engine.execute(&request, &r, &s).is_ok());
+/// ```
 #[derive(Debug, Clone)]
 pub struct TunedScheme {
     /// The tuned pipelined scheme (per-step ratios for all three series).
@@ -148,6 +168,40 @@ pub struct TunedScheme {
     pub predicted_dd: SimTime,
     /// Predicted total time of the tuned OL scheme.
     pub predicted_ol: SimTime,
+}
+
+impl TunedScheme {
+    /// The scheme with the smallest predicted total time.
+    pub fn best(&self) -> &Scheme {
+        let (mut scheme, mut time) = (&self.pipelined, self.predicted_pl);
+        if self.predicted_dd < time {
+            scheme = &self.data_dividing;
+            time = self.predicted_dd;
+        }
+        if self.predicted_ol < time {
+            scheme = &self.offload;
+        }
+        scheme
+    }
+
+    /// The predicted total time of [`best`](Self::best).
+    pub fn best_predicted(&self) -> SimTime {
+        self.predicted_pl
+            .min(self.predicted_dd)
+            .min(self.predicted_ol)
+    }
+}
+
+impl From<&TunedScheme> for Scheme {
+    fn from(tuned: &TunedScheme) -> Scheme {
+        tuned.best().clone()
+    }
+}
+
+impl From<TunedScheme> for Scheme {
+    fn from(tuned: TunedScheme) -> Scheme {
+        tuned.best().clone()
+    }
 }
 
 /// Tunes PL, DD and OL ratio choices for a join of `build_tuples` ⨝
@@ -305,17 +359,39 @@ mod tests {
     #[test]
     fn tune_scheme_produces_consistent_predictions() {
         let costs = crate::params::JoinUnitCosts {
-            partition: SeriesUnitCosts::new(StepId::PARTITION.to_vec(), vec![20.0, 4.0, 8.0], vec![1.5, 3.0, 7.0]),
-            build: SeriesUnitCosts::new(StepId::BUILD.to_vec(), vec![22.0, 5.0, 10.0, 6.0], vec![1.5, 4.0, 9.0, 5.0]),
-            probe: SeriesUnitCosts::new(StepId::PROBE.to_vec(), vec![23.0, 5.0, 9.0, 6.0], vec![1.4, 4.0, 8.5, 5.0]),
+            partition: SeriesUnitCosts::new(
+                StepId::PARTITION.to_vec(),
+                vec![20.0, 4.0, 8.0],
+                vec![1.5, 3.0, 7.0],
+            ),
+            build: SeriesUnitCosts::new(
+                StepId::BUILD.to_vec(),
+                vec![22.0, 5.0, 10.0, 6.0],
+                vec![1.5, 4.0, 9.0, 5.0],
+            ),
+            probe: SeriesUnitCosts::new(
+                StepId::PROBE.to_vec(),
+                vec![23.0, 5.0, 9.0, 6.0],
+                vec![1.4, 4.0, 8.5, 5.0],
+            ),
         };
         let model = JoinCostModel::new(costs);
-        let tuned = tune_scheme(&model, 500_000, 1_000_000, Algorithm::partitioned_auto(), 0.05);
+        let tuned = tune_scheme(
+            &model,
+            500_000,
+            1_000_000,
+            Algorithm::partitioned_auto(),
+            0.05,
+        );
         assert!(tuned.predicted_pl <= tuned.predicted_dd);
         assert!(tuned.predicted_pl <= tuned.predicted_ol);
         assert!(matches!(tuned.pipelined, Scheme::Pipelined { .. }));
         assert!(matches!(tuned.data_dividing, Scheme::DataDividing { .. }));
         assert!(matches!(tuned.offload, Scheme::Offload { .. }));
+        // PL has the best prediction, so the plan converts into it.
+        assert_eq!(tuned.best(), &tuned.pipelined);
+        assert_eq!(tuned.best_predicted(), tuned.predicted_pl);
+        assert_eq!(Scheme::from(&tuned), tuned.pipelined);
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl SeriesUnitCosts {
     pub fn new(steps: Vec<StepId>, cpu_ns: Vec<f64>, gpu_ns: Vec<f64>) -> Self {
         assert_eq!(steps.len(), cpu_ns.len());
         assert_eq!(steps.len(), gpu_ns.len());
-        SeriesUnitCosts { steps, cpu_ns, gpu_ns }
+        SeriesUnitCosts {
+            steps,
+            cpu_ns,
+            gpu_ns,
+        }
     }
 
     /// Number of steps in the series.

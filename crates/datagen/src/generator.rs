@@ -7,9 +7,7 @@
 //! Figure 15 (12.5 %, 50 %, 100 %).
 
 use crate::relation::Relation;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Key-value distribution of a generated relation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,18 +153,18 @@ fn generate_build(cfg: &DataGenConfig, rng: &mut SmallRng) -> Relation {
     // with tuple order.
     let mut keys: Vec<u32> = (1..=distinct.max(1) as u32).collect();
     keys.truncate(distinct);
-    keys.shuffle(rng);
+    rng.shuffle(&mut keys);
 
     // Duplicated tuples copy the key of a random already-generated tuple.
     for _ in 0..duplicates {
         let pick = if keys.is_empty() {
             1
         } else {
-            keys[rng.random_range(0..keys.len())]
+            keys[rng.random_index(keys.len())]
         };
         keys.push(pick);
     }
-    keys.shuffle(rng);
+    rng.shuffle(&mut keys);
     Relation::from_keys(keys)
 }
 
@@ -176,13 +174,13 @@ fn generate_probe(cfg: &DataGenConfig, build_keys: &[u32], rng: &mut SmallRng) -
     let mut keys = Vec::with_capacity(n);
     for i in 0..n {
         if i < matching && !build_keys.is_empty() {
-            keys.push(build_keys[rng.random_range(0..build_keys.len())]);
+            keys.push(build_keys[rng.random_index(build_keys.len())]);
         } else {
             // Keys guaranteed not to collide with any build key.
-            keys.push(NON_MATCHING_OFFSET + rng.random_range(0..(1 << 29)) as u32);
+            keys.push(NON_MATCHING_OFFSET + rng.random_u32_below(1 << 29));
         }
     }
-    keys.shuffle(rng);
+    rng.shuffle(&mut keys);
     Relation::from_keys(keys)
 }
 
@@ -243,7 +241,10 @@ mod tests {
             let (r, _) = generate_pair(&cfg(n).with_distribution(d));
             r.keys().iter().collect::<HashSet<_>>().len()
         };
-        assert!(count_distinct(KeyDistribution::low_skew()) > count_distinct(KeyDistribution::high_skew()));
+        assert!(
+            count_distinct(KeyDistribution::low_skew())
+                > count_distinct(KeyDistribution::high_skew())
+        );
     }
 
     #[test]

@@ -17,10 +17,12 @@
 
 pub mod generator;
 pub mod relation;
+pub mod rng;
 pub mod stats;
 pub mod workload;
 
 pub use generator::{generate_pair, DataGenConfig, KeyDistribution};
 pub use relation::{Relation, TUPLE_BYTES};
+pub use rng::SmallRng;
 pub use stats::RelationStats;
 pub use workload::{Workload, WorkloadPreset};

@@ -150,11 +150,17 @@ mod tests {
             KeyDistribution::Uniform
         );
         assert_eq!(
-            WorkloadPreset::LowSkew.workload().distribution.duplicate_fraction(),
+            WorkloadPreset::LowSkew
+                .workload()
+                .distribution
+                .duplicate_fraction(),
             0.10
         );
         assert_eq!(
-            WorkloadPreset::HighSkew.workload().distribution.duplicate_fraction(),
+            WorkloadPreset::HighSkew
+                .workload()
+                .distribution
+                .duplicate_fraction(),
             0.25
         );
     }

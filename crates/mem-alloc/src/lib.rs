@@ -107,7 +107,13 @@ mod tests {
     #[test]
     fn labels_identify_kind_and_block_size() {
         assert_eq!(AllocatorKind::Basic.label(), "basic");
-        assert_eq!(AllocatorKind::Block { block_size: 512 }.label(), "block-512B");
-        assert_eq!(AllocatorKind::tuned(), AllocatorKind::Block { block_size: 2048 });
+        assert_eq!(
+            AllocatorKind::Block { block_size: 512 }.label(),
+            "block-512B"
+        );
+        assert_eq!(
+            AllocatorKind::tuned(),
+            AllocatorKind::Block { block_size: 2048 }
+        );
     }
 }

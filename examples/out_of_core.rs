@@ -7,7 +7,6 @@
 //! ```
 
 use coupled_hashjoin::prelude::*;
-use coupled_hashjoin::hj_core::run_out_of_core_join;
 
 fn main() {
     // Shrink the zero-copy buffer to 8 MB so a few-million-tuple join
@@ -18,6 +17,19 @@ fn main() {
         zero_copy_bytes: 8 * 1024 * 1024,
     };
     let chunk_tuples = 256 * 1024; // tuples streamed through the buffer at a time
+    let max_tuples = 2 * 1024 * 1024;
+
+    // One engine serves the whole sweep; the out-of-core path streams
+    // chunks through the engine's arena exactly as the real zero-copy
+    // buffer would be reused.
+    let mut engine = JoinEngine::for_system(sys, EngineConfig::for_tuples(max_tuples, max_tuples))
+        .expect("engine config");
+    let request = JoinRequest::builder()
+        .algorithm(Algorithm::partitioned_auto())
+        .scheme(Scheme::pipelined_paper())
+        .out_of_core(chunk_tuples)
+        .build()
+        .expect("valid request");
 
     println!("zero-copy buffer: 8 MB, chunk: {chunk_tuples} tuples");
     println!(
@@ -27,8 +39,7 @@ fn main() {
 
     for tuples in [256 * 1024, 512 * 1024, 1024 * 1024, 2 * 1024 * 1024] {
         let (build, probe) = datagen::generate_pair(&DataGenConfig::small(tuples, tuples));
-        let cfg = JoinConfig::phj(Scheme::pipelined_paper());
-        let out = run_out_of_core_join(&sys, &build, &probe, &cfg, chunk_tuples);
+        let out = engine.execute(&request, &build, &probe).expect("join");
         assert_eq!(out.matches, reference_match_count(&build, &probe));
         let join_time = out.breakdown.get(Phase::Build)
             + out.breakdown.get(Phase::Probe)

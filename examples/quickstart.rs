@@ -1,5 +1,5 @@
-//! Quickstart: run one fine-grained co-processed hash join on the simulated
-//! APU and inspect its result and time breakdown.
+//! Quickstart: build a join engine once, run one fine-grained co-processed
+//! hash join on the simulated APU and inspect its result and time breakdown.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,25 +8,39 @@
 use coupled_hashjoin::prelude::*;
 
 fn main() {
-    // The system under test: the AMD A8-3870K APU of the paper — 4 CPU cores
-    // and a 400-core integrated GPU sharing the cache and the zero-copy
-    // buffer.
-    let sys = SystemSpec::coupled_a8_3870k();
+    let tuples = 512 * 1024;
+
+    // The engine is constructed once: it simulates the AMD A8-3870K APU of
+    // the paper (4 CPU cores and a 400-core integrated GPU sharing the
+    // cache and the zero-copy buffer) and owns a reusable arena sized for
+    // the largest join it will admit.
+    let mut engine =
+        JoinEngine::coupled(EngineConfig::for_tuples(tuples, tuples)).expect("engine config");
+    println!(
+        "engine: backend {} on {}, arena {} MB (created once, reused per request)",
+        engine.backend_name(),
+        engine.system().cpu.name,
+        engine.config().arena_bytes() >> 20,
+    );
 
     // A scaled-down version of the paper's default workload: |R| = |S| with
     // uniformly distributed 4-byte keys and 100 % join selectivity.
-    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(512 * 1024, 512 * 1024));
+    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(tuples, tuples));
     println!(
-        "joining |R| = {} with |S| = {} tuples on {}",
+        "joining |R| = {} with |S| = {} tuples",
         build.len(),
-        probe.len(),
-        sys.cpu.name
+        probe.len()
     );
 
     // PHJ-PL: the partitioned hash join with pipelined (per-step) CPU/GPU
     // workload ratios — the configuration the paper finds fastest overall.
-    let cfg = JoinConfig::phj(Scheme::pipelined_paper());
-    let outcome = run_join(&sys, &build, &probe, &cfg);
+    // Requests are validated when built; bad ratios fail here, not mid-join.
+    let request = JoinRequest::builder()
+        .algorithm(Algorithm::partitioned_auto())
+        .scheme(Scheme::pipelined_paper())
+        .build()
+        .expect("valid request");
+    let outcome = engine.execute(&request, &build, &probe).expect("join");
 
     // The result is real and verifiable.
     assert_eq!(outcome.matches, reference_match_count(&build, &probe));
@@ -44,10 +58,27 @@ fn main() {
         outcome.counters.lock_overhead, outcome.counters.intermediate_tuples
     );
 
-    // Compare against running the same join on one device only.
+    // Compare against running the same join on one device only — the same
+    // engine (and arena) serves every request.
     for (label, scheme) in [("CPU-only", Scheme::CpuOnly), ("GPU-only", Scheme::GpuOnly)] {
-        let single = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme));
+        let single_request = JoinRequest::builder()
+            .algorithm(Algorithm::partitioned_auto())
+            .scheme(scheme)
+            .build()
+            .expect("valid request");
+        let single = engine
+            .execute(&single_request, &build, &probe)
+            .expect("join");
         let gain = 100.0 * (1.0 - outcome.total_time().as_secs() / single.total_time().as_secs());
-        println!("{label:<9} {}  (PL is {gain:.0}% faster)", single.total_time());
+        println!(
+            "{label:<9} {}  (PL is {gain:.0}% faster)",
+            single.total_time()
+        );
     }
+
+    let stats = engine.stats();
+    println!(
+        "engine served {} requests over {} arena(s)",
+        stats.requests_served, stats.arenas_created
+    );
 }

@@ -1,6 +1,7 @@
 //! A tour of the co-processing schemes: CPU-only, GPU-only, off-loading,
 //! data dividing, pipelined and BasicUnit, on both the coupled APU and the
-//! emulated discrete (PCI-e) architecture.
+//! emulated discrete (PCI-e) architecture — one engine per architecture,
+//! reused across every request.
 //!
 //! ```text
 //! cargo run --release --example schemes_tour
@@ -9,7 +10,8 @@
 use coupled_hashjoin::prelude::*;
 
 fn main() {
-    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(512 * 1024, 512 * 1024));
+    let tuples = 512 * 1024;
+    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(tuples, tuples));
     let expected = reference_match_count(&build, &probe);
 
     let schemes: Vec<(&str, Scheme)> = vec![
@@ -21,18 +23,35 @@ fn main() {
         ("BasicUnit", Scheme::basic_unit_default()),
     ];
 
-    for (arch_label, sys) in [
-        ("coupled APU (shared memory, no PCI-e)", SystemSpec::coupled_a8_3870k()),
-        ("emulated discrete (PCI-e 3 GB/s, 0.015 ms)", SystemSpec::discrete_emulated()),
-    ] {
+    let engines: Vec<(&str, JoinEngine)> = vec![
+        (
+            "coupled APU (shared memory, no PCI-e)",
+            JoinEngine::coupled(EngineConfig::for_tuples(tuples, tuples)).expect("engine"),
+        ),
+        (
+            "emulated discrete (PCI-e 3 GB/s, 0.015 ms)",
+            JoinEngine::discrete(EngineConfig::for_tuples(tuples, tuples)).expect("engine"),
+        ),
+    ];
+
+    for (arch_label, mut engine) in engines {
         println!("=== {arch_label} ===");
         println!(
             "{:<22} {:>12} {:>12} {:>12} {:>12}",
             "scheme", "SHJ total", "PHJ total", "transfer", "merge"
         );
         for (label, scheme) in &schemes {
-            let shj = run_join(&sys, &build, &probe, &JoinConfig::shj(scheme.clone()));
-            let phj = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme.clone()));
+            let shj_request = JoinRequest::builder()
+                .scheme(scheme.clone())
+                .build()
+                .expect("valid request");
+            let phj_request = JoinRequest::builder()
+                .algorithm(Algorithm::partitioned_auto())
+                .scheme(scheme.clone())
+                .build()
+                .expect("valid request");
+            let shj = engine.execute(&shj_request, &build, &probe).expect("join");
+            let phj = engine.execute(&phj_request, &build, &probe).expect("join");
             assert_eq!(shj.matches, expected, "{label} (SHJ) result mismatch");
             assert_eq!(phj.matches, expected, "{label} (PHJ) result mismatch");
             println!(
@@ -44,7 +63,11 @@ fn main() {
                 format!("{}", phj.breakdown.get(Phase::Merge)),
             );
         }
-        println!();
+        let stats = engine.stats();
+        println!(
+            "({} requests over {} arena)\n",
+            stats.requests_served, stats.arenas_created
+        );
     }
 
     println!("Observations that mirror the paper:");

@@ -1,13 +1,14 @@
 //! Using the cost model to tune the co-processing knobs for a workload:
 //! calibrate per-step unit costs, optimise the workload ratios for OL, DD
-//! and PL, then validate the prediction against the simulator.
+//! and PL, then validate the prediction against the simulator — feeding the
+//! tuned plan straight into the engine's request builder.
 //!
 //! ```text
 //! cargo run --release --example tuning_advisor
 //! ```
 
-use coupled_hashjoin::prelude::*;
 use coupled_hashjoin::hj_core::Algorithm as Alg;
+use coupled_hashjoin::prelude::*;
 
 fn main() {
     let sys = SystemSpec::coupled_a8_3870k();
@@ -28,28 +29,55 @@ fn main() {
     let costs = calibrate_from_relations(&sys, &build, &probe, Alg::partitioned_auto());
     println!("\nper-step unit costs (ns/tuple):");
     for (step, cpu, gpu) in costs.figure4_rows() {
-        println!("  {:<3} CPU {:>7.2}   GPU {:>7.2}   ({:>5.1}x)", step.label(), cpu, gpu, cpu / gpu);
+        println!(
+            "  {:<3} CPU {:>7.2}   GPU {:>7.2}   ({:>5.1}x)",
+            step.label(),
+            cpu,
+            gpu,
+            cpu / gpu
+        );
     }
 
     // 2. Let the optimiser pick the ratios (δ = 0.02 as in the paper).
     let model = JoinCostModel::new(costs);
-    let tuned = tune_scheme(&model, build.len(), probe.len(), Alg::partitioned_auto(), 0.02);
+    let tuned = tune_scheme(
+        &model,
+        build.len(),
+        probe.len(),
+        Alg::partitioned_auto(),
+        0.02,
+    );
     println!("\nrecommended schemes:");
     println!("  PL ratios: {:?}", tuned.pipelined);
     println!("  DD ratios: {:?}", tuned.data_dividing);
     println!(
-        "  predicted: PL {} | DD {} | OL {}",
-        tuned.predicted_pl, tuned.predicted_dd, tuned.predicted_ol
+        "  predicted: PL {} | DD {} | OL {} (best: {})",
+        tuned.predicted_pl,
+        tuned.predicted_dd,
+        tuned.predicted_ol,
+        tuned.best().label()
     );
 
-    // 3. Validate the recommendation against the simulator.
+    // 3. Validate the recommendations against the simulator, reusing one
+    //    engine for every measurement.
+    let mut engine =
+        JoinEngine::for_system(sys, EngineConfig::for_tuples(build.len(), probe.len()))
+            .expect("engine config");
+    let mut measure = |scheme: Scheme| {
+        let request = JoinRequest::builder()
+            .algorithm(Alg::partitioned_auto())
+            .scheme(scheme)
+            .build()
+            .expect("tuned request is valid");
+        engine.execute(&request, &build, &probe).expect("join")
+    };
     println!("\nmeasured on the simulator:");
     for (label, scheme, predicted) in [
         ("PL", tuned.pipelined.clone(), tuned.predicted_pl),
         ("DD", tuned.data_dividing.clone(), tuned.predicted_dd),
         ("OL", tuned.offload.clone(), tuned.predicted_ol),
     ] {
-        let out = run_join(&sys, &build, &probe, &JoinConfig::phj(scheme));
+        let out = measure(scheme);
         let err = 100.0 * (out.total_time().as_secs() - predicted.as_secs()).abs()
             / out.total_time().as_secs();
         println!(
@@ -59,10 +87,17 @@ fn main() {
         );
     }
 
-    // 4. Compare with the untuned single-device baselines.
-    let cpu = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::CpuOnly));
-    let gpu = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::GpuOnly));
-    let pl = run_join(&sys, &build, &probe, &JoinConfig::phj(tuned.pipelined));
+    // 4. Compare with the untuned single-device baselines; the tuned plan is
+    //    consumed directly by the builder (it converts into its
+    //    best-predicted scheme).
+    let cpu = measure(Scheme::CpuOnly);
+    let gpu = measure(Scheme::GpuOnly);
+    let best_request = JoinRequest::builder()
+        .algorithm(Alg::partitioned_auto())
+        .scheme(&tuned)
+        .build()
+        .expect("tuned request is valid");
+    let pl = engine.execute(&best_request, &build, &probe).expect("join");
     println!(
         "\nPL beats CPU-only by {:.0}% and GPU-only by {:.0}%",
         100.0 * (1.0 - pl.total_time().as_secs() / cpu.total_time().as_secs()),

@@ -14,7 +14,9 @@
 //! * [`mem_alloc`] — the software dynamic memory allocators (basic bump
 //!   pointer vs per-work-group blocks);
 //! * [`hj_core`] — the paper's contribution: fine-grained hash-join steps,
-//!   SHJ/PHJ, and the OL/DD/PL/BasicUnit co-processing schemes;
+//!   SHJ/PHJ and the OL/DD/PL/BasicUnit co-processing schemes, served by a
+//!   long-lived [`JoinEngine`](hj_core::JoinEngine) with pluggable
+//!   execution backends;
 //! * [`costmodel`] — the abstract cost model, calibration, ratio optimiser
 //!   and Monte-Carlo evaluation.
 //!
@@ -23,11 +25,28 @@
 //! ```
 //! use coupled_hashjoin::prelude::*;
 //!
-//! let sys = SystemSpec::coupled_a8_3870k();
+//! // The engine is constructed once and reuses its arena across requests.
+//! let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384)).unwrap();
+//! let request = JoinRequest::builder()
+//!     .algorithm(Algorithm::partitioned_auto())
+//!     .scheme(Scheme::pipelined_paper())
+//!     .build()
+//!     .unwrap();
+//!
 //! let (build, probe) = datagen::generate_pair(&DataGenConfig::small(8_192, 16_384));
-//! let outcome = run_join(&sys, &build, &probe, &JoinConfig::phj(Scheme::pipelined_paper()));
+//! let outcome = engine.execute(&request, &build, &probe).unwrap();
 //! assert_eq!(outcome.matches, reference_match_count(&build, &probe));
 //! ```
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! `run_join(&sys, &r, &s, &cfg)` and `run_out_of_core_join(..)` are
+//! deprecated shims that build a single-use engine per call.  Construct a
+//! [`JoinEngine`](hj_core::JoinEngine) once (`coupled()`, `discrete()`,
+//! `native()`, or `for_system(sys, ..)`), express the old `JoinConfig` knobs
+//! through [`JoinRequest::builder()`](hj_core::JoinRequest::builder), and
+//! handle the `Result` — see the `hj_core` crate docs for the side-by-side
+//! mapping.
 
 #![warn(missing_docs)]
 
@@ -39,13 +58,18 @@ pub use mem_alloc;
 
 /// The most commonly used types and functions, re-exported for convenience.
 pub mod prelude {
-    pub use apu_sim::{DeviceKind, DeviceSpec, Phase, PhaseBreakdown, SimTime, SystemSpec, Topology};
-    pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel};
+    pub use apu_sim::{
+        DeviceKind, DeviceSpec, Phase, PhaseBreakdown, SimTime, SystemSpec, Topology,
+    };
+    pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel, TunedScheme};
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
     pub use hj_core::{
-        reference_match_count, run_join, run_out_of_core_join, Algorithm, HashTableMode,
-        JoinConfig, JoinOutcome, Ratios, Scheme, StepGranularity,
+        reference_match_count, Algorithm, CoupledSim, DiscreteSim, EngineConfig, ExecBackend,
+        HashTableMode, JoinConfig, JoinEngine, JoinError, JoinOutcome, JoinRequest, NativeCpu,
+        Ratios, Scheme, StepGranularity,
     };
+    #[allow(deprecated)]
+    pub use hj_core::{run_join, run_out_of_core_join};
     pub use mem_alloc::AllocatorKind;
 }
 
@@ -55,9 +79,13 @@ mod tests {
 
     #[test]
     fn facade_prelude_is_usable() {
-        let sys = SystemSpec::coupled_a8_3870k();
         let (r, s) = datagen::generate_pair(&DataGenConfig::small(512, 1024));
-        let out = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+        let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(512, 1024)).unwrap();
+        let request = JoinRequest::builder()
+            .scheme(Scheme::pipelined_paper())
+            .build()
+            .unwrap();
+        let out = engine.execute(&request, &r, &s).unwrap();
         assert_eq!(out.matches, reference_match_count(&r, &s));
     }
 }

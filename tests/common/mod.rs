@@ -1,0 +1,13 @@
+//! Helpers shared by the facade integration suites.
+
+use coupled_hashjoin::prelude::*;
+use datagen::Relation;
+
+/// Runs one join through a fresh engine for `sys` (the suites sweep many
+/// configurations; request validation and execution must both succeed).
+pub fn run(sys: &SystemSpec, r: &Relation, s: &Relation, cfg: &JoinConfig) -> JoinOutcome {
+    let config = EngineConfig::for_tuples(r.len(), s.len()).with_allocator(cfg.allocator);
+    let mut engine = JoinEngine::for_system(sys.clone(), config).unwrap();
+    let request = JoinRequest::from_config(cfg.clone()).unwrap();
+    engine.execute(&request, r, s).unwrap()
+}

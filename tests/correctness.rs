@@ -1,8 +1,11 @@
-//! Cross-crate integration tests: every configuration of the join executor
+//! Cross-crate integration tests: every configuration of the join engine
 //! must produce exactly the reference join result.
 
 use coupled_hashjoin::prelude::*;
 use datagen::DataGenConfig;
+
+mod common;
+use common::run;
 
 fn workload(n_build: usize, n_probe: usize) -> (datagen::Relation, datagen::Relation, u64) {
     let (r, s) = datagen::generate_pair(&DataGenConfig::small(n_build, n_probe));
@@ -33,7 +36,7 @@ fn every_scheme_algorithm_and_table_mode_agrees_with_the_reference() {
                     ..JoinConfig::shj(scheme.clone())
                 }
                 .with_hash_table(table);
-                let out = run_join(&sys, &r, &s, &cfg);
+                let out = run(&sys, &r, &s, &cfg);
                 assert_eq!(
                     out.matches,
                     expected,
@@ -50,9 +53,16 @@ fn every_scheme_algorithm_and_table_mode_agrees_with_the_reference() {
 #[test]
 fn discrete_and_coupled_topologies_compute_the_same_result() {
     let (r, s, expected) = workload(3000, 6000);
-    for sys in [SystemSpec::coupled_a8_3870k(), SystemSpec::discrete_emulated()] {
-        for scheme in [Scheme::data_dividing_paper(), Scheme::offload_gpu(), Scheme::pipelined_paper()] {
-            let out = run_join(&sys, &r, &s, &JoinConfig::phj(scheme));
+    for sys in [
+        SystemSpec::coupled_a8_3870k(),
+        SystemSpec::discrete_emulated(),
+    ] {
+        for scheme in [
+            Scheme::data_dividing_paper(),
+            Scheme::offload_gpu(),
+            Scheme::pipelined_paper(),
+        ] {
+            let out = run(&sys, &r, &s, &JoinConfig::phj(scheme));
             assert_eq!(out.matches, expected);
         }
     }
@@ -65,12 +75,16 @@ fn allocator_choice_and_grouping_do_not_change_results() {
         &DataGenConfig::small(3000, 6000).with_distribution(KeyDistribution::high_skew()),
     );
     let expected = reference_match_count(&r, &s);
-    for allocator in [AllocatorKind::Basic, AllocatorKind::tuned(), AllocatorKind::Block { block_size: 64 }] {
+    for allocator in [
+        AllocatorKind::Basic,
+        AllocatorKind::tuned(),
+        AllocatorKind::Block { block_size: 64 },
+    ] {
         for grouping in [false, true] {
             let cfg = JoinConfig::phj(Scheme::pipelined_paper())
                 .with_allocator(allocator)
                 .with_grouping(grouping);
-            assert_eq!(run_join(&sys, &r, &s, &cfg).matches, expected);
+            assert_eq!(run(&sys, &r, &s, &cfg).matches, expected);
         }
     }
 }
@@ -82,7 +96,7 @@ fn materialised_pairs_equal_the_reference_pairs_for_every_scheme() {
     let expected = coupled_hashjoin::hj_core::reference_pairs(&r, &s);
     for scheme in all_schemes() {
         let cfg = JoinConfig::phj(scheme.clone()).with_collect_results(true);
-        let mut got = run_join(&sys, &r, &s, &cfg).pairs.expect("pairs requested");
+        let mut got = run(&sys, &r, &s, &cfg).pairs.expect("pairs requested");
         got.sort_unstable();
         assert_eq!(got, expected, "scheme {}", scheme.label());
     }
@@ -93,15 +107,22 @@ fn coarse_granularity_and_out_of_core_agree_with_in_core_results() {
     let mut sys = SystemSpec::coupled_a8_3870k();
     let (r, s, expected) = workload(5000, 10_000);
 
-    let coarse = JoinConfig::phj(Scheme::pipelined_paper()).with_granularity(StepGranularity::Coarse);
-    assert_eq!(run_join(&sys, &r, &s, &coarse).matches, expected);
+    let coarse =
+        JoinConfig::phj(Scheme::pipelined_paper()).with_granularity(StepGranularity::Coarse);
+    assert_eq!(run(&sys, &r, &s, &coarse).matches, expected);
 
     // Force the out-of-core path with a tiny buffer.
     sys.topology = Topology::Coupled {
         shared_cache_bytes: 4 * 1024 * 1024,
         zero_copy_bytes: 32 * 1024,
     };
-    let out = run_out_of_core_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()), 2048);
+    let cfg = JoinConfig::shj(Scheme::pipelined_paper());
+    let request = JoinRequest::from_config(cfg.clone())
+        .and_then(|req| req.with_out_of_core(2048))
+        .unwrap();
+    let mut engine =
+        JoinEngine::for_system(sys.clone(), EngineConfig::for_tuples(r.len(), s.len())).unwrap();
+    let out = engine.execute(&request, &r, &s).unwrap();
     assert_eq!(out.matches, expected);
     assert!(out.breakdown.get(Phase::DataCopy) > SimTime::ZERO);
 }
@@ -121,7 +142,7 @@ fn selectivity_and_skew_sweeps_stay_correct() {
                     .with_distribution(dist),
             );
             let expected = reference_match_count(&r, &s);
-            let out = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+            let out = run(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
             assert_eq!(out.matches, expected);
         }
     }
@@ -134,11 +155,11 @@ fn empty_and_degenerate_inputs_are_handled() {
     let (r, s) = datagen::generate_pair(&DataGenConfig::small(100, 100));
 
     let cfg = JoinConfig::shj(Scheme::pipelined_paper());
-    assert_eq!(run_join(&sys, &empty, &s, &cfg).matches, 0);
-    assert_eq!(run_join(&sys, &r, &empty, &cfg).matches, 0);
+    assert_eq!(run(&sys, &empty, &s, &cfg).matches, 0);
+    assert_eq!(run(&sys, &r, &empty, &cfg).matches, 0);
 
     // A single-tuple build relation probed by everything.
     let one = datagen::Relation::from_keys(vec![42]);
     let many = datagen::Relation::from_keys(vec![42; 1000]);
-    assert_eq!(run_join(&sys, &one, &many, &cfg).matches, 1000);
+    assert_eq!(run(&sys, &one, &many, &cfg).matches, 1000);
 }

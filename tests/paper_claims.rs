@@ -8,6 +8,9 @@ use datagen::DataGenConfig;
 
 const N: usize = 200_000;
 
+mod common;
+use common::run;
+
 fn default_workload() -> (datagen::Relation, datagen::Relation) {
     datagen::generate_pair(&DataGenConfig::small(N, N))
 }
@@ -18,7 +21,11 @@ fn fine_grained_pl_beats_cpu_gpu_and_dd() {
     // co-processing (Section 5.5: up to 53 %, 35 % and 28 %).
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
-    let time = |scheme: Scheme| run_join(&sys, &r, &s, &JoinConfig::phj(scheme)).total_time().as_secs();
+    let time = |scheme: Scheme| {
+        run(&sys, &r, &s, &JoinConfig::phj(scheme))
+            .total_time()
+            .as_secs()
+    };
 
     let cpu = time(Scheme::CpuOnly);
     let gpu = time(Scheme::GpuOnly);
@@ -27,7 +34,10 @@ fn fine_grained_pl_beats_cpu_gpu_and_dd() {
 
     assert!(pl < cpu, "PL {pl:.3}s must beat CPU-only {cpu:.3}s");
     assert!(pl < gpu, "PL {pl:.3}s must beat GPU-only {gpu:.3}s");
-    assert!(pl < dd * 1.02, "PL {pl:.3}s must be at least on par with DD {dd:.3}s");
+    assert!(
+        pl < dd * 1.02,
+        "PL {pl:.3}s must be at least on par with DD {dd:.3}s"
+    );
     let vs_cpu = 1.0 - pl / cpu;
     assert!(
         vs_cpu > 0.25,
@@ -43,9 +53,9 @@ fn transfer_overhead_on_discrete_is_a_modest_share() {
     // architecture once the transfer is removed.
     let (r, s) = default_workload();
     let cfg = JoinConfig::shj(Scheme::data_dividing_paper());
-    let discrete = run_join(&SystemSpec::discrete_emulated(), &r, &s, &cfg);
-    let transfer_share = discrete.breakdown.get(Phase::DataTransfer).as_secs()
-        / discrete.total_time().as_secs();
+    let discrete = run(&SystemSpec::discrete_emulated(), &r, &s, &cfg);
+    let transfer_share =
+        discrete.breakdown.get(Phase::DataTransfer).as_secs() / discrete.total_time().as_secs();
     // At the paper's 16M-tuple scale this share is 4-10%; at the scaled-down
     // integration size the compute side benefits from cache residency while
     // transfers scale linearly, so the share is somewhat higher.  The bound
@@ -72,10 +82,16 @@ fn shared_hash_table_beats_separate_tables() {
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
     let cfg = JoinConfig::shj(Scheme::data_dividing_paper());
-    let shared = run_join(&sys, &r, &s, &cfg.clone().with_hash_table(HashTableMode::Shared));
-    let separate = run_join(&sys, &r, &s, &cfg.with_hash_table(HashTableMode::Separate));
+    let shared = run(
+        &sys,
+        &r,
+        &s,
+        &cfg.clone().with_hash_table(HashTableMode::Shared),
+    );
+    let separate = run(&sys, &r, &s, &cfg.with_hash_table(HashTableMode::Separate));
     let shared_build = shared.breakdown.get(Phase::Build);
-    let separate_build = separate.breakdown.get(Phase::Build) + separate.breakdown.get(Phase::Merge);
+    let separate_build =
+        separate.breakdown.get(Phase::Build) + separate.breakdown.get(Phase::Merge);
     assert!(
         shared_build.as_secs() < separate_build.as_secs() * 0.95,
         "shared {shared_build} should clearly beat separate {separate_build}"
@@ -87,13 +103,13 @@ fn optimized_allocator_beats_basic_allocator() {
     // Figure 12: up to 36-39 % improvement from the block allocator.
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
-    let basic = run_join(
+    let basic = run(
         &sys,
         &r,
         &s,
         &JoinConfig::phj(Scheme::pipelined_paper()).with_allocator(AllocatorKind::Basic),
     );
-    let ours = run_join(
+    let ours = run(
         &sys,
         &r,
         &s,
@@ -114,7 +130,7 @@ fn lock_overhead_shrinks_as_block_size_grows() {
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
     let overhead = |block: usize| {
-        run_join(
+        run(
             &sys,
             &r,
             &s,
@@ -138,8 +154,8 @@ fn coarse_step_definition_has_more_misses_and_is_slower() {
     // Table 3: PHJ-PL' (coarse) vs PHJ-PL (fine).
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
-    let fine = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
-    let coarse = run_join(
+    let fine = run(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+    let coarse = run(
         &sys,
         &r,
         &s,
@@ -164,8 +180,8 @@ fn phj_and_shj_are_competitive_with_phj_slightly_ahead() {
     // exceeds the cache (emulated by shrinking the cache), PHJ-PL wins.
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
-    let shj = run_join(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
-    let phj = run_join(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+    let shj = run(&sys, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
+    let phj = run(&sys, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
     let ratio = phj.total_time().as_secs() / shj.total_time().as_secs();
     assert!(
         (0.5..=2.0).contains(&ratio),
@@ -177,8 +193,18 @@ fn phj_and_shj_are_competitive_with_phj_slightly_ahead() {
         shared_cache_bytes: 256 * 1024,
         zero_copy_bytes: 512 * 1024 * 1024,
     };
-    let shj_small = run_join(&small_cache, &r, &s, &JoinConfig::shj(Scheme::pipelined_paper()));
-    let phj_small = run_join(&small_cache, &r, &s, &JoinConfig::phj(Scheme::pipelined_paper()));
+    let shj_small = run(
+        &small_cache,
+        &r,
+        &s,
+        &JoinConfig::shj(Scheme::pipelined_paper()),
+    );
+    let phj_small = run(
+        &small_cache,
+        &r,
+        &s,
+        &JoinConfig::phj(Scheme::pipelined_paper()),
+    );
     assert!(
         phj_small.total_time() < shj_small.total_time(),
         "with a cache-dwarfing table PHJ-PL ({}) must beat SHJ-PL ({})",
@@ -197,8 +223,10 @@ fn skewed_data_is_not_slower_than_uniform_for_pl() {
         &DataGenConfig::small(N, N).with_distribution(KeyDistribution::high_skew()),
     );
     let cfg = JoinConfig::phj(Scheme::pipelined_paper());
-    let t_uniform = run_join(&sys, &uniform.0, &uniform.1, &cfg).total_time().as_secs();
-    let t_skewed = run_join(&sys, &skewed.0, &skewed.1, &cfg).total_time().as_secs();
+    let t_uniform = run(&sys, &uniform.0, &uniform.1, &cfg)
+        .total_time()
+        .as_secs();
+    let t_skewed = run(&sys, &skewed.0, &skewed.1, &cfg).total_time().as_secs();
     assert!(
         t_skewed < t_uniform * 1.15,
         "high-skew ({t_skewed:.3}s) should not be much slower than uniform ({t_uniform:.3}s)"
@@ -211,7 +239,8 @@ fn cost_model_tracks_measured_times_within_tolerance() {
     // since the model ignores lock contention.
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
-    let model = coupled_hashjoin::costmodel::calibrate_from_relations(&sys, &r, &s, Algorithm::Simple);
+    let model =
+        coupled_hashjoin::costmodel::calibrate_from_relations(&sys, &r, &s, Algorithm::Simple);
     let model = JoinCostModel::new(model);
     for ratio in [0.1, 0.3, 0.5] {
         let estimated = model
@@ -223,7 +252,7 @@ fn cost_model_tracks_measured_times_within_tolerance() {
             build_ratio: ratio,
             probe_ratio: ratio,
         });
-        let measured = run_join(&sys, &r, &s, &cfg)
+        let measured = run(&sys, &r, &s, &cfg)
             .breakdown
             .get(Phase::Build)
             .as_secs();
@@ -241,12 +270,19 @@ fn gpu_dominates_hash_steps_but_not_pointer_chasing() {
     // scale.
     let sys = SystemSpec::coupled_a8_3870k();
     let (r, s) = default_workload();
-    let costs =
-        coupled_hashjoin::costmodel::calibrate_from_relations(&sys, &r, &s, Algorithm::partitioned_auto());
+    let costs = coupled_hashjoin::costmodel::calibrate_from_relations(
+        &sys,
+        &r,
+        &s,
+        Algorithm::partitioned_auto(),
+    );
     for (step, cpu, gpu) in costs.figure4_rows() {
         let speedup = cpu / gpu;
         if step.is_hash_step() {
-            assert!(speedup > 8.0, "{step}: hash step speedup only {speedup:.1}x");
+            assert!(
+                speedup > 8.0,
+                "{step}: hash step speedup only {speedup:.1}x"
+            );
         } else {
             assert!(
                 speedup < 8.0,

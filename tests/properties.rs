@@ -1,141 +1,185 @@
-//! Property-based tests (proptest) of the core invariants: join correctness
-//! against a reference implementation on arbitrary relations, partitioning
-//! as a multiset-preserving operation, allocator disjointness and the
+//! Property-style tests of the core invariants: join correctness against a
+//! reference implementation on arbitrary relations, partitioning as a
+//! multiset-preserving operation, allocator disjointness and the
 //! pipeline-timing algebra.
+//!
+//! The cases are drawn from the workspace's own seedable generator
+//! ([`datagen::SmallRng`]) instead of an external property-testing crate,
+//! so every run replays the same deterministic inputs.
 
-use coupled_hashjoin::prelude::*;
 use coupled_hashjoin::hj_core::{compose_pipeline, run_partition_pass, ExecContext, Ratios};
-use datagen::Relation;
+use coupled_hashjoin::prelude::*;
+use datagen::{Relation, SmallRng};
 use mem_alloc::{BlockAllocator, KernelAllocator};
-use proptest::prelude::*;
 
-/// Strategy: a relation with up to `max` tuples whose keys come from a small
-/// domain (to force duplicates and collisions).
-fn relation(max: usize) -> impl Strategy<Value = Relation> {
-    prop::collection::vec(0u32..500, 0..max).prop_map(Relation::from_keys)
+const CASES: usize = 24;
+
+/// A relation with up to `max` tuples whose keys come from a small domain
+/// (to force duplicates and collisions).
+fn random_relation(rng: &mut SmallRng, max: usize) -> Relation {
+    let n = rng.random_index(max + 1);
+    Relation::from_keys((0..n).map(|_| rng.random_u32_below(500)).collect())
 }
 
-fn reference(build: &Relation, probe: &Relation) -> u64 {
-    reference_match_count(build, probe)
-}
+mod common;
+use common::run;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn any_relations_join_correctly_under_every_scheme(
-        build in relation(400),
-        probe in relation(800),
-        scheme_idx in 0usize..5,
-        partitioned in any::<bool>(),
-    ) {
-        let sys = SystemSpec::coupled_a8_3870k();
-        let scheme = match scheme_idx {
+#[test]
+fn any_relations_join_correctly_under_every_scheme() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let mut rng = SmallRng::seed_from_u64(0xA11);
+    for case in 0..CASES {
+        let build = random_relation(&mut rng, 400);
+        let probe = random_relation(&mut rng, 800);
+        let scheme = match case % 5 {
             0 => Scheme::CpuOnly,
             1 => Scheme::GpuOnly,
             2 => Scheme::data_dividing_paper(),
             3 => Scheme::pipelined_paper(),
             _ => Scheme::basic_unit_default(),
         };
-        let cfg = if partitioned {
+        let cfg = if case % 2 == 0 {
             JoinConfig::phj(scheme)
         } else {
             JoinConfig::shj(scheme)
         };
-        let out = run_join(&sys, &build, &probe, &cfg);
-        prop_assert_eq!(out.matches, reference(&build, &probe));
+        let out = run(&sys, &build, &probe, &cfg);
+        assert_eq!(
+            out.matches,
+            reference_match_count(&build, &probe),
+            "case {case} ({})",
+            cfg.label()
+        );
     }
+}
 
-    #[test]
-    fn arbitrary_ratios_never_change_the_result(
-        build in relation(300),
-        probe in relation(600),
-        r1 in 0.0f64..1.0,
-        r2 in 0.0f64..1.0,
-        r3 in 0.0f64..1.0,
-        r4 in 0.0f64..1.0,
-    ) {
-        let sys = SystemSpec::coupled_a8_3870k();
+#[test]
+fn arbitrary_ratios_never_change_the_result() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let mut rng = SmallRng::seed_from_u64(0xA12);
+    for case in 0..CASES {
+        let build = random_relation(&mut rng, 300);
+        let probe = random_relation(&mut rng, 600);
+        let r: Vec<f64> = (0..4).map(|_| rng.random_unit()).collect();
         let cfg = JoinConfig::shj(Scheme::Pipelined {
-            partition: [r1, r2, r3],
-            build: [r1, r2, r3, r4],
-            probe: [r4, r3, r2, r1],
+            partition: [r[0], r[1], r[2]],
+            build: [r[0], r[1], r[2], r[3]],
+            probe: [r[3], r[2], r[1], r[0]],
         });
-        let out = run_join(&sys, &build, &probe, &cfg);
-        prop_assert_eq!(out.matches, reference(&build, &probe));
-        prop_assert!(out.total_time() > SimTime::ZERO || build.is_empty() && probe.is_empty());
+        let out = run(&sys, &build, &probe, &cfg);
+        assert_eq!(
+            out.matches,
+            reference_match_count(&build, &probe),
+            "case {case}"
+        );
+        assert!(
+            out.total_time() > SimTime::ZERO || build.is_empty() && probe.is_empty(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn partitioning_preserves_the_multiset(rel in relation(600), bits in 1u32..6) {
-        let sys = SystemSpec::coupled_a8_3870k();
+#[test]
+fn partitioning_preserves_the_multiset() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let mut rng = SmallRng::seed_from_u64(0xA13);
+    for case in 0..CASES {
+        let rel = random_relation(&mut rng, 600);
+        if rel.is_empty() {
+            continue;
+        }
+        let bits = 1 + rng.random_u32_below(5);
         let mut ctx = ExecContext::new(
             &sys,
             AllocatorKind::tuned(),
-            coupled_hashjoin::hj_core::arena_bytes_for(rel.len().max(1), rel.len().max(1)),
+            coupled_hashjoin::hj_core::arena_bytes_for(rel.len(), rel.len()),
             false,
         );
-        if rel.is_empty() {
-            return Ok(());
-        }
-        let (parts, _) = run_partition_pass(&mut ctx, &rel, bits, 0, &Ratios::uniform(0.5, 3));
-        prop_assert_eq!(parts.len(), 1usize << bits);
+        let (parts, _) =
+            run_partition_pass(&mut ctx, &rel, bits, 0, &Ratios::uniform(0.5, 3)).unwrap();
+        assert_eq!(parts.len(), 1usize << bits, "case {case}");
         let mut original: Vec<(u32, u32)> = rel.iter().collect();
         let mut scattered: Vec<(u32, u32)> = parts.iter().flat_map(|p| p.iter()).collect();
         original.sort_unstable();
         scattered.sort_unstable();
-        prop_assert_eq!(original, scattered);
+        assert_eq!(original, scattered, "case {case}");
     }
+}
 
-    #[test]
-    fn block_allocator_never_hands_out_overlapping_ranges(
-        requests in prop::collection::vec((0usize..8, 1usize..64), 1..200),
-        block in prop::sample::select(vec![16usize, 64, 256, 2048]),
-    ) {
+#[test]
+fn block_allocator_never_hands_out_overlapping_ranges() {
+    let mut rng = SmallRng::seed_from_u64(0xA14);
+    for case in 0..CASES {
+        let block = [16usize, 64, 256, 2048][rng.random_index(4)];
         let mut alloc = BlockAllocator::new(1 << 20, block, 8);
         let mut ranges: Vec<(usize, usize)> = Vec::new();
-        for (group, bytes) in requests {
+        let requests = 1 + rng.random_index(200);
+        for _ in 0..requests {
+            let group = rng.random_index(8);
+            let bytes = 1 + rng.random_index(63);
             if let Some(off) = alloc.alloc(group, bytes) {
                 ranges.push((off, off + bytes));
             }
         }
         ranges.sort_unstable();
         for w in ranges.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap between {:?} and {:?}", w[0], w[1]);
+            assert!(
+                w[0].1 <= w[1].0,
+                "case {case}: overlap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
+}
 
-    #[test]
-    fn pipeline_elapsed_is_bounded_by_busy_times(
-        cpu_ns in prop::collection::vec(0.0f64..1e6, 2..6),
-        gpu_ns in prop::collection::vec(0.0f64..1e6, 2..6),
-        ratios in prop::collection::vec(0.0f64..1.0, 2..6),
-    ) {
-        let n = cpu_ns.len().min(gpu_ns.len()).min(ratios.len());
-        let cpu: Vec<SimTime> = cpu_ns[..n].iter().map(|&x| SimTime::from_ns(x)).collect();
-        let gpu: Vec<SimTime> = gpu_ns[..n].iter().map(|&x| SimTime::from_ns(x)).collect();
-        let ratios = Ratios::new(ratios[..n].to_vec());
+#[test]
+fn pipeline_elapsed_is_bounded_by_busy_times() {
+    let mut rng = SmallRng::seed_from_u64(0xA15);
+    for case in 0..CASES {
+        let n = 2 + rng.random_index(4);
+        let cpu_ns: Vec<f64> = (0..n).map(|_| rng.random_unit() * 1e6).collect();
+        let gpu_ns: Vec<f64> = (0..n).map(|_| rng.random_unit() * 1e6).collect();
+        let cpu: Vec<SimTime> = cpu_ns.iter().map(|&x| SimTime::from_ns(x)).collect();
+        let gpu: Vec<SimTime> = gpu_ns.iter().map(|&x| SimTime::from_ns(x)).collect();
+        let ratios = Ratios::new((0..n).map(|_| rng.random_unit()).collect());
         let timing = compose_pipeline(&cpu, &gpu, &ratios);
-        let cpu_busy: f64 = cpu_ns[..n].iter().sum();
-        let gpu_busy: f64 = gpu_ns[..n].iter().sum();
+        let cpu_busy: f64 = cpu_ns.iter().sum();
+        let gpu_busy: f64 = gpu_ns.iter().sum();
         // Elapsed is at least the busier device and at most the fully serial
         // execution of everything.
-        prop_assert!(timing.elapsed.as_ns() + 1e-6 >= cpu_busy.max(gpu_busy));
-        prop_assert!(timing.elapsed.as_ns() <= cpu_busy + gpu_busy + 1e-6);
-    }
-
-    #[test]
-    fn selectivity_bounds_the_match_count(
-        n in 50usize..400,
-        selectivity in 0.0f64..1.0,
-    ) {
-        let (build, probe) = datagen::generate_pair(
-            &DataGenConfig::small(n, 2 * n).with_selectivity(selectivity),
+        assert!(
+            timing.elapsed.as_ns() + 1e-6 >= cpu_busy.max(gpu_busy),
+            "case {case}"
         );
-        let sys = SystemSpec::coupled_a8_3870k();
-        let out = run_join(&sys, &build, &probe, &JoinConfig::shj(Scheme::pipelined_paper()));
-        prop_assert_eq!(out.matches, reference(&build, &probe));
+        assert!(
+            timing.elapsed.as_ns() <= cpu_busy + gpu_busy + 1e-6,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn selectivity_bounds_the_match_count() {
+    let sys = SystemSpec::coupled_a8_3870k();
+    let mut rng = SmallRng::seed_from_u64(0xA16);
+    for case in 0..CASES {
+        let n = 50 + rng.random_index(350);
+        let selectivity = rng.random_unit();
+        let (build, probe) =
+            datagen::generate_pair(&DataGenConfig::small(n, 2 * n).with_selectivity(selectivity));
+        let out = run(
+            &sys,
+            &build,
+            &probe,
+            &JoinConfig::shj(Scheme::pipelined_paper()),
+        );
+        assert_eq!(
+            out.matches,
+            reference_match_count(&build, &probe),
+            "case {case}"
+        );
         // With distinct build keys, matches cannot exceed the probe side.
-        prop_assert!(out.matches <= (2 * n) as u64);
+        assert!(out.matches <= (2 * n) as u64, "case {case}");
     }
 }
