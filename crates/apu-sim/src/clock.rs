@@ -6,6 +6,7 @@
 //! (Figures 3, 15 and 19): data transfer, merge, partition, build, probe and
 //! data copy.
 
+use crate::device::DeviceKind;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
@@ -164,6 +165,58 @@ impl fmt::Display for SimTime {
         } else {
             write!(f, "{:.3} ns", ns)
         }
+    }
+}
+
+/// One simulated event clock per device, for greedy dispatch of independent
+/// work units (chunks, morsels, partition pairs) onto whichever device
+/// becomes idle first.
+///
+/// This is the event-clock interpretation of a task schedule: the same
+/// stream of tasks that a native backend executes on real threads is
+/// *replayed* here by advancing per-device clocks with model-predicted
+/// times, and the schedule's elapsed time is the later of the two clocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceClocks {
+    cpu: SimTime,
+    gpu: SimTime,
+}
+
+impl DeviceClocks {
+    /// Both clocks at zero.
+    pub fn new() -> Self {
+        DeviceClocks::default()
+    }
+
+    /// The device that becomes idle first (ties go to the CPU, matching the
+    /// paper's greedy chunk scheduler).
+    pub fn idlest(&self) -> DeviceKind {
+        if self.cpu <= self.gpu {
+            DeviceKind::Cpu
+        } else {
+            DeviceKind::Gpu
+        }
+    }
+
+    /// Advances one device's clock by `time`.
+    pub fn advance(&mut self, kind: DeviceKind, time: SimTime) {
+        match kind {
+            DeviceKind::Cpu => self.cpu += time,
+            DeviceKind::Gpu => self.gpu += time,
+        }
+    }
+
+    /// One device's accumulated busy time.
+    pub fn busy(&self, kind: DeviceKind) -> SimTime {
+        match kind {
+            DeviceKind::Cpu => self.cpu,
+            DeviceKind::Gpu => self.gpu,
+        }
+    }
+
+    /// Elapsed time of the schedule so far: the later of the two clocks.
+    pub fn elapsed(&self) -> SimTime {
+        self.cpu.max(self.gpu)
     }
 }
 

@@ -6,7 +6,7 @@
 //! that the paper's cost model needs (Table 1 and Table 2 of the paper), plus
 //! calibrated memory-access and atomic-operation costs.
 //!
-//! [`Device::kernel_time`] turns a [`StepCost`](crate::cost::StepCost)
+//! [`Device::kernel_time`] turns a [`StepCost`]
 //! (instructions, memory accesses, atomics, divergence) into simulated
 //! elapsed time, mirroring Eq. 2/3 of the paper: computation + memory stalls,
 //! with SIMD-divergence and latch terms added on top.

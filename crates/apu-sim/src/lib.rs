@@ -41,7 +41,7 @@ pub mod pcie;
 pub mod topology;
 
 pub use cache::{AnalyticCache, CacheSim, CacheStats};
-pub use clock::{Phase, PhaseBreakdown, SimTime};
+pub use clock::{DeviceClocks, Phase, PhaseBreakdown, SimTime};
 pub use cost::{CostRecorder, KernelTime, MemContext, StepCost};
 pub use device::{Device, DeviceKind, DeviceSpec};
 pub use executor::{divergence_factor, AtomicWorkload, LatchModel};

@@ -7,7 +7,7 @@
 //!   A8-3870K) and no transfers are needed.
 //! * [`Topology::Discrete`] — the GPU has its own memory and cache, and every
 //!   movement of data between devices pays the PCI-e delay of
-//!   [`PcieSpec`](crate::pcie::PcieSpec).  This mirrors the paper's
+//!   [`PcieSpec`].  This mirrors the paper's
 //!   emulation-based methodology (Section 5.1).
 
 use crate::device::{Device, DeviceKind, DeviceSpec};

@@ -18,6 +18,7 @@
 //! | `fig13`–`fig16`, `fig17_18` | Figures 13–18 (end-to-end comparison) | [`endtoend`] |
 //! | `fig19` | Figure 19 (out-of-core joins) | [`breakdown`] |
 //! | `fig20` | Figure 20 (latch micro-benchmark) | [`micro`] |
+//! | `throughput` | joins/sec under concurrent clients (not in the paper) | [`throughput`] |
 //!
 //! The global `HJ_SCALE` environment variable divides every cardinality
 //! (default 32, i.e. 512 K instead of 16 M tuples) so the whole suite runs in
@@ -31,6 +32,7 @@ pub mod common;
 pub mod endtoend;
 pub mod micro;
 pub mod model_eval;
+pub mod throughput;
 pub mod tradeoffs;
 pub mod unitcosts;
 
@@ -143,6 +145,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "fig20",
             description: "Figure 20: latch micro-benchmark on the CPU and the GPU",
             run: micro::fig20,
+        },
+        Experiment {
+            name: "throughput",
+            description: "BENCH_throughput: joins/sec of one shared engine at 1/4/8 clients",
+            run: throughput::throughput,
         },
     ]
 }

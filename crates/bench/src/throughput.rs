@@ -1,0 +1,186 @@
+//! Engine throughput under concurrent multi-client load (`BENCH_throughput`).
+//!
+//! Unlike the paper-reproduction experiments, this runner measures the
+//! *system* quality the ROADMAP pushes toward: joins per second of one
+//! shared [`JoinEngine`] (native backend, `sessions` pooled arenas) as the
+//! number of concurrent client threads grows.  It emits
+//! `BENCH_throughput.json` in the working directory so successive PRs can
+//! track the trajectory.
+
+use crate::common::{banner, ExpContext};
+use hj_core::{EngineConfig, JoinEngine, JoinRequest, NativeCpu, Scheme};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sessions the shared engine pools (and the largest client count tried).
+pub const SESSIONS: usize = 8;
+
+/// Joins each client submits per measurement.
+const JOINS_PER_CLIENT: usize = 16;
+
+/// One measured load point.
+struct Point {
+    clients: usize,
+    joins: usize,
+    elapsed_secs: f64,
+    joins_per_sec: f64,
+    peak_in_flight: usize,
+}
+
+/// `throughput`: joins/sec of one shared native engine at 1, 4 and
+/// [`SESSIONS`] concurrent clients.
+pub fn throughput(ctx: &mut ExpContext) {
+    banner("BENCH_throughput: concurrent clients against one shared NativeCpu engine");
+    let (r, s) = ctx.relations(
+        1024 * 1024,
+        2 * 1024 * 1024,
+        datagen::KeyDistribution::Uniform,
+        1.0,
+    );
+    let request = JoinRequest::builder()
+        .scheme(Scheme::pipelined_paper())
+        .build()
+        .expect("valid throughput request");
+
+    println!(
+        "workload: {} x {} tuples, {} joins per client, {} sessions",
+        r.len(),
+        s.len(),
+        JOINS_PER_CLIENT,
+        SESSIONS
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>14}",
+        "clients", "joins", "elapsed(s)", "joins/sec", "peak in-flight"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut points = Vec::new();
+    for clients in [1usize, 4, SESSIONS] {
+        // Keep the whole machine busy at every load point: with `clients`
+        // joins in flight, each join gets its share of the cores.  This
+        // isolates engine concurrency from static thread partitioning — a
+        // single client still uses every core.
+        let threads_per_join = (cores / clients).max(1);
+        let engine = Arc::new(
+            JoinEngine::new(
+                Box::new(NativeCpu::with_threads(threads_per_join)),
+                EngineConfig::for_tuples(r.len(), s.len()).sessions(SESSIONS),
+            )
+            .expect("valid engine config"),
+        );
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let engine = Arc::clone(&engine);
+                let request = request.clone();
+                let (r, s) = (&r, &s);
+                scope.spawn(move || {
+                    for _ in 0..JOINS_PER_CLIENT {
+                        engine
+                            .submit(&request, r, s)
+                            .expect("throughput submission failed");
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let joins = clients * JOINS_PER_CLIENT;
+        let stats = engine.stats();
+        assert_eq!(stats.requests_served, joins as u64);
+        let point = Point {
+            clients,
+            joins,
+            elapsed_secs: elapsed,
+            joins_per_sec: joins as f64 / elapsed.max(1e-9),
+            peak_in_flight: stats.peak_in_flight,
+        };
+        println!(
+            "{:>8} {:>8} {:>12.3} {:>14.1} {:>14}",
+            point.clients,
+            point.joins,
+            point.elapsed_secs,
+            point.joins_per_sec,
+            point.peak_in_flight
+        );
+        points.push(point);
+    }
+
+    let json = render_json(r.len(), s.len(), &points);
+    let path = "BENCH_throughput.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{},{},{:.6},{:.1},{}",
+                p.clients, p.joins, p.elapsed_secs, p.joins_per_sec, p.peak_in_flight
+            )
+        })
+        .collect();
+    ctx.write_csv(
+        "throughput.csv",
+        "clients,joins,elapsed_s,joins_per_sec,peak_in_flight",
+        &rows,
+    );
+}
+
+fn render_json(build_tuples: usize, probe_tuples: usize, points: &[Point]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"engine-throughput\",\n");
+    out.push_str("  \"backend\": \"native-cpu\",\n");
+    out.push_str(&format!("  \"sessions\": {SESSIONS},\n"));
+    out.push_str(&format!("  \"build_tuples\": {build_tuples},\n"));
+    out.push_str(&format!("  \"probe_tuples\": {probe_tuples},\n"));
+    out.push_str(&format!("  \"joins_per_client\": {JOINS_PER_CLIENT},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"joins\": {}, \"elapsed_secs\": {:.6}, \
+             \"joins_per_sec\": {:.1}, \"peak_in_flight\": {}}}{}\n",
+            p.clients,
+            p.joins,
+            p.elapsed_secs,
+            p.joins_per_sec,
+            p.peak_in_flight,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough_to_diff() {
+        let points = vec![
+            Point {
+                clients: 1,
+                joins: 16,
+                elapsed_secs: 0.5,
+                joins_per_sec: 32.0,
+                peak_in_flight: 1,
+            },
+            Point {
+                clients: 4,
+                joins: 64,
+                elapsed_secs: 1.0,
+                joins_per_sec: 64.0,
+                peak_in_flight: 4,
+            },
+        ];
+        let json = render_json(1000, 2000, &points);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"clients\"").count(), 2);
+        assert!(json.contains("\"sessions\": 8"));
+        // Exactly one trailing comma between the two result rows.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+}

@@ -49,37 +49,26 @@ pub fn run_coarse_pair_joins(
 ) -> Result<CoarseJoinResult, JoinError> {
     assert_eq!(parts_r.len(), parts_s.len(), "partition counts must match");
     let mut result = CoarseJoinResult::default();
-    let mut cpu_clock = SimTime::ZERO;
-    let mut gpu_clock = SimTime::ZERO;
+    let mut clocks = apu_sim::DeviceClocks::new();
     let mut collected = pairs_out;
 
     for (r_part, s_part) in parts_r.iter().zip(parts_s.iter()) {
         if r_part.is_empty() && s_part.is_empty() {
             continue;
         }
-        let device = if cpu_clock <= gpu_clock {
-            DeviceKind::Cpu
-        } else {
-            DeviceKind::Gpu
-        };
+        let device = clocks.idlest();
         let (matches, build_t, probe_t) =
             join_one_pair(ctx, r_part, s_part, device, collected.as_deref_mut())?;
         result.matches += matches;
         result.build_time += build_t;
         result.probe_time += probe_t;
-        let pair_time = build_t + probe_t;
+        clocks.advance(device, build_t + probe_t);
         match device {
-            DeviceKind::Cpu => {
-                cpu_clock += pair_time;
-                result.cpu_pairs += 1;
-            }
-            DeviceKind::Gpu => {
-                gpu_clock += pair_time;
-                result.gpu_pairs += 1;
-            }
+            DeviceKind::Cpu => result.cpu_pairs += 1,
+            DeviceKind::Gpu => result.gpu_pairs += 1,
         }
     }
-    result.elapsed = cpu_clock.max(gpu_clock);
+    result.elapsed = clocks.elapsed();
     ctx.counters.matches += result.matches;
     Ok(result)
 }

@@ -210,6 +210,10 @@ pub struct JoinConfig {
     pub collect_results: bool,
     /// Enable the exact L2 cache simulator (slower; used for miss counts).
     pub profile_cache: bool,
+    /// Morsel size in tuples the step pipeline decomposes each phase into
+    /// (default [`crate::pipeline::DEFAULT_MORSEL_TUPLES`]); must be
+    /// non-zero.
+    pub morsel_tuples: usize,
 }
 
 impl JoinConfig {
@@ -225,6 +229,7 @@ impl JoinConfig {
             granularity: StepGranularity::Fine,
             collect_results: false,
             profile_cache: false,
+            morsel_tuples: crate::pipeline::DEFAULT_MORSEL_TUPLES,
         }
     }
 
@@ -269,6 +274,12 @@ impl JoinConfig {
     /// Enables exact cache profiling.
     pub fn with_profile_cache(mut self, profile: bool) -> Self {
         self.profile_cache = profile;
+        self
+    }
+
+    /// Sets the morsel size (tuples) of the step pipeline.
+    pub fn with_morsel_tuples(mut self, morsel_tuples: usize) -> Self {
+        self.morsel_tuples = morsel_tuples;
         self
     }
 

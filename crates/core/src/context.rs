@@ -55,6 +55,10 @@ pub struct ExecContext<'a> {
     pub cache_sim: Option<CacheSim>,
     /// Run-wide counters.
     pub counters: ExecCounters,
+    /// Morsel size (tuples) the step pipeline decomposes phases into; the
+    /// engine sets it from the request, defaulting to
+    /// [`crate::pipeline::DEFAULT_MORSEL_TUPLES`].
+    pub morsel_tuples: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -97,7 +101,15 @@ impl<'a> ExecContext<'a> {
                 None
             },
             counters: ExecCounters::default(),
+            morsel_tuples: crate::pipeline::DEFAULT_MORSEL_TUPLES,
         }
+    }
+
+    /// Sets the morsel size (tuples) the step pipeline uses; zero is treated
+    /// as one tuple per morsel.
+    pub fn with_morsel_tuples(mut self, morsel_tuples: usize) -> Self {
+        self.morsel_tuples = morsel_tuples.max(1);
+        self
     }
 
     /// Tears the context down, handing the allocator (and its arena) back to

@@ -1,52 +1,63 @@
-//! The long-lived join engine: reusable arena, typed requests, pluggable
-//! execution backends.
+//! The long-lived, concurrent join engine: a pool of arena-backed sessions,
+//! typed requests, pluggable execution backends.
 //!
 //! The original reproduction exposed one-shot free functions that allocated
 //! a fresh arena and context per call and panicked on exhaustion.  A system
 //! serving many concurrent, heterogeneous join requests needs the opposite
-//! shape — construct once, admit explicitly, fail cleanly:
+//! shape — construct once, admit explicitly, fail cleanly, serve in
+//! parallel:
 //!
 //! * [`JoinEngine`] is built once from an [`ExecBackend`] and an
-//!   [`EngineConfig`]; it owns one arena sized up front and reuses it for
-//!   every request (see [`EngineStats::arenas_created`]).
+//!   [`EngineConfig`]; it provisions one arena per configured session up
+//!   front and reuses them for every request (see
+//!   [`EngineStats::arenas_created`]).
+//! * [`JoinEngine::submit`] takes `&self`: a shared engine admits up to
+//!   [`EngineConfig::sessions`] in-flight requests from any number of
+//!   client threads, queues up to [`EngineConfig::queue_depth`] more, and
+//!   rejects further submissions with [`JoinError::Saturated`] — typed
+//!   backpressure instead of unbounded queueing.
 //! * [`JoinRequest`] is built with a validating builder
-//!   ([`JoinRequest::builder`]): out-of-range ratios, zero chunk sizes and
-//!   unsupported radix widths are rejected at `build()` time, before they
-//!   reach the execution skeleton.
-//! * [`JoinEngine::execute`] returns `Result<JoinOutcome, JoinError>`:
-//!   oversized inputs are rejected at admission, arena exhaustion
+//!   ([`JoinRequest::builder`]): out-of-range ratios, zero chunk/morsel
+//!   sizes and unsupported radix widths are rejected at `build()` time,
+//!   before they reach the execution skeleton.
+//! * Oversized inputs are rejected at admission, arena exhaustion
 //!   mid-execution surfaces as an error, and the engine stays usable.
 //! * [`ExecBackend`] abstracts how the join is placed and timed.
-//!   [`CoupledSim`] and [`DiscreteSim`] run the paper's simulator on the
-//!   coupled APU and the emulated discrete architecture; [`NativeCpu`] runs
-//!   the same join for real on host threads and reports wall-clock times —
-//!   the simulator and a production path share one execution skeleton.
+//!   [`CoupledSim`] and [`DiscreteSim`] replay the morsel task stream of
+//!   [`crate::pipeline`] through the simulator's event clock; [`NativeCpu`]
+//!   executes the same stream for real on work-stealing host threads and
+//!   reports wall-clock times — the simulator and a production path share
+//!   one task stream.
 //!
 //! ```
 //! use hj_core::engine::{EngineConfig, JoinEngine, JoinRequest};
 //! use hj_core::{Algorithm, Scheme};
 //!
 //! let (build, probe) = datagen::generate_pair(&datagen::DataGenConfig::small(4_096, 8_192));
-//! let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384)).unwrap();
+//! let engine = JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384).sessions(2)).unwrap();
 //! let request = JoinRequest::builder()
 //!     .algorithm(Algorithm::partitioned_auto())
 //!     .scheme(Scheme::pipelined_paper())
 //!     .build()
 //!     .unwrap();
-//! let outcome = engine.execute(&request, &build, &probe).unwrap();
+//! // `submit` takes `&self`: clone the work across threads at will.
+//! let outcome = engine.submit(&request, &build, &probe).unwrap();
 //! assert_eq!(outcome.matches, hj_core::reference_match_count(&build, &probe));
-//! assert_eq!(engine.stats().arenas_created, 1);
+//! assert_eq!(engine.stats().arenas_created, 2); // one arena per session
 //! ```
 
 use crate::config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 use crate::context::{arena_bytes_for, ExecContext};
 use crate::error::JoinError;
 use crate::hash::hash_key;
+use crate::pipeline::{morsel_ranges, TaskQueue};
 use crate::result::JoinOutcome;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -202,6 +213,13 @@ impl JoinRequestBuilder {
         self
     }
 
+    /// Sets the morsel size (tuples) the step pipeline decomposes each
+    /// phase into.
+    pub fn morsel_tuples(mut self, morsel_tuples: usize) -> Self {
+        self.config.morsel_tuples = morsel_tuples;
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -271,6 +289,11 @@ fn validate_config(config: &JoinConfig) -> Result<(), JoinError> {
             return Err(JoinError::InvalidRadixBits { radix_bits });
         }
     }
+    if config.morsel_tuples == 0 {
+        return Err(JoinError::InvalidConfig(
+            "morsel size must be at least one tuple".to_string(),
+        ));
+    }
     Ok(())
 }
 
@@ -280,12 +303,16 @@ fn validate_config(config: &JoinConfig) -> Result<(), JoinError> {
 
 /// How join phases are placed and timed.
 ///
-/// The engine owns admission, the reusable arena and counter finalisation;
-/// a backend only executes an admitted request against the context it is
-/// handed.  Simulator backends account elapsed time with the calibrated
-/// device model; [`NativeCpu`] measures real wall-clock time on host
-/// threads.
-pub trait ExecBackend: Send {
+/// The engine owns admission, the reusable arena pool and counter
+/// finalisation; a backend only executes an admitted request against the
+/// context it is handed.  Simulator backends account elapsed time with the
+/// calibrated device model; [`NativeCpu`] measures real wall-clock time on
+/// host threads.
+///
+/// Backends are `Send + Sync`: one backend instance serves every in-flight
+/// session of a concurrent [`JoinEngine`], so it must not hold per-request
+/// mutable state (all of that lives in the per-session [`ExecContext`]).
+pub trait ExecBackend: Send + Sync {
     /// A short identifier ("coupled-sim", "discrete-sim", "native-cpu").
     fn name(&self) -> &'static str;
 
@@ -414,19 +441,31 @@ impl ExecBackend for DiscreteSim {
 /// A production-shaped backend that runs the equi-join for real on host
 /// threads and reports measured wall-clock times.
 ///
-/// The build relation is hash-sharded across threads (each thread owns the
-/// hash map of one shard — no latches), then the probe relation is scanned
-/// in parallel slices against the shared shard maps.  The outcome's
-/// [`Phase::Build`] / [`Phase::Probe`] entries carry *measured* elapsed
-/// time, so the same reporting pipeline serves simulated and native runs.
+/// It consumes the same morsel task stream the simulator replays through
+/// its event clock: the build and probe relations are decomposed into
+/// morsels of [`JoinConfig::morsel_tuples`] tuples and a work-stealing
+/// [`TaskQueue`] dispatches them over the worker threads.  Each build
+/// morsel scatters its tuples into per-shard buffers, shard owners fold the
+/// buffers into private hash maps (no latches), and probe morsels then scan
+/// the read-only shard maps.  Per-morsel results are folded in morsel
+/// order, so the outcome is deterministic across thread counts.  The
+/// outcome's [`Phase::Build`] / [`Phase::Probe`] entries carry *measured*
+/// elapsed time, so the same reporting pipeline serves simulated and native
+/// runs.
 ///
 /// Scheme, hash-table mode and the out-of-core chunk are placement hints
-/// for the simulator and are ignored here; `collect_results` is honoured.
+/// for the simulator and are ignored here; `collect_results` and
+/// `morsel_tuples` are honoured (the latter floored at
+/// [`NATIVE_MIN_CHUNK_TUPLES`] to bound per-task allocation churn).
 #[derive(Debug, Clone)]
 pub struct NativeCpu {
     threads: usize,
     sys: SystemSpec,
 }
+
+/// Smallest chunk (tuples) the native backend schedules as one task, even
+/// when the request asks for finer morsels.
+pub const NATIVE_MIN_CHUNK_TUPLES: usize = 1024;
 
 impl NativeCpu {
     /// One worker per available hardware thread.
@@ -474,93 +513,69 @@ impl ExecBackend for NativeCpu {
         request: &JoinRequest,
     ) -> Result<JoinOutcome, JoinError> {
         let threads = self.threads;
+        // Floor the native chunking: each scatter task allocates one bucket
+        // set per shard, so degenerate tuple-sized morsels (legal for the
+        // simulator, where a morsel is just an accounting range) would turn
+        // into millions of allocations here.  Coalescing keeps the fold
+        // deterministic — results are still combined in task order.
+        let morsel = request.config().morsel_tuples.max(NATIVE_MIN_CHUNK_TUPLES);
         let mut outcome = JoinOutcome::default();
 
-        // ---- build: one hash-map shard per thread, no shared writes ----
+        // ---- build: morsel scatter, then one fold task per shard ----
         // Two lock-free stages so the relation is scanned (and hashed) once:
-        // each thread scatters its contiguous slice into per-shard buffers,
-        // then each shard owner folds the buffers destined for it into its
-        // private map.
-        let build_start = std::time::Instant::now();
-        let build_slice = build.len().div_ceil(threads).max(1);
-        let scattered: Vec<Vec<Vec<(u32, u32)>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    scope.spawn(move || {
-                        let start = (t * build_slice).min(build.len());
-                        let end = ((t + 1) * build_slice).min(build.len());
-                        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
-                        for i in start..end {
-                            let key = build.key(i);
-                            buckets[hash_key(key) as usize % threads].push((key, build.rid(i)));
-                        }
-                        buckets
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("native scatter worker panicked"))
-                .collect()
-        });
+        // work-stealing workers scatter each build morsel into per-shard
+        // buffers, then each shard owner folds the buffers destined for it
+        // into its private map — no latches anywhere.
+        let build_start = Instant::now();
+        let build_morsels = morsel_ranges(build.len(), morsel);
+        let scattered: Vec<Vec<Vec<(u32, u32)>>> =
+            TaskQueue::run(build_morsels.len(), threads, |_, task| {
+                let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
+                for i in build_morsels[task].clone() {
+                    let key = build.key(i);
+                    buckets[hash_key(key) as usize % threads].push((key, build.rid(i)));
+                }
+                buckets
+            });
         let scattered_ref = &scattered;
-        let shards: Vec<HashMap<u32, Vec<u32>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
-                        for buckets in scattered_ref {
-                            for &(key, rid) in &buckets[shard] {
-                                map.entry(key).or_default().push(rid);
-                            }
-                        }
-                        map
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("native build worker panicked"))
-                .collect()
+        let shards: Vec<HashMap<u32, Vec<u32>>> = TaskQueue::run(threads, threads, |_, shard| {
+            let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+            for buckets in scattered_ref {
+                for &(key, rid) in &buckets[shard] {
+                    map.entry(key).or_default().push(rid);
+                }
+            }
+            map
         });
         let build_elapsed = build_start.elapsed();
 
-        // ---- probe: parallel slices over the read-only shard maps ----
+        // ---- probe: morsels over the read-only shard maps ----
         let collect = request.config().collect_results;
-        let probe_start = std::time::Instant::now();
+        let probe_start = Instant::now();
         let shards_ref = &shards;
-        let slice_len = probe.len().div_ceil(threads).max(1);
-        let results: Vec<(u64, Vec<(u32, u32)>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    scope.spawn(move || {
-                        let start = (t * slice_len).min(probe.len());
-                        let end = ((t + 1) * slice_len).min(probe.len());
-                        let mut matches = 0u64;
-                        let mut pairs = Vec::new();
-                        for i in start..end {
-                            let key = probe.key(i);
-                            let shard = hash_key(key) as usize % threads;
-                            if let Some(rids) = shards_ref[shard].get(&key) {
-                                matches += rids.len() as u64;
-                                if collect {
-                                    for &brid in rids {
-                                        pairs.push((brid, probe.rid(i)));
-                                    }
-                                }
+        let probe_morsels = morsel_ranges(probe.len(), morsel);
+        let results: Vec<(u64, Vec<(u32, u32)>)> =
+            TaskQueue::run(probe_morsels.len(), threads, |_, task| {
+                let mut matches = 0u64;
+                let mut pairs = Vec::new();
+                for i in probe_morsels[task].clone() {
+                    let key = probe.key(i);
+                    let shard = hash_key(key) as usize % threads;
+                    if let Some(rids) = shards_ref[shard].get(&key) {
+                        matches += rids.len() as u64;
+                        if collect {
+                            for &brid in rids {
+                                pairs.push((brid, probe.rid(i)));
                             }
                         }
-                        (matches, pairs)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("native probe worker panicked"))
-                .collect()
-        });
+                    }
+                }
+                (matches, pairs)
+            });
         let probe_elapsed = probe_start.elapsed();
 
+        // Fold per-morsel results in morsel order: deterministic across
+        // worker counts and steal patterns.
         for (matches, pairs) in results {
             outcome.matches += matches;
             if collect {
@@ -583,26 +598,40 @@ impl ExecBackend for NativeCpu {
 // Engine
 // ---------------------------------------------------------------------------
 
-/// Sizing and allocator policy of a [`JoinEngine`]'s reusable arena.
+/// Sizing, allocator and concurrency policy of a [`JoinEngine`]'s session
+/// pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Largest build relation (tuples) the engine admits.
     pub max_build_tuples: usize,
     /// Largest probe relation (tuples) the engine admits.
     pub max_probe_tuples: usize,
-    /// Default software allocator managing the arena (a request may switch
-    /// designs, which rebuilds the arena once).
+    /// Default software allocator managing each session arena (a request may
+    /// switch designs, which rebuilds that session's arena once).
     pub allocator: AllocatorKind,
+    /// Concurrent in-flight requests the engine serves: one arena-backed
+    /// session each, provisioned at construction.
+    pub sessions: usize,
+    /// Submissions allowed to *wait* for a session beyond the in-flight
+    /// limit; further submissions are rejected with
+    /// [`JoinError::Saturated`].  `None` (the default) means "as many as
+    /// `sessions`", resolved by [`effective_queue_depth`](Self::effective_queue_depth),
+    /// so [`sessions`](Self::sessions) and [`queue_depth`](Self::queue_depth)
+    /// compose in either order.
+    pub queue_depth: Option<usize>,
 }
 
 impl EngineConfig {
     /// An engine admitting joins up to `max_build_tuples` ⨝
-    /// `max_probe_tuples`, with the paper's tuned block allocator.
+    /// `max_probe_tuples`, with the paper's tuned block allocator, a single
+    /// session and an admission queue of the same depth.
     pub fn for_tuples(max_build_tuples: usize, max_probe_tuples: usize) -> Self {
         EngineConfig {
             max_build_tuples,
             max_probe_tuples,
             allocator: AllocatorKind::tuned(),
+            sessions: 1,
+            queue_depth: None,
         }
     }
 
@@ -612,7 +641,29 @@ impl EngineConfig {
         self
     }
 
-    /// The arena capacity this configuration provisions.
+    /// Provisions `sessions` concurrent arena-backed sessions.  The
+    /// admission queue defaults to the same depth unless
+    /// [`queue_depth`](Self::queue_depth) sets one explicitly (in either
+    /// order).
+    pub fn sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Bounds the admission queue: how many submissions may wait for a free
+    /// session before [`JoinError::Saturated`] is returned.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = Some(queue_depth);
+        self
+    }
+
+    /// The admission-queue depth the engine enforces: the explicit
+    /// [`queue_depth`](Self::queue_depth), or `sessions` when unset.
+    pub fn effective_queue_depth(&self) -> usize {
+        self.queue_depth.unwrap_or(self.sessions)
+    }
+
+    /// The arena capacity this configuration provisions *per session*.
     pub fn arena_bytes(&self) -> usize {
         arena_bytes_for(self.max_build_tuples, self.max_probe_tuples)
     }
@@ -625,34 +676,110 @@ impl EngineConfig {
                 ));
             }
         }
+        if self.sessions == 0 {
+            return Err(JoinError::InvalidConfig(
+                "an engine needs at least one session".to_string(),
+            ));
+        }
         Ok(())
     }
 }
 
-/// Observability counters of one engine.
+/// Lifetime counters of one session of the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests this session executed to completion.
+    pub requests_served: u64,
+    /// Requests that failed while holding this session.
+    pub requests_failed: u64,
+}
+
+/// Observability counters of one engine (a point-in-time snapshot taken by
+/// [`JoinEngine::stats`]).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EngineStats {
     /// Requests executed to completion.
     pub requests_served: u64,
     /// Requests rejected at admission or failed during execution.
     pub requests_failed: u64,
-    /// Arenas allocated over the engine's lifetime (1 after construction;
-    /// grows only when a request switches allocator design).
+    /// Submissions rejected because the session pool and admission queue
+    /// were both full ([`JoinError::Saturated`]); also counted in
+    /// [`requests_failed`](Self::requests_failed).
+    pub rejected_saturated: u64,
+    /// Arenas allocated over the engine's lifetime (`sessions` after
+    /// construction; grows only when a request switches allocator design).
     pub arenas_created: u64,
-    /// Capacity of the current arena in bytes.
+    /// Capacity of each session arena in bytes.
     pub arena_capacity: usize,
+    /// Sessions the pool was provisioned with.
+    pub sessions: usize,
+    /// Requests in flight at the moment of the snapshot.
+    pub in_flight: usize,
+    /// Most requests ever simultaneously in flight.
+    pub peak_in_flight: usize,
+    /// Per-session request counters, indexed by session id.
+    pub per_session: Vec<SessionStats>,
+    /// Completed joins per wall-clock second since engine construction.
+    pub joins_per_sec: f64,
 }
 
-/// A long-lived join engine: one backend, one reusable arena, many
-/// requests.
+/// One arena-backed execution slot of the pool.
+struct Session {
+    id: usize,
+    /// `Some` except while this session's request is executing (the context
+    /// borrows the allocator and hands it back afterwards).
+    allocator: Option<Box<dyn KernelAllocator>>,
+    allocator_kind: AllocatorKind,
+}
+
+/// The free-list of sessions plus the admission queue's bookkeeping.
+///
+/// A freed session is *handed off* to a queued waiter when one exists
+/// (`handoff`), and only lands on the open `free` list otherwise — new
+/// arrivals therefore cannot barge past queued submissions, which would
+/// starve them under sustained load.  `waiting` counts queued waiters that
+/// have not been assigned a hand-off yet; it is decremented by the
+/// releaser at hand-off time, so admission accounting never transiently
+/// over-counts.
+struct SessionPool {
+    free: Vec<Session>,
+    handoff: std::collections::VecDeque<Session>,
+    waiting: usize,
+}
+
+/// Counters behind the stats lock (everything except what is derived at
+/// snapshot time).
+#[derive(Default)]
+struct StatsInner {
+    requests_served: u64,
+    requests_failed: u64,
+    rejected_saturated: u64,
+    arenas_created: u64,
+    in_flight: usize,
+    peak_in_flight: usize,
+    per_session: Vec<SessionStats>,
+}
+
+/// A long-lived, concurrent join engine: one backend, a pool of
+/// arena-backed sessions, many simultaneous requests.
+///
+/// [`submit`](Self::submit) takes `&self`, so one engine behind an
+/// `Arc`/reference can serve many client threads: up to
+/// [`EngineConfig::sessions`] requests run concurrently (each borrowing one
+/// pooled arena), up to [`EngineConfig::queue_depth`] more wait their turn,
+/// and anything beyond that is rejected with [`JoinError::Saturated`].  No
+/// arena is ever created after construction unless a request switches
+/// allocator design ([`EngineStats::arenas_created`]).
 ///
 /// See the [module docs](self) for the full picture and an example.
 pub struct JoinEngine {
     backend: Box<dyn ExecBackend>,
     config: EngineConfig,
-    allocator: Option<Box<dyn KernelAllocator>>,
-    allocator_kind: AllocatorKind,
-    stats: EngineStats,
+    pool: Mutex<SessionPool>,
+    session_freed: Condvar,
+    stats: Mutex<StatsInner>,
+    arena_capacity: usize,
+    started: Instant,
 }
 
 impl std::fmt::Debug for JoinEngine {
@@ -660,31 +787,44 @@ impl std::fmt::Debug for JoinEngine {
         f.debug_struct("JoinEngine")
             .field("backend", &self.backend.name())
             .field("config", &self.config)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
 impl JoinEngine {
-    /// Builds an engine over `backend`, provisioning the arena once.
+    /// Builds an engine over `backend`, provisioning one arena per
+    /// configured session up front.
     ///
     /// # Errors
     /// Returns [`JoinError::InvalidConfig`] for an invalid
-    /// [`EngineConfig`].
+    /// [`EngineConfig`] (zero sessions, degenerate allocator).
     pub fn new(backend: Box<dyn ExecBackend>, config: EngineConfig) -> Result<Self, JoinError> {
         config.validate()?;
         let capacity = config.arena_bytes();
         let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
-        let allocator = config.allocator.build(capacity, work_groups);
+        let free: Vec<Session> = (0..config.sessions)
+            .map(|id| Session {
+                id,
+                allocator: Some(config.allocator.build(capacity, work_groups)),
+                allocator_kind: config.allocator,
+            })
+            .collect();
         Ok(JoinEngine {
             backend,
-            allocator_kind: config.allocator,
-            allocator: Some(allocator),
-            stats: EngineStats {
-                arenas_created: 1,
-                arena_capacity: capacity,
-                ..EngineStats::default()
-            },
+            pool: Mutex::new(SessionPool {
+                free,
+                handoff: std::collections::VecDeque::new(),
+                waiting: 0,
+            }),
+            session_freed: Condvar::new(),
+            stats: Mutex::new(StatsInner {
+                arenas_created: config.sessions as u64,
+                per_session: vec![SessionStats::default(); config.sessions],
+                ..StatsInner::default()
+            }),
+            arena_capacity: capacity,
+            started: Instant::now(),
             config,
         })
     }
@@ -730,75 +870,213 @@ impl JoinEngine {
         &self.config
     }
 
-    /// Lifetime counters (served/failed requests, arena creations).
+    /// A point-in-time snapshot of the lifetime counters (served/failed
+    /// requests, saturation rejections, arena creations, per-session
+    /// activity, joins per second).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let inner = self.stats.lock().expect("engine stats poisoned");
+        let elapsed = self.started.elapsed().as_secs_f64();
+        EngineStats {
+            requests_served: inner.requests_served,
+            requests_failed: inner.requests_failed,
+            rejected_saturated: inner.rejected_saturated,
+            arenas_created: inner.arenas_created,
+            arena_capacity: self.arena_capacity,
+            sessions: self.config.sessions,
+            in_flight: inner.in_flight,
+            peak_in_flight: inner.peak_in_flight,
+            per_session: inner.per_session.clone(),
+            joins_per_sec: if elapsed > 0.0 {
+                inner.requests_served as f64 / elapsed
+            } else {
+                0.0
+            },
+        }
     }
 
-    /// Executes one request over the engine's reusable arena.
+    /// Builds a fresh arena of the engine's capacity with the given
+    /// allocator design, counting it in [`EngineStats::arenas_created`] —
+    /// the single provisioning path after construction (allocator switches
+    /// and panic recovery).
+    fn provision_arena(&self, kind: AllocatorKind) -> Box<dyn KernelAllocator> {
+        let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
+        self.stats
+            .lock()
+            .expect("engine stats poisoned")
+            .arenas_created += 1;
+        kind.build(self.arena_capacity, work_groups)
+    }
+
+    /// Records a session acquisition in the in-flight counters.
+    fn note_acquired(&self) {
+        let mut stats = self.stats.lock().expect("engine stats poisoned");
+        stats.in_flight += 1;
+        stats.peak_in_flight = stats.peak_in_flight.max(stats.in_flight);
+    }
+
+    /// Takes a session from the pool, waiting in the bounded admission
+    /// queue when all sessions are busy.  Freed sessions are handed to
+    /// queued waiters before new arrivals, so the queue cannot be starved.
+    fn acquire_session(&self) -> Result<Session, JoinError> {
+        let mut pool = self.pool.lock().expect("engine session pool poisoned");
+        // The free list only holds sessions no queued waiter was owed, so
+        // taking from it never barges past the queue.
+        if let Some(session) = pool.free.pop() {
+            drop(pool);
+            self.note_acquired();
+            return Ok(session);
+        }
+        if pool.waiting >= self.config.effective_queue_depth() {
+            let mut stats = self.stats.lock().expect("engine stats poisoned");
+            stats.rejected_saturated += 1;
+            stats.requests_failed += 1;
+            return Err(JoinError::Saturated {
+                sessions: self.config.sessions,
+                queue_depth: self.config.effective_queue_depth(),
+            });
+        }
+        pool.waiting += 1;
+        loop {
+            pool = self
+                .session_freed
+                .wait(pool)
+                .expect("engine session pool poisoned");
+            // `waiting` was already decremented by the releaser that pushed
+            // this hand-off; an empty deque means the wake-up was spurious
+            // (or another waiter won the race) and we keep waiting.
+            if let Some(session) = pool.handoff.pop_front() {
+                drop(pool);
+                self.note_acquired();
+                return Ok(session);
+            }
+        }
+    }
+
+    /// Returns a session to the pool — handing it to a queued waiter when
+    /// one exists — and records the request's fate.
+    fn release_session(&self, session: Session, served: bool) {
+        {
+            let mut stats = self.stats.lock().expect("engine stats poisoned");
+            stats.in_flight -= 1;
+            let per = &mut stats.per_session[session.id];
+            if served {
+                per.requests_served += 1;
+                stats.requests_served += 1;
+            } else {
+                per.requests_failed += 1;
+                stats.requests_failed += 1;
+            }
+        }
+        let mut pool = self.pool.lock().expect("engine session pool poisoned");
+        if pool.waiting > 0 {
+            pool.waiting -= 1;
+            pool.handoff.push_back(session);
+            drop(pool);
+            self.session_freed.notify_one();
+        } else {
+            pool.free.push(session);
+        }
+    }
+
+    /// Submits one request to the session pool; safe to call from many
+    /// threads concurrently on a shared engine.
+    ///
+    /// Up to [`EngineConfig::sessions`] requests execute in parallel, each
+    /// over its own pooled arena; up to [`EngineConfig::queue_depth`] more
+    /// wait for a session to free up.
     ///
     /// # Errors
     /// * [`JoinError::OversizedInput`] when the inputs need more arena than
-    ///   the engine provisioned (admission — nothing is executed);
+    ///   a session owns (admission — nothing is executed);
+    /// * [`JoinError::Saturated`] when the pool and the admission queue are
+    ///   both full (counted in [`EngineStats::rejected_saturated`]);
     /// * [`JoinError::ArenaExhausted`] when the working state outgrows the
-    ///   arena mid-execution;
+    ///   session arena mid-execution;
     /// * any backend-specific failure.
     ///
-    /// After an error the engine remains usable; the arena is reset on the
-    /// next request.
+    /// After an error the engine remains usable; a session's arena is reset
+    /// when its next request begins.
+    pub fn submit(
+        &self,
+        request: &JoinRequest,
+        build: &Relation,
+        probe: &Relation,
+    ) -> Result<JoinOutcome, JoinError> {
+        // Admission: reject inputs no session arena can hold, before
+        // queueing for (or occupying) a session.
+        let required =
+            request.required_arena_bytes(build.len(), probe.len(), self.backend.system());
+        if required > self.arena_capacity {
+            let mut stats = self.stats.lock().expect("engine stats poisoned");
+            stats.requests_failed += 1;
+            return Err(JoinError::OversizedInput {
+                build_tuples: build.len(),
+                probe_tuples: probe.len(),
+                required_bytes: required,
+                arena_bytes: self.arena_capacity,
+            });
+        }
+
+        let mut session = self.acquire_session()?;
+
+        // A request may choose the other allocator design (the Figure 12
+        // comparison); that rebuilds this session's arena once and is
+        // counted.
+        if request.config().allocator != session.allocator_kind {
+            session.allocator = Some(self.provision_arena(request.config().allocator));
+            session.allocator_kind = request.config().allocator;
+        }
+
+        let mut allocator = session.allocator.take().expect("session allocator present");
+        allocator.reset();
+        // The backend call runs under catch_unwind: a panicking backend (or
+        // a panicked native worker) must not leak the session, or the pool
+        // would shrink and later submissions would hang or be rejected
+        // forever.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = ExecContext::with_allocator(
+                self.backend.system(),
+                allocator,
+                request.config().profile_cache,
+            )
+            .with_morsel_tuples(request.config().morsel_tuples);
+            let result = self.backend.execute(&mut ctx, build, probe, request);
+            let result = result.map(|mut outcome| {
+                ctx.finalize_counters();
+                outcome.counters = ctx.counters.clone();
+                outcome.counters.matches = outcome.matches;
+                outcome
+            });
+            (result, ctx.into_allocator())
+        }));
+        match executed {
+            Ok((result, allocator)) => {
+                session.allocator = Some(allocator);
+                self.release_session(session, result.is_ok());
+                result
+            }
+            Err(payload) => {
+                // The arena went down with the panicking context; reprovision
+                // it so the session returns to the pool usable.
+                session.allocator = Some(self.provision_arena(session.allocator_kind));
+                self.release_session(session, false);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Executes one request on an exclusively owned engine — a convenience
+    /// wrapper over [`submit`](Self::submit) for single-threaded callers.
+    ///
+    /// # Errors
+    /// Exactly those of [`submit`](Self::submit).
     pub fn execute(
         &mut self,
         request: &JoinRequest,
         build: &Relation,
         probe: &Relation,
     ) -> Result<JoinOutcome, JoinError> {
-        // Admission: reject inputs the arena cannot hold before any work.
-        let required =
-            request.required_arena_bytes(build.len(), probe.len(), self.backend.system());
-        if required > self.stats.arena_capacity {
-            self.stats.requests_failed += 1;
-            return Err(JoinError::OversizedInput {
-                build_tuples: build.len(),
-                probe_tuples: probe.len(),
-                required_bytes: required,
-                arena_bytes: self.stats.arena_capacity,
-            });
-        }
-
-        // A request may choose the other allocator design (the Figure 12
-        // comparison); that rebuilds the arena once and is counted.
-        if request.config().allocator != self.allocator_kind {
-            let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
-            self.allocator = Some(
-                request
-                    .config()
-                    .allocator
-                    .build(self.stats.arena_capacity, work_groups),
-            );
-            self.allocator_kind = request.config().allocator;
-            self.stats.arenas_created += 1;
-        }
-
-        let mut allocator = self.allocator.take().expect("engine allocator present");
-        allocator.reset();
-        let mut ctx = ExecContext::with_allocator(
-            self.backend.system(),
-            allocator,
-            request.config().profile_cache,
-        );
-        let result = self.backend.execute(&mut ctx, build, probe, request);
-        let result = result.map(|mut outcome| {
-            ctx.finalize_counters();
-            outcome.counters = ctx.counters.clone();
-            outcome.counters.matches = outcome.matches;
-            outcome
-        });
-        self.allocator = Some(ctx.into_allocator());
-        match &result {
-            Ok(_) => self.stats.requests_served += 1,
-            Err(_) => self.stats.requests_failed += 1,
-        }
-        result
+        self.submit(request, build, probe)
     }
 }
 
@@ -916,6 +1194,7 @@ mod tests {
             .collect_results(true)
             .profile_cache(true)
             .out_of_core(4096)
+            .morsel_tuples(1024)
             .build()
             .unwrap();
         let cfg = request.config();
@@ -926,6 +1205,7 @@ mod tests {
         assert_eq!(cfg.granularity, StepGranularity::Coarse);
         assert!(cfg.collect_results);
         assert!(cfg.profile_cache);
+        assert_eq!(cfg.morsel_tuples, 1024);
         assert_eq!(request.out_of_core_chunk(), Some(4096));
     }
 
@@ -1009,6 +1289,131 @@ mod tests {
         )
         .unwrap();
         assert_eq!(discrete.backend_name(), "discrete-sim");
+    }
+
+    #[test]
+    fn concurrent_submissions_share_the_session_pool() {
+        let (r, s) = small_pair(2000);
+        let engine = JoinEngine::coupled(EngineConfig::for_tuples(4000, 8000).sessions(4)).unwrap();
+        let request = JoinRequest::builder().build().unwrap();
+        let expected = reference_match_count(&r, &s);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..3 {
+                        let out = engine.submit(&request, &r, &s).unwrap();
+                        assert_eq!(out.matches, expected);
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.requests_served, 24);
+        assert_eq!(stats.requests_failed, 0);
+        assert_eq!(
+            stats.arenas_created, 4,
+            "one arena per session, none created per request"
+        );
+        assert_eq!(stats.sessions, 4);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.peak_in_flight >= 1 && stats.peak_in_flight <= 4);
+        let per_session_total: u64 = stats.per_session.iter().map(|s| s.requests_served).sum();
+        assert_eq!(per_session_total, 24);
+        assert!(stats.joins_per_sec > 0.0);
+    }
+
+    // Saturation / overload rejection is covered end to end by the
+    // release-mode integration suite (tests/concurrency.rs), which holds
+    // sessions busy with a gated backend — not duplicated here.
+
+    /// Panics on the first `panics` executions, then succeeds.
+    struct FlakyBackend {
+        sys: SystemSpec,
+        panics: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ExecBackend for FlakyBackend {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn system(&self) -> &SystemSpec {
+            &self.sys
+        }
+        fn execute(
+            &self,
+            _ctx: &mut ExecContext<'_>,
+            _build: &Relation,
+            _probe: &Relation,
+            _request: &JoinRequest,
+        ) -> Result<JoinOutcome, JoinError> {
+            use std::sync::atomic::Ordering;
+            if self
+                .panics
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("injected backend panic");
+            }
+            Ok(JoinOutcome::default())
+        }
+    }
+
+    #[test]
+    fn backend_panic_does_not_leak_the_session() {
+        let engine = JoinEngine::new(
+            Box::new(FlakyBackend {
+                sys: SystemSpec::coupled_a8_3870k(),
+                panics: std::sync::atomic::AtomicUsize::new(1),
+            }),
+            EngineConfig::for_tuples(64, 64), // a single session
+        )
+        .unwrap();
+        let (r, s) = small_pair(16);
+        let request = JoinRequest::builder().build().unwrap();
+
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = engine.submit(&request, &r, &s);
+        }));
+        assert!(unwound.is_err(), "the backend panic must propagate");
+
+        // The lone session went back to the pool with a fresh arena — the
+        // engine must still serve instead of hanging or rejecting forever.
+        assert!(engine.submit(&request, &r, &s).is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.requests_failed, 1);
+        assert_eq!(stats.requests_served, 1);
+        assert_eq!(
+            stats.arenas_created, 2,
+            "the panicked session's arena is reprovisioned once"
+        );
+    }
+
+    #[test]
+    fn queue_depth_and_sessions_compose_in_either_order() {
+        let a = EngineConfig::for_tuples(64, 64).queue_depth(16).sessions(4);
+        let b = EngineConfig::for_tuples(64, 64).sessions(4).queue_depth(16);
+        assert_eq!(a.effective_queue_depth(), 16);
+        assert_eq!(b.effective_queue_depth(), 16);
+        // Unset queue depth follows the session count.
+        assert_eq!(
+            EngineConfig::for_tuples(64, 64)
+                .sessions(4)
+                .effective_queue_depth(),
+            4
+        );
+    }
+
+    #[test]
+    fn zero_sessions_is_an_invalid_engine_config() {
+        let err = JoinEngine::coupled(EngineConfig::for_tuples(64, 64).sessions(0)).unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_morsel_size_is_rejected_at_request_build() {
+        let err = JoinRequest::builder().morsel_tuples(0).build().unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
     }
 
     #[test]

@@ -57,6 +57,30 @@ pub enum JoinError {
         /// Arena bytes the engine owns.
         arena_bytes: usize,
     },
+    /// The scheme/algorithm combination has no ratio-based execution plan.
+    ///
+    /// Returned by the executor when a request reaches the step pipeline
+    /// with a scheme that cannot be expressed as per-step workload ratios —
+    /// a rejected request rather than a crash (the seed panicked here with
+    /// `expect("ratio-based scheme")`).
+    InvalidScheme {
+        /// Label of the offending scheme (e.g. "BasicUnit").
+        scheme: &'static str,
+        /// Label of the requested algorithm ("SHJ" / "PHJ").
+        algorithm: &'static str,
+    },
+    /// The engine's session pool and admission queue are both full.
+    ///
+    /// [`JoinEngine::submit`](crate::engine::JoinEngine::submit) admits up
+    /// to `sessions` in-flight requests plus `queue_depth` waiters; further
+    /// submissions are rejected with this error so overload produces fast,
+    /// typed backpressure instead of unbounded queueing.
+    Saturated {
+        /// Concurrent sessions the engine was configured with.
+        sessions: usize,
+        /// Waiting submissions the admission queue holds at most.
+        queue_depth: usize,
+    },
     /// A structurally invalid configuration (mismatched knobs, zero-sized
     /// engine, ...).
     InvalidConfig(String),
@@ -100,6 +124,18 @@ impl fmt::Display for JoinError {
                 "join of {build_tuples} x {probe_tuples} tuples needs {required_bytes} B of arena \
                  but the engine owns {arena_bytes} B"
             ),
+            JoinError::InvalidScheme { scheme, algorithm } => write!(
+                f,
+                "scheme {scheme} has no ratio-based execution plan for algorithm {algorithm}"
+            ),
+            JoinError::Saturated {
+                sessions,
+                queue_depth,
+            } => write!(
+                f,
+                "engine saturated: {sessions} sessions in flight and {queue_depth} queued \
+                 submissions already waiting"
+            ),
             JoinError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
@@ -135,6 +171,18 @@ mod tests {
             value: 1.5,
         };
         assert!(e.to_string().contains("build step 2"));
+
+        let e = JoinError::InvalidScheme {
+            scheme: "BasicUnit",
+            algorithm: "SHJ",
+        };
+        assert!(e.to_string().contains("BasicUnit") && e.to_string().contains("SHJ"));
+
+        let e = JoinError::Saturated {
+            sessions: 4,
+            queue_depth: 2,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! discrete-architecture transfer/merge accounting and the two algorithms
 //! (SHJ / PHJ) come together, mirroring Section 3 of the paper.  The
 //! functions here are *fallible* and allocate only from the context's
-//! arena, so a long-lived [`JoinEngine`](crate::engine::JoinEngine) can run
+//! arena, so a long-lived [`JoinEngine`] can run
 //! many requests over one reusable arena and reject, rather than crash on,
 //! a request that outgrows it.
 //!
@@ -54,16 +54,26 @@ pub fn execute_join(
             run_basic_unit(ctx, build, probe, cfg, *chunk_tuples, &mut outcome)?;
         }
         (_, Algorithm::Simple) => {
-            let plan = RatioPlan::from_scheme(&cfg.scheme).expect("ratio-based scheme");
+            let plan = ratio_plan(cfg)?;
             join_pair(ctx, build, probe, cfg, &plan, &mut outcome, true)?;
         }
         (_, Algorithm::Partitioned { .. }) => {
-            let plan = RatioPlan::from_scheme(&cfg.scheme).expect("ratio-based scheme");
+            let plan = ratio_plan(cfg)?;
             run_partitioned(ctx, build, probe, cfg, &plan, &mut outcome)?;
         }
     }
 
     Ok(outcome)
+}
+
+/// The per-phase ratio plan of a ratio-based scheme, or a typed
+/// [`JoinError::InvalidScheme`] rejection when the scheme has none — a bad
+/// scheme/algorithm combination is a rejected request, not a crash.
+fn ratio_plan(cfg: &JoinConfig) -> Result<RatioPlan, JoinError> {
+    RatioPlan::from_scheme(&cfg.scheme).ok_or(JoinError::InvalidScheme {
+        scheme: cfg.scheme.label(),
+        algorithm: cfg.algorithm.label(),
+    })
 }
 
 /// Runs one hash join of `build ⨝ probe` on `sys` as configured by `cfg`.
@@ -474,9 +484,9 @@ fn run_basic_unit(
             }
         }
         Some((parts_r, parts_s)) => {
-            // PHJ: each partition pair is one scheduling unit.
-            let mut cpu_clock = SimTime::ZERO;
-            let mut gpu_clock = SimTime::ZERO;
+            // PHJ: each partition pair is one scheduling unit, dispatched to
+            // whichever device's event clock is behind.
+            let mut clocks = apu_sim::DeviceClocks::new();
             let mut cpu_tuples = 0usize;
             let mut total_tuples = 0usize;
             let mut build_busy = SimTime::ZERO;
@@ -485,11 +495,7 @@ fn run_basic_unit(
                 if r_p.is_empty() && s_p.is_empty() {
                     continue;
                 }
-                let device = if cpu_clock <= gpu_clock {
-                    DeviceKind::Cpu
-                } else {
-                    DeviceKind::Gpu
-                };
+                let device = clocks.idlest();
                 let (build_r, probe_r) = match device {
                     DeviceKind::Cpu => (Ratios::cpu_only(4), Ratios::cpu_only(4)),
                     DeviceKind::Gpu => (Ratios::gpu_only(4), Ratios::gpu_only(4)),
@@ -519,16 +525,13 @@ fn run_basic_unit(
                     + SimTime::from_ns(basic_unit::CHUNK_DISPATCH_OVERHEAD_NS);
                 build_busy += bp.elapsed();
                 probe_busy += pp.elapsed();
-                match device {
-                    DeviceKind::Cpu => {
-                        cpu_clock += pair_time;
-                        cpu_tuples += r_p.len() + s_p.len();
-                    }
-                    DeviceKind::Gpu => gpu_clock += pair_time,
+                clocks.advance(device, pair_time);
+                if device == DeviceKind::Cpu {
+                    cpu_tuples += r_p.len() + s_p.len();
                 }
                 total_tuples += r_p.len() + s_p.len();
             }
-            let elapsed = cpu_clock.max(gpu_clock);
+            let elapsed = clocks.elapsed();
             let busy = build_busy + probe_busy;
             let (bs, ps) = if busy.is_zero() {
                 (0.5, 0.5)
@@ -742,6 +745,20 @@ mod tests {
         );
         assert!(basic.total_time() > ours.total_time());
         assert!(basic.counters.lock_overhead > ours.counters.lock_overhead);
+    }
+
+    #[test]
+    fn schemes_without_a_ratio_plan_are_typed_rejections() {
+        let cfg = JoinConfig::shj(Scheme::basic_unit_default());
+        let err = ratio_plan(&cfg).unwrap_err();
+        assert_eq!(
+            err,
+            JoinError::InvalidScheme {
+                scheme: "BasicUnit",
+                algorithm: "SHJ",
+            }
+        );
+        assert!(ratio_plan(&JoinConfig::phj(Scheme::pipelined_paper())).is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! Nodes live in index-based arenas (`u32` indices with a NIL sentinel); each
 //! node creation is accounted through the simulated
-//! [`KernelAllocator`](mem_alloc::KernelAllocator) so the latch overhead of
+//! [`KernelAllocator`] so the latch overhead of
 //! dynamic allocation (Figures 11 and 12) is charged faithfully.
 
 use mem_alloc::KernelAllocator;

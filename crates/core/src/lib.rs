@@ -6,24 +6,45 @@
 //! per-tuple steps, co-processed across a CPU and a GPU that share memory
 //! and cache — served through a long-lived, fallible [`JoinEngine`].
 //!
-//! ## What it provides
+//! ## Architecture: a four-layer stack
+//!
+//! Execution is organised as four layers, each consuming the one below:
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────────┐
+//! │ 1. Schemes       CPU-only / GPU-only / OL / DD / PL / BasicUnit    │
+//! │                  ([`config::Scheme`], [`scheme`]) — per-step       │
+//! │                  workload ratios ([`schedule::Ratios`])            │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ 2. Pipeline /    step series (`n1..n3`, `b1..b4`, `p1..p4`)        │
+//! │    morsels       decomposed into ~64 K-tuple `Morsel`s; ratios     │
+//! │                  split each morsel into CPU/GPU lanes              │
+//! │                  ([`pipeline`], [`phase`], [`steps`])              │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ 3. Scheduler     one task stream, two interpretations: the         │
+//! │                  work-stealing [`pipeline::TaskQueue`] drives real │
+//! │                  threads; `apu_sim::DeviceClocks` replays the same │
+//! │                  schedule on simulated event clocks                │
+//! ├────────────────────────────────────────────────────────────────────┤
+//! │ 4. Backends      [`CoupledSim`] / [`DiscreteSim`] (calibrated      │
+//! │                  device model) and [`NativeCpu`] (measured         │
+//! │                  wall-clock), pooled behind a concurrent           │
+//! │                  [`JoinEngine`] ([`engine`])                       │
+//! └────────────────────────────────────────────────────────────────────┘
+//! ```
 //!
 //! * **The engine** ([`engine`]) — a [`JoinEngine`] is constructed once
-//!   from an [`ExecBackend`] + [`EngineConfig`], owns one reusable arena,
-//!   admits [`JoinRequest`]s built with a validating builder and returns
-//!   `Result<JoinOutcome, JoinError>` instead of panicking.  Backends:
-//!   [`CoupledSim`] (the paper's APU), [`DiscreteSim`] (the emulated PCI-e
-//!   baseline) and [`NativeCpu`] (the same join run for real on host
-//!   threads) share one execution skeleton.
+//!   from an [`ExecBackend`] + [`EngineConfig`] and provisions a pool of
+//!   arena-backed *sessions* (`EngineConfig::sessions(n)`).
+//!   [`JoinEngine::submit`] takes `&self`: many threads share one engine,
+//!   up to `n` requests run in flight, a bounded queue absorbs bursts and
+//!   overload is rejected with the typed [`JoinError::Saturated`].
 //! * **Algorithms** — the simple hash join (SHJ) and the radix-partitioned
 //!   hash join (PHJ), built on the paper's bucket-header → key-list →
 //!   rid-list hash table ([`hashtable`]) and MurmurHash 2.0 ([`hash`]).
 //! * **Fine-grained steps** — `n1..n3`, `b1..b4`, `p1..p4` ([`steps`]), each
 //!   a data-parallel kernel whose work can be split between the devices at a
 //!   per-step workload ratio ([`schedule`]).
-//! * **Co-processing schemes** — CPU-only, GPU-only, off-loading (OL), data
-//!   dividing (DD), pipelined fine-grained co-processing (PL) and the
-//!   BasicUnit chunk scheduler ([`config::Scheme`], [`scheme`]).
 //! * **Design tradeoffs** — shared vs. separate hash tables, the basic vs.
 //!   block software memory allocator, grouping-based divergence reduction
 //!   ([`divergence`]), fine vs. coarse step granularity ([`coarse`]) and
@@ -36,9 +57,10 @@
 //! use hj_core::{Algorithm, Scheme};
 //! use datagen::DataGenConfig;
 //!
-//! // Construct once: the engine owns a reusable arena sized for the largest
-//! // join it will admit.
-//! let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(16_384, 32_768)).unwrap();
+//! // Construct once: the engine provisions one reusable arena per session,
+//! // each sized for the largest join it will admit.
+//! let engine =
+//!     JoinEngine::coupled(EngineConfig::for_tuples(16_384, 32_768).sessions(2)).unwrap();
 //!
 //! // Build requests with the typed builder; bad knobs fail at build().
 //! let request = JoinRequest::builder()
@@ -48,15 +70,31 @@
 //!     .unwrap();
 //!
 //! let (build, probe) = datagen::generate_pair(&DataGenConfig::small(10_000, 20_000));
-//! let outcome = engine.execute(&request, &build, &probe).unwrap();
+//! // submit() takes &self — share the engine across client threads freely.
+//! let outcome = engine.submit(&request, &build, &probe).unwrap();
 //! assert_eq!(outcome.matches, hj_core::reference_match_count(&build, &probe));
 //! println!("PHJ-PL took {} (simulated)", outcome.total_time());
 //!
-//! // The arena is reused — no per-request allocation:
-//! let again = engine.execute(&request, &build, &probe).unwrap();
+//! // The session arenas are reused — no per-request allocation:
+//! let again = engine.submit(&request, &build, &probe).unwrap();
 //! assert_eq!(again.matches, outcome.matches);
-//! assert_eq!(engine.stats().arenas_created, 1);
+//! assert_eq!(engine.stats().arenas_created, 2); // one per session, ever
 //! ```
+//!
+//! ## Migrating `execute_join` callers to the morsel pipeline
+//!
+//! [`execute_join`] still takes `(ctx, build, probe, cfg)` and returns the
+//! same `Result<JoinOutcome, JoinError>`, but since the morsel refactor it
+//! no longer runs each phase as one monolithic pass: phases are decomposed
+//! into [`pipeline::Morsel`]s of [`JoinConfig::morsel_tuples`] tuples
+//! (default [`pipeline::DEFAULT_MORSEL_TUPLES`]), and the per-step ratios
+//! split each morsel between the devices.  Match counts and collected
+//! pairs are byte-identical to the old phase-at-a-time path; simulated
+//! times can differ marginally because the CPU/GPU split is now rounded
+//! per morsel rather than per phase.  Callers that need the old timing
+//! behaviour exactly can set `morsel_tuples` larger than their relations
+//! (one morsel per step).  A bad scheme/algorithm combination now surfaces
+//! as [`JoinError::InvalidScheme`] instead of a panic.
 //!
 //! ## Migrating from the 0.1 free functions
 //!
@@ -70,12 +108,12 @@
 //! with
 //!
 //! ```text
-//! let mut engine = JoinEngine::for_system(sys, EngineConfig::for_tuples(max_r, max_s))?;
+//! let engine = JoinEngine::for_system(sys, EngineConfig::for_tuples(max_r, max_s))?;
 //! let request = JoinRequest::builder()
 //!     .algorithm(Algorithm::partitioned_auto())
 //!     .scheme(scheme)
 //!     .build()?;
-//! let out = engine.execute(&request, &build, &probe)?;
+//! let out = engine.submit(&request, &build, &probe)?;
 //! ```
 //!
 //! and reuse the engine for subsequent joins.  `JoinConfig` knob setters map
@@ -98,6 +136,7 @@ pub mod hashtable;
 pub mod outofcore;
 pub mod partition;
 pub mod phase;
+pub mod pipeline;
 pub mod probe;
 pub mod result;
 pub mod schedule;
@@ -109,7 +148,7 @@ pub use config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 pub use context::{arena_bytes_for, ExecContext, ExecCounters};
 pub use engine::{
     CoupledSim, DiscreteSim, EngineConfig, EngineStats, ExecBackend, JoinEngine, JoinRequest,
-    JoinRequestBuilder, NativeCpu,
+    JoinRequestBuilder, NativeCpu, SessionStats,
 };
 pub use error::JoinError;
 pub use executor::execute_join;
@@ -122,6 +161,9 @@ pub use outofcore::run_out_of_core_join;
 pub use outofcore::DEFAULT_CHUNK_TUPLES;
 pub use partition::{default_radix_bits, run_partition_pass};
 pub use phase::{PhaseExecution, StepExecution};
+pub use pipeline::{
+    morsel_ranges, series_tasks, Lanes, Morsel, StepSeries, TaskQueue, DEFAULT_MORSEL_TUPLES,
+};
 pub use probe::{run_probe_phase, ProbeOutput};
 pub use result::{reference_match_count, reference_pairs, BasicUnitRatios, JoinOutcome};
 pub use schedule::{compose_pipeline, PipelineTiming, Ratios};

@@ -1,7 +1,19 @@
 //! Generic machinery for running one step series split between the CPU and
 //! the GPU, and the per-phase execution record.
+//!
+//! Since the morsel refactor, [`run_step`] is morsel-driven: it enumerates
+//! the task stream defined by [`crate::pipeline`] (one
+//! [`crate::pipeline::Morsel`]-sized range per `morsel_tuples` tuples, see
+//! [`ExecContext::morsel_tuples`]; computed arithmetically rather than
+//! materialised), splitting *each morsel's* range between the devices by
+//! the step's workload ratio.
+//! The per-morsel lane costs accumulate into one per-device cost profile per
+//! step, which [`compose_pipeline`] then combines exactly as before — the
+//! simulator replays the same task stream the native backend executes on
+//! real threads.
 
 use crate::context::ExecContext;
+use crate::pipeline::split_range;
 use crate::schedule::{compose_pipeline, PipelineTiming, Ratios};
 use crate::steps::StepId;
 use apu_sim::{CostRecorder, DeviceKind, KernelTime, Phase, SimTime, StepCost};
@@ -16,6 +28,8 @@ pub struct StepExecution {
     pub cpu_items: usize,
     /// Items processed by the GPU.
     pub gpu_items: usize,
+    /// Morsels the step's tuple range was decomposed into.
+    pub morsels: usize,
     /// Measured cost profile of the CPU portion.
     pub cpu_cost: StepCost,
     /// Measured cost profile of the GPU portion.
@@ -102,19 +116,26 @@ impl PhaseExecution {
 }
 
 /// Splits `items` into the CPU range `[0, cut)` and GPU range `[cut, items)`
-/// according to the CPU ratio `r`.
+/// according to the CPU ratio `r` — [`split_range`] over the whole range,
+/// so the cut rule lives in exactly one place.
 pub fn split_items(items: usize, r: f64) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
-    let cut = ((items as f64) * r.clamp(0.0, 1.0)).round() as usize;
-    let cut = cut.min(items);
-    (0..cut, cut..items)
+    let lanes = split_range(0..items, r);
+    (lanes.cpu, lanes.gpu)
 }
 
 /// Runs one step over `items` items, splitting them between the devices by
 /// `ratio`, and returns the execution record.
 ///
+/// The step's tuple range is decomposed into morsels of
+/// [`ExecContext::morsel_tuples`] tuples; `ratio` splits *each morsel* into
+/// a CPU lane (prefix) and a GPU lane (suffix), so items are still visited
+/// in globally increasing order — the real work is byte-identical to a
+/// monolithic pass — while the device split is decided at morsel
+/// granularity, as the scheduler dispatches it.
+///
 /// `body` is invoked once per item with `(ctx, item_index, device, work_group,
 /// recorder)` and performs the real work, recording its cost as it goes.
-/// Allocator activity during each device's portion is attributed to that
+/// Allocator activity during each device's lanes is attributed to that
 /// device automatically.
 pub fn run_step<F>(
     ctx: &mut ExecContext<'_>,
@@ -127,30 +148,49 @@ pub fn run_step<F>(
 where
     F: FnMut(&mut ExecContext<'_>, usize, DeviceKind, usize, &mut CostRecorder),
 {
-    let (cpu_range, gpu_range) = split_items(items, ratio);
-    let mut costs: [StepCost; 2] = [StepCost::zero(), StepCost::zero()];
-    let mut counts = [0usize; 2];
+    // Morsels are enumerated arithmetically (no materialised range list) so
+    // a degenerate morsel size on a large relation does not allocate.
+    let morsel = ctx.morsel_tuples.max(1);
+    let morsels = items.div_ceil(morsel);
+    let morsel_lanes = |m: usize| split_range(m * morsel..((m + 1) * morsel).min(items), ratio);
+    let cpu_total: usize = (0..morsels).map(|m| morsel_lanes(m).cpu.len()).sum();
+    let gpu_total = items - cpu_total;
+    let totals = [cpu_total, gpu_total];
 
-    for (slot, (kind, range)) in [
-        (DeviceKind::Cpu, cpu_range.clone()),
-        (DeviceKind::Gpu, gpu_range.clone()),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let mut rec = ctx.recorder_for(kind);
-        let before = ctx.alloc_snapshot();
-        let len = range.len();
-        for (offset, i) in range.clone().enumerate() {
-            let group = ctx.group_for(kind, offset, len);
-            body(ctx, i, kind, group, &mut rec);
+    let mut costs: [StepCost; 2] = [StepCost::zero(), StepCost::zero()];
+    let mut recorders = [
+        ctx.recorder_for(DeviceKind::Cpu),
+        ctx.recorder_for(DeviceKind::Gpu),
+    ];
+    // Running per-device offsets so work-group assignment spans the whole
+    // device share, not just one morsel's lane.
+    let mut offsets = [0usize; 2];
+
+    for m in 0..morsels {
+        let lane_pair = morsel_lanes(m);
+        for (slot, kind) in [(0, DeviceKind::Cpu), (1, DeviceKind::Gpu)] {
+            let range = match kind {
+                DeviceKind::Cpu => lane_pair.cpu.clone(),
+                DeviceKind::Gpu => lane_pair.gpu.clone(),
+            };
+            if range.is_empty() {
+                continue;
+            }
+            let rec = &mut recorders[slot];
+            let before = ctx.alloc_snapshot();
+            for (k, i) in range.clone().enumerate() {
+                let group = ctx.group_for(kind, offsets[slot] + k, totals[slot]);
+                body(ctx, i, kind, group, rec);
+            }
+            let delta = ctx.alloc_snapshot().delta_since(&before);
+            rec.serial_atomic(delta.global_atomics as f64);
+            rec.local_atomic(delta.local_atomics as f64);
+            offsets[slot] += range.len();
         }
-        let delta = ctx.alloc_snapshot().delta_since(&before);
-        rec.serial_atomic(delta.global_atomics as f64);
-        rec.local_atomic(delta.local_atomics as f64);
-        costs[slot] = rec.finish();
-        counts[slot] = len;
     }
+    let [cpu_rec, gpu_rec] = recorders;
+    costs[0] = cpu_rec.finish();
+    costs[1] = gpu_rec.finish();
 
     let [cpu_cost, gpu_cost] = costs;
     let cpu_mem = ctx.mem_ctx(DeviceKind::Cpu, working_set_bytes);
@@ -168,8 +208,9 @@ where
 
     StepExecution {
         step,
-        cpu_items: counts[0],
-        gpu_items: counts[1],
+        cpu_items: cpu_total,
+        gpu_items: gpu_total,
+        morsels,
         cpu_cost,
         gpu_cost,
         cpu_time,
@@ -258,6 +299,38 @@ mod tests {
         assert_eq!(phase.steps.len(), 2);
         assert_eq!(phase.intermediate_tuples, 500);
         assert!(phase.elapsed() >= phase.device_busy(DeviceKind::Cpu));
+    }
+
+    #[test]
+    fn morsel_decomposition_preserves_order_and_counts() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut ctx =
+            ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false).with_morsel_tuples(128);
+        let mut visited = Vec::new();
+        let exec = run_step(&mut ctx, StepId::B1, 1000, 0.3, 0.0, |_, i, _, _, rec| {
+            visited.push(i);
+            rec.item(10.0);
+        });
+        assert_eq!(exec.morsels, 8);
+        assert_eq!(exec.cpu_items + exec.gpu_items, 1000);
+        // Every item exactly once, in globally increasing order (each
+        // morsel's CPU lane is its prefix), so the real work matches a
+        // monolithic pass byte for byte.
+        assert_eq!(visited.len(), 1000);
+        assert!(visited.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn single_morsel_matches_the_monolithic_split() {
+        let sys = SystemSpec::coupled_a8_3870k();
+        let mut ctx = ExecContext::new(&sys, AllocatorKind::tuned(), 1 << 20, false);
+        let exec = run_step(&mut ctx, StepId::P1, 1000, 0.3, 0.0, |_, _, _, _, rec| {
+            rec.item(1.0);
+        });
+        assert_eq!(exec.morsels, 1);
+        let (cpu, gpu) = split_items(1000, 0.3);
+        assert_eq!(exec.cpu_items, cpu.len());
+        assert_eq!(exec.gpu_items, gpu.len());
     }
 
     #[test]

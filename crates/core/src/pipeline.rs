@@ -1,0 +1,339 @@
+//! The morsel/task layer between the co-processing schemes and the
+//! execution backends.
+//!
+//! The paper's step series (`n1..n3`, `b1..b4`, `p1..p4`) are data-parallel
+//! over tuples: nothing forces a whole relation through a step in one
+//! monolithic pass.  Following the morsel-driven designs surveyed in
+//! PAPERS.md, this module decomposes every step series into [`Morsel`]s —
+//! contiguous tuple ranges of roughly [`DEFAULT_MORSEL_TUPLES`] tuples —
+//! and a per-step workload ratio then splits each morsel's range into a CPU
+//! lane and a GPU lane ([`Morsel::lanes`]).
+//!
+//! One task stream, two interpretations:
+//!
+//! * the **simulator backends** replay the stream through the event clock
+//!   ([`apu_sim::DeviceClocks`]) and the pipeline composition of Eqs. 1–5
+//!   ([`crate::schedule::compose_pipeline`]) — see
+//!   [`crate::phase::run_step`], which consumes the morsel stream;
+//! * the **native backend** executes the same stream for real, with a
+//!   work-stealing [`TaskQueue`] distributing morsels over host threads.
+
+use crate::steps::StepId;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Default morsel size in tuples (~64 K, a few hundred KB of tuple data —
+/// large enough to amortise dispatch, small enough to load-balance).
+pub const DEFAULT_MORSEL_TUPLES: usize = 64 * 1024;
+
+/// Which step series a morsel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepSeries {
+    /// A radix-partition pass (`n1..n3`).
+    Partition,
+    /// The build phase (`b1..b4`).
+    Build,
+    /// The probe phase (`p1..p4`).
+    Probe,
+}
+
+impl StepSeries {
+    /// The steps of this series, in execution order.
+    pub fn steps(self) -> &'static [StepId] {
+        match self {
+            StepSeries::Partition => &StepId::PARTITION,
+            StepSeries::Build => &StepId::BUILD,
+            StepSeries::Probe => &StepId::PROBE,
+        }
+    }
+}
+
+/// One schedulable unit of work: a contiguous tuple range of one step of a
+/// step series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Morsel {
+    /// The step series the morsel belongs to.
+    pub step_series: StepSeries,
+    /// The step within the series.
+    pub step: StepId,
+    /// The tuple range the morsel covers.
+    pub range: Range<usize>,
+}
+
+/// The CPU and GPU lanes of one morsel under a per-step CPU ratio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lanes {
+    /// Tuples processed by the CPU (a prefix of the morsel).
+    pub cpu: Range<usize>,
+    /// Tuples processed by the GPU (the remaining suffix).
+    pub gpu: Range<usize>,
+}
+
+impl Morsel {
+    /// Number of tuples in the morsel.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True when the morsel covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Splits the morsel's range into CPU and GPU lanes by the CPU ratio
+    /// `r`: the CPU takes the first `round(len × r)` tuples.
+    pub fn lanes(&self, r: f64) -> Lanes {
+        split_range(self.range.clone(), r)
+    }
+}
+
+/// Splits `range` into a CPU prefix of `round(len × r)` tuples and the GPU
+/// suffix — the single cut rule behind both [`Morsel::lanes`] and
+/// [`crate::phase::split_items`].
+pub fn split_range(range: Range<usize>, r: f64) -> Lanes {
+    let len = range.len();
+    let cut = ((len as f64) * r.clamp(0.0, 1.0)).round() as usize;
+    let cut = range.start + cut.min(len);
+    Lanes {
+        cpu: range.start..cut,
+        gpu: cut..range.end,
+    }
+}
+
+/// Splits `items` tuples into morsel ranges of at most `morsel_tuples`
+/// tuples each (the last morsel may be shorter).  A zero `morsel_tuples` is
+/// treated as one tuple.
+pub fn morsel_ranges(items: usize, morsel_tuples: usize) -> Vec<Range<usize>> {
+    let morsel = morsel_tuples.max(1);
+    let mut ranges = Vec::with_capacity(items.div_ceil(morsel));
+    let mut start = 0usize;
+    while start < items {
+        let end = (start + morsel).min(items);
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
+/// Materialises the full task stream of one step series over `items`
+/// tuples: every step of the series, morselised, in step-major order (step
+/// `i+1`'s morsels depend on step `i`'s output, so the stream respects the
+/// series' data dependencies while leaving morsels within a step free to
+/// run on either device).
+///
+/// The executors do not allocate this list — [`crate::phase::run_step`]
+/// and the native backend enumerate the *same* stream arithmetically (via
+/// [`morsel_ranges`]/the morsel arithmetic) to avoid materialisation on
+/// large inputs.  `series_tasks` is the explicit, inspectable form of that
+/// stream for schedulers, tests and tooling.
+pub fn series_tasks(series: StepSeries, items: usize, morsel_tuples: usize) -> Vec<Morsel> {
+    let ranges = morsel_ranges(items, morsel_tuples);
+    let mut tasks = Vec::with_capacity(series.steps().len() * ranges.len());
+    for &step in series.steps() {
+        for range in &ranges {
+            tasks.push(Morsel {
+                step_series: series,
+                step,
+                range: range.clone(),
+            });
+        }
+    }
+    tasks
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing task queue
+// ---------------------------------------------------------------------------
+
+/// A work-stealing queue of task indices driving a fixed set of workers.
+///
+/// Tasks `0..tasks` are distributed round-robin over per-worker deques at
+/// construction; each worker pops from the *front* of its own deque and,
+/// when empty, steals from the *back* of a victim's — the classic
+/// work-stealing discipline, which keeps each worker on a contiguous run of
+/// morsels (cache locality) while letting idle workers rebalance skewed
+/// workloads.
+///
+/// The queue only schedules indices; what an index *means* (usually: one
+/// [`Morsel`]) is up to the caller.  [`TaskQueue::run`] is the common
+/// harness: it spawns scoped worker threads and returns every task's result
+/// in task order, so parallel execution stays deterministic.
+pub struct TaskQueue {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl TaskQueue {
+    /// Distributes `tasks` task indices over `workers` deques (at least
+    /// one).
+    pub fn new(tasks: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        // Contiguous blocks per worker, so each worker starts on a cache-
+        // friendly run of neighbouring morsels.
+        let per_worker = tasks.div_ceil(workers).max(1);
+        for task in 0..tasks {
+            queues[(task / per_worker).min(workers - 1)].push_back(task);
+        }
+        TaskQueue {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pops the next task for `worker`: its own front, else a steal from the
+    /// back of another worker's deque.  `None` once all deques are empty.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        let own = worker % self.queues.len();
+        if let Some(task) = self.queues[own]
+            .lock()
+            .expect("task queue poisoned")
+            .pop_front()
+        {
+            return Some(task);
+        }
+        for offset in 1..self.queues.len() {
+            let victim = (own + offset) % self.queues.len();
+            if let Some(task) = self.queues[victim]
+                .lock()
+                .expect("task queue poisoned")
+                .pop_back()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Runs `tasks` tasks on `workers` scoped threads, calling
+    /// `f(worker, task)` for each, and returns the results in task order.
+    ///
+    /// # Panics
+    /// Propagates a panic from any worker.
+    pub fn run<T, F>(tasks: usize, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        let queue = TaskQueue::new(tasks, workers);
+        let f = &f;
+        let queue_ref = &queue;
+        let mut collected: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..queue.workers())
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        while let Some(task) = queue_ref.pop(worker) {
+                            local.push((task, f(worker, task)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("task-queue worker panicked"))
+                .collect()
+        });
+        collected.sort_unstable_by_key(|(task, _)| *task);
+        debug_assert_eq!(collected.len(), tasks);
+        collected.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn morsel_ranges_cover_items_exactly_once() {
+        let ranges = morsel_ranges(200_000, DEFAULT_MORSEL_TUPLES);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 0..65_536);
+        assert_eq!(ranges.last().unwrap().end, 200_000);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 200_000);
+        assert!(morsel_ranges(0, 64).is_empty());
+        // Degenerate morsel size still terminates.
+        assert_eq!(morsel_ranges(3, 0).len(), 3);
+    }
+
+    #[test]
+    fn lanes_split_by_ratio_and_preserve_the_range() {
+        let m = Morsel {
+            step_series: StepSeries::Build,
+            step: StepId::B1,
+            range: 100..200,
+        };
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+        let lanes = m.lanes(0.3);
+        assert_eq!(lanes.cpu, 100..130);
+        assert_eq!(lanes.gpu, 130..200);
+        assert_eq!(m.lanes(0.0).cpu.len(), 0);
+        assert_eq!(m.lanes(1.0).gpu.len(), 0);
+        // Out-of-range ratios clamp instead of panicking.
+        assert_eq!(m.lanes(7.5).cpu, 100..200);
+    }
+
+    #[test]
+    fn series_tasks_are_step_major_and_complete() {
+        let tasks = series_tasks(StepSeries::Probe, 150, 64);
+        // 4 steps × 3 morsels (64 + 64 + 22).
+        assert_eq!(tasks.len(), 12);
+        assert_eq!(tasks[0].step, StepId::P1);
+        assert_eq!(tasks[0].range, 0..64);
+        assert_eq!(tasks[2].range, 128..150);
+        assert_eq!(tasks[3].step, StepId::P2);
+        for step_tasks in tasks.chunks(3) {
+            let covered: usize = step_tasks.iter().map(Morsel::len).sum();
+            assert_eq!(covered, 150);
+        }
+        assert_eq!(StepSeries::Partition.steps().len(), 3);
+        assert_eq!(StepSeries::Build.steps().len(), 4);
+    }
+
+    #[test]
+    fn task_queue_dispatches_every_task_exactly_once() {
+        let seen: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let results = TaskQueue::run(1000, 7, |_, task| {
+            seen[task].fetch_add(1, Ordering::SeqCst);
+            task * 2
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+        // Results come back in task order regardless of which worker ran what.
+        assert_eq!(results.len(), 1000);
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * 2));
+    }
+
+    #[test]
+    fn idle_workers_steal_from_busy_ones() {
+        // One worker sleeps on its first task; the others must steal its
+        // remaining tasks for the run to finish quickly.
+        let ran_by: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        TaskQueue::run(64, 4, |worker, task| {
+            if worker == 0 && task == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            ran_by[task].store(worker, Ordering::SeqCst);
+        });
+        let stolen = ran_by[1..16] // worker 0's initial block, minus its first task
+            .iter()
+            .filter(|w| w.load(Ordering::SeqCst) != 0)
+            .count();
+        assert!(stolen > 0, "no tasks were stolen from the sleeping worker");
+    }
+
+    #[test]
+    fn task_queue_handles_more_workers_than_tasks() {
+        let results = TaskQueue::run(3, 16, |_, task| task);
+        assert_eq!(results, vec![0, 1, 2]);
+        let empty: Vec<usize> = TaskQueue::run(0, 4, |_, task| task);
+        assert!(empty.is_empty());
+    }
+}

@@ -23,8 +23,20 @@ pub struct Ratios(Vec<f64>);
 
 impl Ratios {
     /// Creates a ratio vector, clamping every entry into `[0, 1]`.
+    ///
+    /// `f64::clamp` propagates NaN, which would poison the pipeline-timing
+    /// composition (every comparison against a NaN ratio is false), so NaN
+    /// entries are mapped to `0.0` (GPU-only, the conservative default).
+    /// Request validation ([`crate::engine::JoinRequestBuilder::build`])
+    /// still *rejects* non-finite ratios at the API boundary; this clamp is
+    /// the last line of defence for internally constructed vectors.
     pub fn new(ratios: Vec<f64>) -> Self {
-        Ratios(ratios.into_iter().map(|r| r.clamp(0.0, 1.0)).collect())
+        Ratios(
+            ratios
+                .into_iter()
+                .map(|r| if r.is_nan() { 0.0 } else { r.clamp(0.0, 1.0) })
+                .collect(),
+        )
     }
 
     /// A data-dividing vector: the same ratio for all `steps` steps.
@@ -210,6 +222,18 @@ mod tests {
     fn ratios_are_clamped() {
         let r = Ratios::new(vec![-0.5, 1.5]);
         assert_eq!(r.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn nan_ratios_cannot_poison_the_timing() {
+        let r = Ratios::new(vec![f64::NAN, 0.5, f64::NAN]);
+        assert_eq!(r.as_slice(), &[0.0, 0.5, 0.0]);
+        // A NaN-born ratio vector composes to finite times.
+        let cpu = [t(10.0), t(20.0), t(30.0)];
+        let gpu = [t(40.0), t(50.0), t(60.0)];
+        let timing = compose_pipeline(&cpu, &gpu, &r);
+        assert!(timing.elapsed.as_ns().is_finite());
+        assert!(timing.elapsed >= t(150.0));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::context::ExecContext;
 use crate::error::JoinError;
-use apu_sim::{DeviceKind, SimTime};
+use apu_sim::{DeviceClocks, DeviceKind, SimTime};
 use std::ops::Range;
 
 /// Per-chunk dispatch overhead (queue management and kernel launch), charged
@@ -66,27 +66,21 @@ where
 {
     let chunk = chunk.max(1);
     let mut schedule = ChunkSchedule::default();
-    let mut cpu_clock = SimTime::ZERO;
-    let mut gpu_clock = SimTime::ZERO;
+    let mut clocks = DeviceClocks::new();
     let overhead = SimTime::from_ns(CHUNK_DISPATCH_OVERHEAD_NS);
 
     let mut start = 0usize;
     while start < items {
         let end = (start + chunk).min(items);
-        let device = if cpu_clock <= gpu_clock {
-            DeviceKind::Cpu
-        } else {
-            DeviceKind::Gpu
-        };
+        let device = clocks.idlest();
         let time = run_chunk(ctx, start..end, device)? + overhead;
+        clocks.advance(device, time);
         match device {
             DeviceKind::Cpu => {
-                cpu_clock += time;
                 schedule.cpu_busy += time;
                 schedule.cpu_items += end - start;
             }
             DeviceKind::Gpu => {
-                gpu_clock += time;
                 schedule.gpu_busy += time;
                 schedule.gpu_items += end - start;
             }
@@ -95,7 +89,7 @@ where
         start = end;
     }
 
-    schedule.elapsed = cpu_clock.max(gpu_clock);
+    schedule.elapsed = clocks.elapsed();
     Ok(schedule)
 }
 

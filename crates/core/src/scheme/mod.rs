@@ -1,4 +1,4 @@
-//! Co-processing schemes: translating a [`Scheme`](crate::config::Scheme)
+//! Co-processing schemes: translating a [`Scheme`]
 //! into per-phase workload-ratio vectors, plus the chunk-based BasicUnit
 //! scheduler of Appendix A.
 //!

@@ -72,7 +72,11 @@ impl AllocatorKind {
 ///
 /// `group` identifies the work group making the request, which matters only
 /// for the block allocator (each group owns its current block).
-pub trait KernelAllocator {
+///
+/// Allocators are `Send` so an engine's session pool can hand arenas to
+/// whichever thread submits a request; each arena is still owned by exactly
+/// one in-flight request at a time, so no interior synchronisation is needed.
+pub trait KernelAllocator: Send {
     /// Allocates `bytes` bytes on behalf of work group `group`; returns the
     /// byte offset into the arena, or `None` when the arena is exhausted.
     fn alloc(&mut self, group: usize, bytes: usize) -> Option<usize>;

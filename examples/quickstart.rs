@@ -12,9 +12,10 @@ fn main() {
 
     // The engine is constructed once: it simulates the AMD A8-3870K APU of
     // the paper (4 CPU cores and a 400-core integrated GPU sharing the
-    // cache and the zero-copy buffer) and owns a reusable arena sized for
-    // the largest join it will admit.
-    let mut engine =
+    // cache and the zero-copy buffer) and provisions one reusable arena per
+    // session, each sized for the largest join it will admit.  `submit`
+    // takes `&self`, so a shared engine serves concurrent client threads.
+    let engine =
         JoinEngine::coupled(EngineConfig::for_tuples(tuples, tuples)).expect("engine config");
     println!(
         "engine: backend {} on {}, arena {} MB (created once, reused per request)",
@@ -40,7 +41,7 @@ fn main() {
         .scheme(Scheme::pipelined_paper())
         .build()
         .expect("valid request");
-    let outcome = engine.execute(&request, &build, &probe).expect("join");
+    let outcome = engine.submit(&request, &build, &probe).expect("join");
 
     // The result is real and verifiable.
     assert_eq!(outcome.matches, reference_match_count(&build, &probe));
@@ -67,7 +68,7 @@ fn main() {
             .build()
             .expect("valid request");
         let single = engine
-            .execute(&single_request, &build, &probe)
+            .submit(&single_request, &build, &probe)
             .expect("join");
         let gain = 100.0 * (1.0 - outcome.total_time().as_secs() / single.total_time().as_secs());
         println!(

@@ -13,10 +13,12 @@
 //!   selectivity-controlled);
 //! * [`mem_alloc`] — the software dynamic memory allocators (basic bump
 //!   pointer vs per-work-group blocks);
-//! * [`hj_core`] — the paper's contribution: fine-grained hash-join steps,
-//!   SHJ/PHJ and the OL/DD/PL/BasicUnit co-processing schemes, served by a
-//!   long-lived [`JoinEngine`](hj_core::JoinEngine) with pluggable
-//!   execution backends;
+//! * [`hj_core`] — the paper's contribution as a four-layer stack: schemes
+//!   (SHJ/PHJ × OL/DD/PL/BasicUnit) over a morsel-driven step pipeline
+//!   ([`hj_core::pipeline`]), scheduled by a work-stealing task queue (real
+//!   threads) or per-device event clocks (simulation), served by a
+//!   concurrent multi-session [`JoinEngine`](hj_core::JoinEngine) with
+//!   pluggable execution backends;
 //! * [`costmodel`] — the abstract cost model, calibration, ratio optimiser
 //!   and Monte-Carlo evaluation.
 //!
@@ -25,8 +27,10 @@
 //! ```
 //! use coupled_hashjoin::prelude::*;
 //!
-//! // The engine is constructed once and reuses its arena across requests.
-//! let mut engine = JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384)).unwrap();
+//! // The engine is constructed once; each configured session owns a pooled
+//! // arena, and `submit(&self, ..)` serves concurrent client threads.
+//! let engine =
+//!     JoinEngine::coupled(EngineConfig::for_tuples(8_192, 16_384).sessions(2)).unwrap();
 //! let request = JoinRequest::builder()
 //!     .algorithm(Algorithm::partitioned_auto())
 //!     .scheme(Scheme::pipelined_paper())
@@ -34,7 +38,7 @@
 //!     .unwrap();
 //!
 //! let (build, probe) = datagen::generate_pair(&DataGenConfig::small(8_192, 16_384));
-//! let outcome = engine.execute(&request, &build, &probe).unwrap();
+//! let outcome = engine.submit(&request, &build, &probe).unwrap();
 //! assert_eq!(outcome.matches, reference_match_count(&build, &probe));
 //! ```
 //!
@@ -64,9 +68,9 @@ pub mod prelude {
     pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel, TunedScheme};
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
     pub use hj_core::{
-        reference_match_count, Algorithm, CoupledSim, DiscreteSim, EngineConfig, ExecBackend,
-        HashTableMode, JoinConfig, JoinEngine, JoinError, JoinOutcome, JoinRequest, NativeCpu,
-        Ratios, Scheme, StepGranularity,
+        reference_match_count, Algorithm, CoupledSim, DiscreteSim, EngineConfig, EngineStats,
+        ExecBackend, HashTableMode, JoinConfig, JoinEngine, JoinError, JoinOutcome, JoinRequest,
+        Morsel, NativeCpu, Ratios, Scheme, SessionStats, StepGranularity, TaskQueue,
     };
     #[allow(deprecated)]
     pub use hj_core::{run_join, run_out_of_core_join};
