@@ -2,6 +2,7 @@
 //! cache model and run-wide counters.
 
 use crate::error::JoinError;
+use crate::pipeline::{SharedWorkerPool, WorkerPool};
 use apu_sim::SystemSpec;
 use apu_sim::{
     AnalyticCache, CacheSim, CacheStats, CostRecorder, Device, DeviceKind, MemContext, SimTime,
@@ -59,6 +60,12 @@ pub struct ExecContext<'a> {
     /// engine sets it from the request, defaulting to
     /// [`crate::pipeline::DEFAULT_MORSEL_TUPLES`].
     pub morsel_tuples: usize,
+    /// The engine's persistent worker pool, when this context was created
+    /// by a [`JoinEngine`](crate::engine::JoinEngine); native execution
+    /// submits its morsels here instead of spawning threads per step.
+    /// Lazily spawned: backends that never ask (the simulators) never cost
+    /// a thread.
+    workers: Option<&'a SharedWorkerPool>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -102,6 +109,7 @@ impl<'a> ExecContext<'a> {
             },
             counters: ExecCounters::default(),
             morsel_tuples: crate::pipeline::DEFAULT_MORSEL_TUPLES,
+            workers: None,
         }
     }
 
@@ -110,6 +118,21 @@ impl<'a> ExecContext<'a> {
     pub fn with_morsel_tuples(mut self, morsel_tuples: usize) -> Self {
         self.morsel_tuples = morsel_tuples.max(1);
         self
+    }
+
+    /// Attaches the engine's persistent worker pool, shared by every
+    /// session: backends executing under this context submit their morsel
+    /// tasks there instead of spawning threads of their own.
+    pub fn with_worker_pool(mut self, pool: &'a SharedWorkerPool) -> Self {
+        self.workers = Some(pool);
+        self
+    }
+
+    /// The engine-owned worker pool, when one is attached — spawning its
+    /// workers on first access (backends that never call this never cost a
+    /// thread).
+    pub fn worker_pool(&self) -> Option<&'a WorkerPool> {
+        self.workers.map(SharedWorkerPool::get)
     }
 
     /// Tears the context down, handing the allocator (and its arena) back to

@@ -50,7 +50,9 @@ use crate::config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularit
 use crate::context::{arena_bytes_for, ExecContext};
 use crate::error::JoinError;
 use crate::hash::hash_key;
-use crate::pipeline::{morsel_ranges, TaskQueue};
+use crate::pipeline::{
+    lock_unpoisoned, morsel_ranges, wait_unpoisoned, SharedWorkerPool, WorkerPool,
+};
 use crate::result::JoinOutcome;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
@@ -443,12 +445,13 @@ impl ExecBackend for DiscreteSim {
 ///
 /// It consumes the same morsel task stream the simulator replays through
 /// its event clock: the build and probe relations are decomposed into
-/// morsels of [`JoinConfig::morsel_tuples`] tuples and a work-stealing
-/// [`TaskQueue`] dispatches them over the worker threads.  Each build
+/// morsels of [`JoinConfig::morsel_tuples`] tuples, submitted to the
+/// engine's persistent work-stealing [`WorkerPool`] (one pool shared by
+/// every session, sized by [`EngineConfig::worker_threads`]).  Each build
 /// morsel scatters its tuples into per-shard buffers, shard owners fold the
 /// buffers into private hash maps (no latches), and probe morsels then scan
 /// the read-only shard maps.  Per-morsel results are folded in morsel
-/// order, so the outcome is deterministic across thread counts.  The
+/// order, so the outcome is deterministic across worker counts.  The
 /// outcome's [`Phase::Build`] / [`Phase::Probe`] entries carry *measured*
 /// elapsed time, so the same reporting pipeline serves simulated and native
 /// runs.
@@ -457,10 +460,93 @@ impl ExecBackend for DiscreteSim {
 /// for the simulator and are ignored here; `collect_results` and
 /// `morsel_tuples` are honoured (the latter floored at
 /// [`NATIVE_MIN_CHUNK_TUPLES`] to bound per-task allocation churn).
-#[derive(Debug, Clone)]
+///
+/// # Migration: `with_threads`
+///
+/// Since the engine-wide pool, execution parallelism belongs to the
+/// *engine*, not the backend: every `NativeCpu` behind a [`JoinEngine`]
+/// runs on the engine's pool, and one `NativeCpu::new()` per session no
+/// longer oversubscribes the machine.  [`NativeCpu::with_threads`] remains
+/// only as the worker count of the *fallback* pool used when the backend is
+/// driven without an engine (deprecated shim paths); engine callers should
+/// size the shared pool with [`EngineConfig::worker_threads`] instead.
+#[derive(Debug)]
 pub struct NativeCpu {
     threads: usize,
     sys: SystemSpec,
+    gate: ExecGate,
+    /// Lazily-spawned pool for engine-less use (deprecated shim paths):
+    /// spawned at most once per backend instance, never per call.
+    fallback: SharedWorkerPool,
+}
+
+impl Clone for NativeCpu {
+    /// Clones the configuration but **not** the execution gate or the
+    /// fallback pool: a clone handed to a second engine gates against that
+    /// engine's own pool instead of sharing (and halving) the original's
+    /// execution slots.
+    fn clone(&self) -> Self {
+        NativeCpu::with_threads(self.threads)
+    }
+}
+
+/// Bounds how many native joins *execute* simultaneously (admission stays
+/// with the engine's sessions): concurrent `execute` calls beyond the
+/// pool's worker count wait here instead of interleaving yet another
+/// working set into the cache.
+///
+/// Without the gate, `sessions` joins all make progress at once even when
+/// the pool has fewer workers than sessions; their build/probe state is
+/// co-resident and aggregate throughput *drops* as clients rise.  With it,
+/// at most `workers` joins execute concurrently — enough to saturate every
+/// pool worker with morsels — and the rest pipeline behind them.
+///
+/// Slots are granted in strict ticket (FIFO) order, matching the engine's
+/// session hand-off discipline: a freshly arriving join cannot barge past
+/// one that has been waiting, so no admitted join is starved of execution
+/// under sustained load.
+#[derive(Debug, Default)]
+struct ExecGate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    executing: usize,
+    next_ticket: u64,
+    now_serving: u64,
+}
+
+impl ExecGate {
+    /// Waits (FIFO) for one of `capacity` execution slots; the guard frees
+    /// it.
+    fn acquire(&self, capacity: usize) -> ExecSlot<'_> {
+        let mut state = lock_unpoisoned(&self.state);
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        while state.now_serving != ticket || state.executing >= capacity.max(1) {
+            state = wait_unpoisoned(&self.freed, state);
+        }
+        state.now_serving += 1;
+        state.executing += 1;
+        drop(state);
+        // The next ticket may already be eligible (capacity > 1).
+        self.freed.notify_all();
+        ExecSlot { gate: self }
+    }
+}
+
+/// RAII slot of [`ExecGate`]: released on drop, panic or not.
+struct ExecSlot<'a> {
+    gate: &'a ExecGate,
+}
+
+impl Drop for ExecSlot<'_> {
+    fn drop(&mut self) {
+        lock_unpoisoned(&self.gate.state).executing -= 1;
+        self.gate.freed.notify_all();
+    }
 }
 
 /// Smallest chunk (tuples) the native backend schedules as one task, even
@@ -474,17 +560,26 @@ impl NativeCpu {
         NativeCpu::with_threads(threads)
     }
 
-    /// A fixed worker count (at least 1).
+    /// A fixed worker count (at least 1) for the **fallback** pool only.
+    ///
+    /// Inside a [`JoinEngine`] this value is ignored — the engine's shared
+    /// [`WorkerPool`] (sized by [`EngineConfig::worker_threads`]) executes
+    /// every morsel.  It is consulted only when the backend runs without an
+    /// engine-provided pool, e.g. through the deprecated one-shot shims.
     pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
         NativeCpu {
-            threads: threads.max(1),
+            threads,
             // The native backend does not simulate; a nominal spec is kept
             // only so the engine can size contexts and admission uniformly.
             sys: SystemSpec::coupled_a8_3870k(),
+            gate: ExecGate::default(),
+            fallback: SharedWorkerPool::new(threads),
         }
     }
 
-    /// The configured worker count.
+    /// The configured fallback worker count (see
+    /// [`with_threads`](Self::with_threads)).
     pub fn threads(&self) -> usize {
         self.threads
     }
@@ -507,12 +602,26 @@ impl ExecBackend for NativeCpu {
 
     fn execute(
         &self,
-        _ctx: &mut ExecContext<'_>,
+        ctx: &mut ExecContext<'_>,
         build: &Relation,
         probe: &Relation,
         request: &JoinRequest,
     ) -> Result<JoinOutcome, JoinError> {
-        let threads = self.threads;
+        // Morsels go to the engine's persistent pool — shared by all
+        // sessions, so concurrent joins interleave rather than each
+        // spawning (and oversubscribing) its own threads.  The backend's
+        // own lazily-spawned pool serves only engine-less use (deprecated
+        // one-shot shims) — spawned once per backend, never per call.
+        let pool: &WorkerPool = match ctx.worker_pool() {
+            Some(pool) => pool,
+            None => self.fallback.get(),
+        };
+        let shard_count = pool.workers();
+        // Execution gating: at most `workers` joins run their morsels at
+        // once (each join saturates the pool by itself); further admitted
+        // sessions wait for a slot instead of thrashing the cache with yet
+        // another co-resident build/probe working set.
+        let _slot = self.gate.acquire(pool.workers());
         // Floor the native chunking: each scatter task allocates one bucket
         // set per shard, so degenerate tuple-sized morsels (legal for the
         // simulator, where a morsel is just an accounting range) would turn
@@ -528,17 +637,16 @@ impl ExecBackend for NativeCpu {
         // into its private map — no latches anywhere.
         let build_start = Instant::now();
         let build_morsels = morsel_ranges(build.len(), morsel);
-        let scattered: Vec<Vec<Vec<(u32, u32)>>> =
-            TaskQueue::run(build_morsels.len(), threads, |_, task| {
-                let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); threads];
-                for i in build_morsels[task].clone() {
-                    let key = build.key(i);
-                    buckets[hash_key(key) as usize % threads].push((key, build.rid(i)));
-                }
-                buckets
-            });
+        let scattered: Vec<Vec<Vec<(u32, u32)>>> = pool.run(build_morsels.len(), |_, task| {
+            let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); shard_count];
+            for i in build_morsels[task].clone() {
+                let key = build.key(i);
+                buckets[hash_key(key) as usize % shard_count].push((key, build.rid(i)));
+            }
+            buckets
+        });
         let scattered_ref = &scattered;
-        let shards: Vec<HashMap<u32, Vec<u32>>> = TaskQueue::run(threads, threads, |_, shard| {
+        let shards: Vec<HashMap<u32, Vec<u32>>> = pool.run(shard_count, |_, shard| {
             let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
             for buckets in scattered_ref {
                 for &(key, rid) in &buckets[shard] {
@@ -554,24 +662,23 @@ impl ExecBackend for NativeCpu {
         let probe_start = Instant::now();
         let shards_ref = &shards;
         let probe_morsels = morsel_ranges(probe.len(), morsel);
-        let results: Vec<(u64, Vec<(u32, u32)>)> =
-            TaskQueue::run(probe_morsels.len(), threads, |_, task| {
-                let mut matches = 0u64;
-                let mut pairs = Vec::new();
-                for i in probe_morsels[task].clone() {
-                    let key = probe.key(i);
-                    let shard = hash_key(key) as usize % threads;
-                    if let Some(rids) = shards_ref[shard].get(&key) {
-                        matches += rids.len() as u64;
-                        if collect {
-                            for &brid in rids {
-                                pairs.push((brid, probe.rid(i)));
-                            }
+        let results: Vec<(u64, Vec<(u32, u32)>)> = pool.run(probe_morsels.len(), |_, task| {
+            let mut matches = 0u64;
+            let mut pairs = Vec::new();
+            for i in probe_morsels[task].clone() {
+                let key = probe.key(i);
+                let shard = hash_key(key) as usize % shard_count;
+                if let Some(rids) = shards_ref[shard].get(&key) {
+                    matches += rids.len() as u64;
+                    if collect {
+                        for &brid in rids {
+                            pairs.push((brid, probe.rid(i)));
                         }
                     }
                 }
-                (matches, pairs)
-            });
+            }
+            (matches, pairs)
+        });
         let probe_elapsed = probe_start.elapsed();
 
         // Fold per-morsel results in morsel order: deterministic across
@@ -619,6 +726,13 @@ pub struct EngineConfig {
     /// so [`sessions`](Self::sessions) and [`queue_depth`](Self::queue_depth)
     /// compose in either order.
     pub queue_depth: Option<usize>,
+    /// Worker threads of the engine's persistent execution pool, spawned
+    /// once (lazily, at the first native execution) and shared by **all**
+    /// sessions (sessions bound admission concurrency; workers bound
+    /// execution parallelism).  `None` (the default) means one worker per
+    /// available hardware thread, resolved by
+    /// [`effective_worker_threads`](Self::effective_worker_threads).
+    pub worker_threads: Option<usize>,
 }
 
 impl EngineConfig {
@@ -632,6 +746,7 @@ impl EngineConfig {
             allocator: AllocatorKind::tuned(),
             sessions: 1,
             queue_depth: None,
+            worker_threads: None,
         }
     }
 
@@ -663,6 +778,23 @@ impl EngineConfig {
         self.queue_depth.unwrap_or(self.sessions)
     }
 
+    /// Sizes the engine's persistent worker pool: `worker_threads` threads
+    /// are spawned once (on first native use) and execute the morsels of
+    /// every session.  Unset, the pool gets one worker per available
+    /// hardware thread.
+    pub fn worker_threads(mut self, worker_threads: usize) -> Self {
+        self.worker_threads = Some(worker_threads);
+        self
+    }
+
+    /// The worker count the engine's pool is spawned with: the explicit
+    /// [`worker_threads`](Self::worker_threads), or one per available
+    /// hardware thread when unset.
+    pub fn effective_worker_threads(&self) -> usize {
+        self.worker_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+    }
+
     /// The arena capacity this configuration provisions *per session*.
     pub fn arena_bytes(&self) -> usize {
         arena_bytes_for(self.max_build_tuples, self.max_probe_tuples)
@@ -679,6 +811,11 @@ impl EngineConfig {
         if self.sessions == 0 {
             return Err(JoinError::InvalidConfig(
                 "an engine needs at least one session".to_string(),
+            ));
+        }
+        if self.worker_threads == Some(0) {
+            return Err(JoinError::InvalidConfig(
+                "an engine needs at least one worker thread".to_string(),
             ));
         }
         Ok(())
@@ -719,6 +856,13 @@ pub struct EngineStats {
     pub peak_in_flight: usize,
     /// Per-session request counters, indexed by session id.
     pub per_session: Vec<SessionStats>,
+    /// Worker threads of the engine's persistent execution pool (spawned
+    /// once, shared by all sessions).
+    pub worker_threads: usize,
+    /// Morsel tasks each pool worker has executed over the engine's
+    /// lifetime, indexed by worker (all zeros while the lazily-spawned
+    /// pool has not executed anything yet).
+    pub per_worker_tasks: Vec<u64>,
     /// Completed joins per wall-clock second since engine construction.
     pub joins_per_sec: f64,
 }
@@ -778,6 +922,11 @@ pub struct JoinEngine {
     pool: Mutex<SessionPool>,
     session_freed: Condvar,
     stats: Mutex<StatsInner>,
+    /// The persistent execution pool: sized at construction, spawned once
+    /// on first native use, shared by every session's backend execution,
+    /// joined when the engine drops.  Simulator-only engines never spawn
+    /// it.
+    workers: SharedWorkerPool,
     arena_capacity: usize,
     started: Instant,
 }
@@ -823,6 +972,7 @@ impl JoinEngine {
                 per_session: vec![SessionStats::default(); config.sessions],
                 ..StatsInner::default()
             }),
+            workers: SharedWorkerPool::new(config.effective_worker_threads()),
             arena_capacity: capacity,
             started: Instant::now(),
             config,
@@ -870,11 +1020,25 @@ impl JoinEngine {
         &self.config
     }
 
+    /// The engine's persistent worker pool: sized at construction, shared
+    /// by every session, joined (no leaked threads) when the engine drops.
+    ///
+    /// The pool is spawned lazily — on the first native execution or the
+    /// first call to this accessor — so simulator-only engines never cost
+    /// a thread.
+    pub fn worker_pool(&self) -> &WorkerPool {
+        self.workers.get()
+    }
+
     /// A point-in-time snapshot of the lifetime counters (served/failed
-    /// requests, saturation rejections, arena creations, per-session
-    /// activity, joins per second).
+    /// requests, saturation rejections, arena creations, per-session and
+    /// per-worker activity, joins per second).
+    ///
+    /// Robust against poisoning: a request that panicked mid-join (the
+    /// panic is re-raised at its submitter) leaves the counters readable —
+    /// one bad join cannot turn every later `stats()` call into a panic.
     pub fn stats(&self) -> EngineStats {
-        let inner = self.stats.lock().expect("engine stats poisoned");
+        let inner = lock_unpoisoned(&self.stats);
         let elapsed = self.started.elapsed().as_secs_f64();
         EngineStats {
             requests_served: inner.requests_served,
@@ -886,6 +1050,13 @@ impl JoinEngine {
             in_flight: inner.in_flight,
             peak_in_flight: inner.peak_in_flight,
             per_session: inner.per_session.clone(),
+            worker_threads: self.workers.configured_workers(),
+            per_worker_tasks: match self.workers.spawned() {
+                Some(pool) => pool.tasks_executed(),
+                // Pool never spawned (no native execution yet): all-zero
+                // counters, without forcing the threads into existence.
+                None => vec![0; self.workers.configured_workers()],
+            },
             joins_per_sec: if elapsed > 0.0 {
                 inner.requests_served as f64 / elapsed
             } else {
@@ -900,16 +1071,13 @@ impl JoinEngine {
     /// and panic recovery).
     fn provision_arena(&self, kind: AllocatorKind) -> Box<dyn KernelAllocator> {
         let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
-        self.stats
-            .lock()
-            .expect("engine stats poisoned")
-            .arenas_created += 1;
+        lock_unpoisoned(&self.stats).arenas_created += 1;
         kind.build(self.arena_capacity, work_groups)
     }
 
     /// Records a session acquisition in the in-flight counters.
     fn note_acquired(&self) {
-        let mut stats = self.stats.lock().expect("engine stats poisoned");
+        let mut stats = lock_unpoisoned(&self.stats);
         stats.in_flight += 1;
         stats.peak_in_flight = stats.peak_in_flight.max(stats.in_flight);
     }
@@ -918,7 +1086,7 @@ impl JoinEngine {
     /// queue when all sessions are busy.  Freed sessions are handed to
     /// queued waiters before new arrivals, so the queue cannot be starved.
     fn acquire_session(&self) -> Result<Session, JoinError> {
-        let mut pool = self.pool.lock().expect("engine session pool poisoned");
+        let mut pool = lock_unpoisoned(&self.pool);
         // The free list only holds sessions no queued waiter was owed, so
         // taking from it never barges past the queue.
         if let Some(session) = pool.free.pop() {
@@ -927,7 +1095,7 @@ impl JoinEngine {
             return Ok(session);
         }
         if pool.waiting >= self.config.effective_queue_depth() {
-            let mut stats = self.stats.lock().expect("engine stats poisoned");
+            let mut stats = lock_unpoisoned(&self.stats);
             stats.rejected_saturated += 1;
             stats.requests_failed += 1;
             return Err(JoinError::Saturated {
@@ -937,10 +1105,7 @@ impl JoinEngine {
         }
         pool.waiting += 1;
         loop {
-            pool = self
-                .session_freed
-                .wait(pool)
-                .expect("engine session pool poisoned");
+            pool = wait_unpoisoned(&self.session_freed, pool);
             // `waiting` was already decremented by the releaser that pushed
             // this hand-off; an empty deque means the wake-up was spurious
             // (or another waiter won the race) and we keep waiting.
@@ -956,7 +1121,7 @@ impl JoinEngine {
     /// one exists — and records the request's fate.
     fn release_session(&self, session: Session, served: bool) {
         {
-            let mut stats = self.stats.lock().expect("engine stats poisoned");
+            let mut stats = lock_unpoisoned(&self.stats);
             stats.in_flight -= 1;
             let per = &mut stats.per_session[session.id];
             if served {
@@ -967,7 +1132,7 @@ impl JoinEngine {
                 stats.requests_failed += 1;
             }
         }
-        let mut pool = self.pool.lock().expect("engine session pool poisoned");
+        let mut pool = lock_unpoisoned(&self.pool);
         if pool.waiting > 0 {
             pool.waiting -= 1;
             pool.handoff.push_back(session);
@@ -1007,7 +1172,7 @@ impl JoinEngine {
         let required =
             request.required_arena_bytes(build.len(), probe.len(), self.backend.system());
         if required > self.arena_capacity {
-            let mut stats = self.stats.lock().expect("engine stats poisoned");
+            let mut stats = lock_unpoisoned(&self.stats);
             stats.requests_failed += 1;
             return Err(JoinError::OversizedInput {
                 build_tuples: build.len(),
@@ -1039,7 +1204,8 @@ impl JoinEngine {
                 allocator,
                 request.config().profile_cache,
             )
-            .with_morsel_tuples(request.config().morsel_tuples);
+            .with_morsel_tuples(request.config().morsel_tuples)
+            .with_worker_pool(&self.workers);
             let result = self.backend.execute(&mut ctx, build, probe, request);
             let result = result.map(|mut outcome| {
                 ctx.finalize_counters();
@@ -1244,18 +1410,39 @@ mod tests {
     }
 
     #[test]
-    fn native_backend_is_deterministic_across_thread_counts() {
+    fn native_backend_is_deterministic_across_worker_counts() {
         let (r, s) = small_pair(2000);
         let expected = reference_match_count(&r, &s);
-        for threads in [1, 2, 7] {
+        for workers in [1, 2, 7] {
             let mut engine = JoinEngine::new(
-                Box::new(NativeCpu::with_threads(threads)),
-                EngineConfig::for_tuples(2000, 4000),
+                Box::new(NativeCpu::new()),
+                EngineConfig::for_tuples(2000, 4000).worker_threads(workers),
             )
             .unwrap();
             let request = JoinRequest::builder().build().unwrap();
             assert_eq!(engine.execute(&request, &r, &s).unwrap().matches, expected);
+            let stats = engine.stats();
+            assert_eq!(stats.worker_threads, workers);
+            assert_eq!(stats.per_worker_tasks.len(), workers);
+            assert!(
+                stats.per_worker_tasks.iter().sum::<u64>() > 0,
+                "native execution must run on the engine's pool"
+            );
         }
+    }
+
+    #[test]
+    fn engine_drop_joins_every_pool_worker() {
+        let engine =
+            JoinEngine::native(EngineConfig::for_tuples(64, 64).worker_threads(3)).unwrap();
+        let gauge = engine.worker_pool().live_worker_gauge();
+        assert_eq!(engine.worker_pool().live_workers(), 3);
+        drop(engine);
+        assert_eq!(
+            gauge.load(std::sync::atomic::Ordering::Acquire),
+            0,
+            "dropping the engine must join all pool workers"
+        );
     }
 
     #[test]
@@ -1390,6 +1577,36 @@ mod tests {
     }
 
     #[test]
+    fn stats_and_submit_stay_usable_after_a_panicked_join() {
+        // Regression test for lock poisoning: before the recovery policy, a
+        // panicking backend could leave the stats/pool mutexes poisoned and
+        // every later `stats()`/`submit()` call panicked in `.expect(..)`.
+        let engine = JoinEngine::new(
+            Box::new(FlakyBackend {
+                sys: SystemSpec::coupled_a8_3870k(),
+                panics: std::sync::atomic::AtomicUsize::new(2),
+            }),
+            EngineConfig::for_tuples(64, 64).sessions(2),
+        )
+        .unwrap();
+        let (r, s) = small_pair(16);
+        let request = JoinRequest::builder().build().unwrap();
+
+        for round in 0..2 {
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = engine.submit(&request, &r, &s);
+            }));
+            assert!(unwound.is_err(), "round {round}: the panic must propagate");
+            // Neither observability nor admission may be bricked.
+            let stats = engine.stats();
+            assert_eq!(stats.requests_failed, round + 1);
+            assert_eq!(stats.in_flight, 0);
+        }
+        assert!(engine.submit(&request, &r, &s).is_ok());
+        assert_eq!(engine.stats().requests_served, 1);
+    }
+
+    #[test]
     fn queue_depth_and_sessions_compose_in_either_order() {
         let a = EngineConfig::for_tuples(64, 64).queue_depth(16).sessions(4);
         let b = EngineConfig::for_tuples(64, 64).sessions(4).queue_depth(16);
@@ -1407,6 +1624,13 @@ mod tests {
     #[test]
     fn zero_sessions_is_an_invalid_engine_config() {
         let err = JoinEngine::coupled(EngineConfig::for_tuples(64, 64).sessions(0)).unwrap_err();
+        assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_worker_threads_is_an_invalid_engine_config() {
+        let err =
+            JoinEngine::coupled(EngineConfig::for_tuples(64, 64).worker_threads(0)).unwrap_err();
         assert!(matches!(err, JoinError::InvalidConfig(_)), "{err}");
     }
 

@@ -22,9 +22,10 @@
 //! │                  ([`pipeline`], [`phase`], [`steps`])              │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ 3. Scheduler     one task stream, two interpretations: the         │
-//! │                  work-stealing [`pipeline::TaskQueue`] drives real │
-//! │                  threads; `apu_sim::DeviceClocks` replays the same │
-//! │                  schedule on simulated event clocks                │
+//! │                  persistent work-stealing [`pipeline::WorkerPool`] │
+//! │                  (spawned once per engine, shared by all sessions) │
+//! │                  drives real threads; `apu_sim::DeviceClocks`      │
+//! │                  replays the same schedule on simulated clocks     │
 //! ├────────────────────────────────────────────────────────────────────┤
 //! │ 4. Backends      [`CoupledSim`] / [`DiscreteSim`] (calibrated      │
 //! │                  device model) and [`NativeCpu`] (measured         │
@@ -49,6 +50,33 @@
 //!   block software memory allocator, grouping-based divergence reduction
 //!   ([`divergence`]), fine vs. coarse step granularity ([`coarse`]) and
 //!   out-of-core execution beyond the zero-copy buffer ([`outofcore`]).
+//!
+//! ## Worker pool & sessions
+//!
+//! The engine separates two concurrency axes:
+//!
+//! * **Sessions** (`EngineConfig::sessions(n)`) bound *admission*
+//!   concurrency: how many requests may be in flight at once, each
+//!   borrowing one pooled arena.
+//! * **Worker threads** (`EngineConfig::worker_threads(n)`, default: one
+//!   per available hardware thread) bound *execution* parallelism: a
+//!   single persistent [`pipeline::WorkerPool`] per engine — spawned once,
+//!   lazily on the first native execution — runs the morsels of **every**
+//!   session.  Concurrent joins interleave their morsels in the shared
+//!   deques (work stealing balances them), so eight in-flight joins share
+//!   the machine instead of spawning eight thread sets — and instead of
+//!   respawning OS threads per step, which made aggregate throughput
+//!   *fall* as clients rose.  The pool parks idle workers on a condition
+//!   variable and joins them all when the engine drops.
+//!
+//! **Migrating `NativeCpu::with_threads(n)` callers:** the backend no
+//! longer owns execution threads when run behind an engine.  Replace
+//! `JoinEngine::new(Box::new(NativeCpu::with_threads(n)), cfg)` with
+//! `JoinEngine::new(Box::new(NativeCpu::new()), cfg.worker_threads(n))`;
+//! `with_threads` now only sizes the fallback pool used when the backend
+//! executes without an engine (deprecated shim paths).
+//! [`EngineStats::worker_threads`] and [`EngineStats::per_worker_tasks`]
+//! report the pool's size and per-worker activity.
 //!
 //! ## Quick start
 //!
@@ -162,7 +190,7 @@ pub use outofcore::DEFAULT_CHUNK_TUPLES;
 pub use partition::{default_radix_bits, run_partition_pass};
 pub use phase::{PhaseExecution, StepExecution};
 pub use pipeline::{
-    morsel_ranges, series_tasks, Lanes, Morsel, StepSeries, TaskQueue, DEFAULT_MORSEL_TUPLES,
+    morsel_ranges, series_tasks, Lanes, Morsel, StepSeries, WorkerPool, DEFAULT_MORSEL_TUPLES,
 };
 pub use probe::{run_probe_phase, ProbeOutput};
 pub use result::{reference_match_count, reference_pairs, BasicUnitRatios, JoinOutcome};

@@ -9,8 +9,8 @@
 //! the step's workload ratio.
 //! The per-morsel lane costs accumulate into one per-device cost profile per
 //! step, which [`compose_pipeline`] then combines exactly as before — the
-//! simulator replays the same task stream the native backend executes on
-//! real threads.
+//! simulator replays the same task stream the native backend submits to the
+//! engine's persistent [`crate::pipeline::WorkerPool`].
 
 use crate::context::ExecContext;
 use crate::pipeline::split_range;

@@ -15,13 +15,16 @@
 //!   ([`apu_sim::DeviceClocks`]) and the pipeline composition of Eqs. 1–5
 //!   ([`crate::schedule::compose_pipeline`]) — see
 //!   [`crate::phase::run_step`], which consumes the morsel stream;
-//! * the **native backend** executes the same stream for real, with a
-//!   work-stealing [`TaskQueue`] distributing morsels over host threads.
+//! * the **native backend** executes the same stream for real, submitting
+//!   morsels to a persistent work-stealing [`WorkerPool`] shared by every
+//!   session of the owning engine.
 
 use crate::steps::StepId;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Default morsel size in tuples (~64 K, a few hundred KB of tuple data —
 /// large enough to amortise dispatch, small enough to load-balance).
@@ -143,105 +146,488 @@ pub fn series_tasks(series: StepSeries, items: usize, morsel_tuples: usize) -> V
 }
 
 // ---------------------------------------------------------------------------
-// Work-stealing task queue
+// Persistent work-stealing worker pool
 // ---------------------------------------------------------------------------
 
-/// A work-stealing queue of task indices driving a fixed set of workers.
+/// Locks `mutex`, recovering the inner data when a panicking thread
+/// poisoned it.
 ///
-/// Tasks `0..tasks` are distributed round-robin over per-worker deques at
-/// construction; each worker pops from the *front* of its own deque and,
-/// when empty, steals from the *back* of a victim's — the classic
-/// work-stealing discipline, which keeps each worker on a contiguous run of
-/// morsels (cache locality) while letting idle workers rebalance skewed
-/// workloads.
-///
-/// The queue only schedules indices; what an index *means* (usually: one
-/// [`Morsel`]) is up to the caller.  [`TaskQueue::run`] is the common
-/// harness: it spawns scoped worker threads and returns every task's result
-/// in task order, so parallel execution stays deterministic.
-pub struct TaskQueue {
-    queues: Vec<Mutex<VecDeque<usize>>>,
+/// A panic anywhere in the engine is already propagated to the submitting
+/// caller (`catch_unwind` + `resume_unwind`); poisoning carries no extra
+/// information here, and treating it as fatal would let one bad join turn
+/// every later `stats()`/`submit()` call into a panic.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-impl TaskQueue {
-    /// Distributes `tasks` task indices over `workers` deques (at least
-    /// one).
-    pub fn new(tasks: usize, workers: usize) -> Self {
-        let workers = workers.max(1);
-        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
-        // Contiguous blocks per worker, so each worker starts on a cache-
-        // friendly run of neighbouring morsels.
-        let per_worker = tasks.div_ceil(workers).max(1);
-        for task in 0..tasks {
-            queues[(task / per_worker).min(workers - 1)].push_back(task);
+/// [`Condvar::wait`] with the same poisoning-recovery policy as
+/// [`lock_unpoisoned`].
+pub(crate) fn wait_unpoisoned<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A lifetime-erased pointer to a task body `(worker, task_index)` that
+/// lives on the submitting thread's stack.
+///
+/// A *raw* pointer rather than a boxed closure on purpose: an
+/// [`Arc<JobCore>`] held by a worker can be freed *after* the submitting
+/// frame has returned (the worker's refcount decrement races the
+/// submitter), and a raw pointer — unlike a stored reference — carries no
+/// validity invariant and no drop glue, so a late [`JobCore`] drop touches
+/// nothing that belonged to the dead frame.  The pointee is only ever
+/// *called* before the job's completion is signalled (see
+/// [`CompletionGuard`]), while the submitting frame is provably alive.
+type RawTaskFn = *const (dyn Fn(usize, usize) + Sync);
+
+/// Shared state of one submitted job: a pointer to the stack-owned task
+/// body plus completion tracking.  Workers hold an [`Arc`] per queued
+/// task; the submitter waits on `done` until every task has finished.
+struct JobCore {
+    run: RawTaskFn,
+    tasks: usize,
+    progress: Mutex<JobProgress>,
+    done: Condvar,
+}
+
+// SAFETY: `run` points at a `Sync` closure (shared calls from any thread
+// are fine) owned by the submitting frame, which `WorkerPool::run` keeps
+// alive until every queued task has completed (enforced by
+// `CompletionGuard` even on unwind).  All other fields are `Send + Sync`.
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
+
+struct JobProgress {
+    /// Tasks pushed to the deques so far (equals the job's `tasks` once
+    /// submission finished; may stay short if submission itself unwound).
+    queued: usize,
+    completed: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl JobCore {
+    /// Marks one task finished (recording the first panic payload, if any)
+    /// and wakes the waiting submitter once every queued task is done.
+    fn complete_one(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut progress = lock_unpoisoned(&self.progress);
+        if progress.panic.is_none() {
+            progress.panic = panic;
         }
-        TaskQueue {
-            queues: queues.into_iter().map(Mutex::new).collect(),
+        progress.completed += 1;
+        if progress.completed == self.tasks || progress.completed == progress.queued {
+            self.done.notify_all();
         }
     }
 
-    /// Number of worker deques.
-    pub fn workers(&self) -> usize {
-        self.queues.len()
+    /// Blocks until every task of the job has completed, then re-raises the
+    /// first worker panic (if any) on the calling thread.
+    ///
+    /// Returning only after *all* tasks finished is what makes the
+    /// pointer erasure in [`WorkerPool::run`] sound: no worker can still
+    /// be inside the job's closure once `wait` returns.
+    fn wait(&self) {
+        let mut progress = lock_unpoisoned(&self.progress);
+        while progress.completed < self.tasks {
+            progress = wait_unpoisoned(&self.done, progress);
+        }
+        if let Some(payload) = progress.panic.take() {
+            drop(progress);
+            std::panic::resume_unwind(payload);
+        }
     }
+}
 
-    /// Pops the next task for `worker`: its own front, else a steal from the
-    /// back of another worker's deque.  `None` once all deques are empty.
-    pub fn pop(&self, worker: usize) -> Option<usize> {
-        let own = worker % self.queues.len();
-        if let Some(task) = self.queues[own]
-            .lock()
-            .expect("task queue poisoned")
-            .pop_front()
-        {
+/// Unwind insurance for the pointer erasure: blocks on drop until every
+/// *queued* task of the job has completed.
+///
+/// On the normal path [`JobCore::wait`] has already drained the job and
+/// this is free.  If task *submission* unwinds midway (allocation failure
+/// while pushing), the guard still keeps the submitting frame — and with
+/// it the pointee of [`JobCore::run`] — alive until the partially queued
+/// tasks have finished on the workers.
+struct CompletionGuard<'a> {
+    job: &'a JobCore,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        let mut progress = lock_unpoisoned(&self.job.progress);
+        // No further pushes can happen once the guard drops, so `queued`
+        // is final here.
+        while progress.completed < progress.queued {
+            progress = wait_unpoisoned(&self.job.done, progress);
+        }
+    }
+}
+
+/// One schedulable unit in a worker deque.
+struct PoolTask {
+    job: Arc<JobCore>,
+    index: usize,
+}
+
+/// One worker's deque plus a lock-free length hint, so stealers skip empty
+/// victims without touching their lock.
+struct WorkerDeque {
+    len: AtomicUsize,
+    deque: Mutex<VecDeque<PoolTask>>,
+}
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    deques: Vec<WorkerDeque>,
+    /// Tasks pushed but not yet popped, pool-wide — the parking predicate.
+    pending: AtomicUsize,
+    park: Mutex<()>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    /// Per-worker lifetime task counters (surfaced through engine stats).
+    tasks_executed: Vec<AtomicU64>,
+    /// Workers currently alive; reaches zero only after every worker thread
+    /// has exited its loop.
+    live_workers: Arc<AtomicUsize>,
+    /// Rotates the deque each job's first block lands on, so concurrent
+    /// jobs spread over different workers instead of all piling onto
+    /// worker 0.
+    next_deque: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Pops the next task for `worker`: its own front, else a steal from
+    /// the back of a victim's deque.  `None` when every deque is empty.
+    fn pop(&self, worker: usize) -> Option<PoolTask> {
+        let own = worker % self.deques.len();
+        if let Some(task) = self.take(own, true) {
             return Some(task);
         }
-        for offset in 1..self.queues.len() {
-            let victim = (own + offset) % self.queues.len();
-            if let Some(task) = self.queues[victim]
-                .lock()
-                .expect("task queue poisoned")
-                .pop_back()
-            {
+        for offset in 1..self.deques.len() {
+            let victim = (own + offset) % self.deques.len();
+            if self.deques[victim].len.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            if let Some(task) = self.take(victim, false) {
                 return Some(task);
             }
         }
         None
     }
 
-    /// Runs `tasks` tasks on `workers` scoped threads, calling
-    /// `f(worker, task)` for each, and returns the results in task order.
+    fn take(&self, queue: usize, front: bool) -> Option<PoolTask> {
+        let slot = &self.deques[queue];
+        let mut deque = lock_unpoisoned(&slot.deque);
+        let task = if front {
+            deque.pop_front()
+        } else {
+            deque.pop_back()
+        };
+        if task.is_some() {
+            slot.len.fetch_sub(1, Ordering::Release);
+            self.pending.fetch_sub(1, Ordering::Release);
+        }
+        task
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, me: usize) {
+    loop {
+        if let Some(task) = shared.pop(me) {
+            shared.tasks_executed[me].fetch_add(1, Ordering::Relaxed);
+            let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: the pointee is a Sync closure owned by the
+                // submitting frame, which stays alive until this task's
+                // `complete_one` below has been observed (JobCore::wait /
+                // CompletionGuard) — the call happens strictly before that
+                // signal.
+                unsafe { (*task.job.run)(me, task.index) }
+            }))
+            .err();
+            task.job.complete_one(panic);
+            continue;
+        }
+        // Park until new work arrives.  The re-check happens under the park
+        // lock: a submitter increments `pending` *before* taking the same
+        // lock to notify, so the wake-up cannot be lost.
+        let mut guard = lock_unpoisoned(&shared.park);
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                shared.live_workers.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+            if shared.pending.load(Ordering::Acquire) > 0 {
+                break;
+            }
+            guard = wait_unpoisoned(&shared.work_ready, guard);
+        }
+    }
+}
+
+/// A fixed set of long-lived worker threads fed by per-worker deques with
+/// steal-from-back work stealing.
+///
+/// Workers are spawned **once** (at engine construction) and shared by
+/// every session of the engine: concurrent joins interleave their morsels
+/// in the same pool instead of each spawning its own threads per step —
+/// the per-step `thread::scope` respawning that made aggregate throughput
+/// *fall* as clients rose.  Idle workers park on a [`Condvar`] (no
+/// spinning); submission pushes contiguous blocks of task indices onto the
+/// deques (cache-friendly runs of neighbouring morsels), each worker pops
+/// from the *front* of its own deque and, when empty, steals from the
+/// *back* of a victim's.
+///
+/// [`run`](Self::run) is the submission harness: it enqueues one job of
+/// `tasks` indices, waits for completion, and returns every task's result
+/// in task order — parallel execution stays deterministic regardless of
+/// worker count or steal pattern.  The pool's [`Drop`] joins every worker,
+/// so no thread outlives the engine.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("live_workers", &self.live_workers())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (at least one), parked until work
+    /// arrives.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let live_workers = Arc::new(AtomicUsize::new(workers));
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers)
+                .map(|_| WorkerDeque {
+                    len: AtomicUsize::new(0),
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            live_workers: Arc::clone(&live_workers),
+            next_deque: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hj-worker-{me}"))
+                    .spawn(move || worker_loop(shared, me))
+                    .expect("failed to spawn worker-pool thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads the pool was provisioned with.
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Workers currently alive (equals [`workers`](Self::workers) for the
+    /// pool's whole lifetime; drops to zero during [`Drop`]).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Ordering::Acquire)
+    }
+
+    /// An owned handle on the live-worker gauge that outlives the pool, so
+    /// callers (and tests) can verify that dropping the pool joined every
+    /// worker thread.
+    pub fn live_worker_gauge(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.shared.live_workers)
+    }
+
+    /// Lifetime count of tasks each worker executed, indexed by worker.
+    pub fn tasks_executed(&self) -> Vec<u64> {
+        self.shared
+            .tasks_executed
+            .iter()
+            .map(|count| count.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Enqueues the job's `tasks` task indices: contiguous blocks per
+    /// deque (rotated across jobs), then a single wake-up.  `queued` in the
+    /// job's progress tracks how many tasks are actually visible to
+    /// workers, so an unwind mid-push leaves a consistent count for
+    /// [`CompletionGuard`].
+    fn push_tasks(&self, job: &Arc<JobCore>) {
+        let tasks = job.tasks;
+        let workers = self.workers();
+        let per_worker = tasks.div_ceil(workers).max(1);
+        let start = self.shared.next_deque.fetch_add(1, Ordering::Relaxed) % workers;
+        let mut index = 0usize;
+        let mut block = 0usize;
+        while index < tasks {
+            let end = (index + per_worker).min(tasks);
+            let slot = &self.shared.deques[(start + block) % workers];
+            let mut deque = lock_unpoisoned(&slot.deque);
+            for i in index..end {
+                deque.push_back(PoolTask {
+                    job: Arc::clone(job),
+                    index: i,
+                });
+            }
+            // All counters move under the deque lock: a worker can only
+            // see (and pop) these tasks after `pending` includes them, and
+            // `queued` never under-counts what a worker might execute.
+            lock_unpoisoned(&job.progress).queued = end;
+            slot.len.fetch_add(end - index, Ordering::Release);
+            self.shared
+                .pending
+                .fetch_add(end - index, Ordering::Release);
+            drop(deque);
+            index = end;
+            block += 1;
+        }
+        // Serialise with parking workers (they re-check `pending` under
+        // this lock before sleeping) so the notification cannot be lost.
+        drop(lock_unpoisoned(&self.shared.park));
+        self.shared.work_ready.notify_all();
+    }
+
+    /// Runs `tasks` tasks on the pool, calling `f(worker, task)` for each,
+    /// and returns the results in task order.
+    ///
+    /// Blocks the calling thread until the job completes; concurrent `run`
+    /// calls from different threads interleave their tasks in the shared
+    /// deques.
     ///
     /// # Panics
-    /// Propagates a panic from any worker.
-    pub fn run<T, F>(tasks: usize, workers: usize, f: F) -> Vec<T>
+    /// Re-raises the first panic from `f` after every task of the job has
+    /// finished, and enforces (in every build profile) the invariant that
+    /// all `tasks` results were delivered — a lost morsel is a hard error,
+    /// never a silently dropped tuple range.
+    pub fn run<T, F>(&self, tasks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, usize) -> T + Sync,
     {
-        let queue = TaskQueue::new(tasks, workers);
-        let f = &f;
-        let queue_ref = &queue;
-        let mut collected: Vec<(usize, T)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..queue.workers())
-                .map(|worker| {
-                    scope.spawn(move || {
-                        let mut local = Vec::new();
-                        while let Some(task) = queue_ref.pop(worker) {
-                            local.push((task, f(worker, task)));
-                        }
-                        local
+        if tasks == 0 {
+            return Vec::new();
+        }
+        // One slot per task: every task writes only its own slot, so the
+        // per-slot locks are never contended (no shared push bottleneck on
+        // the execution hot path) and results need no sorting afterwards.
+        let results: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        {
+            // The task body lives on *this* stack frame for the whole job.
+            let body = |worker: usize, task: usize| {
+                let value = f(worker, task);
+                *lock_unpoisoned(&results[task]) = Some(value);
+            };
+            // SAFETY of the lifetime-erasing cast: `JobCore` stores only a
+            // raw pointer (no reference, no drop glue), and workers
+            // dereference it strictly before signalling the task complete.
+            // `job.wait()` — and, should anything unwind first, the
+            // `CompletionGuard` below — keeps this frame (and with it
+            // `body`, `f` and `results`) alive until every queued task has
+            // completed, so no call can outlive the pointee.  A worker's
+            // `Arc<JobCore>` may be freed after this frame is gone; by then
+            // the core holds nothing that points into it except the inert
+            // raw pointer.
+            let erased: RawTaskFn = unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize, usize) + Sync + '_), RawTaskFn>(
+                    &body as &(dyn Fn(usize, usize) + Sync),
+                )
+            };
+            let job = Arc::new(JobCore {
+                run: erased,
+                tasks,
+                progress: Mutex::new(JobProgress {
+                    queued: 0,
+                    completed: 0,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            });
+            let guard = CompletionGuard { job: &job };
+            self.push_tasks(&job);
+            job.wait();
+            drop(guard); // all queued tasks completed — trivially satisfied
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(task, slot)| {
+                // Hard invariant in every build profile: a task whose slot
+                // is still empty was lost, and a dropped morsel would
+                // silently lose tuples.
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        panic!("worker pool lost task {task} of {tasks}: no result delivered")
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("task-queue worker panicked"))
-                .collect()
-        });
-        collected.sort_unstable_by_key(|(task, _)| *task);
-        debug_assert_eq!(collected.len(), tasks);
-        collected.into_iter().map(|(_, result)| result).collect()
+            })
+            .collect()
+    }
+}
+
+/// A lazily-spawned [`WorkerPool`] of a fixed configured size.
+///
+/// The engine owns one of these per instance: simulator-only engines never
+/// touch it and therefore never spawn a thread, while the first native
+/// execution materialises the full pool exactly once.  Dropping the holder
+/// joins the workers if they were ever spawned.
+pub struct SharedWorkerPool {
+    size: usize,
+    cell: std::sync::OnceLock<WorkerPool>,
+}
+
+impl std::fmt::Debug for SharedWorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedWorkerPool")
+            .field("size", &self.size)
+            .field("spawned", &self.cell.get().is_some())
+            .finish()
+    }
+}
+
+impl SharedWorkerPool {
+    /// A holder that will spawn `size` workers (at least one) on first use.
+    pub fn new(size: usize) -> Self {
+        SharedWorkerPool {
+            size: size.max(1),
+            cell: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The worker count the pool is (or will be) provisioned with.
+    pub fn configured_workers(&self) -> usize {
+        self.size
+    }
+
+    /// The pool, spawning its workers on the first call.
+    pub fn get(&self) -> &WorkerPool {
+        self.cell.get_or_init(|| WorkerPool::new(self.size))
+    }
+
+    /// The pool if its workers were ever spawned.
+    pub fn spawned(&self) -> Option<&WorkerPool> {
+        self.cell.get()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Signals shutdown and joins every worker: an engine drop leaks no
+    /// threads.  All jobs have necessarily completed (each `run` call holds
+    /// a borrow of the pool until its job is done), so the deques are empty.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(lock_unpoisoned(&self.shared.park));
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -299,9 +685,11 @@ mod tests {
     }
 
     #[test]
-    fn task_queue_dispatches_every_task_exactly_once() {
+    fn worker_pool_dispatches_every_task_exactly_once() {
+        let pool = WorkerPool::new(7);
+        assert_eq!(pool.workers(), 7);
         let seen: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
-        let results = TaskQueue::run(1000, 7, |_, task| {
+        let results = pool.run(1000, |_, task| {
             seen[task].fetch_add(1, Ordering::SeqCst);
             task * 2
         });
@@ -309,31 +697,147 @@ mod tests {
         // Results come back in task order regardless of which worker ran what.
         assert_eq!(results.len(), 1000);
         assert!(results.iter().enumerate().all(|(i, &r)| r == i * 2));
+        // Every executed task is accounted to exactly one worker counter.
+        assert_eq!(pool.tasks_executed().iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn pool_workers_are_reused_across_jobs_not_respawned() {
+        let pool = WorkerPool::new(3);
+        for round in 0..10 {
+            let results = pool.run(50, |_, task| task + round);
+            assert_eq!(results.len(), 50);
+        }
+        // The same three threads served all ten jobs.
+        assert_eq!(pool.live_workers(), 3);
+        assert_eq!(pool.tasks_executed().iter().sum::<u64>(), 500);
     }
 
     #[test]
     fn idle_workers_steal_from_busy_ones() {
-        // One worker sleeps on its first task; the others must steal its
-        // remaining tasks for the run to finish quickly.
-        let ran_by: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(usize::MAX)).collect();
-        TaskQueue::run(64, 4, |worker, task| {
-            if worker == 0 && task == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(50));
+        // Deterministic rendezvous instead of a wall-clock sleep: one of the
+        // two workers is pinned inside a gated job for the whole duration of
+        // a second 64-task job.  That job's blocks land on *both* deques, so
+        // the free worker can only finish it by stealing the pinned worker's
+        // block from the back — the run would deadlock without stealing, and
+        // no assertion depends on timing.
+        const TASKS: usize = 64;
+        let pool = WorkerPool::new(2);
+        let gate = (Mutex::new(false), Condvar::new());
+        let started = (Mutex::new(false), Condvar::new());
+        let pinned_worker = AtomicUsize::new(usize::MAX);
+        let ran_by: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(usize::MAX)).collect();
+
+        std::thread::scope(|scope| {
+            let (pool, gate, started, pinned_worker) = (&pool, &gate, &started, &pinned_worker);
+            scope.spawn(move || {
+                pool.run(1, |worker, _| {
+                    pinned_worker.store(worker, Ordering::SeqCst);
+                    *lock_unpoisoned(&started.0) = true;
+                    started.1.notify_all();
+                    let mut open = lock_unpoisoned(&gate.0);
+                    while !*open {
+                        open = wait_unpoisoned(&gate.1, open);
+                    }
+                });
+            });
+            // Only submit the stealable job once a worker is provably pinned.
+            let mut is_started = lock_unpoisoned(&started.0);
+            while !*is_started {
+                is_started = wait_unpoisoned(&started.1, is_started);
             }
-            ran_by[task].store(worker, Ordering::SeqCst);
+            drop(is_started);
+
+            pool.run(TASKS, |worker, task| {
+                ran_by[task].store(worker, Ordering::SeqCst);
+            });
+            // The 64-task job completed while one worker was still pinned.
+            *lock_unpoisoned(&gate.0) = true;
+            gate.1.notify_all();
         });
-        let stolen = ran_by[1..16] // worker 0's initial block, minus its first task
-            .iter()
-            .filter(|w| w.load(Ordering::SeqCst) != 0)
-            .count();
-        assert!(stolen > 0, "no tasks were stolen from the sleeping worker");
+
+        let pinned = pinned_worker.load(Ordering::SeqCst);
+        let free = 1 - pinned;
+        assert!(
+            ran_by.iter().all(|w| w.load(Ordering::SeqCst) == free),
+            "every task — including the block queued on the pinned worker's \
+             deque — must have been run (stolen) by the free worker"
+        );
     }
 
     #[test]
-    fn task_queue_handles_more_workers_than_tasks() {
-        let results = TaskQueue::run(3, 16, |_, task| task);
+    fn worker_pool_handles_more_workers_than_tasks() {
+        let pool = WorkerPool::new(16);
+        let results = pool.run(3, |_, task| task);
         assert_eq!(results, vec![0, 1, 2]);
-        let empty: Vec<usize> = TaskQueue::run(0, 4, |_, task| task);
+        let empty: Vec<usize> = pool.run(0, |_, task| task);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn concurrent_jobs_interleave_in_one_pool() {
+        // Several submitter threads share the pool; each job's results stay
+        // correct and in task order even though morsels from all jobs mix in
+        // the same deques.
+        let pool = WorkerPool::new(4);
+        std::thread::scope(|scope| {
+            for job in 0..6usize {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let results = pool.run(200, move |_, task| job * 1000 + task);
+                    assert!(results
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &r)| r == job * 1000 + i));
+                });
+            }
+        });
+        assert_eq!(pool.tasks_executed().iter().sum::<u64>(), 1200);
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_every_worker() {
+        let pool = WorkerPool::new(5);
+        let gauge = pool.live_worker_gauge();
+        assert_eq!(gauge.load(Ordering::Acquire), 5);
+        pool.run(32, |_, task| task); // a pool that has actually worked
+        drop(pool);
+        assert_eq!(
+            gauge.load(Ordering::Acquire),
+            0,
+            "drop must join every worker thread, not leak them"
+        );
+    }
+
+    #[test]
+    fn a_panicking_task_propagates_but_leaves_the_pool_usable() {
+        let pool = WorkerPool::new(3);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(20, |_, task| {
+                if task == 7 {
+                    panic!("injected task panic");
+                }
+                task
+            })
+        }));
+        assert!(unwound.is_err(), "the task panic must reach the submitter");
+        // Every worker survived and the next job runs normally.
+        assert_eq!(pool.live_workers(), 3);
+        let results = pool.run(10, |_, task| task * 3);
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * 3));
+    }
+
+    #[test]
+    fn poisoned_locks_are_recovered_not_propagated() {
+        let poisoned: std::sync::Arc<Mutex<u32>> = std::sync::Arc::new(Mutex::new(7));
+        let clone = std::sync::Arc::clone(&poisoned);
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(poisoned.is_poisoned());
+        // The engine's locking discipline shrugs the poison off.
+        assert_eq!(*lock_unpoisoned(&poisoned), 7);
     }
 }

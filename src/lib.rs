@@ -15,8 +15,9 @@
 //!   pointer vs per-work-group blocks);
 //! * [`hj_core`] — the paper's contribution as a four-layer stack: schemes
 //!   (SHJ/PHJ × OL/DD/PL/BasicUnit) over a morsel-driven step pipeline
-//!   ([`hj_core::pipeline`]), scheduled by a work-stealing task queue (real
-//!   threads) or per-device event clocks (simulation), served by a
+//!   ([`hj_core::pipeline`]), scheduled by a persistent work-stealing
+//!   worker pool ([`hj_core::WorkerPool`], real threads spawned once per
+//!   engine) or per-device event clocks (simulation), served by a
 //!   concurrent multi-session [`JoinEngine`](hj_core::JoinEngine) with
 //!   pluggable execution backends;
 //! * [`costmodel`] — the abstract cost model, calibration, ratio optimiser
@@ -70,7 +71,7 @@ pub mod prelude {
     pub use hj_core::{
         reference_match_count, Algorithm, CoupledSim, DiscreteSim, EngineConfig, EngineStats,
         ExecBackend, HashTableMode, JoinConfig, JoinEngine, JoinError, JoinOutcome, JoinRequest,
-        Morsel, NativeCpu, Ratios, Scheme, SessionStats, StepGranularity, TaskQueue,
+        Morsel, NativeCpu, Ratios, Scheme, SessionStats, StepGranularity, WorkerPool,
     };
     #[allow(deprecated)]
     pub use hj_core::{run_join, run_out_of_core_join};
