@@ -1,0 +1,225 @@
+//! Re-solving the ratio optimisation at runtime.
+//!
+//! Given per-step, per-device unit costs (ns per tuple) this module picks
+//! the per-step CPU ratios minimising the series' elapsed time under the
+//! paper's pipelined-execution composition (Eqs. 1, 2, 4, 5) — the same
+//! optimisation the offline `costmodel` crate performs, re-implemented here
+//! on plain `f64` nanoseconds so the adaptive layer stays below `hj-core`
+//! in the dependency graph.  `hj-core`'s test suite cross-checks this
+//! composition against its own `compose_pipeline`.
+//!
+//! Elapsed time is linear in the item count for fixed ratios, so the solver
+//! works per tuple: `cpu_unit_ns[i] · r_i` vs `gpu_unit_ns[i] · (1 − r_i)`.
+
+/// Elapsed time per tuple of one step series under pipelined co-processing:
+/// each device's total is the sum of its step times plus the pipeline
+/// delays charged when consecutive steps shift work between the devices,
+/// and the series costs the slower device (Eqs. 1, 2, 4, 5).
+///
+/// `cpu_ns[i]` / `gpu_ns[i]` are the devices' *unit* costs of step `i`;
+/// `ratios[i]` is the CPU share.  All three slices must have equal length.
+pub fn pipeline_elapsed_ns(cpu_ns: &[f64], gpu_ns: &[f64], ratios: &[f64]) -> f64 {
+    assert_eq!(cpu_ns.len(), gpu_ns.len(), "per-device step counts differ");
+    assert_eq!(cpu_ns.len(), ratios.len(), "ratio count differs");
+    let n = ratios.len();
+    let step_time = |i: usize| {
+        let r = ratios[i].clamp(0.0, 1.0);
+        (cpu_ns[i] * r, gpu_ns[i] * (1.0 - r))
+    };
+
+    let mut cpu_total = 0.0f64;
+    let mut gpu_total = 0.0f64;
+    for i in 0..n {
+        let (t_cpu, t_gpu) = step_time(i);
+        let mut d_cpu = 0.0;
+        let mut d_gpu = 0.0;
+        if i > 0 {
+            let r_i = ratios[i].clamp(0.0, 1.0);
+            let r_prev = ratios[i - 1].clamp(0.0, 1.0);
+            let (_, t_gpu_prev) = step_time(i - 1);
+            if r_i > r_prev + 1e-12 {
+                // Eq. 4: the CPU takes on more work than in the previous
+                // step and may stall on GPU output of step i-1.
+                let frac = if (1.0 - r_prev) > 1e-12 {
+                    (1.0 - r_i) / (1.0 - r_prev)
+                } else {
+                    0.0
+                };
+                let gpu_pipelined_end = (gpu_total - t_gpu_prev * frac).max(0.0);
+                d_cpu = (gpu_pipelined_end - (cpu_total + t_cpu)).max(0.0);
+            } else if r_i + 1e-12 < r_prev {
+                // Eq. 5: the GPU takes on more work and may stall on CPU
+                // output of step i-1.
+                let frac = if (1.0 - r_i) > 1e-12 {
+                    (1.0 - r_prev) / (1.0 - r_i)
+                } else {
+                    0.0
+                };
+                let gpu_after_step = gpu_total + t_gpu;
+                d_gpu = (cpu_total - (gpu_after_step - t_gpu * frac).max(0.0)).max(0.0);
+            }
+        }
+        cpu_total += t_cpu + d_cpu;
+        gpu_total += t_gpu + d_gpu;
+    }
+    cpu_total.max(gpu_total)
+}
+
+/// Chooses per-step CPU ratios minimising [`pipeline_elapsed_ns`]: a coarse
+/// full grid seeds per-step coordinate descent at granularity `delta` —
+/// the same scheme as the offline optimiser, cheap enough to run at every
+/// re-plan point.
+pub fn solve_ratios(cpu_ns: &[f64], gpu_ns: &[f64], delta: f64) -> Vec<f64> {
+    assert_eq!(cpu_ns.len(), gpu_ns.len(), "per-device step counts differ");
+    let n = cpu_ns.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let delta = if delta.is_finite() {
+        delta.clamp(1e-3, 0.5)
+    } else {
+        0.02
+    };
+
+    // Coarse grid: 5 levels per step (5^4 = 625 evaluations at most).
+    let coarse = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut best = vec![0.0; n];
+    let mut best_time = f64::MAX;
+    let mut odometer = vec![0usize; n];
+    'grid: loop {
+        let candidate: Vec<f64> = odometer.iter().map(|&i| coarse[i]).collect();
+        let t = pipeline_elapsed_ns(cpu_ns, gpu_ns, &candidate);
+        if t < best_time {
+            best_time = t;
+            best = candidate;
+        }
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                break 'grid;
+            }
+            odometer[pos] += 1;
+            if odometer[pos] < coarse.len() {
+                break;
+            }
+            odometer[pos] = 0;
+            pos += 1;
+        }
+    }
+
+    // Per-step coordinate descent at the fine δ.
+    let mut levels = Vec::new();
+    let mut x = 0.0f64;
+    while x < 1.0 + 1e-9 {
+        levels.push(x.min(1.0));
+        x += delta;
+    }
+    if (levels.last().copied().unwrap_or(0.0) - 1.0).abs() > 1e-9 {
+        levels.push(1.0);
+    }
+    for _round in 0..4 {
+        let mut improved = false;
+        for step in 0..n {
+            let mut local = (best[step], best_time);
+            for &candidate in &levels {
+                let mut trial = best.clone();
+                trial[step] = candidate;
+                let t = pipeline_elapsed_ns(cpu_ns, gpu_ns, &trial);
+                if t < local.1 {
+                    local = (candidate, t);
+                }
+            }
+            if local.1 < best_time {
+                best[step] = local.0;
+                best_time = local.1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_device_series_is_a_plain_sum() {
+        let cpu = [10.0, 20.0, 5.0];
+        let gpu = [0.0; 3];
+        assert!((pipeline_elapsed_ns(&cpu, &gpu, &[1.0; 3]) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_ratios_have_no_pipeline_delay() {
+        let cpu = [20.0, 24.0];
+        let gpu = [18.0, 16.0];
+        // r = 0.5 → each device does half of each step, no shifts.
+        let t = pipeline_elapsed_ns(&cpu, &gpu, &[0.5, 0.5]);
+        assert!((t - f64::max(10.0 + 12.0, 9.0 + 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_shift_charges_the_stall() {
+        // Step 1 entirely on the GPU (1000 ns), step 2 entirely on the CPU
+        // (300 ns): the CPU finishes with the GPU's last tuple (Eq. 4).
+        let cpu = [0.0, 300.0];
+        let gpu = [1000.0, 0.0];
+        let t = pipeline_elapsed_ns(&cpu, &gpu, &[0.0, 1.0]);
+        assert!((t - 1000.0).abs() < 1e-6, "elapsed {t}");
+    }
+
+    #[test]
+    fn solver_puts_a_gpu_friendly_step_on_the_gpu() {
+        // Figure-4 shape: the hash step is ~15x faster on the GPU, the
+        // pointer-chasing steps roughly at parity.
+        let cpu = [22.0, 5.0, 10.0, 6.0];
+        let gpu = [1.5, 4.0, 9.0, 5.0];
+        let ratios = solve_ratios(&cpu, &gpu, 0.02);
+        assert!(ratios[0] <= 0.1, "hash step ratio {:?}", ratios);
+        let t = pipeline_elapsed_ns(&cpu, &gpu, &ratios);
+        let cpu_only = pipeline_elapsed_ns(&cpu, &gpu, &[1.0; 4]);
+        let gpu_only = pipeline_elapsed_ns(&cpu, &gpu, &[0.0; 4]);
+        assert!(t <= cpu_only && t <= gpu_only);
+    }
+
+    #[test]
+    fn solver_matches_brute_force_on_a_small_grid() {
+        let cpu = [22.0, 5.0, 10.0, 6.0];
+        let gpu = [1.5, 4.0, 9.0, 5.0];
+        let levels = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let mut brute = f64::MAX;
+        for a in levels {
+            for b in levels {
+                for c in levels {
+                    for d in levels {
+                        brute = brute.min(pipeline_elapsed_ns(&cpu, &gpu, &[a, b, c, d]));
+                    }
+                }
+            }
+        }
+        let solved = pipeline_elapsed_ns(&cpu, &gpu, &solve_ratios(&cpu, &gpu, 0.25));
+        assert!(solved <= brute * 1.001, "solved {solved} vs brute {brute}");
+    }
+
+    #[test]
+    fn empty_series_solves_to_nothing() {
+        assert!(solve_ratios(&[], &[], 0.02).is_empty());
+        assert_eq!(pipeline_elapsed_ns(&[], &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn balanced_costs_split_the_work_evenly_in_time() {
+        // With identical unit costs the optimum is 20 ns/tuple (half the
+        // 40 ns total on each device); many ratio vectors tie, so assert
+        // the achieved time rather than one particular vector.
+        let cpu = [10.0; 4];
+        let gpu = [10.0; 4];
+        let ratios = solve_ratios(&cpu, &gpu, 0.02);
+        let t = pipeline_elapsed_ns(&cpu, &gpu, &ratios);
+        assert!((t - 20.0).abs() < 0.5, "elapsed {t} with {ratios:?}");
+    }
+}

@@ -207,6 +207,18 @@ impl CostRecorder {
         }
     }
 
+    /// The cost accumulated so far, with the current partial wavefront
+    /// flushed as if the kernel ended here.  The recorder itself keeps
+    /// recording (and keeps packing the open wavefront), so successive
+    /// snapshots let an observer compute incremental costs — the adaptive
+    /// tuner's telemetry — without splitting the kernel into many small
+    /// launches whose partial wavefronts would inflate the lock-step cost.
+    pub fn snapshot(&self) -> StepCost {
+        let mut copy = self.clone();
+        copy.flush_wave();
+        copy.cost
+    }
+
     /// Finalises the recorder into a [`StepCost`].
     pub fn finish(mut self) -> StepCost {
         self.flush_wave();

@@ -200,6 +200,24 @@ impl ExpContext {
     }
 }
 
+/// Reads a CI gate floor from environment variable `name`: a finite,
+/// non-negative ratio, or `None` when unset.
+///
+/// Malformed values are a hard error rather than a silent fallback: these
+/// knobs drive CI regression gates, and a typo that quietly disabled one
+/// would neutralise the gate with exit code 0.
+pub fn env_ratio_floor(name: &str) -> Option<f64> {
+    let raw = std::env::var(name).ok()?;
+    let floor: f64 = raw
+        .parse()
+        .unwrap_or_else(|_| panic!("{name}: {raw:?} is not a number"));
+    assert!(
+        floor.is_finite() && floor >= 0.0,
+        "{name}: {floor} must be a finite, non-negative ratio"
+    );
+    Some(floor)
+}
+
 /// Prints a section header for an experiment.
 pub fn banner(title: &str) {
     println!();

@@ -19,6 +19,7 @@
 //! | `fig19` | Figure 19 (out-of-core joins) | [`breakdown`] |
 //! | `fig20` | Figure 20 (latch micro-benchmark) | [`micro`] |
 //! | `throughput` | joins/sec under concurrent clients (not in the paper) | [`throughput`] |
+//! | `adaptive` | runtime tuner recovering from a bad prior (not in the paper) | [`adaptive`] |
 //!
 //! The global `HJ_SCALE` environment variable divides every cardinality
 //! (default 32, i.e. 512 K instead of 16 M tuples) so the whole suite runs in
@@ -27,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod breakdown;
 pub mod common;
 pub mod endtoend;
@@ -150,6 +152,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "throughput",
             description: "BENCH_throughput: joins/sec of one shared engine at 1/4/8 clients",
             run: throughput::throughput,
+        },
+        Experiment {
+            name: "adaptive",
+            description: "BENCH_adaptive: runtime tuner recovery from a mis-calibrated prior",
+            run: adaptive::adaptive,
         },
     ]
 }

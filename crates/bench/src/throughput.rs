@@ -81,15 +81,7 @@ fn client_counts() -> Vec<usize> {
 /// The scaling floor from `HJ_MIN_SCALING`, when set; malformed values are
 /// a hard error for the same reason as [`client_counts`].
 fn min_scaling() -> Option<f64> {
-    let raw = std::env::var("HJ_MIN_SCALING").ok()?;
-    let floor: f64 = raw
-        .parse()
-        .unwrap_or_else(|_| panic!("HJ_MIN_SCALING: {raw:?} is not a number"));
-    assert!(
-        floor.is_finite() && floor >= 0.0,
-        "HJ_MIN_SCALING: {floor} must be a finite, non-negative fraction"
-    );
-    Some(floor)
+    crate::common::env_ratio_floor("HJ_MIN_SCALING")
 }
 
 /// One measured load point.

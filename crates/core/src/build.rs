@@ -70,6 +70,11 @@ pub fn run_build_phase(
     );
     let n = rel.len();
     let separate = target.is_separate();
+    // Separate tables pin every tuple to one device for the whole phase
+    // (table ownership is positional); the adaptive tuner must not shift
+    // ratios mid-phase here, so it is stashed for the duration.  It still
+    // adapts every shared-table phase of the same run.
+    let stashed_tuner = if separate { ctx.tuner.take() } else { None };
     let bucket_bytes = target.bucket_array_bytes() as f64;
     let mut steps = Vec::with_capacity(4);
 
@@ -214,15 +219,16 @@ pub fn run_build_phase(
         },
     ));
 
+    // Record what actually ran: under adaptive tuning the per-step ratios
+    // may have shifted mid-phase.
+    let recorded = crate::phase::recorded_ratios(ctx, &steps, ratios);
+    if let Some(tuner) = stashed_tuner {
+        ctx.tuner = Some(tuner);
+    }
     if let Some(requested) = oom {
         return Err(ctx.arena_error(requested));
     }
-    Ok(PhaseExecution::from_steps(
-        Phase::Build,
-        ratios.clone(),
-        steps,
-        n,
-    ))
+    Ok(PhaseExecution::from_steps(Phase::Build, recorded, steps, n))
 }
 
 fn table_for<'a>(

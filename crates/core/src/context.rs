@@ -66,6 +66,12 @@ pub struct ExecContext<'a> {
     /// Lazily spawned: backends that never ask (the simulators) never cost
     /// a thread.
     workers: Option<&'a SharedWorkerPool>,
+    /// The adaptive runtime tuner, when the request asked for
+    /// [`Tuning::Adaptive`](crate::engine::Tuning): [`crate::phase::run_step`]
+    /// feeds it per-morsel lane timings and takes its re-planned ratios;
+    /// the native backend feeds it wall-clock telemetry.  `None` (the
+    /// default) runs the offline plan unchanged.
+    pub tuner: Option<hj_adaptive::RatioTuner>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -110,6 +116,7 @@ impl<'a> ExecContext<'a> {
             counters: ExecCounters::default(),
             morsel_tuples: crate::pipeline::DEFAULT_MORSEL_TUPLES,
             workers: None,
+            tuner: None,
         }
     }
 
@@ -133,6 +140,19 @@ impl<'a> ExecContext<'a> {
     /// thread).
     pub fn worker_pool(&self) -> Option<&'a WorkerPool> {
         self.workers.map(SharedWorkerPool::get)
+    }
+
+    /// Attaches an adaptive runtime tuner; the step pipeline will feed it
+    /// telemetry and execute its re-planned ratios.
+    pub fn with_tuner(mut self, tuner: hj_adaptive::RatioTuner) -> Self {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// Detaches the tuner (used by the engine to harvest the adaptation
+    /// report after execution).
+    pub fn take_tuner(&mut self) -> Option<hj_adaptive::RatioTuner> {
+        self.tuner.take()
     }
 
     /// Tears the context down, handing the allocator (and its arena) back to

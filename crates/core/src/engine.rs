@@ -54,12 +54,84 @@ use crate::pipeline::{
     lock_unpoisoned, morsel_ranges, wait_unpoisoned, SharedWorkerPool, WorkerPool,
 };
 use crate::result::JoinOutcome;
+use crate::scheme::RatioPlan;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
+use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Tuning policy
+// ---------------------------------------------------------------------------
+
+/// Whether a request runs its offline ratio plan unchanged or closes the
+/// loop with the adaptive runtime tuner (`hj_core::adaptive`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Tuning {
+    /// Execute the scheme's ratios exactly as planned (the default).
+    #[default]
+    Static,
+    /// Collect per-morsel lane telemetry and re-plan the remaining work's
+    /// ratios at step boundaries (and every
+    /// [`AdaptiveConfig::replan_every_morsels`] morsels), seeded by the
+    /// offline plan — see the `hj_core::adaptive` docs.
+    ///
+    /// Adaptivity never changes which tuples are processed or in what
+    /// order, so adaptive and static runs produce identical join results;
+    /// only the device placement (and with it the simulated time) differs.
+    ///
+    /// Requests stay static (no tuner, no report) when there is nothing
+    /// sound to re-plan:
+    /// * schemes without a ratio plan (BasicUnit);
+    /// * explicit single-device schemes ([`Scheme::CpuOnly`],
+    ///   [`Scheme::GpuOnly`], an off-loading placement that puts every step
+    ///   on one device) — those are placement *directives*, and the
+    ///   exploration share would silently turn them into hybrid runs;
+    /// * the discrete (PCI-e) topology — shared-vs-separate table selection
+    ///   and transfer accounting are derived from the static plan, and
+    ///   runtime ratio drift would break those invariants (a shared hash
+    ///   table cannot straddle the bus).
+    Adaptive(AdaptiveConfig),
+}
+
+impl Tuning {
+    /// The default adaptive policy (no prior; EWMA and cadence defaults).
+    pub fn adaptive() -> Self {
+        Tuning::Adaptive(AdaptiveConfig::default())
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        match self {
+            Tuning::Static => Ok(()),
+            Tuning::Adaptive(config) => config.validate().map_err(JoinError::InvalidConfig),
+        }
+    }
+
+    /// Builds the seeded tuner for a request, or `None` when tuning is
+    /// static or the scheme is not adaptable (see [`Tuning::Adaptive`]).
+    fn tuner_for(&self, scheme: &Scheme) -> Option<RatioTuner> {
+        let Tuning::Adaptive(config) = self else {
+            return None;
+        };
+        // An explicit single-device scheme is a placement directive, not an
+        // estimate to improve on: re-planning (whose exploration share
+        // probes the other device) would silently turn "CPU-only" into a
+        // hybrid run.
+        if !scheme.uses_both_devices() {
+            return None;
+        }
+        let plan = RatioPlan::from_scheme(scheme)?;
+        Some(RatioTuner::new(
+            config.clone(),
+            plan.partition.as_slice().to_vec(),
+            plan.build.as_slice().to_vec(),
+            plan.probe.as_slice().to_vec(),
+        ))
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -74,6 +146,7 @@ use std::time::Instant;
 pub struct JoinRequest {
     config: JoinConfig,
     out_of_core: Option<usize>,
+    tuning: Option<Tuning>,
 }
 
 impl JoinRequest {
@@ -93,6 +166,7 @@ impl JoinRequest {
         Ok(JoinRequest {
             config,
             out_of_core: None,
+            tuning: None,
         })
     }
 
@@ -117,6 +191,12 @@ impl JoinRequest {
     /// The out-of-core chunk size, when the out-of-core path was requested.
     pub fn out_of_core_chunk(&self) -> Option<usize> {
         self.out_of_core
+    }
+
+    /// The request's tuning policy, when set explicitly; `None` defers to
+    /// [`EngineConfig::tuning`].
+    pub fn tuning(&self) -> Option<&Tuning> {
+        self.tuning.as_ref()
     }
 
     /// Arena bytes this request needs on `sys` for the given input
@@ -144,6 +224,7 @@ impl JoinRequest {
 pub struct JoinRequestBuilder {
     config: JoinConfig,
     out_of_core: Option<usize>,
+    tuning: Option<Tuning>,
 }
 
 impl Default for JoinRequestBuilder {
@@ -151,6 +232,7 @@ impl Default for JoinRequestBuilder {
         JoinRequestBuilder {
             config: JoinConfig::shj(Scheme::pipelined_paper()),
             out_of_core: None,
+            tuning: None,
         }
     }
 }
@@ -222,6 +304,15 @@ impl JoinRequestBuilder {
         self
     }
 
+    /// Chooses the tuning policy: run the offline plan as-is
+    /// ([`Tuning::Static`]) or close the loop with the adaptive runtime
+    /// tuner ([`Tuning::Adaptive`]).  Unset, the request follows
+    /// [`EngineConfig::tuning`].
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -229,15 +320,20 @@ impl JoinRequestBuilder {
     ///   (or non-finite);
     /// * [`JoinError::InvalidChunkSize`] for a zero BasicUnit or out-of-core
     ///   chunk;
-    /// * [`JoinError::InvalidRadixBits`] for more than 16 radix bits.
+    /// * [`JoinError::InvalidRadixBits`] for more than 16 radix bits;
+    /// * [`JoinError::InvalidConfig`] for degenerate adaptive-tuning knobs.
     pub fn build(self) -> Result<JoinRequest, JoinError> {
         validate_config(&self.config)?;
         if self.out_of_core == Some(0) {
             return Err(JoinError::InvalidChunkSize);
         }
+        if let Some(tuning) = &self.tuning {
+            tuning.validate()?;
+        }
         Ok(JoinRequest {
             config: self.config,
             out_of_core: self.out_of_core,
+            tuning: self.tuning,
         })
     }
 }
@@ -553,6 +649,12 @@ impl Drop for ExecSlot<'_> {
 /// when the request asks for finer morsels.
 pub const NATIVE_MIN_CHUNK_TUPLES: usize = 1024;
 
+/// Per-shard `(key, rid)` buffers one build-scatter task produces, plus the
+/// task's wall-clock nanoseconds (adaptive telemetry).
+type ScatterResult = (Vec<Vec<(u32, u32)>>, f64);
+/// One probe task's match count, collected pairs and wall-clock nanoseconds.
+type ProbeResult = (u64, Vec<(u32, u32)>, f64);
+
 impl NativeCpu {
     /// One worker per available hardware thread.
     pub fn new() -> Self {
@@ -637,18 +739,21 @@ impl ExecBackend for NativeCpu {
         // into its private map — no latches anywhere.
         let build_start = Instant::now();
         let build_morsels = morsel_ranges(build.len(), morsel);
-        let scattered: Vec<Vec<Vec<(u32, u32)>>> = pool.run(build_morsels.len(), |_, task| {
+        // Each task also reports its own wall-clock nanoseconds — the
+        // per-morsel telemetry the adaptive tuner ingests on this backend.
+        let scattered: Vec<ScatterResult> = pool.run(build_morsels.len(), |_, task| {
+            let task_start = Instant::now();
             let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); shard_count];
             for i in build_morsels[task].clone() {
                 let key = build.key(i);
                 buckets[hash_key(key) as usize % shard_count].push((key, build.rid(i)));
             }
-            buckets
+            (buckets, task_start.elapsed().as_nanos() as f64)
         });
         let scattered_ref = &scattered;
         let shards: Vec<HashMap<u32, Vec<u32>>> = pool.run(shard_count, |_, shard| {
             let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
-            for buckets in scattered_ref {
+            for (buckets, _) in scattered_ref {
                 for &(key, rid) in &buckets[shard] {
                     map.entry(key).or_default().push(rid);
                 }
@@ -656,13 +761,19 @@ impl ExecBackend for NativeCpu {
             map
         });
         let build_elapsed = build_start.elapsed();
+        if let Some(tuner) = ctx.tuner.as_mut() {
+            for (range, (_, ns)) in build_morsels.iter().zip(&scattered) {
+                tuner.observe_wall(SeriesKind::Build, range.len(), *ns);
+            }
+        }
 
         // ---- probe: morsels over the read-only shard maps ----
         let collect = request.config().collect_results;
         let probe_start = Instant::now();
         let shards_ref = &shards;
         let probe_morsels = morsel_ranges(probe.len(), morsel);
-        let results: Vec<(u64, Vec<(u32, u32)>)> = pool.run(probe_morsels.len(), |_, task| {
+        let results: Vec<ProbeResult> = pool.run(probe_morsels.len(), |_, task| {
+            let task_start = Instant::now();
             let mut matches = 0u64;
             let mut pairs = Vec::new();
             for i in probe_morsels[task].clone() {
@@ -677,13 +788,18 @@ impl ExecBackend for NativeCpu {
                     }
                 }
             }
-            (matches, pairs)
+            (matches, pairs, task_start.elapsed().as_nanos() as f64)
         });
         let probe_elapsed = probe_start.elapsed();
+        if let Some(tuner) = ctx.tuner.as_mut() {
+            for (range, (_, _, ns)) in probe_morsels.iter().zip(&results) {
+                tuner.observe_wall(SeriesKind::Probe, range.len(), *ns);
+            }
+        }
 
         // Fold per-morsel results in morsel order: deterministic across
         // worker counts and steal patterns.
-        for (matches, pairs) in results {
+        for (matches, pairs, _) in results {
             outcome.matches += matches;
             if collect {
                 outcome.pairs.get_or_insert_with(Vec::new).extend(pairs);
@@ -707,7 +823,7 @@ impl ExecBackend for NativeCpu {
 
 /// Sizing, allocator and concurrency policy of a [`JoinEngine`]'s session
 /// pool.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Largest build relation (tuples) the engine admits.
     pub max_build_tuples: usize,
@@ -733,6 +849,9 @@ pub struct EngineConfig {
     /// available hardware thread, resolved by
     /// [`effective_worker_threads`](Self::effective_worker_threads).
     pub worker_threads: Option<usize>,
+    /// Default tuning policy for requests that do not choose one explicitly
+    /// ([`JoinRequestBuilder::tuning`] overrides per request).
+    pub tuning: Tuning,
 }
 
 impl EngineConfig {
@@ -747,6 +866,7 @@ impl EngineConfig {
             sessions: 1,
             queue_depth: None,
             worker_threads: None,
+            tuning: Tuning::Static,
         }
     }
 
@@ -795,6 +915,13 @@ impl EngineConfig {
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
     }
 
+    /// Sets the engine-wide default tuning policy (requests may still
+    /// choose their own via [`JoinRequestBuilder::tuning`]).
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
     /// The arena capacity this configuration provisions *per session*.
     pub fn arena_bytes(&self) -> usize {
         arena_bytes_for(self.max_build_tuples, self.max_probe_tuples)
@@ -818,6 +945,7 @@ impl EngineConfig {
                 "an engine needs at least one worker thread".to_string(),
             ));
         }
+        self.tuning.validate()?;
         Ok(())
     }
 }
@@ -829,6 +957,9 @@ pub struct SessionStats {
     pub requests_served: u64,
     /// Requests that failed while holding this session.
     pub requests_failed: u64,
+    /// Ratio re-plans the adaptive tuner performed on this session's
+    /// requests.
+    pub replans: u64,
 }
 
 /// Observability counters of one engine (a point-in-time snapshot taken by
@@ -863,6 +994,10 @@ pub struct EngineStats {
     /// lifetime, indexed by worker (all zeros while the lazily-spawned
     /// pool has not executed anything yet).
     pub per_worker_tasks: Vec<u64>,
+    /// Requests that ran with [`Tuning::Adaptive`] (and a tunable scheme).
+    pub adaptive_requests: u64,
+    /// Ratio re-plans the adaptive tuner performed across all requests.
+    pub replans: u64,
     /// Completed joins per wall-clock second since engine construction.
     pub joins_per_sec: f64,
 }
@@ -901,6 +1036,8 @@ struct StatsInner {
     arenas_created: u64,
     in_flight: usize,
     peak_in_flight: usize,
+    adaptive_requests: u64,
+    replans: u64,
     per_session: Vec<SessionStats>,
 }
 
@@ -1049,6 +1186,8 @@ impl JoinEngine {
             sessions: self.config.sessions,
             in_flight: inner.in_flight,
             peak_in_flight: inner.peak_in_flight,
+            adaptive_requests: inner.adaptive_requests,
+            replans: inner.replans,
             per_session: inner.per_session.clone(),
             worker_threads: self.workers.configured_workers(),
             per_worker_tasks: match self.workers.spawned() {
@@ -1198,6 +1337,19 @@ impl JoinEngine {
         // a panicked native worker) must not leak the session, or the pool
         // would shrink and later submissions would hang or be rejected
         // forever.
+        // Adaptive tuning: the request's policy wins, the engine default
+        // applies otherwise.  Non-adaptable schemes (BasicUnit,
+        // single-device placements) and the discrete topology stay static
+        // regardless: on a PCI-e system, shared-vs-separate table selection
+        // and transfer accounting are derived from the static plan, and
+        // runtime ratio drift would put one shared hash table on both sides
+        // of the bus.
+        let tuning = request.tuning().unwrap_or(&self.config.tuning);
+        let tuner = if self.backend.system().is_discrete() {
+            None
+        } else {
+            tuning.tuner_for(&request.config().scheme)
+        };
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut ctx = ExecContext::with_allocator(
                 self.backend.system(),
@@ -1206,11 +1358,15 @@ impl JoinEngine {
             )
             .with_morsel_tuples(request.config().morsel_tuples)
             .with_worker_pool(&self.workers);
+            if let Some(tuner) = tuner {
+                ctx = ctx.with_tuner(tuner);
+            }
             let result = self.backend.execute(&mut ctx, build, probe, request);
             let result = result.map(|mut outcome| {
                 ctx.finalize_counters();
                 outcome.counters = ctx.counters.clone();
                 outcome.counters.matches = outcome.matches;
+                outcome.adaptive = ctx.take_tuner().map(|tuner| tuner.report());
                 outcome
             });
             (result, ctx.into_allocator())
@@ -1218,6 +1374,14 @@ impl JoinEngine {
         match executed {
             Ok((result, allocator)) => {
                 session.allocator = Some(allocator);
+                if let Ok(outcome) = &result {
+                    if let Some(report) = &outcome.adaptive {
+                        let mut stats = lock_unpoisoned(&self.stats);
+                        stats.adaptive_requests += 1;
+                        stats.replans += report.replans;
+                        stats.per_session[session.id].replans += report.replans;
+                    }
+                }
                 self.release_session(session, result.is_ok());
                 result
             }

@@ -51,6 +51,57 @@
 //!   ([`divergence`]), fine vs. coarse step granularity ([`coarse`]) and
 //!   out-of-core execution beyond the zero-copy buffer ([`outofcore`]).
 //!
+//! ## Adaptive tuning
+//!
+//! The cost model that picks the per-step ratios is, by default, *offline*:
+//! calibrated once, trusted for the whole join.  The adaptive runtime
+//! subsystem ([`adaptive`], crate `hj-adaptive`, a layer *below* this crate
+//! that it re-exports) closes the loop:
+//!
+//! * the step pipeline ([`phase::run_step`]) feeds per-morsel-block lane
+//!   timings (virtual time from the simulator's device model) to an
+//!   [`adaptive::RatioTuner`]; [`NativeCpu`] contributes per-morsel
+//!   wall-clock telemetry only — real-thread execution has no CPU/GPU
+//!   lanes for ratios to place, so native runs report but never re-plan;
+//! * EWMA unit-cost estimators (seeded by an optional calibrated prior,
+//!   overridden by evidence) feed a runtime re-solve of the paper's ratio
+//!   optimisation, re-planning the remaining morsels at step boundaries
+//!   and every K morsels;
+//! * lanes the current plan starves get a small exploration share, so a
+//!   mis-calibrated prior cannot lock the tuner out of measuring the
+//!   faster device.
+//!
+//! Adaptivity only moves work between the devices — which tuples are
+//! processed, and in what order, never changes — so adaptive and static
+//! runs produce **identical join results**; only device placement (and
+//! with it simulated/elapsed time) differs.
+//!
+//! **Migrating a static caller:** opt in per request or per engine —
+//!
+//! ```text
+//! // per request:
+//! let request = JoinRequest::builder()
+//!     .scheme(&tuned)                       // the offline plan stays the seed
+//!     .tuning(Tuning::Adaptive(
+//!         AdaptiveConfig::default().with_prior(costs.adaptive_prior())))
+//!     .build()?;
+//! // or engine-wide:
+//! let engine = JoinEngine::coupled(config.with_tuning(Tuning::adaptive()))?;
+//! ```
+//!
+//! Nothing else changes: the same `submit` call returns the same results,
+//! and the outcome's [`JoinOutcome::adaptive`](result::JoinOutcome) report
+//! carries re-plan/sample counts plus initial vs converged ratios per step
+//! series ([`EngineStats::adaptive_requests`] / [`EngineStats::replans`]
+//! aggregate across requests).  Requests silently stay static (no tuner,
+//! no report) when there is nothing sound to re-plan: schemes without a
+//! ratio plan (BasicUnit), explicit single-device placements (CPU-only /
+//! GPU-only / one-device off-loading — directives, not estimates) and the
+//! discrete PCI-e topology (table-mode selection and transfer accounting
+//! derive from the static plan).  A separate-hash-table *build phase*
+//! additionally holds its planned ratios (tuple→table ownership is
+//! positional) while the rest of that run keeps adapting.
+//!
 //! ## Worker pool & sessions
 //!
 //! The engine separates two concurrency axes:
@@ -151,6 +202,8 @@
 
 #![warn(missing_docs)]
 
+pub use hj_adaptive as adaptive;
+
 pub mod build;
 pub mod coarse;
 pub mod config;
@@ -176,7 +229,7 @@ pub use config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 pub use context::{arena_bytes_for, ExecContext, ExecCounters};
 pub use engine::{
     CoupledSim, DiscreteSim, EngineConfig, EngineStats, ExecBackend, JoinEngine, JoinRequest,
-    JoinRequestBuilder, NativeCpu, SessionStats,
+    JoinRequestBuilder, NativeCpu, SessionStats, Tuning,
 };
 pub use error::JoinError;
 pub use executor::execute_join;

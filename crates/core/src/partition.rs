@@ -108,9 +108,10 @@ pub fn run_partition_pass(
     if let Some(requested) = oom {
         return Err(ctx.arena_error(requested));
     }
+    let recorded = crate::phase::recorded_ratios(ctx, &steps, ratios);
     Ok((
         partitions,
-        PhaseExecution::from_steps(Phase::Partition, ratios.clone(), steps, n),
+        PhaseExecution::from_steps(Phase::Partition, recorded, steps, n),
     ))
 }
 

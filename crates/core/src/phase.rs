@@ -17,6 +17,7 @@ use crate::pipeline::split_range;
 use crate::schedule::{compose_pipeline, PipelineTiming, Ratios};
 use crate::steps::StepId;
 use apu_sim::{CostRecorder, DeviceKind, KernelTime, Phase, SimTime, StepCost};
+use hj_adaptive::Lane;
 
 /// Execution record of one step: how many items each device processed, the
 /// measured cost profiles and the resulting simulated kernel times.
@@ -123,6 +124,47 @@ pub fn split_items(items: usize, r: f64) -> (std::ops::Range<usize>, std::ops::R
     (lanes.cpu, lanes.gpu)
 }
 
+/// The per-step CPU ratios a series *actually* executed with, recovered
+/// from the step records (`cpu_items / items` per step); steps that
+/// processed nothing fall back to the planned ratio.
+///
+/// Under static tuning this equals the plan (up to per-morsel rounding);
+/// under [`Tuning::Adaptive`](crate::engine::Tuning) the re-planner may
+/// have shifted ratios mid-phase, and the pipeline-timing composition
+/// should describe what ran, not what was planned.
+pub fn effective_ratios(steps: &[StepExecution], planned: &Ratios) -> Ratios {
+    Ratios::new(
+        steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let total = s.cpu_items + s.gpu_items;
+                if total == 0 {
+                    planned.get(i)
+                } else {
+                    s.cpu_items as f64 / total as f64
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The ratios a phase record should carry: the observed
+/// [`effective_ratios`] when the context runs an adaptive tuner (the
+/// re-planner may have shifted the plan mid-phase), the planned ratios
+/// otherwise — shared by the build/probe/partition runners.
+pub(crate) fn recorded_ratios(
+    ctx: &ExecContext<'_>,
+    steps: &[StepExecution],
+    planned: &Ratios,
+) -> Ratios {
+    if ctx.tuner.is_some() {
+        effective_ratios(steps, planned)
+    } else {
+        planned.clone()
+    }
+}
+
 /// Runs one step over `items` items, splitting them between the devices by
 /// `ratio`, and returns the execution record.
 ///
@@ -148,6 +190,9 @@ pub fn run_step<F>(
 where
     F: FnMut(&mut ExecContext<'_>, usize, DeviceKind, usize, &mut CostRecorder),
 {
+    if ctx.tuner.is_some() {
+        return run_step_adaptive(ctx, step, items, ratio, working_set_bytes, body);
+    }
     // Morsels are enumerated arithmetically (no materialised range list) so
     // a degenerate morsel size on a large relation does not allocate.
     let morsel = ctx.morsel_tuples.max(1);
@@ -191,7 +236,21 @@ where
     let [cpu_rec, gpu_rec] = recorders;
     costs[0] = cpu_rec.finish();
     costs[1] = gpu_rec.finish();
+    seal_step(ctx, step, morsels, totals, costs, working_set_bytes)
+}
 
+/// Shared tail of the static and adaptive step runners: turns the
+/// finalised per-device cost profiles into kernel times, charges the
+/// run-wide counters and builds the [`StepExecution`] record — one place,
+/// so counter accounting cannot drift between the two paths.
+fn seal_step(
+    ctx: &mut ExecContext<'_>,
+    step: StepId,
+    morsels: usize,
+    totals: [usize; 2],
+    costs: [StepCost; 2],
+    working_set_bytes: f64,
+) -> StepExecution {
     let [cpu_cost, gpu_cost] = costs;
     let cpu_mem = ctx.mem_ctx(DeviceKind::Cpu, working_set_bytes);
     let gpu_mem = ctx.mem_ctx(DeviceKind::Gpu, working_set_bytes);
@@ -208,14 +267,148 @@ where
 
     StepExecution {
         step,
-        cpu_items: cpu_total,
-        gpu_items: gpu_total,
+        cpu_items: totals[0],
+        gpu_items: totals[1],
         morsels,
         cpu_cost,
         gpu_cost,
         cpu_time,
         gpu_time,
     }
+}
+
+/// The adaptive variant of [`run_step`]: morsels are processed in blocks of
+/// [`hj_adaptive::AdaptiveConfig::replan_every_morsels`] morsels, each
+/// block's per-lane simulated times are fed to the context's
+/// [`hj_adaptive::RatioTuner`] as telemetry, and every block takes its CPU
+/// ratio from the tuner's *current* plan — so the remaining morsels of a
+/// step are re-planned as evidence accumulates, and the next execution of
+/// the same step kind (the next partition pass, partition pair or
+/// out-of-core chunk) starts from the step-boundary re-plan.
+///
+/// Items are still visited in globally increasing order (each morsel's CPU
+/// lane is its prefix), so the real work — and with it the join result —
+/// is byte-identical to the static path regardless of what the tuner does;
+/// only the simulated device placement changes.
+fn run_step_adaptive<F>(
+    ctx: &mut ExecContext<'_>,
+    step: StepId,
+    items: usize,
+    planned_ratio: f64,
+    working_set_bytes: f64,
+    mut body: F,
+) -> StepExecution
+where
+    F: FnMut(&mut ExecContext<'_>, usize, DeviceKind, usize, &mut CostRecorder),
+{
+    // Take the tuner out for the duration: `body` needs `&mut ctx` while
+    // the tuner is consulted between blocks.
+    let mut tuner = ctx.tuner.take().expect("adaptive path requires a tuner");
+    let (series, step_idx) = step.series_index();
+    let kind = series.adaptive_kind();
+    let morsel = ctx.morsel_tuples.max(1);
+    let morsels = items.div_ceil(morsel);
+    let block = match tuner.replan_every_morsels() {
+        0 => usize::MAX, // step-boundary re-planning only: one block
+        k => k,
+    };
+
+    let cpu_mem = ctx.mem_ctx(DeviceKind::Cpu, working_set_bytes);
+    let gpu_mem = ctx.mem_ctx(DeviceKind::Gpu, working_set_bytes);
+    let mems = [cpu_mem, gpu_mem];
+
+    // One recorder per device for the *whole* step, exactly as in the
+    // static path: wavefronts pack continuously across blocks, so the
+    // telemetry below (deltas of the cumulative kernel time) is free of
+    // the per-launch partial-wavefront quantisation that would otherwise
+    // inflate a shrinking lane's measured unit cost right before its
+    // ratio converges to 0 or 1.
+    let mut recorders = [
+        ctx.recorder_for(DeviceKind::Cpu),
+        ctx.recorder_for(DeviceKind::Gpu),
+    ];
+    let mut totals = [0usize; 2];
+    // Running per-device offsets for work-group assignment, as in the
+    // static path.  The device's final share is unknown while ratios move,
+    // so groups are spread over the step's full item count (an upper
+    // bound): consecutive tuples still land in the same group for long
+    // runs, which is what the block allocator's amortisation needs —
+    // per-lane assignment would smear a few tuples over every group and
+    // pay a fresh block allocation each.
+    let mut offsets = [0usize; 2];
+
+    let mut m = 0usize;
+    while m < morsels {
+        let block_end = m.saturating_add(block).min(morsels);
+        // The ratio the tuner currently plans for this step; `planned_ratio`
+        // seeds the tuner (via the engine), so an untouched tuner runs the
+        // offline plan unchanged.
+        let r = tuner.ratio(kind, step_idx);
+        let mut block_items = [0usize; 2];
+        for mi in m..block_end {
+            let lanes = split_range(mi * morsel..((mi + 1) * morsel).min(items), r);
+            for (slot, lane_kind) in [(0, DeviceKind::Cpu), (1, DeviceKind::Gpu)] {
+                let lane = match lane_kind {
+                    DeviceKind::Cpu => lanes.cpu.clone(),
+                    DeviceKind::Gpu => lanes.gpu.clone(),
+                };
+                if lane.is_empty() {
+                    continue;
+                }
+                let rec = &mut recorders[slot];
+                let before = ctx.alloc_snapshot();
+                let lane_len = lane.len();
+                for (k, i) in lane.clone().enumerate() {
+                    let group = ctx.group_for(lane_kind, offsets[slot] + k, items);
+                    body(ctx, i, lane_kind, group, rec);
+                }
+                let delta = ctx.alloc_snapshot().delta_since(&before);
+                rec.serial_atomic(delta.global_atomics as f64);
+                rec.local_atomic(delta.local_atomics as f64);
+                block_items[slot] += lane_len;
+                offsets[slot] += lane_len;
+            }
+        }
+        // Telemetry: each device's *cumulative* virtual time and item count
+        // for this step (the simulator's event clock is the ground truth on
+        // sim backends).  Observing the running step average — rather than
+        // the block's own delta — keeps the estimate anchored to the same
+        // quantity offline calibration measures: per-tuple work can trend
+        // along the step (grouping sorts tuples by work), and a
+        // recency-weighted estimator fed raw block deltas would converge to
+        // the tail's economics instead of the step's.  The cumulative view
+        // also keeps tiny exploration lanes honest: their wavefronts pack
+        // continuously in the step-wide recorder instead of being quantised
+        // per block.
+        for (slot, lane, lane_kind) in [
+            (0, Lane::Cpu, DeviceKind::Cpu),
+            (1, Lane::Gpu, DeviceKind::Gpu),
+        ] {
+            totals[slot] += block_items[slot];
+            if block_items[slot] == 0 {
+                continue;
+            }
+            let cumulative_ns = ctx
+                .device(lane_kind)
+                .kernel_time(&recorders[slot].snapshot(), &mems[slot])
+                .total()
+                .as_ns();
+            if cumulative_ns > 0.0 {
+                tuner.observe(kind, step_idx, lane, totals[slot], cumulative_ns);
+            }
+        }
+        tuner.morsel_tick(kind, block_end - m);
+        m = block_end;
+    }
+    let [cpu_rec, gpu_rec] = recorders;
+    let costs = [cpu_rec.finish(), gpu_rec.finish()];
+    // Step boundary: re-plan the series for its next execution (the next
+    // pass, pair or chunk) even when the intra-step cadence never fired.
+    tuner.step_boundary(kind);
+    ctx.tuner = Some(tuner);
+
+    let _ = planned_ratio; // the tuner's seeded plan carries the same value
+    seal_step(ctx, step, morsels, totals, costs, working_set_bytes)
 }
 
 #[cfg(test)]

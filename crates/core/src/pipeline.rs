@@ -50,6 +50,16 @@ impl StepSeries {
             StepSeries::Probe => &StepId::PROBE,
         }
     }
+
+    /// The adaptive layer's name for this series (telemetry and re-planned
+    /// ratios are addressed by [`hj_adaptive::SeriesKind`]).
+    pub fn adaptive_kind(self) -> hj_adaptive::SeriesKind {
+        match self {
+            StepSeries::Partition => hj_adaptive::SeriesKind::Partition,
+            StepSeries::Build => hj_adaptive::SeriesKind::Build,
+            StepSeries::Probe => hj_adaptive::SeriesKind::Probe,
+        }
+    }
 }
 
 /// One schedulable unit of work: a contiguous tuple range of one step of a

@@ -174,9 +174,10 @@ pub fn run_probe_phase(
         pairs: if collect_pairs { Some(pairs) } else { None },
     };
     ctx.counters.matches += output.matches;
+    let recorded = crate::phase::recorded_ratios(ctx, &steps, ratios);
     Ok((
         output,
-        PhaseExecution::from_steps(Phase::Probe, ratios.clone(), steps, n),
+        PhaseExecution::from_steps(Phase::Probe, recorded, steps, n),
     ))
 }
 

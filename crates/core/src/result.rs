@@ -39,6 +39,10 @@ pub struct JoinOutcome {
     pub counters: ExecCounters,
     /// Observed per-phase CPU shares when the BasicUnit scheduler was used.
     pub basic_unit_ratios: Option<BasicUnitRatios>,
+    /// How the runtime tuner adapted the workload ratios, when the request
+    /// ran with [`Tuning::Adaptive`](crate::engine::Tuning): re-plan and
+    /// sample counts, and initial vs converged ratios per step series.
+    pub adaptive: Option<hj_adaptive::AdaptiveReport>,
 }
 
 impl JoinOutcome {

@@ -93,6 +93,26 @@ impl StepId {
     pub fn is_hash_step(self) -> bool {
         matches!(self, StepId::N1 | StepId::B1 | StepId::P1)
     }
+
+    /// The step series this step belongs to and its zero-based index within
+    /// the series — the coordinates the adaptive tuner addresses telemetry
+    /// and re-planned ratios by.
+    pub fn series_index(self) -> (crate::pipeline::StepSeries, usize) {
+        use crate::pipeline::StepSeries;
+        match self {
+            StepId::N1 => (StepSeries::Partition, 0),
+            StepId::N2 => (StepSeries::Partition, 1),
+            StepId::N3 => (StepSeries::Partition, 2),
+            StepId::B1 => (StepSeries::Build, 0),
+            StepId::B2 => (StepSeries::Build, 1),
+            StepId::B3 => (StepSeries::Build, 2),
+            StepId::B4 => (StepSeries::Build, 3),
+            StepId::P1 => (StepSeries::Probe, 0),
+            StepId::P2 => (StepSeries::Probe, 1),
+            StepId::P3 => (StepSeries::Probe, 2),
+            StepId::P4 => (StepSeries::Probe, 3),
+        }
+    }
 }
 
 impl std::fmt::Display for StepId {

@@ -72,6 +72,43 @@ impl JoinUnitCosts {
         }
         rows
     }
+
+    /// Extracts these calibrated unit costs as a prior for the adaptive
+    /// runtime tuner: seeding `AdaptiveConfig::with_prior` with this lets
+    /// the very first re-plan solve every step, while execution telemetry
+    /// progressively overrides the seed — the offline model proposes, the
+    /// runtime disposes.
+    pub fn adaptive_prior(&self) -> hj_core::adaptive::JoinPrior {
+        let series = |costs: &SeriesUnitCosts| hj_core::adaptive::SeriesPrior {
+            cpu_ns: costs.cpu_ns.clone(),
+            gpu_ns: costs.gpu_ns.clone(),
+        };
+        hj_core::adaptive::JoinPrior {
+            partition: series(&self.partition),
+            build: series(&self.build),
+            probe: series(&self.probe),
+        }
+    }
+
+    /// A deliberately mis-calibrated copy with the CPU and GPU columns
+    /// swapped — the worst-case wrong prior (it claims the slow device is
+    /// the fast one for every step).  Used by the adaptive benchmark and
+    /// tests to measure how much of the gap to an oracle-tuned run the
+    /// runtime tuner recovers.
+    pub fn swapped_devices(&self) -> JoinUnitCosts {
+        let swap = |costs: &SeriesUnitCosts| {
+            SeriesUnitCosts::new(
+                costs.steps.clone(),
+                costs.gpu_ns.clone(),
+                costs.cpu_ns.clone(),
+            )
+        };
+        JoinUnitCosts {
+            partition: swap(&self.partition),
+            build: swap(&self.build),
+            probe: swap(&self.probe),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +142,52 @@ mod tests {
     #[should_panic]
     fn mismatched_lengths_panic() {
         let _ = SeriesUnitCosts::new(vec![StepId::B1], vec![1.0, 2.0], vec![1.0]);
+    }
+
+    fn sample_costs() -> JoinUnitCosts {
+        JoinUnitCosts {
+            partition: SeriesUnitCosts::new(
+                StepId::PARTITION.to_vec(),
+                vec![20.0, 4.0, 8.0],
+                vec![1.5, 3.0, 7.0],
+            ),
+            build: SeriesUnitCosts::new(
+                StepId::BUILD.to_vec(),
+                vec![22.0, 5.0, 10.0, 6.0],
+                vec![1.5, 4.0, 9.0, 5.0],
+            ),
+            probe: SeriesUnitCosts::new(
+                StepId::PROBE.to_vec(),
+                vec![23.0, 5.0, 9.0, 6.0],
+                vec![1.4, 4.0, 8.5, 5.0],
+            ),
+        }
+    }
+
+    #[test]
+    fn adaptive_prior_mirrors_the_unit_costs() {
+        let costs = sample_costs();
+        let prior = costs.adaptive_prior();
+        assert_eq!(prior.build.cpu_ns, costs.build.cpu_ns);
+        assert_eq!(prior.probe.gpu_ns, costs.probe.gpu_ns);
+        assert_eq!(prior.partition.cpu_ns.len(), 3);
+        // The prior validates against the tuner's shape requirements.
+        assert!(hj_core::adaptive::AdaptiveConfig::default()
+            .with_prior(prior)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn swapped_devices_inverts_every_speedup() {
+        let costs = sample_costs();
+        let bad = costs.swapped_devices();
+        assert_eq!(bad.build.cpu_ns, costs.build.gpu_ns);
+        assert_eq!(bad.build.gpu_ns, costs.build.cpu_ns);
+        // The hash step now (wrongly) looks CPU-friendly.
+        assert!(bad.build.gpu_speedup(0) < 1.0);
+        assert!(costs.build.gpu_speedup(0) > 1.0);
+        // Swapping twice round-trips.
+        assert_eq!(bad.swapped_devices(), costs);
     }
 }

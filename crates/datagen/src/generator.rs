@@ -22,6 +22,18 @@ pub enum KeyDistribution {
         /// The duplicated fraction `s` in `[0, 1]`.
         duplicate_fraction: f64,
     },
+    /// Zipfian probe skew: build keys stay distinct, but matching probe
+    /// tuples draw their key by Zipf *rank* over the build keys
+    /// (`P(rank i) ∝ 1/i^exponent`), so a handful of build keys absorb a
+    /// large share of all probes — far heavier skew than the paper's
+    /// fraction-duplicate presets, and the shape an offline cost model
+    /// calibrated on uniform data genuinely mispredicts (long rid-list
+    /// walks and heavy SIMD divergence in `p3`/`p4`).
+    Zipf {
+        /// The Zipf exponent (≥ 0; 0 degenerates to uniform; ~1 is the
+        /// classic heavy-tail web/workload shape).
+        exponent: f64,
+    },
 }
 
 impl KeyDistribution {
@@ -39,10 +51,22 @@ impl KeyDistribution {
         }
     }
 
-    /// The duplicated fraction (0 for uniform).
+    /// Zipfian probe skew with the given exponent (clamped to ≥ 0).
+    pub fn zipf(exponent: f64) -> Self {
+        KeyDistribution::Zipf {
+            exponent: if exponent.is_finite() {
+                exponent.max(0.0)
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// The duplicated fraction (0 for uniform and Zipf — Zipf skews the
+    /// *probe* draws, not the build keys).
     pub fn duplicate_fraction(&self) -> f64 {
         match self {
-            KeyDistribution::Uniform => 0.0,
+            KeyDistribution::Uniform | KeyDistribution::Zipf { .. } => 0.0,
             KeyDistribution::Skewed { duplicate_fraction } => *duplicate_fraction,
         }
     }
@@ -58,7 +82,35 @@ impl KeyDistribution {
                     "high-skew"
                 }
             }
+            KeyDistribution::Zipf { .. } => "zipf",
         }
+    }
+}
+
+/// Inverse-CDF sampler over Zipf ranks `0..n` (`P(i) ∝ 1/(i+1)^exponent`):
+/// one O(n) cumulative-weight table, then O(log n) per draw — exact and
+/// deterministic under [`SmallRng`].
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let total = self.cumulative.last().copied().unwrap_or(0.0);
+        let u = rng.random_unit() * total;
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len().saturating_sub(1))
     }
 }
 
@@ -171,10 +223,22 @@ fn generate_build(cfg: &DataGenConfig, rng: &mut SmallRng) -> Relation {
 fn generate_probe(cfg: &DataGenConfig, build_keys: &[u32], rng: &mut SmallRng) -> Relation {
     let n = cfg.probe_tuples;
     let matching = ((n as f64) * cfg.selectivity).round() as usize;
+    let zipf = match cfg.distribution {
+        KeyDistribution::Zipf { exponent } if !build_keys.is_empty() => {
+            Some(ZipfSampler::new(build_keys.len(), exponent))
+        }
+        _ => None,
+    };
     let mut keys = Vec::with_capacity(n);
     for i in 0..n {
         if i < matching && !build_keys.is_empty() {
-            keys.push(build_keys[rng.random_index(build_keys.len())]);
+            let pick = match &zipf {
+                // Zipf rank over the (shuffled) build keys: rank 0 is the
+                // hottest key of the probe stream.
+                Some(sampler) => sampler.sample(rng),
+                None => rng.random_index(build_keys.len()),
+            };
+            keys.push(build_keys[pick]);
         } else {
             // Keys guaranteed not to collide with any build key.
             keys.push(NON_MATCHING_OFFSET + rng.random_u32_below(1 << 29));
@@ -274,7 +338,84 @@ mod tests {
         assert_eq!(KeyDistribution::Uniform.label(), "uniform");
         assert_eq!(KeyDistribution::low_skew().label(), "low-skew");
         assert_eq!(KeyDistribution::high_skew().label(), "high-skew");
+        assert_eq!(KeyDistribution::zipf(1.2).label(), "zipf");
         assert_eq!(KeyDistribution::Uniform.duplicate_fraction(), 0.0);
+        assert_eq!(KeyDistribution::zipf(1.2).duplicate_fraction(), 0.0);
+        // Degenerate exponents are tamed instead of poisoning the sampler.
+        assert_eq!(
+            KeyDistribution::zipf(-3.0),
+            KeyDistribution::Zipf { exponent: 0.0 }
+        );
+        assert_eq!(
+            KeyDistribution::zipf(f64::NAN),
+            KeyDistribution::Zipf { exponent: 1.0 }
+        );
+    }
+
+    /// Per-key probe frequencies sorted descending.
+    fn probe_frequencies(r: &Relation, s: &Relation) -> Vec<usize> {
+        let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let build: HashSet<_> = r.keys().iter().collect();
+        for k in s.keys() {
+            if build.contains(k) {
+                *counts.entry(*k).or_insert(0) += 1;
+            }
+        }
+        let mut freqs: Vec<usize> = counts.into_values().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        freqs
+    }
+
+    #[test]
+    fn zipf_probe_is_heavily_skewed_and_build_stays_distinct() {
+        let n = 20_000;
+        let cfg = cfg(n).with_distribution(KeyDistribution::zipf(1.2));
+        let (r, s) = generate_pair(&cfg);
+        // Build side: still one distinct key per tuple.
+        let distinct: HashSet<_> = r.keys().iter().collect();
+        assert_eq!(distinct.len(), r.len());
+        // Probe side: the hottest key takes a double-digit share (a uniform
+        // draw would give each key ~1/n = 0.005 %), and frequency decays
+        // down the ranks.
+        let freqs = probe_frequencies(&r, &s);
+        let top_share = freqs[0] as f64 / n as f64;
+        assert!(
+            top_share > 0.10,
+            "hottest key covers only {:.3} of the probe stream",
+            top_share
+        );
+        assert!(freqs[0] > freqs[freqs.len() / 2] * 10);
+        // Far fewer distinct keys are touched than under uniform draws.
+        let (_, s_uniform) = generate_pair(&DataGenConfig::small(n, n));
+        assert!(freqs.len() * 2 < probe_frequencies(&r, &s_uniform).len());
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic_and_respects_selectivity() {
+        let cfg = DataGenConfig::small(5000, 10_000)
+            .with_distribution(KeyDistribution::zipf(1.0))
+            .with_selectivity(0.5);
+        let (r1, s1) = generate_pair(&cfg);
+        let (r2, s2) = generate_pair(&cfg);
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        let build: HashSet<_> = r1.keys().iter().collect();
+        let matching = s1.keys().iter().filter(|k| build.contains(k)).count();
+        let frac = matching as f64 / s1.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "matching fraction {frac:.3}");
+        // A different exponent draws a different stream.
+        let (_, s3) = generate_pair(&cfg.clone().with_distribution(KeyDistribution::zipf(0.5)));
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_degenerates_to_uniform_draws() {
+        let n = 10_000;
+        let (r, s) = generate_pair(&cfg(n).with_distribution(KeyDistribution::zipf(0.0)));
+        let freqs = probe_frequencies(&r, &s);
+        // No key should dominate: the hottest key of a uniform draw over
+        // 10 K keys stays far below 1 %.
+        assert!((freqs[0] as f64 / n as f64) < 0.01);
     }
 
     #[test]

@@ -68,10 +68,11 @@ pub mod prelude {
     };
     pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel, TunedScheme};
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
+    pub use hj_core::adaptive::{AdaptiveConfig, AdaptiveReport};
     pub use hj_core::{
         reference_match_count, Algorithm, CoupledSim, DiscreteSim, EngineConfig, EngineStats,
         ExecBackend, HashTableMode, JoinConfig, JoinEngine, JoinError, JoinOutcome, JoinRequest,
-        Morsel, NativeCpu, Ratios, Scheme, SessionStats, StepGranularity, WorkerPool,
+        Morsel, NativeCpu, Ratios, Scheme, SessionStats, StepGranularity, Tuning, WorkerPool,
     };
     #[allow(deprecated)]
     pub use hj_core::{run_join, run_out_of_core_join};
