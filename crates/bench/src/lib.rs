@@ -20,6 +20,7 @@
 //! | `fig20` | Figure 20 (latch micro-benchmark) | [`micro`] |
 //! | `throughput` | joins/sec under concurrent clients (not in the paper) | [`throughput`] |
 //! | `adaptive` | runtime tuner recovering from a bad prior (not in the paper) | [`adaptive`] |
+//! | `spill` | larger-than-memory joins under the memory governor (not in the paper) | [`spill`] |
 //!
 //! The global `HJ_SCALE` environment variable divides every cardinality
 //! (default 32, i.e. 512 K instead of 16 M tuples) so the whole suite runs in
@@ -34,6 +35,7 @@ pub mod common;
 pub mod endtoend;
 pub mod micro;
 pub mod model_eval;
+pub mod spill;
 pub mod throughput;
 pub mod tradeoffs;
 pub mod unitcosts;
@@ -158,6 +160,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "BENCH_adaptive: runtime tuner recovery from a mis-calibrated prior",
             run: adaptive::adaptive,
         },
+        Experiment {
+            name: "spill",
+            description: "BENCH_spill: larger-than-memory joins under the memory governor",
+            run: spill::spill,
+        },
     ]
 }
 
@@ -169,9 +176,28 @@ mod tests {
     fn registry_covers_every_table_and_figure() {
         let names: Vec<_> = registry().iter().map(|e| e.name).collect();
         for expected in [
-            "table1", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
-            "fig11", "fig12", "table3", "fig13", "fig14", "fig15", "fig16", "fig17_18", "fig19",
+            "table1",
+            "fig03",
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table3",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17_18",
+            "fig19",
             "fig20",
+            "throughput",
+            "adaptive",
+            "spill",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

@@ -1,0 +1,342 @@
+//! Larger-than-memory joins under the memory governor (`BENCH_spill`).
+//!
+//! Measures the cost of graceful degradation: one native-backend join is
+//! run unconstrained (everything resident), then under memory budgets of
+//! 0.5x and 0.25x its resident footprint (the broker denies grows, build
+//! partitions spill to run files and are restored or recursed), and
+//! finally as a four-client burst sharing one 0.5x budget (the fair-share
+//! contention case).  Every point verifies the match count against the
+//! reference join, and the experiment asserts that *no* spill temp files
+//! survive — leaked runs are a bug, not a slowdown.
+//!
+//! Emits `BENCH_spill.json` in the working directory and
+//! `results/spill.csv`.
+//!
+//! CI gating knob (environment):
+//!
+//! * `HJ_SPILL_MAX_SLOWDOWN="25"` — fail (exit 1) when the 0.25x-budget
+//!   point runs more than this many times slower than the unconstrained
+//!   baseline.  Spilling is allowed to cost; collapsing by orders of
+//!   magnitude (or deadlocking) is what the gate catches.
+
+use crate::common::{banner, ExpContext};
+use hj_core::spill::{SpillConfig, SpillReport};
+use hj_core::{EngineConfig, JoinEngine, JoinRequest, NativeCpu, Scheme};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measured runs per point (the median is reported) after one warm-up.
+const RUNS: usize = 5;
+
+/// Clients of the contention point.
+const CONTENTION_CLIENTS: usize = 4;
+
+/// One measured configuration.
+struct Point {
+    name: &'static str,
+    budget_bytes: Option<usize>,
+    joins: usize,
+    median_secs: f64,
+    report: SpillReport,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// The slowdown cap from `HJ_SPILL_MAX_SLOWDOWN`, when set; malformed
+/// values are a hard error (a typo must not silently disable a CI gate).
+fn max_slowdown() -> Option<f64> {
+    crate::common::env_ratio_floor("HJ_SPILL_MAX_SLOWDOWN")
+}
+
+/// Asserts an engine's spill hygiene: nothing granted, no run files left.
+fn assert_clean(engine: &JoinEngine, point: &str) {
+    assert_eq!(
+        engine.memory_broker().granted(),
+        0,
+        "{point}: leaked memory grants"
+    );
+    if let Some(dir) = engine.spill_dir() {
+        let leaked: Vec<_> = std::fs::read_dir(dir)
+            .map(|it| it.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert!(
+            leaked.is_empty(),
+            "{point}: {} spill temp files survived the run",
+            leaked.len()
+        );
+    }
+}
+
+/// `spill`: in-memory vs 0.5x/0.25x-budget spilling, plus four clients
+/// contending for one budget.
+pub fn spill(ctx: &mut ExpContext) {
+    banner("BENCH_spill: larger-than-memory joins under the memory governor");
+    let (r, s) = ctx.relations(
+        8 * 1024 * 1024,
+        16 * 1024 * 1024,
+        datagen::KeyDistribution::Uniform,
+        1.0,
+    );
+    let expected = hj_core::reference_match_count(&r, &s);
+    let footprint = (r.len() + s.len()) * datagen::TUPLE_BYTES;
+    println!(
+        "workload: {} x {} tuples (resident footprint {:.1} MiB), median of {RUNS} runs",
+        r.len(),
+        s.len(),
+        footprint as f64 / (1024.0 * 1024.0)
+    );
+
+    let plain = JoinRequest::builder()
+        .scheme(Scheme::pipelined_paper())
+        .build()
+        .expect("valid baseline request");
+    let spilling = JoinRequest::builder()
+        .scheme(Scheme::pipelined_paper())
+        .spill(SpillConfig::default())
+        .build()
+        .expect("valid spill request");
+
+    let mut points: Vec<Point> = Vec::new();
+
+    // --- single-session points: unconstrained, 0.5x, 0.25x ---
+    for (name, factor) in [
+        ("in-memory", None),
+        ("budget-0.5x", Some(0.5)),
+        ("budget-0.25x", Some(0.25)),
+    ] {
+        let budget = factor.map(|f| ((footprint as f64 * f) as usize).max(1));
+        let mut config = EngineConfig::for_tuples(r.len(), s.len());
+        if let Some(budget) = budget {
+            config = config.memory_budget(budget);
+        }
+        let engine =
+            JoinEngine::new(Box::new(NativeCpu::new()), config).expect("valid engine config");
+        let request = if budget.is_some() { &spilling } else { &plain };
+        let mut elapsed = Vec::with_capacity(RUNS);
+        let mut report = SpillReport::default();
+        for run in 0..=RUNS {
+            let start = Instant::now();
+            let out = engine.submit(request, &r, &s).expect("spill point join");
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(out.matches, expected, "{name}: wrong join result");
+            if budget.is_some() {
+                report = out.spill.expect("budgeted points must report");
+                assert!(
+                    report.bytes_spilled > 0,
+                    "{name}: a sub-footprint budget must spill"
+                );
+            } else {
+                assert!(out.spill.is_none(), "{name}: baseline must not spill");
+            }
+            if run > 0 {
+                elapsed.push(secs); // run 0 is warm-up
+            }
+        }
+        assert_clean(&engine, name);
+        points.push(Point {
+            name,
+            budget_bytes: budget,
+            joins: RUNS,
+            median_secs: median(elapsed),
+            report,
+        });
+    }
+
+    // --- contention point: four clients share one 0.5x budget ---
+    {
+        let budget = ((footprint as f64 * 0.5) as usize).max(1);
+        let engine = Arc::new(
+            JoinEngine::new(
+                Box::new(NativeCpu::new()),
+                EngineConfig::for_tuples(r.len(), s.len())
+                    .sessions(CONTENTION_CLIENTS)
+                    .memory_budget(budget),
+            )
+            .expect("valid contention engine"),
+        );
+        let mut elapsed = Vec::with_capacity(RUNS);
+        let mut warm = None;
+        for run in 0..=RUNS {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 0..CONTENTION_CLIENTS {
+                    let engine = Arc::clone(&engine);
+                    let request = spilling.clone();
+                    let (r, s) = (&r, &s);
+                    scope.spawn(move || {
+                        let out = engine.submit(&request, r, s).expect("contended spill join");
+                        assert_eq!(out.matches, expected);
+                    });
+                }
+            });
+            if run == 0 {
+                // Snapshot after the warm-up burst so the reported bytes
+                // cover exactly the `joins` measured below.
+                warm = Some(engine.stats());
+            } else {
+                elapsed.push(start.elapsed().as_secs_f64());
+            }
+        }
+        let stats = engine.stats();
+        let warm = warm.expect("warm-up ran");
+        assert_clean(&engine, "contention-4x");
+        points.push(Point {
+            name: "contention-4x",
+            budget_bytes: Some(budget),
+            joins: CONTENTION_CLIENTS * RUNS,
+            median_secs: median(elapsed),
+            report: SpillReport {
+                bytes_spilled: stats.spill_bytes_written - warm.spill_bytes_written,
+                bytes_restored: stats.spill_bytes_restored - warm.spill_bytes_restored,
+                partitions_spilled: stats.spill_partitions - warm.spill_partitions,
+                ..SpillReport::default()
+            },
+        });
+    }
+
+    // --- report ---
+    let base_secs = points[0].median_secs.max(1e-9);
+    println!(
+        "{:>14} {:>14} {:>12} {:>10} {:>14} {:>14} {:>10}",
+        "point", "budget(B)", "median(s)", "slowdown", "spilled(B)", "restored(B)", "parts"
+    );
+    for p in &points {
+        println!(
+            "{:>14} {:>14} {:>12.4} {:>9.2}x {:>14} {:>14} {:>10}",
+            p.name,
+            p.budget_bytes
+                .map_or_else(|| "unlimited".to_string(), |b| b.to_string()),
+            p.median_secs,
+            p.median_secs / base_secs,
+            p.report.bytes_spilled,
+            p.report.bytes_restored,
+            p.report.partitions_spilled,
+        );
+    }
+
+    let json = render_json(r.len(), s.len(), footprint, &points);
+    let path = "BENCH_spill.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{},{},{},{:.6},{:.3},{},{},{},{},{}",
+                p.name,
+                p.budget_bytes.map_or(0, |b| b),
+                p.joins,
+                p.median_secs,
+                p.median_secs / base_secs,
+                p.report.bytes_spilled,
+                p.report.bytes_restored,
+                p.report.partitions_spilled,
+                p.report.recursion_depth,
+                p.report.fallback_joins,
+            )
+        })
+        .collect();
+    ctx.write_csv(
+        "spill.csv",
+        "point,budget_bytes,joins,median_secs,slowdown,bytes_spilled,bytes_restored,\
+         partitions_spilled,recursion_depth,fallback_joins",
+        &rows,
+    );
+
+    // CI gate: heavy spilling may cost, but must not collapse.
+    if let Some(cap) = max_slowdown() {
+        let quarter = points
+            .iter()
+            .find(|p| p.name == "budget-0.25x")
+            .expect("0.25x point measured");
+        let slowdown = quarter.median_secs / base_secs;
+        println!("gate: budget-0.25x slowdown {slowdown:.2}x vs in-memory (cap {cap}x)");
+        if slowdown > cap {
+            eprintln!(
+                "FAIL: spilling at 0.25x budget is {slowdown:.2}x slower than in-memory \
+                 (HJ_SPILL_MAX_SLOWDOWN={cap})"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn render_json(
+    build_tuples: usize,
+    probe_tuples: usize,
+    footprint: usize,
+    points: &[Point],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"spill\",\n");
+    out.push_str("  \"backend\": \"native-cpu\",\n");
+    out.push_str(&format!("  \"build_tuples\": {build_tuples},\n"));
+    out.push_str(&format!("  \"probe_tuples\": {probe_tuples},\n"));
+    out.push_str(&format!("  \"resident_footprint_bytes\": {footprint},\n"));
+    out.push_str(&format!("  \"runs\": {RUNS},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"point\": \"{}\", \"budget_bytes\": {}, \"joins\": {}, \
+             \"median_secs\": {:.6}, \"bytes_spilled\": {}, \"bytes_restored\": {}, \
+             \"partitions_spilled\": {}, \"recursion_depth\": {}, \"fallback_joins\": {}}}{}\n",
+            p.name,
+            p.budget_bytes.map_or(0, |b| b),
+            p.joins,
+            p.median_secs,
+            p.report.bytes_spilled,
+            p.report.bytes_restored,
+            p.report.partitions_spilled,
+            p.report.recursion_depth,
+            p.report.fallback_joins,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough_to_diff() {
+        let points = vec![
+            Point {
+                name: "in-memory",
+                budget_bytes: None,
+                joins: 5,
+                median_secs: 0.1,
+                report: SpillReport::default(),
+            },
+            Point {
+                name: "budget-0.5x",
+                budget_bytes: Some(1024),
+                joins: 5,
+                median_secs: 0.2,
+                report: SpillReport {
+                    bytes_spilled: 100,
+                    ..SpillReport::default()
+                },
+            },
+        ];
+        let json = render_json(1000, 2000, 24_000, &points);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"point\"").count(), 2);
+        assert!(json.contains("\"budget_bytes\": 0"));
+        assert!(json.contains("\"bytes_spilled\": 100"));
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![5.0]), 5.0);
+    }
+}

@@ -226,7 +226,7 @@ pub fn run_build_phase(
         ctx.tuner = Some(tuner);
     }
     if let Some(requested) = oom {
-        return Err(ctx.arena_error(requested));
+        return Err(ctx.arena_error("build", requested));
     }
     Ok(PhaseExecution::from_steps(Phase::Build, recorded, steps, n))
 }

@@ -100,13 +100,13 @@ fn join_one_pair(
         let Ok((kn, created, visited)) =
             table.find_or_create_key(idx, r_part.key(i), ctx.allocator.as_mut(), 0)
         else {
-            return Err(ctx.arena_error(crate::hashtable::KEY_NODE_BYTES));
+            return Err(ctx.arena_error("coarse join", crate::hashtable::KEY_NODE_BYTES));
         };
         if table
             .insert_rid(kn, r_part.rid(i), ctx.allocator.as_mut(), 0)
             .is_err()
         {
-            return Err(ctx.arena_error(crate::hashtable::RID_NODE_BYTES));
+            return Err(ctx.arena_error("coarse join", crate::hashtable::RID_NODE_BYTES));
         }
         build_rec.item(instr::HASH + instr::VISIT_HEADER + instr::RID_INSERT);
         build_rec.instructions(visited as f64 * instr::KEY_NODE_VISIT);
@@ -137,7 +137,7 @@ fn join_one_pair(
             for build_rid in table.rids_of(kn) {
                 local += 1;
                 if ctx.allocator.alloc(0, 8).is_none() {
-                    return Err(ctx.arena_error(8));
+                    return Err(ctx.arena_error("coarse join", 8));
                 }
                 if let Some(out) = pairs_out.as_deref_mut() {
                     out.push((build_rid, s_part.rid(i)));

@@ -162,12 +162,13 @@ impl<'a> ExecContext<'a> {
     }
 
     /// The [`JoinError::ArenaExhausted`] describing a failed allocation of
-    /// `requested` bytes against this context's arena.
-    pub fn arena_error(&self, requested: usize) -> JoinError {
+    /// `requested` bytes that `phase` made against this context's arena.
+    pub fn arena_error(&self, phase: &'static str, requested: usize) -> JoinError {
         JoinError::ArenaExhausted {
             requested,
             capacity: self.allocator.capacity(),
             used: self.allocator.used(),
+            phase,
         }
     }
 

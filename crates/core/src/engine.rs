@@ -58,6 +58,7 @@ use crate::scheme::RatioPlan;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
 use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
+use hj_spill::{MemoryBroker, SpillConfig, SpillManager};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
@@ -147,6 +148,7 @@ pub struct JoinRequest {
     config: JoinConfig,
     out_of_core: Option<usize>,
     tuning: Option<Tuning>,
+    spill: Option<SpillConfig>,
 }
 
 impl JoinRequest {
@@ -167,6 +169,7 @@ impl JoinRequest {
             config,
             out_of_core: None,
             tuning: None,
+            spill: None,
         })
     }
 
@@ -199,6 +202,23 @@ impl JoinRequest {
         self.tuning.as_ref()
     }
 
+    /// The spill configuration, when the request opted into disk spilling.
+    pub fn spill_config(&self) -> Option<&SpillConfig> {
+        self.spill.as_ref()
+    }
+
+    /// The request the spill path hands to the backend for each partition
+    /// pair: same knobs, but no spill (a pair join must not spill again)
+    /// and no out-of-core chunking (pairs are pre-sized to fit).
+    fn inner_for_spill(&self) -> JoinRequest {
+        JoinRequest {
+            config: self.config.clone(),
+            out_of_core: None,
+            tuning: self.tuning.clone(),
+            spill: None,
+        }
+    }
+
     /// Arena bytes this request needs on `sys` for the given input
     /// cardinalities — the engine's admission test.
     fn required_arena_bytes(
@@ -225,6 +245,7 @@ pub struct JoinRequestBuilder {
     config: JoinConfig,
     out_of_core: Option<usize>,
     tuning: Option<Tuning>,
+    spill: Option<SpillConfig>,
 }
 
 impl Default for JoinRequestBuilder {
@@ -233,6 +254,7 @@ impl Default for JoinRequestBuilder {
             config: JoinConfig::shj(Scheme::pipelined_paper()),
             out_of_core: None,
             tuning: None,
+            spill: None,
         }
     }
 }
@@ -313,6 +335,17 @@ impl JoinRequestBuilder {
         self
     }
 
+    /// Opts the request into the disk-spill path: instead of failing with
+    /// [`JoinError::OversizedInput`] or [`JoinError::ArenaExhausted`], the
+    /// engine runs a dynamic hybrid hash join that evicts build partitions
+    /// to checksummed run files under memory pressure (see
+    /// [`crate::spilljoin`]).  Mutually exclusive with
+    /// [`out_of_core`](Self::out_of_core).
+    pub fn spill(mut self, spill: SpillConfig) -> Self {
+        self.spill = Some(spill);
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -321,7 +354,8 @@ impl JoinRequestBuilder {
     /// * [`JoinError::InvalidChunkSize`] for a zero BasicUnit or out-of-core
     ///   chunk;
     /// * [`JoinError::InvalidRadixBits`] for more than 16 radix bits;
-    /// * [`JoinError::InvalidConfig`] for degenerate adaptive-tuning knobs.
+    /// * [`JoinError::InvalidConfig`] for degenerate adaptive-tuning or
+    ///   spill knobs, or for combining `out_of_core` with `spill`.
     pub fn build(self) -> Result<JoinRequest, JoinError> {
         validate_config(&self.config)?;
         if self.out_of_core == Some(0) {
@@ -330,10 +364,21 @@ impl JoinRequestBuilder {
         if let Some(tuning) = &self.tuning {
             tuning.validate()?;
         }
+        if let Some(spill) = &self.spill {
+            spill.validate().map_err(JoinError::InvalidConfig)?;
+            if self.out_of_core.is_some() {
+                return Err(JoinError::InvalidConfig(
+                    "out_of_core streaming and spill(..) are mutually exclusive: \
+                     pick zero-copy-buffer chunking or broker-governed spilling"
+                        .to_string(),
+                ));
+            }
+        }
         Ok(JoinRequest {
             config: self.config,
             out_of_core: self.out_of_core,
             tuning: self.tuning,
+            spill: self.spill,
         })
     }
 }
@@ -852,6 +897,16 @@ pub struct EngineConfig {
     /// Default tuning policy for requests that do not choose one explicitly
     /// ([`JoinRequestBuilder::tuning`] overrides per request).
     pub tuning: Tuning,
+    /// Engine-wide byte budget for the *spill path's* resident state: the
+    /// heap bytes spilling requests may keep in memory, governed by a
+    /// fair-share [`MemoryBroker`] across all concurrent sessions.  `None`
+    /// (the default) means unlimited — spilling still engages when the
+    /// *arena* cannot hold a request, but never from budget pressure.
+    ///
+    /// Orthogonal to the arena: [`arena_bytes`](Self::arena_bytes) sizes
+    /// the per-session kernel arenas (provisioned up front), while this
+    /// budget caps the partition payload a spilling join keeps resident.
+    pub memory_budget: Option<usize>,
 }
 
 impl EngineConfig {
@@ -867,6 +922,7 @@ impl EngineConfig {
             queue_depth: None,
             worker_threads: None,
             tuning: Tuning::Static,
+            memory_budget: None,
         }
     }
 
@@ -922,6 +978,15 @@ impl EngineConfig {
         self
     }
 
+    /// Caps the resident bytes of all concurrently spilling requests at
+    /// `bytes`, fair-shared by the engine's [`MemoryBroker`]; requests that
+    /// opted into [`JoinRequestBuilder::spill`] degrade to disk instead of
+    /// failing when their share runs out.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// The arena capacity this configuration provisions *per session*.
     pub fn arena_bytes(&self) -> usize {
         arena_bytes_for(self.max_build_tuples, self.max_probe_tuples)
@@ -945,6 +1010,13 @@ impl EngineConfig {
                 "an engine needs at least one worker thread".to_string(),
             ));
         }
+        if self.memory_budget == Some(0) {
+            return Err(JoinError::InvalidConfig(
+                "a zero memory budget cannot admit any resident bytes; \
+                 omit it for an unlimited broker"
+                    .to_string(),
+            ));
+        }
         self.tuning.validate()?;
         Ok(())
     }
@@ -960,6 +1032,10 @@ pub struct SessionStats {
     /// Ratio re-plans the adaptive tuner performed on this session's
     /// requests.
     pub replans: u64,
+    /// Requests on this session that actually spilled bytes to disk.
+    pub spilled_requests: u64,
+    /// Bytes this session's requests spilled to run files.
+    pub spill_bytes_written: u64,
 }
 
 /// Observability counters of one engine (a point-in-time snapshot taken by
@@ -998,6 +1074,18 @@ pub struct EngineStats {
     pub adaptive_requests: u64,
     /// Ratio re-plans the adaptive tuner performed across all requests.
     pub replans: u64,
+    /// Requests that actually spilled bytes to disk (a spill-enabled
+    /// request that stayed fully resident is not counted).
+    pub spilled_requests: u64,
+    /// Bytes written to spill run files across all requests.
+    pub spill_bytes_written: u64,
+    /// Bytes restored (read back) from spill run files across all requests.
+    pub spill_bytes_restored: u64,
+    /// Partitions evicted to disk across all requests and recursion levels.
+    pub spill_partitions: u64,
+    /// Partition pairs that hit the recursion cap and were joined by the
+    /// block nested-loop fallback.
+    pub spill_fallback_joins: u64,
     /// Completed joins per wall-clock second since engine construction.
     pub joins_per_sec: f64,
 }
@@ -1038,6 +1126,11 @@ struct StatsInner {
     peak_in_flight: usize,
     adaptive_requests: u64,
     replans: u64,
+    spilled_requests: u64,
+    spill_bytes_written: u64,
+    spill_bytes_restored: u64,
+    spill_partitions: u64,
+    spill_fallback_joins: u64,
     per_session: Vec<SessionStats>,
 }
 
@@ -1064,6 +1157,14 @@ pub struct JoinEngine {
     /// joined when the engine drops.  Simulator-only engines never spawn
     /// it.
     workers: SharedWorkerPool,
+    /// The engine-wide spill-memory broker (budget from
+    /// [`EngineConfig::memory_budget`], unlimited otherwise); every
+    /// spilling request registers one fair-share session against it.
+    broker: MemoryBroker,
+    /// The engine-wide spill directory, created lazily on the first
+    /// spilling request and removed (with any surviving run files) when
+    /// the engine drops.
+    spill_manager: std::sync::OnceLock<SpillManager>,
     arena_capacity: usize,
     started: Instant,
 }
@@ -1110,6 +1211,11 @@ impl JoinEngine {
                 ..StatsInner::default()
             }),
             workers: SharedWorkerPool::new(config.effective_worker_threads()),
+            broker: match config.memory_budget {
+                Some(budget) => MemoryBroker::new(budget),
+                None => MemoryBroker::unlimited(),
+            },
+            spill_manager: std::sync::OnceLock::new(),
             arena_capacity: capacity,
             started: Instant::now(),
             config,
@@ -1167,6 +1273,32 @@ impl JoinEngine {
         self.workers.get()
     }
 
+    /// The engine-wide spill-memory broker.  With no configured
+    /// [`EngineConfig::memory_budget`] the broker is unlimited and only
+    /// arena pressure can trigger spilling.
+    pub fn memory_broker(&self) -> &MemoryBroker {
+        &self.broker
+    }
+
+    /// The engine's spill directory, when any request has spilled yet.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.spill_manager.get().map(SpillManager::dir)
+    }
+
+    /// The engine-wide spill manager, created on first use.  The first
+    /// spilling request's [`SpillConfig::spill_dir`] decides the location
+    /// for the engine's lifetime.
+    fn spill_manager(&self, spill: &SpillConfig) -> Result<SpillManager, JoinError> {
+        if let Some(manager) = self.spill_manager.get() {
+            return Ok(manager.clone());
+        }
+        let created = SpillManager::create(spill.spill_dir.as_deref())
+            .map_err(|e| JoinError::Spill(format!("cannot create spill directory: {e}")))?;
+        // A concurrent first spill may have won the race; its manager is
+        // kept and the loser's fresh (empty) directory is removed by drop.
+        Ok(self.spill_manager.get_or_init(|| created).clone())
+    }
+
     /// A point-in-time snapshot of the lifetime counters (served/failed
     /// requests, saturation rejections, arena creations, per-session and
     /// per-worker activity, joins per second).
@@ -1188,6 +1320,11 @@ impl JoinEngine {
             peak_in_flight: inner.peak_in_flight,
             adaptive_requests: inner.adaptive_requests,
             replans: inner.replans,
+            spilled_requests: inner.spilled_requests,
+            spill_bytes_written: inner.spill_bytes_written,
+            spill_bytes_restored: inner.spill_bytes_restored,
+            spill_partitions: inner.spill_partitions,
+            spill_fallback_joins: inner.spill_fallback_joins,
             per_session: inner.per_session.clone(),
             worker_threads: self.workers.configured_workers(),
             per_worker_tasks: match self.workers.spawned() {
@@ -1282,6 +1419,60 @@ impl JoinEngine {
         }
     }
 
+    /// Runs a spill-enabled request: plain in-core execution on the fast
+    /// path, degrading to the dynamic hybrid hash join
+    /// ([`crate::spilljoin`]) when the arena cannot hold the request
+    /// (at admission or mid-flight) or its resident footprint exceeds this
+    /// session's fair share of the memory budget.
+    fn execute_with_spill(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        probe: &Relation,
+        request: &JoinRequest,
+        spill: &SpillConfig,
+        required_arena: usize,
+    ) -> Result<JoinOutcome, JoinError> {
+        // Register with the broker before deciding: fair shares reflect how
+        // many spilling sessions are actually in flight, and the grant is
+        // dropped (releasing every byte) on any exit — including unwinds.
+        let grant = self.broker.session();
+        let footprint = (build.len() + probe.len()) * datagen::TUPLE_BYTES;
+        let oversized = required_arena > self.arena_capacity;
+        if !oversized && footprint <= grant.fair_share() {
+            // Fast path: run fully in core; only arena exhaustion falls
+            // through to the spill path (other errors are real failures).
+            match self.backend.execute(ctx, build, probe, request) {
+                Err(JoinError::ArenaExhausted { .. }) => {
+                    // The aborted attempt's arena state *and* counters are
+                    // discarded: the spill path re-produces all of its work,
+                    // so keeping them would double-count intermediate
+                    // tuples, lock overhead and cache statistics.
+                    ctx.allocator.reset();
+                    ctx.counters = crate::context::ExecCounters::default();
+                }
+                other => return other,
+            }
+        }
+        let manager = self.spill_manager(spill)?;
+        let inner = request.inner_for_spill();
+        let backend = self.backend.as_ref();
+        let mut pair_join = |ctx: &mut ExecContext<'_>, b: &Relation, p: &Relation| {
+            backend.execute(ctx, b, p, &inner)
+        };
+        let (mut outcome, report) = crate::spilljoin::execute_spill_join(
+            ctx,
+            build,
+            probe,
+            spill,
+            &grant,
+            &manager,
+            &mut pair_join,
+        )?;
+        outcome.spill = Some(report);
+        Ok(outcome)
+    }
+
     /// Submits one request to the session pool; safe to call from many
     /// threads concurrently on a shared engine.
     ///
@@ -1310,7 +1501,9 @@ impl JoinEngine {
         // queueing for (or occupying) a session.
         let required =
             request.required_arena_bytes(build.len(), probe.len(), self.backend.system());
-        if required > self.arena_capacity {
+        if required > self.arena_capacity && request.spill_config().is_none() {
+            // A spill-enabled request is admitted anyway: the hybrid hash
+            // join sizes its partition pairs to the arena.
             let mut stats = lock_unpoisoned(&self.stats);
             stats.requests_failed += 1;
             return Err(JoinError::OversizedInput {
@@ -1361,7 +1554,12 @@ impl JoinEngine {
             if let Some(tuner) = tuner {
                 ctx = ctx.with_tuner(tuner);
             }
-            let result = self.backend.execute(&mut ctx, build, probe, request);
+            let result = match request.spill_config() {
+                None => self.backend.execute(&mut ctx, build, probe, request),
+                Some(spill) => {
+                    self.execute_with_spill(&mut ctx, build, probe, request, spill, required)
+                }
+            };
             let result = result.map(|mut outcome| {
                 ctx.finalize_counters();
                 outcome.counters = ctx.counters.clone();
@@ -1380,6 +1578,18 @@ impl JoinEngine {
                         stats.adaptive_requests += 1;
                         stats.replans += report.replans;
                         stats.per_session[session.id].replans += report.replans;
+                    }
+                    if let Some(report) = &outcome.spill {
+                        let mut stats = lock_unpoisoned(&self.stats);
+                        stats.spill_bytes_written += report.bytes_spilled;
+                        stats.spill_bytes_restored += report.bytes_restored;
+                        stats.spill_partitions += report.partitions_spilled;
+                        stats.spill_fallback_joins += report.fallback_joins;
+                        stats.per_session[session.id].spill_bytes_written += report.bytes_spilled;
+                        if report.bytes_spilled > 0 {
+                            stats.spilled_requests += 1;
+                            stats.per_session[session.id].spilled_requests += 1;
+                        }
                     }
                 }
                 self.release_session(session, result.is_ok());

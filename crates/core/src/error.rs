@@ -24,6 +24,12 @@ pub enum JoinError {
         capacity: usize,
         /// Bytes already handed out when the request failed.
         used: usize,
+        /// Which execution phase asked for the allocation ("partition",
+        /// "build", "probe", "merge", "coarse join", "out-of-core pair") —
+        /// the difference between "your build side is too big" and "your
+        /// join result is too big", both for operators debugging a hard
+        /// failure and for the spill path deciding what to spill.
+        phase: &'static str,
     },
     /// A workload ratio fell outside `[0, 1]` (or was not finite).
     InvalidRatio {
@@ -84,6 +90,19 @@ pub enum JoinError {
     /// A structurally invalid configuration (mismatched knobs, zero-sized
     /// engine, ...).
     InvalidConfig(String),
+    /// The disk-spill path failed: run-file I/O, a corrupt spill frame, or
+    /// a spill directory that could not be created.
+    ///
+    /// Only surfaces when a request opted into spilling
+    /// ([`JoinRequestBuilder::spill`](crate::engine::JoinRequestBuilder::spill));
+    /// the message carries the underlying [`hj_spill::SpillError`] detail.
+    Spill(String),
+}
+
+impl From<hj_spill::SpillError> for JoinError {
+    fn from(e: hj_spill::SpillError) -> Self {
+        JoinError::Spill(e.to_string())
+    }
 }
 
 impl fmt::Display for JoinError {
@@ -93,9 +112,12 @@ impl fmt::Display for JoinError {
                 requested,
                 capacity,
                 used,
+                phase,
             } => write!(
                 f,
-                "arena exhausted: allocation of {requested} B failed with {used}/{capacity} B used"
+                "arena exhausted in {phase} phase: allocation of {requested} B failed with \
+                 {used}/{capacity} B used ({} B available)",
+                capacity.saturating_sub(*used)
             ),
             JoinError::InvalidRatio {
                 series,
@@ -137,6 +159,7 @@ impl fmt::Display for JoinError {
                  submissions already waiting"
             ),
             JoinError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            JoinError::Spill(reason) => write!(f, "spill path failed: {reason}"),
         }
     }
 }
@@ -153,9 +176,14 @@ mod tests {
             requested: 64,
             capacity: 1024,
             used: 1000,
+            phase: "probe",
         };
         let msg = e.to_string();
         assert!(msg.contains("64") && msg.contains("1024") && msg.contains("1000"));
+        assert!(
+            msg.contains("probe") && msg.contains("24 B available"),
+            "{msg}"
+        );
 
         let e = JoinError::OversizedInput {
             build_tuples: 10,

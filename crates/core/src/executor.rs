@@ -157,7 +157,7 @@ fn merge_tables(
     }
     let before = ctx.alloc_snapshot();
     let Ok(stats) = dst.merge_from(src, ctx.allocator.as_mut(), 0) else {
-        return Err(ctx.arena_error(crate::hashtable::KEY_NODE_BYTES));
+        return Err(ctx.arena_error("merge", crate::hashtable::KEY_NODE_BYTES));
     };
     let delta = ctx.alloc_snapshot().delta_since(&before);
     let mut rec = ctx.recorder_for(DeviceKind::Cpu);

@@ -102,6 +102,42 @@
 //! additionally holds its planned ratios (tuple→table ownership is
 //! positional) while the rest of that run keeps adapting.
 //!
+//! ## Memory budget & spilling
+//!
+//! Admission control and arena sizing reject what does not fit; the spill
+//! subsystem (crate `hj-spill`, re-exported as [`spill`], plus the
+//! [`spilljoin`] executor in this crate) makes those requests *degrade*
+//! instead of fail when they opt in:
+//!
+//! * [`EngineConfig::memory_budget`] installs an engine-wide
+//!   [`spill::MemoryBroker`]: one byte budget, fair-shared across every
+//!   concurrently spilling session through non-blocking grants (denial,
+//!   not waiting — sessions cannot deadlock on memory) with a polled
+//!   reclaim-pressure signal for sessions above their share.
+//! * [`JoinRequestBuilder::spill`](engine::JoinRequestBuilder::spill)
+//!   opts a request into the dynamic hybrid hash join: build partitions
+//!   start resident and are evicted to checksummed run files under
+//!   pressure, probe tuples of spilled partitions are staged to disk,
+//!   resident pairs re-enter the morsel pipeline via the ordinary backend
+//!   entry point (the adaptive tuner keeps working), and spilled pairs
+//!   are restored, recursively re-partitioned (streamed, depth-salted
+//!   hash) or — past [`spill::SpillConfig::max_recursion_depth`] —
+//!   finished by a grant-bounded block nested-loop join.
+//! * The spill path engages on an input too big for the arena (admission
+//!   would reject), on mid-flight [`JoinError::ArenaExhausted`] (which now
+//!   names the phase that asked), or proactively when the resident
+//!   footprint exceeds the session's fair share.  Results are
+//!   byte-identical to the unconstrained in-memory run;
+//!   [`JoinOutcome::spill`](result::JoinOutcome) carries the
+//!   [`spill::SpillReport`] (bytes spilled/restored, partitions, recursion
+//!   depth, wall-clock) and [`EngineStats`] aggregates the counters.
+//!
+//! **Migrating a caller that catches `ArenaExhausted`:** match the new
+//! `phase` field (or `..`), and consider
+//! `JoinRequest::builder().spill(SpillConfig::default())` so the request
+//! completes by spilling instead of failing; `out_of_core(..)` and
+//! `spill(..)` are mutually exclusive.
+//!
 //! ## Worker pool & sessions
 //!
 //! The engine separates two concurrency axes:
@@ -203,6 +239,7 @@
 #![warn(missing_docs)]
 
 pub use hj_adaptive as adaptive;
+pub use hj_spill as spill;
 
 pub mod build;
 pub mod coarse;
@@ -222,6 +259,7 @@ pub mod probe;
 pub mod result;
 pub mod schedule;
 pub mod scheme;
+pub mod spilljoin;
 pub mod steps;
 
 pub use build::{run_build_phase, BuildTarget};
@@ -249,4 +287,5 @@ pub use probe::{run_probe_phase, ProbeOutput};
 pub use result::{reference_match_count, reference_pairs, BasicUnitRatios, JoinOutcome};
 pub use schedule::{compose_pipeline, PipelineTiming, Ratios};
 pub use scheme::RatioPlan;
+pub use spilljoin::execute_spill_join;
 pub use steps::StepId;

@@ -113,7 +113,7 @@ pub fn execute_out_of_core(
         }
         let needed = arena_bytes_for(r_p.len(), s_p.len());
         if needed > ctx.allocator.capacity() {
-            return Err(ctx.arena_error(needed));
+            return Err(ctx.arena_error("out-of-core pair", needed));
         }
         ctx.allocator.reset();
         add_copy(&mut outcome, ctx.sys, (r_p.bytes() + s_p.bytes()) as u64);

@@ -106,7 +106,7 @@ pub fn run_partition_pass(
     ));
 
     if let Some(requested) = oom {
-        return Err(ctx.arena_error(requested));
+        return Err(ctx.arena_error("partition", requested));
     }
     let recorded = crate::phase::recorded_ratios(ctx, &steps, ratios);
     Ok((

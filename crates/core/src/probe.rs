@@ -167,7 +167,7 @@ pub fn run_probe_phase(
     ));
 
     if let Some(requested) = oom {
-        return Err(ctx.arena_error(requested));
+        return Err(ctx.arena_error("probe", requested));
     }
     let output = ProbeOutput {
         matches,

@@ -43,6 +43,15 @@ pub struct JoinOutcome {
     /// ran with [`Tuning::Adaptive`](crate::engine::Tuning): re-plan and
     /// sample counts, and initial vs converged ratios per step series.
     pub adaptive: Option<hj_adaptive::AdaptiveReport>,
+    /// What the disk-spill path did, when the request took it (requested
+    /// via [`JoinRequestBuilder::spill`](crate::engine::JoinRequestBuilder::spill)):
+    /// bytes spilled/restored, partitions evicted, recursion depth and
+    /// spill wall-clock.  `None` when the request ran the plain in-core
+    /// fast path; `Some` whenever the spill executor ran — check
+    /// [`bytes_spilled`](hj_spill::SpillReport::bytes_spilled) to tell
+    /// whether any bytes actually hit disk (pressure can subside before
+    /// anything spills).
+    pub spill: Option<hj_spill::SpillReport>,
 }
 
 impl JoinOutcome {

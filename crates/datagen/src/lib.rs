@@ -19,10 +19,14 @@ pub mod generator;
 pub mod relation;
 pub mod rng;
 pub mod stats;
+pub mod tablefile;
 pub mod workload;
 
 pub use generator::{generate_pair, DataGenConfig, KeyDistribution};
 pub use relation::{Relation, TUPLE_BYTES};
 pub use rng::SmallRng;
 pub use stats::RelationStats;
+pub use tablefile::{
+    generate_build_table, generate_probe_table, FileTableSpec, TableFileReader, TableFileWriter,
+};
 pub use workload::{Workload, WorkloadPreset};

@@ -1,0 +1,361 @@
+//! The memory broker: one engine-wide byte budget, per-session grants.
+//!
+//! The broker is the admission layer *below* the arena: it governs the heap
+//! bytes a spilling join keeps resident (its memory-resident build/probe
+//! partitions), so that concurrent sessions degrade each other gracefully
+//! instead of one oversized request starving the rest.
+//!
+//! Three properties drive the design:
+//!
+//! * **Non-blocking.**  [`MemoryGrant::try_grow`] never waits: it either
+//!   books the bytes or returns a [`GrantDenied`] telling the caller how
+//!   much is left.  A denied session spills to disk and carries on, so
+//!   sessions can never deadlock on each other's memory.
+//! * **Fair-share reclaim.**  A denial marks the denying session *starved*,
+//!   which raises pressure on every session holding more than its fair
+//!   share (`budget / active sessions`).  Those sessions observe the
+//!   pressure through [`MemoryGrant::reclaim_request`] — the polled
+//!   equivalent of a reclaim callback, checked between build morsels — and
+//!   evict victim partitions until they are back under their share.
+//! * **Unwind-safe.**  Dropping a [`MemoryGrant`] (normally, or while a
+//!   panic unwinds through the spilling join) releases every byte it held
+//!   and clears its starvation mark; the broker's mutex recovers from
+//!   poisoning, so one crashed session cannot brick the budget.
+
+use crate::lock_unpoisoned;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Why a grant could not grow: the budget arithmetic behind a denial, so
+/// the caller can size its eviction (and operators can diagnose pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantDenied {
+    /// Bytes the session asked for.
+    pub requested: usize,
+    /// Unallocated budget bytes at the moment of the denial.
+    pub available: usize,
+    /// The session's fair share of the budget at the moment of the denial.
+    pub fair_share: usize,
+}
+
+impl fmt::Display for GrantDenied {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory grant of {} B denied: {} B of budget available (fair share {} B)",
+            self.requested, self.available, self.fair_share
+        )
+    }
+}
+
+struct SessionState {
+    granted: usize,
+    starved: bool,
+}
+
+struct BrokerState {
+    sessions: HashMap<u64, SessionState>,
+    next_id: u64,
+    granted_total: usize,
+}
+
+struct Shared {
+    budget: usize,
+    state: Mutex<BrokerState>,
+}
+
+/// An engine-wide byte budget carved into per-session [`MemoryGrant`]s.
+///
+/// Cloning the broker clones a handle to the same budget (the engine keeps
+/// one, each in-flight spilling request registers one session against it).
+#[derive(Clone)]
+pub struct MemoryBroker {
+    shared: Arc<Shared>,
+}
+
+impl fmt::Debug for MemoryBroker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryBroker")
+            .field("budget", &self.budget())
+            .field("granted", &self.granted())
+            .field("sessions", &self.sessions())
+            .finish()
+    }
+}
+
+impl MemoryBroker {
+    /// A broker over `budget` bytes.
+    pub fn new(budget: usize) -> Self {
+        MemoryBroker {
+            shared: Arc::new(Shared {
+                budget,
+                state: Mutex::new(BrokerState {
+                    sessions: HashMap::new(),
+                    next_id: 0,
+                    granted_total: 0,
+                }),
+            }),
+        }
+    }
+
+    /// A broker that never denies (budget `usize::MAX`): the degenerate
+    /// case used when spilling is requested without a configured budget.
+    pub fn unlimited() -> Self {
+        MemoryBroker::new(usize::MAX)
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.shared.budget
+    }
+
+    /// Bytes currently granted across all sessions.
+    pub fn granted(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).granted_total
+    }
+
+    /// Sessions currently registered.
+    pub fn sessions(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).sessions.len()
+    }
+
+    /// Registers a new session and returns its grant handle (zero bytes
+    /// granted initially).
+    pub fn session(&self) -> MemoryGrant {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        let id = state.next_id;
+        state.next_id += 1;
+        state.sessions.insert(
+            id,
+            SessionState {
+                granted: 0,
+                starved: false,
+            },
+        );
+        MemoryGrant {
+            shared: Arc::clone(&self.shared),
+            id,
+        }
+    }
+}
+
+/// One session's slice of the broker's budget.
+///
+/// Not clonable: exactly one owner accounts a session's resident bytes, and
+/// `Drop` (including during a panic unwind) releases them all.
+pub struct MemoryGrant {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl fmt::Debug for MemoryGrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryGrant")
+            .field("id", &self.id)
+            .field("granted", &self.granted())
+            .finish()
+    }
+}
+
+impl MemoryGrant {
+    fn fair_share_of(state: &BrokerState, budget: usize) -> usize {
+        budget / state.sessions.len().max(1)
+    }
+
+    /// Books `bytes` more against the budget, or returns the denial
+    /// arithmetic.  Never blocks; a `bytes` of zero always succeeds.
+    ///
+    /// A denial marks this session starved (raising reclaim pressure on
+    /// over-share sessions) until a later grow succeeds or the grant is
+    /// dropped.
+    ///
+    /// # Errors
+    /// [`GrantDenied`] when the unallocated budget cannot cover `bytes`.
+    pub fn try_grow(&self, bytes: usize) -> Result<(), GrantDenied> {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        let budget = self.shared.budget;
+        if bytes <= budget.saturating_sub(state.granted_total) {
+            state.granted_total += bytes;
+            let session = state
+                .sessions
+                .get_mut(&self.id)
+                .expect("grant outlives its broker registration");
+            session.granted += bytes;
+            // A session that got what it asked for is no longer starved.
+            session.starved = false;
+            return Ok(());
+        }
+        let available = budget.saturating_sub(state.granted_total);
+        let fair_share = MemoryGrant::fair_share_of(&state, budget);
+        let session = state
+            .sessions
+            .get_mut(&self.id)
+            .expect("grant outlives its broker registration");
+        session.starved = true;
+        Err(GrantDenied {
+            requested: bytes,
+            available,
+            fair_share,
+        })
+    }
+
+    /// Releases `bytes` back to the budget (saturating at this session's
+    /// granted total, so unwind paths can over-release safely).
+    pub fn shrink(&self, bytes: usize) {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        let session = state
+            .sessions
+            .get_mut(&self.id)
+            .expect("grant outlives its broker registration");
+        let released = bytes.min(session.granted);
+        session.granted -= released;
+        state.granted_total -= released;
+    }
+
+    /// Bytes this session currently holds.
+    pub fn granted(&self) -> usize {
+        lock_unpoisoned(&self.shared.state)
+            .sessions
+            .get(&self.id)
+            .map_or(0, |s| s.granted)
+    }
+
+    /// This session's fair share of the budget: `budget / active sessions`.
+    pub fn fair_share(&self) -> usize {
+        let state = lock_unpoisoned(&self.shared.state);
+        MemoryGrant::fair_share_of(&state, self.shared.budget)
+    }
+
+    /// Bytes this session should evict to disk right now: its surplus over
+    /// the fair share, but only while some other session is starved.
+    ///
+    /// This is the broker's pressure signal — the polled form of a reclaim
+    /// callback.  Executors check it at morsel granularity and spill victim
+    /// partitions until it reaches zero.
+    pub fn reclaim_request(&self) -> usize {
+        let state = lock_unpoisoned(&self.shared.state);
+        let others_starved = state
+            .sessions
+            .iter()
+            .any(|(&id, s)| id != self.id && s.starved);
+        if !others_starved {
+            return 0;
+        }
+        let fair_share = MemoryGrant::fair_share_of(&state, self.shared.budget);
+        state
+            .sessions
+            .get(&self.id)
+            .map_or(0, |s| s.granted.saturating_sub(fair_share))
+    }
+}
+
+impl Drop for MemoryGrant {
+    fn drop(&mut self) {
+        let mut state = lock_unpoisoned(&self.shared.state);
+        if let Some(session) = state.sessions.remove(&self.id) {
+            state.granted_total -= session.granted;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_booked_and_released_exactly() {
+        let broker = MemoryBroker::new(1000);
+        let a = broker.session();
+        let b = broker.session();
+        assert!(a.try_grow(400).is_ok());
+        assert!(b.try_grow(600).is_ok());
+        assert_eq!(broker.granted(), 1000);
+        let denied = b.try_grow(1).unwrap_err();
+        assert_eq!(denied.available, 0);
+        assert_eq!(denied.requested, 1);
+        a.shrink(150);
+        assert_eq!(broker.granted(), 850);
+        assert!(b.try_grow(150).is_ok());
+        assert_eq!(broker.granted(), 1000);
+        drop(a);
+        drop(b);
+        assert_eq!(broker.granted(), 0);
+        assert_eq!(broker.sessions(), 0);
+    }
+
+    #[test]
+    fn zero_byte_grow_always_succeeds() {
+        let broker = MemoryBroker::new(0);
+        let g = broker.session();
+        assert!(g.try_grow(0).is_ok());
+        assert!(g.try_grow(1).is_err());
+    }
+
+    #[test]
+    fn fair_share_tracks_active_sessions() {
+        let broker = MemoryBroker::new(900);
+        let a = broker.session();
+        assert_eq!(a.fair_share(), 900);
+        let b = broker.session();
+        let c = broker.session();
+        assert_eq!(a.fair_share(), 300);
+        drop(b);
+        drop(c);
+        assert_eq!(a.fair_share(), 900);
+    }
+
+    #[test]
+    fn reclaim_pressure_raises_only_while_another_session_is_starved() {
+        let broker = MemoryBroker::new(1000);
+        let fat = broker.session();
+        let thin = broker.session();
+        assert!(fat.try_grow(900).is_ok());
+        // No one is starved yet: no pressure despite the surplus.
+        assert_eq!(fat.reclaim_request(), 0);
+        // thin is denied -> fat sees its surplus over fair share (500).
+        assert!(thin.try_grow(200).is_err());
+        assert_eq!(fat.reclaim_request(), 400);
+        // A starved session never pressures itself.
+        assert_eq!(thin.reclaim_request(), 0);
+        // fat evicts; thin's retry succeeds and clears the starvation.
+        fat.shrink(400);
+        assert!(thin.try_grow(200).is_ok());
+        assert_eq!(fat.reclaim_request(), 0);
+    }
+
+    #[test]
+    fn dropping_a_starved_grant_clears_its_pressure() {
+        let broker = MemoryBroker::new(100);
+        let fat = broker.session();
+        let thin = broker.session();
+        assert!(fat.try_grow(100).is_ok());
+        assert!(thin.try_grow(50).is_err());
+        assert_eq!(fat.reclaim_request(), 50);
+        drop(thin);
+        assert_eq!(fat.reclaim_request(), 0);
+        assert_eq!(broker.granted(), 100);
+    }
+
+    #[test]
+    fn unlimited_broker_never_denies() {
+        let broker = MemoryBroker::unlimited();
+        let g = broker.session();
+        assert!(g.try_grow(usize::MAX / 2).is_ok());
+        assert_eq!(g.reclaim_request(), 0);
+    }
+
+    #[test]
+    fn shrink_saturates_at_the_session_grant() {
+        let broker = MemoryBroker::new(100);
+        let a = broker.session();
+        let b = broker.session();
+        assert!(a.try_grow(60).is_ok());
+        assert!(b.try_grow(40).is_ok());
+        // Over-releasing must not free b's bytes through a.
+        a.shrink(usize::MAX);
+        assert_eq!(a.granted(), 0);
+        assert_eq!(b.granted(), 40);
+        assert_eq!(broker.granted(), 40);
+    }
+}

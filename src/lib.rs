@@ -69,6 +69,7 @@ pub mod prelude {
     pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel, TunedScheme};
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
     pub use hj_core::adaptive::{AdaptiveConfig, AdaptiveReport};
+    pub use hj_core::spill::{MemoryBroker, SpillConfig, SpillReport};
     pub use hj_core::{
         reference_match_count, Algorithm, CoupledSim, DiscreteSim, EngineConfig, EngineStats,
         ExecBackend, HashTableMode, JoinConfig, JoinEngine, JoinError, JoinOutcome, JoinRequest,

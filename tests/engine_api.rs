@@ -83,7 +83,29 @@ fn undersized_arena_returns_err_instead_of_panicking() {
     let request = JoinRequest::builder().build().unwrap();
 
     let err = engine.execute(&request, &r, &s).unwrap_err();
-    assert!(matches!(err, JoinError::ArenaExhausted { .. }), "{err}");
+    match &err {
+        JoinError::ArenaExhausted {
+            requested,
+            capacity,
+            used,
+            phase,
+        } => {
+            // The diagnosable failure the spill subsystem keys off: which
+            // phase asked, for how much, and what was actually left.
+            assert_eq!(*phase, "probe", "the quadratic result space dies probing");
+            assert!(*requested > 0);
+            assert!(
+                used + requested > *capacity,
+                "{used} used + {requested} requested must not fit {capacity}"
+            );
+        }
+        other => panic!("expected ArenaExhausted, got {other:?}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("probe") && msg.contains("available"),
+        "operator-facing message names the phase and the headroom: {msg}"
+    );
     assert_eq!(engine.stats().requests_failed, 1);
 
     // The engine stays alive and serves the next request.

@@ -1,0 +1,500 @@
+//! Integration tests of the memory governor + disk-spill subsystem: broker
+//! contention, spill-vs-in-memory byte identity across schemes and
+//! backends, recursion-cap fallback correctness, unwind hygiene, and the
+//! zero-headroom multi-tenant scenario.
+
+use coupled_hashjoin::prelude::*;
+use datagen::Relation;
+use hj_core::spill::MemoryGrant;
+use hj_core::{ExecContext, NativeCpu};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+fn workload(n_build: usize, n_probe: usize) -> (Relation, Relation, u64) {
+    let (r, s) = datagen::generate_pair(&DataGenConfig::small(n_build, n_probe));
+    let expected = reference_match_count(&r, &s);
+    (r, s, expected)
+}
+
+fn sorted_pairs(outcome: &JoinOutcome) -> Vec<(u32, u32)> {
+    let mut pairs = outcome.pairs.clone().expect("pairs were requested");
+    pairs.sort_unstable();
+    pairs
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBroker under concurrency
+// ---------------------------------------------------------------------------
+
+#[test]
+fn broker_contention_grants_and_reclaims_sum_exactly_to_the_budget() {
+    const THREADS: usize = 4;
+    const BUDGET: usize = 4096;
+    const STEP: usize = 64;
+    let broker = MemoryBroker::new(BUDGET);
+    let start = Arc::new(Barrier::new(THREADS));
+    let filled = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let broker = broker.clone();
+                let start = Arc::clone(&start);
+                let filled = Arc::clone(&filled);
+                scope.spawn(move || {
+                    let grant = broker.session();
+                    start.wait();
+                    // Greedy fill: everyone grows until denied.
+                    let mut denials = 0u64;
+                    while grant.try_grow(STEP).is_ok() {}
+                    denials += 1;
+                    filled.wait();
+                    // The budget is exactly exhausted across all sessions.
+                    assert_eq!(broker.granted(), BUDGET);
+                    assert!(grant.try_grow(STEP).is_err());
+                    filled.wait();
+                    // Session 0 reclaims everything it holds; the others
+                    // race to re-fill the hole — still never past budget.
+                    if i == 0 {
+                        let held = grant.granted();
+                        grant.shrink(held);
+                    }
+                    filled.wait();
+                    while grant.try_grow(STEP).is_ok() {}
+                    denials += 1;
+                    filled.wait();
+                    assert_eq!(broker.granted(), BUDGET);
+                    (grant, denials)
+                })
+            })
+            .collect();
+        let grants: Vec<(MemoryGrant, u64)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(broker.sessions(), THREADS);
+        let held: usize = grants.iter().map(|(g, _)| g.granted()).sum();
+        assert_eq!(held, BUDGET, "per-session grants must sum to the budget");
+        drop(grants);
+    });
+    assert_eq!(broker.granted(), 0, "dropped grants release every byte");
+    assert_eq!(broker.sessions(), 0);
+}
+
+#[test]
+fn broker_pressure_moves_bytes_between_sessions() {
+    let broker = MemoryBroker::new(1024);
+    let fat = broker.session();
+    assert!(fat.try_grow(1024).is_ok());
+    let thin = broker.session();
+    assert!(thin.try_grow(512).is_err());
+    // fat is over its fair share (512) while thin starves.
+    let surplus = fat.reclaim_request();
+    assert_eq!(surplus, 512);
+    fat.shrink(surplus);
+    assert!(thin.try_grow(512).is_ok());
+    assert_eq!(fat.reclaim_request(), 0);
+    assert_eq!(broker.granted(), 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity: spilling must not change the join result
+// ---------------------------------------------------------------------------
+
+/// SHJ/PHJ x OL/DD/PL: a join forced to spill (tiny arena *and* tiny
+/// budget) produces exactly the pairs of the unconstrained in-memory run.
+#[test]
+fn spilled_joins_are_byte_identical_for_every_scheme() {
+    let (r, s, expected) = workload(12_000, 24_000);
+    let unconstrained = JoinEngine::coupled(EngineConfig::for_tuples(12_000, 24_000)).unwrap();
+    let constrained =
+        JoinEngine::coupled(EngineConfig::for_tuples(1_500, 3_000).memory_budget(48 * 1024))
+            .unwrap();
+
+    let schemes: [(&str, Scheme); 3] = [
+        ("OL", Scheme::offload_gpu()),
+        ("DD", Scheme::data_dividing_paper()),
+        ("PL", Scheme::pipelined_paper()),
+    ];
+    let algorithms = [Algorithm::Simple, Algorithm::partitioned_auto()];
+    for (label, scheme) in &schemes {
+        for algorithm in algorithms {
+            let base_request = JoinRequest::builder()
+                .algorithm(algorithm)
+                .scheme(scheme.clone())
+                .collect_results(true)
+                .build()
+                .unwrap();
+            let spill_request = JoinRequest::builder()
+                .algorithm(algorithm)
+                .scheme(scheme.clone())
+                .collect_results(true)
+                .spill(SpillConfig::default())
+                .build()
+                .unwrap();
+
+            let base = unconstrained.submit(&base_request, &r, &s).unwrap();
+            let spilled = constrained.submit(&spill_request, &r, &s).unwrap();
+
+            let tag = format!("{label}/{}", algorithm.label());
+            assert_eq!(base.matches, expected, "{tag}");
+            assert_eq!(spilled.matches, expected, "{tag}");
+            assert_eq!(sorted_pairs(&base), sorted_pairs(&spilled), "{tag}");
+            assert!(base.spill.is_none(), "{tag}: in-memory run must not spill");
+            let report = spilled.spill.expect("spill-enabled run reports");
+            assert!(
+                report.bytes_spilled > 0,
+                "{tag}: the tiny budget must spill"
+            );
+        }
+    }
+    assert_eq!(constrained.memory_broker().granted(), 0);
+    let dir = constrained
+        .spill_dir()
+        .expect("spill directory was created");
+    assert!(
+        std::fs::read_dir(dir).unwrap().next().is_none(),
+        "no run files survive the requests"
+    );
+}
+
+#[test]
+fn native_backend_spill_is_byte_identical_even_when_oversized_for_the_arena() {
+    let (r, s, expected) = workload(20_000, 40_000);
+    let unconstrained = JoinEngine::native(EngineConfig::for_tuples(20_000, 40_000)).unwrap();
+    // The inputs do not even pass this engine's admission control — only
+    // the spill path can serve them.
+    let constrained =
+        JoinEngine::native(EngineConfig::for_tuples(2_000, 4_000).memory_budget(128 * 1024))
+            .unwrap();
+    let base_request = JoinRequest::builder()
+        .collect_results(true)
+        .build()
+        .unwrap();
+    let spill_request = JoinRequest::builder()
+        .collect_results(true)
+        .spill(SpillConfig::default())
+        .build()
+        .unwrap();
+
+    // Without spill the request is rejected outright.
+    assert!(matches!(
+        constrained.submit(&base_request, &r, &s),
+        Err(JoinError::OversizedInput { .. })
+    ));
+
+    let base = unconstrained.submit(&base_request, &r, &s).unwrap();
+    let spilled = constrained.submit(&spill_request, &r, &s).unwrap();
+    assert_eq!(base.matches, expected);
+    assert_eq!(spilled.matches, expected);
+    assert_eq!(sorted_pairs(&base), sorted_pairs(&spilled));
+    let report = spilled.spill.unwrap();
+    assert!(report.bytes_spilled > 0);
+    assert_eq!(constrained.memory_broker().granted(), 0);
+}
+
+#[test]
+fn spill_enabled_requests_stay_in_memory_when_nothing_presses() {
+    // Plenty of arena and budget: the fast path runs, no report is
+    // attached, and no spill directory is ever created.
+    let (r, s, expected) = workload(4_000, 8_000);
+    let engine =
+        JoinEngine::coupled(EngineConfig::for_tuples(8_000, 16_000).memory_budget(64 << 20))
+            .unwrap();
+    let request = JoinRequest::builder()
+        .spill(SpillConfig::default())
+        .build()
+        .unwrap();
+    let out = engine.submit(&request, &r, &s).unwrap();
+    assert_eq!(out.matches, expected);
+    assert!(out.spill.is_none(), "fast path must not fabricate a report");
+    assert!(
+        engine.spill_dir().is_none(),
+        "no directory without spilling"
+    );
+    assert_eq!(engine.stats().spilled_requests, 0);
+}
+
+#[test]
+fn arena_exhaustion_mid_join_falls_through_to_the_spill_path() {
+    // Same pathological workload as the engine_api hard-failure test: a
+    // fully duplicate key space blows the arena's result-space heuristic.
+    // With spill enabled the request now completes.
+    let r = Relation::from_keys(vec![42; 1024]);
+    let s = Relation::from_keys(vec![42; 4096]);
+    let expected = reference_match_count(&r, &s);
+    let engine = JoinEngine::coupled(EngineConfig::for_tuples(1024, 4096)).unwrap();
+
+    let plain = JoinRequest::builder().build().unwrap();
+    assert!(matches!(
+        engine.submit(&plain, &r, &s),
+        Err(JoinError::ArenaExhausted { .. })
+    ));
+
+    let spilling = JoinRequest::builder()
+        .spill(SpillConfig::default().partitions(4).max_recursion_depth(1))
+        .build()
+        .unwrap();
+    let out = engine.submit(&spilling, &r, &s).unwrap();
+    assert_eq!(out.matches, expected);
+    assert!(out.spill.is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Recursion cap and nested-loop fallback
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recursion_cap_falls_back_to_block_nested_loop_and_stays_correct() {
+    // A single-key build side cannot be split by any partition hash: the
+    // executor must burn through its recursion budget and still finish
+    // correctly via the block nested-loop fallback.
+    let r = Relation::from_keys(vec![7; 8_000]);
+    let mut probe_keys: Vec<u32> = (1_000..9_000u32).collect();
+    probe_keys[..400].fill(7);
+    let s = Relation::from_keys(probe_keys);
+    let expected = reference_match_count(&r, &s);
+    assert_eq!(expected, 8_000 * 400);
+
+    let engine =
+        JoinEngine::coupled(EngineConfig::for_tuples(1_000, 2_000).memory_budget(16 * 1024))
+            .unwrap();
+    let request = JoinRequest::builder()
+        .spill(SpillConfig::default().partitions(4).max_recursion_depth(2))
+        .build()
+        .unwrap();
+    let out = engine.submit(&request, &r, &s).unwrap();
+    assert_eq!(out.matches, expected);
+    let report = out.spill.unwrap();
+    assert_eq!(
+        report.recursion_depth, 2,
+        "the un-splittable partition must ride the recursion to the cap"
+    );
+    assert!(
+        report.fallback_joins > 0,
+        "past the cap only the fallback is left"
+    );
+    assert_eq!(engine.memory_broker().granted(), 0);
+    assert_eq!(engine.stats().spill_fallback_joins, report.fallback_joins);
+}
+
+#[test]
+fn depth_zero_cap_goes_straight_to_fallback() {
+    let (r, s, expected) = workload(6_000, 6_000);
+    let engine =
+        JoinEngine::coupled(EngineConfig::for_tuples(1_000, 1_000).memory_budget(8 * 1024))
+            .unwrap();
+    let request = JoinRequest::builder()
+        .spill(SpillConfig::default().partitions(4).max_recursion_depth(0))
+        .build()
+        .unwrap();
+    let out = engine.submit(&request, &r, &s).unwrap();
+    assert_eq!(out.matches, expected);
+    let report = out.spill.unwrap();
+    assert_eq!(report.recursion_depth, 0);
+    assert!(report.fallback_joins > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Unwind hygiene: a panicking spill run leaks neither grant nor files
+// ---------------------------------------------------------------------------
+
+/// Panics on the `panic_at`-th execute call (pair joins included), then
+/// succeeds forever after.
+struct PanicOnNth {
+    sys: apu_sim::SystemSpec,
+    calls: AtomicUsize,
+    panic_at: usize,
+}
+
+impl hj_core::ExecBackend for PanicOnNth {
+    fn name(&self) -> &'static str {
+        "panic-on-nth"
+    }
+    fn system(&self) -> &apu_sim::SystemSpec {
+        &self.sys
+    }
+    fn execute(
+        &self,
+        _ctx: &mut ExecContext<'_>,
+        _build: &Relation,
+        _probe: &Relation,
+        _request: &hj_core::JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        if self.calls.fetch_add(1, Ordering::SeqCst) == self.panic_at {
+            panic!("injected pair-join panic");
+        }
+        Ok(JoinOutcome::default())
+    }
+}
+
+#[test]
+fn panicked_spilling_join_releases_its_grant_and_temp_files() {
+    let (r, s, _) = workload(8_000, 8_000);
+    // Budget far below the footprint: the spill path engages immediately
+    // and evicts partitions to disk before the first pair join panics.
+    let engine = JoinEngine::new(
+        Box::new(PanicOnNth {
+            sys: apu_sim::SystemSpec::coupled_a8_3870k(),
+            calls: AtomicUsize::new(0),
+            panic_at: 0,
+        }),
+        EngineConfig::for_tuples(8_000, 8_000).memory_budget(16 * 1024),
+    )
+    .unwrap();
+    let request = JoinRequest::builder()
+        .spill(SpillConfig::default().partitions(4))
+        .build()
+        .unwrap();
+
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = engine.submit(&request, &r, &s);
+    }));
+    assert!(unwound.is_err(), "the pair-join panic must propagate");
+
+    assert_eq!(
+        engine.memory_broker().granted(),
+        0,
+        "the unwound session's grant must be released"
+    );
+    assert_eq!(engine.memory_broker().sessions(), 0);
+    let dir = engine
+        .spill_dir()
+        .expect("the request spilled before panicking");
+    assert!(
+        std::fs::read_dir(dir).unwrap().next().is_none(),
+        "every run file of the unwound request must be deleted"
+    );
+
+    // The engine keeps serving (the backend succeeds from now on).
+    let (ok_r, ok_s, _) = workload(64, 64);
+    let plain = JoinRequest::builder().build().unwrap();
+    assert!(engine.submit(&plain, &ok_r, &ok_s).is_ok());
+    assert_eq!(engine.stats().requests_failed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Zero headroom: concurrent sessions under one starved budget
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_headroom_concurrent_sessions_all_complete_with_accounted_reports() {
+    const CLIENTS: usize = 4;
+    let (r, s, expected) = workload(10_000, 10_000);
+    // Each request's resident footprint (~160 KB) dwarfs its fair share of
+    // the 96 KB budget: every session must degrade to disk, none may fail.
+    let engine = Arc::new(
+        JoinEngine::coupled(
+            EngineConfig::for_tuples(2_000, 2_000)
+                .sessions(CLIENTS)
+                .memory_budget(96 * 1024),
+        )
+        .unwrap(),
+    );
+    let request = JoinRequest::builder()
+        .spill(SpillConfig::default())
+        .build()
+        .unwrap();
+
+    let go = Arc::new(Barrier::new(CLIENTS));
+    let reports: Vec<SpillReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let request = request.clone();
+                let go = Arc::clone(&go);
+                let (r, s) = (&r, &s);
+                scope.spawn(move || {
+                    go.wait();
+                    let out = engine
+                        .submit(&request, r, s)
+                        .expect("zero headroom must degrade, not fail");
+                    assert_eq!(out.matches, expected);
+                    out.spill.expect("every session must report its spilling")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = engine.stats();
+    let spilled_bytes: u64 = reports.iter().map(|p| p.bytes_spilled).sum();
+    assert!(spilled_bytes > 0, "a starved budget must spill bytes");
+    assert_eq!(
+        stats.spill_bytes_written, spilled_bytes,
+        "every spilled byte must be accounted in the engine stats"
+    );
+    assert_eq!(
+        stats.spill_bytes_restored,
+        reports.iter().map(|p| p.bytes_restored).sum::<u64>()
+    );
+    assert_eq!(
+        stats.spill_partitions,
+        reports.iter().map(|p| p.partitions_spilled).sum::<u64>()
+    );
+    assert_eq!(
+        stats.spilled_requests,
+        reports.iter().filter(|p| p.bytes_spilled > 0).count() as u64
+    );
+    let per_session_bytes: u64 = stats
+        .per_session
+        .iter()
+        .map(|s| s.spill_bytes_written)
+        .sum();
+    assert_eq!(per_session_bytes, spilled_bytes);
+
+    assert_eq!(engine.memory_broker().granted(), 0, "all grants released");
+    let dir = engine.spill_dir().expect("spilling happened");
+    assert!(
+        std::fs::read_dir(dir).unwrap().next().is_none(),
+        "no leaked temp files after the burst"
+    );
+    let dir = dir.to_path_buf();
+    drop(reports);
+    drop(request);
+    drop(Arc::try_unwrap(engine).expect("all clients joined"));
+    assert!(!dir.exists(), "engine drop removes the spill directory");
+}
+
+// ---------------------------------------------------------------------------
+// File-backed tables drive a larger-than-budget build side
+// ---------------------------------------------------------------------------
+
+#[test]
+fn file_backed_build_side_streams_through_the_spill_path() {
+    // Generate both sides straight to disk (deterministic from seeds),
+    // stream them back, and join under a budget far below the build size.
+    let dir = std::env::temp_dir().join(format!("hj-spill-tablefile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let build_spec = datagen::FileTableSpec::new(30_000, 11).batch_tuples(4_096);
+    let probe_spec = datagen::FileTableSpec::new(30_000, 12).batch_tuples(4_096);
+    let build_path = dir.join("build.hjtb");
+    let probe_path = dir.join("probe.hjtb");
+    datagen::generate_build_table(&build_path, &build_spec).unwrap();
+    datagen::generate_probe_table(&probe_path, &probe_spec, &build_spec).unwrap();
+
+    let r = datagen::TableFileReader::open(&build_path)
+        .unwrap()
+        .read_all()
+        .unwrap();
+    let s = datagen::TableFileReader::open(&probe_path)
+        .unwrap()
+        .read_all()
+        .unwrap();
+    // Every probe key is drawn from the build universe: known cardinality.
+    let expected = s.len() as u64;
+    assert_eq!(reference_match_count(&r, &s), expected);
+
+    let engine = JoinEngine::new(
+        Box::new(NativeCpu::new()),
+        EngineConfig::for_tuples(4_000, 4_000).memory_budget(64 * 1024),
+    )
+    .unwrap();
+    let request = JoinRequest::builder()
+        .spill(SpillConfig::default())
+        .build()
+        .unwrap();
+    let out = engine.submit(&request, &r, &s).unwrap();
+    assert_eq!(out.matches, expected);
+    assert!(out.spill.unwrap().bytes_spilled > 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
