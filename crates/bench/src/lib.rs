@@ -21,6 +21,7 @@
 //! | `throughput` | joins/sec under concurrent clients (not in the paper) | [`throughput`] |
 //! | `adaptive` | runtime tuner recovering from a bad prior (not in the paper) | [`adaptive`] |
 //! | `spill` | larger-than-memory joins under the memory governor (not in the paper) | [`spill`] |
+//! | `serving` | open-loop tail latency of the TCP serving layer (not in the paper) | [`serving`] |
 //!
 //! The global `HJ_SCALE` environment variable divides every cardinality
 //! (default 32, i.e. 512 K instead of 16 M tuples) so the whole suite runs in
@@ -35,6 +36,7 @@ pub mod common;
 pub mod endtoend;
 pub mod micro;
 pub mod model_eval;
+pub mod serving;
 pub mod spill;
 pub mod throughput;
 pub mod tradeoffs;
@@ -165,6 +167,12 @@ pub fn registry() -> Vec<Experiment> {
             description: "BENCH_spill: larger-than-memory joins under the memory governor",
             run: spill::spill,
         },
+        Experiment {
+            name: "serving",
+            description: "BENCH_serving: open-loop tail latency of the TCP serving layer \
+                          at 0.5/0.9/1.2x saturation",
+            run: serving::serving,
+        },
     ]
 }
 
@@ -198,6 +206,7 @@ mod tests {
             "throughput",
             "adaptive",
             "spill",
+            "serving",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

@@ -58,6 +58,7 @@ use crate::scheme::RatioPlan;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
 use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
+use hj_server::LatencyHistogram;
 use hj_spill::{MemoryBroker, SpillConfig, SpillManager};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
@@ -1036,6 +1037,10 @@ pub struct SessionStats {
     pub spilled_requests: u64,
     /// Bytes this session's requests spilled to run files.
     pub spill_bytes_written: u64,
+    /// How long this session's acquisitions waited in the admission queue
+    /// (log2 ns buckets; `quantile_ns(0.5)` / `quantile_ns(0.99)` give
+    /// p50/p99 bounds).
+    pub queue_wait: LatencyHistogram,
 }
 
 /// Observability counters of one engine (a point-in-time snapshot taken by
@@ -1086,8 +1091,44 @@ pub struct EngineStats {
     /// Partition pairs that hit the recursion cap and were joined by the
     /// block nested-loop fallback.
     pub spill_fallback_joins: u64,
+    /// How long session acquisitions waited in the admission queue, across
+    /// all sessions (log2 ns buckets; `quantile_ns(0.5)` /
+    /// `quantile_ns(0.99)` give p50/p99 bounds).  A fast-path acquisition
+    /// (free session available) records a near-zero wait, so the histogram
+    /// count equals the successful acquisitions.
+    pub queue_wait: LatencyHistogram,
+    /// Batches accepted by [`JoinEngine::submit_batch`].
+    pub batches_submitted: u64,
+    /// Individual requests that rode inside those batches (each also
+    /// counted in [`requests_served`](Self::requests_served) /
+    /// [`requests_failed`](Self::requests_failed)).
+    pub batched_requests: u64,
     /// Completed joins per wall-clock second since engine construction.
     pub joins_per_sec: f64,
+}
+
+/// One request of a [`JoinEngine::submit_batch`] submission.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// The join to run.
+    pub request: &'a JoinRequest,
+    /// Build-side relation.
+    pub build: &'a Relation,
+    /// Probe-side relation.
+    pub probe: &'a Relation,
+}
+
+/// A cheap point-in-time load snapshot ([`JoinEngine::load`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineLoad {
+    /// Requests (or batches) currently holding a session.
+    pub in_flight: usize,
+    /// Submissions waiting in the admission queue.
+    pub queued: usize,
+    /// Sessions the engine was configured with.
+    pub sessions: usize,
+    /// Admission-queue capacity.
+    pub queue_depth: usize,
 }
 
 /// One arena-backed execution slot of the pool.
@@ -1131,6 +1172,9 @@ struct StatsInner {
     spill_bytes_restored: u64,
     spill_partitions: u64,
     spill_fallback_joins: u64,
+    queue_wait: LatencyHistogram,
+    batches_submitted: u64,
+    batched_requests: u64,
     per_session: Vec<SessionStats>,
 }
 
@@ -1325,6 +1369,9 @@ impl JoinEngine {
             spill_bytes_restored: inner.spill_bytes_restored,
             spill_partitions: inner.spill_partitions,
             spill_fallback_joins: inner.spill_fallback_joins,
+            queue_wait: inner.queue_wait,
+            batches_submitted: inner.batches_submitted,
+            batched_requests: inner.batched_requests,
             per_session: inner.per_session.clone(),
             worker_threads: self.workers.configured_workers(),
             per_worker_tasks: match self.workers.spawned() {
@@ -1351,32 +1398,41 @@ impl JoinEngine {
         kind.build(self.arena_capacity, work_groups)
     }
 
-    /// Records a session acquisition in the in-flight counters.
-    fn note_acquired(&self) {
+    /// Records a session acquisition — the in-flight gauge plus the queue
+    /// wait the acquisition paid — in the engine-wide and per-session
+    /// histograms.
+    fn note_acquired(&self, session_id: usize, wait_ns: u64) {
         let mut stats = lock_unpoisoned(&self.stats);
         stats.in_flight += 1;
         stats.peak_in_flight = stats.peak_in_flight.max(stats.in_flight);
+        stats.queue_wait.record(wait_ns);
+        stats.per_session[session_id].queue_wait.record(wait_ns);
     }
 
     /// Takes a session from the pool, waiting in the bounded admission
     /// queue when all sessions are busy.  Freed sessions are handed to
     /// queued waiters before new arrivals, so the queue cannot be starved.
     fn acquire_session(&self) -> Result<Session, JoinError> {
+        let started = Instant::now();
         let mut pool = lock_unpoisoned(&self.pool);
         // The free list only holds sessions no queued waiter was owed, so
         // taking from it never barges past the queue.
         if let Some(session) = pool.free.pop() {
             drop(pool);
-            self.note_acquired();
+            self.note_acquired(session.id, started.elapsed().as_nanos() as u64);
             return Ok(session);
         }
         if pool.waiting >= self.config.effective_queue_depth() {
+            let queued = pool.waiting;
+            drop(pool);
             let mut stats = lock_unpoisoned(&self.stats);
             stats.rejected_saturated += 1;
             stats.requests_failed += 1;
             return Err(JoinError::Saturated {
                 sessions: self.config.sessions,
                 queue_depth: self.config.effective_queue_depth(),
+                in_flight: stats.in_flight,
+                queued,
             });
         }
         pool.waiting += 1;
@@ -1387,27 +1443,31 @@ impl JoinEngine {
             // (or another waiter won the race) and we keep waiting.
             if let Some(session) = pool.handoff.pop_front() {
                 drop(pool);
-                self.note_acquired();
+                self.note_acquired(session.id, started.elapsed().as_nanos() as u64);
                 return Ok(session);
             }
         }
     }
 
-    /// Returns a session to the pool — handing it to a queued waiter when
-    /// one exists — and records the request's fate.
-    fn release_session(&self, session: Session, served: bool) {
-        {
-            let mut stats = lock_unpoisoned(&self.stats);
-            stats.in_flight -= 1;
-            let per = &mut stats.per_session[session.id];
-            if served {
-                per.requests_served += 1;
-                stats.requests_served += 1;
-            } else {
-                per.requests_failed += 1;
-                stats.requests_failed += 1;
-            }
+    /// Records one request's fate against the engine-wide and per-session
+    /// counters.
+    fn record_fate(&self, session_id: usize, served: bool) {
+        let mut stats = lock_unpoisoned(&self.stats);
+        let per = &mut stats.per_session[session_id];
+        if served {
+            per.requests_served += 1;
+            stats.requests_served += 1;
+        } else {
+            per.requests_failed += 1;
+            stats.requests_failed += 1;
         }
+    }
+
+    /// Returns a session to the pool — handing it to a queued waiter when
+    /// one exists — without recording any request fate (batch submissions
+    /// record one fate per item instead).
+    fn return_session(&self, session: Session) {
+        lock_unpoisoned(&self.stats).in_flight -= 1;
         let mut pool = lock_unpoisoned(&self.pool);
         if pool.waiting > 0 {
             pool.waiting -= 1;
@@ -1417,6 +1477,12 @@ impl JoinEngine {
         } else {
             pool.free.push(session);
         }
+    }
+
+    /// Returns a session to the pool and records the request's fate.
+    fn release_session(&self, session: Session, served: bool) {
+        self.record_fate(session.id, served);
+        self.return_session(session);
     }
 
     /// Runs a spill-enabled request: plain in-core execution on the fast
@@ -1515,7 +1581,34 @@ impl JoinEngine {
         }
 
         let mut session = self.acquire_session()?;
+        match self.run_on_session(&mut session, request, build, probe, required) {
+            Ok(result) => {
+                self.release_session(session, result.is_ok());
+                result
+            }
+            Err(payload) => {
+                self.release_session(session, false);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
 
+    /// Executes one admitted request on an already-acquired session: the
+    /// shared core of [`submit`](Self::submit) and
+    /// [`submit_batch`](Self::submit_batch).
+    ///
+    /// A panicking backend surfaces as the outer `Err` — with the session's
+    /// arena already reprovisioned, so the caller only has to return the
+    /// session before resuming the unwind.
+    #[allow(clippy::type_complexity)]
+    fn run_on_session(
+        &self,
+        session: &mut Session,
+        request: &JoinRequest,
+        build: &Relation,
+        probe: &Relation,
+        required: usize,
+    ) -> Result<Result<JoinOutcome, JoinError>, Box<dyn std::any::Any + Send>> {
         // A request may choose the other allocator design (the Figure 12
         // comparison); that rebuilds this session's arena once and is
         // counted.
@@ -1592,16 +1685,97 @@ impl JoinEngine {
                         }
                     }
                 }
-                self.release_session(session, result.is_ok());
-                result
+                Ok(result)
             }
             Err(payload) => {
                 // The arena went down with the panicking context; reprovision
                 // it so the session returns to the pool usable.
                 session.allocator = Some(self.provision_arena(session.allocator_kind));
-                self.release_session(session, false);
-                std::panic::resume_unwind(payload);
+                Err(payload)
             }
+        }
+    }
+
+    /// Submits several requests as one unit: the batch acquires (or queues
+    /// for) a *single* session and runs its items sequentially on it.
+    ///
+    /// This is the engine half of the serving layer's cross-client
+    /// batching: under a flood of small requests, one session acquisition,
+    /// one arena and one admission-queue slot are paid per batch instead of
+    /// per request, and the batch occupies one `in_flight` slot so large
+    /// interactive requests keep their share of the pool.
+    ///
+    /// Each item gets its own verdict, in input order.  When the engine is
+    /// saturated, every item reports [`JoinError::Saturated`] (one
+    /// rejection is counted per item).  An oversized item fails alone
+    /// without poisoning its batch.
+    pub fn submit_batch(&self, items: &[BatchItem<'_>]) -> Vec<Result<JoinOutcome, JoinError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut session = match self.acquire_session() {
+            Ok(session) => session,
+            Err(err) => {
+                // acquire_session counted one rejection; the remaining
+                // items are accounted here so per-request arithmetic holds.
+                let mut stats = lock_unpoisoned(&self.stats);
+                stats.rejected_saturated += (items.len() - 1) as u64;
+                stats.requests_failed += (items.len() - 1) as u64;
+                return items.iter().map(|_| Err(err.clone())).collect();
+            }
+        };
+        {
+            let mut stats = lock_unpoisoned(&self.stats);
+            stats.batches_submitted += 1;
+            stats.batched_requests += items.len() as u64;
+        }
+        let mut verdicts = Vec::with_capacity(items.len());
+        for item in items {
+            let required = item.request.required_arena_bytes(
+                item.build.len(),
+                item.probe.len(),
+                self.backend.system(),
+            );
+            if required > self.arena_capacity && item.request.spill_config().is_none() {
+                self.record_fate(session.id, false);
+                verdicts.push(Err(JoinError::OversizedInput {
+                    build_tuples: item.build.len(),
+                    probe_tuples: item.probe.len(),
+                    required_bytes: required,
+                    arena_bytes: self.arena_capacity,
+                }));
+                continue;
+            }
+            match self.run_on_session(&mut session, item.request, item.build, item.probe, required)
+            {
+                Ok(result) => {
+                    self.record_fate(session.id, result.is_ok());
+                    verdicts.push(result);
+                }
+                Err(payload) => {
+                    // The panic propagates to the batch submitter (matching
+                    // `submit`); the session goes back healthy either way.
+                    self.record_fate(session.id, false);
+                    self.return_session(session);
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        self.return_session(session);
+        verdicts
+    }
+
+    /// A cheap point-in-time load snapshot — what a server needs to shape
+    /// backpressure replies without paying for a full [`stats`](Self::stats)
+    /// clone.
+    pub fn load(&self) -> EngineLoad {
+        let in_flight = lock_unpoisoned(&self.stats).in_flight;
+        let queued = lock_unpoisoned(&self.pool).waiting;
+        EngineLoad {
+            in_flight,
+            queued,
+            sessions: self.config.sessions,
+            queue_depth: self.config.effective_queue_depth(),
         }
     }
 
@@ -1657,6 +1831,136 @@ mod tests {
         // The engine stays usable for right-sized requests.
         let (small_r, small_s) = small_pair(16);
         assert!(engine.execute(&request, &small_r, &small_s).is_ok());
+    }
+
+    #[test]
+    fn submit_batch_serves_every_item_on_one_session() {
+        let (r, s) = small_pair(1000);
+        let expected = reference_match_count(&r, &s);
+        let engine = JoinEngine::coupled(EngineConfig::for_tuples(2000, 4000)).unwrap();
+        let shj = JoinRequest::builder().build().unwrap();
+        let phj = JoinRequest::builder()
+            .algorithm(Algorithm::partitioned_auto())
+            .scheme(Scheme::pipelined_paper())
+            .build()
+            .unwrap();
+        let items = vec![
+            BatchItem {
+                request: &shj,
+                build: &r,
+                probe: &s,
+            },
+            BatchItem {
+                request: &phj,
+                build: &r,
+                probe: &s,
+            },
+            BatchItem {
+                request: &shj,
+                build: &r,
+                probe: &s,
+            },
+        ];
+        let verdicts = engine.submit_batch(&items);
+        assert_eq!(verdicts.len(), 3);
+        for verdict in &verdicts {
+            assert_eq!(verdict.as_ref().unwrap().matches, expected);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests_served, 3);
+        assert_eq!(stats.batches_submitted, 1);
+        assert_eq!(stats.batched_requests, 3);
+        // The whole batch held one session: one acquisition in the wait
+        // histogram, peak in-flight of 1.
+        assert_eq!(stats.queue_wait.count(), 1);
+        assert_eq!(stats.peak_in_flight, 1);
+        assert_eq!(stats.in_flight, 0);
+        // Every item ran on the same session.
+        let active: Vec<_> = stats
+            .per_session
+            .iter()
+            .filter(|per| per.requests_served > 0)
+            .collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].requests_served, 3);
+    }
+
+    #[test]
+    fn submit_batch_isolates_an_oversized_item() {
+        let (r, s) = small_pair(500);
+        let (big_r, big_s) = small_pair(50_000);
+        let engine = JoinEngine::coupled(EngineConfig::for_tuples(1000, 2000)).unwrap();
+        let request = JoinRequest::builder().build().unwrap();
+        let items = vec![
+            BatchItem {
+                request: &request,
+                build: &r,
+                probe: &s,
+            },
+            BatchItem {
+                request: &request,
+                build: &big_r,
+                probe: &big_s,
+            },
+            BatchItem {
+                request: &request,
+                build: &r,
+                probe: &s,
+            },
+        ];
+        let verdicts = engine.submit_batch(&items);
+        assert!(verdicts[0].is_ok());
+        assert!(matches!(verdicts[1], Err(JoinError::OversizedInput { .. })));
+        assert!(
+            verdicts[2].is_ok(),
+            "an oversized item must not poison its batch"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(stats.requests_failed, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = JoinEngine::coupled(EngineConfig::for_tuples(64, 64)).unwrap();
+        assert!(engine.submit_batch(&[]).is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.batches_submitted, 0);
+        assert_eq!(stats.queue_wait.count(), 0);
+    }
+
+    #[test]
+    fn queue_wait_histogram_counts_every_acquisition() {
+        let (r, s) = small_pair(500);
+        let engine = JoinEngine::coupled(EngineConfig::for_tuples(1000, 2000)).unwrap();
+        let request = JoinRequest::builder().build().unwrap();
+        for _ in 0..4 {
+            engine.submit(&request, &r, &s).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queue_wait.count(), 4);
+        assert!(stats.queue_wait.quantile_ns(0.5).is_some());
+        let per_session_total: u64 = stats
+            .per_session
+            .iter()
+            .map(|per| per.queue_wait.count())
+            .sum();
+        assert_eq!(per_session_total, 4);
+    }
+
+    #[test]
+    fn load_snapshot_tracks_the_pool() {
+        let engine = JoinEngine::coupled(
+            EngineConfig::for_tuples(1000, 2000)
+                .sessions(3)
+                .queue_depth(5),
+        )
+        .unwrap();
+        let load = engine.load();
+        assert_eq!(load.in_flight, 0);
+        assert_eq!(load.queued, 0);
+        assert_eq!(load.sessions, 3);
+        assert_eq!(load.queue_depth, 5);
     }
 
     #[test]

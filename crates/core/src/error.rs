@@ -86,6 +86,14 @@ pub enum JoinError {
         sessions: usize,
         /// Waiting submissions the admission queue holds at most.
         queue_depth: usize,
+        /// Requests holding a session at the moment of rejection.
+        ///
+        /// Snapshotted into the error so a caller planning its backoff
+        /// (e.g. the serving layer's retry-after hint) does not need a
+        /// separate stats call racing against the state that rejected it.
+        in_flight: usize,
+        /// Submissions waiting in the admission queue at that moment.
+        queued: usize,
     },
     /// A structurally invalid configuration (mismatched knobs, zero-sized
     /// engine, ...).
@@ -153,10 +161,12 @@ impl fmt::Display for JoinError {
             JoinError::Saturated {
                 sessions,
                 queue_depth,
+                in_flight,
+                queued,
             } => write!(
                 f,
-                "engine saturated: {sessions} sessions in flight and {queue_depth} queued \
-                 submissions already waiting"
+                "engine saturated: {in_flight}/{sessions} sessions in flight and \
+                 {queued}/{queue_depth} queued submissions already waiting"
             ),
             JoinError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
             JoinError::Spill(reason) => write!(f, "spill path failed: {reason}"),
@@ -209,8 +219,11 @@ mod tests {
         let e = JoinError::Saturated {
             sessions: 4,
             queue_depth: 2,
+            in_flight: 4,
+            queued: 2,
         };
-        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+        let msg = e.to_string();
+        assert!(msg.contains("4/4") && msg.contains("2/2"), "{msg}");
     }
 
     #[test]

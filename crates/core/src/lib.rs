@@ -165,6 +165,64 @@
 //! [`EngineStats::worker_threads`] and [`EngineStats::per_worker_tasks`]
 //! report the pool's size and per-worker activity.
 //!
+//! ## Serving layer
+//!
+//! The network front-end (crate `hj-server`, re-exported as [`server`],
+//! plus the TCP [`serve::JoinServer`] in this crate) turns a shared engine
+//! into a network service with SLO-aware admission instead of blunt
+//! saturation:
+//!
+//! * **Wire format** — every message is one length-prefixed frame with an
+//!   FNV-1a-64 payload checksum, validated before allocation:
+//!
+//!   | field | bytes | meaning |
+//!   |---|---|---|
+//!   | magic | 4 | `"HJW\x01"` |
+//!   | version | 1 | protocol version (currently 1) |
+//!   | frame type | 1 | Request / Response / Chunk / Done / Error / Overloaded |
+//!   | reserved | 2 | zero |
+//!   | payload len | 4 | little-endian, checked against a ceiling first |
+//!   | checksum | 8 | FNV-1a-64 over the payload |
+//!
+//!   Torn, oversized, corrupt or foreign frames surface as typed
+//!   [`server::WireError`]s and a best-effort error reply — never a panic
+//!   or a hang.  A collected pair set streams back in bounded `Chunk`
+//!   frames closed by a positive `Done` marker, so a torn stream cannot
+//!   masquerade as a short result.
+//! * **Deadlines & shedding** — a request may carry a deadline and a
+//!   priority.  The [`server::AdmissionController`] estimates completion
+//!   (queue backlog / engine parallelism + an EWMA ns-per-tuple service
+//!   estimate) and *sheds* requests that would bust their deadline, break
+//!   a per-client token-bucket quota, or exceed the server's queue-time
+//!   budget — each answered with a typed `Overloaded` frame carrying the
+//!   shed reason, a retry hint and the engine load snapshot.  Engine-level
+//!   [`JoinError::Saturated`] (which now snapshots `in_flight`/`queued`)
+//!   is translated the same way, so an overloaded server never times a
+//!   client out.
+//! * **Cross-client batching** — count-only requests below a size floor
+//!   are coalesced across connections into one
+//!   [`JoinEngine::submit_batch`] call: one session acquisition and one
+//!   arena serve the whole run of small joins.
+//! * **Client** — the blocking [`server::JoinClient`]:
+//!
+//!   ```text
+//!   let mut client = JoinClient::connect(server.local_addr())?;
+//!   let outcome = client.join(
+//!       RequestBuilder::new(build, probe)
+//!           .algorithm(WireAlgorithm::Phj)
+//!           .scheme(WireScheme::Pipelined)
+//!           .collect_pairs(true)
+//!           .deadline_ms(500)
+//!           .build())?;
+//!   // outcome.matches, outcome.pairs — byte-identical to in-process submit;
+//!   // Err(ClientError::Overloaded { retry_after_ms, .. }) is the typed shed.
+//!   ```
+//!
+//! [`EngineStats::queue_wait`] (and its per-session twin) records how long
+//! every acquisition waited for a session, as a log2 histogram with
+//! p50/p99 extraction — the engine-side half of the serving layer's
+//! tail-latency accounting.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -239,6 +297,7 @@
 #![warn(missing_docs)]
 
 pub use hj_adaptive as adaptive;
+pub use hj_server as server;
 pub use hj_spill as spill;
 
 pub mod build;
@@ -259,6 +318,7 @@ pub mod probe;
 pub mod result;
 pub mod schedule;
 pub mod scheme;
+pub mod serve;
 pub mod spilljoin;
 pub mod steps;
 
@@ -266,8 +326,8 @@ pub use build::{run_build_phase, BuildTarget};
 pub use config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 pub use context::{arena_bytes_for, ExecContext, ExecCounters};
 pub use engine::{
-    CoupledSim, DiscreteSim, EngineConfig, EngineStats, ExecBackend, JoinEngine, JoinRequest,
-    JoinRequestBuilder, NativeCpu, SessionStats, Tuning,
+    BatchItem, CoupledSim, DiscreteSim, EngineConfig, EngineLoad, EngineStats, ExecBackend,
+    JoinEngine, JoinRequest, JoinRequestBuilder, NativeCpu, SessionStats, Tuning,
 };
 pub use error::JoinError;
 pub use executor::execute_join;
@@ -287,5 +347,6 @@ pub use probe::{run_probe_phase, ProbeOutput};
 pub use result::{reference_match_count, reference_pairs, BasicUnitRatios, JoinOutcome};
 pub use schedule::{compose_pipeline, PipelineTiming, Ratios};
 pub use scheme::RatioPlan;
+pub use serve::{JoinServer, ServerConfig, ServerStats};
 pub use spilljoin::execute_spill_join;
 pub use steps::StepId;

@@ -1,0 +1,904 @@
+//! The TCP front-end of the serving layer: accepting socket, connection
+//! handlers, SLO-aware admission, cross-client batching and graceful
+//! shutdown.
+//!
+//! The protocol/admission/client half lives a layer below in the
+//! `hj-server` crate (re-exported as [`crate::server`]); this module owns
+//! everything that needs the [`JoinEngine`]:
+//!
+//! * [`JoinServer::start`] binds a listener and serves each connection on
+//!   its own thread, decoding [`WireRequest`]s into engine submissions and
+//!   streaming collected pair sets back in bounded
+//!   [`ServerConfig::chunk_pairs`] chunks;
+//! * every request passes the [`AdmissionController`] first — per-client
+//!   token buckets, the queue-time budget and deadline shedding — and a
+//!   shed request is answered with a typed `Overloaded` frame carrying a
+//!   retry hint and the engine load snapshot, never a timeout;
+//! * count-only requests below [`ServerConfig::batch_max_tuples`] from
+//!   *different* connections are coalesced by a background dispatcher into
+//!   one [`JoinEngine::submit_batch`] call, so a flood of small joins pays
+//!   one session acquisition per batch instead of per request;
+//! * [`JoinServer::shutdown`] (also run on drop) stops accepting, lets
+//!   every in-flight request finish, wakes idle connections and joins all
+//!   threads — no request is abandoned mid-reply and no thread leaks.
+//!
+//! ```no_run
+//! use hj_core::engine::{EngineConfig, JoinEngine};
+//! use hj_core::serve::{JoinServer, ServerConfig};
+//! use hj_core::server::{JoinClient, RequestBuilder, WireAlgorithm};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(
+//!     JoinEngine::native(EngineConfig::for_tuples(1 << 16, 1 << 17).sessions(4)).unwrap(),
+//! );
+//! let server = JoinServer::start(engine, ServerConfig::default()).unwrap();
+//!
+//! let (build, probe) = datagen::generate_pair(&datagen::DataGenConfig::small(4_096, 8_192));
+//! let mut client = JoinClient::connect(server.local_addr()).unwrap();
+//! let request = RequestBuilder::new(build, probe)
+//!     .algorithm(WireAlgorithm::Phj)
+//!     .collect_pairs(true)
+//!     .deadline_ms(2_000)
+//!     .build();
+//! let outcome = client.join(request).unwrap();
+//! println!("{} matches over the wire", outcome.matches);
+//! ```
+
+use crate::config::{Algorithm, Scheme};
+use crate::engine::{BatchItem, JoinEngine, JoinRequest};
+use crate::error::JoinError;
+use crate::pipeline::{lock_unpoisoned, wait_unpoisoned};
+use crate::result::JoinOutcome;
+use hj_server::admission::{Admission, AdmissionController, AdmissionStats, SloConfig, Ticket};
+use hj_server::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
+use hj_server::histogram::LatencyHistogram;
+use hj_server::message::{
+    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRequest,
+    WireResponse,
+};
+use std::collections::VecDeque;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing and policy knobs of one [`JoinServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; the default `127.0.0.1:0` picks a free loopback port
+    /// (read it back with [`JoinServer::local_addr`]).
+    pub addr: String,
+    /// Service-level objectives the admission controller enforces.
+    pub slo: SloConfig,
+    /// Ceiling on a single frame payload in either direction.
+    pub max_frame_bytes: usize,
+    /// Pairs per streamed chunk frame of a collected result.
+    pub chunk_pairs: usize,
+    /// Most requests one cross-client batch may coalesce; `1` disables
+    /// batching entirely.
+    pub batch_max_requests: usize,
+    /// Largest request (build + probe tuples) eligible for batching; bigger
+    /// requests — and any request streaming pairs — submit directly.
+    pub batch_max_tuples: usize,
+    /// Background dispatcher threads draining the batch queue.
+    pub dispatchers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            slo: SloConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_PAYLOAD_BYTES,
+            chunk_pairs: 64 * 1024,
+            batch_max_requests: 8,
+            batch_max_tuples: 8 * 1024,
+            dispatchers: 1,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the SLO / quota policy.
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Sets the cross-client batching bounds (`1` request disables it).
+    pub fn batching(mut self, max_requests: usize, max_tuples: usize) -> Self {
+        self.batch_max_requests = max_requests;
+        self.batch_max_tuples = max_tuples;
+        self
+    }
+
+    fn validate(&self) -> Result<(), JoinError> {
+        if self.chunk_pairs == 0 {
+            return Err(JoinError::InvalidConfig(
+                "chunk_pairs must be at least 1".to_string(),
+            ));
+        }
+        if self.batch_max_requests == 0 {
+            return Err(JoinError::InvalidConfig(
+                "batch_max_requests must be at least 1 (1 disables batching)".to_string(),
+            ));
+        }
+        if self.batch_max_requests > 1 && self.dispatchers == 0 {
+            return Err(JoinError::InvalidConfig(
+                "a batching server needs at least one dispatcher thread".to_string(),
+            ));
+        }
+        self.slo
+            .validate()
+            .map_err(|reason| JoinError::InvalidConfig(format!("invalid SLO config: {reason}")))
+    }
+}
+
+/// Point-in-time counters of one [`JoinServer`] ([`JoinServer::stats`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections refused because the server was shutting down.
+    pub connections_refused: u64,
+    /// Well-formed request frames received.
+    pub requests_received: u64,
+    /// Requests served to a complete reply.
+    pub requests_served: u64,
+    /// Requests answered with a typed error frame.
+    pub requests_failed: u64,
+    /// Requests shed with an `Overloaded` frame, by any reason.
+    pub requests_shed: u64,
+    /// Sheds attributed to an unmeetable deadline.
+    pub shed_deadline: u64,
+    /// Sheds attributed to an exhausted per-client quota.
+    pub shed_quota: u64,
+    /// Sheds attributed to the server's queue-time budget.
+    pub shed_queue_budget: u64,
+    /// Sheds attributed to engine saturation (pool + admission queue full).
+    pub shed_saturated: u64,
+    /// Cross-client batches dispatched to [`JoinEngine::submit_batch`].
+    pub batches_dispatched: u64,
+    /// Requests that rode inside those batches.
+    pub batched_requests: u64,
+    /// Connections dropped after a wire-protocol violation.
+    pub protocol_errors: u64,
+    /// Wall-clock from request-frame arrival to the last reply byte
+    /// handed to the socket, for served requests.
+    pub request_latency: LatencyHistogram,
+    /// Connection handler threads currently alive (0 after shutdown).
+    pub live_handlers: usize,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections_accepted: u64,
+    connections_refused: u64,
+    requests_received: u64,
+    requests_served: u64,
+    requests_failed: u64,
+    requests_shed: u64,
+    shed_deadline: u64,
+    shed_quota: u64,
+    shed_queue_budget: u64,
+    shed_saturated: u64,
+    batches_dispatched: u64,
+    batched_requests: u64,
+    protocol_errors: u64,
+    request_latency: LatencyHistogram,
+}
+
+/// What a batch dispatcher leaves in a waiting handler's slot.
+enum BatchReply {
+    /// The engine ran the request.
+    Ran(Box<Result<JoinOutcome, JoinError>>),
+    /// The request's deadline expired while it sat in the batch queue; the
+    /// handler answers with a deadline `Overloaded` frame.
+    Expired,
+    /// The engine panicked mid-batch; the handler answers with an
+    /// `Internal` error frame.
+    Panicked,
+}
+
+/// One handler's rendezvous with the dispatcher that runs its request.
+struct Slot {
+    reply: Mutex<Option<BatchReply>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot {
+            reply: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, reply: BatchReply) {
+        *lock_unpoisoned(&self.reply) = Some(reply);
+        self.ready.notify_one();
+    }
+
+    fn take(&self) -> BatchReply {
+        let mut reply = lock_unpoisoned(&self.reply);
+        loop {
+            if let Some(reply) = reply.take() {
+                return reply;
+            }
+            reply = wait_unpoisoned(&self.ready, reply);
+        }
+    }
+}
+
+/// One admitted, batchable request parked in the batch queue.
+struct BatchEntry {
+    wire: WireRequest,
+    request: JoinRequest,
+    ticket: Ticket,
+    /// Absolute deadline on the server clock (ns since server start);
+    /// `None` when the request carries no deadline.
+    deadline_at_ns: Option<u64>,
+    slot: Arc<Slot>,
+}
+
+impl BatchEntry {
+    /// Batch compatibility key: only requests the engine would execute
+    /// identically apart from their inputs ride in one batch.
+    fn key(&self) -> (u8, u8) {
+        (self.wire.algorithm as u8, self.wire.scheme as u8)
+    }
+}
+
+struct Batcher {
+    queue: Mutex<VecDeque<BatchEntry>>,
+    nonempty: Condvar,
+    draining: AtomicBool,
+}
+
+struct ServerShared {
+    engine: Arc<JoinEngine>,
+    config: ServerConfig,
+    admission: AdmissionController,
+    started: Instant,
+    shutting_down: AtomicBool,
+    stats: Mutex<StatsInner>,
+    live_handlers: AtomicUsize,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-connection stream clones, keyed by client id, used to wake idle
+    /// read loops during shutdown.  Handlers deregister their entry on
+    /// exit — that drop is also what delivers EOF to a peer the handler is
+    /// done with, and it keeps the table from growing with connection
+    /// churn.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    batcher: Batcher,
+}
+
+impl ServerShared {
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}
+
+/// A running TCP join server (see the [module docs](self)).
+pub struct JoinServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    listener_thread: Option<JoinHandle<()>>,
+    dispatcher_threads: Vec<JoinHandle<()>>,
+    done: bool,
+}
+
+impl std::fmt::Debug for JoinServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinServer")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JoinServer {
+    /// Binds [`ServerConfig::addr`] and starts serving `engine` — the
+    /// accept loop, the batch dispatchers and one handler thread per
+    /// connection all run in the background until
+    /// [`shutdown`](Self::shutdown) (or drop).
+    ///
+    /// # Errors
+    /// [`JoinError::InvalidConfig`] for invalid knobs or a bind failure.
+    pub fn start(engine: Arc<JoinEngine>, config: ServerConfig) -> Result<JoinServer, JoinError> {
+        config.validate()?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| JoinError::InvalidConfig(format!("cannot bind {}: {e}", config.addr)))?;
+        let addr = listener.local_addr().map_err(|e| {
+            JoinError::InvalidConfig(format!("cannot resolve the bound address: {e}"))
+        })?;
+        let admission = AdmissionController::new(config.slo.clone(), engine.config().sessions)
+            .map_err(|reason| JoinError::InvalidConfig(format!("invalid SLO config: {reason}")))?;
+        let batching = config.batch_max_requests > 1;
+        let dispatchers = if batching { config.dispatchers } else { 0 };
+        let shared = Arc::new(ServerShared {
+            engine,
+            config,
+            admission,
+            started: Instant::now(),
+            shutting_down: AtomicBool::new(false),
+            stats: Mutex::new(StatsInner::default()),
+            live_handlers: AtomicUsize::new(0),
+            handlers: Mutex::new(Vec::new()),
+            conns: Mutex::new(Vec::new()),
+            batcher: Batcher {
+                queue: Mutex::new(VecDeque::new()),
+                nonempty: Condvar::new(),
+                draining: AtomicBool::new(false),
+            },
+        });
+
+        let dispatcher_threads = (0..dispatchers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hj-serve-batch-{i}"))
+                    .spawn(move || dispatch_loop(&shared))
+                    .expect("spawn batch dispatcher")
+            })
+            .collect();
+
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hj-serve-accept".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn accept loop")
+        };
+
+        Ok(JoinServer {
+            shared,
+            addr,
+            listener_thread: Some(listener_thread),
+            dispatcher_threads,
+            done: false,
+        })
+    }
+
+    /// The address the server actually bound (resolves the `:0` port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let inner = lock_unpoisoned(&self.shared.stats);
+        ServerStats {
+            connections_accepted: inner.connections_accepted,
+            connections_refused: inner.connections_refused,
+            requests_received: inner.requests_received,
+            requests_served: inner.requests_served,
+            requests_failed: inner.requests_failed,
+            requests_shed: inner.requests_shed,
+            shed_deadline: inner.shed_deadline,
+            shed_quota: inner.shed_quota,
+            shed_queue_budget: inner.shed_queue_budget,
+            shed_saturated: inner.shed_saturated,
+            batches_dispatched: inner.batches_dispatched,
+            batched_requests: inner.batched_requests,
+            protocol_errors: inner.protocol_errors,
+            request_latency: inner.request_latency,
+            live_handlers: self.shared.live_handlers.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The admission controller's counters (admits, sheds by reason,
+    /// backlog and service estimate).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.shared.admission.stats()
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<JoinEngine> {
+        &self.shared.engine
+    }
+
+    /// Stops the server gracefully: no new connections are accepted,
+    /// every in-flight request runs to a complete reply, idle connections
+    /// are woken and closed, and every thread — accept loop, handlers,
+    /// dispatchers — is joined before this returns.  Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+
+        // Wake the accept loop with a throwaway connection so it observes
+        // the flag, then retire it — from here on the OS refuses new
+        // connections outright (the listener is closed).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+
+        // Wake handlers parked in read_frame: shutting down the read side
+        // delivers a clean EOF *between* frames, so a handler busy with a
+        // request finishes writing its reply first and exits on the next
+        // read.  In-flight work drains; idle connections close.
+        for (_, stream) in lock_unpoisoned(&self.shared.conns).drain(..) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handlers: Vec<_> = lock_unpoisoned(&self.shared.handlers).drain(..).collect();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+
+        // Only after every handler is gone (no new batch entries possible)
+        // may the dispatchers drain the queue and exit.
+        self.shared.batcher.draining.store(true, Ordering::SeqCst);
+        self.shared.batcher.nonempty.notify_all();
+        for handle in self.dispatcher_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JoinServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
+    let mut next_client = 0u64;
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // The shutdown self-connect lands here too; real late arrivals
+            // are refused by the close below and counted.
+            lock_unpoisoned(&shared.stats).connections_refused += 1;
+            drop(stream);
+            break;
+        }
+        next_client += 1;
+        let client_id = next_client;
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            lock_unpoisoned(&shared.conns).push((client_id, clone));
+        }
+        lock_unpoisoned(&shared.stats).connections_accepted += 1;
+        shared.live_handlers.fetch_add(1, Ordering::SeqCst);
+        let handler_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("hj-serve-conn-{client_id}"))
+            .spawn(move || {
+                handle_connection(&handler_shared, stream, client_id);
+                // Deregister (and thereby drop) the shutdown clone: with
+                // both descriptors gone the peer sees EOF now, not at
+                // server shutdown.
+                lock_unpoisoned(&handler_shared.conns).retain(|(id, _)| *id != client_id);
+                handler_shared.live_handlers.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection handler");
+        lock_unpoisoned(&shared.handlers).push(handle);
+    }
+}
+
+fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream, client_id: u64) {
+    loop {
+        match read_frame(&mut stream, shared.config.max_frame_bytes) {
+            Ok(None) => return, // clean close between frames
+            Ok(Some((FrameType::Request, payload))) => {
+                let arrived = Instant::now();
+                match WireRequest::decode(&payload) {
+                    Ok(wire) => {
+                        if handle_request(shared, &mut stream, client_id, wire, arrived).is_err() {
+                            return; // peer gone mid-reply
+                        }
+                    }
+                    Err(err) => {
+                        close_on_protocol_error(shared, &mut stream, &err);
+                        return;
+                    }
+                }
+            }
+            Ok(Some((other, _))) => {
+                let err = WireError::Protocol {
+                    detail: format!("clients may only send Request frames, got {other:?}"),
+                };
+                close_on_protocol_error(shared, &mut stream, &err);
+                return;
+            }
+            Err(WireError::Io(_)) => return, // peer vanished or timed out
+            Err(err) => {
+                close_on_protocol_error(shared, &mut stream, &err);
+                return;
+            }
+        }
+    }
+}
+
+/// Reports a protocol violation best-effort (the peer may already be gone)
+/// and lets the caller close the connection.
+fn close_on_protocol_error(shared: &Arc<ServerShared>, stream: &mut TcpStream, err: &WireError) {
+    lock_unpoisoned(&shared.stats).protocol_errors += 1;
+    let failure = WireFailure {
+        id: 0,
+        code: WireErrorCode::Protocol,
+        message: err.to_string(),
+    };
+    let mut w = BufWriter::new(stream);
+    let _ = write_frame(&mut w, FrameType::Error, &failure.encode());
+}
+
+/// Serves one decoded request end to end.  `Err` means the *connection* is
+/// dead (a reply write failed); request-level failures are replied to and
+/// return `Ok`.
+fn handle_request(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    client_id: u64,
+    wire: WireRequest,
+    arrived: Instant,
+) -> Result<(), WireError> {
+    lock_unpoisoned(&shared.stats).requests_received += 1;
+    let tuples = wire.build.len() + wire.probe.len();
+    let now_ns = shared.now_ns();
+
+    let ticket =
+        match shared
+            .admission
+            .admit(client_id, tuples, wire.deadline_ms, wire.priority, now_ns)
+        {
+            Admission::Admit(ticket) => ticket,
+            Admission::Shed {
+                reason,
+                retry_after_ms,
+            } => {
+                return write_overloaded(shared, stream, wire.id, reason, retry_after_ms);
+            }
+        };
+
+    let request = match engine_request(&wire) {
+        Ok(request) => request,
+        Err(err) => {
+            shared.admission.abandon(ticket);
+            return write_failure(shared, stream, wire.id, &err);
+        }
+    };
+
+    let batchable = !wire.collect_pairs
+        && shared.config.batch_max_requests > 1
+        && tuples <= shared.config.batch_max_tuples;
+    let result = if batchable {
+        match run_batched(shared, wire, request, ticket, now_ns) {
+            BatchedVerdict::Result(id, result) => {
+                return finish_request(shared, stream, id, false, *result, arrived);
+            }
+            BatchedVerdict::Shed(id, reason, retry_after_ms) => {
+                return write_overloaded(shared, stream, id, reason, retry_after_ms);
+            }
+        }
+    } else {
+        let started = Instant::now();
+        let outcome = submit_guarded(&shared.engine, &request, &wire);
+        match &outcome {
+            Ok(_) => shared
+                .admission
+                .complete(ticket, started.elapsed().as_nanos() as u64),
+            Err(_) => shared.admission.abandon(ticket),
+        }
+        outcome
+    };
+    finish_request(shared, stream, wire.id, wire.collect_pairs, result, arrived)
+}
+
+/// What the batched path resolved to.  The result stays boxed (it is
+/// ~400 bytes of `JoinOutcome`) so the shed variant is not padded to it.
+enum BatchedVerdict {
+    Result(u64, Box<Result<JoinOutcome, JoinError>>),
+    Shed(u64, ShedReason, u32),
+}
+
+/// Parks an admitted request in the batch queue and blocks until a
+/// dispatcher settles it.
+fn run_batched(
+    shared: &Arc<ServerShared>,
+    wire: WireRequest,
+    request: JoinRequest,
+    ticket: Ticket,
+    now_ns: u64,
+) -> BatchedVerdict {
+    let id = wire.id;
+    let slot = Slot::new();
+    let deadline_at_ns =
+        (wire.deadline_ms > 0).then(|| now_ns.saturating_add(wire.deadline_ms as u64 * 1_000_000));
+    let entry = BatchEntry {
+        wire,
+        request,
+        ticket,
+        deadline_at_ns,
+        slot: Arc::clone(&slot),
+    };
+    {
+        let mut queue = lock_unpoisoned(&shared.batcher.queue);
+        queue.push_back(entry);
+    }
+    shared.batcher.nonempty.notify_one();
+    match slot.take() {
+        BatchReply::Ran(result) => BatchedVerdict::Result(id, result),
+        BatchReply::Expired => BatchedVerdict::Shed(
+            id,
+            ShedReason::Deadline,
+            shared.admission.estimated_wait_ms(),
+        ),
+        BatchReply::Panicked => BatchedVerdict::Result(
+            id,
+            Box::new(Err(JoinError::InvalidConfig(
+                "the engine panicked while executing this batch".to_string(),
+            ))),
+        ),
+    }
+}
+
+/// The batch dispatcher: pops a run of compatible entries, re-checks their
+/// deadlines, runs them as one [`JoinEngine::submit_batch`] and settles
+/// every slot.  Exits only when draining is flagged *and* the queue is
+/// empty, so shutdown never strands a waiting handler.
+fn dispatch_loop(shared: &Arc<ServerShared>) {
+    loop {
+        let batch = {
+            let mut queue = lock_unpoisoned(&shared.batcher.queue);
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.batcher.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = wait_unpoisoned(&shared.batcher.nonempty, queue);
+            }
+            let first = queue.pop_front().expect("nonempty queue");
+            let key = first.key();
+            let mut batch = vec![first];
+            let mut tuples: usize = batch[0].wire.build.len() + batch[0].wire.probe.len();
+            let mut i = 0;
+            while i < queue.len() && batch.len() < shared.config.batch_max_requests {
+                let candidate = &queue[i];
+                let candidate_tuples = candidate.wire.build.len() + candidate.wire.probe.len();
+                if candidate.key() == key
+                    && tuples + candidate_tuples
+                        <= shared.config.batch_max_requests * shared.config.batch_max_tuples
+                {
+                    tuples += candidate_tuples;
+                    batch.push(queue.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+            batch
+        };
+        run_batch(shared, batch);
+    }
+}
+
+fn run_batch(shared: &Arc<ServerShared>, batch: Vec<BatchEntry>) {
+    // Deadline re-check at dispatch: entries that already missed their
+    // deadline in the queue are shed now — running them would only waste a
+    // session on a reply the client has written off.
+    let now_ns = shared.now_ns();
+    let (expired, live): (Vec<BatchEntry>, Vec<BatchEntry>) = batch
+        .into_iter()
+        .partition(|entry| entry.deadline_at_ns.is_some_and(|at| at < now_ns));
+    for entry in expired {
+        shared.admission.abandon(entry.ticket);
+        {
+            let mut stats = lock_unpoisoned(&shared.stats);
+            stats.requests_shed += 1;
+            stats.shed_deadline += 1;
+        }
+        entry.slot.fill(BatchReply::Expired);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    {
+        let mut stats = lock_unpoisoned(&shared.stats);
+        stats.batches_dispatched += 1;
+        stats.batched_requests += live.len() as u64;
+    }
+    let items: Vec<BatchItem<'_>> = live
+        .iter()
+        .map(|entry| BatchItem {
+            request: &entry.request,
+            build: &entry.wire.build,
+            probe: &entry.wire.probe,
+        })
+        .collect();
+    let started = Instant::now();
+    let verdicts = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.engine.submit_batch(&items)
+    }));
+    drop(items);
+    match verdicts {
+        Ok(verdicts) => {
+            let per_item_ns = started.elapsed().as_nanos() as u64 / live.len().max(1) as u64;
+            for (entry, verdict) in live.into_iter().zip(verdicts) {
+                match &verdict {
+                    Ok(_) => shared.admission.complete(entry.ticket, per_item_ns),
+                    Err(_) => shared.admission.abandon(entry.ticket),
+                }
+                entry.slot.fill(BatchReply::Ran(Box::new(verdict)));
+            }
+        }
+        Err(_) => {
+            // The panic is contained to this dispatcher; every waiting
+            // handler gets a typed internal error instead of a hang.
+            for entry in live {
+                shared.admission.abandon(entry.ticket);
+                entry.slot.fill(BatchReply::Panicked);
+            }
+        }
+    }
+}
+
+/// Runs one direct submission, downgrading an engine panic to a typed
+/// error so a poisoned request cannot kill its connection handler.
+fn submit_guarded(
+    engine: &JoinEngine,
+    request: &JoinRequest,
+    wire: &WireRequest,
+) -> Result<JoinOutcome, JoinError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.submit(request, &wire.build, &wire.probe)
+    }))
+    .unwrap_or_else(|_| {
+        Err(JoinError::InvalidConfig(
+            "the engine panicked while executing this request".to_string(),
+        ))
+    })
+}
+
+/// Writes the reply for a settled submission: the full response stream on
+/// success, an `Overloaded` frame for engine saturation, a typed error
+/// frame otherwise.
+fn finish_request(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    id: u64,
+    sent_pairs: bool,
+    result: Result<JoinOutcome, JoinError>,
+    arrived: Instant,
+) -> Result<(), WireError> {
+    match result {
+        Ok(outcome) => {
+            write_outcome(shared, stream, id, sent_pairs, &outcome)?;
+            let mut stats = lock_unpoisoned(&shared.stats);
+            stats.requests_served += 1;
+            stats
+                .request_latency
+                .record(arrived.elapsed().as_nanos() as u64);
+            Ok(())
+        }
+        Err(JoinError::Saturated { .. }) => write_overloaded(
+            shared,
+            stream,
+            id,
+            ShedReason::Saturated,
+            shared.admission.estimated_wait_ms(),
+        ),
+        Err(err) => write_failure(shared, stream, id, &err),
+    }
+}
+
+/// Maps wire tags onto an engine request.  The tags are versioned protocol
+/// surface; the presets they select can evolve with the engine.
+fn engine_request(wire: &WireRequest) -> Result<JoinRequest, JoinError> {
+    use hj_server::message::{WireAlgorithm, WireScheme};
+    let algorithm = match wire.algorithm {
+        WireAlgorithm::Shj => Algorithm::Simple,
+        WireAlgorithm::Phj => Algorithm::partitioned_auto(),
+    };
+    let scheme = match wire.scheme {
+        WireScheme::CpuOnly => Scheme::CpuOnly,
+        WireScheme::GpuOnly => Scheme::GpuOnly,
+        WireScheme::Offload => Scheme::offload_gpu(),
+        WireScheme::DataDividing => Scheme::data_dividing_paper(),
+        WireScheme::Pipelined => Scheme::pipelined_paper(),
+    };
+    JoinRequest::builder()
+        .algorithm(algorithm)
+        .scheme(scheme)
+        .collect_results(wire.collect_pairs)
+        .build()
+}
+
+fn write_outcome(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    id: u64,
+    sent_pairs: bool,
+    outcome: &JoinOutcome,
+) -> Result<(), WireError> {
+    let pairs: &[(u32, u32)] = if sent_pairs {
+        outcome.pairs.as_deref().unwrap_or(&[])
+    } else {
+        &[]
+    };
+    let chunk_pairs = shared.config.chunk_pairs;
+    let chunks = pairs.len().div_ceil(chunk_pairs) as u32;
+    let mut w = BufWriter::new(stream);
+    let head = WireResponse {
+        id,
+        matches: outcome.matches,
+        pair_count: pairs.len() as u64,
+        chunks,
+    };
+    write_frame(&mut w, FrameType::Response, &head.encode())?;
+    for (seq, slice) in pairs.chunks(chunk_pairs).enumerate() {
+        let chunk = WireChunk {
+            id,
+            seq: seq as u32,
+            pairs: slice.to_vec(),
+        };
+        write_frame(&mut w, FrameType::Chunk, &chunk.encode())?;
+    }
+    write_frame(&mut w, FrameType::Done, &WireDone { id, chunks }.encode())
+}
+
+fn write_overloaded(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    id: u64,
+    reason: ShedReason,
+    retry_after_ms: u32,
+) -> Result<(), WireError> {
+    {
+        let mut stats = lock_unpoisoned(&shared.stats);
+        stats.requests_shed += 1;
+        match reason {
+            ShedReason::Deadline => stats.shed_deadline += 1,
+            ShedReason::Quota => stats.shed_quota += 1,
+            ShedReason::QueueBudget => stats.shed_queue_budget += 1,
+            ShedReason::Saturated => stats.shed_saturated += 1,
+        }
+    }
+    let load = shared.engine.load();
+    let notice = WireOverloaded {
+        id,
+        reason,
+        retry_after_ms,
+        in_flight: load.in_flight as u32,
+        queued: load.queued as u32,
+    };
+    let mut w = BufWriter::new(stream);
+    write_frame(&mut w, FrameType::Overloaded, &notice.encode())
+}
+
+fn write_failure(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    id: u64,
+    err: &JoinError,
+) -> Result<(), WireError> {
+    lock_unpoisoned(&shared.stats).requests_failed += 1;
+    let code = match err {
+        JoinError::OversizedInput { .. } => WireErrorCode::Oversized,
+        JoinError::ArenaExhausted { .. } | JoinError::Spill(_) => WireErrorCode::Execution,
+        JoinError::InvalidConfig(reason) if reason.contains("panicked") => WireErrorCode::Internal,
+        _ => WireErrorCode::InvalidRequest,
+    };
+    let failure = WireFailure {
+        id,
+        code,
+        message: err.to_string(),
+    };
+    let mut w = BufWriter::new(stream);
+    write_frame(&mut w, FrameType::Error, &failure.encode())
+}

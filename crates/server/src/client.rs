@@ -1,0 +1,340 @@
+//! A blocking TCP client for the serving layer.
+//!
+//! One [`JoinClient`] owns one connection and issues requests
+//! sequentially — the intended unit of client-side parallelism is one
+//! client per thread, which is also what the open-loop bench harness
+//! does.  The client cross-checks the streamed chunk frames against the
+//! response head and the final `Done` marker, so a torn reply surfaces as
+//! a typed [`ClientError`] rather than a silently short pair set.
+
+use crate::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
+use crate::message::{
+    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRequest,
+    WireResponse,
+};
+use datagen::Relation;
+use std::fmt;
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a request can come back as, other than success.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (includes read timeouts).
+    Io(std::io::Error),
+    /// The server's reply violated the wire protocol.
+    Protocol {
+        /// What did not parse.
+        detail: String,
+    },
+    /// The request was shed by admission control — well-formed, retry
+    /// after the hinted backoff.
+    Overloaded {
+        /// Why the request was shed.
+        reason: ShedReason,
+        /// Suggested earliest retry, in milliseconds.
+        retry_after_ms: u32,
+        /// Engine requests in flight when the shed decision was made.
+        in_flight: u32,
+        /// Engine requests queued at that moment.
+        queued: u32,
+    },
+    /// The server reported a typed failure for this request.
+    Server {
+        /// Failure class.
+        code: WireErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            ClientError::Overloaded {
+                reason,
+                retry_after_ms,
+                ..
+            } => write!(
+                f,
+                "request shed ({}); retry after {retry_after_ms} ms",
+                reason.label()
+            ),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// True when the error is a shed notice (retryable by design).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ClientError::Overloaded { .. })
+    }
+}
+
+/// The decoded outcome of one served join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientOutcome {
+    /// Join match count.
+    pub matches: u64,
+    /// The streamed `(build_rid, probe_rid)` pairs, in server order; empty
+    /// when the request did not ask for pairs.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// A blocking connection to a join server.
+#[derive(Debug)]
+pub struct JoinClient {
+    stream: TcpStream,
+    max_payload: usize,
+    next_id: u64,
+}
+
+impl JoinClient {
+    /// Connects to `addr` with no read timeout.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<JoinClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(JoinClient {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD_BYTES,
+            next_id: 1,
+        })
+    }
+
+    /// Connects to `addr` and bounds every read by `timeout` — a server
+    /// that stops mid-reply surfaces as [`ClientError::Io`] instead of a
+    /// hang.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<JoinClient, ClientError> {
+        let client = JoinClient::connect(addr)?;
+        client.stream.set_read_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Caps reply payloads at `bytes` (default: the frame layer's 64 MiB).
+    pub fn set_max_payload(&mut self, bytes: usize) {
+        self.max_payload = bytes;
+    }
+
+    /// Sends `request` and blocks for the full reply.  The request's `id`
+    /// field is overwritten with a connection-unique id.
+    ///
+    /// # Errors
+    /// See [`ClientError`]; [`ClientError::Overloaded`] is the typed shed
+    /// notice.
+    pub fn join(&mut self, mut request: WireRequest) -> Result<ClientOutcome, ClientError> {
+        request.id = self.next_id;
+        self.next_id += 1;
+        {
+            let mut w = BufWriter::new(&self.stream);
+            write_frame(&mut w, FrameType::Request, &request.encode())?;
+        }
+        self.read_reply(request.id)
+    }
+
+    fn read_reply(&mut self, id: u64) -> Result<ClientOutcome, ClientError> {
+        let head = match self.read_frame_or_close()? {
+            (FrameType::Response, payload) => WireResponse::decode(&payload)?,
+            (FrameType::Overloaded, payload) => {
+                let over = WireOverloaded::decode(&payload)?;
+                self.check_id(over.id, id)?;
+                return Err(ClientError::Overloaded {
+                    reason: over.reason,
+                    retry_after_ms: over.retry_after_ms,
+                    in_flight: over.in_flight,
+                    queued: over.queued,
+                });
+            }
+            (FrameType::Error, payload) => {
+                let fail = WireFailure::decode(&payload)?;
+                return Err(ClientError::Server {
+                    code: fail.code,
+                    message: fail.message,
+                });
+            }
+            (other, _) => {
+                return Err(ClientError::Protocol {
+                    detail: format!("expected a reply head, got a {other:?} frame"),
+                })
+            }
+        };
+        self.check_id(head.id, id)?;
+
+        let mut pairs = Vec::with_capacity(head.pair_count.min(1 << 24) as usize);
+        let mut seen_chunks = 0u32;
+        loop {
+            match self.read_frame_or_close()? {
+                (FrameType::Chunk, payload) => {
+                    let chunk = WireChunk::decode(&payload)?;
+                    self.check_id(chunk.id, id)?;
+                    if chunk.seq != seen_chunks {
+                        return Err(ClientError::Protocol {
+                            detail: format!(
+                                "chunk arrived out of order: seq {} after {} chunks",
+                                chunk.seq, seen_chunks
+                            ),
+                        });
+                    }
+                    seen_chunks += 1;
+                    pairs.extend_from_slice(&chunk.pairs);
+                }
+                (FrameType::Done, payload) => {
+                    let done = WireDone::decode(&payload)?;
+                    self.check_id(done.id, id)?;
+                    if done.chunks != seen_chunks || head.chunks != seen_chunks {
+                        return Err(ClientError::Protocol {
+                            detail: format!(
+                                "chunk count mismatch: head promised {}, done says {}, \
+                                 received {seen_chunks}",
+                                head.chunks, done.chunks
+                            ),
+                        });
+                    }
+                    if pairs.len() as u64 != head.pair_count {
+                        return Err(ClientError::Protocol {
+                            detail: format!(
+                                "pair count mismatch: head promised {}, received {}",
+                                head.pair_count,
+                                pairs.len()
+                            ),
+                        });
+                    }
+                    return Ok(ClientOutcome {
+                        matches: head.matches,
+                        pairs,
+                    });
+                }
+                (FrameType::Error, payload) => {
+                    let fail = WireFailure::decode(&payload)?;
+                    return Err(ClientError::Server {
+                        code: fail.code,
+                        message: fail.message,
+                    });
+                }
+                (other, _) => {
+                    return Err(ClientError::Protocol {
+                        detail: format!("expected a chunk or done frame, got {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    fn read_frame_or_close(&mut self) -> Result<(FrameType, Vec<u8>), ClientError> {
+        match read_frame(&mut self.stream, self.max_payload)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Protocol {
+                detail: "server closed the connection mid-reply".into(),
+            }),
+        }
+    }
+
+    fn check_id(&self, got: u64, expected: u64) -> Result<(), ClientError> {
+        if got != expected {
+            return Err(ClientError::Protocol {
+                detail: format!("reply for request {got} while waiting on {expected}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A convenience builder for [`WireRequest`]s sent through [`JoinClient`].
+#[derive(Debug, Clone)]
+pub struct RequestBuilder {
+    request: WireRequest,
+}
+
+impl RequestBuilder {
+    /// A request joining `build` against `probe` with the crate defaults
+    /// (simple hash join, CPU only, count-only, no deadline).
+    pub fn new(build: Relation, probe: Relation) -> Self {
+        RequestBuilder {
+            request: WireRequest {
+                id: 0,
+                algorithm: crate::message::WireAlgorithm::Shj,
+                scheme: crate::message::WireScheme::CpuOnly,
+                collect_pairs: false,
+                priority: 0,
+                deadline_ms: 0,
+                build,
+                probe,
+            },
+        }
+    }
+
+    /// Sets the algorithm tag.
+    pub fn algorithm(mut self, algorithm: crate::message::WireAlgorithm) -> Self {
+        self.request.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the scheme tag.
+    pub fn scheme(mut self, scheme: crate::message::WireScheme) -> Self {
+        self.request.scheme = scheme;
+        self
+    }
+
+    /// Requests the materialised pair set, streamed in chunks.
+    pub fn collect_pairs(mut self, collect: bool) -> Self {
+        self.request.collect_pairs = collect;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.request.priority = priority;
+        self
+    }
+
+    /// Sets the completion deadline in milliseconds (`0`: none).
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.request.deadline_ms = ms;
+        self
+    }
+
+    /// The finished request.
+    pub fn build(self) -> WireRequest {
+        self.request
+    }
+}

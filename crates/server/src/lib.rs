@@ -1,0 +1,44 @@
+//! Protocol, admission-control and client half of the network serving
+//! layer.
+//!
+//! This crate sits *below* the engine (it depends only on `datagen` and
+//! the adaptive estimator) and holds everything the TCP front-end in
+//! `hj_core::serve` and remote clients share:
+//!
+//! * [`frame`] — the length-prefixed, FNV-checksummed binary frame layer
+//!   ([`write_frame`] / [`read_frame`]), with typed [`WireError`]s for
+//!   torn, oversized, corrupt or foreign-protocol streams;
+//! * [`message`] — the typed messages frames carry: [`WireRequest`],
+//!   [`WireResponse`], streamed [`WireChunk`]s, the positive [`WireDone`]
+//!   marker, typed [`WireFailure`]s and the [`WireOverloaded`] shed
+//!   notice;
+//! * [`admission`] — the SLO-aware [`AdmissionController`]: per-client
+//!   token-bucket quotas, an EWMA service-time estimate, a queue-time
+//!   budget and deadline-based shedding, all on a caller-supplied clock
+//!   so every decision is deterministic under test;
+//! * [`histogram`] — the log2-bucket [`LatencyHistogram`] both the engine
+//!   (queue-wait stats) and the bench harness (tail-latency percentiles)
+//!   record into;
+//! * [`client`] — the blocking [`JoinClient`] plus [`RequestBuilder`].
+//!
+//! The engine-facing half — the accepting socket, connection handlers,
+//! cross-client batching and graceful shutdown — lives in
+//! `hj_core::serve`, which maps [`WireRequest`]s onto engine submissions.
+
+pub mod admission;
+pub mod client;
+pub mod frame;
+pub mod histogram;
+pub mod message;
+
+pub use admission::{Admission, AdmissionController, AdmissionStats, SloConfig, Ticket};
+pub use client::{ClientError, ClientOutcome, JoinClient, RequestBuilder};
+pub use frame::{
+    read_frame, write_frame, FrameType, PayloadReader, PayloadWriter, WireError,
+    DEFAULT_MAX_PAYLOAD_BYTES, HEADER_BYTES, MAGIC, VERSION,
+};
+pub use histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
+pub use message::{
+    ShedReason, WireAlgorithm, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded,
+    WireRequest, WireResponse, WireScheme, MAX_WIRE_TUPLES,
+};

@@ -1,0 +1,536 @@
+//! Typed messages carried in wire frames: join requests, responses,
+//! streamed pair chunks, shed notices and errors.
+//!
+//! The wire model deliberately does **not** reuse the engine's `Scheme` /
+//! `Algorithm` types: the protocol names compact, versioned tags
+//! ([`WireAlgorithm`], [`WireScheme`]) and the serving layer maps them onto
+//! whatever the engine currently supports — the wire format can stay
+//! stable while the engine evolves underneath it.
+
+use crate::frame::{PayloadReader, PayloadWriter, WireError};
+use datagen::Relation;
+
+/// Ceiling on the relation cardinalities one request frame may carry (the
+/// per-column count fields are `u32`, but a hostile count close to
+/// `u32::MAX` must be rejected before the column allocation, consistently
+/// with the frame-level payload ceiling).
+pub const MAX_WIRE_TUPLES: usize = 256 * 1024 * 1024;
+
+/// The join algorithm, as a wire tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireAlgorithm {
+    /// Simple hash join.
+    Shj = 0,
+    /// Radix-partitioned hash join (auto radix bits, one pass).
+    Phj = 1,
+}
+
+impl WireAlgorithm {
+    fn from_u8(raw: u8) -> Result<Self, WireError> {
+        match raw {
+            0 => Ok(WireAlgorithm::Shj),
+            1 => Ok(WireAlgorithm::Phj),
+            _ => Err(WireError::Protocol {
+                detail: format!("unknown algorithm tag {raw}"),
+            }),
+        }
+    }
+}
+
+/// The co-processing scheme, as a wire tag (paper presets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireScheme {
+    /// Everything on the CPU.
+    CpuOnly = 0,
+    /// Everything on the GPU.
+    GpuOnly = 1,
+    /// Off-loading (the paper's OL preset).
+    Offload = 2,
+    /// Data dividing (the paper's DD ratios).
+    DataDividing = 3,
+    /// Pipelined fine-grained co-processing (the paper's PL ratios).
+    Pipelined = 4,
+}
+
+impl WireScheme {
+    fn from_u8(raw: u8) -> Result<Self, WireError> {
+        match raw {
+            0 => Ok(WireScheme::CpuOnly),
+            1 => Ok(WireScheme::GpuOnly),
+            2 => Ok(WireScheme::Offload),
+            3 => Ok(WireScheme::DataDividing),
+            4 => Ok(WireScheme::Pipelined),
+            _ => Err(WireError::Protocol {
+                detail: format!("unknown scheme tag {raw}"),
+            }),
+        }
+    }
+}
+
+/// One decoded join request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id, echoed on every frame of the reply.
+    pub id: u64,
+    /// Join algorithm tag.
+    pub algorithm: WireAlgorithm,
+    /// Co-processing scheme tag.
+    pub scheme: WireScheme,
+    /// Materialise and stream the pair set (otherwise only the match count
+    /// is returned).
+    pub collect_pairs: bool,
+    /// Scheduling priority (higher = more important; see the admission
+    /// controller for the exact semantics).
+    pub priority: u8,
+    /// Completion deadline in milliseconds from arrival; `0` means none.
+    /// A request whose *estimated* completion would bust the deadline is
+    /// shed with [`WireOverloaded`] instead of being queued to fail.
+    pub deadline_ms: u32,
+    /// Build-side relation.
+    pub build: Relation,
+    /// Probe-side relation.
+    pub probe: Relation,
+}
+
+impl WireRequest {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(32 + 8 * (self.build.len() + self.probe.len()));
+        w.put_u64(self.id);
+        w.put_u8(self.algorithm as u8);
+        w.put_u8(self.scheme as u8);
+        w.put_u8(self.collect_pairs as u8);
+        w.put_u8(self.priority);
+        w.put_u32(self.deadline_ms);
+        w.put_u32(self.build.len() as u32);
+        w.put_u32(self.probe.len() as u32);
+        w.put_u32_slice(self.build.keys());
+        w.put_u32_slice(self.build.rids());
+        w.put_u32_slice(self.probe.keys());
+        w.put_u32_slice(self.probe.rids());
+        w.into_bytes()
+    }
+
+    /// Decodes a request payload, rejecting malformed tags, impossible
+    /// cardinalities and trailing garbage.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on any structural problem.
+    pub fn decode(payload: &[u8]) -> Result<WireRequest, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let id = r.get_u64("request id")?;
+        let algorithm = WireAlgorithm::from_u8(r.get_u8("algorithm tag")?)?;
+        let scheme = WireScheme::from_u8(r.get_u8("scheme tag")?)?;
+        let collect_pairs = match r.get_u8("collect flag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::Protocol {
+                    detail: format!("collect flag must be 0 or 1, got {other}"),
+                })
+            }
+        };
+        let priority = r.get_u8("priority")?;
+        let deadline_ms = r.get_u32("deadline")?;
+        let build_len = r.get_u32("build cardinality")? as usize;
+        let probe_len = r.get_u32("probe cardinality")? as usize;
+        if build_len > MAX_WIRE_TUPLES || probe_len > MAX_WIRE_TUPLES {
+            return Err(WireError::Protocol {
+                detail: format!(
+                    "request claims {build_len} x {probe_len} tuples, above the \
+                     {MAX_WIRE_TUPLES}-tuple wire limit"
+                ),
+            });
+        }
+        let build_keys = r.get_u32_vec(build_len, "build keys")?;
+        let build_rids = r.get_u32_vec(build_len, "build rids")?;
+        let probe_keys = r.get_u32_vec(probe_len, "probe keys")?;
+        let probe_rids = r.get_u32_vec(probe_len, "probe rids")?;
+        r.expect_exhausted("request")?;
+        Ok(WireRequest {
+            id,
+            algorithm,
+            scheme,
+            collect_pairs,
+            priority,
+            deadline_ms,
+            build: Relation::from_columns(build_rids, build_keys),
+            probe: Relation::from_columns(probe_rids, probe_keys),
+        })
+    }
+}
+
+/// The scalar head of a successful reply; [`WireChunk`]s follow when pairs
+/// were collected, closed by a [`WireDone`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Join match count.
+    pub matches: u64,
+    /// Total pairs that will be streamed (0 when pairs were not collected).
+    pub pair_count: u64,
+    /// Chunk frames that will follow.
+    pub chunks: u32,
+}
+
+impl WireResponse {
+    /// Encodes the response head.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(28);
+        w.put_u64(self.id);
+        w.put_u64(self.matches);
+        w.put_u64(self.pair_count);
+        w.put_u32(self.chunks);
+        w.into_bytes()
+    }
+
+    /// Decodes a response head.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireResponse, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireResponse {
+            id: r.get_u64("response id")?,
+            matches: r.get_u64("match count")?,
+            pair_count: r.get_u64("pair count")?,
+            chunks: r.get_u32("chunk count")?,
+        };
+        r.expect_exhausted("response")?;
+        Ok(out)
+    }
+}
+
+/// One bounded slice of a collected pair set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireChunk {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Zero-based chunk sequence number.
+    pub seq: u32,
+    /// `(build_rid, probe_rid)` pairs of this slice.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+impl WireChunk {
+    /// Encodes the chunk.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(16 + 8 * self.pairs.len());
+        w.put_u64(self.id);
+        w.put_u32(self.seq);
+        w.put_u32(self.pairs.len() as u32);
+        for &(b, p) in &self.pairs {
+            w.put_u32(b);
+            w.put_u32(p);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a chunk.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireChunk, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let id = r.get_u64("chunk id")?;
+        let seq = r.get_u32("chunk seq")?;
+        let count = r.get_u32("chunk pair count")? as usize;
+        // A hostile count cannot drive the reservation past what the
+        // payload could physically carry (8 bytes per pair).
+        let mut pairs = Vec::with_capacity(count.min(payload.len() / 8 + 1));
+        for _ in 0..count {
+            let b = r.get_u32("chunk build rid")?;
+            let p = r.get_u32("chunk probe rid")?;
+            pairs.push((b, p));
+        }
+        r.expect_exhausted("chunk")?;
+        Ok(WireChunk { id, seq, pairs })
+    }
+}
+
+/// Positive end-of-reply marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDone {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Chunks that were streamed; the client cross-checks this against what
+    /// it received, so a torn stream cannot masquerade as a short result.
+    pub chunks: u32,
+}
+
+impl WireDone {
+    /// Encodes the marker.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(12);
+        w.put_u64(self.id);
+        w.put_u32(self.chunks);
+        w.into_bytes()
+    }
+
+    /// Decodes the marker.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireDone, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireDone {
+            id: r.get_u64("done id")?,
+            chunks: r.get_u32("done chunk count")?,
+        };
+        r.expect_exhausted("done")?;
+        Ok(out)
+    }
+}
+
+/// Why a request was shed rather than served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ShedReason {
+    /// Estimated completion (queue wait + service estimate) would bust the
+    /// request's deadline.
+    Deadline = 0,
+    /// The client's token-bucket quota is exhausted.
+    Quota = 1,
+    /// The server's queue-time budget is exhausted (backlog too deep for
+    /// any new work, deadline or not).
+    QueueBudget = 2,
+    /// The engine's session pool and admission queue were both full.
+    Saturated = 3,
+}
+
+impl ShedReason {
+    fn from_u8(raw: u8) -> Result<Self, WireError> {
+        match raw {
+            0 => Ok(ShedReason::Deadline),
+            1 => Ok(ShedReason::Quota),
+            2 => Ok(ShedReason::QueueBudget),
+            3 => Ok(ShedReason::Saturated),
+            _ => Err(WireError::Protocol {
+                detail: format!("unknown shed reason {raw}"),
+            }),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::Deadline => "deadline",
+            ShedReason::Quota => "quota",
+            ShedReason::QueueBudget => "queue-budget",
+            ShedReason::Saturated => "saturated",
+        }
+    }
+}
+
+/// A typed shed notice: the request was well-formed but not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireOverloaded {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Why the request was shed.
+    pub reason: ShedReason,
+    /// Suggested earliest retry, in milliseconds.
+    pub retry_after_ms: u32,
+    /// Requests in flight on the engine when the shed decision was made.
+    pub in_flight: u32,
+    /// Requests queued for a session at that moment.
+    pub queued: u32,
+}
+
+impl WireOverloaded {
+    /// Encodes the notice.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(24);
+        w.put_u64(self.id);
+        w.put_u8(self.reason as u8);
+        w.put_u32(self.retry_after_ms);
+        w.put_u32(self.in_flight);
+        w.put_u32(self.queued);
+        w.into_bytes()
+    }
+
+    /// Decodes the notice.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireOverloaded, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireOverloaded {
+            id: r.get_u64("overloaded id")?,
+            reason: ShedReason::from_u8(r.get_u8("shed reason")?)?,
+            retry_after_ms: r.get_u32("retry-after")?,
+            in_flight: r.get_u32("in-flight")?,
+            queued: r.get_u32("queued")?,
+        };
+        r.expect_exhausted("overloaded")?;
+        Ok(out)
+    }
+}
+
+/// Coarse failure classes the server reports back over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireErrorCode {
+    /// The request frame decoded but named an invalid configuration.
+    InvalidRequest = 1,
+    /// The inputs exceed what the engine admits.
+    Oversized = 2,
+    /// The join failed during execution (arena exhaustion, backend error).
+    Execution = 3,
+    /// The peer violated the frame protocol (reported best-effort before
+    /// the connection closes).
+    Protocol = 4,
+    /// The server failed internally (e.g. a panicked backend).
+    Internal = 5,
+}
+
+impl WireErrorCode {
+    fn from_u8(raw: u8) -> Result<Self, WireError> {
+        match raw {
+            1 => Ok(WireErrorCode::InvalidRequest),
+            2 => Ok(WireErrorCode::Oversized),
+            3 => Ok(WireErrorCode::Execution),
+            4 => Ok(WireErrorCode::Protocol),
+            5 => Ok(WireErrorCode::Internal),
+            _ => Err(WireError::Protocol {
+                detail: format!("unknown error code {raw}"),
+            }),
+        }
+    }
+}
+
+/// A typed failure reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFailure {
+    /// Echo of the request id (`0` for connection-level protocol errors
+    /// that have no decodable request).
+    pub id: u64,
+    /// Failure class.
+    pub code: WireErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireFailure {
+    /// Encodes the failure.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(16 + self.message.len());
+        w.put_u64(self.id);
+        w.put_u8(self.code as u8);
+        w.put_str(&self.message);
+        w.into_bytes()
+    }
+
+    /// Decodes the failure.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireFailure, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireFailure {
+            id: r.get_u64("error id")?,
+            code: WireErrorCode::from_u8(r.get_u8("error code")?)?,
+            message: r.get_str("error message")?,
+        };
+        r.expect_exhausted("error")?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> WireRequest {
+        WireRequest {
+            id: 42,
+            algorithm: WireAlgorithm::Phj,
+            scheme: WireScheme::Pipelined,
+            collect_pairs: true,
+            priority: 7,
+            deadline_ms: 250,
+            build: Relation::from_columns(vec![0, 1, 2], vec![10, 20, 30]),
+            probe: Relation::from_columns(vec![5, 6], vec![20, 30]),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = sample_request();
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn request_rejects_bad_tags_and_trailing_bytes() {
+        let req = sample_request();
+        let mut bytes = req.encode();
+        bytes[8] = 99; // algorithm tag
+        assert!(WireRequest::decode(&bytes).is_err());
+        let mut bytes = req.encode();
+        bytes.push(0);
+        let err = WireRequest::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn request_rejects_hostile_cardinalities() {
+        let req = sample_request();
+        let mut bytes = req.encode();
+        // The build-count field sits after id(8) + four u8 tags + deadline(4).
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = WireRequest::decode(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn scalar_messages_round_trip() {
+        let resp = WireResponse {
+            id: 1,
+            matches: 2,
+            pair_count: 3,
+            chunks: 4,
+        };
+        assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+
+        let chunk = WireChunk {
+            id: 1,
+            seq: 0,
+            pairs: vec![(1, 2), (3, 4)],
+        };
+        assert_eq!(WireChunk::decode(&chunk.encode()).unwrap(), chunk);
+
+        let done = WireDone { id: 1, chunks: 9 };
+        assert_eq!(WireDone::decode(&done.encode()).unwrap(), done);
+
+        let over = WireOverloaded {
+            id: 8,
+            reason: ShedReason::Deadline,
+            retry_after_ms: 40,
+            in_flight: 4,
+            queued: 2,
+        };
+        assert_eq!(WireOverloaded::decode(&over.encode()).unwrap(), over);
+
+        let fail = WireFailure {
+            id: 3,
+            code: WireErrorCode::Execution,
+            message: "arena exhausted".into(),
+        };
+        assert_eq!(WireFailure::decode(&fail.encode()).unwrap(), fail);
+    }
+
+    #[test]
+    fn shed_reasons_have_labels() {
+        for reason in [
+            ShedReason::Deadline,
+            ShedReason::Quota,
+            ShedReason::QueueBudget,
+            ShedReason::Saturated,
+        ] {
+            assert!(!reason.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Client: connect to a running join server (see the `serve` example),
+//! submit joins over TCP and handle typed shed replies.
+//!
+//! ```text
+//! cargo run --release --example serve     # terminal 1
+//! cargo run --release --example client    # terminal 2
+//! HJ_SERVE_ADDR=host:9000 cargo run --release --example client
+//! ```
+
+use coupled_hashjoin::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let addr = std::env::var("HJ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7644".to_string());
+    let (build, probe) = datagen::generate_pair(&DataGenConfig::small(16 * 1024, 32 * 1024));
+
+    // A bounded read timeout distinguishes "the server shed me" (typed,
+    // fast) from "the server is gone" (I/O error after the timeout).
+    let mut client = JoinClient::connect_timeout(&*addr, Duration::from_secs(10))
+        .expect("connect (is the serve example running?)");
+    println!("connected to {addr}");
+
+    // Count-only request: the reply is a single frame with the match count.
+    let start = Instant::now();
+    let outcome = client
+        .join(RequestBuilder::new(build.clone(), probe.clone()).build())
+        .expect("count-only join");
+    println!(
+        "count-only: {} matches in {:.2} ms",
+        outcome.matches,
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    assert_eq!(outcome.matches, reference_match_count(&build, &probe));
+
+    // Collected request: the server streams (build_rid, probe_rid) pairs
+    // back in bounded chunks; the client reassembles them in order.
+    let outcome = client
+        .join(
+            RequestBuilder::new(build.clone(), probe.clone())
+                .algorithm(WireAlgorithm::Phj)
+                .scheme(WireScheme::Pipelined)
+                .collect_pairs(true)
+                .build(),
+        )
+        .expect("collected join");
+    println!(
+        "collected: {} pairs streamed (first: {:?})",
+        outcome.pairs.len(),
+        outcome.pairs.first()
+    );
+
+    // A deadline the server cannot meet is shed *before* execution with a
+    // typed reply and a retry hint — not silently missed.
+    match client.join(
+        RequestBuilder::new(build.clone(), probe.clone())
+            .deadline_ms(1)
+            .build(),
+    ) {
+        Ok(out) => println!("1 ms deadline met anyway: {} matches", out.matches),
+        Err(ClientError::Overloaded {
+            reason,
+            retry_after_ms,
+            in_flight,
+            queued,
+        }) => println!(
+            "shed ({reason:?}): retry in {retry_after_ms} ms \
+             (server load: {in_flight} in flight, {queued} queued)"
+        ),
+        Err(other) => panic!("unexpected failure: {other}"),
+    }
+
+    // Hammer the per-client quota to show typed backpressure: the server
+    // keeps the connection healthy across sheds, so the loop just backs
+    // off and continues.
+    let mut served = 0u32;
+    let mut shed = 0u32;
+    for _ in 0..30 {
+        match client.join(RequestBuilder::new(build.clone(), probe.clone()).build()) {
+            Ok(_) => served += 1,
+            Err(err) if err.is_overloaded() => {
+                shed += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    println!("burst of 30: {served} served, {shed} shed with typed backpressure");
+}

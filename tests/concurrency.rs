@@ -180,6 +180,8 @@ fn overload_beyond_sessions_and_queue_is_saturated() {
         Err(JoinError::Saturated {
             sessions: 2,
             queue_depth: 0,
+            in_flight: 2,
+            queued: 0,
         }) => {}
         other => panic!("expected Saturated, got {other:?}"),
     }

@@ -1,0 +1,590 @@
+//! Serving-layer integration tests (run in release mode by CI): wire
+//! results byte-identical to in-process submission, protocol robustness
+//! against malformed frames, typed overload shedding, cross-client
+//! batching and graceful shutdown.
+
+use coupled_hashjoin::hj_core::server::{
+    read_frame, write_frame, FrameType, WireErrorCode, WireFailure, HEADER_BYTES,
+};
+use coupled_hashjoin::hj_core::{ExecContext, JoinOutcome};
+use coupled_hashjoin::prelude::*;
+use datagen::Relation;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+fn test_pair(n: usize) -> (Relation, Relation) {
+    datagen::generate_pair(&DataGenConfig::small(n, 2 * n))
+}
+
+fn start_server(engine: JoinEngine, config: ServerConfig) -> JoinServer {
+    JoinServer::start(Arc::new(engine), config).unwrap()
+}
+
+/// The tentpole identity: for every algorithm x scheme on both a simulator
+/// and the native backend, the pair set served over the wire is
+/// byte-identical to what an in-process `submit` returns.
+#[test]
+fn wire_pairs_are_byte_identical_to_in_process_submit() {
+    let (r, s) = test_pair(3_000);
+    let combos = [
+        (
+            WireAlgorithm::Shj,
+            Scheme::offload_gpu(),
+            WireScheme::Offload,
+        ),
+        (
+            WireAlgorithm::Shj,
+            Scheme::data_dividing_paper(),
+            WireScheme::DataDividing,
+        ),
+        (
+            WireAlgorithm::Shj,
+            Scheme::pipelined_paper(),
+            WireScheme::Pipelined,
+        ),
+        (
+            WireAlgorithm::Phj,
+            Scheme::offload_gpu(),
+            WireScheme::Offload,
+        ),
+        (
+            WireAlgorithm::Phj,
+            Scheme::data_dividing_paper(),
+            WireScheme::DataDividing,
+        ),
+        (
+            WireAlgorithm::Phj,
+            Scheme::pipelined_paper(),
+            WireScheme::Pipelined,
+        ),
+    ];
+    for native in [false, true] {
+        let config = EngineConfig::for_tuples(3_000, 6_000).sessions(2);
+        let engine = if native {
+            JoinEngine::native(config).unwrap()
+        } else {
+            JoinEngine::coupled(config).unwrap()
+        };
+        let engine = Arc::new(engine);
+        let server = JoinServer::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+        let mut client = JoinClient::connect(server.local_addr()).unwrap();
+        for (wire_alg, scheme, wire_scheme) in &combos {
+            let algorithm = match wire_alg {
+                WireAlgorithm::Shj => Algorithm::Simple,
+                WireAlgorithm::Phj => Algorithm::partitioned_auto(),
+            };
+            let request = JoinRequest::builder()
+                .algorithm(algorithm)
+                .scheme(scheme.clone())
+                .collect_results(true)
+                .build()
+                .unwrap();
+            let local = engine.submit(&request, &r, &s).unwrap();
+            let remote = client
+                .join(
+                    RequestBuilder::new(r.clone(), s.clone())
+                        .algorithm(*wire_alg)
+                        .scheme(*wire_scheme)
+                        .collect_pairs(true)
+                        .build(),
+                )
+                .unwrap();
+            assert_eq!(
+                remote.matches, local.matches,
+                "{wire_alg:?}/{wire_scheme:?}"
+            );
+            assert_eq!(
+                remote.pairs,
+                local.pairs.unwrap(),
+                "wire pairs diverged for {wire_alg:?}/{wire_scheme:?} (native={native})"
+            );
+        }
+    }
+}
+
+/// Count-only requests stream no chunks but agree with the reference.
+#[test]
+fn count_only_requests_round_trip() {
+    let (r, s) = test_pair(2_000);
+    let expected = reference_match_count(&r, &s);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(2_000, 4_000)).unwrap(),
+        ServerConfig::default(),
+    );
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    let outcome = client
+        .join(
+            RequestBuilder::new(r, s)
+                .algorithm(WireAlgorithm::Phj)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(outcome.matches, expected);
+    assert!(outcome.pairs.is_empty());
+}
+
+/// Large collected results are streamed in bounded chunks and reassembled.
+#[test]
+fn pair_streaming_chunks_and_reassembles() {
+    let (r, s) = test_pair(4_000);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(4_000, 8_000)).unwrap(),
+        ServerConfig {
+            chunk_pairs: 128, // force many chunks
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    let outcome = client
+        .join(
+            RequestBuilder::new(r.clone(), s.clone())
+                .collect_pairs(true)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(outcome.pairs.len() as u64, outcome.matches);
+    assert!(
+        outcome.matches as usize > 128,
+        "the workload must actually span multiple chunks"
+    );
+    let mut reference = coupled_hashjoin::hj_core::reference_pairs(&r, &s);
+    let mut got = outcome.pairs.clone();
+    reference.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol robustness: malformed bytes get a typed error and a clean close,
+// never a panic or a hang.
+// ---------------------------------------------------------------------------
+
+/// Reads frames until the peer closes, returning the last error frame seen.
+fn read_error_then_eof(stream: &mut TcpStream) -> Option<WireFailure> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut last = None;
+    while let Ok(Some((frame_type, payload))) = read_frame(stream, 1 << 20) {
+        if frame_type == FrameType::Error {
+            last = Some(WireFailure::decode(&payload).unwrap());
+        }
+    }
+    last
+}
+
+#[test]
+fn garbage_bytes_get_a_typed_error_and_a_close() {
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+        ServerConfig::default(),
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // More than a full header's worth of bytes, none of them our magic.
+    stream
+        .write_all(b"GET /join HTTP/1.1\r\nHost: example\r\n\r\n")
+        .unwrap();
+    let failure = read_error_then_eof(&mut stream).expect("expected a typed protocol error");
+    assert_eq!(failure.code, WireErrorCode::Protocol);
+    assert_eq!(failure.id, 0);
+    // The server survives and serves the next, well-behaved client.
+    let (r, s) = test_pair(200);
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    assert!(client.join(RequestBuilder::new(r, s).build()).is_ok());
+    assert_eq!(server.stats().protocol_errors, 1);
+}
+
+#[test]
+fn torn_frame_is_rejected_cleanly() {
+    let (r, s) = test_pair(200);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+        ServerConfig::default(),
+    );
+    let request = RequestBuilder::new(r, s).build();
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, FrameType::Request, &request.encode()).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Send the header plus half the payload, then hang up mid-frame.
+    stream.write_all(&bytes[..HEADER_BYTES + 40]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let failure = read_error_then_eof(&mut stream).expect("expected a typed protocol error");
+    assert_eq!(failure.code, WireErrorCode::Protocol);
+    assert!(failure.message.contains("torn"), "{}", failure.message);
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 256)).unwrap(),
+        ServerConfig {
+            max_frame_bytes: 4 * 1024,
+            ..ServerConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A syntactically valid header claiming a 3 GiB payload.
+    let mut header = Vec::new();
+    write_frame(&mut header, FrameType::Request, b"x").unwrap();
+    header.truncate(HEADER_BYTES);
+    header[8..12].copy_from_slice(&(3u32 << 30).to_le_bytes());
+    stream.write_all(&header).unwrap();
+    let failure = read_error_then_eof(&mut stream).expect("expected a typed protocol error");
+    assert_eq!(failure.code, WireErrorCode::Protocol);
+    assert!(failure.message.contains("oversized"), "{}", failure.message);
+}
+
+#[test]
+fn corrupt_checksum_is_rejected_with_a_typed_error() {
+    let (r, s) = test_pair(200);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+        ServerConfig::default(),
+    );
+    let request = RequestBuilder::new(r, s).build();
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, FrameType::Request, &request.encode()).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff; // flip one payload bit past the checksum
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&bytes).unwrap();
+    let failure = read_error_then_eof(&mut stream).expect("expected a typed protocol error");
+    assert_eq!(failure.code, WireErrorCode::Protocol);
+    assert!(failure.message.contains("checksum"), "{}", failure.message);
+}
+
+#[test]
+fn trailing_garbage_in_a_request_is_rejected() {
+    let (r, s) = test_pair(200);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+        ServerConfig::default(),
+    );
+    let request = RequestBuilder::new(r, s).build();
+    let mut payload = request.encode();
+    payload.extend_from_slice(&[0xde, 0xad]);
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, FrameType::Request, &payload).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(&bytes).unwrap();
+    let failure = read_error_then_eof(&mut stream).expect("expected a typed protocol error");
+    assert_eq!(failure.code, WireErrorCode::Protocol);
+    assert!(failure.message.contains("trailing"), "{}", failure.message);
+}
+
+// ---------------------------------------------------------------------------
+// Overload: typed sheds, never hangs or unexplained closes.
+// ---------------------------------------------------------------------------
+
+/// A backend whose executions block until the shared gate opens.
+struct GatedSim {
+    sys: SystemSpec,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl GatedSim {
+    fn pair(sessions: usize) -> (Arc<(Mutex<bool>, Condvar)>, JoinEngine) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let engine = JoinEngine::new(
+            Box::new(GatedSim {
+                sys: SystemSpec::coupled_a8_3870k(),
+                gate: Arc::clone(&gate),
+            }),
+            EngineConfig::for_tuples(1_024, 2_048)
+                .sessions(sessions)
+                .queue_depth(0),
+        )
+        .unwrap();
+        (gate, engine)
+    }
+
+    fn open(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+    }
+}
+
+impl ExecBackend for GatedSim {
+    fn name(&self) -> &'static str {
+        "gated-sim"
+    }
+
+    fn system(&self) -> &SystemSpec {
+        &self.sys
+    }
+
+    fn execute(
+        &self,
+        _ctx: &mut ExecContext<'_>,
+        _build: &Relation,
+        _probe: &Relation,
+        _request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        let (lock, cond) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cond.wait(open).unwrap();
+        }
+        Ok(JoinOutcome::default())
+    }
+}
+
+#[test]
+fn engine_saturation_is_a_typed_overloaded_reply() {
+    let (gate, engine) = GatedSim::pair(1);
+    let server = start_server(
+        engine,
+        ServerConfig {
+            batch_max_requests: 1, // direct submission; the gate holds it
+            ..ServerConfig::default()
+        },
+    );
+    let (r, s) = test_pair(200);
+
+    // Occupy the single session through one connection...
+    let addr = server.local_addr();
+    let (r2, s2) = (r.clone(), s.clone());
+    let holder = std::thread::spawn(move || {
+        let mut client = JoinClient::connect(addr).unwrap();
+        client.join(RequestBuilder::new(r2, s2).build())
+    });
+    while server.engine().load().in_flight == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // ...then overload from another: the reply must be a typed shed with a
+    // retry hint and the engine load snapshot, not a hang or a timeout.
+    let mut client = JoinClient::connect_timeout(addr, Duration::from_secs(30)).unwrap();
+    match client.join(RequestBuilder::new(r.clone(), s.clone()).build()) {
+        Err(ClientError::Overloaded {
+            reason,
+            retry_after_ms,
+            in_flight,
+            ..
+        }) => {
+            assert_eq!(reason, ShedReason::Saturated);
+            assert!(retry_after_ms >= 1);
+            assert_eq!(in_flight, 1);
+        }
+        other => panic!("expected a typed Overloaded, got {other:?}"),
+    }
+    assert_eq!(server.stats().shed_saturated, 1);
+
+    GatedSim::open(&gate);
+    assert!(holder.join().unwrap().is_ok());
+    // Drained: the same client is served on the same connection.
+    assert!(client.join(RequestBuilder::new(r, s).build()).is_ok());
+}
+
+#[test]
+fn quota_exhaustion_sheds_with_retry_after() {
+    let (r, s) = test_pair(200);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+        ServerConfig::default().slo(SloConfig::default().quota(2.0, 1.0)),
+    );
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    // Burst of 1: the first request is served...
+    assert!(client
+        .join(RequestBuilder::new(r.clone(), s.clone()).build())
+        .is_ok());
+    // ...and an immediate second is shed with Quota + a retry hint.
+    match client.join(RequestBuilder::new(r.clone(), s.clone()).build()) {
+        Err(ClientError::Overloaded {
+            reason: ShedReason::Quota,
+            retry_after_ms,
+            ..
+        }) => assert!((1..=1_000).contains(&retry_after_ms), "{retry_after_ms}"),
+        other => panic!("expected a quota shed, got {other:?}"),
+    }
+    // A different connection (different client key) is unaffected.
+    let mut other = JoinClient::connect(server.local_addr()).unwrap();
+    assert!(other.join(RequestBuilder::new(r, s).build()).is_ok());
+    let stats = server.stats();
+    assert_eq!(stats.shed_quota, 1);
+    assert_eq!(stats.requests_served, 2);
+}
+
+#[test]
+fn unmeetable_deadlines_are_shed_not_timed_out() {
+    let (r, s) = test_pair(2_000);
+    // Seed the estimator with an absurd prior: 1 ms per tuple means any
+    // millisecond-scale deadline on a 6000-tuple request is hopeless.
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(2_000, 4_000)).unwrap(),
+        ServerConfig::default().slo(SloConfig::default().prior_ns_per_tuple(1e6)),
+    );
+    let mut client =
+        JoinClient::connect_timeout(server.local_addr(), Duration::from_secs(30)).unwrap();
+    match client.join(
+        RequestBuilder::new(r.clone(), s.clone())
+            .deadline_ms(5)
+            .build(),
+    ) {
+        Err(ClientError::Overloaded {
+            reason: ShedReason::Deadline,
+            retry_after_ms,
+            ..
+        }) => assert!(retry_after_ms >= 1),
+        other => panic!("expected a deadline shed, got {other:?}"),
+    }
+    // The same request without a deadline is served (and its measured
+    // service time replaces the lying prior).
+    assert!(client.join(RequestBuilder::new(r, s).build()).is_ok());
+    assert_eq!(server.stats().shed_deadline, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-client batching
+// ---------------------------------------------------------------------------
+
+#[test]
+fn small_requests_from_many_clients_batch_onto_one_session() {
+    let (r, s) = test_pair(400);
+    let expected = reference_match_count(&r, &s);
+    let engine =
+        Arc::new(JoinEngine::coupled(EngineConfig::for_tuples(1_024, 2_048).sessions(2)).unwrap());
+    let server = JoinServer::start(
+        Arc::clone(&engine),
+        ServerConfig::default().batching(8, 4_096),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let (r, s) = (r.clone(), s.clone());
+            std::thread::spawn(move || {
+                let mut client = JoinClient::connect(addr).unwrap();
+                let mut matches = Vec::new();
+                for _ in 0..4 {
+                    let out = client
+                        .join(RequestBuilder::new(r.clone(), s.clone()).build())
+                        .unwrap();
+                    matches.push(out.matches);
+                }
+                matches
+            })
+        })
+        .collect();
+    for handle in clients {
+        for matches in handle.join().unwrap() {
+            assert_eq!(matches, expected);
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests_served, 24);
+    let engine_stats = engine.stats();
+    assert_eq!(engine_stats.requests_served, 24);
+    assert_eq!(stats.batched_requests, engine_stats.batched_requests);
+    assert!(
+        engine_stats.batched_requests > 0,
+        "small count-only requests must ride the batch path"
+    );
+    // Batching must have coalesced at least some concurrent requests: the
+    // engine saw fewer session acquisitions than requests.
+    assert!(
+        engine_stats.queue_wait.count() < 24,
+        "expected < 24 acquisitions, got {}",
+        engine_stats.queue_wait.count()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_drains_in_flight_rejects_new_and_joins_all_threads() {
+    let (gate, engine) = GatedSim::pair(1);
+    let mut server = start_server(
+        engine,
+        ServerConfig {
+            batch_max_requests: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+    let (r, s) = test_pair(200);
+
+    // One request in flight, held by the gate.
+    let holder = std::thread::spawn(move || {
+        let mut client = JoinClient::connect(addr).unwrap();
+        client.join(RequestBuilder::new(r, s).build())
+    });
+    while server.engine().load().in_flight == 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Shut down concurrently; open the gate a moment later so shutdown is
+    // observably draining (not just winning a race).
+    let gate_opener = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        GatedSim::open(&gate);
+    });
+    server.shutdown();
+    gate_opener.join().unwrap();
+
+    // The in-flight request completed with a full reply.
+    assert!(
+        holder.join().unwrap().is_ok(),
+        "shutdown must drain the in-flight request, not sever it"
+    );
+    // Every handler thread is gone.
+    assert_eq!(server.stats().live_handlers, 0);
+    // New connections are refused outright.
+    let refused = JoinClient::connect(addr)
+        .and_then(|mut c| {
+            let (r2, s2) = test_pair(64);
+            c.join(RequestBuilder::new(r2, s2).build())
+        })
+        .is_err();
+    assert!(refused, "a shut-down server must not serve new connections");
+    // Idempotent.
+    server.shutdown();
+}
+
+#[test]
+fn dropping_the_server_shuts_it_down() {
+    let (r, s) = test_pair(200);
+    let addr;
+    {
+        let server = start_server(
+            JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+            ServerConfig::default(),
+        );
+        addr = server.local_addr();
+        let mut client = JoinClient::connect(addr).unwrap();
+        assert!(client
+            .join(RequestBuilder::new(r.clone(), s.clone()).build())
+            .is_ok());
+    } // drop
+    let refused = JoinClient::connect(addr)
+        .and_then(|mut c| c.join(RequestBuilder::new(r, s).build()))
+        .is_err();
+    assert!(refused);
+}
+
+/// Requests served while a shutdown drains still produce correct replies
+/// on an already-open connection.
+#[test]
+fn idle_connections_are_woken_and_closed_by_shutdown() {
+    let mut server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(256, 512)).unwrap(),
+        ServerConfig::default(),
+    );
+    let (r, s) = test_pair(200);
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    assert!(client
+        .join(RequestBuilder::new(r.clone(), s.clone()).build())
+        .is_ok());
+    // The connection now idles in the server's read loop; shutdown must
+    // not hang on it.
+    server.shutdown();
+    assert_eq!(server.stats().live_handlers, 0);
+    // The closed connection surfaces as an error on the next use.
+    assert!(client.join(RequestBuilder::new(r, s).build()).is_err());
+}
