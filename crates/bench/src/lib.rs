@@ -22,6 +22,7 @@
 //! | `adaptive` | runtime tuner recovering from a bad prior (not in the paper) | [`adaptive`] |
 //! | `spill` | larger-than-memory joins under the memory governor (not in the paper) | [`spill`] |
 //! | `serving` | open-loop tail latency of the TCP serving layer (not in the paper) | [`serving`] |
+//! | `cached` | build-side hash-table cache, cold vs probe-only hot path (not in the paper) | [`cached`] |
 //!
 //! The global `HJ_SCALE` environment variable divides every cardinality
 //! (default 32, i.e. 512 K instead of 16 M tuples) so the whole suite runs in
@@ -32,6 +33,7 @@
 
 pub mod adaptive;
 pub mod breakdown;
+pub mod cached;
 pub mod common;
 pub mod endtoend;
 pub mod micro;
@@ -173,6 +175,12 @@ pub fn registry() -> Vec<Experiment> {
                           at 0.5/0.9/1.2x saturation",
             run: serving::serving,
         },
+        Experiment {
+            name: "cached",
+            description: "BENCH_cached: hash-table cache, rebuild-per-request vs probe-only \
+                          hot path (in-process and over TCP)",
+            run: cached::cached,
+        },
     ]
 }
 
@@ -207,6 +215,7 @@ mod tests {
             "adaptive",
             "spill",
             "serving",
+            "cached",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

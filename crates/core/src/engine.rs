@@ -46,6 +46,7 @@
 //! assert_eq!(engine.stats().arenas_created, 2); // one arena per session
 //! ```
 
+use crate::cached::{CacheKey, CacheParams, CacheStats, CachedTable, HashTableCache, TableHandle};
 use crate::config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 use crate::context::{arena_bytes_for, ExecContext};
 use crate::error::JoinError;
@@ -58,11 +59,12 @@ use crate::scheme::RatioPlan;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
 use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
-use hj_server::LatencyHistogram;
+use hj_metrics::LatencyHistogram;
 use hj_spill::{MemoryBroker, SpillConfig, SpillManager};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -476,6 +478,68 @@ pub trait ExecBackend: Send + Sync {
         probe: &Relation,
         request: &JoinRequest,
     ) -> Result<JoinOutcome, JoinError>;
+
+    /// The build-relevant parameters (beyond table identity) distinguishing
+    /// cached hash tables this backend would build for `request` over a
+    /// build side of `build_tuples` tuples — or `None` when the request
+    /// cannot be served from a cached table, in which case
+    /// [`JoinEngine::submit_cached`] transparently falls back to a full
+    /// per-request build.
+    ///
+    /// The default declines everything: a backend opts into the cache by
+    /// implementing this together with [`build_cached`](Self::build_cached)
+    /// and [`probe_cached`](Self::probe_cached).
+    fn cache_params(&self, request: &JoinRequest, build_tuples: usize) -> Option<CacheParams> {
+        let _ = (request, build_tuples);
+        None
+    }
+
+    /// Builds the immutable, shareable build side of `request` for the
+    /// hash-table cache.
+    ///
+    /// Only called for requests this backend accepted via
+    /// [`cache_params`](Self::cache_params), with a transient context whose
+    /// arena is **not** any session's (the built table outlives the request
+    /// and is probed concurrently by other sessions).
+    ///
+    /// # Errors
+    /// [`JoinError::InvalidConfig`] from the default implementation — a
+    /// backend that never returns `Some` from `cache_params` is never asked
+    /// to build.
+    fn build_cached(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        request: &JoinRequest,
+    ) -> Result<CachedTable, JoinError> {
+        let _ = (ctx, build, request);
+        Err(JoinError::InvalidConfig(
+            "this backend does not support cached hash tables".to_string(),
+        ))
+    }
+
+    /// Probes `probe` against a previously built cached table — the
+    /// probe-only hot path (build steps skipped entirely).
+    ///
+    /// Must produce results byte-identical to [`execute`](Self::execute)
+    /// over the same inputs: the same matches, the same pairs in the same
+    /// order.
+    ///
+    /// # Errors
+    /// [`JoinError::InvalidConfig`] from the default implementation, and
+    /// whatever the backend's probe pipeline raises otherwise.
+    fn probe_cached(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        cached: &CachedTable,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        let _ = (ctx, cached, probe, request);
+        Err(JoinError::InvalidConfig(
+            "this backend does not support cached hash tables".to_string(),
+        ))
+    }
 }
 
 fn simulate(
@@ -534,6 +598,29 @@ impl ExecBackend for CoupledSim {
         request: &JoinRequest,
     ) -> Result<JoinOutcome, JoinError> {
         simulate(ctx, build, probe, request)
+    }
+
+    fn cache_params(&self, request: &JoinRequest, build_tuples: usize) -> Option<CacheParams> {
+        crate::cached::sim_cache_params(&self.sys, request, build_tuples)
+    }
+
+    fn build_cached(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        request: &JoinRequest,
+    ) -> Result<CachedTable, JoinError> {
+        crate::cached::sim_build_cached(ctx, build, request)
+    }
+
+    fn probe_cached(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        cached: &CachedTable,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        crate::cached::sim_probe_cached(ctx, cached, probe, request)
     }
 }
 
@@ -861,6 +948,101 @@ impl ExecBackend for NativeCpu {
         );
         Ok(outcome)
     }
+
+    /// The native join ignores scheme, hash-table mode and grouping (they
+    /// are simulator placement hints), so every in-core request maps to the
+    /// same cached shard maps.
+    fn cache_params(&self, request: &JoinRequest, _build_tuples: usize) -> Option<CacheParams> {
+        if request.out_of_core_chunk().is_some() || request.spill_config().is_some() {
+            return None;
+        }
+        Some(CacheParams {
+            partitioning: (0, 0),
+            grouping: false,
+        })
+    }
+
+    fn build_cached(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        build: &Relation,
+        request: &JoinRequest,
+    ) -> Result<CachedTable, JoinError> {
+        let pool: &WorkerPool = match ctx.worker_pool() {
+            Some(pool) => pool,
+            None => self.fallback.get(),
+        };
+        // Builds take an execution slot like any native join: an engine
+        // flooded with cold tables still bounds its co-resident build state.
+        let _slot = self.gate.acquire(pool.workers());
+        let morsel = request.config().morsel_tuples.max(NATIVE_MIN_CHUNK_TUPLES);
+        let shards = crate::cached::native_build_shards(pool, build, morsel);
+        Ok(crate::cached::native_cached_table(shards, build.len()))
+    }
+
+    fn probe_cached(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        cached: &CachedTable,
+        probe: &Relation,
+        request: &JoinRequest,
+    ) -> Result<JoinOutcome, JoinError> {
+        let crate::cached::CachedPayload::Native { shards } = &cached.payload else {
+            return Err(JoinError::InvalidConfig(
+                "cached table was built by a different backend kind".to_string(),
+            ));
+        };
+        let pool: &WorkerPool = match ctx.worker_pool() {
+            Some(pool) => pool,
+            None => self.fallback.get(),
+        };
+        let _slot = self.gate.acquire(pool.workers());
+        // Shard addressing must match the *build-time* fan-out, not the
+        // current pool width (they only differ across engines).
+        let shard_count = shards.len();
+        let morsel = request.config().morsel_tuples.max(NATIVE_MIN_CHUNK_TUPLES);
+        let collect = request.config().collect_results;
+        let mut outcome = JoinOutcome::default();
+        let probe_start = Instant::now();
+        let probe_morsels = morsel_ranges(probe.len(), morsel);
+        let results: Vec<ProbeResult> = pool.run(probe_morsels.len(), |_, task| {
+            let task_start = Instant::now();
+            let mut matches = 0u64;
+            let mut pairs = Vec::new();
+            for i in probe_morsels[task].clone() {
+                let key = probe.key(i);
+                let shard = hash_key(key) as usize % shard_count;
+                if let Some(rids) = shards[shard].get(&key) {
+                    matches += rids.len() as u64;
+                    if collect {
+                        for &brid in rids {
+                            pairs.push((brid, probe.rid(i)));
+                        }
+                    }
+                }
+            }
+            (matches, pairs, task_start.elapsed().as_nanos() as f64)
+        });
+        let probe_elapsed = probe_start.elapsed();
+        // The adaptive tuner still observes probe morsels on the hot path;
+        // only the (skipped) build contributes no samples.
+        if let Some(tuner) = ctx.tuner.as_mut() {
+            for (range, (_, _, ns)) in probe_morsels.iter().zip(&results) {
+                tuner.observe_wall(SeriesKind::Probe, range.len(), *ns);
+            }
+        }
+        for (matches, pairs, _) in results {
+            outcome.matches += matches;
+            if collect {
+                outcome.pairs.get_or_insert_with(Vec::new).extend(pairs);
+            }
+        }
+        outcome.breakdown.add(
+            Phase::Probe,
+            SimTime::from_ns(probe_elapsed.as_nanos() as f64),
+        );
+        Ok(outcome)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1097,6 +1279,14 @@ pub struct EngineStats {
     /// (free session available) records a near-zero wait, so the histogram
     /// count equals the successful acquisitions.
     pub queue_wait: LatencyHistogram,
+    /// Tables currently registered with
+    /// [`JoinEngine::register_table`] (re-registrations replace, they do
+    /// not add).
+    pub registered_tables: usize,
+    /// Hash-table cache counters: hits, misses (= builds initiated),
+    /// evictions, invalidations, resident bytes, build nanoseconds hits
+    /// saved, and the cache-build latency histogram.
+    pub cache: CacheStats,
     /// Batches accepted by [`JoinEngine::submit_batch`].
     pub batches_submitted: u64,
     /// Individual requests that rode inside those batches (each also
@@ -1209,6 +1399,15 @@ pub struct JoinEngine {
     /// spilling request and removed (with any surviving run files) when
     /// the engine drops.
     spill_manager: std::sync::OnceLock<SpillManager>,
+    /// Registered build tables by name ([`register_table`](Self::register_table)).
+    registry: Mutex<HashMap<String, TableHandle>>,
+    /// Id source for registered tables (ids are engine-unique and stable
+    /// across re-registrations of a name).
+    next_table_id: AtomicU64,
+    /// Built hash tables shared across sessions, keyed by
+    /// `(table id, version, build-relevant parameters)`; bytes charged to
+    /// [`broker`](Self::broker), single-flight builds, LRU eviction.
+    cache: HashTableCache,
     arena_capacity: usize,
     started: Instant,
 }
@@ -1241,6 +1440,10 @@ impl JoinEngine {
                 allocator_kind: config.allocator,
             })
             .collect();
+        let broker = match config.memory_budget {
+            Some(budget) => MemoryBroker::new(budget),
+            None => MemoryBroker::unlimited(),
+        };
         Ok(JoinEngine {
             backend,
             pool: Mutex::new(SessionPool {
@@ -1255,11 +1458,11 @@ impl JoinEngine {
                 ..StatsInner::default()
             }),
             workers: SharedWorkerPool::new(config.effective_worker_threads()),
-            broker: match config.memory_budget {
-                Some(budget) => MemoryBroker::new(budget),
-                None => MemoryBroker::unlimited(),
-            },
+            cache: HashTableCache::new(broker.clone()),
+            broker,
             spill_manager: std::sync::OnceLock::new(),
+            registry: Mutex::new(HashMap::new()),
+            next_table_id: AtomicU64::new(0),
             arena_capacity: capacity,
             started: Instant::now(),
             config,
@@ -1370,6 +1573,8 @@ impl JoinEngine {
             spill_partitions: inner.spill_partitions,
             spill_fallback_joins: inner.spill_fallback_joins,
             queue_wait: inner.queue_wait,
+            registered_tables: lock_unpoisoned(&self.registry).len(),
+            cache: self.cache.stats(),
             batches_submitted: inner.batches_submitted,
             batched_requests: inner.batched_requests,
             per_session: inner.per_session.clone(),
@@ -1589,6 +1794,200 @@ impl JoinEngine {
             Err(payload) => {
                 self.release_session(session, false);
                 std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Registers (or replaces) a build table under `name`, returning a
+    /// versioned [`TableHandle`] for [`submit_cached`](Self::submit_cached).
+    ///
+    /// Re-registering an existing name bumps the version and invalidates
+    /// every cached hash table built from the previous data — in-flight
+    /// probes of the old version finish safely on their shared copy, but no
+    /// new request can observe it.  Handles are cheap to clone and share the
+    /// registered tuples; a *stale* handle (issued before a re-registration)
+    /// keeps joining against its own version's data.
+    pub fn register_table(&self, name: &str, tuples: Relation) -> TableHandle {
+        let mut registry = lock_unpoisoned(&self.registry);
+        let handle = match registry.get(name) {
+            Some(prev) => {
+                self.cache.invalidate_table(prev.id);
+                TableHandle {
+                    id: prev.id,
+                    version: prev.version + 1,
+                    name: Arc::clone(&prev.name),
+                    tuples: Arc::new(tuples),
+                }
+            }
+            None => TableHandle {
+                id: self.next_table_id.fetch_add(1, Ordering::Relaxed) + 1,
+                version: 1,
+                name: Arc::from(name),
+                tuples: Arc::new(tuples),
+            },
+        };
+        registry.insert(name.to_string(), handle.clone());
+        handle
+    }
+
+    /// The current handle of a registered table, or `None` for an unknown
+    /// name.
+    pub fn table(&self, name: &str) -> Option<TableHandle> {
+        lock_unpoisoned(&self.registry).get(name).cloned()
+    }
+
+    /// A point-in-time snapshot of the hash-table cache counters (also
+    /// embedded in [`stats`](Self::stats) as [`EngineStats::cache`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Submits a join of `probe` against a registered table, serving the
+    /// build side from the engine's hash-table cache.
+    ///
+    /// On a cache hit the request takes the **probe-only pipeline path**:
+    /// build steps are skipped entirely and the session probes the shared
+    /// immutable table (the adaptive tuner still observes probe morsels).
+    /// On a miss, exactly one request builds the table — in a transient
+    /// context outside any session arena — while concurrent misses on the
+    /// same key wait for it (single-flight).  Requests the backend cannot
+    /// serve from a cache (see [`ExecBackend::cache_params`]) fall back to
+    /// a plain [`submit`](Self::submit) with the handle's tuples:
+    /// per-request tables keep working unchanged.
+    ///
+    /// Results are byte-identical to the equivalent
+    /// [`submit`](Self::submit): same matches, same pairs in the same
+    /// order.
+    ///
+    /// # Errors
+    /// Those of [`submit`](Self::submit) (admission is sized to the
+    /// probe-only footprint on the cached path), plus
+    /// [`JoinError::CacheBuildFailed`] when the build this request waited
+    /// on single-flight failed or panicked.
+    pub fn submit_cached(
+        &self,
+        request: &JoinRequest,
+        table: &TableHandle,
+        probe: &Relation,
+    ) -> Result<JoinOutcome, JoinError> {
+        let build = table.tuples();
+        let Some(params) = self.backend.cache_params(request, build.len()) else {
+            return self.submit(request, build, probe);
+        };
+        // Probe-only admission: the cached build side lives outside every
+        // session arena, so only the probe's working state must fit.
+        let required = request.required_arena_bytes(0, probe.len(), self.backend.system());
+        if required > self.arena_capacity {
+            let mut stats = lock_unpoisoned(&self.stats);
+            stats.requests_failed += 1;
+            return Err(JoinError::OversizedInput {
+                build_tuples: 0,
+                probe_tuples: probe.len(),
+                required_bytes: required,
+                arena_bytes: self.arena_capacity,
+            });
+        }
+        let key = CacheKey {
+            table_id: table.id,
+            version: table.version,
+            backend: self.backend.name(),
+            params,
+        };
+        let mut session = self.acquire_session()?;
+        match self.run_cached_on_session(&mut session, request, table, probe, key) {
+            Ok(result) => {
+                self.release_session(session, result.is_ok());
+                result
+            }
+            Err(payload) => {
+                self.release_session(session, false);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// The cached-path twin of [`run_on_session`](Self::run_on_session):
+    /// resolves (or single-flight builds) the cached table, then runs the
+    /// probe-only pipeline on the session's context.
+    #[allow(clippy::type_complexity)]
+    fn run_cached_on_session(
+        &self,
+        session: &mut Session,
+        request: &JoinRequest,
+        table: &TableHandle,
+        probe: &Relation,
+        key: CacheKey,
+    ) -> Result<Result<JoinOutcome, JoinError>, Box<dyn std::any::Any + Send>> {
+        if request.config().allocator != session.allocator_kind {
+            session.allocator = Some(self.provision_arena(request.config().allocator));
+            session.allocator_kind = request.config().allocator;
+        }
+        let mut allocator = session.allocator.take().expect("session allocator present");
+        allocator.reset();
+        let tuning = request.tuning().unwrap_or(&self.config.tuning);
+        let tuner = if self.backend.system().is_discrete() {
+            None
+        } else {
+            tuning.tuner_for(&request.config().scheme)
+        };
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = ExecContext::with_allocator(
+                self.backend.system(),
+                allocator,
+                request.config().profile_cache,
+            )
+            .with_morsel_tuples(request.config().morsel_tuples)
+            .with_worker_pool(&self.workers);
+            if let Some(tuner) = tuner {
+                ctx = ctx.with_tuner(tuner);
+            }
+            // A panicking builder unwinds through get_or_build's failure
+            // guard (waiters drain with a typed error) and then through this
+            // catch_unwind (the session arena is reprovisioned below).
+            let result = self.cache.get_or_build(key, table.name(), || {
+                // The build gets its own transient arena, sized for the
+                // build side alone: the built table is shared across
+                // sessions and must not live in (or exhaust) this session's
+                // arena.
+                let arena = arena_bytes_for(table.tuples().len(), 0);
+                let mut build_ctx = ExecContext::new(
+                    self.backend.system(),
+                    request.config().allocator,
+                    arena,
+                    false,
+                )
+                .with_morsel_tuples(request.config().morsel_tuples)
+                .with_worker_pool(&self.workers);
+                self.backend
+                    .build_cached(&mut build_ctx, table.tuples(), request)
+            });
+            let result = result
+                .and_then(|cached| self.backend.probe_cached(&mut ctx, &cached, probe, request));
+            let result = result.map(|mut outcome| {
+                ctx.finalize_counters();
+                outcome.counters = ctx.counters.clone();
+                outcome.counters.matches = outcome.matches;
+                outcome.adaptive = ctx.take_tuner().map(|tuner| tuner.report());
+                outcome
+            });
+            (result, ctx.into_allocator())
+        }));
+        match executed {
+            Ok((result, allocator)) => {
+                session.allocator = Some(allocator);
+                if let Ok(outcome) = &result {
+                    if let Some(report) = &outcome.adaptive {
+                        let mut stats = lock_unpoisoned(&self.stats);
+                        stats.adaptive_requests += 1;
+                        stats.replans += report.replans;
+                        stats.per_session[session.id].replans += report.replans;
+                    }
+                }
+                Ok(result)
+            }
+            Err(payload) => {
+                session.allocator = Some(self.provision_arena(session.allocator_kind));
+                Err(payload)
             }
         }
     }

@@ -95,6 +95,16 @@ pub enum JoinError {
         /// Submissions waiting in the admission queue at that moment.
         queued: usize,
     },
+    /// A concurrently running cached-table build — which this request
+    /// waited on single-flight — failed or panicked.
+    ///
+    /// The cache entry is discarded, so the *next* request for the table
+    /// rebuilds from scratch; this request reports the shared failure
+    /// instead of parking forever on a build that will never finish.
+    CacheBuildFailed {
+        /// Name the table was registered under.
+        table: String,
+    },
     /// A structurally invalid configuration (mismatched knobs, zero-sized
     /// engine, ...).
     InvalidConfig(String),
@@ -167,6 +177,11 @@ impl fmt::Display for JoinError {
                 f,
                 "engine saturated: {in_flight}/{sessions} sessions in flight and \
                  {queued}/{queue_depth} queued submissions already waiting"
+            ),
+            JoinError::CacheBuildFailed { table } => write!(
+                f,
+                "cached hash-table build for table '{table}' failed; the entry was discarded \
+                 and the next request will rebuild it"
             ),
             JoinError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
             JoinError::Spill(reason) => write!(f, "spill path failed: {reason}"),

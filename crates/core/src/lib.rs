@@ -223,6 +223,48 @@
 //! p50/p99 extraction — the engine-side half of the serving layer's
 //! tail-latency accounting.
 //!
+//! ## Table registry & hash-table cache
+//!
+//! Every `submit` rebuilds the build-side hash table from scratch — the
+//! right default for ad-hoc joins, pure waste when many requests share one
+//! build relation.  The table registry ([`cached`]) removes the rebuild:
+//!
+//! * [`JoinEngine::register_table`] copies the tuples once into an
+//!   engine-owned, version-stamped [`TableHandle`]; re-registering the
+//!   same name bumps the version and invalidates every cached artefact of
+//!   the old one.  [`JoinEngine::table`] looks handles up by name (the
+//!   serving layer's `table_ref` requests resolve through it).
+//! * [`JoinEngine::submit_cached`] joins a registered table against a
+//!   per-request probe.  The built hash table is cached outside the
+//!   session arenas, keyed by `(table, version, backend, build-relevant
+//!   scheme parameters)` — a **hit skips the build phase entirely** and
+//!   runs a probe-only pipeline (the adaptive tuner still observes the
+//!   probe morsels); a miss builds under a single-flight guard, so N
+//!   concurrent cold requests cost one build and N−1 waiters.  A builder
+//!   that panics fails its waiters with the typed
+//!   [`JoinError::CacheBuildFailed`] instead of wedging them.
+//! * Cached bytes are charged to the engine's [`spill::MemoryBroker`] —
+//!   cache residency, spill grants and arena sizing share one budget — and
+//!   an LRU sweep releases cold entries under reclaim pressure.  Dropping
+//!   the engine returns every cached byte; [`EngineStats::cache`]
+//!   ([`CacheStats`]) reports hits, misses, evictions, invalidations,
+//!   resident bytes and a log2 build-latency histogram.
+//! * Results are **byte-identical** to the uncached `submit` for every
+//!   algorithm × scheme combination; configurations the cache cannot
+//!   serve (out-of-core, spill) fall back to the ordinary path inside
+//!   `submit_cached` transparently.
+//!
+//! **Migrating a repeated-build caller:** nothing existing changes —
+//! `submit` is untouched and per-request tables keep working.  Where the
+//! build side repeats, opt in:
+//!
+//! ```text
+//! let dim = engine.register_table("dim", build)?;     // copy once
+//! let out = engine.submit_cached(&request, &dim, &probe)?;  // cold: builds + caches
+//! let out = engine.submit_cached(&request, &dim, &probe)?;  // hot: probe-only
+//! assert!(engine.cache_stats().hits >= 1);
+//! ```
+//!
 //! ## Quick start
 //!
 //! ```
@@ -301,6 +343,7 @@ pub use hj_server as server;
 pub use hj_spill as spill;
 
 pub mod build;
+pub mod cached;
 pub mod coarse;
 pub mod config;
 pub mod context;
@@ -323,6 +366,7 @@ pub mod spilljoin;
 pub mod steps;
 
 pub use build::{run_build_phase, BuildTarget};
+pub use cached::{CacheParams, CacheStats, CachedTable, TableHandle};
 pub use config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularity};
 pub use context::{arena_bytes_for, ExecContext, ExecCounters};
 pub use engine::{

@@ -18,6 +18,11 @@
 //!   *different* connections are coalesced by a background dispatcher into
 //!   one [`JoinEngine::submit_batch`] call, so a flood of small joins pays
 //!   one session acquisition per batch instead of per request;
+//! * a client may `Register` a named build table once and then send
+//!   `TableRef` requests carrying only the probe side: the server resolves
+//!   the name in the engine's table registry and submits on the probe-only
+//!   hot path of the hash-table cache, so the build cost is paid once per
+//!   table version instead of per request;
 //! * [`JoinServer::shutdown`] (also run on drop) stops accepting, lets
 //!   every in-flight request finish, wakes idle connections and joins all
 //!   threads — no request is abandoned mid-reply and no thread leaks.
@@ -53,8 +58,8 @@ use hj_server::admission::{Admission, AdmissionController, AdmissionStats, SloCo
 use hj_server::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
 use hj_server::histogram::LatencyHistogram;
 use hj_server::message::{
-    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRequest,
-    WireResponse,
+    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRefRequest,
+    WireRegister, WireRegistered, WireRequest, WireResponse,
 };
 use std::collections::VecDeque;
 use std::io::BufWriter;
@@ -149,8 +154,12 @@ pub struct ServerStats {
     pub connections_accepted: u64,
     /// Connections refused because the server was shutting down.
     pub connections_refused: u64,
-    /// Well-formed request frames received.
+    /// Well-formed request frames received (inline and table-referencing).
     pub requests_received: u64,
+    /// Table registrations acknowledged (re-registrations included).
+    pub tables_registered: u64,
+    /// Table-referencing requests among those received.
+    pub ref_requests: u64,
     /// Requests served to a complete reply.
     pub requests_served: u64,
     /// Requests answered with a typed error frame.
@@ -183,6 +192,8 @@ struct StatsInner {
     connections_accepted: u64,
     connections_refused: u64,
     requests_received: u64,
+    tables_registered: u64,
+    ref_requests: u64,
     requests_served: u64,
     requests_failed: u64,
     requests_shed: u64,
@@ -380,6 +391,8 @@ impl JoinServer {
             connections_accepted: inner.connections_accepted,
             connections_refused: inner.connections_refused,
             requests_received: inner.requests_received,
+            tables_registered: inner.tables_registered,
+            ref_requests: inner.ref_requests,
             requests_served: inner.requests_served,
             requests_failed: inner.requests_failed,
             requests_shed: inner.requests_shed,
@@ -507,9 +520,39 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream, client_i
                     }
                 }
             }
+            Ok(Some((FrameType::Register, payload))) => match WireRegister::decode(&payload) {
+                Ok(register) => {
+                    if handle_register(shared, &mut stream, register).is_err() {
+                        return; // peer gone mid-reply
+                    }
+                }
+                Err(err) => {
+                    close_on_protocol_error(shared, &mut stream, &err);
+                    return;
+                }
+            },
+            Ok(Some((FrameType::TableRef, payload))) => {
+                let arrived = Instant::now();
+                match WireRefRequest::decode(&payload) {
+                    Ok(wire) => {
+                        if handle_ref_request(shared, &mut stream, client_id, wire, arrived)
+                            .is_err()
+                        {
+                            return; // peer gone mid-reply
+                        }
+                    }
+                    Err(err) => {
+                        close_on_protocol_error(shared, &mut stream, &err);
+                        return;
+                    }
+                }
+            }
             Ok(Some((other, _))) => {
                 let err = WireError::Protocol {
-                    detail: format!("clients may only send Request frames, got {other:?}"),
+                    detail: format!(
+                        "clients may only send Request, Register or TableRef frames, \
+                         got {other:?}"
+                    ),
                 };
                 close_on_protocol_error(shared, &mut stream, &err);
                 return;
@@ -596,6 +639,108 @@ fn handle_request(
         outcome
     };
     finish_request(shared, stream, wire.id, wire.collect_pairs, result, arrived)
+}
+
+/// Serves one table registration.  Registration ships data but runs no
+/// join, so it bypasses SLO admission; the reply is a `Registered`
+/// acknowledgement carrying the registry version the engine assigned.
+fn handle_register(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    register: WireRegister,
+) -> Result<(), WireError> {
+    let handle = shared
+        .engine
+        .register_table(&register.name, register.tuples);
+    lock_unpoisoned(&shared.stats).tables_registered += 1;
+    let ack = WireRegistered {
+        id: register.id,
+        version: handle.version(),
+        tuples: handle.tuples().len() as u64,
+    };
+    let mut w = BufWriter::new(stream);
+    write_frame(&mut w, FrameType::Registered, &ack.encode())
+}
+
+/// Serves one table-referencing request end to end, mirroring
+/// [`handle_request`] but resolving the build side in the engine's table
+/// registry and submitting on the cached, probe-only path.  Never batched:
+/// the cached path already skips the per-request build the batcher
+/// amortises.
+fn handle_ref_request(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    client_id: u64,
+    wire: WireRefRequest,
+    arrived: Instant,
+) -> Result<(), WireError> {
+    {
+        let mut stats = lock_unpoisoned(&shared.stats);
+        stats.requests_received += 1;
+        stats.ref_requests += 1;
+    }
+    let Some(table) = shared.engine.table(&wire.table) else {
+        lock_unpoisoned(&shared.stats).requests_failed += 1;
+        let failure = WireFailure {
+            id: wire.id,
+            code: WireErrorCode::UnknownTable,
+            message: format!("no registered table named '{}'", wire.table),
+        };
+        let mut w = BufWriter::new(stream);
+        return write_frame(&mut w, FrameType::Error, &failure.encode());
+    };
+
+    // On the hot path only the probe side is new work, so the admission
+    // estimate sees the probe cardinality; the one-off cold build is
+    // absorbed by the service-time EWMA like any slow first request.
+    let now_ns = shared.now_ns();
+    let ticket = match shared.admission.admit(
+        client_id,
+        wire.probe.len(),
+        wire.deadline_ms,
+        wire.priority,
+        now_ns,
+    ) {
+        Admission::Admit(ticket) => ticket,
+        Admission::Shed {
+            reason,
+            retry_after_ms,
+        } => {
+            return write_overloaded(shared, stream, wire.id, reason, retry_after_ms);
+        }
+    };
+
+    let request = match engine_request_for(wire.algorithm, wire.scheme, wire.collect_pairs) {
+        Ok(request) => request,
+        Err(err) => {
+            shared.admission.abandon(ticket);
+            return write_failure(shared, stream, wire.id, &err);
+        }
+    };
+
+    let started = Instant::now();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.engine.submit_cached(&request, &table, &wire.probe)
+    }))
+    .unwrap_or_else(|_| {
+        Err(JoinError::InvalidConfig(
+            "the engine panicked while executing this request".to_string(),
+        ))
+    });
+    match &outcome {
+        Ok(_) => shared
+            .admission
+            .complete(ticket, started.elapsed().as_nanos() as u64),
+        Err(_) => shared.admission.abandon(ticket),
+    }
+    finish_request(
+        shared,
+        stream,
+        wire.id,
+        wire.collect_pairs,
+        outcome,
+        arrived,
+    )
 }
 
 /// What the batched path resolved to.  The result stays boxed (it is
@@ -800,12 +945,20 @@ fn finish_request(
 /// Maps wire tags onto an engine request.  The tags are versioned protocol
 /// surface; the presets they select can evolve with the engine.
 fn engine_request(wire: &WireRequest) -> Result<JoinRequest, JoinError> {
+    engine_request_for(wire.algorithm, wire.scheme, wire.collect_pairs)
+}
+
+fn engine_request_for(
+    algorithm: hj_server::message::WireAlgorithm,
+    scheme: hj_server::message::WireScheme,
+    collect_pairs: bool,
+) -> Result<JoinRequest, JoinError> {
     use hj_server::message::{WireAlgorithm, WireScheme};
-    let algorithm = match wire.algorithm {
+    let algorithm = match algorithm {
         WireAlgorithm::Shj => Algorithm::Simple,
         WireAlgorithm::Phj => Algorithm::partitioned_auto(),
     };
-    let scheme = match wire.scheme {
+    let scheme = match scheme {
         WireScheme::CpuOnly => Scheme::CpuOnly,
         WireScheme::GpuOnly => Scheme::GpuOnly,
         WireScheme::Offload => Scheme::offload_gpu(),
@@ -815,7 +968,7 @@ fn engine_request(wire: &WireRequest) -> Result<JoinRequest, JoinError> {
     JoinRequest::builder()
         .algorithm(algorithm)
         .scheme(scheme)
-        .collect_results(wire.collect_pairs)
+        .collect_results(collect_pairs)
         .build()
 }
 
@@ -890,7 +1043,9 @@ fn write_failure(
     lock_unpoisoned(&shared.stats).requests_failed += 1;
     let code = match err {
         JoinError::OversizedInput { .. } => WireErrorCode::Oversized,
-        JoinError::ArenaExhausted { .. } | JoinError::Spill(_) => WireErrorCode::Execution,
+        JoinError::ArenaExhausted { .. }
+        | JoinError::Spill(_)
+        | JoinError::CacheBuildFailed { .. } => WireErrorCode::Execution,
         JoinError::InvalidConfig(reason) if reason.contains("panicked") => WireErrorCode::Internal,
         _ => WireErrorCode::InvalidRequest,
     };

@@ -27,6 +27,7 @@ pub use relation::{Relation, TUPLE_BYTES};
 pub use rng::SmallRng;
 pub use stats::RelationStats;
 pub use tablefile::{
-    generate_build_table, generate_probe_table, FileTableSpec, TableFileReader, TableFileWriter,
+    generate_build_table, generate_probe_table, table_file_fingerprint, FileTableSpec,
+    TableFileReader, TableFileWriter,
 };
 pub use workload::{Workload, WorkloadPreset};

@@ -29,15 +29,32 @@ use std::path::Path;
 const MAGIC: &[u8; 4] = b"HJTB";
 const VERSION: u32 = 1;
 const HEADER_BYTES: u64 = 4 + 4 + 8;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// FNV-1a 64 over a byte slice — the frame checksum shared by the table
 /// files here and the spill run files of `hj-spill` (which depends on this
 /// crate and imports this function).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut hash = FNV_OFFSET;
     for &b in bytes {
         hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Folds one frame's `(count, checksum)` header into a running FNV-1a
+/// content fingerprint — the per-frame step of
+/// [`table_file_fingerprint`] and [`TableFileWriter::fingerprint`].
+fn fold_frame_fingerprint(fingerprint: u64, count: u32, checksum: u64) -> u64 {
+    let mut bytes = [0u8; 12];
+    bytes[..4].copy_from_slice(&count.to_le_bytes());
+    bytes[4..].copy_from_slice(&checksum.to_le_bytes());
+    let mut hash = fingerprint;
+    for &b in &bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
 }
@@ -56,9 +73,27 @@ fn invalid(detail: String) -> io::Error {
 /// # Panics
 /// Panics if the columns have different lengths.
 pub fn encode_frame<W: Write>(writer: &mut W, keys: &[u32], rids: &[u32]) -> io::Result<u64> {
+    Ok(encode_frame_checksummed(writer, keys, rids)?.0)
+}
+
+/// Like [`encode_frame`], but also returns the frame's FNV-1a checksum so a
+/// writer can fold it into an incremental content fingerprint without
+/// hashing the payload twice.  Empty batches write nothing and return
+/// `(0, 0)`.
+///
+/// # Errors
+/// Propagates write failures.
+///
+/// # Panics
+/// Panics if the columns have different lengths.
+pub fn encode_frame_checksummed<W: Write>(
+    writer: &mut W,
+    keys: &[u32],
+    rids: &[u32],
+) -> io::Result<(u64, u64)> {
     assert_eq!(keys.len(), rids.len(), "column length mismatch");
     if keys.is_empty() {
-        return Ok(0);
+        return Ok((0, 0));
     }
     let mut payload = Vec::with_capacity(keys.len() * 8);
     for &k in keys {
@@ -67,10 +102,11 @@ pub fn encode_frame<W: Write>(writer: &mut W, keys: &[u32], rids: &[u32]) -> io:
     for &r in rids {
         payload.extend_from_slice(&r.to_le_bytes());
     }
+    let checksum = fnv1a64(&payload);
     writer.write_all(&(keys.len() as u32).to_le_bytes())?;
-    writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
+    writer.write_all(&checksum.to_le_bytes())?;
     writer.write_all(&payload)?;
-    Ok((4 + 8 + payload.len()) as u64)
+    Ok(((4 + 8 + payload.len()) as u64, checksum))
 }
 
 /// Decodes the next frame of the shared format, or `None` at a clean end
@@ -133,6 +169,7 @@ pub fn decode_frame<R: Read>(reader: &mut R, remaining: &mut u64) -> io::Result<
 pub struct TableFileWriter {
     writer: BufWriter<File>,
     tuples: u64,
+    fingerprint: u64,
 }
 
 impl TableFileWriter {
@@ -146,7 +183,11 @@ impl TableFileWriter {
         writer.write_all(&VERSION.to_le_bytes())?;
         // Tuple count: patched by `finish`.
         writer.write_all(&0u64.to_le_bytes())?;
-        Ok(TableFileWriter { writer, tuples: 0 })
+        Ok(TableFileWriter {
+            writer,
+            tuples: 0,
+            fingerprint: FNV_OFFSET,
+        })
     }
 
     /// Appends one batch; empty batches are skipped.
@@ -154,10 +195,29 @@ impl TableFileWriter {
     /// # Errors
     /// Propagates write failures.
     pub fn append(&mut self, batch: &Relation) -> io::Result<()> {
-        if encode_frame(&mut self.writer, batch.keys(), batch.rids())? > 0 {
+        let (bytes, checksum) =
+            encode_frame_checksummed(&mut self.writer, batch.keys(), batch.rids())?;
+        if bytes > 0 {
             self.tuples += batch.len() as u64;
+            self.fingerprint =
+                fold_frame_fingerprint(self.fingerprint, batch.len() as u32, checksum);
         }
         Ok(())
+    }
+
+    /// The content fingerprint of everything appended so far — an FNV-1a
+    /// fold over the per-frame `(count, checksum)` headers, free to
+    /// maintain because each frame is checksummed anyway.
+    ///
+    /// Matches [`table_file_fingerprint`] of the finished file, so a
+    /// file-backed table can be cache-keyed (e.g. named for
+    /// `JoinEngine::register_table`) without ever rescanning its payload.
+    /// The fingerprint covers content *as framed*: the same tuples written
+    /// with different batch boundaries fingerprint differently, which is
+    /// exactly the per-file stability cache keying needs (a regenerated
+    /// equal spec produces byte-identical files, hence equal fingerprints).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Patches the header's tuple count, flushes, and returns the total
@@ -268,6 +328,70 @@ impl TableFileReader {
         }
         Ok(rel)
     }
+}
+
+/// The content fingerprint of a table file **without reading its
+/// payloads**: only the 12-byte `(count, checksum)` frame headers are read
+/// and folded (the same FNV-1a fold as [`TableFileWriter::fingerprint`]);
+/// the tuple data itself is seeked over.  Cost is a handful of bytes per
+/// frame, independent of table size.
+///
+/// The fingerprint is stable per file and changes with any re-write of the
+/// content or framing, which makes it a sound cache key for file-backed
+/// tables (pair it with the file name for
+/// `JoinEngine::register_table`-style registration).  It does **not**
+/// verify payload integrity — [`TableFileReader`] checks checksums as
+/// batches are actually read.
+///
+/// # Errors
+/// I/O failures, [`io::ErrorKind::InvalidData`] for a foreign or
+/// newer-versioned file, or a frame header claiming more bytes than the
+/// file holds.
+pub fn table_file_fingerprint(path: &Path) -> io::Result<u64> {
+    let file = File::open(path)?;
+    let mut remaining = file.metadata()?.len().saturating_sub(HEADER_BYTES);
+    let mut reader = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid(format!("not a table file (magic {magic:02x?})")));
+    }
+    let mut version = [0u8; 4];
+    reader.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    if version != VERSION {
+        return Err(invalid(format!(
+            "table file version {version} (this reader understands {VERSION})"
+        )));
+    }
+    let mut tuples = [0u8; 8];
+    reader.read_exact(&mut tuples)?;
+    let mut fingerprint = FNV_OFFSET;
+    loop {
+        let mut count_buf = [0u8; 4];
+        match reader.read_exact(&mut count_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        remaining = remaining.saturating_sub(4);
+        let count = u32::from_le_bytes(count_buf);
+        let needed = 8 + count as u64 * 8;
+        if needed > remaining {
+            return Err(invalid(format!(
+                "frame claims {count} tuples ({needed} B) but only {remaining} B remain"
+            )));
+        }
+        let mut checksum_buf = [0u8; 8];
+        reader
+            .read_exact(&mut checksum_buf)
+            .map_err(|e| invalid(format!("truncated frame header of {count} tuples: {e}")))?;
+        fingerprint = fold_frame_fingerprint(fingerprint, count, u64::from_le_bytes(checksum_buf));
+        // Seek over the payload: it is neither read nor hashed.
+        reader.seek(SeekFrom::Current(count as i64 * 8))?;
+        remaining -= needed;
+    }
+    Ok(fingerprint)
 }
 
 /// A deterministic file-backed table: everything needed to regenerate it
@@ -481,6 +605,64 @@ mod tests {
             }
         }
         assert!(failed, "truncation must surface as an error");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_matches_writer_without_reading_payloads() {
+        let path = temp_path("fingerprint");
+        let rel = Relation::from_columns((0..1000).collect(), (5000..6000).collect());
+        let mut w = TableFileWriter::create(&path).unwrap();
+        w.append(&rel.slice(0..400)).unwrap();
+        w.append(&Relation::new()).unwrap(); // skipped: must not perturb
+        w.append(&rel.slice(400..1000)).unwrap();
+        let written = w.fingerprint();
+        w.finish().unwrap();
+        assert_eq!(table_file_fingerprint(&path).unwrap(), written);
+
+        // Same content, different framing: a different fingerprint (the
+        // fingerprint is per-file, not per-logical-relation).
+        let other = temp_path("fingerprint-reframed");
+        let mut w = TableFileWriter::create(&other).unwrap();
+        w.append(&rel).unwrap();
+        w.finish().unwrap();
+        assert_ne!(table_file_fingerprint(&other).unwrap(), written);
+
+        // Equal specs produce byte-identical files, hence equal
+        // fingerprints — the regeneration-stable cache key.
+        let spec = FileTableSpec::new(5_000, 9).batch_tuples(512);
+        generate_build_table(&path, &spec).unwrap();
+        generate_build_table(&other, &spec).unwrap();
+        assert_eq!(
+            table_file_fingerprint(&path).unwrap(),
+            table_file_fingerprint(&other).unwrap()
+        );
+        // Content changes surface through the folded frame checksums.
+        generate_build_table(&other, &FileTableSpec::new(5_000, 10).batch_tuples(512)).unwrap();
+        assert_ne!(
+            table_file_fingerprint(&path).unwrap(),
+            table_file_fingerprint(&other).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&other).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_validates_headers() {
+        let path = temp_path("fingerprint-foreign");
+        std::fs::write(&path, b"definitely not a table").unwrap();
+        let err = table_file_fingerprint(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A frame header claiming more than the file holds is rejected.
+        let spec = FileTableSpec::new(64, 3).batch_tuples(64);
+        generate_build_table(&path, &spec).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_BYTES as usize] = 0xff; // inflate the first frame count
+        bytes[HEADER_BYTES as usize + 1] = 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = table_file_fingerprint(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).unwrap();
     }
 

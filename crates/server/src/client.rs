@@ -9,8 +9,8 @@
 
 use crate::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
 use crate::message::{
-    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRequest,
-    WireResponse,
+    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRefRequest,
+    WireRegister, WireRegistered, WireRequest, WireResponse,
 };
 use datagen::Relation;
 use std::fmt;
@@ -168,6 +168,67 @@ impl JoinClient {
         {
             let mut w = BufWriter::new(&self.stream);
             write_frame(&mut w, FrameType::Request, &request.encode())?;
+        }
+        self.read_reply(request.id)
+    }
+
+    /// Registers `tuples` under `name` in the server's table registry and
+    /// blocks for the acknowledgement.  Registering an existing name
+    /// replaces its tuples and bumps the returned version; subsequent
+    /// [`join_ref`](Self::join_ref) requests against the name hit the
+    /// server's hash-table cache after the first build.
+    ///
+    /// # Errors
+    /// See [`ClientError`]; a malformed name surfaces as
+    /// [`ClientError::Server`] with a Protocol/InvalidRequest code.
+    pub fn register_table(
+        &mut self,
+        name: &str,
+        tuples: Relation,
+    ) -> Result<WireRegistered, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let register = WireRegister {
+            id,
+            name: name.to_string(),
+            tuples,
+        };
+        {
+            let mut w = BufWriter::new(&self.stream);
+            write_frame(&mut w, FrameType::Register, &register.encode())?;
+        }
+        match self.read_frame_or_close()? {
+            (FrameType::Registered, payload) => {
+                let ack = WireRegistered::decode(&payload)?;
+                self.check_id(ack.id, id)?;
+                Ok(ack)
+            }
+            (FrameType::Error, payload) => {
+                let fail = WireFailure::decode(&payload)?;
+                Err(ClientError::Server {
+                    code: fail.code,
+                    message: fail.message,
+                })
+            }
+            (other, _) => Err(ClientError::Protocol {
+                detail: format!("expected a Registered acknowledgement, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Sends a table-referencing `request` (build side named, probe
+    /// inline) and blocks for the full reply.  The request's `id` field is
+    /// overwritten with a connection-unique id.
+    ///
+    /// # Errors
+    /// See [`ClientError`]; an unregistered name surfaces as
+    /// [`ClientError::Server`] with [`WireErrorCode::UnknownTable`].
+    pub fn join_ref(&mut self, mut request: WireRefRequest) -> Result<ClientOutcome, ClientError> {
+        request.id = self.next_id;
+        self.next_id += 1;
+        {
+            let mut w = BufWriter::new(&self.stream);
+            write_frame(&mut w, FrameType::TableRef, &request.encode())?;
         }
         self.read_reply(request.id)
     }
@@ -335,6 +396,68 @@ impl RequestBuilder {
 
     /// The finished request.
     pub fn build(self) -> WireRequest {
+        self.request
+    }
+}
+
+/// A convenience builder for [`WireRefRequest`]s sent through
+/// [`JoinClient::join_ref`].
+#[derive(Debug, Clone)]
+pub struct RefRequestBuilder {
+    request: WireRefRequest,
+}
+
+impl RefRequestBuilder {
+    /// A request joining the registered table `table` against `probe` with
+    /// the crate defaults (simple hash join, CPU only, count-only, no
+    /// deadline).
+    pub fn new(table: impl Into<String>, probe: Relation) -> Self {
+        RefRequestBuilder {
+            request: WireRefRequest {
+                id: 0,
+                algorithm: crate::message::WireAlgorithm::Shj,
+                scheme: crate::message::WireScheme::CpuOnly,
+                collect_pairs: false,
+                priority: 0,
+                deadline_ms: 0,
+                table: table.into(),
+                probe,
+            },
+        }
+    }
+
+    /// Sets the algorithm tag.
+    pub fn algorithm(mut self, algorithm: crate::message::WireAlgorithm) -> Self {
+        self.request.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the scheme tag.
+    pub fn scheme(mut self, scheme: crate::message::WireScheme) -> Self {
+        self.request.scheme = scheme;
+        self
+    }
+
+    /// Requests the materialised pair set, streamed in chunks.
+    pub fn collect_pairs(mut self, collect: bool) -> Self {
+        self.request.collect_pairs = collect;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.request.priority = priority;
+        self
+    }
+
+    /// Sets the completion deadline in milliseconds (`0`: none).
+    pub fn deadline_ms(mut self, ms: u32) -> Self {
+        self.request.deadline_ms = ms;
+        self
+    }
+
+    /// The finished request.
+    pub fn build(self) -> WireRefRequest {
         self.request
     }
 }

@@ -55,6 +55,18 @@ pub enum FrameType {
     /// retry hint.  Distinct from [`FrameType::Error`]: the request was
     /// well-formed and would have been served off-peak.
     Overloaded = 6,
+    /// Client → server: register a named build-side table with the engine's
+    /// table registry so later joins can reference it by name instead of
+    /// re-shipping (and re-building) it per request.
+    Register = 7,
+    /// Server → client: acknowledgement of a [`FrameType::Register`] —
+    /// echoes the name's registry version and tuple count.
+    Registered = 8,
+    /// Client → server: one join request whose build side is a registered
+    /// table named by string; only the probe relation travels inline.  On
+    /// the server this takes the probe-only hot path of the hash-table
+    /// cache.
+    TableRef = 9,
 }
 
 impl FrameType {
@@ -66,6 +78,9 @@ impl FrameType {
             4 => FrameType::Done,
             5 => FrameType::Error,
             6 => FrameType::Overloaded,
+            7 => FrameType::Register,
+            8 => FrameType::Registered,
+            9 => FrameType::TableRef,
             _ => return None,
         })
     }

@@ -10,16 +10,20 @@
 //!   torn, oversized, corrupt or foreign-protocol streams;
 //! * [`message`] — the typed messages frames carry: [`WireRequest`],
 //!   [`WireResponse`], streamed [`WireChunk`]s, the positive [`WireDone`]
-//!   marker, typed [`WireFailure`]s and the [`WireOverloaded`] shed
-//!   notice;
+//!   marker, typed [`WireFailure`]s, the [`WireOverloaded`] shed notice,
+//!   and the table-registry trio [`WireRegister`] / [`WireRegistered`] /
+//!   [`WireRefRequest`] that lets clients ship a build table once and
+//!   join against it by name;
 //! * [`admission`] — the SLO-aware [`AdmissionController`]: per-client
 //!   token-bucket quotas, an EWMA service-time estimate, a queue-time
 //!   budget and deadline-based shedding, all on a caller-supplied clock
 //!   so every decision is deterministic under test;
-//! * [`histogram`] — the log2-bucket [`LatencyHistogram`] both the engine
-//!   (queue-wait stats) and the bench harness (tail-latency percentiles)
-//!   record into;
-//! * [`client`] — the blocking [`JoinClient`] plus [`RequestBuilder`].
+//! * [`histogram`] — a re-export of the shared log2-bucket
+//!   [`LatencyHistogram`] from `hj-metrics`, which the engine (queue-wait
+//!   and cache-build stats) and the bench harness (tail-latency
+//!   percentiles) record into;
+//! * [`client`] — the blocking [`JoinClient`] plus [`RequestBuilder`] and
+//!   [`RefRequestBuilder`].
 //!
 //! The engine-facing half — the accepting socket, connection handlers,
 //! cross-client batching and graceful shutdown — lives in
@@ -32,7 +36,7 @@ pub mod histogram;
 pub mod message;
 
 pub use admission::{Admission, AdmissionController, AdmissionStats, SloConfig, Ticket};
-pub use client::{ClientError, ClientOutcome, JoinClient, RequestBuilder};
+pub use client::{ClientError, ClientOutcome, JoinClient, RefRequestBuilder, RequestBuilder};
 pub use frame::{
     read_frame, write_frame, FrameType, PayloadReader, PayloadWriter, WireError,
     DEFAULT_MAX_PAYLOAD_BYTES, HEADER_BYTES, MAGIC, VERSION,
@@ -40,5 +44,6 @@ pub use frame::{
 pub use histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use message::{
     ShedReason, WireAlgorithm, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded,
-    WireRequest, WireResponse, WireScheme, MAX_WIRE_TUPLES,
+    WireRefRequest, WireRegister, WireRegistered, WireRequest, WireResponse, WireScheme,
+    MAX_TABLE_NAME_BYTES, MAX_WIRE_TUPLES,
 };

@@ -16,6 +16,27 @@ use datagen::Relation;
 /// with the frame-level payload ceiling).
 pub const MAX_WIRE_TUPLES: usize = 256 * 1024 * 1024;
 
+/// Ceiling on a registered table name in bytes — names are registry keys,
+/// not payload, so a kilobyte is already generous.
+pub const MAX_TABLE_NAME_BYTES: usize = 1024;
+
+fn check_table_name(name: &str) -> Result<(), WireError> {
+    if name.is_empty() {
+        return Err(WireError::Protocol {
+            detail: "table name must not be empty".to_string(),
+        });
+    }
+    if name.len() > MAX_TABLE_NAME_BYTES {
+        return Err(WireError::Protocol {
+            detail: format!(
+                "table name of {} B exceeds the {MAX_TABLE_NAME_BYTES} B limit",
+                name.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// The join algorithm, as a wire tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -157,6 +178,188 @@ impl WireRequest {
             priority,
             deadline_ms,
             build: Relation::from_columns(build_rids, build_keys),
+            probe: Relation::from_columns(probe_rids, probe_keys),
+        })
+    }
+}
+
+/// One decoded table-registration request: ship a named build-side
+/// relation once, then reference it from [`WireRefRequest`]s.
+/// Re-registering an existing name replaces its tuples and bumps the
+/// registry version (cached hash tables of the old version are dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRegister {
+    /// Client-chosen correlation id, echoed on the acknowledgement.
+    pub id: u64,
+    /// Registry name (non-empty, at most [`MAX_TABLE_NAME_BYTES`] bytes).
+    pub name: String,
+    /// The build-side relation to register.
+    pub tuples: Relation,
+}
+
+impl WireRegister {
+    /// Encodes the registration into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(24 + self.name.len() + 8 * self.tuples.len());
+        w.put_u64(self.id);
+        w.put_str(&self.name);
+        w.put_u32(self.tuples.len() as u32);
+        w.put_u32_slice(self.tuples.keys());
+        w.put_u32_slice(self.tuples.rids());
+        w.into_bytes()
+    }
+
+    /// Decodes a registration payload.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on a malformed name, an impossible
+    /// cardinality or trailing garbage.
+    pub fn decode(payload: &[u8]) -> Result<WireRegister, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let id = r.get_u64("register id")?;
+        let name = r.get_str("table name")?;
+        check_table_name(&name)?;
+        let len = r.get_u32("table cardinality")? as usize;
+        if len > MAX_WIRE_TUPLES {
+            return Err(WireError::Protocol {
+                detail: format!(
+                    "registration claims {len} tuples, above the \
+                     {MAX_WIRE_TUPLES}-tuple wire limit"
+                ),
+            });
+        }
+        let keys = r.get_u32_vec(len, "table keys")?;
+        let rids = r.get_u32_vec(len, "table rids")?;
+        r.expect_exhausted("register")?;
+        Ok(WireRegister {
+            id,
+            name,
+            tuples: Relation::from_columns(rids, keys),
+        })
+    }
+}
+
+/// Acknowledgement of a [`WireRegister`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireRegistered {
+    /// Echo of the registration id.
+    pub id: u64,
+    /// Registry version of the name after this registration (1 for a new
+    /// name, incremented on every replacement).
+    pub version: u64,
+    /// Tuple count the server holds under the name.
+    pub tuples: u64,
+}
+
+impl WireRegistered {
+    /// Encodes the acknowledgement.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(24);
+        w.put_u64(self.id);
+        w.put_u64(self.version);
+        w.put_u64(self.tuples);
+        w.into_bytes()
+    }
+
+    /// Decodes the acknowledgement.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireRegistered, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireRegistered {
+            id: r.get_u64("registered id")?,
+            version: r.get_u64("registered version")?,
+            tuples: r.get_u64("registered tuple count")?,
+        };
+        r.expect_exhausted("registered")?;
+        Ok(out)
+    }
+}
+
+/// One decoded table-referencing join request: the build side names a
+/// registered table, only the probe relation travels inline.  The reply
+/// stream is identical to a [`WireRequest`]'s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRefRequest {
+    /// Client-chosen correlation id, echoed on every frame of the reply.
+    pub id: u64,
+    /// Join algorithm tag.
+    pub algorithm: WireAlgorithm,
+    /// Co-processing scheme tag.
+    pub scheme: WireScheme,
+    /// Materialise and stream the pair set (otherwise only the match count
+    /// is returned).
+    pub collect_pairs: bool,
+    /// Scheduling priority (see [`WireRequest::priority`]).
+    pub priority: u8,
+    /// Completion deadline in milliseconds from arrival; `0` means none.
+    pub deadline_ms: u32,
+    /// Name of the registered build-side table.
+    pub table: String,
+    /// Probe-side relation.
+    pub probe: Relation,
+}
+
+impl WireRefRequest {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(32 + self.table.len() + 8 * self.probe.len());
+        w.put_u64(self.id);
+        w.put_u8(self.algorithm as u8);
+        w.put_u8(self.scheme as u8);
+        w.put_u8(self.collect_pairs as u8);
+        w.put_u8(self.priority);
+        w.put_u32(self.deadline_ms);
+        w.put_str(&self.table);
+        w.put_u32(self.probe.len() as u32);
+        w.put_u32_slice(self.probe.keys());
+        w.put_u32_slice(self.probe.rids());
+        w.into_bytes()
+    }
+
+    /// Decodes a table-referencing request payload.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on any structural problem.
+    pub fn decode(payload: &[u8]) -> Result<WireRefRequest, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let id = r.get_u64("ref-request id")?;
+        let algorithm = WireAlgorithm::from_u8(r.get_u8("algorithm tag")?)?;
+        let scheme = WireScheme::from_u8(r.get_u8("scheme tag")?)?;
+        let collect_pairs = match r.get_u8("collect flag")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::Protocol {
+                    detail: format!("collect flag must be 0 or 1, got {other}"),
+                })
+            }
+        };
+        let priority = r.get_u8("priority")?;
+        let deadline_ms = r.get_u32("deadline")?;
+        let table = r.get_str("table name")?;
+        check_table_name(&table)?;
+        let probe_len = r.get_u32("probe cardinality")? as usize;
+        if probe_len > MAX_WIRE_TUPLES {
+            return Err(WireError::Protocol {
+                detail: format!(
+                    "ref-request claims {probe_len} probe tuples, above the \
+                     {MAX_WIRE_TUPLES}-tuple wire limit"
+                ),
+            });
+        }
+        let probe_keys = r.get_u32_vec(probe_len, "probe keys")?;
+        let probe_rids = r.get_u32_vec(probe_len, "probe rids")?;
+        r.expect_exhausted("ref-request")?;
+        Ok(WireRefRequest {
+            id,
+            algorithm,
+            scheme,
+            collect_pairs,
+            priority,
+            deadline_ms,
+            table,
             probe: Relation::from_columns(probe_rids, probe_keys),
         })
     }
@@ -385,6 +588,9 @@ pub enum WireErrorCode {
     Protocol = 4,
     /// The server failed internally (e.g. a panicked backend).
     Internal = 5,
+    /// A table-referencing request named a table the registry does not
+    /// hold (never registered, or the server restarted since).
+    UnknownTable = 6,
 }
 
 impl WireErrorCode {
@@ -395,6 +601,7 @@ impl WireErrorCode {
             3 => Ok(WireErrorCode::Execution),
             4 => Ok(WireErrorCode::Protocol),
             5 => Ok(WireErrorCode::Internal),
+            6 => Ok(WireErrorCode::UnknownTable),
             _ => Err(WireError::Protocol {
                 detail: format!("unknown error code {raw}"),
             }),
@@ -518,6 +725,94 @@ mod tests {
             id: 3,
             code: WireErrorCode::Execution,
             message: "arena exhausted".into(),
+        };
+        assert_eq!(WireFailure::decode(&fail.encode()).unwrap(), fail);
+    }
+
+    fn sample_register() -> WireRegister {
+        WireRegister {
+            id: 11,
+            name: "dim_dates".to_string(),
+            tuples: Relation::from_columns(vec![0, 1, 2], vec![10, 20, 30]),
+        }
+    }
+
+    fn sample_ref_request() -> WireRefRequest {
+        WireRefRequest {
+            id: 12,
+            algorithm: WireAlgorithm::Phj,
+            scheme: WireScheme::DataDividing,
+            collect_pairs: true,
+            priority: 3,
+            deadline_ms: 100,
+            table: "dim_dates".to_string(),
+            probe: Relation::from_columns(vec![5, 6], vec![20, 30]),
+        }
+    }
+
+    #[test]
+    fn register_round_trips() {
+        let reg = sample_register();
+        assert_eq!(WireRegister::decode(&reg.encode()).unwrap(), reg);
+        let ack = WireRegistered {
+            id: 11,
+            version: 3,
+            tuples: 3,
+        };
+        assert_eq!(WireRegistered::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
+    fn register_rejects_bad_names_and_cardinalities() {
+        let mut reg = sample_register();
+        reg.name = String::new();
+        let err = WireRegister::decode(&reg.encode()).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+
+        let mut reg = sample_register();
+        reg.name = "n".repeat(MAX_TABLE_NAME_BYTES + 1);
+        let err = WireRegister::decode(&reg.encode()).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+
+        let reg = sample_register();
+        let mut bytes = reg.encode();
+        // The cardinality field sits after id(8) + name length prefix(4) +
+        // name bytes.
+        let count_at = 12 + reg.name.len();
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = WireRegister::decode(&bytes).unwrap_err();
+        assert!(matches!(err, WireError::Protocol { .. }), "{err}");
+    }
+
+    #[test]
+    fn ref_request_round_trips() {
+        let req = sample_ref_request();
+        assert_eq!(WireRefRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn ref_request_rejects_bad_tags_and_trailing_bytes() {
+        let req = sample_ref_request();
+        let mut bytes = req.encode();
+        bytes[8] = 99; // algorithm tag
+        assert!(WireRefRequest::decode(&bytes).is_err());
+        let mut bytes = req.encode();
+        bytes.push(0);
+        let err = WireRefRequest::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+
+        let mut req = sample_ref_request();
+        req.table = String::new();
+        let err = WireRefRequest::decode(&req.encode()).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn unknown_table_code_round_trips() {
+        let fail = WireFailure {
+            id: 3,
+            code: WireErrorCode::UnknownTable,
+            message: "no table named 'dim_dates'".into(),
         };
         assert_eq!(WireFailure::decode(&fail.encode()).unwrap(), fail);
     }

@@ -50,10 +50,12 @@ fn main() {
     for _ in 0..60 {
         std::thread::sleep(Duration::from_secs(5));
         let stats = server.stats();
-        if stats.requests_received > 0 {
+        if stats.requests_received > 0 || stats.tables_registered > 0 {
+            let cache = engine.cache_stats();
             println!(
                 "served {} | shed {} (deadline {}, quota {}, queue {}, saturated {}) | \
-                 batches {} | p99 {:.2} ms",
+                 batches {} | p99 {:.2} ms | tables {} | cache {} hits / {} misses \
+                 ({:.1} ms of builds skipped)",
                 stats.requests_served,
                 stats.requests_shed,
                 stats.shed_deadline,
@@ -62,6 +64,10 @@ fn main() {
                 stats.shed_saturated,
                 stats.batches_dispatched,
                 stats.request_latency.quantile_ms(0.99).unwrap_or(0.0),
+                stats.tables_registered,
+                cache.hits,
+                cache.misses,
+                cache.build_ns_saved as f64 / 1e6,
             );
         }
     }

@@ -70,14 +70,15 @@ pub mod prelude {
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
     pub use hj_core::adaptive::{AdaptiveConfig, AdaptiveReport};
     pub use hj_core::server::{
-        ClientError, JoinClient, RequestBuilder, ShedReason, SloConfig, WireAlgorithm, WireScheme,
+        ClientError, JoinClient, RefRequestBuilder, RequestBuilder, ShedReason, SloConfig,
+        WireAlgorithm, WireScheme,
     };
     pub use hj_core::spill::{MemoryBroker, SpillConfig, SpillReport};
     pub use hj_core::{
-        reference_match_count, Algorithm, BatchItem, CoupledSim, DiscreteSim, EngineConfig,
-        EngineLoad, EngineStats, ExecBackend, HashTableMode, JoinConfig, JoinEngine, JoinError,
-        JoinOutcome, JoinRequest, JoinServer, Morsel, NativeCpu, Ratios, Scheme, ServerConfig,
-        ServerStats, SessionStats, StepGranularity, Tuning, WorkerPool,
+        reference_match_count, Algorithm, BatchItem, CacheStats, CoupledSim, DiscreteSim,
+        EngineConfig, EngineLoad, EngineStats, ExecBackend, HashTableMode, JoinConfig, JoinEngine,
+        JoinError, JoinOutcome, JoinRequest, JoinServer, Morsel, NativeCpu, Ratios, Scheme,
+        ServerConfig, ServerStats, SessionStats, StepGranularity, TableHandle, Tuning, WorkerPool,
     };
     #[allow(deprecated)]
     pub use hj_core::{run_join, run_out_of_core_join};

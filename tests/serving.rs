@@ -494,6 +494,90 @@ fn small_requests_from_many_clients_batch_onto_one_session() {
 }
 
 // ---------------------------------------------------------------------------
+// Table registry & hash-table cache over the wire
+// ---------------------------------------------------------------------------
+
+/// A registered table served by reference returns exactly the same pair
+/// set as the same relations shipped inline, and repeat references hit the
+/// engine's hash-table cache.
+#[test]
+fn table_ref_requests_match_inline_requests_and_hit_the_cache() {
+    let (r, s) = test_pair(2_000);
+    let engine =
+        Arc::new(JoinEngine::native(EngineConfig::for_tuples(2_000, 4_000).sessions(2)).unwrap());
+    let server = JoinServer::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+
+    let ack = client.register_table("dim", r.clone()).unwrap();
+    assert_eq!(ack.version, 1);
+    assert_eq!(ack.tuples, r.len() as u64);
+
+    let inline = client
+        .join(
+            RequestBuilder::new(r.clone(), s.clone())
+                .collect_pairs(true)
+                .build(),
+        )
+        .unwrap();
+    let by_ref = client
+        .join_ref(
+            RefRequestBuilder::new("dim", s.clone())
+                .collect_pairs(true)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(by_ref.matches, inline.matches);
+    assert_eq!(
+        by_ref.pairs, inline.pairs,
+        "table_ref pairs must be byte-identical to the inline reply"
+    );
+
+    // A second reference probes the cached table without rebuilding.
+    let again = client
+        .join_ref(RefRequestBuilder::new("dim", s.clone()).build())
+        .unwrap();
+    assert_eq!(again.matches, inline.matches);
+    let engine_stats = engine.stats();
+    assert_eq!(engine_stats.registered_tables, 1);
+    assert_eq!(engine_stats.cache.misses, 1);
+    assert!(engine_stats.cache.hits >= 1, "{:?}", engine_stats.cache);
+
+    // Re-registering the same name bumps the registry version.
+    let ack = client.register_table("dim", r).unwrap();
+    assert_eq!(ack.version, 2);
+
+    let stats = server.stats();
+    assert_eq!(stats.tables_registered, 2);
+    assert_eq!(stats.ref_requests, 2);
+}
+
+/// Referencing a name the registry does not hold is a typed
+/// `UnknownTable` failure, and the connection stays usable.
+#[test]
+fn unknown_table_is_a_typed_error_and_the_connection_survives() {
+    let (r, s) = test_pair(400);
+    let server = start_server(
+        JoinEngine::native(EngineConfig::for_tuples(512, 1_024)).unwrap(),
+        ServerConfig::default(),
+    );
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    match client.join_ref(RefRequestBuilder::new("missing", s.clone()).build()) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, WireErrorCode::UnknownTable);
+            assert!(message.contains("missing"), "{message}");
+        }
+        other => panic!("expected an UnknownTable failure, got {other:?}"),
+    }
+    // Same connection: register, then the reference succeeds.
+    client.register_table("missing", r.clone()).unwrap();
+    let outcome = client
+        .join_ref(RefRequestBuilder::new("missing", s.clone()).build())
+        .unwrap();
+    assert_eq!(outcome.matches, reference_match_count(&r, &s));
+    assert_eq!(server.stats().requests_failed, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Graceful shutdown
 // ---------------------------------------------------------------------------
 
