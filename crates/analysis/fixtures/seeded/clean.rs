@@ -1,0 +1,32 @@
+// False-positive canary: everything in this file is legal, and the
+// self-test fails if any rule fires on it.  Never compiled.
+
+use hj_analysis::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Docs may mention std::sync::Mutex and .lock().unwrap() freely —
+/// patterns in comments and strings must not fire.
+#[must_use = "dropping the guard releases the slot"]
+pub struct SlotGuard<'a> {
+    slots: &'a Mutex<usize>,
+    gauge: &'a AtomicU64,
+}
+
+pub fn acquire<'a>(slots: &'a Mutex<usize>, gauge: &'a AtomicU64) -> SlotGuard<'a> {
+    let mut held = slots.lock();
+    *held += 1;
+    gauge.fetch_add(1, Ordering::Relaxed);
+    let diag = "std::thread::spawn and Instant::now are fine in strings";
+    let _ = (diag, Arc::new(OnceLock::<Condvar>::new()));
+    SlotGuard { slots, gauge }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn_threads() {
+        let handle = std::thread::spawn(|| std::time::Instant::now());
+        let _ = handle.join().unwrap();
+    }
+}

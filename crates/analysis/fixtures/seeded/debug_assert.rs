@@ -1,0 +1,10 @@
+// Seeded violation fixture: debug_assert guarding cross-thread state in
+// a module that locks through the facade.  Never compiled.
+
+use hj_analysis::sync::Mutex;
+
+pub fn release(slots: &Mutex<usize>) {
+    let mut slots = slots.lock();
+    debug_assert!(*slots > 0, "release without acquire");
+    *slots -= 1;
+}

@@ -1,0 +1,10 @@
+// Seeded violation fixture: poison-panicking lock acquisition.
+// Scanned by `hj-lint --self-test` (never compiled).
+
+pub fn poke(state: &crate::SomeLock) {
+    let a = state.counters.lock().unwrap();
+    let b = state.counters.lock().expect("poisoned");
+    let c = state.table.read().unwrap();
+    let d = state.table.write().expect("poisoned");
+    drop((a, b, c, d));
+}

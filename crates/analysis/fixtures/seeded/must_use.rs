@@ -1,0 +1,16 @@
+// Seeded violation fixture: RAII types missing #[must_use].
+// Scanned by `hj-lint --self-test` (never compiled).
+
+pub struct BudgetGrant {
+    bytes: usize,
+}
+
+pub struct SessionSlot<'a> {
+    pool: &'a crate::Pool,
+}
+
+impl Drop for BudgetGrant {
+    fn drop(&mut self) {
+        crate::release(self.bytes);
+    }
+}

@@ -1,0 +1,9 @@
+// Seeded violation fixture: thread spawned outside WorkerPool/serve.
+// Scanned by `hj-lint --self-test` (never compiled).
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {
+        // This thread is never joined: it can outlive the engine.
+    });
+    let _ = std::thread::Builder::new().name("stray".into());
+}

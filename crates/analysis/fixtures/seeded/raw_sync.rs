@@ -1,0 +1,11 @@
+// Seeded violation fixture: raw std::sync primitives outside the facade.
+// Scanned by `hj-lint --self-test` (never compiled).
+
+use std::sync::{Arc, Mutex};
+
+pub struct Seeded {
+    state: std::sync::Mutex<u32>,
+    gate: std::sync::Condvar,
+    table: std::sync::RwLock<Vec<u32>>,
+    shared: Arc<Mutex<u64>>,
+}

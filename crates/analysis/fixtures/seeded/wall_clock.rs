@@ -1,0 +1,9 @@
+// Seeded violation fixture: wall-clock read inside the deterministic
+// simulator (self-test scans this under a synthetic crates/apu-sim/src/
+// path).  Never compiled.
+
+pub fn advance(clock: &mut crate::SimClock) {
+    let now = std::time::Instant::now();
+    let wall = std::time::SystemTime::now();
+    clock.skew(now, wall);
+}

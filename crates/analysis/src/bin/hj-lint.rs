@@ -1,0 +1,173 @@
+//! `hj-lint` — the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p hj-analysis --bin hj-lint                # lint the workspace
+//! cargo run -p hj-analysis --bin hj-lint -- --self-test # prove the rules fire
+//! cargo run -p hj-analysis --bin hj-lint -- --root DIR  # lint another tree
+//! cargo run -p hj-analysis --bin hj-lint -- --list-rules
+//! ```
+//!
+//! Exit code 0 when the tree is clean (or, under `--self-test`, when
+//! every rule caught its seeded fixture); 1 otherwise.  Rules and their
+//! rationale are documented in `docs/INVARIANTS.md`.
+
+use hj_analysis::lint::{self, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut self_test = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("hj-lint: --root needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--self-test" => self_test = true,
+            "--list-rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<26} {}", rule.id(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("hj-lint: unknown argument `{other}`");
+                eprintln!("usage: hj-lint [--root PATH] [--self-test] [--list-rules]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| lint::find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("hj-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if self_test {
+        return run_self_test(&root);
+    }
+
+    let findings = match lint::scan_workspace(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("hj-lint: scan failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("hj-lint: clean ({} rules, 0 findings)", Rule::ALL.len());
+        return ExitCode::SUCCESS;
+    }
+    for finding in &findings {
+        println!("{finding}");
+    }
+    println!("hj-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+/// Each rule must catch its seeded fixture — a linter whose rules have
+/// silently stopped firing is worse than no linter.  Fixtures carry a
+/// synthetic workspace-relative path so path-scoped rules (simulator
+/// modules, sanctioned spawn files) exercise their real scope.
+const FIXTURES: [(&str, &str, Rule); 6] = [
+    (
+        "raw_sync.rs",
+        "crates/fixture/src/raw_sync.rs",
+        Rule::RawSync,
+    ),
+    (
+        "lock_unwrap.rs",
+        "crates/fixture/src/lock_unwrap.rs",
+        Rule::LockUnwrap,
+    ),
+    (
+        "raw_spawn.rs",
+        "crates/fixture/src/raw_spawn.rs",
+        Rule::RawSpawn,
+    ),
+    (
+        "wall_clock.rs",
+        "crates/apu-sim/src/fixture_wall_clock.rs",
+        Rule::WallClockInSim,
+    ),
+    (
+        "debug_assert.rs",
+        "crates/fixture/src/debug_assert.rs",
+        Rule::DebugAssertConcurrency,
+    ),
+    (
+        "must_use.rs",
+        "crates/fixture/src/must_use.rs",
+        Rule::MustUseGuard,
+    ),
+];
+
+fn run_self_test(root: &std::path::Path) -> ExitCode {
+    let fixture_dir = root.join("crates/analysis/fixtures/seeded");
+    let mut failures = 0usize;
+    for (file, synthetic_path, rule) in FIXTURES {
+        let path = fixture_dir.join(file);
+        let content = match std::fs::read_to_string(&path) {
+            Ok(content) => content,
+            Err(err) => {
+                eprintln!("self-test: cannot read {}: {err}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let findings = lint::scan_file(synthetic_path, &content);
+        let hits = findings.iter().filter(|f| f.rule == rule).count();
+        if hits == 0 {
+            eprintln!(
+                "self-test FAIL: rule `{}` did not fire on fixture {}",
+                rule.id(),
+                file
+            );
+            failures += 1;
+        } else {
+            println!("self-test ok: `{}` fired {hits}x on {file}", rule.id());
+        }
+    }
+    // The clean fixture must produce zero findings — rules that fire on
+    // innocent code would drown the signal.
+    let clean_path = fixture_dir.join("clean.rs");
+    match std::fs::read_to_string(&clean_path) {
+        Ok(content) => {
+            let findings = lint::scan_file("crates/fixture/src/clean.rs", &content);
+            if findings.is_empty() {
+                println!("self-test ok: clean fixture produced 0 findings");
+            } else {
+                for finding in &findings {
+                    eprintln!("self-test FAIL (false positive): {finding}");
+                }
+                failures += 1;
+            }
+        }
+        Err(err) => {
+            eprintln!("self-test: cannot read {}: {err}", clean_path.display());
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!(
+            "hj-lint self-test: all {} rules fire on seeded violations",
+            FIXTURES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("hj-lint self-test: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,41 @@
+//! # hj-analysis — the workspace's concurrency analysis layer
+//!
+//! Five hand-rolled concurrency protocols keep this engine correct:
+//! worker-pool park/wake, the bounded admission queue, `MemoryBroker`
+//! grants/reclaim, single-flight cache builds, and server
+//! drain-on-shutdown.  Each was proven lost-wakeup-free or deadlock-free
+//! by ad-hoc tests; this crate turns those proofs into standing,
+//! machine-checked gates.  It sits **below** every other crate in the
+//! dependency graph (std-only, no dependencies) so anything that locks
+//! can use it.
+//!
+//! Two pillars:
+//!
+//! * [`sync`] — the instrumented lock facade.  `sync::{Mutex, RwLock,
+//!   Condvar}` are thin std wrappers with poison recovery built in (one
+//!   home for the `lock_unpoisoned`/`wait_unpoisoned` policy that used to
+//!   be copy-pasted across three crates).  Every lock is constructed with
+//!   a static *class* label; under the test-only feature `lock-order`,
+//!   acquisitions are recorded into a global graph and [`lockorder`]
+//!   reports order cycles (potential deadlocks), condvar waits holding a
+//!   second lock, and locks held at thread exit — with the acquisition
+//!   site chains of both sides.
+//! * [`lint`] — the `hj-lint` invariant checker (binary:
+//!   `cargo run -p hj-analysis --bin hj-lint`).  A std-only source
+//!   scanner that walks the workspace and enforces repo concurrency
+//!   invariants as deny-by-default rules (raw `std::sync` primitives
+//!   outside the facade, poison-panicking `.lock().unwrap()`, stray
+//!   `thread::spawn`, wall-clock reads in the deterministic simulator,
+//!   `debug_assert!` guarding cross-thread invariants, missing
+//!   `#[must_use]` on RAII guard types), with `// hj-lint: allow(rule)`
+//!   escapes.  Rules and rationale live in `docs/INVARIANTS.md`.
+//!
+//! CI runs `hj-lint` on every push and the workspace test suite under
+//! `--features lock-order`, alongside ThreadSanitizer and Miri jobs — a
+//! standing race/deadlock gate for every future PR.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod lockorder;
+pub mod sync;

@@ -1,0 +1,769 @@
+//! The `hj-lint` invariant checker: a std-only source scanner enforcing
+//! the workspace's concurrency and determinism invariants.
+//!
+//! Run it with `cargo run -p hj-analysis --bin hj-lint`.  Every rule is
+//! deny-by-default; a finding can be waived with an escape comment on the
+//! same or the preceding line:
+//!
+//! ```text
+//! // hj-lint: allow(rule-id)        — waive one finding
+//! // hj-lint: allow-file(rule-id)   — waive the rule for the whole file
+//! ```
+//!
+//! Rules (rationale and examples in `docs/INVARIANTS.md`):
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `raw-sync` | no raw `std::sync` `Mutex`/`RwLock`/`Condvar` outside the facade |
+//! | `lock-unwrap` | no poison-panicking `.lock().unwrap()` / `.lock().expect(` |
+//! | `raw-spawn` | no `thread::spawn`/`thread::Builder` outside `WorkerPool`/`serve` |
+//! | `wall-clock-in-sim` | no `Instant::now`/`SystemTime::now` in the deterministic simulator |
+//! | `debug-assert-concurrency` | no `debug_assert!` in modules that lock (cross-thread invariants must hold in release) |
+//! | `must-use-guard` | `#[must_use]` on RAII `*Guard`/`*Grant`/`*Slot`/`*Handle` types |
+//!
+//! The scanner is comment- and string-aware (patterns inside comments or
+//! string literals do not fire) and skips test code — files under a
+//! `tests/` directory and `#[cfg(test)]` modules — for rules where test
+//! code is legitimately exempt (e.g. tests may spawn raw threads).
+//
+// The linter's own source necessarily spells several forbidden patterns
+// as match data and documentation:
+// hj-lint: allow-file(raw-sync)
+// hj-lint: allow-file(lock-unwrap)
+// hj-lint: allow-file(raw-spawn)
+// hj-lint: allow-file(wall-clock-in-sim)
+// hj-lint: allow-file(debug-assert-concurrency)
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Raw `std::sync::{Mutex, RwLock, Condvar}` outside the facade.
+    RawSync,
+    /// Poison-panicking lock acquisition (`.lock().unwrap()` and kin).
+    LockUnwrap,
+    /// `thread::spawn`/`thread::Builder` outside the sanctioned spawn
+    /// sites (`WorkerPool` in `pipeline.rs`, the serving layer in
+    /// `serve.rs`).
+    RawSpawn,
+    /// Wall-clock reads inside the deterministic simulator modules.
+    WallClockInSim,
+    /// `debug_assert!` in a module that locks: an invariant that guards
+    /// cross-thread state must hold (and abort) in release builds too.
+    DebugAssertConcurrency,
+    /// RAII guard/grant/slot/handle types missing `#[must_use]`.
+    MustUseGuard,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::RawSync,
+        Rule::LockUnwrap,
+        Rule::RawSpawn,
+        Rule::WallClockInSim,
+        Rule::DebugAssertConcurrency,
+        Rule::MustUseGuard,
+    ];
+
+    /// The rule's stable kebab-case id (used in escape comments).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::RawSync => "raw-sync",
+            Rule::LockUnwrap => "lock-unwrap",
+            Rule::RawSpawn => "raw-spawn",
+            Rule::WallClockInSim => "wall-clock-in-sim",
+            Rule::DebugAssertConcurrency => "debug-assert-concurrency",
+            Rule::MustUseGuard => "must-use-guard",
+        }
+    }
+
+    /// One-line description of the invariant the rule enforces.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::RawSync => {
+                "raw std::sync Mutex/RwLock/Condvar — use hj_analysis::sync (poison recovery + lock-order tracking)"
+            }
+            Rule::LockUnwrap => {
+                "poison-panicking lock acquisition — the facade's lock()/wait() recover from poisoning"
+            }
+            Rule::RawSpawn => {
+                "thread spawned outside WorkerPool/serve — long-lived threads must be pooled and joined"
+            }
+            Rule::WallClockInSim => {
+                "wall-clock read in the deterministic simulator — sim time comes from the event clock"
+            }
+            Rule::DebugAssertConcurrency => {
+                "debug_assert in a locking module — cross-thread invariants must be checked in release builds"
+            }
+            Rule::MustUseGuard => {
+                "RAII guard/grant/slot/handle type without #[must_use] — silently dropping one releases its resource early"
+            }
+        }
+    }
+
+    /// Whether the rule also applies to test code (`tests/` directories
+    /// and `#[cfg(test)]` modules).
+    fn applies_to_tests(self) -> bool {
+        match self {
+            // Tests legitimately spawn helper threads, poke raw locks to
+            // poison them, and take shortcuts that would be bugs in
+            // product code.
+            Rule::RawSync
+            | Rule::LockUnwrap
+            | Rule::RawSpawn
+            | Rule::WallClockInSim
+            | Rule::DebugAssertConcurrency => false,
+            // A test-only RAII type still deserves #[must_use], but the
+            // cost of a miss is low; keep the rule to product code so
+            // fixtures stay small.
+            Rule::MustUseGuard => false,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Files where `thread::spawn`/`thread::Builder` are sanctioned: the
+/// worker pool (spawns once, joins on drop) and the serving layer
+/// (handler threads tracked in `ServerStats::live_handlers`, joined on
+/// shutdown).
+const SANCTIONED_SPAWN_FILES: [&str; 2] =
+    ["crates/core/src/pipeline.rs", "crates/core/src/serve.rs"];
+
+/// Path prefixes of the deterministic simulator: modules whose output
+/// must be a pure function of their inputs and the event clock.
+const DETERMINISTIC_MODULE_PREFIXES: [&str; 1] = ["crates/apu-sim/src/"];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.excerpt,
+            self.rule.describe()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source model: comment/string stripping + test-region detection
+// ---------------------------------------------------------------------------
+
+/// A file prepared for scanning: raw lines (escape comments live in
+/// comments, so they are read from the raw text), code-only lines
+/// (comments and string/char literal *contents* blanked out, so patterns
+/// in prose cannot fire), and a per-line "inside `#[cfg(test)]` module"
+/// flag.
+struct Prepared {
+    raw: Vec<String>,
+    code: Vec<String>,
+    in_test: Vec<bool>,
+}
+
+/// Strips comments and literal contents from `content`, line by line.
+///
+/// Handles nested block comments, string literals with escapes, raw
+/// strings (`r"…"`, `r#"…"#`), and distinguishes char literals from
+/// lifetimes.  The result preserves line structure: braces outside
+/// comments/literals survive, so brace counting works on the output.
+fn strip_code(content: &str) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Code,
+        Block(u32),  // nesting depth of /* */
+        Str,         // inside "…" (may span lines)
+        RawStr(u32), // inside r##"…"## with N hashes
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for line in content.lines() {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut stripped = String::with_capacity(line.len());
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match state {
+                State::Block(depth) => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if bytes[i] == '\\' {
+                        i += 2;
+                    } else if bytes[i] == '"' {
+                        state = State::Code;
+                        stripped.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if bytes[i] == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes as usize {
+                            if bytes.get(i + 1 + h) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            state = State::Code;
+                            stripped.push('"');
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                State::Code => match bytes[i] {
+                    '/' if bytes.get(i + 1) == Some(&'/') => break, // line comment
+                    '/' if bytes.get(i + 1) == Some(&'*') => {
+                        state = State::Block(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        stripped.push('"');
+                        i += 1;
+                    }
+                    'r' if bytes.get(i + 1) == Some(&'"')
+                        || (bytes.get(i + 1) == Some(&'#')
+                            && matches!(bytes.get(i + 2), Some(&'#') | Some(&'"'))) =>
+                    {
+                        // r"…" or r#"…"# (possibly more hashes): count them.
+                        let mut hashes = 0u32;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            stripped.push('"');
+                            i = j + 1;
+                        } else {
+                            stripped.push('r');
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: 'x' / '\n' close within
+                        // a few chars; 'a of `<'a>` does not.
+                        if bytes.get(i + 1) == Some(&'\\') {
+                            // escaped char literal: skip to closing quote
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            i += 3; // plain char literal 'x'
+                        } else {
+                            i += 1; // lifetime
+                        }
+                    }
+                    c => {
+                        stripped.push(c);
+                        i += 1;
+                    }
+                },
+            }
+        }
+        // `state` persists across lines: multi-line strings, raw strings
+        // and block comments keep stripping until they close.
+        out.push(stripped);
+    }
+    out
+}
+
+/// Marks the lines belonging to `#[cfg(test)] mod … { … }` regions.
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    // When inside a test region: the depth the region's closing brace
+    // returns to.
+    let mut region_floor: Option<i64> = None;
+    for (idx, line) in code.iter().enumerate() {
+        let trimmed = line.trim();
+        let before = depth;
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        depth += opens - closes;
+
+        if let Some(floor) = region_floor {
+            in_test[idx] = true;
+            if depth <= floor {
+                region_floor = None;
+            }
+            continue;
+        }
+
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if pending_cfg_test {
+            if trimmed.is_empty() || trimmed.starts_with("#[") {
+                continue; // more attributes between cfg and the item
+            }
+            if trimmed.starts_with("mod ") || trimmed.starts_with("pub mod ") {
+                in_test[idx] = true;
+                if depth > before {
+                    region_floor = Some(before);
+                } // else: `mod x;` outline — nothing to span
+            }
+            pending_cfg_test = false;
+        }
+    }
+    in_test
+}
+
+fn prepare(content: &str) -> Prepared {
+    let raw: Vec<String> = content.lines().map(str::to_owned).collect();
+    let code = strip_code(content);
+    let in_test = test_regions(&code);
+    Prepared { raw, code, in_test }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern tables (assembled with concat! so the linter's own source does
+// not spell the forbidden tokens verbatim)
+// ---------------------------------------------------------------------------
+
+const P_STD_SYNC_MUTEX: &str = concat!("std::sync", "::Mutex");
+const P_STD_SYNC_RWLOCK: &str = concat!("std::sync", "::RwLock");
+const P_STD_SYNC_CONDVAR: &str = concat!("std::sync", "::Condvar");
+const P_USE_STD_SYNC: &str = concat!("use std::", "sync::");
+const P_LOCK_UNWRAP: &str = concat!(".lock()", ".unwrap()");
+const P_LOCK_EXPECT: &str = concat!(".lock()", ".expect(");
+const P_READ_UNWRAP: &str = concat!(".read()", ".unwrap()");
+const P_READ_EXPECT: &str = concat!(".read()", ".expect(");
+const P_WRITE_UNWRAP: &str = concat!(".write()", ".unwrap()");
+const P_WRITE_EXPECT: &str = concat!(".write()", ".expect(");
+const P_THREAD_SPAWN: &str = concat!("thread::", "spawn");
+const P_THREAD_BUILDER: &str = concat!("thread::", "Builder");
+const P_INSTANT_NOW: &str = concat!("Instant::", "now");
+const P_SYSTEMTIME_NOW: &str = concat!("SystemTime::", "now");
+const P_DEBUG_ASSERT: &str = concat!("debug_", "assert");
+const P_FACADE_IMPORT: &str = concat!("hj_analysis", "::sync");
+
+/// True when `word` appears in `line` delimited by non-identifier chars.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= line.len()
+            || !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+/// Scans one file's `content` as workspace-relative `rel_path` and
+/// returns its findings.  Pure (no filesystem access): the unit tests and
+/// the self-test feed synthetic paths through it.
+pub fn scan_file(rel_path: &str, content: &str) -> Vec<Finding> {
+    let rel = rel_path.replace('\\', "/");
+    let prepared = prepare(content);
+    let file_is_test = rel.starts_with("tests/") || rel.contains("/tests/");
+
+    // File-level escapes, from the raw text (escapes live in comments).
+    let mut file_allowed: Vec<Rule> = Vec::new();
+    for line in &prepared.raw {
+        for rule in Rule::ALL {
+            if line.contains(&format!("hj-lint: allow-file({})", rule.id())) {
+                file_allowed.push(rule);
+            }
+        }
+    }
+
+    let uses_facade = prepared
+        .code
+        .iter()
+        .any(|line| line.contains(P_FACADE_IMPORT));
+    let in_sim = DETERMINISTIC_MODULE_PREFIXES
+        .iter()
+        .any(|prefix| rel.starts_with(prefix));
+    let spawn_sanctioned = SANCTIONED_SPAWN_FILES.iter().any(|f| rel == *f);
+
+    let mut findings = Vec::new();
+    let mut flag = |rule: Rule, idx: usize, prepared: &Prepared| {
+        if file_allowed.contains(&rule) {
+            return;
+        }
+        if (file_is_test || prepared.in_test[idx]) && !rule.applies_to_tests() {
+            return;
+        }
+        let escape = format!("hj-lint: allow({})", rule.id());
+        if prepared.raw[idx].contains(&escape)
+            || (idx > 0 && prepared.raw[idx - 1].contains(&escape))
+        {
+            return;
+        }
+        findings.push(Finding {
+            rule,
+            path: rel.clone(),
+            line: idx + 1,
+            excerpt: prepared.raw[idx].trim().to_owned(),
+        });
+    };
+
+    for (idx, line) in prepared.code.iter().enumerate() {
+        // raw-sync: direct paths or a std::sync use-list naming the
+        // primitives.
+        if line.contains(P_STD_SYNC_MUTEX)
+            || line.contains(P_STD_SYNC_RWLOCK)
+            || line.contains(P_STD_SYNC_CONDVAR)
+            || (line.contains(P_USE_STD_SYNC)
+                && (contains_word(line, "Mutex")
+                    || contains_word(line, "RwLock")
+                    || contains_word(line, "Condvar")
+                    || contains_word(line, "PoisonError")))
+        {
+            flag(Rule::RawSync, idx, &prepared);
+        }
+
+        // lock-unwrap: poison-panicking acquisition, any primitive.
+        if line.contains(P_LOCK_UNWRAP)
+            || line.contains(P_LOCK_EXPECT)
+            || line.contains(P_READ_UNWRAP)
+            || line.contains(P_READ_EXPECT)
+            || line.contains(P_WRITE_UNWRAP)
+            || line.contains(P_WRITE_EXPECT)
+        {
+            flag(Rule::LockUnwrap, idx, &prepared);
+        }
+
+        // raw-spawn.
+        if !spawn_sanctioned && (line.contains(P_THREAD_SPAWN) || line.contains(P_THREAD_BUILDER)) {
+            flag(Rule::RawSpawn, idx, &prepared);
+        }
+
+        // wall-clock-in-sim.
+        if in_sim && (line.contains(P_INSTANT_NOW) || line.contains(P_SYSTEMTIME_NOW)) {
+            flag(Rule::WallClockInSim, idx, &prepared);
+        }
+
+        // debug-assert-concurrency: only in files that lock through the
+        // facade (the proxy for "this module coordinates threads").
+        if uses_facade && line.contains(P_DEBUG_ASSERT) {
+            flag(Rule::DebugAssertConcurrency, idx, &prepared);
+        }
+
+        // must-use-guard: struct declarations with RAII-suffixed names.
+        if let Some(name) = struct_decl_name(line) {
+            let raii = ["Guard", "Grant", "Slot", "Handle"]
+                .iter()
+                .any(|suffix| name.ends_with(suffix) && name.len() > suffix.len());
+            if raii && !has_must_use_attr(&prepared.code, idx) {
+                flag(Rule::MustUseGuard, idx, &prepared);
+            }
+        }
+    }
+    findings
+}
+
+/// The declared struct name if `line` is a struct declaration.
+fn struct_decl_name(line: &str) -> Option<&str> {
+    let trimmed = line.trim_start();
+    let rest = trimmed
+        .strip_prefix("pub ")
+        .or_else(|| trimmed.strip_prefix("pub(crate) "))
+        .or_else(|| trimmed.strip_prefix("pub(super) "))
+        .unwrap_or(trimmed);
+    let rest = rest.strip_prefix("struct ")?;
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..end];
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// True when the attribute block directly above `idx` contains
+/// `#[must_use`.
+fn has_must_use_attr(code: &[String], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = code[i].trim();
+        if line.contains("#[must_use") {
+            return true;
+        }
+        // Keep walking through other attributes and (stripped-empty)
+        // doc-comment lines; anything else ends the attribute block.
+        if line.starts_with("#[") || line.starts_with("#!") || line.is_empty() || line == ")]" {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// Walks the workspace at `root` and scans every `.rs` file outside
+/// `target/`, hidden directories and the linter's own fixtures.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = fs::read_to_string(&path)?;
+        findings.extend(scan_file(&rel, &content));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing a `[workspace]` section is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(rel: &str, content: &str) -> Vec<Rule> {
+        let mut rules: Vec<Rule> = scan_file(rel, content)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn raw_sync_fires_on_paths_and_use_lists() {
+        let direct = format!("    state: {}<u32>,\n", P_STD_SYNC_MUTEX);
+        assert_eq!(rules_fired("crates/x/src/a.rs", &direct), [Rule::RawSync]);
+        let uselist = format!("{}{{Arc, Mutex}};\n", P_USE_STD_SYNC);
+        assert_eq!(rules_fired("crates/x/src/a.rs", &uselist), [Rule::RawSync]);
+        // Arc/atomics/mpsc through std::sync stay legal.
+        let fine = format!(
+            "{}{{Arc, OnceLock}};\nuse std::sync::atomic::AtomicU64;\n",
+            P_USE_STD_SYNC
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &fine).is_empty());
+    }
+
+    #[test]
+    fn patterns_in_comments_and_strings_do_not_fire() {
+        let source = format!(
+            "//! Docs mentioning {} are fine.\nfn f() {{ let s = \"{}\"; let _ = s; }}\n",
+            P_STD_SYNC_MUTEX, P_LOCK_UNWRAP
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &source).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_fires_on_all_acquisition_forms() {
+        for pattern in [
+            P_LOCK_UNWRAP,
+            P_LOCK_EXPECT,
+            P_READ_UNWRAP,
+            P_WRITE_UNWRAP,
+            P_WRITE_EXPECT,
+        ] {
+            let line = format!("let g = state{}\"poisoned\");\n", pattern);
+            assert_eq!(
+                rules_fired("crates/x/src/a.rs", &line),
+                [Rule::LockUnwrap],
+                "pattern {pattern} must fire"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_spawn_exempts_sanctioned_files_and_tests() {
+        let source = format!("fn go() {{ std::{}(|| {{}}); }}\n", P_THREAD_SPAWN);
+        assert_eq!(rules_fired("crates/x/src/a.rs", &source), [Rule::RawSpawn]);
+        assert!(rules_fired("crates/core/src/pipeline.rs", &source).is_empty());
+        assert!(rules_fired("crates/core/src/serve.rs", &source).is_empty());
+        assert!(rules_fired("tests/concurrency.rs", &source).is_empty());
+        let in_test_mod = format!(
+            "fn prod() {{}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ std::{}(|| {{}}); }}\n}}\n",
+            P_THREAD_SPAWN
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_ends_where_the_module_closes() {
+        let source = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn t() {{}}\n}}\nfn prod() {{ std::{}(|| {{}}); }}\n",
+            P_THREAD_SPAWN
+        );
+        let findings = scan_file("crates/x/src/a.rs", &source);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5, "the post-module spawn must fire");
+    }
+
+    #[test]
+    fn wall_clock_fires_only_in_sim_modules() {
+        let source = format!("fn t() {{ let _ = std::time::{}(); }}\n", P_INSTANT_NOW);
+        assert_eq!(
+            rules_fired("crates/apu-sim/src/clock.rs", &source),
+            [Rule::WallClockInSim]
+        );
+        assert!(rules_fired("crates/bench/src/micro.rs", &source).is_empty());
+    }
+
+    #[test]
+    fn debug_assert_fires_only_in_facade_using_files() {
+        let locking = format!(
+            "use {}::Mutex;\nfn f() {{ {}!(true); }}\n",
+            P_FACADE_IMPORT, P_DEBUG_ASSERT
+        );
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", &locking),
+            [Rule::DebugAssertConcurrency]
+        );
+        let plain = format!("fn f() {{ {}!(true); }}\n", P_DEBUG_ASSERT);
+        assert!(rules_fired("crates/x/src/a.rs", &plain).is_empty());
+    }
+
+    #[test]
+    fn must_use_guard_checks_raii_suffixes() {
+        let missing = "pub struct ArenaGuard<'a> {\n    x: &'a u32,\n}\n";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", missing),
+            [Rule::MustUseGuard]
+        );
+        let present = "#[must_use = \"dropping releases\"]\npub struct ArenaGuard<'a> {\n    x: &'a u32,\n}\n";
+        assert!(rules_fired("crates/x/src/a.rs", present).is_empty());
+        // Non-RAII names and bare suffixes stay exempt.
+        assert!(rules_fired("crates/x/src/a.rs", "pub struct Dispatcher {}\n").is_empty());
+        assert!(rules_fired("crates/x/src/a.rs", "pub struct Guard {}\n").is_empty());
+    }
+
+    #[test]
+    fn escapes_waive_line_and_file() {
+        let line_escape = format!(
+            "// hj-lint: allow(raw-spawn)\nfn f() {{ std::{}(|| {{}}); }}\n",
+            P_THREAD_SPAWN
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &line_escape).is_empty());
+        let file_escape = format!(
+            "// hj-lint: allow-file(raw-spawn)\nfn f() {{ std::{}(|| {{}}); }}\nfn g() {{ std::{}(|| {{}}); }}\n",
+            P_THREAD_SPAWN, P_THREAD_SPAWN
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &file_escape).is_empty());
+        // The escape is rule-specific: a different rule still fires.
+        let wrong_escape = format!(
+            "// hj-lint: allow(raw-sync)\nfn f() {{ std::{}(|| {{}}); }}\n",
+            P_THREAD_SPAWN
+        );
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", &wrong_escape),
+            [Rule::RawSpawn]
+        );
+    }
+
+    #[test]
+    fn strip_code_handles_raw_strings_and_lifetimes() {
+        let source = format!(
+            "fn f<'a>(x: &'a str) {{ let s = r#\"{}\"#; let c = '{{'; let _ = (s, c, x); }}\n",
+            P_STD_SYNC_MUTEX
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &source).is_empty());
+        // Brace counting survives literals: the cfg(test) module below
+        // contains a '{' char literal and a "}" string.
+        let tricky = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn t() {{ let c = '{{'; let s = \"}}\"; let _ = (c, s); }}\n}}\nfn prod() {{ std::{}(|| {{}}); }}\n",
+            P_THREAD_SPAWN
+        );
+        let findings = scan_file("crates/x/src/a.rs", &tricky);
+        assert_eq!(findings.len(), 1, "only the post-module spawn fires");
+        assert_eq!(findings[0].line, 5);
+    }
+}

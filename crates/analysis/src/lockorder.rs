@@ -1,0 +1,440 @@
+//! Lock-acquisition recording and deadlock-pattern detection.
+//!
+//! Compiled to no-ops unless the crate feature `lock-order` is enabled (a
+//! test-only feature: release builds pay nothing).  When enabled, every
+//! acquisition made through [`crate::sync`] is recorded against the lock's
+//! static *class* label into one process-global acquisition graph, and
+//! three patterns are flagged as [`Violation`]s:
+//!
+//! * **Order cycles** — class A was held while acquiring class B *and*
+//!   (anywhere in the process, any thread, any time) class B was held
+//!   while acquiring class A.  A cycle across the class partial order is a
+//!   potential deadlock even if this run happened not to interleave the
+//!   two chains; both acquisition site chains are reported.
+//! * **Condvar wait while holding a second lock** — waiting releases only
+//!   the condvar's own mutex; any other lock stays held for the whole
+//!   (unbounded) wait, which stalls every thread that needs it and is a
+//!   classic lost-progress/deadlock shape.
+//! * **Lock held at thread exit** — a guard leaked past the end of its
+//!   thread (e.g. via `mem::forget`) leaves the lock permanently
+//!   unavailable.
+//!
+//! Violations are *recorded*, not panicked, so one detection cannot
+//! cascade into unrelated unwinds mid-lock; test suites end with
+//! [`assert_clean`] (see `tests/lock_discipline.rs` at the workspace
+//! root), and detector self-tests inspect [`take_violations`].
+// The detector's registry is the one lock that cannot itself go through
+// the facade (it IS the instrumentation).
+// hj-lint: allow-file(raw-sync)
+
+/// Which concurrency hazard a [`Violation`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A cycle in the lock-class acquisition graph (potential deadlock).
+    OrderCycle,
+    /// A condvar wait entered while a second lock was held.
+    WaitWhileHoldingLock,
+    /// A lock still held when its owning thread exited.
+    HeldAtThreadExit,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::OrderCycle => write!(f, "lock-order cycle"),
+            ViolationKind::WaitWhileHoldingLock => {
+                write!(f, "condvar wait while holding a second lock")
+            }
+            ViolationKind::HeldAtThreadExit => write!(f, "lock held at thread exit"),
+        }
+    }
+}
+
+/// One detected concurrency-discipline violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The hazard pattern that fired.
+    pub kind: ViolationKind,
+    /// The lock classes involved, in detection order.
+    pub classes: Vec<&'static str>,
+    /// Human-readable report including every acquisition site chain the
+    /// detector recorded for the involved edges.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+/// True when the crate was compiled with the `lock-order` feature (the
+/// detector is live and [`violations`] can be non-empty).
+pub fn enabled() -> bool {
+    cfg!(feature = "lock-order")
+}
+
+/// A snapshot of every violation recorded so far in this process.
+pub fn violations() -> Vec<Violation> {
+    imp::with_registry(|reg| reg.violations.clone())
+}
+
+/// Drains and returns the recorded violations (used by detector
+/// self-tests so deliberate violations do not fail later clean checks in
+/// the same process).
+pub fn take_violations() -> Vec<Violation> {
+    imp::with_registry(|reg| std::mem::take(&mut reg.violations))
+}
+
+/// Panics, listing every recorded violation, unless the process is clean.
+///
+/// A no-op when the `lock-order` feature is off, so callers can invoke it
+/// unconditionally at the end of a test.
+pub fn assert_clean() {
+    let violations = violations();
+    assert!(
+        violations.is_empty(),
+        "lock-order violations detected:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(feature = "lock-order")]
+mod imp {
+    use super::{Violation, ViolationKind};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    /// One observed "held `from` while acquiring `to`" edge, with the first
+    /// site pair that produced it (sites are example witnesses; the edge
+    /// set, not the site set, drives cycle detection).
+    struct Edge {
+        from_site: &'static Location<'static>,
+        to_site: &'static Location<'static>,
+    }
+
+    #[derive(Default)]
+    pub(super) struct Registry {
+        /// `(held class, acquired class)` → witness sites.
+        edges: HashMap<(&'static str, &'static str), Edge>,
+        /// Closing edges already reported, so one bad pattern in a loop
+        /// yields one violation, not millions.
+        reported: std::collections::HashSet<(&'static str, &'static str)>,
+        pub(super) violations: Vec<Violation>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    pub(super) fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+        // The registry lock is a leaf: nothing is acquired while it is
+        // held, so the detector cannot itself deadlock the program.
+        f(&mut registry().lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// One facade lock currently held by this thread.
+    struct Held {
+        class: &'static str,
+        site: &'static Location<'static>,
+        token: u64,
+    }
+
+    /// The thread's held-lock stack; its `Drop` (thread-local storage
+    /// teardown at thread exit) flags guards that were never released.
+    #[derive(Default)]
+    struct HeldStack {
+        stack: Vec<Held>,
+    }
+
+    impl Drop for HeldStack {
+        fn drop(&mut self) {
+            if self.stack.is_empty() {
+                return;
+            }
+            let classes: Vec<&'static str> = self.stack.iter().map(|h| h.class).collect();
+            let chain = self
+                .stack
+                .iter()
+                .map(|h| format!("`{}` acquired at {}", h.class, h.site))
+                .collect::<Vec<_>>()
+                .join("; ");
+            with_registry(|reg| {
+                reg.violations.push(Violation {
+                    kind: ViolationKind::HeldAtThreadExit,
+                    classes,
+                    message: format!("thread exited still holding: {chain}"),
+                });
+            });
+        }
+    }
+
+    thread_local! {
+        static HELD: RefCell<HeldStack> = RefCell::new(HeldStack::default());
+        static NEXT_TOKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Records an acquisition of `class` at `site`: adds a graph edge from
+    /// every lock currently held, checks the new edges for cycles, and
+    /// pushes the lock onto the thread's held stack.  Returns the token
+    /// that [`on_release`] later pops.
+    pub(super) fn on_acquire(class: &'static str, site: &'static Location<'static>) -> u64 {
+        let token = NEXT_TOKEN.with(|t| {
+            let v = t.get();
+            t.set(v + 1);
+            v
+        });
+        let held: Vec<(&'static str, &'static Location<'static>)> = HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            let snapshot = h.stack.iter().map(|e| (e.class, e.site)).collect();
+            h.stack.push(Held { class, site, token });
+            snapshot
+        });
+        if !held.is_empty() {
+            with_registry(|reg| {
+                for (from, from_site) in held {
+                    record_edge(reg, from, from_site, class, site);
+                }
+            });
+        }
+        token
+    }
+
+    /// Pops the held-stack entry created by [`on_acquire`].  Guards may be
+    /// dropped in any order, so the pop searches by token from the top.
+    pub(super) fn on_release(token: u64) {
+        HELD.with(|h| {
+            let stack = &mut h.borrow_mut().stack;
+            if let Some(pos) = stack.iter().rposition(|e| e.token == token) {
+                stack.remove(pos);
+            }
+        });
+    }
+
+    /// Flags a condvar wait entered while other locks are held, then pops
+    /// the waiting lock's entry (its mutex is released for the wait).
+    pub(super) fn on_wait_begin(token: u64, class: &'static str, site: &'static Location<'static>) {
+        let others: Vec<(&'static str, &'static Location<'static>)> = HELD.with(|h| {
+            h.borrow()
+                .stack
+                .iter()
+                .filter(|e| e.token != token)
+                .map(|e| (e.class, e.site))
+                .collect()
+        });
+        if !others.is_empty() {
+            let mut classes = vec![class];
+            classes.extend(others.iter().map(|(c, _)| *c));
+            let chain = others
+                .iter()
+                .map(|(c, s)| format!("`{c}` acquired at {s}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            with_registry(|reg| {
+                reg.violations.push(Violation {
+                    kind: ViolationKind::WaitWhileHoldingLock,
+                    classes,
+                    message: format!(
+                        "waiting on condvar of `{class}` at {site} while still holding: {chain}"
+                    ),
+                });
+            });
+        }
+        on_release(token);
+    }
+
+    /// Re-registers the waiting lock after the condvar wait reacquired its
+    /// mutex (no edge recording: a clean wait holds nothing else, and a
+    /// dirty one has already been reported).
+    pub(super) fn on_wait_end(class: &'static str, site: &'static Location<'static>) -> u64 {
+        let token = NEXT_TOKEN.with(|t| {
+            let v = t.get();
+            t.set(v + 1);
+            v
+        });
+        HELD.with(|h| h.borrow_mut().stack.push(Held { class, site, token }));
+        token
+    }
+
+    /// Inserts edge `from → to` and reports a violation if it closes a
+    /// cycle in the class graph (including the self-cycle `A → A`: two
+    /// same-class locks have no defined order between themselves).
+    fn record_edge(
+        reg: &mut Registry,
+        from: &'static str,
+        from_site: &'static Location<'static>,
+        to: &'static str,
+        to_site: &'static Location<'static>,
+    ) {
+        reg.edges
+            .entry((from, to))
+            .or_insert(Edge { from_site, to_site });
+        if let Some(path) = cycle_path(reg, to, from) {
+            if reg.reported.insert((from, to)) {
+                // `path` walks `to → … → from`; appending the closing edge
+                // `from → to` spells out the full cycle with one witness
+                // site pair per edge — "both acquisition site chains" for
+                // the common two-class inversion.
+                let mut hops = Vec::new();
+                let mut classes = Vec::new();
+                for pair in path.windows(2) {
+                    let edge = &reg.edges[&(pair[0], pair[1])];
+                    classes.push(pair[0]);
+                    hops.push(format!(
+                        "`{}` (held, acquired at {}) -> `{}` (acquired at {})",
+                        pair[0], edge.from_site, pair[1], edge.to_site
+                    ));
+                }
+                let closing = &reg.edges[&(from, to)];
+                classes.push(from);
+                hops.push(format!(
+                    "`{}` (held, acquired at {}) -> `{}` (acquired at {})",
+                    from, closing.from_site, to, closing.to_site
+                ));
+                reg.violations.push(Violation {
+                    kind: ViolationKind::OrderCycle,
+                    classes,
+                    message: format!(
+                        "acquisition cycle across {} class(es): {}",
+                        path.len().max(2) - 1,
+                        hops.join("; then ")
+                    ),
+                });
+            }
+        }
+    }
+
+    /// A path `start → … → goal` through the edge set, if one exists
+    /// (depth-first; the graph is tiny — one node per static lock class).
+    fn cycle_path(
+        reg: &Registry,
+        start: &'static str,
+        goal: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        fn dfs(
+            reg: &Registry,
+            node: &'static str,
+            goal: &'static str,
+            path: &mut Vec<&'static str>,
+        ) -> bool {
+            if path.contains(&node) {
+                return false;
+            }
+            path.push(node);
+            if node == goal {
+                return true;
+            }
+            for (from, to) in reg.edges.keys() {
+                if *from == node && dfs(reg, to, goal, path) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let mut path = Vec::new();
+        if dfs(reg, start, goal, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    /// The per-guard tracking handle: created on acquisition, pops the
+    /// held-stack entry when dropped.
+    pub(crate) struct Tracked {
+        class: &'static str,
+        token: u64,
+    }
+
+    impl Tracked {
+        #[inline]
+        pub(crate) fn acquire(class: &'static str, site: &'static Location<'static>) -> Self {
+            Tracked {
+                class,
+                token: on_acquire(class, site),
+            }
+        }
+
+        /// The guard's lock class (used to rebuild tracking after a wait).
+        #[inline]
+        pub(crate) fn class(&self) -> &'static str {
+            self.class
+        }
+
+        /// Consumes the handle across a condvar wait: flags other held
+        /// locks, then pops this one for the duration of the wait.
+        #[inline]
+        pub(crate) fn begin_wait(self, site: &'static Location<'static>) {
+            on_wait_begin(self.token, self.class, site);
+            std::mem::forget(self); // entry already popped by on_wait_begin
+        }
+
+        /// Rebuilds tracking once the wait reacquired the mutex.
+        #[inline]
+        pub(crate) fn reacquired(class: &'static str, site: &'static Location<'static>) -> Self {
+            Tracked {
+                class,
+                token: on_wait_end(class, site),
+            }
+        }
+    }
+
+    impl Drop for Tracked {
+        #[inline]
+        fn drop(&mut self) {
+            on_release(self.token);
+        }
+    }
+}
+
+#[cfg(not(feature = "lock-order"))]
+mod imp {
+    use super::Violation;
+    use std::panic::Location;
+
+    /// Feature-off registry shim: there is nothing to record, so every
+    /// query sees an empty, immutable registry.
+    pub(super) struct Registry {
+        pub(super) violations: Vec<Violation>,
+    }
+
+    pub(super) fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+        f(&mut Registry {
+            violations: Vec::new(),
+        })
+    }
+
+    /// Zero-sized no-op twin of the instrumented tracking handle: normal
+    /// builds carry no per-guard state and make no calls.
+    pub(crate) struct Tracked;
+
+    impl Tracked {
+        #[inline(always)]
+        pub(crate) fn acquire(_class: &'static str, _site: &'static Location<'static>) -> Self {
+            Tracked
+        }
+
+        #[inline(always)]
+        pub(crate) fn class(&self) -> &'static str {
+            ""
+        }
+
+        #[inline(always)]
+        pub(crate) fn begin_wait(self, _site: &'static Location<'static>) {}
+
+        #[inline(always)]
+        pub(crate) fn reacquired(_class: &'static str, _site: &'static Location<'static>) -> Self {
+            Tracked
+        }
+    }
+}
+
+pub(crate) use imp::Tracked;

@@ -1,0 +1,230 @@
+//! Detector self-tests: the `lock-order` instrumentation must catch each
+//! hazard pattern it claims to catch, and report both acquisition site
+//! chains.  Run with `cargo test -p hj-analysis --features lock-order`.
+//!
+//! The violation registry is process-global and cargo runs tests
+//! concurrently, so every test (a) serialises on one static lock and
+//! (b) drains residue on entry — each test then observes exactly its own
+//! violations.
+
+#![cfg(feature = "lock-order")]
+
+use hj_analysis::lockorder::{self, ViolationKind};
+use hj_analysis::sync::{Condvar, Mutex, RwLock};
+
+/// Serialises the detector tests and clears violations recorded by
+/// earlier tests (the test lock itself is a raw std mutex on purpose: it
+/// must not appear in the acquisition graph under scrutiny).
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = lockorder::take_violations();
+    guard
+}
+
+#[test]
+fn inverted_two_lock_acquisition_is_reported_with_both_chains() {
+    let _serial = serial();
+    let a = Mutex::new("cycle_test.a", 0u32);
+    let b = Mutex::new("cycle_test.b", 0u32);
+
+    // Chain 1: A then B — establishes the edge A → B.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // Chain 2: B then A — closes the cycle.  No two threads race here:
+    // the detector flags the *potential* deadlock from acquisition order
+    // alone, which is exactly what makes it usable in deterministic
+    // tests.
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    let violations = lockorder::take_violations();
+    let cycle = violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::OrderCycle && v.classes.contains(&"cycle_test.a"))
+        .expect("the inverted acquisition must be reported as an order cycle");
+    assert!(cycle.classes.contains(&"cycle_test.b"));
+    // Both acquisition site chains: the message names each class with the
+    // site of the held lock and the site of the acquisition that created
+    // the edge — this file, four distinct lines.
+    assert!(
+        cycle.message.contains("cycle_test.a") && cycle.message.contains("cycle_test.b"),
+        "report must name both classes: {}",
+        cycle.message
+    );
+    assert_eq!(
+        cycle.message.matches("tests/lockorder.rs").count(),
+        4,
+        "report must carry one site per held/acquired hop of both chains: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn consistent_order_is_not_reported() {
+    let _serial = serial();
+    let outer = Mutex::new("consistent_test.outer", ());
+    let inner = Mutex::new("consistent_test.inner", ());
+    for _ in 0..3 {
+        let _go = outer.lock();
+        let _gi = inner.lock();
+    }
+    let violations = lockorder::violations();
+    assert!(
+        !violations
+            .iter()
+            .any(|v| v.classes.contains(&"consistent_test.outer")),
+        "a consistent outer → inner order must stay clean"
+    );
+}
+
+#[test]
+fn condvar_wait_while_holding_second_lock_is_reported() {
+    let _serial = serial();
+    let waited = Mutex::new("wait_test.waited", false);
+    let held = Mutex::new("wait_test.held", ());
+    let cv = Condvar::new();
+
+    // A timed wait that simply expires: deterministic (no second thread,
+    // no race about whether the wait was ever entered), and entering the
+    // wait is the moment the detector checks what else is held.
+    let _second = held.lock(); // the bug: still held across the wait
+    let guard = waited.lock();
+    let (guard, timed_out) = cv.wait_timeout(guard, std::time::Duration::from_millis(1));
+    assert!(timed_out);
+    drop(guard);
+
+    let violations = lockorder::take_violations();
+    let hit = violations
+        .iter()
+        .find(|v| {
+            v.kind == ViolationKind::WaitWhileHoldingLock && v.classes.contains(&"wait_test.waited")
+        })
+        .expect("waiting while holding a second lock must be reported");
+    assert!(
+        hit.classes.contains(&"wait_test.held"),
+        "the report must name the lock held across the wait: {:?}",
+        hit.classes
+    );
+    assert!(
+        hit.message.contains("wait_test.held") && hit.message.contains("tests/lockorder.rs"),
+        "the report must carry the held lock's acquisition site: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn clean_condvar_wait_is_not_reported() {
+    let _serial = serial();
+    let state = Mutex::new("clean_wait_test.state", false);
+    let cv = Condvar::new();
+    let (guard, timed_out) = cv.wait_timeout(state.lock(), std::time::Duration::from_millis(1));
+    assert!(timed_out);
+    drop(guard);
+    assert!(
+        !lockorder::violations()
+            .iter()
+            .any(|v| v.classes.contains(&"clean_wait_test.state")),
+        "a wait holding only its own mutex must stay clean"
+    );
+}
+
+#[test]
+fn lock_held_at_thread_exit_is_reported() {
+    let _serial = serial();
+    let leaked = Box::leak(Box::new(Mutex::new("exit_test.leaked", ())));
+    std::thread::Builder::new()
+        .name("leaky".into())
+        .spawn(move || {
+            let guard = leaked.lock();
+            // A guard that is forgotten is never released: the lock stays
+            // taken forever.  The thread-local held-stack teardown flags
+            // it when this thread exits.
+            std::mem::forget(guard);
+        })
+        .expect("spawn leaky thread")
+        .join()
+        .expect("leaky thread exits normally");
+
+    let violations = lockorder::take_violations();
+    assert!(
+        violations.iter().any(|v| {
+            v.kind == ViolationKind::HeldAtThreadExit && v.classes.contains(&"exit_test.leaked")
+        }),
+        "a lock still held at thread exit must be reported: {violations:?}"
+    );
+}
+
+#[test]
+fn rwlock_acquisitions_participate_in_the_order_graph() {
+    let _serial = serial();
+    let meta = RwLock::new("rw_cycle_test.meta", 0u32);
+    let data = Mutex::new("rw_cycle_test.data", 0u32);
+    {
+        let _r = meta.read();
+        let _d = data.lock();
+    }
+    {
+        let _d = data.lock();
+        let _w = meta.write();
+    }
+    let violations = lockorder::take_violations();
+    assert!(
+        violations.iter().any(|v| {
+            v.kind == ViolationKind::OrderCycle && v.classes.contains(&"rw_cycle_test.meta")
+        }),
+        "read-then-lock vs lock-then-write across classes is a cycle: {violations:?}"
+    );
+}
+
+#[test]
+fn same_class_nesting_is_a_self_cycle() {
+    let _serial = serial();
+    // Two *different* locks of one class acquired nested: the class has
+    // no defined internal order, so two threads nesting in opposite
+    // directions would deadlock.  Classes that legitimately nest must be
+    // split (e.g. `pool.deque` is safe because deques are only taken one
+    // at a time).
+    let first = Mutex::new("self_cycle_test.slot", 1u32);
+    let second = Mutex::new("self_cycle_test.slot", 2u32);
+    {
+        let _a = first.lock();
+        let _b = second.lock();
+    }
+    let violations = lockorder::take_violations();
+    assert!(
+        violations.iter().any(|v| {
+            v.kind == ViolationKind::OrderCycle && v.classes.contains(&"self_cycle_test.slot")
+        }),
+        "nested same-class acquisition must be reported: {violations:?}"
+    );
+}
+
+#[test]
+fn violations_survive_until_drained_and_assert_clean_panics() {
+    let _serial = serial();
+    let x = Mutex::new("assert_test.x", ());
+    let y = Mutex::new("assert_test.y", ());
+    {
+        let _gx = x.lock();
+        let _gy = y.lock();
+    }
+    {
+        let _gy = y.lock();
+        let _gx = x.lock();
+    }
+    assert!(lockorder::enabled());
+    let result = std::panic::catch_unwind(lockorder::assert_clean);
+    assert!(
+        result.is_err(),
+        "assert_clean must panic while violations are recorded"
+    );
+    let drained = lockorder::take_violations();
+    assert!(!drained.is_empty());
+}

@@ -29,11 +29,12 @@
 
 use crate::common::{banner, ExpContext};
 use datagen::{Relation, SmallRng};
+use hj_analysis::sync::Mutex;
 use hj_core::server::{JoinClient, LatencyHistogram, RequestBuilder, SloConfig, WireRequest};
 use hj_core::{EngineConfig, JoinEngine, JoinServer, NativeCpu, ServerConfig};
 use std::net::SocketAddr;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pooled sessions of the engine under test (also the closed-loop client
@@ -182,7 +183,7 @@ fn run_phase(
     }
 
     let (tx, rx) = mpsc::channel::<Instant>();
-    let rx = Arc::new(Mutex::new(rx));
+    let rx = Arc::new(Mutex::new("bench.serving_rx", rx));
     let start = Instant::now();
     let tally = std::thread::scope(|scope| {
         let senders: Vec<_> = (0..SENDERS)
@@ -196,7 +197,7 @@ fn run_phase(
                         // Holding the lock while blocked on `recv` is fine:
                         // it releases the moment a job (or the hangup)
                         // arrives, so the queue drains one job at a time.
-                        let job = { rx.lock().unwrap().recv() };
+                        let job = { rx.lock().recv() };
                         let Ok(scheduled) = job else { break };
                         send_one(
                             &mut client,

@@ -31,15 +31,15 @@ use crate::engine::JoinRequest;
 use crate::error::JoinError;
 use crate::hashtable::{HashTable, BUCKET_HEADER_BYTES};
 use crate::partition::{default_radix_bits, run_partition_pass};
-use crate::pipeline::{lock_unpoisoned, wait_unpoisoned};
 use crate::result::JoinOutcome;
 use crate::scheme::RatioPlan;
 use apu_sim::DeviceKind;
 use datagen::Relation;
+use hj_analysis::sync::{Condvar, Mutex};
 use hj_metrics::LatencyHistogram;
 use hj_spill::{MemoryBroker, MemoryGrant};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 /// A versioned reference to a relation registered with
 /// [`JoinEngine::register_table`](crate::engine::JoinEngine::register_table).
@@ -51,6 +51,7 @@ use std::sync::{Arc, Condvar, Mutex};
 /// by `(id, version)`, so re-registration can never serve stale builds to
 /// holders of the *new* handle.
 #[derive(Debug, Clone)]
+#[must_use = "a handle that is dropped unused did not join anything"]
 pub struct TableHandle {
     pub(crate) id: u64,
     pub(crate) version: u64,
@@ -358,7 +359,9 @@ pub(crate) fn sim_probe_cached(
         return Ok(outcome);
     }
     let parts = partition_for_cache(ctx, probe, *bits, *passes, &plan, Some(&mut outcome))?;
-    debug_assert_eq!(parts.len(), tables.len());
+    // Single-thread shape check (partition fan-out arithmetic), not a
+    // cross-thread invariant — a debug assert is the right strength.
+    debug_assert_eq!(parts.len(), tables.len()); // hj-lint: allow(debug-assert-concurrency)
     for (s_p, table) in parts.iter().zip(tables.iter()) {
         if table.tuple_count() == 0 && s_p.is_empty() {
             continue;
@@ -495,6 +498,7 @@ pub(crate) struct HashTableCache {
 /// Marks the in-flight build slot failed if the builder unwinds (or errors)
 /// before disarming: waiters wake into a typed error instead of parking
 /// forever, and the next request rebuilds.
+#[must_use = "the guard must stay armed until the build has succeeded"]
 struct BuildFailureGuard<'a> {
     cache: &'a HashTableCache,
     key: CacheKey,
@@ -506,7 +510,7 @@ impl Drop for BuildFailureGuard<'_> {
         if !self.armed {
             return;
         }
-        let mut inner = lock_unpoisoned(&self.cache.inner);
+        let mut inner = self.cache.inner.lock();
         match inner.entries.get(&self.key) {
             Some(Slot::Building { waiting }) => {
                 if *waiting == 0 {
@@ -529,17 +533,20 @@ impl HashTableCache {
     pub(crate) fn new(broker: MemoryBroker) -> Self {
         HashTableCache {
             broker,
-            inner: Mutex::new(CacheInner {
-                entries: HashMap::new(),
-                grant: None,
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-                invalidations: 0,
-                build_ns_saved: 0,
-                build_latency: LatencyHistogram::new(),
-            }),
+            inner: Mutex::new(
+                "cache.inner",
+                CacheInner {
+                    entries: HashMap::new(),
+                    grant: None,
+                    tick: 0,
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                    invalidations: 0,
+                    build_ns_saved: 0,
+                    build_latency: LatencyHistogram::new(),
+                },
+            ),
             built: Condvar::new(),
         }
     }
@@ -554,7 +561,7 @@ impl HashTableCache {
         table_name: &str,
         build: impl FnOnce() -> Result<CachedTable, JoinError>,
     ) -> Result<Arc<CachedTable>, JoinError> {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         loop {
             match inner.entries.get_mut(&key) {
                 Some(Slot::Ready { table, .. }) => {
@@ -572,7 +579,7 @@ impl HashTableCache {
                 Some(Slot::Building { waiting }) => {
                     *waiting += 1;
                     loop {
-                        inner = wait_unpoisoned(&self.built, inner);
+                        inner = self.built.wait(inner);
                         match inner.entries.get_mut(&key) {
                             Some(Slot::Building { .. }) => continue,
                             Some(Slot::Failed { waiting }) => {
@@ -622,7 +629,7 @@ impl HashTableCache {
         table.build_ns = started.elapsed().as_nanos() as u64;
         guard.armed = false;
 
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         inner.misses += 1;
         inner.build_latency.record(table.build_ns);
         let bytes = table.bytes;
@@ -715,7 +722,11 @@ impl HashTableCache {
     fn release_grant_if_idle(&self, inner: &mut CacheInner) {
         if inner.entries.is_empty() {
             if let Some(grant) = inner.grant.take() {
-                debug_assert_eq!(grant.granted(), 0, "empty cache must hold zero bytes");
+                // A cross-thread accounting invariant (the grant's byte count is
+                // shared with the broker), so it must hold in release builds
+                // too — a debug_assert here would let a production cache leak
+                // broker budget silently.
+                assert_eq!(grant.granted(), 0, "empty cache must hold zero bytes");
                 drop(grant);
             }
         }
@@ -724,7 +735,7 @@ impl HashTableCache {
     /// Drops every cached build of `table_id` (any version): called on
     /// re-registration, before the bumped version can be requested.
     pub(crate) fn invalidate_table(&self, table_id: u64) {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         let victims: Vec<CacheKey> = inner
             .entries
             .iter()
@@ -744,7 +755,7 @@ impl HashTableCache {
 
     /// A point-in-time stats snapshot.
     pub(crate) fn stats(&self) -> CacheStats {
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

@@ -51,20 +51,19 @@ use crate::config::{Algorithm, HashTableMode, JoinConfig, Scheme, StepGranularit
 use crate::context::{arena_bytes_for, ExecContext};
 use crate::error::JoinError;
 use crate::hash::hash_key;
-use crate::pipeline::{
-    lock_unpoisoned, morsel_ranges, wait_unpoisoned, SharedWorkerPool, WorkerPool,
-};
+use crate::pipeline::{morsel_ranges, SharedWorkerPool, WorkerPool};
 use crate::result::JoinOutcome;
 use crate::scheme::RatioPlan;
 use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
 use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
+use hj_analysis::sync::{Condvar, Mutex};
 use hj_metrics::LatencyHistogram;
 use hj_spill::{MemoryBroker, SpillConfig, SpillManager};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -734,10 +733,19 @@ impl Clone for NativeCpu {
 /// session hand-off discipline: a freshly arriving join cannot barge past
 /// one that has been waiting, so no admitted join is starved of execution
 /// under sustained load.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ExecGate {
     state: Mutex<GateState>,
     freed: Condvar,
+}
+
+impl Default for ExecGate {
+    fn default() -> Self {
+        ExecGate {
+            state: Mutex::new("engine.exec_gate", GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -751,11 +759,11 @@ impl ExecGate {
     /// Waits (FIFO) for one of `capacity` execution slots; the guard frees
     /// it.
     fn acquire(&self, capacity: usize) -> ExecSlot<'_> {
-        let mut state = lock_unpoisoned(&self.state);
+        let mut state = self.state.lock();
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         while state.now_serving != ticket || state.executing >= capacity.max(1) {
-            state = wait_unpoisoned(&self.freed, state);
+            state = self.freed.wait(state);
         }
         state.now_serving += 1;
         state.executing += 1;
@@ -767,13 +775,14 @@ impl ExecGate {
 }
 
 /// RAII slot of [`ExecGate`]: released on drop, panic or not.
+#[must_use = "dropping the slot immediately frees the execution gate"]
 struct ExecSlot<'a> {
     gate: &'a ExecGate,
 }
 
 impl Drop for ExecSlot<'_> {
     fn drop(&mut self) {
-        lock_unpoisoned(&self.gate.state).executing -= 1;
+        self.gate.state.lock().executing -= 1;
         self.gate.freed.notify_all();
     }
 }
@@ -1446,22 +1455,28 @@ impl JoinEngine {
         };
         Ok(JoinEngine {
             backend,
-            pool: Mutex::new(SessionPool {
-                free,
-                handoff: std::collections::VecDeque::new(),
-                waiting: 0,
-            }),
+            pool: Mutex::new(
+                "engine.session_pool",
+                SessionPool {
+                    free,
+                    handoff: std::collections::VecDeque::new(),
+                    waiting: 0,
+                },
+            ),
             session_freed: Condvar::new(),
-            stats: Mutex::new(StatsInner {
-                arenas_created: config.sessions as u64,
-                per_session: vec![SessionStats::default(); config.sessions],
-                ..StatsInner::default()
-            }),
+            stats: Mutex::new(
+                "engine.stats",
+                StatsInner {
+                    arenas_created: config.sessions as u64,
+                    per_session: vec![SessionStats::default(); config.sessions],
+                    ..StatsInner::default()
+                },
+            ),
             workers: SharedWorkerPool::new(config.effective_worker_threads()),
             cache: HashTableCache::new(broker.clone()),
             broker,
             spill_manager: std::sync::OnceLock::new(),
-            registry: Mutex::new(HashMap::new()),
+            registry: Mutex::new("engine.registry", HashMap::new()),
             next_table_id: AtomicU64::new(0),
             arena_capacity: capacity,
             started: Instant::now(),
@@ -1554,7 +1569,13 @@ impl JoinEngine {
     /// panic is re-raised at its submitter) leaves the counters readable —
     /// one bad join cannot turn every later `stats()` call into a panic.
     pub fn stats(&self) -> EngineStats {
-        let inner = lock_unpoisoned(&self.stats);
+        // Read the registry size *before* taking the stats lock: holding
+        // `engine.stats` while acquiring `engine.registry` nested the two
+        // classes for no reason (the snapshot is point-in-time either way),
+        // and the lock-order detector rightly treats every avoidable
+        // nesting as ordering the classes forever.
+        let registered_tables = self.registry.lock().len();
+        let inner = self.stats.lock();
         let elapsed = self.started.elapsed().as_secs_f64();
         EngineStats {
             requests_served: inner.requests_served,
@@ -1573,7 +1594,7 @@ impl JoinEngine {
             spill_partitions: inner.spill_partitions,
             spill_fallback_joins: inner.spill_fallback_joins,
             queue_wait: inner.queue_wait,
-            registered_tables: lock_unpoisoned(&self.registry).len(),
+            registered_tables,
             cache: self.cache.stats(),
             batches_submitted: inner.batches_submitted,
             batched_requests: inner.batched_requests,
@@ -1599,7 +1620,7 @@ impl JoinEngine {
     /// and panic recovery).
     fn provision_arena(&self, kind: AllocatorKind) -> Box<dyn KernelAllocator> {
         let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
-        lock_unpoisoned(&self.stats).arenas_created += 1;
+        self.stats.lock().arenas_created += 1;
         kind.build(self.arena_capacity, work_groups)
     }
 
@@ -1607,7 +1628,7 @@ impl JoinEngine {
     /// wait the acquisition paid — in the engine-wide and per-session
     /// histograms.
     fn note_acquired(&self, session_id: usize, wait_ns: u64) {
-        let mut stats = lock_unpoisoned(&self.stats);
+        let mut stats = self.stats.lock();
         stats.in_flight += 1;
         stats.peak_in_flight = stats.peak_in_flight.max(stats.in_flight);
         stats.queue_wait.record(wait_ns);
@@ -1619,7 +1640,7 @@ impl JoinEngine {
     /// queued waiters before new arrivals, so the queue cannot be starved.
     fn acquire_session(&self) -> Result<Session, JoinError> {
         let started = Instant::now();
-        let mut pool = lock_unpoisoned(&self.pool);
+        let mut pool = self.pool.lock();
         // The free list only holds sessions no queued waiter was owed, so
         // taking from it never barges past the queue.
         if let Some(session) = pool.free.pop() {
@@ -1630,7 +1651,7 @@ impl JoinEngine {
         if pool.waiting >= self.config.effective_queue_depth() {
             let queued = pool.waiting;
             drop(pool);
-            let mut stats = lock_unpoisoned(&self.stats);
+            let mut stats = self.stats.lock();
             stats.rejected_saturated += 1;
             stats.requests_failed += 1;
             return Err(JoinError::Saturated {
@@ -1642,7 +1663,7 @@ impl JoinEngine {
         }
         pool.waiting += 1;
         loop {
-            pool = wait_unpoisoned(&self.session_freed, pool);
+            pool = self.session_freed.wait(pool);
             // `waiting` was already decremented by the releaser that pushed
             // this hand-off; an empty deque means the wake-up was spurious
             // (or another waiter won the race) and we keep waiting.
@@ -1657,7 +1678,7 @@ impl JoinEngine {
     /// Records one request's fate against the engine-wide and per-session
     /// counters.
     fn record_fate(&self, session_id: usize, served: bool) {
-        let mut stats = lock_unpoisoned(&self.stats);
+        let mut stats = self.stats.lock();
         let per = &mut stats.per_session[session_id];
         if served {
             per.requests_served += 1;
@@ -1672,8 +1693,8 @@ impl JoinEngine {
     /// one exists — without recording any request fate (batch submissions
     /// record one fate per item instead).
     fn return_session(&self, session: Session) {
-        lock_unpoisoned(&self.stats).in_flight -= 1;
-        let mut pool = lock_unpoisoned(&self.pool);
+        self.stats.lock().in_flight -= 1;
+        let mut pool = self.pool.lock();
         if pool.waiting > 0 {
             pool.waiting -= 1;
             pool.handoff.push_back(session);
@@ -1775,7 +1796,7 @@ impl JoinEngine {
         if required > self.arena_capacity && request.spill_config().is_none() {
             // A spill-enabled request is admitted anyway: the hybrid hash
             // join sizes its partition pairs to the arena.
-            let mut stats = lock_unpoisoned(&self.stats);
+            let mut stats = self.stats.lock();
             stats.requests_failed += 1;
             return Err(JoinError::OversizedInput {
                 build_tuples: build.len(),
@@ -1808,7 +1829,7 @@ impl JoinEngine {
     /// registered tuples; a *stale* handle (issued before a re-registration)
     /// keeps joining against its own version's data.
     pub fn register_table(&self, name: &str, tuples: Relation) -> TableHandle {
-        let mut registry = lock_unpoisoned(&self.registry);
+        let mut registry = self.registry.lock();
         let handle = match registry.get(name) {
             Some(prev) => {
                 self.cache.invalidate_table(prev.id);
@@ -1820,6 +1841,8 @@ impl JoinEngine {
                 }
             }
             None => TableHandle {
+                // Relaxed: the RMW is atomic under any ordering, so ids
+                // stay unique; nothing reads other state through this id.
                 id: self.next_table_id.fetch_add(1, Ordering::Relaxed) + 1,
                 version: 1,
                 name: Arc::from(name),
@@ -1833,7 +1856,7 @@ impl JoinEngine {
     /// The current handle of a registered table, or `None` for an unknown
     /// name.
     pub fn table(&self, name: &str) -> Option<TableHandle> {
-        lock_unpoisoned(&self.registry).get(name).cloned()
+        self.registry.lock().get(name).cloned()
     }
 
     /// A point-in-time snapshot of the hash-table cache counters (also
@@ -1878,7 +1901,7 @@ impl JoinEngine {
         // session arena, so only the probe's working state must fit.
         let required = request.required_arena_bytes(0, probe.len(), self.backend.system());
         if required > self.arena_capacity {
-            let mut stats = lock_unpoisoned(&self.stats);
+            let mut stats = self.stats.lock();
             stats.requests_failed += 1;
             return Err(JoinError::OversizedInput {
                 build_tuples: 0,
@@ -1977,7 +2000,7 @@ impl JoinEngine {
                 session.allocator = Some(allocator);
                 if let Ok(outcome) = &result {
                     if let Some(report) = &outcome.adaptive {
-                        let mut stats = lock_unpoisoned(&self.stats);
+                        let mut stats = self.stats.lock();
                         stats.adaptive_requests += 1;
                         stats.replans += report.replans;
                         stats.per_session[session.id].replans += report.replans;
@@ -2066,13 +2089,13 @@ impl JoinEngine {
                 session.allocator = Some(allocator);
                 if let Ok(outcome) = &result {
                     if let Some(report) = &outcome.adaptive {
-                        let mut stats = lock_unpoisoned(&self.stats);
+                        let mut stats = self.stats.lock();
                         stats.adaptive_requests += 1;
                         stats.replans += report.replans;
                         stats.per_session[session.id].replans += report.replans;
                     }
                     if let Some(report) = &outcome.spill {
-                        let mut stats = lock_unpoisoned(&self.stats);
+                        let mut stats = self.stats.lock();
                         stats.spill_bytes_written += report.bytes_spilled;
                         stats.spill_bytes_restored += report.bytes_restored;
                         stats.spill_partitions += report.partitions_spilled;
@@ -2117,14 +2140,14 @@ impl JoinEngine {
             Err(err) => {
                 // acquire_session counted one rejection; the remaining
                 // items are accounted here so per-request arithmetic holds.
-                let mut stats = lock_unpoisoned(&self.stats);
+                let mut stats = self.stats.lock();
                 stats.rejected_saturated += (items.len() - 1) as u64;
                 stats.requests_failed += (items.len() - 1) as u64;
                 return items.iter().map(|_| Err(err.clone())).collect();
             }
         };
         {
-            let mut stats = lock_unpoisoned(&self.stats);
+            let mut stats = self.stats.lock();
             stats.batches_submitted += 1;
             stats.batched_requests += items.len() as u64;
         }
@@ -2168,8 +2191,8 @@ impl JoinEngine {
     /// backpressure replies without paying for a full [`stats`](Self::stats)
     /// clone.
     pub fn load(&self) -> EngineLoad {
-        let in_flight = lock_unpoisoned(&self.stats).in_flight;
-        let queued = lock_unpoisoned(&self.pool).waiting;
+        let in_flight = self.stats.lock().in_flight;
+        let queued = self.pool.lock().waiting;
         EngineLoad {
             in_flight,
             queued,

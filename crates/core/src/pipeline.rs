@@ -20,11 +20,12 @@
 //!   session of the owning engine.
 
 use crate::steps::StepId;
+use hj_analysis::sync::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 /// Default morsel size in tuples (~64 K, a few hundred KB of tuple data —
 /// large enough to amortise dispatch, small enough to load-balance).
@@ -159,25 +160,13 @@ pub fn series_tasks(series: StepSeries, items: usize, morsel_tuples: usize) -> V
 // Persistent work-stealing worker pool
 // ---------------------------------------------------------------------------
 
-/// Locks `mutex`, recovering the inner data when a panicking thread
-/// poisoned it.
-///
-/// A panic anywhere in the engine is already propagated to the submitting
-/// caller (`catch_unwind` + `resume_unwind`); poisoning carries no extra
-/// information here, and treating it as fatal would let one bad join turn
-/// every later `stats()`/`submit()` call into a panic.
-pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// [`Condvar::wait`] with the same poisoning-recovery policy as
-/// [`lock_unpoisoned`].
-pub(crate) fn wait_unpoisoned<'a, T>(
-    condvar: &Condvar,
-    guard: MutexGuard<'a, T>,
-) -> MutexGuard<'a, T> {
-    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
+// The former `lock_unpoisoned`/`wait_unpoisoned` helpers (one of three
+// copies across the workspace) are gone: poison recovery is built into
+// `hj_analysis::sync` — a panic anywhere in the engine is already
+// propagated to the submitting caller (`catch_unwind` + `resume_unwind`),
+// so poisoning carries no extra information, and treating it as fatal
+// would let one bad join turn every later `stats()`/`submit()` call into
+// a panic.
 
 /// A lifetime-erased pointer to a task body `(worker, task_index)` that
 /// lives on the submitting thread's stack.
@@ -221,7 +210,7 @@ impl JobCore {
     /// Marks one task finished (recording the first panic payload, if any)
     /// and wakes the waiting submitter once every queued task is done.
     fn complete_one(&self, panic: Option<Box<dyn Any + Send>>) {
-        let mut progress = lock_unpoisoned(&self.progress);
+        let mut progress = self.progress.lock();
         if progress.panic.is_none() {
             progress.panic = panic;
         }
@@ -238,9 +227,9 @@ impl JobCore {
     /// pointer erasure in [`WorkerPool::run`] sound: no worker can still
     /// be inside the job's closure once `wait` returns.
     fn wait(&self) {
-        let mut progress = lock_unpoisoned(&self.progress);
+        let mut progress = self.progress.lock();
         while progress.completed < self.tasks {
-            progress = wait_unpoisoned(&self.done, progress);
+            progress = self.done.wait(progress);
         }
         if let Some(payload) = progress.panic.take() {
             drop(progress);
@@ -257,17 +246,18 @@ impl JobCore {
 /// while pushing), the guard still keeps the submitting frame — and with
 /// it the pointee of [`JobCore::run`] — alive until the partially queued
 /// tasks have finished on the workers.
+#[must_use = "the guard must stay alive until every queued task completed"]
 struct CompletionGuard<'a> {
     job: &'a JobCore,
 }
 
 impl Drop for CompletionGuard<'_> {
     fn drop(&mut self) {
-        let mut progress = lock_unpoisoned(&self.job.progress);
+        let mut progress = self.job.progress.lock();
         // No further pushes can happen once the guard drops, so `queued`
         // is final here.
         while progress.completed < progress.queued {
-            progress = wait_unpoisoned(&self.job.done, progress);
+            progress = self.job.done.wait(progress);
         }
     }
 }
@@ -326,7 +316,7 @@ impl PoolShared {
 
     fn take(&self, queue: usize, front: bool) -> Option<PoolTask> {
         let slot = &self.deques[queue];
-        let mut deque = lock_unpoisoned(&slot.deque);
+        let mut deque = slot.deque.lock();
         let task = if front {
             deque.pop_front()
         } else {
@@ -343,6 +333,8 @@ impl PoolShared {
 fn worker_loop(shared: Arc<PoolShared>, me: usize) {
     loop {
         if let Some(task) = shared.pop(me) {
+            // Relaxed: a pure telemetry counter — nothing branches on it,
+            // and a stats snapshot may lag in-flight tasks by design.
             shared.tasks_executed[me].fetch_add(1, Ordering::Relaxed);
             let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 // SAFETY: the pointee is a Sync closure owned by the
@@ -359,7 +351,7 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
         // Park until new work arrives.  The re-check happens under the park
         // lock: a submitter increments `pending` *before* taking the same
         // lock to notify, so the wake-up cannot be lost.
-        let mut guard = lock_unpoisoned(&shared.park);
+        let mut guard = shared.park.lock();
         loop {
             if shared.shutdown.load(Ordering::Acquire) {
                 shared.live_workers.fetch_sub(1, Ordering::AcqRel);
@@ -368,7 +360,7 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             if shared.pending.load(Ordering::Acquire) > 0 {
                 break;
             }
-            guard = wait_unpoisoned(&shared.work_ready, guard);
+            guard = shared.work_ready.wait(guard);
         }
     }
 }
@@ -415,11 +407,11 @@ impl WorkerPool {
             deques: (0..workers)
                 .map(|_| WorkerDeque {
                     len: AtomicUsize::new(0),
-                    deque: Mutex::new(VecDeque::new()),
+                    deque: Mutex::new("pool.deque", VecDeque::new()),
                 })
                 .collect(),
             pending: AtomicUsize::new(0),
-            park: Mutex::new(()),
+            park: Mutex::new("pool.park", ()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             tasks_executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -474,13 +466,16 @@ impl WorkerPool {
         let tasks = job.tasks;
         let workers = self.workers();
         let per_worker = tasks.div_ceil(workers).max(1);
+        // Relaxed: only a placement *hint* rotating which deque a job's
+        // first block lands on — any interleaving of the counter is
+        // equally correct, so no ordering is load-bearing here.
         let start = self.shared.next_deque.fetch_add(1, Ordering::Relaxed) % workers;
         let mut index = 0usize;
         let mut block = 0usize;
         while index < tasks {
             let end = (index + per_worker).min(tasks);
             let slot = &self.shared.deques[(start + block) % workers];
-            let mut deque = lock_unpoisoned(&slot.deque);
+            let mut deque = slot.deque.lock();
             for i in index..end {
                 deque.push_back(PoolTask {
                     job: Arc::clone(job),
@@ -490,7 +485,7 @@ impl WorkerPool {
             // All counters move under the deque lock: a worker can only
             // see (and pop) these tasks after `pending` includes them, and
             // `queued` never under-counts what a worker might execute.
-            lock_unpoisoned(&job.progress).queued = end;
+            job.progress.lock().queued = end;
             slot.len.fetch_add(end - index, Ordering::Release);
             self.shared
                 .pending
@@ -501,7 +496,7 @@ impl WorkerPool {
         }
         // Serialise with parking workers (they re-check `pending` under
         // this lock before sleeping) so the notification cannot be lost.
-        drop(lock_unpoisoned(&self.shared.park));
+        drop(self.shared.park.lock());
         self.shared.work_ready.notify_all();
     }
 
@@ -528,12 +523,14 @@ impl WorkerPool {
         // One slot per task: every task writes only its own slot, so the
         // per-slot locks are never contended (no shared push bottleneck on
         // the execution hot path) and results need no sorting afterwards.
-        let results: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..tasks)
+            .map(|_| Mutex::new("pool.result_slot", None))
+            .collect();
         {
             // The task body lives on *this* stack frame for the whole job.
             let body = |worker: usize, task: usize| {
                 let value = f(worker, task);
-                *lock_unpoisoned(&results[task]) = Some(value);
+                *results[task].lock() = Some(value);
             };
             // SAFETY of the lifetime-erasing cast: `JobCore` stores only a
             // raw pointer (no reference, no drop glue), and workers
@@ -553,11 +550,14 @@ impl WorkerPool {
             let job = Arc::new(JobCore {
                 run: erased,
                 tasks,
-                progress: Mutex::new(JobProgress {
-                    queued: 0,
-                    completed: 0,
-                    panic: None,
-                }),
+                progress: Mutex::new(
+                    "pool.job_progress",
+                    JobProgress {
+                        queued: 0,
+                        completed: 0,
+                        panic: None,
+                    },
+                ),
                 done: Condvar::new(),
             });
             let guard = CompletionGuard { job: &job };
@@ -572,11 +572,9 @@ impl WorkerPool {
                 // Hard invariant in every build profile: a task whose slot
                 // is still empty was lost, and a dropped morsel would
                 // silently lose tuples.
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .unwrap_or_else(|| {
-                        panic!("worker pool lost task {task} of {tasks}: no result delivered")
-                    })
+                slot.into_inner().unwrap_or_else(|| {
+                    panic!("worker pool lost task {task} of {tasks}: no result delivered")
+                })
             })
             .collect()
     }
@@ -633,7 +631,7 @@ impl Drop for WorkerPool {
     /// a borrow of the pool until its job is done), so the deques are empty.
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        drop(lock_unpoisoned(&self.shared.park));
+        drop(self.shared.park.lock());
         self.shared.work_ready.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -733,8 +731,8 @@ mod tests {
         // no assertion depends on timing.
         const TASKS: usize = 64;
         let pool = WorkerPool::new(2);
-        let gate = (Mutex::new(false), Condvar::new());
-        let started = (Mutex::new(false), Condvar::new());
+        let gate = (Mutex::new("test.steal_gate", false), Condvar::new());
+        let started = (Mutex::new("test.steal_started", false), Condvar::new());
         let pinned_worker = AtomicUsize::new(usize::MAX);
         let ran_by: Vec<AtomicUsize> = (0..TASKS).map(|_| AtomicUsize::new(usize::MAX)).collect();
 
@@ -743,18 +741,18 @@ mod tests {
             scope.spawn(move || {
                 pool.run(1, |worker, _| {
                     pinned_worker.store(worker, Ordering::SeqCst);
-                    *lock_unpoisoned(&started.0) = true;
+                    *started.0.lock() = true;
                     started.1.notify_all();
-                    let mut open = lock_unpoisoned(&gate.0);
+                    let mut open = gate.0.lock();
                     while !*open {
-                        open = wait_unpoisoned(&gate.1, open);
+                        open = gate.1.wait(open);
                     }
                 });
             });
             // Only submit the stealable job once a worker is provably pinned.
-            let mut is_started = lock_unpoisoned(&started.0);
+            let mut is_started = started.0.lock();
             while !*is_started {
-                is_started = wait_unpoisoned(&started.1, is_started);
+                is_started = started.1.wait(is_started);
             }
             drop(is_started);
 
@@ -762,7 +760,7 @@ mod tests {
                 ran_by[task].store(worker, Ordering::SeqCst);
             });
             // The 64-task job completed while one worker was still pinned.
-            *lock_unpoisoned(&gate.0) = true;
+            *gate.0.lock() = true;
             gate.1.notify_all();
         });
 
@@ -839,15 +837,16 @@ mod tests {
 
     #[test]
     fn poisoned_locks_are_recovered_not_propagated() {
-        let poisoned: std::sync::Arc<Mutex<u32>> = std::sync::Arc::new(Mutex::new(7));
+        // The facade (not a local helper) carries the recovery policy now:
+        // a panic while holding an engine lock must not turn later
+        // `stats()`/`submit()` calls into poison panics.
+        let poisoned = std::sync::Arc::new(Mutex::new("test.poison", 7u32));
         let clone = std::sync::Arc::clone(&poisoned);
         let _ = std::thread::spawn(move || {
-            let _guard = clone.lock().unwrap();
+            let _guard = clone.lock();
             panic!("poison the mutex");
         })
         .join();
-        assert!(poisoned.is_poisoned());
-        // The engine's locking discipline shrugs the poison off.
-        assert_eq!(*lock_unpoisoned(&poisoned), 7);
+        assert_eq!(*poisoned.lock(), 7);
     }
 }

@@ -52,8 +52,8 @@
 use crate::config::{Algorithm, Scheme};
 use crate::engine::{BatchItem, JoinEngine, JoinRequest};
 use crate::error::JoinError;
-use crate::pipeline::{lock_unpoisoned, wait_unpoisoned};
 use crate::result::JoinOutcome;
+use hj_analysis::sync::{Condvar, Mutex};
 use hj_server::admission::{Admission, AdmissionController, AdmissionStats, SloConfig, Ticket};
 use hj_server::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
 use hj_server::histogram::LatencyHistogram;
@@ -65,7 +65,7 @@ use std::collections::VecDeque;
 use std::io::BufWriter;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -228,23 +228,23 @@ struct Slot {
 impl Slot {
     fn new() -> Arc<Slot> {
         Arc::new(Slot {
-            reply: Mutex::new(None),
+            reply: Mutex::new("serve.slot_reply", None),
             ready: Condvar::new(),
         })
     }
 
     fn fill(&self, reply: BatchReply) {
-        *lock_unpoisoned(&self.reply) = Some(reply);
+        *self.reply.lock() = Some(reply);
         self.ready.notify_one();
     }
 
     fn take(&self) -> BatchReply {
-        let mut reply = lock_unpoisoned(&self.reply);
+        let mut reply = self.reply.lock();
         loop {
             if let Some(reply) = reply.take() {
                 return reply;
             }
-            reply = wait_unpoisoned(&self.ready, reply);
+            reply = self.ready.wait(reply);
         }
     }
 }
@@ -279,6 +279,11 @@ struct ServerShared {
     config: ServerConfig,
     admission: AdmissionController,
     started: Instant,
+    /// `shutting_down`, `live_handlers` and `Batcher::draining` all use
+    /// `SeqCst` deliberately: they are control-flow flags on cold paths
+    /// (accept loop, shutdown, drain), where the strongest ordering costs
+    /// nothing measurable and removes any reasoning burden.  The hot
+    /// request path touches none of them.
     shutting_down: AtomicBool,
     stats: Mutex<StatsInner>,
     live_handlers: AtomicUsize,
@@ -341,12 +346,12 @@ impl JoinServer {
             admission,
             started: Instant::now(),
             shutting_down: AtomicBool::new(false),
-            stats: Mutex::new(StatsInner::default()),
+            stats: Mutex::new("serve.stats", StatsInner::default()),
             live_handlers: AtomicUsize::new(0),
-            handlers: Mutex::new(Vec::new()),
-            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new("serve.handlers", Vec::new()),
+            conns: Mutex::new("serve.conns", Vec::new()),
             batcher: Batcher {
-                queue: Mutex::new(VecDeque::new()),
+                queue: Mutex::new("serve.batch_queue", VecDeque::new()),
                 nonempty: Condvar::new(),
                 draining: AtomicBool::new(false),
             },
@@ -386,7 +391,7 @@ impl JoinServer {
 
     /// A point-in-time snapshot of the serving counters.
     pub fn stats(&self) -> ServerStats {
-        let inner = lock_unpoisoned(&self.shared.stats);
+        let inner = self.shared.stats.lock();
         ServerStats {
             connections_accepted: inner.connections_accepted,
             connections_refused: inner.connections_refused,
@@ -443,10 +448,10 @@ impl JoinServer {
         // delivers a clean EOF *between* frames, so a handler busy with a
         // request finishes writing its reply first and exits on the next
         // read.  In-flight work drains; idle connections close.
-        for (_, stream) in lock_unpoisoned(&self.shared.conns).drain(..) {
+        for (_, stream) in self.shared.conns.lock().drain(..) {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let handlers: Vec<_> = lock_unpoisoned(&self.shared.handlers).drain(..).collect();
+        let handlers: Vec<_> = self.shared.handlers.lock().drain(..).collect();
         for handle in handlers {
             let _ = handle.join();
         }
@@ -474,7 +479,7 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             // The shutdown self-connect lands here too; real late arrivals
             // are refused by the close below and counted.
-            lock_unpoisoned(&shared.stats).connections_refused += 1;
+            shared.stats.lock().connections_refused += 1;
             drop(stream);
             break;
         }
@@ -482,9 +487,9 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
         let client_id = next_client;
         let _ = stream.set_nodelay(true);
         if let Ok(clone) = stream.try_clone() {
-            lock_unpoisoned(&shared.conns).push((client_id, clone));
+            shared.conns.lock().push((client_id, clone));
         }
-        lock_unpoisoned(&shared.stats).connections_accepted += 1;
+        shared.stats.lock().connections_accepted += 1;
         shared.live_handlers.fetch_add(1, Ordering::SeqCst);
         let handler_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
@@ -494,11 +499,14 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
                 // Deregister (and thereby drop) the shutdown clone: with
                 // both descriptors gone the peer sees EOF now, not at
                 // server shutdown.
-                lock_unpoisoned(&handler_shared.conns).retain(|(id, _)| *id != client_id);
+                handler_shared
+                    .conns
+                    .lock()
+                    .retain(|(id, _)| *id != client_id);
                 handler_shared.live_handlers.fetch_sub(1, Ordering::SeqCst);
             })
             .expect("spawn connection handler");
-        lock_unpoisoned(&shared.handlers).push(handle);
+        shared.handlers.lock().push(handle);
     }
 }
 
@@ -569,7 +577,7 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream, client_i
 /// Reports a protocol violation best-effort (the peer may already be gone)
 /// and lets the caller close the connection.
 fn close_on_protocol_error(shared: &Arc<ServerShared>, stream: &mut TcpStream, err: &WireError) {
-    lock_unpoisoned(&shared.stats).protocol_errors += 1;
+    shared.stats.lock().protocol_errors += 1;
     let failure = WireFailure {
         id: 0,
         code: WireErrorCode::Protocol,
@@ -589,7 +597,7 @@ fn handle_request(
     wire: WireRequest,
     arrived: Instant,
 ) -> Result<(), WireError> {
-    lock_unpoisoned(&shared.stats).requests_received += 1;
+    shared.stats.lock().requests_received += 1;
     let tuples = wire.build.len() + wire.probe.len();
     let now_ns = shared.now_ns();
 
@@ -652,7 +660,7 @@ fn handle_register(
     let handle = shared
         .engine
         .register_table(&register.name, register.tuples);
-    lock_unpoisoned(&shared.stats).tables_registered += 1;
+    shared.stats.lock().tables_registered += 1;
     let ack = WireRegistered {
         id: register.id,
         version: handle.version(),
@@ -675,12 +683,12 @@ fn handle_ref_request(
     arrived: Instant,
 ) -> Result<(), WireError> {
     {
-        let mut stats = lock_unpoisoned(&shared.stats);
+        let mut stats = shared.stats.lock();
         stats.requests_received += 1;
         stats.ref_requests += 1;
     }
     let Some(table) = shared.engine.table(&wire.table) else {
-        lock_unpoisoned(&shared.stats).requests_failed += 1;
+        shared.stats.lock().requests_failed += 1;
         let failure = WireFailure {
             id: wire.id,
             code: WireErrorCode::UnknownTable,
@@ -771,7 +779,7 @@ fn run_batched(
         slot: Arc::clone(&slot),
     };
     {
-        let mut queue = lock_unpoisoned(&shared.batcher.queue);
+        let mut queue = shared.batcher.queue.lock();
         queue.push_back(entry);
     }
     shared.batcher.nonempty.notify_one();
@@ -798,7 +806,7 @@ fn run_batched(
 fn dispatch_loop(shared: &Arc<ServerShared>) {
     loop {
         let batch = {
-            let mut queue = lock_unpoisoned(&shared.batcher.queue);
+            let mut queue = shared.batcher.queue.lock();
             loop {
                 if !queue.is_empty() {
                     break;
@@ -806,7 +814,7 @@ fn dispatch_loop(shared: &Arc<ServerShared>) {
                 if shared.batcher.draining.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = wait_unpoisoned(&shared.batcher.nonempty, queue);
+                queue = shared.batcher.nonempty.wait(queue);
             }
             let first = queue.pop_front().expect("nonempty queue");
             let key = first.key();
@@ -843,7 +851,7 @@ fn run_batch(shared: &Arc<ServerShared>, batch: Vec<BatchEntry>) {
     for entry in expired {
         shared.admission.abandon(entry.ticket);
         {
-            let mut stats = lock_unpoisoned(&shared.stats);
+            let mut stats = shared.stats.lock();
             stats.requests_shed += 1;
             stats.shed_deadline += 1;
         }
@@ -854,7 +862,7 @@ fn run_batch(shared: &Arc<ServerShared>, batch: Vec<BatchEntry>) {
     }
 
     {
-        let mut stats = lock_unpoisoned(&shared.stats);
+        let mut stats = shared.stats.lock();
         stats.batches_dispatched += 1;
         stats.batched_requests += live.len() as u64;
     }
@@ -923,12 +931,18 @@ fn finish_request(
 ) -> Result<(), WireError> {
     match result {
         Ok(outcome) => {
+            // Count before the reply hits the socket: once the client can
+            // observe its response, a stats snapshot must already include
+            // the request (latency therefore measures arrival → settled,
+            // excluding reply serialisation).
+            {
+                let mut stats = shared.stats.lock();
+                stats.requests_served += 1;
+                stats
+                    .request_latency
+                    .record(arrived.elapsed().as_nanos() as u64);
+            }
             write_outcome(shared, stream, id, sent_pairs, &outcome)?;
-            let mut stats = lock_unpoisoned(&shared.stats);
-            stats.requests_served += 1;
-            stats
-                .request_latency
-                .record(arrived.elapsed().as_nanos() as u64);
             Ok(())
         }
         Err(JoinError::Saturated { .. }) => write_overloaded(
@@ -1013,7 +1027,7 @@ fn write_overloaded(
     retry_after_ms: u32,
 ) -> Result<(), WireError> {
     {
-        let mut stats = lock_unpoisoned(&shared.stats);
+        let mut stats = shared.stats.lock();
         stats.requests_shed += 1;
         match reason {
             ShedReason::Deadline => stats.shed_deadline += 1,
@@ -1040,7 +1054,7 @@ fn write_failure(
     id: u64,
     err: &JoinError,
 ) -> Result<(), WireError> {
-    lock_unpoisoned(&shared.stats).requests_failed += 1;
+    shared.stats.lock().requests_failed += 1;
     let code = match err {
         JoinError::OversizedInput { .. } => WireErrorCode::Oversized,
         JoinError::ArenaExhausted { .. }

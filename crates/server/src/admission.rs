@@ -34,8 +34,8 @@
 
 use crate::message::ShedReason;
 use hj_adaptive::EwmaEstimator;
+use hj_analysis::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Service-level objectives and quota knobs of one serving endpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -226,12 +226,15 @@ impl AdmissionController {
         Ok(AdmissionController {
             config,
             parallelism: parallelism.max(1),
-            inner: Mutex::new(Inner {
-                buckets: HashMap::new(),
-                estimator,
-                backlog_ns: 0.0,
-                stats: AdmissionStats::default(),
-            }),
+            inner: Mutex::new(
+                "slo.admission",
+                Inner {
+                    buckets: HashMap::new(),
+                    estimator,
+                    backlog_ns: 0.0,
+                    stats: AdmissionStats::default(),
+                },
+            ),
         })
     }
 
@@ -258,7 +261,7 @@ impl AdmissionController {
         priority: u8,
         now_ns: u64,
     ) -> Admission {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
 
         // 1. Quota: refill this client's bucket to `now`, then take a token.
         if self.config.tokens_per_sec.is_finite() {
@@ -344,7 +347,7 @@ impl AdmissionController {
     /// Settles an admitted request: removes its backlog charge and feeds
     /// the measured service time into the estimator.
     pub fn complete(&self, ticket: Ticket, actual_service_ns: u64) {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         inner.backlog_ns = (inner.backlog_ns - ticket.est_service_ns).max(0.0);
         inner
             .estimator
@@ -358,7 +361,7 @@ impl AdmissionController {
     /// connection died): removes its backlog charge without feeding the
     /// estimator.
     pub fn abandon(&self, ticket: Ticket) {
-        let mut inner = lock_unpoisoned(&self.inner);
+        let mut inner = self.inner.lock();
         inner.backlog_ns = (inner.backlog_ns - ticket.est_service_ns).max(0.0);
         inner.stats.backlog_ns = inner.backlog_ns;
     }
@@ -367,13 +370,13 @@ impl AdmissionController {
     /// milliseconds — the retry hint the serving layer attaches to
     /// engine-level `Saturated` rejections.
     pub fn estimated_wait_ms(&self) -> u32 {
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         retry_after_ms(inner.backlog_ns / self.parallelism as f64)
     }
 
     /// A point-in-time snapshot of the counters.
     pub fn stats(&self) -> AdmissionStats {
-        let inner = lock_unpoisoned(&self.inner);
+        let inner = self.inner.lock();
         let mut stats = inner.stats;
         stats.backlog_ns = inner.backlog_ns;
         stats.service_ns_per_tuple = inner.estimator.estimate_ns().unwrap_or(0.0);
@@ -396,12 +399,6 @@ fn retry_after_ms(overrun_ns: f64) -> u32 {
         return 1;
     }
     ((overrun_ns / 1e6).ceil()).min(u32::MAX as f64).max(1.0) as u32
-}
-
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

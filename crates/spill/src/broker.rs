@@ -22,10 +22,10 @@
 //!   and clears its starvation mark; the broker's mutex recovers from
 //!   poisoning, so one crashed session cannot brick the budget.
 
-use crate::lock_unpoisoned;
+use hj_analysis::sync::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Why a grant could not grow: the budget arithmetic behind a denial, so
 /// the caller can size its eviction (and operators can diagnose pressure).
@@ -90,11 +90,14 @@ impl MemoryBroker {
         MemoryBroker {
             shared: Arc::new(Shared {
                 budget,
-                state: Mutex::new(BrokerState {
-                    sessions: HashMap::new(),
-                    next_id: 0,
-                    granted_total: 0,
-                }),
+                state: Mutex::new(
+                    "spill.broker_state",
+                    BrokerState {
+                        sessions: HashMap::new(),
+                        next_id: 0,
+                        granted_total: 0,
+                    },
+                ),
             }),
         }
     }
@@ -112,18 +115,18 @@ impl MemoryBroker {
 
     /// Bytes currently granted across all sessions.
     pub fn granted(&self) -> usize {
-        lock_unpoisoned(&self.shared.state).granted_total
+        self.shared.state.lock().granted_total
     }
 
     /// Sessions currently registered.
     pub fn sessions(&self) -> usize {
-        lock_unpoisoned(&self.shared.state).sessions.len()
+        self.shared.state.lock().sessions.len()
     }
 
     /// Registers a new session and returns its grant handle (zero bytes
     /// granted initially).
     pub fn session(&self) -> MemoryGrant {
-        let mut state = lock_unpoisoned(&self.shared.state);
+        let mut state = self.shared.state.lock();
         let id = state.next_id;
         state.next_id += 1;
         state.sessions.insert(
@@ -144,6 +147,7 @@ impl MemoryBroker {
 ///
 /// Not clonable: exactly one owner accounts a session's resident bytes, and
 /// `Drop` (including during a panic unwind) releases them all.
+#[must_use = "dropping the grant immediately releases its budget bytes"]
 pub struct MemoryGrant {
     shared: Arc<Shared>,
     id: u64,
@@ -173,7 +177,7 @@ impl MemoryGrant {
     /// # Errors
     /// [`GrantDenied`] when the unallocated budget cannot cover `bytes`.
     pub fn try_grow(&self, bytes: usize) -> Result<(), GrantDenied> {
-        let mut state = lock_unpoisoned(&self.shared.state);
+        let mut state = self.shared.state.lock();
         let budget = self.shared.budget;
         if bytes <= budget.saturating_sub(state.granted_total) {
             state.granted_total += bytes;
@@ -203,7 +207,7 @@ impl MemoryGrant {
     /// Releases `bytes` back to the budget (saturating at this session's
     /// granted total, so unwind paths can over-release safely).
     pub fn shrink(&self, bytes: usize) {
-        let mut state = lock_unpoisoned(&self.shared.state);
+        let mut state = self.shared.state.lock();
         let session = state
             .sessions
             .get_mut(&self.id)
@@ -215,7 +219,9 @@ impl MemoryGrant {
 
     /// Bytes this session currently holds.
     pub fn granted(&self) -> usize {
-        lock_unpoisoned(&self.shared.state)
+        self.shared
+            .state
+            .lock()
             .sessions
             .get(&self.id)
             .map_or(0, |s| s.granted)
@@ -223,7 +229,7 @@ impl MemoryGrant {
 
     /// This session's fair share of the budget: `budget / active sessions`.
     pub fn fair_share(&self) -> usize {
-        let state = lock_unpoisoned(&self.shared.state);
+        let state = self.shared.state.lock();
         MemoryGrant::fair_share_of(&state, self.shared.budget)
     }
 
@@ -234,7 +240,7 @@ impl MemoryGrant {
     /// callback.  Executors check it at morsel granularity and spill victim
     /// partitions until it reaches zero.
     pub fn reclaim_request(&self) -> usize {
-        let state = lock_unpoisoned(&self.shared.state);
+        let state = self.shared.state.lock();
         let others_starved = state
             .sessions
             .iter()
@@ -252,7 +258,7 @@ impl MemoryGrant {
 
 impl Drop for MemoryGrant {
     fn drop(&mut self) {
-        let mut state = lock_unpoisoned(&self.shared.state);
+        let mut state = self.shared.state.lock();
         if let Some(session) = state.sessions.remove(&self.id) {
             state.granted_total -= session.granted;
         }

@@ -44,11 +44,7 @@ pub use config::{SpillConfig, SpillReport};
 pub use manager::{PendingRun, SpillManager, SpillRun};
 pub use runfile::{RunReader, RunWriter, SpillError};
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
-
-/// [`Mutex::lock`] that recovers from poisoning: a session that panicked
-/// mid-spill must not brick the broker or the manager for every other
-/// session (same policy as the engine's worker pool).
-pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+// Locking goes through `hj_analysis::sync`, which recovers from poisoning
+// centrally: a session that panicked mid-spill must not brick the broker
+// or the manager for every other session (same policy as the engine's
+// worker pool).  The old crate-local `lock_unpoisoned` helper is gone.

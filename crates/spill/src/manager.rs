@@ -10,22 +10,27 @@
 //! * the manager deletes the whole directory when the last handle drops,
 //!   so an engine teardown leaves no `hj-spill-*` residue.
 
-use crate::lock_unpoisoned;
 use crate::runfile::{RunReader, RunWriter, SpillError};
 use datagen::Relation;
+use hj_analysis::sync::Mutex;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
 
 #[derive(Debug)]
 struct ManagerInner {
     dir: PathBuf,
+    /// Relaxed everywhere: `fetch_add` is atomic regardless of ordering, so
+    /// ids stay unique, and no thread infers other memory state from an id.
     next_file: AtomicU64,
     live_files: Mutex<usize>,
+    /// Telemetry counters (never drive control flow): Relaxed loads may
+    /// lag a concurrent writer by a moment, which a stats snapshot
+    /// tolerates by definition.
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
     files_created: AtomicU64,
@@ -77,7 +82,7 @@ impl SpillManager {
             inner: Arc::new(ManagerInner {
                 dir,
                 next_file: AtomicU64::new(0),
-                live_files: Mutex::new(0),
+                live_files: Mutex::new("spill.live_files", 0),
                 bytes_written: AtomicU64::new(0),
                 bytes_read: AtomicU64::new(0),
                 files_created: AtomicU64::new(0),
@@ -109,7 +114,7 @@ impl SpillManager {
             .collect();
         let path = self.inner.dir.join(format!("run-{id:06}-{safe}.hjrun"));
         let writer = RunWriter::create(&path)?;
-        *lock_unpoisoned(&self.inner.live_files) += 1;
+        *self.inner.live_files.lock() += 1;
         self.inner.files_created.fetch_add(1, Ordering::Relaxed);
         Ok(PendingRun {
             writer: Some(writer),
@@ -120,7 +125,7 @@ impl SpillManager {
 
     /// Run files currently on disk (pending writers plus sealed runs).
     pub fn live_files(&self) -> usize {
-        *lock_unpoisoned(&self.inner.live_files)
+        *self.inner.live_files.lock()
     }
 
     /// Total run files ever created.
@@ -141,7 +146,7 @@ impl SpillManager {
 
 fn unlink(inner: &ManagerInner, path: &Path) {
     let _ = std::fs::remove_file(path);
-    *lock_unpoisoned(&inner.live_files) -= 1;
+    *inner.live_files.lock() -= 1;
 }
 
 /// A run file being written.  Seal it with [`PendingRun::seal`]; dropping
