@@ -1,0 +1,8 @@
+// Seeded violation fixture: metric registered with a computed name.
+// Scanned by `hj-lint --self-test` (never compiled).
+
+pub fn register_dynamic(registry: &hj_metrics::MetricsRegistry, shard: usize) {
+    let name = format!("hj_shard_{shard}_total");
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    registry.counter(leaked, "per-shard counter (unbounded cardinality)");
+}

@@ -81,7 +81,7 @@ fn main() -> ExitCode {
 /// silently stopped firing is worse than no linter.  Fixtures carry a
 /// synthetic workspace-relative path so path-scoped rules (simulator
 /// modules, sanctioned spawn files) exercise their real scope.
-const FIXTURES: [(&str, &str, Rule); 6] = [
+const FIXTURES: [(&str, &str, Rule); 7] = [
     (
         "raw_sync.rs",
         "crates/fixture/src/raw_sync.rs",
@@ -111,6 +111,11 @@ const FIXTURES: [(&str, &str, Rule); 6] = [
         "must_use.rs",
         "crates/fixture/src/must_use.rs",
         Rule::MustUseGuard,
+    ),
+    (
+        "metrics_name.rs",
+        "crates/fixture/src/metrics_name.rs",
+        Rule::MetricsNameLiteral,
     ),
 ];
 

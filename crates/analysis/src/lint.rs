@@ -20,6 +20,7 @@
 //! | `wall-clock-in-sim` | no `Instant::now`/`SystemTime::now` in the deterministic simulator |
 //! | `debug-assert-concurrency` | no `debug_assert!` in modules that lock (cross-thread invariants must hold in release) |
 //! | `must-use-guard` | `#[must_use]` on RAII `*Guard`/`*Grant`/`*Slot`/`*Handle` types |
+//! | `metrics-name-literal` | metric registration (`.counter(`/`.gauge(`/`.histogram(` and `_with` kin) takes a string-literal name |
 //!
 //! The scanner is comment- and string-aware (patterns inside comments or
 //! string literals do not fire) and skips test code — files under a
@@ -57,17 +58,23 @@ pub enum Rule {
     DebugAssertConcurrency,
     /// RAII guard/grant/slot/handle types missing `#[must_use]`.
     MustUseGuard,
+    /// Metric registration with a computed (non-literal) name: the
+    /// registry's name set must stay a greppable, bounded catalogue
+    /// (`docs/OBSERVABILITY.md`), and dynamic names are an unbounded-
+    /// cardinality hazard.
+    MetricsNameLiteral,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::RawSync,
         Rule::LockUnwrap,
         Rule::RawSpawn,
         Rule::WallClockInSim,
         Rule::DebugAssertConcurrency,
         Rule::MustUseGuard,
+        Rule::MetricsNameLiteral,
     ];
 
     /// The rule's stable kebab-case id (used in escape comments).
@@ -79,6 +86,7 @@ impl Rule {
             Rule::WallClockInSim => "wall-clock-in-sim",
             Rule::DebugAssertConcurrency => "debug-assert-concurrency",
             Rule::MustUseGuard => "must-use-guard",
+            Rule::MetricsNameLiteral => "metrics-name-literal",
         }
     }
 
@@ -103,6 +111,9 @@ impl Rule {
             Rule::MustUseGuard => {
                 "RAII guard/grant/slot/handle type without #[must_use] — silently dropping one releases its resource early"
             }
+            Rule::MetricsNameLiteral => {
+                "metric registered with a computed name — names must be string literals so the catalogue in docs/OBSERVABILITY.md stays complete and cardinality stays bounded"
+            }
         }
     }
 
@@ -122,6 +133,9 @@ impl Rule {
             // cost of a miss is low; keep the rule to product code so
             // fixtures stay small.
             Rule::MustUseGuard => false,
+            // Tests register probe metrics into throwaway registries;
+            // only product registrations feed the exported catalogue.
+            Rule::MetricsNameLiteral => false,
         }
     }
 }
@@ -384,6 +398,18 @@ const P_SYSTEMTIME_NOW: &str = concat!("SystemTime::", "now");
 const P_DEBUG_ASSERT: &str = concat!("debug_", "assert");
 const P_FACADE_IMPORT: &str = concat!("hj_analysis", "::sync");
 
+/// Metric-registration method calls whose first argument (the metric
+/// name) must be a string literal.  `.counter(` cannot match
+/// `.counter_with(` — the paren ends the token.
+const P_METRIC_REGISTRATIONS: [&str; 6] = [
+    concat!(".counter", "("),
+    concat!(".gauge", "("),
+    concat!(".histogram", "("),
+    concat!(".counter_with", "("),
+    concat!(".gauge_with", "("),
+    concat!(".histogram_with", "("),
+];
+
 /// True when `word` appears in `line` delimited by non-identifier chars.
 fn contains_word(line: &str, word: &str) -> bool {
     let mut start = 0;
@@ -503,6 +529,18 @@ pub fn scan_file(rel_path: &str, content: &str) -> Vec<Finding> {
             flag(Rule::DebugAssertConcurrency, idx, &prepared);
         }
 
+        // metrics-name-literal: every registration call's first argument
+        // must start with a string literal (stripped code keeps the
+        // quotes, so a literal reads `("`).
+        for pattern in P_METRIC_REGISTRATIONS {
+            if let Some(at) = line.find(pattern) {
+                if !first_arg_is_literal(&prepared.code, idx, at + pattern.len()) {
+                    flag(Rule::MetricsNameLiteral, idx, &prepared);
+                    break;
+                }
+            }
+        }
+
         // must-use-guard: struct declarations with RAII-suffixed names.
         if let Some(name) = struct_decl_name(line) {
             let raii = ["Guard", "Grant", "Slot", "Handle"]
@@ -514,6 +552,24 @@ pub fn scan_file(rel_path: &str, content: &str) -> Vec<Finding> {
         }
     }
     findings
+}
+
+/// True when the argument list opening at `code[idx][after..]` starts
+/// with a string literal, following the call across a line break when
+/// the paren ends the line.
+fn first_arg_is_literal(code: &[String], idx: usize, after: usize) -> bool {
+    let rest = code[idx][after..].trim_start();
+    if !rest.is_empty() {
+        return rest.starts_with('"');
+    }
+    for line in code.iter().skip(idx + 1) {
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return trimmed.starts_with('"');
+    }
+    false
 }
 
 /// The declared struct name if `line` is a struct declaration.
@@ -724,6 +780,34 @@ mod tests {
         // Non-RAII names and bare suffixes stay exempt.
         assert!(rules_fired("crates/x/src/a.rs", "pub struct Dispatcher {}\n").is_empty());
         assert!(rules_fired("crates/x/src/a.rs", "pub struct Guard {}\n").is_empty());
+    }
+
+    #[test]
+    fn metrics_name_literal_requires_a_leading_string() {
+        let computed = "fn f(r: &R, name: &'static str) { r.counter(name, \"help\"); }\n";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", computed),
+            [Rule::MetricsNameLiteral]
+        );
+        let literal = "fn f(r: &R) { r.counter(\"hj_x_total\", \"help\"); }\n";
+        assert!(rules_fired("crates/x/src/a.rs", literal).is_empty());
+        // Labelled variants and multi-line calls are covered too.
+        let labelled = "fn f(r: &R, n: &'static str) { r.counter_with(n, &[], \"help\"); }\n";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", labelled),
+            [Rule::MetricsNameLiteral]
+        );
+        let broken_literal =
+            "fn f(r: &R) {\n    r.histogram(\n        \"hj_x_ns\",\n        \"help\",\n    );\n}\n";
+        assert!(rules_fired("crates/x/src/a.rs", broken_literal).is_empty());
+        let broken_computed = "fn f(r: &R, n: &'static str) {\n    r.histogram(\n        n,\n        \"help\",\n    );\n}\n";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", broken_computed),
+            [Rule::MetricsNameLiteral]
+        );
+        // Test modules are exempt (throwaway registries).
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t(r: &R, n: &'static str) { r.gauge(n, \"h\"); }\n}\n";
+        assert!(rules_fired("crates/x/src/a.rs", in_test).is_empty());
     }
 
     #[test]

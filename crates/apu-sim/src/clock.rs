@@ -238,17 +238,21 @@ pub enum Phase {
     /// Copying data in and out of the zero-copy buffer for out-of-core joins
     /// (Figure 19).
     DataCopy,
+    /// Disk run-file I/O of the out-of-memory spill path (distinct from
+    /// [`Phase::DataCopy`], which models PCIe/zero-copy transfer).
+    SpillIo,
 }
 
 impl Phase {
     /// All phases in presentation order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::DataTransfer,
         Phase::Merge,
         Phase::Partition,
         Phase::Build,
         Phase::Probe,
         Phase::DataCopy,
+        Phase::SpillIo,
     ];
 
     /// A short lower-case label, used in CSV output.
@@ -260,6 +264,7 @@ impl Phase {
             Phase::Build => "build",
             Phase::Probe => "probe",
             Phase::DataCopy => "data-copy",
+            Phase::SpillIo => "spill-io",
         }
     }
 }
@@ -273,7 +278,7 @@ impl fmt::Display for Phase {
 /// Elapsed time split per [`Phase`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PhaseBreakdown {
-    times: [f64; 6],
+    times: [f64; 7],
 }
 
 impl PhaseBreakdown {
@@ -290,6 +295,7 @@ impl PhaseBreakdown {
             Phase::Build => 3,
             Phase::Probe => 4,
             Phase::DataCopy => 5,
+            Phase::SpillIo => 6,
         }
     }
 
@@ -326,7 +332,7 @@ impl PhaseBreakdown {
     }
 
     /// Renders the breakdown as a single CSV row fragment
-    /// (`transfer,merge,partition,build,probe,copy` in seconds).
+    /// (`transfer,merge,partition,build,probe,copy,spill-io` in seconds).
     pub fn csv_row(&self) -> String {
         Phase::ALL
             .iter()

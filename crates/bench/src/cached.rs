@@ -72,8 +72,7 @@ struct Point {
 }
 
 fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+    hj_metrics::exact_quantile(samples, 0.5).expect("non-empty batch samples")
 }
 
 /// `cached`: rebuild-per-request vs register-once probe-only joins, in
@@ -189,7 +188,16 @@ pub fn cached(ctx: &mut ExpContext) {
     points.push(wire_inline);
     points.push(wire_ref);
 
-    let json = render_json(r.len(), s.len(), speedup, wire_speedup, &cache, &points);
+    let registry_metrics = crate::common::registry_json(engine.metrics_registry());
+    let json = render_json(
+        r.len(),
+        s.len(),
+        speedup,
+        wire_speedup,
+        &cache,
+        &points,
+        &registry_metrics,
+    );
     let path = "BENCH_cached.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -296,6 +304,7 @@ fn wire_phase(
     (inline, by_ref)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     build_tuples: usize,
     probe_tuples: usize,
@@ -303,6 +312,7 @@ fn render_json(
     wire_speedup: f64,
     cache: &hj_core::CacheStats,
     points: &[Point],
+    registry_metrics: &str,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"hash-table-cache\",\n");
@@ -325,6 +335,7 @@ fn render_json(
         cache.bytes,
         cache.build_ns_saved as f64 / 1e6,
     ));
+    out.push_str(&format!("  \"metrics\": {registry_metrics},\n"));
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -359,13 +370,15 @@ mod tests {
             point("wire_inline", 48, 3.0),
             point("wire_table_ref", 48, 1.0),
         ];
-        let json = render_json(1_000_000, 62_500, 8.0, 3.0, &cache, &points);
+        let metrics = "{\n    \"hj_cache_hits_total\": 80\n  }";
+        let json = render_json(1_000_000, 62_500, 8.0, 3.0, &cache, &points, metrics);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"path\"").count(), 4);
         assert!(json.contains("\"hot_vs_cold_speedup\": 8.000"));
         assert!(json.contains("\"misses\": 1"));
+        assert!(json.contains("\"metrics\": {\n    \"hj_cache_hits_total\": 80\n  },"));
         // Exactly three trailing commas between the four result rows.
-        assert_eq!(json.matches("},\n").count(), 4); // 3 rows + the cache object
+        assert_eq!(json.matches("},\n").count(), 5); // 3 rows + cache + metrics
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //!   *sub-saturation* phase (multiplier < 1) exceeds this many ms;
 //! * `HJ_SERVING_REQUIRE_SHED=1` — fail when the overload phase
 //!   (multiplier > 1) shed nothing, i.e. admission control never kicked
-//!   in despite 1.2× offered load.
+//!   in despite 1.2× offered load;
+//! * `HJ_TRACE_MAX_OVERHEAD_PCT="5"` — fail when the closed-loop traced
+//!   phase (every request opts into the flight recorder) runs more than
+//!   this many percent slower than the identical untraced phase.  The
+//!   traced phase must also add zero sheds — observability is not
+//!   allowed to push the server into admission control.
 
 use crate::common::{banner, ExpContext};
 use datagen::{Relation, SmallRng};
@@ -65,6 +70,9 @@ const SENDERS: usize = 16;
 /// Per-read client timeout — generous, because hitting it at all is a
 /// hard failure (overload must shed, not hang).
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Requests per client, per side, of the paired trace-overhead phase.
+const TRACE_REQS_PER_CLIENT: usize = 16;
 
 /// Outcome counters plus the latency histogram of one phase (or one
 /// sender's share of it).
@@ -310,6 +318,49 @@ pub fn serving(ctx: &mut ExpContext) {
         std::thread::sleep(Duration::from_millis(200));
     }
 
+    // --- trace overhead phase: the same closed-loop stream, untraced vs
+    // traced.  The flight recorder is assembled from data the join already
+    // produced, so opting every request in must cost ≈ nothing and must
+    // never tip the server into shedding.
+    let shed_before = server.stats().requests_shed;
+    let run_traced = |trace: bool| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..SESSIONS {
+                scope.spawn(|| {
+                    let mut client = JoinClient::connect_timeout(addr, CLIENT_TIMEOUT)
+                        .expect("trace-phase client connect");
+                    for _ in 0..TRACE_REQS_PER_CLIENT {
+                        let request = RequestBuilder::new(build.clone(), probe.clone())
+                            .trace(trace)
+                            .build();
+                        let outcome = client.join(request).expect("trace-phase request");
+                        assert_eq!(outcome.trace.is_some(), trace, "flight recorder is opt-in");
+                    }
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+    // Interleaved rounds, best-of per side: a slow host period cannot
+    // charge all its noise to one mode.
+    let mut untraced_secs = f64::MAX;
+    let mut traced_secs = f64::MAX;
+    for _ in 0..2 {
+        untraced_secs = untraced_secs.min(run_traced(false));
+        traced_secs = traced_secs.min(run_traced(true));
+    }
+    let trace_overhead_pct = (traced_secs / untraced_secs.max(1e-9) - 1.0) * 100.0;
+    let added_sheds = server.stats().requests_shed - shed_before;
+    println!(
+        "trace overhead: untraced {untraced_secs:.3}s vs traced {traced_secs:.3}s \
+         ({trace_overhead_pct:+.2}%), {added_sheds} sheds added"
+    );
+    assert_eq!(
+        added_sheds, 0,
+        "the closed-loop trace phase must never push the server into shedding"
+    );
+
     let stats = server.stats();
     println!(
         "server: {} served, {} shed (deadline {}, quota {}, queue {}, saturated {}), \
@@ -324,7 +375,15 @@ pub fn serving(ctx: &mut ExpContext) {
         stats.protocol_errors
     );
 
-    let json = render_json(build.len(), probe.len(), sat_rps, &phases);
+    let registry_metrics = crate::common::registry_json(engine.metrics_registry());
+    let json = render_json(
+        build.len(),
+        probe.len(),
+        sat_rps,
+        trace_overhead_pct,
+        &phases,
+        &registry_metrics,
+    );
     let path = "BENCH_serving.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -393,6 +452,16 @@ pub fn serving(ctx: &mut ExpContext) {
             }
         }
     }
+    if let Some(cap) = crate::common::env_ratio_floor("HJ_TRACE_MAX_OVERHEAD_PCT") {
+        println!("gate: trace overhead {trace_overhead_pct:+.2}% vs cap {cap}%");
+        if trace_overhead_pct > cap {
+            eprintln!(
+                "FAIL: traced joins are {trace_overhead_pct:.2}% slower than untraced \
+                 (HJ_TRACE_MAX_OVERHEAD_PCT={cap})"
+            );
+            std::process::exit(1);
+        }
+    }
     if std::env::var("HJ_SERVING_REQUIRE_SHED").is_ok_and(|v| v == "1") {
         let overload_shed: u64 = phases
             .iter()
@@ -411,7 +480,14 @@ pub fn serving(ctx: &mut ExpContext) {
     }
 }
 
-fn render_json(build_tuples: usize, probe_tuples: usize, sat_rps: f64, phases: &[Phase]) -> String {
+fn render_json(
+    build_tuples: usize,
+    probe_tuples: usize,
+    sat_rps: f64,
+    trace_overhead_pct: f64,
+    phases: &[Phase],
+    registry_metrics: &str,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"serving-tail-latency\",\n");
     out.push_str("  \"backend\": \"native-cpu\",\n");
@@ -420,6 +496,10 @@ fn render_json(build_tuples: usize, probe_tuples: usize, sat_rps: f64, phases: &
     out.push_str(&format!("  \"build_tuples\": {build_tuples},\n"));
     out.push_str(&format!("  \"probe_tuples\": {probe_tuples},\n"));
     out.push_str(&format!("  \"saturation_rps\": {sat_rps:.1},\n"));
+    out.push_str(&format!(
+        "  \"trace_overhead_pct\": {trace_overhead_pct:.2},\n"
+    ));
+    out.push_str(&format!("  \"metrics\": {registry_metrics},\n"));
     out.push_str("  \"phases\": [\n");
     for (i, p) in phases.iter().enumerate() {
         out.push_str(&format!(
@@ -472,12 +552,14 @@ mod tests {
                 tally: Tally::default(),
             },
         ];
-        let json = render_json(1000, 2000, 200.0, &phases);
+        let json = render_json(1000, 2000, 200.0, 1.25, &phases, "{\n  }");
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"multiplier\"").count(), 2);
         assert!(json.contains("\"saturation_rps\": 200.0"));
-        // Exactly one trailing comma between the two phase rows.
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.contains("\"trace_overhead_pct\": 1.25"));
+        assert!(json.contains("\"metrics\": {\n  },"));
+        // One comma between the two phase rows, one after the metrics blob.
+        assert_eq!(json.matches("},\n").count(), 2);
     }
 
     #[test]

@@ -41,8 +41,7 @@ struct Point {
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
+    hj_metrics::exact_quantile(&mut xs, 0.5).expect("non-empty run samples")
 }
 
 /// The slowdown cap from `HJ_SPILL_MAX_SLOWDOWN`, when set; malformed
@@ -146,6 +145,7 @@ pub fn spill(ctx: &mut ExpContext) {
     }
 
     // --- contention point: four clients share one 0.5x budget ---
+    let registry_metrics;
     {
         let budget = ((footprint as f64 * 0.5) as usize).max(1);
         let engine = Arc::new(
@@ -183,6 +183,9 @@ pub fn spill(ctx: &mut ExpContext) {
         let stats = engine.stats();
         let warm = warm.expect("warm-up ran");
         assert_clean(&engine, "contention-4x");
+        // The contention engine saw the most spill traffic; its registry
+        // snapshot is the one worth keeping next to the numbers.
+        registry_metrics = crate::common::registry_json(engine.metrics_registry());
         points.push(Point {
             name: "contention-4x",
             budget_bytes: Some(budget),
@@ -217,7 +220,7 @@ pub fn spill(ctx: &mut ExpContext) {
         );
     }
 
-    let json = render_json(r.len(), s.len(), footprint, &points);
+    let json = render_json(r.len(), s.len(), footprint, &points, &registry_metrics);
     let path = "BENCH_spill.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -271,6 +274,7 @@ fn render_json(
     probe_tuples: usize,
     footprint: usize,
     points: &[Point],
+    registry_metrics: &str,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"spill\",\n");
@@ -279,6 +283,7 @@ fn render_json(
     out.push_str(&format!("  \"probe_tuples\": {probe_tuples},\n"));
     out.push_str(&format!("  \"resident_footprint_bytes\": {footprint},\n"));
     out.push_str(&format!("  \"runs\": {RUNS},\n"));
+    out.push_str(&format!("  \"metrics\": {registry_metrics},\n"));
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -326,12 +331,13 @@ mod tests {
                 },
             },
         ];
-        let json = render_json(1000, 2000, 24_000, &points);
+        let json = render_json(1000, 2000, 24_000, &points, "{\n  }");
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"point\"").count(), 2);
         assert!(json.contains("\"budget_bytes\": 0"));
         assert!(json.contains("\"bytes_spilled\": 100"));
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.contains("\"metrics\": {\n  },"));
+        assert_eq!(json.matches("},\n").count(), 2);
     }
 
     #[test]

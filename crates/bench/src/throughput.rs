@@ -180,9 +180,8 @@ pub fn throughput(ctx: &mut ExpContext) {
     for (slot, &clients) in counts.iter().enumerate() {
         let per_client = JOINS_PER_BATCH.div_ceil(clients);
         let joins = clients * per_client;
-        let elapsed = &mut batch_elapsed[slot];
-        elapsed.sort_by(f64::total_cmp);
-        let median_elapsed = elapsed[BATCHES / 2];
+        let median_elapsed = hj_metrics::exact_quantile(&mut batch_elapsed[slot], 0.5)
+            .expect("BATCHES > 0 elapsed samples");
         let stats = engines[slot].stats();
         assert_eq!(
             stats.requests_served,
@@ -209,7 +208,15 @@ pub fn throughput(ctx: &mut ExpContext) {
         points.push(point);
     }
 
-    let json = render_json(r.len(), s.len(), worker_threads, &points);
+    // Snapshot the highest-load engine: its counters cover the deepest
+    // concurrency this run exercised.
+    let registry_metrics = crate::common::registry_json(
+        engines
+            .last()
+            .expect("at least one load point")
+            .metrics_registry(),
+    );
+    let json = render_json(r.len(), s.len(), worker_threads, &points, &registry_metrics);
     let path = "BENCH_throughput.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -271,6 +278,7 @@ fn render_json(
     probe_tuples: usize,
     worker_threads: usize,
     points: &[Point],
+    registry_metrics: &str,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"benchmark\": \"engine-throughput\",\n");
@@ -281,6 +289,7 @@ fn render_json(
     out.push_str(&format!("  \"probe_tuples\": {probe_tuples},\n"));
     out.push_str(&format!("  \"joins_per_batch\": {JOINS_PER_BATCH},\n"));
     out.push_str(&format!("  \"batches\": {BATCHES},\n"));
+    out.push_str(&format!("  \"metrics\": {registry_metrics},\n"));
     out.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -320,13 +329,15 @@ mod tests {
                 peak_in_flight: 4,
             },
         ];
-        let json = render_json(1000, 2000, 4, &points);
+        let metrics = "{\n    \"hj_engine_requests_served_total\": 80\n  }";
+        let json = render_json(1000, 2000, 4, &points, metrics);
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"clients\"").count(), 2);
         assert!(json.contains("\"sessions\": 8"));
         assert!(json.contains("\"worker_threads\": 4"));
-        // Exactly one trailing comma between the two result rows.
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.contains("\"metrics\": {\n    \"hj_engine_requests_served_total\": 80\n  },"));
+        // One comma between the two result rows, one after the metrics blob.
+        assert_eq!(json.matches("},\n").count(), 2);
     }
 
     #[test]

@@ -487,12 +487,73 @@ struct CacheInner {
     build_latency: LatencyHistogram,
 }
 
+/// Registered metric handles the cache updates alongside its lock-held
+/// counters, so the engine's wire-exposed registry and [`CacheStats`]
+/// always agree.  Constructed by the engine from its registry
+/// ([`CacheMetrics::register`]) or detached for tests
+/// ([`CacheMetrics::unregistered`]).
+pub(crate) struct CacheMetrics {
+    hits: Arc<hj_metrics::Counter>,
+    misses: Arc<hj_metrics::Counter>,
+    evictions: Arc<hj_metrics::Counter>,
+    invalidations: Arc<hj_metrics::Counter>,
+    build_ns_saved: Arc<hj_metrics::Counter>,
+    build_latency: Arc<hj_metrics::AtomicHistogram>,
+}
+
+impl CacheMetrics {
+    /// Registers the cache's metric families in `registry`.
+    pub(crate) fn register(registry: &hj_metrics::MetricsRegistry) -> Self {
+        CacheMetrics {
+            hits: registry.counter(
+                "hj_cache_hits_total",
+                "Probe requests served from a cached hash table",
+            ),
+            misses: registry.counter(
+                "hj_cache_misses_total",
+                "Cache misses (= single-flight builds initiated)",
+            ),
+            evictions: registry.counter(
+                "hj_cache_evictions_total",
+                "Cached tables evicted (LRU) under broker pressure",
+            ),
+            invalidations: registry.counter(
+                "hj_cache_invalidations_total",
+                "Cached tables invalidated by table re-registration",
+            ),
+            build_ns_saved: registry.counter(
+                "hj_cache_build_ns_saved_total",
+                "Build nanoseconds cache hits avoided re-spending",
+            ),
+            build_latency: registry.histogram(
+                "hj_cache_build_latency_ns",
+                "Wall-clock latency of single-flight cache builds (ns)",
+            ),
+        }
+    }
+
+    /// Handles not attached to any registry (unit tests drive the cache
+    /// without an engine).
+    #[cfg(test)]
+    pub(crate) fn unregistered() -> Self {
+        CacheMetrics {
+            hits: Arc::new(hj_metrics::Counter::default()),
+            misses: Arc::new(hj_metrics::Counter::default()),
+            evictions: Arc::new(hj_metrics::Counter::default()),
+            invalidations: Arc::new(hj_metrics::Counter::default()),
+            build_ns_saved: Arc::new(hj_metrics::Counter::default()),
+            build_latency: Arc::new(hj_metrics::AtomicHistogram::default()),
+        }
+    }
+}
+
 /// The engine-wide cache of built hash tables.  See the
 /// [module docs](self) for the single-flight and eviction protocol.
 pub(crate) struct HashTableCache {
     broker: MemoryBroker,
     inner: Mutex<CacheInner>,
     built: Condvar,
+    metrics: CacheMetrics,
 }
 
 /// Marks the in-flight build slot failed if the builder unwinds (or errors)
@@ -530,7 +591,7 @@ impl Drop for BuildFailureGuard<'_> {
 }
 
 impl HashTableCache {
-    pub(crate) fn new(broker: MemoryBroker) -> Self {
+    pub(crate) fn new(broker: MemoryBroker, metrics: CacheMetrics) -> Self {
         HashTableCache {
             broker,
             inner: Mutex::new(
@@ -548,6 +609,7 @@ impl HashTableCache {
                 },
             ),
             built: Condvar::new(),
+            metrics,
         }
     }
 
@@ -573,6 +635,8 @@ impl HashTableCache {
                     }
                     inner.hits += 1;
                     inner.build_ns_saved += table.build_ns;
+                    self.metrics.hits.inc();
+                    self.metrics.build_ns_saved.add(table.build_ns);
                     self.service_reclaim(&mut inner);
                     return Ok(table);
                 }
@@ -632,6 +696,8 @@ impl HashTableCache {
         let mut inner = self.inner.lock();
         inner.misses += 1;
         inner.build_latency.record(table.build_ns);
+        self.metrics.misses.inc();
+        self.metrics.build_latency.record(table.build_ns);
         let bytes = table.bytes;
         if inner.grant.is_none() {
             inner.grant = Some(self.broker.session());
@@ -694,6 +760,7 @@ impl HashTableCache {
             grant.shrink(table.bytes);
         }
         inner.evictions += 1;
+        self.metrics.evictions.inc();
         Some(table.bytes)
     }
 
@@ -748,6 +815,7 @@ impl HashTableCache {
                     grant.shrink(table.bytes);
                 }
                 inner.invalidations += 1;
+                self.metrics.invalidations.inc();
             }
         }
         self.release_grant_if_idle(&mut inner);
@@ -800,7 +868,7 @@ mod tests {
 
     #[test]
     fn hit_after_miss_reuses_the_build() {
-        let cache = HashTableCache::new(MemoryBroker::unlimited());
+        let cache = HashTableCache::new(MemoryBroker::unlimited(), CacheMetrics::unregistered());
         let a = cache
             .get_or_build(key(1, 1), "t", || Ok(table(100)))
             .unwrap();
@@ -816,7 +884,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_a_tight_budget() {
-        let cache = HashTableCache::new(MemoryBroker::new(250));
+        let cache = HashTableCache::new(MemoryBroker::new(250), CacheMetrics::unregistered());
         cache
             .get_or_build(key(1, 1), "a", || Ok(table(100)))
             .unwrap();
@@ -850,7 +918,7 @@ mod tests {
 
     #[test]
     fn oversized_table_is_served_uncached() {
-        let cache = HashTableCache::new(MemoryBroker::new(50));
+        let cache = HashTableCache::new(MemoryBroker::new(50), CacheMetrics::unregistered());
         let t = cache
             .get_or_build(key(1, 1), "t", || Ok(table(100)))
             .unwrap();
@@ -866,7 +934,7 @@ mod tests {
     #[test]
     fn invalidation_releases_bytes_and_the_grant() {
         let broker = MemoryBroker::new(1 << 20);
-        let cache = HashTableCache::new(broker.clone());
+        let cache = HashTableCache::new(broker.clone(), CacheMetrics::unregistered());
         cache
             .get_or_build(key(7, 1), "t", || Ok(table(512)))
             .unwrap();
@@ -885,7 +953,7 @@ mod tests {
 
     #[test]
     fn failed_build_surfaces_to_the_builder_and_clears_the_slot() {
-        let cache = HashTableCache::new(MemoryBroker::unlimited());
+        let cache = HashTableCache::new(MemoryBroker::unlimited(), CacheMetrics::unregistered());
         let err = cache
             .get_or_build(key(1, 1), "t", || {
                 Err(JoinError::InvalidConfig("boom".to_string()))
@@ -901,7 +969,10 @@ mod tests {
 
     #[test]
     fn panicked_build_drains_waiters_with_a_typed_error() {
-        let cache = Arc::new(HashTableCache::new(MemoryBroker::unlimited()));
+        let cache = Arc::new(HashTableCache::new(
+            MemoryBroker::unlimited(),
+            CacheMetrics::unregistered(),
+        ));
         let entered = Arc::new(std::sync::Barrier::new(2));
         let entered_b = Arc::clone(&entered);
         let cache_b = Arc::clone(&cache);
@@ -938,7 +1009,10 @@ mod tests {
 
     #[test]
     fn single_flight_counts_one_miss() {
-        let cache = Arc::new(HashTableCache::new(MemoryBroker::unlimited()));
+        let cache = Arc::new(HashTableCache::new(
+            MemoryBroker::unlimited(),
+            CacheMetrics::unregistered(),
+        ));
         let gate = Arc::new(std::sync::Barrier::new(2));
         let gate_b = Arc::clone(&gate);
         let cache_b = Arc::clone(&cache);

@@ -58,7 +58,10 @@ use apu_sim::{Phase, SimTime, SystemSpec};
 use datagen::Relation;
 use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
 use hj_analysis::sync::{Condvar, Mutex};
-use hj_metrics::LatencyHistogram;
+use hj_metrics::{
+    AtomicHistogram, Counter, Gauge, JoinTrace, LatencyHistogram, MetricsRegistry, TraceBuffer,
+    TraceEvent, TraceEventKind,
+};
 use hj_spill::{MemoryBroker, SpillConfig, SpillManager};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
@@ -151,6 +154,7 @@ pub struct JoinRequest {
     out_of_core: Option<usize>,
     tuning: Option<Tuning>,
     spill: Option<SpillConfig>,
+    trace: bool,
 }
 
 impl JoinRequest {
@@ -172,6 +176,7 @@ impl JoinRequest {
             out_of_core: None,
             tuning: None,
             spill: None,
+            trace: false,
         })
     }
 
@@ -209,6 +214,12 @@ impl JoinRequest {
         self.spill.as_ref()
     }
 
+    /// Whether the request asked for the per-join flight recorder
+    /// ([`JoinOutcome::trace`](crate::result::JoinOutcome::trace)).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
+    }
+
     /// The request the spill path hands to the backend for each partition
     /// pair: same knobs, but no spill (a pair join must not spill again)
     /// and no out-of-core chunking (pairs are pre-sized to fit).
@@ -218,6 +229,9 @@ impl JoinRequest {
             out_of_core: None,
             tuning: self.tuning.clone(),
             spill: None,
+            // The outer request's recorder already covers the whole join;
+            // per-pair traces would be assembled and thrown away.
+            trace: false,
         }
     }
 
@@ -248,6 +262,7 @@ pub struct JoinRequestBuilder {
     out_of_core: Option<usize>,
     tuning: Option<Tuning>,
     spill: Option<SpillConfig>,
+    trace: bool,
 }
 
 impl Default for JoinRequestBuilder {
@@ -257,6 +272,7 @@ impl Default for JoinRequestBuilder {
             out_of_core: None,
             tuning: None,
             spill: None,
+            trace: false,
         }
     }
 }
@@ -348,6 +364,17 @@ impl JoinRequestBuilder {
         self
     }
 
+    /// Opts the request into the per-join flight recorder: the outcome's
+    /// [`trace`](crate::result::JoinOutcome::trace) carries an
+    /// EXPLAIN-ANALYZE-style tree of phase/step timings plus
+    /// spill/cache/re-plan events.  The trace is assembled **after**
+    /// execution from data the join produces anyway, so a traced run's
+    /// matches and pairs are byte-identical to an untraced one.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Validates and builds the request.
     ///
     /// # Errors
@@ -381,6 +408,7 @@ impl JoinRequestBuilder {
             out_of_core: self.out_of_core,
             tuning: self.tuning,
             spill: self.spill,
+            trace: self.trace,
         })
     }
 }
@@ -1058,6 +1086,9 @@ impl ExecBackend for NativeCpu {
 // Engine
 // ---------------------------------------------------------------------------
 
+/// Default capacity (events) of the engine's structured-trace ring.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
 /// Sizing, allocator and concurrency policy of a [`JoinEngine`]'s session
 /// pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -1099,6 +1130,11 @@ pub struct EngineConfig {
     /// the per-session kernel arenas (provisioned up front), while this
     /// budget caps the partition payload a spilling join keeps resident.
     pub memory_budget: Option<usize>,
+    /// Capacity (events) of the engine's structured-trace ring buffer
+    /// ([`JoinEngine::trace_buffer`]).  The ring is drop-oldest — overflow
+    /// never blocks a worker, it only increments the dropped-events
+    /// counter — so a tiny capacity is safe (it is clamped to at least 1).
+    pub trace_capacity: usize,
 }
 
 impl EngineConfig {
@@ -1115,6 +1151,7 @@ impl EngineConfig {
             worker_threads: None,
             tuning: Tuning::Static,
             memory_budget: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 
@@ -1176,6 +1213,14 @@ impl EngineConfig {
     /// failing when their share runs out.
     pub fn memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sizes the structured-trace ring buffer (events; clamped to at least
+    /// 1).  Small rings are legal and lossy by design — see
+    /// [`trace_capacity`](Self::trace_capacity).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_capacity = events;
         self
     }
 
@@ -1266,6 +1311,10 @@ pub struct EngineStats {
     /// lifetime, indexed by worker (all zeros while the lazily-spawned
     /// pool has not executed anything yet).
     pub per_worker_tasks: Vec<u64>,
+    /// Morsel tasks each pool worker *stole* from another worker's deque,
+    /// indexed by the stealing worker (a subset of
+    /// [`per_worker_tasks`](Self::per_worker_tasks)).
+    pub per_worker_steals: Vec<u64>,
     /// Requests that ran with [`Tuning::Adaptive`] (and a tunable scheme).
     pub adaptive_requests: u64,
     /// Ratio re-plans the adaptive tuner performed across all requests.
@@ -1354,27 +1403,172 @@ struct SessionPool {
     waiting: usize,
 }
 
-/// Counters behind the stats lock (everything except what is derived at
-/// snapshot time).
+/// The little state that still needs lock coherence (everything monotonic
+/// moved into the [`MetricsRegistry`]'s atomics — see [`EngineMetrics`]).
+///
+/// `in_flight`/`peak_in_flight` must move together (the peak is a max over
+/// the gauge), and `per_session` is a `Vec` of compound records; both stay
+/// behind the `engine.stats` lock and are mirrored into gauges for wire
+/// exposition.
 #[derive(Default)]
 struct StatsInner {
-    requests_served: u64,
-    requests_failed: u64,
-    rejected_saturated: u64,
-    arenas_created: u64,
     in_flight: usize,
     peak_in_flight: usize,
-    adaptive_requests: u64,
-    replans: u64,
-    spilled_requests: u64,
-    spill_bytes_written: u64,
-    spill_bytes_restored: u64,
-    spill_partitions: u64,
-    spill_fallback_joins: u64,
-    queue_wait: LatencyHistogram,
-    batches_submitted: u64,
-    batched_requests: u64,
     per_session: Vec<SessionStats>,
+}
+
+/// The engine's registered metric handles: every name is a static literal
+/// (enforced by the `metrics-name-literal` hj-lint rule and catalogued in
+/// `docs/OBSERVABILITY.md`), registered once at construction; hot paths
+/// touch only the returned atomics.
+struct EngineMetrics {
+    requests_served: Arc<Counter>,
+    requests_failed: Arc<Counter>,
+    rejected_saturated: Arc<Counter>,
+    arenas_created: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    peak_in_flight: Arc<Gauge>,
+    queue_wait: Arc<AtomicHistogram>,
+    adaptive_requests: Arc<Counter>,
+    replans: Arc<Counter>,
+    spilled_requests: Arc<Counter>,
+    spill_bytes_written: Arc<Counter>,
+    spill_bytes_restored: Arc<Counter>,
+    spill_partitions: Arc<Counter>,
+    spill_fallback_joins: Arc<Counter>,
+    spill_grant_denials: Arc<Counter>,
+    spill_reclaimed_bytes: Arc<Counter>,
+    spill_io_wall: Arc<AtomicHistogram>,
+    batches_submitted: Arc<Counter>,
+    batched_requests: Arc<Counter>,
+    /// Synced from the worker pool at snapshot time, per worker.
+    worker_tasks: Vec<Arc<Gauge>>,
+    worker_steals: Vec<Arc<Gauge>>,
+    /// Synced from the hash-table cache at snapshot time.
+    cache_bytes: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+    /// Synced from the trace ring at snapshot time.
+    trace_dropped: Arc<Gauge>,
+}
+
+impl EngineMetrics {
+    fn register(registry: &MetricsRegistry, workers: usize) -> Self {
+        EngineMetrics {
+            requests_served: registry.counter(
+                "hj_engine_requests_served_total",
+                "Requests executed to completion",
+            ),
+            requests_failed: registry.counter(
+                "hj_engine_requests_failed_total",
+                "Requests rejected at admission or failed during execution",
+            ),
+            rejected_saturated: registry.counter(
+                "hj_engine_rejected_saturated_total",
+                "Submissions rejected because the session pool and admission queue were full",
+            ),
+            arenas_created: registry.counter(
+                "hj_engine_arenas_created_total",
+                "Arenas allocated over the engine's lifetime",
+            ),
+            in_flight: registry.gauge(
+                "hj_engine_in_flight",
+                "Requests currently holding a session",
+            ),
+            peak_in_flight: registry.gauge(
+                "hj_engine_peak_in_flight",
+                "Most requests ever simultaneously in flight",
+            ),
+            queue_wait: registry.histogram(
+                "hj_engine_queue_wait_ns",
+                "How long session acquisitions waited in the admission queue (ns)",
+            ),
+            adaptive_requests: registry.counter(
+                "hj_adaptive_requests_total",
+                "Requests that ran with adaptive tuning and a tunable scheme",
+            ),
+            replans: registry.counter(
+                "hj_adaptive_replans_total",
+                "Ratio re-plans the adaptive tuner performed",
+            ),
+            spilled_requests: registry.counter(
+                "hj_spill_requests_total",
+                "Requests that actually spilled bytes to disk",
+            ),
+            spill_bytes_written: registry.counter(
+                "hj_spill_bytes_spilled_total",
+                "Bytes written to spill run files",
+            ),
+            spill_bytes_restored: registry.counter(
+                "hj_spill_bytes_restored_total",
+                "Bytes read back from spill run files",
+            ),
+            spill_partitions: registry.counter(
+                "hj_spill_partitions_spilled_total",
+                "Partitions evicted to disk across all requests and recursion levels",
+            ),
+            spill_fallback_joins: registry.counter(
+                "hj_spill_fallback_joins_total",
+                "Partition pairs joined by the block nested-loop fallback",
+            ),
+            spill_grant_denials: registry.counter(
+                "hj_spill_grant_denials_total",
+                "Memory-grant denials the broker issued to spilling requests",
+            ),
+            spill_reclaimed_bytes: registry.counter(
+                "hj_spill_reclaimed_bytes_total",
+                "Bytes evicted in response to the broker's reclaim pressure signal",
+            ),
+            spill_io_wall: registry.histogram(
+                "hj_spill_io_wall_ns",
+                "Wall-clock time spent inside the spill path per spilling request (ns)",
+            ),
+            batches_submitted: registry.counter(
+                "hj_engine_batches_submitted_total",
+                "Batches accepted by submit_batch",
+            ),
+            batched_requests: registry.counter(
+                "hj_engine_batched_requests_total",
+                "Individual requests that rode inside batches",
+            ),
+            worker_tasks: (0..workers)
+                .map(|w| {
+                    registry.gauge_with(
+                        "hj_pipeline_tasks_total",
+                        &[("worker", w.to_string())],
+                        "Morsel tasks this pool worker has executed",
+                    )
+                })
+                .collect(),
+            worker_steals: (0..workers)
+                .map(|w| {
+                    registry.gauge_with(
+                        "hj_pipeline_steals_total",
+                        &[("worker", w.to_string())],
+                        "Morsel tasks this pool worker stole from another worker's deque",
+                    )
+                })
+                .collect(),
+            cache_bytes: registry.gauge(
+                "hj_cache_resident_bytes",
+                "Bytes the cached hash tables currently keep resident",
+            ),
+            cache_entries: registry.gauge("hj_cache_entries", "Hash tables currently cached"),
+            trace_dropped: registry.gauge(
+                "hj_trace_events_dropped_total",
+                "Events the structured-trace ring dropped (oldest-first) since engine start",
+            ),
+        }
+    }
+}
+
+/// One join's root-span bookkeeping, opened by `JoinEngine::begin_join`
+/// and consumed by `JoinEngine::finish_join`: the span id, its start
+/// timestamp, and the ring's drop count at open (so the flight recorder
+/// can report how many events *this* join lost).
+struct SpanTicket {
+    span: u64,
+    start_ns: u64,
+    dropped_before: u64,
 }
 
 /// A long-lived, concurrent join engine: one backend, a pool of
@@ -1417,6 +1611,16 @@ pub struct JoinEngine {
     /// `(table id, version, build-relevant parameters)`; bytes charged to
     /// [`broker`](Self::broker), single-flight builds, LRU eviction.
     cache: HashTableCache,
+    /// The engine-wide metrics registry: every subsystem registers its
+    /// counters here once; [`render_metrics`](Self::render_metrics) (and
+    /// the serving layer's `Metrics` frame) snapshot it.
+    metrics_registry: Arc<MetricsRegistry>,
+    /// Registered handles on the engine's own metric families (hot paths
+    /// update these atomics; the registry lock is never taken per request).
+    metrics: EngineMetrics,
+    /// The engine-wide structured-trace ring (drop-oldest, bounded by
+    /// [`EngineConfig::trace_capacity`]).
+    tracer: Arc<TraceBuffer>,
     arena_capacity: usize,
     started: Instant,
 }
@@ -1453,6 +1657,11 @@ impl JoinEngine {
             Some(budget) => MemoryBroker::new(budget),
             None => MemoryBroker::unlimited(),
         };
+        let metrics_registry = Arc::new(MetricsRegistry::new());
+        let metrics = EngineMetrics::register(&metrics_registry, config.effective_worker_threads());
+        // The arenas provisioned just above are lifetime allocations too.
+        metrics.arenas_created.add(config.sessions as u64);
+        let tracer = Arc::new(TraceBuffer::new(config.trace_capacity));
         Ok(JoinEngine {
             backend,
             pool: Mutex::new(
@@ -1467,17 +1676,22 @@ impl JoinEngine {
             stats: Mutex::new(
                 "engine.stats",
                 StatsInner {
-                    arenas_created: config.sessions as u64,
                     per_session: vec![SessionStats::default(); config.sessions],
                     ..StatsInner::default()
                 },
             ),
             workers: SharedWorkerPool::new(config.effective_worker_threads()),
-            cache: HashTableCache::new(broker.clone()),
+            cache: HashTableCache::new(
+                broker.clone(),
+                crate::cached::CacheMetrics::register(&metrics_registry),
+            ),
             broker,
             spill_manager: std::sync::OnceLock::new(),
             registry: Mutex::new("engine.registry", HashMap::new()),
             next_table_id: AtomicU64::new(0),
+            metrics_registry,
+            metrics,
+            tracer,
             arena_capacity: capacity,
             started: Instant::now(),
             config,
@@ -1542,6 +1756,54 @@ impl JoinEngine {
         &self.broker
     }
 
+    /// The engine-wide metrics registry.  Layers above the engine (the
+    /// serving layer, harnesses) register their own metric families here so
+    /// one snapshot covers the whole process.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics_registry
+    }
+
+    /// The engine-wide structured-trace ring: every join (and admission
+    /// verdict) emits typed events into it, drop-oldest on overflow.
+    pub fn trace_buffer(&self) -> &Arc<TraceBuffer> {
+        &self.tracer
+    }
+
+    /// Renders every registered metric as a Prometheus text-format
+    /// snapshot, after syncing the gauges that mirror lock-held or
+    /// subsystem-owned state (in-flight, per-worker tasks/steals, cache
+    /// residency, trace drops).  This is what the serving layer returns for
+    /// a `Metrics` frame.
+    pub fn render_metrics(&self) -> String {
+        self.sync_derived_metrics();
+        self.metrics_registry.render_prometheus()
+    }
+
+    /// Copies point-in-time values into their registered gauges: worker
+    /// pool activity, cache residency, in-flight and the ring's drop
+    /// counter.  Counters never need this — hot paths update them directly.
+    fn sync_derived_metrics(&self) {
+        {
+            let inner = self.stats.lock();
+            self.metrics.in_flight.set(inner.in_flight as u64);
+            self.metrics
+                .peak_in_flight
+                .raise(inner.peak_in_flight as u64);
+        }
+        if let Some(pool) = self.workers.spawned() {
+            for (gauge, value) in self.metrics.worker_tasks.iter().zip(pool.tasks_executed()) {
+                gauge.set(value);
+            }
+            for (gauge, value) in self.metrics.worker_steals.iter().zip(pool.tasks_stolen()) {
+                gauge.set(value);
+            }
+        }
+        let cache = self.cache.stats();
+        self.metrics.cache_bytes.set(cache.bytes as u64);
+        self.metrics.cache_entries.set(cache.entries as u64);
+        self.metrics.trace_dropped.set(self.tracer.dropped_events());
+    }
+
     /// The engine's spill directory, when any request has spilled yet.
     pub fn spill_dir(&self) -> Option<&std::path::Path> {
         self.spill_manager.get().map(SpillManager::dir)
@@ -1577,27 +1839,31 @@ impl JoinEngine {
         let registered_tables = self.registry.lock().len();
         let inner = self.stats.lock();
         let elapsed = self.started.elapsed().as_secs_f64();
+        // Monotonic counters live in the metrics registry's atomics; the
+        // snapshot reads the very same values the wire exposition renders,
+        // so `EngineStats` and a `Metrics` frame always reconcile.
+        let requests_served = self.metrics.requests_served.get();
         EngineStats {
-            requests_served: inner.requests_served,
-            requests_failed: inner.requests_failed,
-            rejected_saturated: inner.rejected_saturated,
-            arenas_created: inner.arenas_created,
+            requests_served,
+            requests_failed: self.metrics.requests_failed.get(),
+            rejected_saturated: self.metrics.rejected_saturated.get(),
+            arenas_created: self.metrics.arenas_created.get(),
             arena_capacity: self.arena_capacity,
             sessions: self.config.sessions,
             in_flight: inner.in_flight,
             peak_in_flight: inner.peak_in_flight,
-            adaptive_requests: inner.adaptive_requests,
-            replans: inner.replans,
-            spilled_requests: inner.spilled_requests,
-            spill_bytes_written: inner.spill_bytes_written,
-            spill_bytes_restored: inner.spill_bytes_restored,
-            spill_partitions: inner.spill_partitions,
-            spill_fallback_joins: inner.spill_fallback_joins,
-            queue_wait: inner.queue_wait,
+            adaptive_requests: self.metrics.adaptive_requests.get(),
+            replans: self.metrics.replans.get(),
+            spilled_requests: self.metrics.spilled_requests.get(),
+            spill_bytes_written: self.metrics.spill_bytes_written.get(),
+            spill_bytes_restored: self.metrics.spill_bytes_restored.get(),
+            spill_partitions: self.metrics.spill_partitions.get(),
+            spill_fallback_joins: self.metrics.spill_fallback_joins.get(),
+            queue_wait: self.metrics.queue_wait.snapshot(),
             registered_tables,
             cache: self.cache.stats(),
-            batches_submitted: inner.batches_submitted,
-            batched_requests: inner.batched_requests,
+            batches_submitted: self.metrics.batches_submitted.get(),
+            batched_requests: self.metrics.batched_requests.get(),
             per_session: inner.per_session.clone(),
             worker_threads: self.workers.configured_workers(),
             per_worker_tasks: match self.workers.spawned() {
@@ -1606,8 +1872,12 @@ impl JoinEngine {
                 // counters, without forcing the threads into existence.
                 None => vec![0; self.workers.configured_workers()],
             },
+            per_worker_steals: match self.workers.spawned() {
+                Some(pool) => pool.tasks_stolen(),
+                None => vec![0; self.workers.configured_workers()],
+            },
             joins_per_sec: if elapsed > 0.0 {
-                inner.requests_served as f64 / elapsed
+                requests_served as f64 / elapsed
             } else {
                 0.0
             },
@@ -1620,7 +1890,7 @@ impl JoinEngine {
     /// and panic recovery).
     fn provision_arena(&self, kind: AllocatorKind) -> Box<dyn KernelAllocator> {
         let work_groups = crate::context::CPU_WORK_GROUPS + crate::context::GPU_WORK_GROUPS;
-        self.stats.lock().arenas_created += 1;
+        self.metrics.arenas_created.inc();
         kind.build(self.arena_capacity, work_groups)
     }
 
@@ -1628,10 +1898,21 @@ impl JoinEngine {
     /// wait the acquisition paid — in the engine-wide and per-session
     /// histograms.
     fn note_acquired(&self, session_id: usize, wait_ns: u64) {
+        self.metrics.queue_wait.record(wait_ns);
+        self.tracer.push(TraceEvent {
+            span: 0,
+            at_ns: self.tracer.now_ns(),
+            kind: TraceEventKind::Admission,
+            label: "admitted",
+            value: wait_ns,
+        });
         let mut stats = self.stats.lock();
         stats.in_flight += 1;
         stats.peak_in_flight = stats.peak_in_flight.max(stats.in_flight);
-        stats.queue_wait.record(wait_ns);
+        self.metrics.in_flight.set(stats.in_flight as u64);
+        self.metrics
+            .peak_in_flight
+            .raise(stats.peak_in_flight as u64);
         stats.per_session[session_id].queue_wait.record(wait_ns);
     }
 
@@ -1651,13 +1932,19 @@ impl JoinEngine {
         if pool.waiting >= self.config.effective_queue_depth() {
             let queued = pool.waiting;
             drop(pool);
-            let mut stats = self.stats.lock();
-            stats.rejected_saturated += 1;
-            stats.requests_failed += 1;
+            self.metrics.rejected_saturated.inc();
+            self.metrics.requests_failed.inc();
+            self.tracer.push(TraceEvent {
+                span: 0,
+                at_ns: self.tracer.now_ns(),
+                kind: TraceEventKind::Admission,
+                label: "saturated",
+                value: queued as u64,
+            });
             return Err(JoinError::Saturated {
                 sessions: self.config.sessions,
                 queue_depth: self.config.effective_queue_depth(),
-                in_flight: stats.in_flight,
+                in_flight: self.stats.lock().in_flight,
                 queued,
             });
         }
@@ -1678,14 +1965,145 @@ impl JoinEngine {
     /// Records one request's fate against the engine-wide and per-session
     /// counters.
     fn record_fate(&self, session_id: usize, served: bool) {
+        if served {
+            self.metrics.requests_served.inc();
+        } else {
+            self.metrics.requests_failed.inc();
+        }
         let mut stats = self.stats.lock();
         let per = &mut stats.per_session[session_id];
         if served {
             per.requests_served += 1;
-            stats.requests_served += 1;
         } else {
             per.requests_failed += 1;
-            stats.requests_failed += 1;
+        }
+    }
+
+    /// Opens the join's root span on the trace ring: returns the ticket
+    /// the matching [`finish_join`](Self::finish_join) diffs against.
+    fn begin_join(&self) -> SpanTicket {
+        let span = self.tracer.next_span();
+        let start_ns = self.tracer.now_ns();
+        let dropped_before = self.tracer.dropped_events();
+        self.tracer.push(TraceEvent {
+            span,
+            at_ns: start_ns,
+            kind: TraceEventKind::SpanStart,
+            label: "join",
+            value: 0,
+        });
+        SpanTicket {
+            span,
+            start_ns,
+            dropped_before,
+        }
+    }
+
+    /// Post-execution observability, shared by the plain and cached paths:
+    /// harvests the outcome's adaptive and spill reports into the metrics
+    /// registry (and the per-session records), emits the join's typed ring
+    /// events, and — when the request opted in — assembles the flight
+    /// recorder into [`JoinOutcome::trace`].
+    ///
+    /// Everything here reads data the join already produced; nothing about
+    /// the join result changes, so traced and untraced runs stay
+    /// byte-identical.
+    fn finish_join(
+        &self,
+        session_id: usize,
+        request: &JoinRequest,
+        outcome: &mut JoinOutcome,
+        ticket: SpanTicket,
+        cached_table: Option<&TableHandle>,
+    ) {
+        let SpanTicket {
+            span,
+            start_ns,
+            dropped_before,
+        } = ticket;
+        let end_ns = self.tracer.now_ns();
+        let wall_ns = end_ns.saturating_sub(start_ns);
+        if let Some(report) = &outcome.adaptive {
+            self.metrics.adaptive_requests.inc();
+            self.metrics.replans.add(report.replans);
+            self.stats.lock().per_session[session_id].replans += report.replans;
+            self.tracer.push(TraceEvent {
+                span,
+                at_ns: end_ns,
+                kind: TraceEventKind::Replan,
+                label: "replans",
+                value: report.replans,
+            });
+        }
+        if let Some(report) = &outcome.spill {
+            self.metrics.spill_bytes_written.add(report.bytes_spilled);
+            self.metrics.spill_bytes_restored.add(report.bytes_restored);
+            self.metrics.spill_partitions.add(report.partitions_spilled);
+            self.metrics.spill_fallback_joins.add(report.fallback_joins);
+            self.metrics.spill_grant_denials.add(report.grant_denials);
+            self.metrics
+                .spill_reclaimed_bytes
+                .add(report.reclaimed_bytes);
+            self.metrics
+                .spill_io_wall
+                .record((report.spill_wall_secs * 1e9) as u64);
+            {
+                let mut stats = self.stats.lock();
+                let per = &mut stats.per_session[session_id];
+                per.spill_bytes_written += report.bytes_spilled;
+                if report.bytes_spilled > 0 {
+                    per.spilled_requests += 1;
+                }
+            }
+            if report.bytes_spilled > 0 {
+                self.metrics.spilled_requests.inc();
+            }
+            self.tracer.push(TraceEvent {
+                span,
+                at_ns: end_ns,
+                kind: TraceEventKind::Spill,
+                label: "bytes-spilled",
+                value: report.bytes_spilled,
+            });
+        }
+        if let Some(table) = cached_table {
+            self.tracer.push(TraceEvent {
+                span,
+                at_ns: end_ns,
+                kind: TraceEventKind::Cache,
+                label: "probe-cached",
+                value: table.id,
+            });
+        }
+        for (phase, time) in outcome.breakdown.iter() {
+            self.tracer.push(TraceEvent {
+                span,
+                at_ns: end_ns,
+                kind: TraceEventKind::Phase,
+                label: phase.label(),
+                value: time.as_ns() as u64,
+            });
+        }
+        self.tracer.push(TraceEvent {
+            span,
+            at_ns: end_ns,
+            kind: TraceEventKind::SpanEnd,
+            label: "join",
+            value: wall_ns,
+        });
+        if request.trace_enabled() {
+            let dropped = self.tracer.dropped_events().saturating_sub(dropped_before);
+            let mut trace = assemble_join_trace(outcome, start_ns, wall_ns, dropped);
+            if let Some(table) = cached_table {
+                trace.push_event(
+                    trace.root,
+                    end_ns,
+                    TraceEventKind::Cache,
+                    "probe-cached",
+                    table.id,
+                );
+            }
+            outcome.trace = Some(trace);
         }
     }
 
@@ -1693,7 +2111,11 @@ impl JoinEngine {
     /// one exists — without recording any request fate (batch submissions
     /// record one fate per item instead).
     fn return_session(&self, session: Session) {
-        self.stats.lock().in_flight -= 1;
+        {
+            let mut stats = self.stats.lock();
+            stats.in_flight -= 1;
+            self.metrics.in_flight.set(stats.in_flight as u64);
+        }
         let mut pool = self.pool.lock();
         if pool.waiting > 0 {
             pool.waiting -= 1;
@@ -1796,8 +2218,14 @@ impl JoinEngine {
         if required > self.arena_capacity && request.spill_config().is_none() {
             // A spill-enabled request is admitted anyway: the hybrid hash
             // join sizes its partition pairs to the arena.
-            let mut stats = self.stats.lock();
-            stats.requests_failed += 1;
+            self.metrics.requests_failed.inc();
+            self.tracer.push(TraceEvent {
+                span: 0,
+                at_ns: self.tracer.now_ns(),
+                kind: TraceEventKind::Admission,
+                label: "oversized",
+                value: required as u64,
+            });
             return Err(JoinError::OversizedInput {
                 build_tuples: build.len(),
                 probe_tuples: probe.len(),
@@ -1901,8 +2329,14 @@ impl JoinEngine {
         // session arena, so only the probe's working state must fit.
         let required = request.required_arena_bytes(0, probe.len(), self.backend.system());
         if required > self.arena_capacity {
-            let mut stats = self.stats.lock();
-            stats.requests_failed += 1;
+            self.metrics.requests_failed.inc();
+            self.tracer.push(TraceEvent {
+                span: 0,
+                at_ns: self.tracer.now_ns(),
+                kind: TraceEventKind::Admission,
+                label: "oversized",
+                value: required as u64,
+            });
             return Err(JoinError::OversizedInput {
                 build_tuples: 0,
                 probe_tuples: probe.len(),
@@ -1953,6 +2387,7 @@ impl JoinEngine {
         } else {
             tuning.tuner_for(&request.config().scheme)
         };
+        let ticket = self.begin_join();
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut ctx = ExecContext::with_allocator(
                 self.backend.system(),
@@ -1996,15 +2431,10 @@ impl JoinEngine {
             (result, ctx.into_allocator())
         }));
         match executed {
-            Ok((result, allocator)) => {
+            Ok((mut result, allocator)) => {
                 session.allocator = Some(allocator);
-                if let Ok(outcome) = &result {
-                    if let Some(report) = &outcome.adaptive {
-                        let mut stats = self.stats.lock();
-                        stats.adaptive_requests += 1;
-                        stats.replans += report.replans;
-                        stats.per_session[session.id].replans += report.replans;
-                    }
+                if let Ok(outcome) = &mut result {
+                    self.finish_join(session.id, request, outcome, ticket, Some(table));
                 }
                 Ok(result)
             }
@@ -2058,6 +2488,7 @@ impl JoinEngine {
         } else {
             tuning.tuner_for(&request.config().scheme)
         };
+        let ticket = self.begin_join();
         let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut ctx = ExecContext::with_allocator(
                 self.backend.system(),
@@ -2085,27 +2516,10 @@ impl JoinEngine {
             (result, ctx.into_allocator())
         }));
         match executed {
-            Ok((result, allocator)) => {
+            Ok((mut result, allocator)) => {
                 session.allocator = Some(allocator);
-                if let Ok(outcome) = &result {
-                    if let Some(report) = &outcome.adaptive {
-                        let mut stats = self.stats.lock();
-                        stats.adaptive_requests += 1;
-                        stats.replans += report.replans;
-                        stats.per_session[session.id].replans += report.replans;
-                    }
-                    if let Some(report) = &outcome.spill {
-                        let mut stats = self.stats.lock();
-                        stats.spill_bytes_written += report.bytes_spilled;
-                        stats.spill_bytes_restored += report.bytes_restored;
-                        stats.spill_partitions += report.partitions_spilled;
-                        stats.spill_fallback_joins += report.fallback_joins;
-                        stats.per_session[session.id].spill_bytes_written += report.bytes_spilled;
-                        if report.bytes_spilled > 0 {
-                            stats.spilled_requests += 1;
-                            stats.per_session[session.id].spilled_requests += 1;
-                        }
-                    }
+                if let Ok(outcome) = &mut result {
+                    self.finish_join(session.id, request, outcome, ticket, None);
                 }
                 Ok(result)
             }
@@ -2140,17 +2554,15 @@ impl JoinEngine {
             Err(err) => {
                 // acquire_session counted one rejection; the remaining
                 // items are accounted here so per-request arithmetic holds.
-                let mut stats = self.stats.lock();
-                stats.rejected_saturated += (items.len() - 1) as u64;
-                stats.requests_failed += (items.len() - 1) as u64;
+                self.metrics
+                    .rejected_saturated
+                    .add((items.len() - 1) as u64);
+                self.metrics.requests_failed.add((items.len() - 1) as u64);
                 return items.iter().map(|_| Err(err.clone())).collect();
             }
         };
-        {
-            let mut stats = self.stats.lock();
-            stats.batches_submitted += 1;
-            stats.batched_requests += items.len() as u64;
-        }
+        self.metrics.batches_submitted.inc();
+        self.metrics.batched_requests.add(items.len() as u64);
         let mut verdicts = Vec::with_capacity(items.len());
         for item in items {
             let required = item.request.required_arena_bytes(
@@ -2214,6 +2626,81 @@ impl JoinEngine {
     ) -> Result<JoinOutcome, JoinError> {
         self.submit(request, build, probe)
     }
+}
+
+/// Builds the flight-recorder tree from data the join already produced:
+/// one root span over the measured wall clock, one child span per
+/// non-empty phase of the breakdown (starts laid end-to-end — phases
+/// overlap in the pipelined schemes, so durations are authoritative and
+/// starts are for readability), per-step events where the pipeline
+/// recorded step executions, and the adaptive/spill reports as typed
+/// events.
+fn assemble_join_trace(
+    outcome: &JoinOutcome,
+    start_ns: u64,
+    wall_ns: u64,
+    dropped: u64,
+) -> JoinTrace {
+    let mut trace = JoinTrace::default();
+    let root = trace.push_span(0, "join", start_ns, wall_ns);
+    let mut cursor = start_ns;
+    for (phase, time) in outcome.breakdown.iter() {
+        let ns = time.as_ns() as u64;
+        let span = trace.push_span(root, phase.label(), cursor, ns);
+        cursor = cursor.saturating_add(ns);
+        for exec in outcome.phases.iter().filter(|p| p.phase == phase) {
+            for step in &exec.steps {
+                let step_ns = step
+                    .cpu_time
+                    .total()
+                    .as_ns()
+                    .max(step.gpu_time.total().as_ns());
+                trace.push_event(
+                    span,
+                    cursor,
+                    TraceEventKind::Step,
+                    step.step.label(),
+                    step_ns as u64,
+                );
+            }
+        }
+    }
+    if let Some(report) = &outcome.adaptive {
+        trace.push_event(
+            root,
+            cursor,
+            TraceEventKind::Replan,
+            "replans",
+            report.replans,
+        );
+        for series in &report.series {
+            // The effective (converged) ratios the re-plan blocks ended on,
+            // per-mille so they fit the integer event value.
+            for (step, ratio) in series.converged.iter().enumerate() {
+                trace.push_event(
+                    root,
+                    cursor,
+                    TraceEventKind::Replan,
+                    format!("{:?}-step{step}-ratio-permille", series.kind).to_lowercase(),
+                    (ratio * 1000.0).round() as u64,
+                );
+            }
+        }
+    }
+    if let Some(report) = &outcome.spill {
+        for (label, value) in [
+            ("bytes-spilled", report.bytes_spilled),
+            ("bytes-restored", report.bytes_restored),
+            ("partitions-spilled", report.partitions_spilled),
+            ("fallback-joins", report.fallback_joins),
+            ("grant-denials", report.grant_denials),
+            ("reclaimed-bytes", report.reclaimed_bytes),
+        ] {
+            trace.push_event(root, cursor, TraceEventKind::Spill, label, value);
+        }
+    }
+    trace.dropped_events = dropped;
+    trace
 }
 
 #[cfg(test)]

@@ -265,6 +265,38 @@
 //! assert!(engine.cache_stats().hits >= 1);
 //! ```
 //!
+//! ## Observability
+//!
+//! The engine is instrumented end to end (crate `hj-metrics`, re-exported
+//! as [`metrics`]), with three surfaces that share one design rule: the
+//! hot path only ever touches pre-registered atomics or a fixed-size ring,
+//! never a lock it could contend on.
+//!
+//! * **Metrics registry** — every engine owns a
+//!   [`metrics::MetricsRegistry`] ([`JoinEngine::metrics_registry`])
+//!   holding counters, gauges and log2 histograms registered once at
+//!   construction and updated via relaxed atomics.  [`EngineStats`] is a
+//!   snapshot view over the same atomics, so the wire-exposed numbers and
+//!   the in-process stats reconcile exactly.
+//!   [`JoinEngine::render_metrics`] renders the whole registry — engine,
+//!   pipeline, spill, cache and serving-layer families alike — in
+//!   Prometheus text exposition format, and the serving layer answers a
+//!   `Metrics` frame ([`server::JoinClient::metrics`]) with the same text.
+//! * **Structured tracing** — joins emit typed [`metrics::TraceEvent`]s
+//!   into a bounded per-engine ring ([`metrics::TraceBuffer`],
+//!   [`EngineConfig::trace_capacity`]); overflow drops the oldest events
+//!   and counts them, and the `trace-off` feature compiles the push to a
+//!   no-op.
+//! * **Flight recorder** — a request built with
+//!   `JoinRequest::builder().trace(true)` gets an EXPLAIN-ANALYZE-style
+//!   [`metrics::JoinTrace`] on [`JoinOutcome::trace`](result::JoinOutcome)
+//!   (phase/step spans, spill/cache/re-plan events), assembled *after*
+//!   execution so traced and untraced runs produce byte-identical join
+//!   results.  Over the wire the trace streams as a `Trace` frame after
+//!   `Done`.
+//!
+//! See `docs/OBSERVABILITY.md` for the full metric and event catalogue.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -339,6 +371,7 @@
 #![warn(missing_docs)]
 
 pub use hj_adaptive as adaptive;
+pub use hj_metrics as metrics;
 pub use hj_server as server;
 pub use hj_spill as spill;
 
@@ -372,6 +405,7 @@ pub use context::{arena_bytes_for, ExecContext, ExecCounters};
 pub use engine::{
     BatchItem, CoupledSim, DiscreteSim, EngineConfig, EngineLoad, EngineStats, ExecBackend,
     JoinEngine, JoinRequest, JoinRequestBuilder, NativeCpu, SessionStats, Tuning,
+    DEFAULT_TRACE_CAPACITY,
 };
 pub use error::JoinError;
 pub use executor::execute_join;

@@ -285,6 +285,9 @@ struct PoolShared {
     shutdown: AtomicBool,
     /// Per-worker lifetime task counters (surfaced through engine stats).
     tasks_executed: Vec<AtomicU64>,
+    /// Per-worker lifetime steal counters (tasks taken from a *victim's*
+    /// deque), indexed by the stealing worker.
+    tasks_stolen: Vec<AtomicU64>,
     /// Workers currently alive; reaches zero only after every worker thread
     /// has exited its loop.
     live_workers: Arc<AtomicUsize>,
@@ -308,6 +311,8 @@ impl PoolShared {
                 continue;
             }
             if let Some(task) = self.take(victim, false) {
+                // Relaxed: pure telemetry, nothing branches on it.
+                self.tasks_stolen[own].fetch_add(1, Ordering::Relaxed);
                 return Some(task);
             }
         }
@@ -415,6 +420,7 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
             tasks_executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            tasks_stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             live_workers: Arc::clone(&live_workers),
             next_deque: AtomicUsize::new(0),
         });
@@ -452,6 +458,16 @@ impl WorkerPool {
     pub fn tasks_executed(&self) -> Vec<u64> {
         self.shared
             .tasks_executed
+            .iter()
+            .map(|count| count.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Lifetime count of tasks each worker *stole* from another worker's
+    /// deque, indexed by the stealing worker.
+    pub fn tasks_stolen(&self) -> Vec<u64> {
+        self.shared
+            .tasks_stolen
             .iter()
             .map(|count| count.load(Ordering::Relaxed))
             .collect()

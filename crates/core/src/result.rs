@@ -52,6 +52,12 @@ pub struct JoinOutcome {
     /// whether any bytes actually hit disk (pressure can subside before
     /// anything spills).
     pub spill: Option<hj_spill::SpillReport>,
+    /// The per-join flight recorder: an EXPLAIN-ANALYZE-style tree of
+    /// phase/step spans plus spill/cache/admission/re-plan events,
+    /// assembled **after** execution so traced and untraced runs produce
+    /// byte-identical join results.  `Some` only when the request opted in
+    /// via [`JoinRequestBuilder::trace`](crate::engine::JoinRequestBuilder::trace).
+    pub trace: Option<hj_metrics::JoinTrace>,
 }
 
 impl JoinOutcome {

@@ -23,6 +23,12 @@
 //!   the name in the engine's table registry and submits on the probe-only
 //!   hot path of the hash-table cache, so the build cost is paid once per
 //!   table version instead of per request;
+//! * the connection handler also answers two observability frames: a
+//!   `Metrics` request returns the engine's metrics registry rendered as
+//!   Prometheus text (never admission-controlled — observability keeps
+//!   working exactly when joins are shed), and a request with the trace
+//!   flag set gets its per-join flight recorder streamed as a `Trace`
+//!   frame after `Done`;
 //! * [`JoinServer::shutdown`] (also run on drop) stops accepting, lets
 //!   every in-flight request finish, wakes idle connections and joins all
 //!   threads — no request is abandoned mid-reply and no thread leaks.
@@ -54,12 +60,14 @@ use crate::engine::{BatchItem, JoinEngine, JoinRequest};
 use crate::error::JoinError;
 use crate::result::JoinOutcome;
 use hj_analysis::sync::{Condvar, Mutex};
+use hj_metrics::Counter;
 use hj_server::admission::{Admission, AdmissionController, AdmissionStats, SloConfig, Ticket};
 use hj_server::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
 use hj_server::histogram::LatencyHistogram;
 use hj_server::message::{
-    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRefRequest,
-    WireRegister, WireRegistered, WireRequest, WireResponse,
+    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireMetricsReply,
+    WireMetricsRequest, WireOverloaded, WireRefRequest, WireRegister, WireRegistered, WireRequest,
+    WireResponse, WireTrace,
 };
 use std::collections::VecDeque;
 use std::io::BufWriter;
@@ -274,6 +282,58 @@ struct Batcher {
     draining: AtomicBool,
 }
 
+/// Index into [`WireMetrics::frames`] for `Request` frames.
+const FRAME_REQUEST: usize = 0;
+/// Index into [`WireMetrics::frames`] for `Register` frames.
+const FRAME_REGISTER: usize = 1;
+/// Index into [`WireMetrics::frames`] for `TableRef` frames.
+const FRAME_TABLE_REF: usize = 2;
+/// Index into [`WireMetrics::frames`] for `Metrics` frames.
+const FRAME_METRICS: usize = 3;
+
+/// Serving-layer counters registered into the *engine's* metrics registry,
+/// so one `Metrics` request (or [`JoinEngine::render_metrics`]) exposes the
+/// engine and the serving layer in a single snapshot.
+struct WireMetrics {
+    /// Sheds by [`ShedReason`], indexed by the reason's wire tag.
+    sheds: [Arc<Counter>; 4],
+    /// Well-formed client frames by type, indexed by the `FRAME_*` consts.
+    frames: [Arc<Counter>; 4],
+}
+
+impl WireMetrics {
+    fn register(registry: &hj_metrics::MetricsRegistry) -> Self {
+        let shed = |reason: ShedReason| {
+            registry.counter_with(
+                "hj_server_sheds_total",
+                &[("reason", reason.label().to_string())],
+                "Requests shed by the serving layer, by shed reason",
+            )
+        };
+        let frame = |kind: &str| {
+            registry.counter_with(
+                "hj_server_frames_total",
+                &[("type", kind.to_string())],
+                "Well-formed client frames received, by frame type",
+            )
+        };
+        WireMetrics {
+            sheds: [
+                shed(ShedReason::Deadline),
+                shed(ShedReason::Quota),
+                shed(ShedReason::QueueBudget),
+                shed(ShedReason::Saturated),
+            ],
+            frames: [
+                frame("request"),
+                frame("register"),
+                frame("table-ref"),
+                frame("metrics"),
+            ],
+        }
+    }
+}
+
 struct ServerShared {
     engine: Arc<JoinEngine>,
     config: ServerConfig,
@@ -295,6 +355,7 @@ struct ServerShared {
     /// churn.
     conns: Mutex<Vec<(u64, TcpStream)>>,
     batcher: Batcher,
+    wire_metrics: WireMetrics,
 }
 
 impl ServerShared {
@@ -340,6 +401,7 @@ impl JoinServer {
             .map_err(|reason| JoinError::InvalidConfig(format!("invalid SLO config: {reason}")))?;
         let batching = config.batch_max_requests > 1;
         let dispatchers = if batching { config.dispatchers } else { 0 };
+        let wire_metrics = WireMetrics::register(engine.metrics_registry());
         let shared = Arc::new(ServerShared {
             engine,
             config,
@@ -355,6 +417,7 @@ impl JoinServer {
                 nonempty: Condvar::new(),
                 draining: AtomicBool::new(false),
             },
+            wire_metrics,
         });
 
         let dispatcher_threads = (0..dispatchers)
@@ -555,11 +618,22 @@ fn handle_connection(shared: &Arc<ServerShared>, mut stream: TcpStream, client_i
                     }
                 }
             }
+            Ok(Some((FrameType::Metrics, payload))) => match WireMetricsRequest::decode(&payload) {
+                Ok(request) => {
+                    if handle_metrics(shared, &mut stream, request).is_err() {
+                        return; // peer gone mid-reply
+                    }
+                }
+                Err(err) => {
+                    close_on_protocol_error(shared, &mut stream, &err);
+                    return;
+                }
+            },
             Ok(Some((other, _))) => {
                 let err = WireError::Protocol {
                     detail: format!(
-                        "clients may only send Request, Register or TableRef frames, \
-                         got {other:?}"
+                        "clients may only send Request, Register, TableRef or Metrics \
+                         frames, got {other:?}"
                     ),
                 };
                 close_on_protocol_error(shared, &mut stream, &err);
@@ -598,6 +672,7 @@ fn handle_request(
     arrived: Instant,
 ) -> Result<(), WireError> {
     shared.stats.lock().requests_received += 1;
+    shared.wire_metrics.frames[FRAME_REQUEST].inc();
     let tuples = wire.build.len() + wire.probe.len();
     let now_ns = shared.now_ns();
 
@@ -623,7 +698,10 @@ fn handle_request(
         }
     };
 
+    // Traced requests never batch: the flight recorder is a per-join
+    // artefact, and a batch settles many joins in one engine call.
     let batchable = !wire.collect_pairs
+        && !wire.trace
         && shared.config.batch_max_requests > 1
         && tuples <= shared.config.batch_max_tuples;
     let result = if batchable {
@@ -657,6 +735,7 @@ fn handle_register(
     stream: &mut TcpStream,
     register: WireRegister,
 ) -> Result<(), WireError> {
+    shared.wire_metrics.frames[FRAME_REGISTER].inc();
     let handle = shared
         .engine
         .register_table(&register.name, register.tuples);
@@ -668,6 +747,23 @@ fn handle_register(
     };
     let mut w = BufWriter::new(stream);
     write_frame(&mut w, FrameType::Registered, &ack.encode())
+}
+
+/// Serves one metrics snapshot.  Observability deliberately bypasses
+/// admission control: the snapshot must stay readable exactly when the
+/// server is saturated and shedding join traffic.
+fn handle_metrics(
+    shared: &Arc<ServerShared>,
+    stream: &mut TcpStream,
+    request: WireMetricsRequest,
+) -> Result<(), WireError> {
+    shared.wire_metrics.frames[FRAME_METRICS].inc();
+    let reply = WireMetricsReply {
+        id: request.id,
+        text: shared.engine.render_metrics(),
+    };
+    let mut w = BufWriter::new(stream);
+    write_frame(&mut w, FrameType::MetricsReply, &reply.encode())
 }
 
 /// Serves one table-referencing request end to end, mirroring
@@ -687,6 +783,7 @@ fn handle_ref_request(
         stats.requests_received += 1;
         stats.ref_requests += 1;
     }
+    shared.wire_metrics.frames[FRAME_TABLE_REF].inc();
     let Some(table) = shared.engine.table(&wire.table) else {
         shared.stats.lock().requests_failed += 1;
         let failure = WireFailure {
@@ -718,13 +815,14 @@ fn handle_ref_request(
         }
     };
 
-    let request = match engine_request_for(wire.algorithm, wire.scheme, wire.collect_pairs) {
-        Ok(request) => request,
-        Err(err) => {
-            shared.admission.abandon(ticket);
-            return write_failure(shared, stream, wire.id, &err);
-        }
-    };
+    let request =
+        match engine_request_for(wire.algorithm, wire.scheme, wire.collect_pairs, wire.trace) {
+            Ok(request) => request,
+            Err(err) => {
+                shared.admission.abandon(ticket);
+                return write_failure(shared, stream, wire.id, &err);
+            }
+        };
 
     let started = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -959,13 +1057,14 @@ fn finish_request(
 /// Maps wire tags onto an engine request.  The tags are versioned protocol
 /// surface; the presets they select can evolve with the engine.
 fn engine_request(wire: &WireRequest) -> Result<JoinRequest, JoinError> {
-    engine_request_for(wire.algorithm, wire.scheme, wire.collect_pairs)
+    engine_request_for(wire.algorithm, wire.scheme, wire.collect_pairs, wire.trace)
 }
 
 fn engine_request_for(
     algorithm: hj_server::message::WireAlgorithm,
     scheme: hj_server::message::WireScheme,
     collect_pairs: bool,
+    trace: bool,
 ) -> Result<JoinRequest, JoinError> {
     use hj_server::message::{WireAlgorithm, WireScheme};
     let algorithm = match algorithm {
@@ -983,6 +1082,7 @@ fn engine_request_for(
         .algorithm(algorithm)
         .scheme(scheme)
         .collect_results(collect_pairs)
+        .trace(trace)
         .build()
 }
 
@@ -1016,7 +1116,17 @@ fn write_outcome(
         };
         write_frame(&mut w, FrameType::Chunk, &chunk.encode())?;
     }
-    write_frame(&mut w, FrameType::Done, &WireDone { id, chunks }.encode())
+    write_frame(&mut w, FrameType::Done, &WireDone { id, chunks }.encode())?;
+    // The flight recorder rides *after* `Done`, so a client that never
+    // asked for a trace never has to know the frame exists.
+    if let Some(trace) = &outcome.trace {
+        let wire = WireTrace {
+            id,
+            trace: trace.clone(),
+        };
+        write_frame(&mut w, FrameType::Trace, &wire.encode())?;
+    }
+    Ok(())
 }
 
 fn write_overloaded(
@@ -1036,6 +1146,7 @@ fn write_overloaded(
             ShedReason::Saturated => stats.shed_saturated += 1,
         }
     }
+    shared.wire_metrics.sheds[reason as usize].inc();
     let load = shared.engine.load();
     let notice = WireOverloaded {
         id,

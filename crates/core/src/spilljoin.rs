@@ -58,8 +58,9 @@ pub type PairJoin<'a> =
 /// Returns the merged outcome plus the [`SpillReport`] describing how much
 /// degradation actually happened (a fully-resident run reports zero bytes
 /// spilled).  Spill I/O is additionally charged to the outcome's
-/// [`Phase::DataCopy`] at the CPU's streaming bandwidth, mirroring the
-/// out-of-core path's accounting.
+/// [`Phase::SpillIo`] at the CPU's streaming bandwidth — its own phase, so
+/// disk round trips are never conflated with [`Phase::DataCopy`]'s
+/// PCIe/zero-copy transfer accounting.
 ///
 /// # Errors
 /// * [`JoinError::Spill`] on run-file I/O failures or corrupt frames;
@@ -85,13 +86,14 @@ pub fn execute_spill_join(
     let mut report = pass.report;
     report.spill_wall_secs = started.elapsed().as_secs_f64();
     // Charge the disk round trips like the out-of-core path charges its
-    // buffer copies: streamed at the CPU's sequential bandwidth.
+    // buffer copies — streamed at the CPU's sequential bandwidth — but to
+    // the dedicated spill-io phase, not DataCopy.
     let io_bytes = report.bytes_spilled + report.bytes_restored;
     if io_bytes > 0 {
         let bw = ctx.sys.cpu.seq_bandwidth_gbps; // bytes per nanosecond
         outcome
             .breakdown
-            .add(Phase::DataCopy, SimTime::from_ns(io_bytes as f64 / bw));
+            .add(Phase::SpillIo, SimTime::from_ns(io_bytes as f64 / bw));
     }
     Ok((outcome, report))
 }

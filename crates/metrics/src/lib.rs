@@ -1,155 +1,25 @@
-//! Shared observability primitives.
+//! Shared observability primitives for the join engine.
 //!
-//! One tiny fixed-bucket latency histogram: log2 nanosecond buckets, cheap
-//! to record into, percentile-extractable, `Copy` so stats snapshots stay
-//! plain data.
+//! Three pieces, each dependency-free and cheap enough to sit on hot
+//! paths:
 //!
-//! The engine (`EngineStats::queue_wait`, cache-build latency), the serving
-//! layer (wire-level request latency) and the bench harness all record into
-//! this one type, so percentile arithmetic and bucket layout cannot drift
-//! between layers.  Bucket `i` covers durations below `2^i` ns (the last
-//! bucket is open-ended), so the whole range from sub-microsecond to
-//! ~9 minutes fits in 40 counters and a percentile is never off by more
-//! than a factor of two — plenty for p50/p99/p999 trend gates.
+//! * [`LatencyHistogram`] — the log2-bucket duration histogram every layer
+//!   records latencies into (plus [`exact_quantile`] for exact sample-set
+//!   percentiles in the bench harness);
+//! * [`MetricsRegistry`] — counters, gauges and histograms registered once
+//!   under static names, updated via relaxed atomics, rendered as a
+//!   Prometheus text snapshot for wire exposition;
+//! * [`TraceBuffer`] / [`JoinTrace`] — structured tracing: typed events in
+//!   a bounded drop-oldest ring, and the per-join flight-recorder tree
+//!   returned to callers that opt in.  The `trace-off` cargo feature
+//!   compiles the ring's `push` to a no-op.
 
 #![warn(missing_docs)]
 
-/// Number of log2 buckets; `2^39` ns ≈ 9.2 minutes.
-pub const HISTOGRAM_BUCKETS: usize = 40;
+mod histogram;
+mod registry;
+mod trace;
 
-/// A log2-bucketed duration histogram (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: [u64; HISTOGRAM_BUCKETS],
-    count: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; HISTOGRAM_BUCKETS],
-            count: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram::default()
-    }
-
-    /// Records one duration.
-    pub fn record(&mut self, ns: u64) {
-        let bucket = (64 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
-        self.buckets[bucket] += 1;
-        self.count += 1;
-    }
-
-    /// Recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-    }
-
-    /// The raw bucket counters; bucket `i` counts durations in
-    /// `[2^(i-1), 2^i)` ns (bucket 0: `[0, 1]` ns, the last bucket is
-    /// open-ended).
-    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
-        &self.buckets
-    }
-
-    /// An upper bound (ns) on the `q`-quantile (`q` in `[0, 1]`), `None`
-    /// while the histogram is empty.  Accurate to its bucket's factor-of-two
-    /// width.
-    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // The rank is 1-based and rounded up: q = 1.0 returns the bucket of
-        // the largest recorded sample.
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Some(1u64 << i);
-            }
-        }
-        unreachable!("count > 0 but no bucket reached the rank");
-    }
-
-    /// [`quantile_ns`](Self::quantile_ns) in fractional milliseconds.
-    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
-        self.quantile_ns(q).map(|ns| ns as f64 / 1e6)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram_has_no_quantiles() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_ns(0.5), None);
-    }
-
-    #[test]
-    fn quantiles_bound_the_recorded_values() {
-        let mut h = LatencyHistogram::new();
-        for ns in [100, 200, 400, 800, 100_000] {
-            h.record(ns);
-        }
-        assert_eq!(h.count(), 5);
-        let p50 = h.quantile_ns(0.5).unwrap();
-        assert!((200..=512).contains(&p50), "p50 bound {p50}");
-        let p100 = h.quantile_ns(1.0).unwrap();
-        assert!(
-            p100 >= 100_000,
-            "max bound {p100} must cover the largest sample"
-        );
-        // Every quantile bound is within 2x of a recorded value.
-        assert!(p100 <= 2 * 131_072);
-    }
-
-    #[test]
-    fn zero_and_huge_values_land_in_terminal_buckets() {
-        let mut h = LatencyHistogram::new();
-        h.record(0);
-        h.record(u64::MAX);
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.buckets()[0], 1);
-        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
-        assert!(h.quantile_ns(1.0).unwrap() >= 1u64 << 39);
-    }
-
-    #[test]
-    fn merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(1_000);
-        b.record(1_000);
-        b.record(2_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-        assert!(a.quantile_ns(1.0).unwrap() >= 2_000_000);
-    }
-
-    #[test]
-    fn quantile_ms_converts() {
-        let mut h = LatencyHistogram::new();
-        h.record(4_000_000); // 4 ms -> bucket bound 2^22 ns ≈ 4.19 ms
-        let ms = h.quantile_ms(0.99).unwrap();
-        assert!(ms > 3.9 && ms < 8.5, "{ms}");
-    }
-}
+pub use histogram::{exact_quantile, LatencyHistogram, HISTOGRAM_BUCKETS};
+pub use registry::{AtomicHistogram, Counter, Gauge, MetricSample, MetricValue, MetricsRegistry};
+pub use trace::{FlightEvent, JoinTrace, TraceBuffer, TraceEvent, TraceEventKind, TraceSpan};

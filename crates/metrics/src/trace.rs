@@ -1,0 +1,422 @@
+//! Structured tracing: typed events with span IDs and monotonic
+//! timestamps, a bounded per-engine ring buffer, and the per-join
+//! flight-recorder tree ([`JoinTrace`]) returned to callers that opt in.
+//!
+//! The ring ([`TraceBuffer`]) is deliberately lossy: when full it drops
+//! the **oldest** event and counts the drop, so a worker never blocks on
+//! observability.  The `trace-off` cargo feature compiles [`TraceBuffer::
+//! push`](TraceBuffer::push) down to a no-op for deployments that want
+//! provably zero trace overhead.
+
+use hj_analysis::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// What kind of thing a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened (`label` names it; `value` is the parent span, 0 for
+    /// roots).
+    SpanStart,
+    /// A span closed (`value` is its duration in ns).
+    SpanEnd,
+    /// A join phase finished (`label` is the phase, `value` its simulated
+    /// nanoseconds).
+    Phase,
+    /// A pipeline step finished (`label` is the step, `value` its
+    /// simulated nanoseconds).
+    Step,
+    /// A spill-path decision (`label` says what, `value` is bytes).
+    Spill,
+    /// A hash-table-cache lookup (`label` is hit/miss/evict, `value` is
+    /// detail such as saved build ns).
+    Cache,
+    /// An admission verdict (`label` is admitted/shed reason, `value` is
+    /// detail such as estimated queue ns).
+    Admission,
+    /// An adaptive re-plan (`label` is the series, `value` the re-plan
+    /// count so far).
+    Replan,
+    /// A free-form marker.
+    Mark,
+}
+
+impl TraceEventKind {
+    /// All kinds, in wire-code order.
+    pub const ALL: [TraceEventKind; 9] = [
+        TraceEventKind::SpanStart,
+        TraceEventKind::SpanEnd,
+        TraceEventKind::Phase,
+        TraceEventKind::Step,
+        TraceEventKind::Spill,
+        TraceEventKind::Cache,
+        TraceEventKind::Admission,
+        TraceEventKind::Replan,
+        TraceEventKind::Mark,
+    ];
+
+    /// A stable lower-case name (used in renders and docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::SpanStart => "span-start",
+            TraceEventKind::SpanEnd => "span-end",
+            TraceEventKind::Phase => "phase",
+            TraceEventKind::Step => "step",
+            TraceEventKind::Spill => "spill",
+            TraceEventKind::Cache => "cache",
+            TraceEventKind::Admission => "admission",
+            TraceEventKind::Replan => "replan",
+            TraceEventKind::Mark => "mark",
+        }
+    }
+
+    /// The wire tag of this kind.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The kind for a wire tag, `None` for unknown tags.
+    pub fn from_code(code: u8) -> Option<Self> {
+        TraceEventKind::ALL.get(code as usize).copied()
+    }
+}
+
+/// One typed event in the engine-wide ring: which span, when (monotonic ns
+/// since the buffer's epoch), what, and one numeric detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The span this event belongs to (an ID from
+    /// [`TraceBuffer::next_span`]).
+    pub span: u64,
+    /// Monotonic nanoseconds since the owning buffer was created.
+    pub at_ns: u64,
+    /// What kind of event.
+    pub kind: TraceEventKind,
+    /// A static label (phase/step/decision name).
+    pub label: &'static str,
+    /// One numeric detail; meaning depends on `kind`.
+    pub value: u64,
+}
+
+/// A bounded, drop-oldest ring of [`TraceEvent`]s shared by every join on
+/// one engine.  Pushing never blocks beyond the short ring lock (class
+/// `trace.ring`), never allocates past the fixed capacity, and when the
+/// `trace-off` feature is enabled it compiles to nothing.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    next_span: AtomicU64,
+    epoch: Instant,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            ring: Mutex::new("trace.ring", VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether tracing is compiled in (`false` under the `trace-off`
+    /// feature).
+    pub const fn is_enabled() -> bool {
+        cfg!(not(feature = "trace-off"))
+    }
+
+    /// A fresh span ID (never 0; 0 means "no parent").
+    pub fn next_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Monotonic nanoseconds since this buffer was created — the timescale
+    /// of every [`TraceEvent::at_ns`].
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Appends one event, dropping the oldest (and counting the drop) when
+    /// the ring is full.
+    #[cfg(not(feature = "trace-off"))]
+    pub fn push(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Tracing is compiled out (`trace-off`): events vanish for free.
+    #[cfg(feature = "trace-off")]
+    pub fn push(&self, _event: TraceEvent) {}
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events dropped (oldest-first) since creation.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring.lock().iter().copied().collect()
+    }
+}
+
+/// One timed span of a [`JoinTrace`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// This span's ID (unique within the trace).
+    pub id: u64,
+    /// The parent span's ID; 0 for the root.
+    pub parent: u64,
+    /// What the span covers ("join", "build", "probe", ...).
+    pub label: String,
+    /// Start, in ns on the engine trace buffer's monotonic timescale.
+    pub start_ns: u64,
+    /// The span's duration in ns (simulated time for phase spans, wall
+    /// clock for the root).
+    pub duration_ns: u64,
+}
+
+/// One recorded event of a [`JoinTrace`] (an owned twin of
+/// [`TraceEvent`], so traces survive the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// The span the event belongs to.
+    pub span: u64,
+    /// When, in ns on the trace's timescale.
+    pub at_ns: u64,
+    /// What kind of event.
+    pub kind: TraceEventKind,
+    /// The event label (phase/step/decision name).
+    pub label: String,
+    /// One numeric detail; meaning depends on `kind`.
+    pub value: u64,
+}
+
+/// The per-join flight recorder: an EXPLAIN-ANALYZE-style tree of spans
+/// (phases, steps) plus the typed events the join emitted, returned in
+/// the engine's `JoinOutcome::trace` when the request opted in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinTrace {
+    /// The root span's ID.
+    pub root: u64,
+    /// All spans, root first.
+    pub spans: Vec<TraceSpan>,
+    /// Events in emission order.
+    pub events: Vec<FlightEvent>,
+    /// Events the engine ring dropped while this join ran (0 means the
+    /// flight recorder saw everything).
+    pub dropped_events: u64,
+}
+
+impl JoinTrace {
+    /// Appends a span and returns its ID (IDs are trace-local, starting
+    /// at 1).
+    pub fn push_span(
+        &mut self,
+        parent: u64,
+        label: impl Into<String>,
+        start_ns: u64,
+        duration_ns: u64,
+    ) -> u64 {
+        let id = self.spans.len() as u64 + 1;
+        if parent == 0 && self.root == 0 {
+            self.root = id;
+        }
+        self.spans.push(TraceSpan {
+            id,
+            parent,
+            label: label.into(),
+            start_ns,
+            duration_ns,
+        });
+        id
+    }
+
+    /// Appends an event under `span`.
+    pub fn push_event(
+        &mut self,
+        span: u64,
+        at_ns: u64,
+        kind: TraceEventKind,
+        label: impl Into<String>,
+        value: u64,
+    ) {
+        self.events.push(FlightEvent {
+            span,
+            at_ns,
+            kind,
+            label: label.into(),
+            value,
+        });
+    }
+
+    /// Renders the trace as an indented tree: spans with millisecond
+    /// durations, each followed by its events.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(empty trace)\n");
+        } else {
+            self.render_span(self.root, 0, &mut out);
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "({} events dropped by the engine ring)\n",
+                self.dropped_events
+            ));
+        }
+        out
+    }
+
+    fn render_span(&self, id: u64, depth: usize, out: &mut String) {
+        let Some(span) = self.spans.iter().find(|s| s.id == id) else {
+            return;
+        };
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{} ({:.3} ms)\n",
+            span.label,
+            span.duration_ns as f64 / 1e6
+        ));
+        for event in self.events.iter().filter(|e| e.span == id) {
+            out.push_str(&format!(
+                "{indent}  · {} {} = {}\n",
+                event.kind.name(),
+                event.label,
+                event.value
+            ));
+        }
+        let mut children: Vec<&TraceSpan> = self.spans.iter().filter(|s| s.parent == id).collect();
+        children.sort_by_key(|s| (s.start_ns, s.id));
+        for child in children {
+            self.render_span(child.id, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(span: u64, at_ns: u64, value: u64) -> TraceEvent {
+        TraceEvent {
+            span,
+            at_ns,
+            kind: TraceEventKind::Mark,
+            label: "test",
+            value,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.push(event(1, i, i));
+        }
+        if TraceBuffer::is_enabled() {
+            let events: Vec<u64> = buf.snapshot().iter().map(|e| e.value).collect();
+            assert_eq!(events, vec![2, 3, 4], "drop-oldest keeps the newest");
+            assert_eq!(buf.dropped_events(), 2);
+            assert_eq!(buf.len(), buf.capacity());
+        } else {
+            assert!(buf.is_empty());
+            assert_eq!(buf.dropped_events(), 0);
+        }
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let buf = TraceBuffer::new(4);
+        let a = buf.next_span();
+        let b = buf.next_span();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn now_is_monotonic() {
+        let buf = TraceBuffer::new(1);
+        let a = buf.now_ns();
+        let b = buf.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in TraceEventKind::ALL {
+            assert_eq!(TraceEventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(TraceEventKind::from_code(200), None);
+    }
+
+    #[test]
+    fn join_trace_renders_a_tree() {
+        let mut trace = JoinTrace::default();
+        let root = trace.push_span(0, "join", 0, 10_000_000);
+        let build = trace.push_span(root, "build", 0, 4_000_000);
+        let _probe = trace.push_span(root, "probe", 4_000_000, 6_000_000);
+        trace.push_event(build, 100, TraceEventKind::Replan, "build", 2);
+        let text = trace.render();
+        assert!(text.starts_with("join (10.000 ms)\n"));
+        assert!(text.contains("  build (4.000 ms)\n"));
+        assert!(text.contains("  probe (6.000 ms)\n"));
+        assert!(text.contains("· replan build = 2"));
+        // probe is rendered after build (start order).
+        assert!(text.find("build").unwrap() < text.find("probe").unwrap());
+    }
+
+    #[test]
+    fn join_trace_reports_drops_in_render() {
+        let trace = JoinTrace {
+            dropped_events: 3,
+            ..JoinTrace::default()
+        };
+        let text = trace.render();
+        assert!(text.contains("(empty trace)"));
+        assert!(text.contains("3 events dropped"));
+    }
+
+    #[test]
+    fn ring_never_blocks_concurrent_pushers() {
+        let buf = std::sync::Arc::new(TraceBuffer::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let buf = std::sync::Arc::clone(&buf);
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        buf.push(event(t, i, i));
+                    }
+                });
+            }
+        });
+        if TraceBuffer::is_enabled() {
+            assert_eq!(buf.len(), 8);
+            assert_eq!(buf.dropped_events(), 4 * 500 - 8);
+        }
+    }
+}

@@ -9,10 +9,12 @@
 
 use crate::frame::{read_frame, write_frame, FrameType, WireError, DEFAULT_MAX_PAYLOAD_BYTES};
 use crate::message::{
-    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded, WireRefRequest,
-    WireRegister, WireRegistered, WireRequest, WireResponse,
+    ShedReason, WireChunk, WireDone, WireErrorCode, WireFailure, WireMetricsReply,
+    WireMetricsRequest, WireOverloaded, WireRefRequest, WireRegister, WireRegistered, WireRequest,
+    WireResponse, WireTrace,
 };
 use datagen::Relation;
+use hj_metrics::JoinTrace;
 use std::fmt;
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -111,6 +113,9 @@ pub struct ClientOutcome {
     /// The streamed `(build_rid, probe_rid)` pairs, in server order; empty
     /// when the request did not ask for pairs.
     pub pairs: Vec<(u32, u32)>,
+    /// The per-join flight recorder, when the request set the trace flag
+    /// and the server streamed one after `Done`.
+    pub trace: Option<JoinTrace>,
 }
 
 /// A blocking connection to a join server.
@@ -169,7 +174,43 @@ impl JoinClient {
             let mut w = BufWriter::new(&self.stream);
             write_frame(&mut w, FrameType::Request, &request.encode())?;
         }
-        self.read_reply(request.id)
+        self.read_reply(request.id, request.trace)
+    }
+
+    /// Fetches a snapshot of the server engine's metrics registry in
+    /// Prometheus text exposition format.  Never admission-controlled:
+    /// this works exactly when the server sheds join traffic.
+    ///
+    /// # Errors
+    /// See [`ClientError`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        {
+            let mut w = BufWriter::new(&self.stream);
+            write_frame(
+                &mut w,
+                FrameType::Metrics,
+                &WireMetricsRequest { id }.encode(),
+            )?;
+        }
+        match self.read_frame_or_close()? {
+            (FrameType::MetricsReply, payload) => {
+                let reply = WireMetricsReply::decode(&payload)?;
+                self.check_id(reply.id, id)?;
+                Ok(reply.text)
+            }
+            (FrameType::Error, payload) => {
+                let fail = WireFailure::decode(&payload)?;
+                Err(ClientError::Server {
+                    code: fail.code,
+                    message: fail.message,
+                })
+            }
+            (other, _) => Err(ClientError::Protocol {
+                detail: format!("expected a MetricsReply, got {other:?}"),
+            }),
+        }
     }
 
     /// Registers `tuples` under `name` in the server's table registry and
@@ -230,10 +271,10 @@ impl JoinClient {
             let mut w = BufWriter::new(&self.stream);
             write_frame(&mut w, FrameType::TableRef, &request.encode())?;
         }
-        self.read_reply(request.id)
+        self.read_reply(request.id, request.trace)
     }
 
-    fn read_reply(&mut self, id: u64) -> Result<ClientOutcome, ClientError> {
+    fn read_reply(&mut self, id: u64, expect_trace: bool) -> Result<ClientOutcome, ClientError> {
         let head = match self.read_frame_or_close()? {
             (FrameType::Response, payload) => WireResponse::decode(&payload)?,
             (FrameType::Overloaded, payload) => {
@@ -300,9 +341,15 @@ impl JoinClient {
                             ),
                         });
                     }
+                    let trace = if expect_trace {
+                        self.read_trace(id)?
+                    } else {
+                        None
+                    };
                     return Ok(ClientOutcome {
                         matches: head.matches,
                         pairs,
+                        trace,
                     });
                 }
                 (FrameType::Error, payload) => {
@@ -318,6 +365,20 @@ impl JoinClient {
                     })
                 }
             }
+        }
+    }
+
+    /// Reads the `Trace` frame a traced request's reply ends with.
+    fn read_trace(&mut self, id: u64) -> Result<Option<JoinTrace>, ClientError> {
+        match self.read_frame_or_close()? {
+            (FrameType::Trace, payload) => {
+                let wire = WireTrace::decode(&payload)?;
+                self.check_id(wire.id, id)?;
+                Ok(Some(wire.trace))
+            }
+            (other, _) => Err(ClientError::Protocol {
+                detail: format!("expected the trace frame of a traced reply, got {other:?}"),
+            }),
         }
     }
 
@@ -357,6 +418,7 @@ impl RequestBuilder {
                 scheme: crate::message::WireScheme::CpuOnly,
                 collect_pairs: false,
                 priority: 0,
+                trace: false,
                 deadline_ms: 0,
                 build,
                 probe,
@@ -394,6 +456,13 @@ impl RequestBuilder {
         self
     }
 
+    /// Asks the server for a per-join flight recorder, delivered on
+    /// [`ClientOutcome::trace`].
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.request.trace = trace;
+        self
+    }
+
     /// The finished request.
     pub fn build(self) -> WireRequest {
         self.request
@@ -419,6 +488,7 @@ impl RefRequestBuilder {
                 scheme: crate::message::WireScheme::CpuOnly,
                 collect_pairs: false,
                 priority: 0,
+                trace: false,
                 deadline_ms: 0,
                 table: table.into(),
                 probe,
@@ -453,6 +523,13 @@ impl RefRequestBuilder {
     /// Sets the completion deadline in milliseconds (`0`: none).
     pub fn deadline_ms(mut self, ms: u32) -> Self {
         self.request.deadline_ms = ms;
+        self
+    }
+
+    /// Asks the server for a per-join flight recorder, delivered on
+    /// [`ClientOutcome::trace`].
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.request.trace = trace;
         self
     }
 

@@ -67,6 +67,15 @@ pub enum FrameType {
     /// the server this takes the probe-only hot path of the hash-table
     /// cache.
     TableRef = 9,
+    /// Client → server: ask for a snapshot of the engine's metrics
+    /// registry (no join involved; never admission-controlled).
+    Metrics = 10,
+    /// Server → client: the metrics snapshot, rendered in Prometheus text
+    /// exposition format.
+    MetricsReply = 11,
+    /// Server → client: the per-join flight recorder of a traced request,
+    /// sent *after* [`FrameType::Done`] so untraced readers are untouched.
+    Trace = 12,
 }
 
 impl FrameType {
@@ -81,6 +90,9 @@ impl FrameType {
             7 => FrameType::Register,
             8 => FrameType::Registered,
             9 => FrameType::TableRef,
+            10 => FrameType::Metrics,
+            11 => FrameType::MetricsReply,
+            12 => FrameType::Trace,
             _ => return None,
         })
     }

@@ -13,7 +13,11 @@
 //!   marker, typed [`WireFailure`]s, the [`WireOverloaded`] shed notice,
 //!   and the table-registry trio [`WireRegister`] / [`WireRegistered`] /
 //!   [`WireRefRequest`] that lets clients ship a build table once and
-//!   join against it by name;
+//!   join against it by name, plus the observability frames: the
+//!   [`WireMetricsRequest`] / [`WireMetricsReply`] pair carrying a
+//!   Prometheus-text snapshot of the engine's metrics registry, and
+//!   [`WireTrace`], the per-join flight recorder a traced request's reply
+//!   ends with;
 //! * [`admission`] — the SLO-aware [`AdmissionController`]: per-client
 //!   token-bucket quotas, an EWMA service-time estimate, a queue-time
 //!   budget and deadline-based shedding, all on a caller-supplied clock
@@ -43,7 +47,7 @@ pub use frame::{
 };
 pub use histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use message::{
-    ShedReason, WireAlgorithm, WireChunk, WireDone, WireErrorCode, WireFailure, WireOverloaded,
-    WireRefRequest, WireRegister, WireRegistered, WireRequest, WireResponse, WireScheme,
-    MAX_TABLE_NAME_BYTES, MAX_WIRE_TUPLES,
+    ShedReason, WireAlgorithm, WireChunk, WireDone, WireErrorCode, WireFailure, WireMetricsReply,
+    WireMetricsRequest, WireOverloaded, WireRefRequest, WireRegister, WireRegistered, WireRequest,
+    WireResponse, WireScheme, WireTrace, MAX_TABLE_NAME_BYTES, MAX_WIRE_TUPLES,
 };

@@ -9,6 +9,7 @@
 
 use crate::frame::{PayloadReader, PayloadWriter, WireError};
 use datagen::Relation;
+use hj_metrics::{FlightEvent, JoinTrace, TraceEventKind, TraceSpan};
 
 /// Ceiling on the relation cardinalities one request frame may carry (the
 /// per-column count fields are `u32`, but a hostile count close to
@@ -35,6 +36,16 @@ fn check_table_name(name: &str) -> Result<(), WireError> {
         });
     }
     Ok(())
+}
+
+fn decode_trace_flag(r: &mut PayloadReader<'_>) -> Result<bool, WireError> {
+    match r.get_u8("trace flag")? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(WireError::Protocol {
+            detail: format!("trace flag must be 0 or 1, got {other}"),
+        }),
+    }
 }
 
 /// The join algorithm, as a wire tag.
@@ -105,6 +116,10 @@ pub struct WireRequest {
     /// Scheduling priority (higher = more important; see the admission
     /// controller for the exact semantics).
     pub priority: u8,
+    /// Ask the server to record a per-join flight recorder and stream it as
+    /// a [`FrameType::Trace`](crate::frame::FrameType::Trace) frame after
+    /// [`WireDone`].  The join result itself is byte-identical either way.
+    pub trace: bool,
     /// Completion deadline in milliseconds from arrival; `0` means none.
     /// A request whose *estimated* completion would bust the deadline is
     /// shed with [`WireOverloaded`] instead of being queued to fail.
@@ -124,6 +139,7 @@ impl WireRequest {
         w.put_u8(self.scheme as u8);
         w.put_u8(self.collect_pairs as u8);
         w.put_u8(self.priority);
+        w.put_u8(self.trace as u8);
         w.put_u32(self.deadline_ms);
         w.put_u32(self.build.len() as u32);
         w.put_u32(self.probe.len() as u32);
@@ -154,6 +170,7 @@ impl WireRequest {
             }
         };
         let priority = r.get_u8("priority")?;
+        let trace = decode_trace_flag(&mut r)?;
         let deadline_ms = r.get_u32("deadline")?;
         let build_len = r.get_u32("build cardinality")? as usize;
         let probe_len = r.get_u32("probe cardinality")? as usize;
@@ -176,6 +193,7 @@ impl WireRequest {
             scheme,
             collect_pairs,
             priority,
+            trace,
             deadline_ms,
             build: Relation::from_columns(build_rids, build_keys),
             probe: Relation::from_columns(probe_rids, probe_keys),
@@ -293,6 +311,8 @@ pub struct WireRefRequest {
     pub collect_pairs: bool,
     /// Scheduling priority (see [`WireRequest::priority`]).
     pub priority: u8,
+    /// Request a flight-recorder trace (see [`WireRequest::trace`]).
+    pub trace: bool,
     /// Completion deadline in milliseconds from arrival; `0` means none.
     pub deadline_ms: u32,
     /// Name of the registered build-side table.
@@ -310,6 +330,7 @@ impl WireRefRequest {
         w.put_u8(self.scheme as u8);
         w.put_u8(self.collect_pairs as u8);
         w.put_u8(self.priority);
+        w.put_u8(self.trace as u8);
         w.put_u32(self.deadline_ms);
         w.put_str(&self.table);
         w.put_u32(self.probe.len() as u32);
@@ -337,6 +358,7 @@ impl WireRefRequest {
             }
         };
         let priority = r.get_u8("priority")?;
+        let trace = decode_trace_flag(&mut r)?;
         let deadline_ms = r.get_u32("deadline")?;
         let table = r.get_str("table name")?;
         check_table_name(&table)?;
@@ -358,6 +380,7 @@ impl WireRefRequest {
             scheme,
             collect_pairs,
             priority,
+            trace,
             deadline_ms,
             table,
             probe: Relation::from_columns(probe_rids, probe_keys),
@@ -647,6 +670,162 @@ impl WireFailure {
     }
 }
 
+/// A request for a snapshot of the server engine's metrics registry.
+///
+/// Never admission-controlled: observability must keep working exactly when
+/// the server is saturated and sheds join traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireMetricsRequest {
+    /// Client-chosen correlation id, echoed on the reply.
+    pub id: u64,
+}
+
+impl WireMetricsRequest {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(8);
+        w.put_u64(self.id);
+        w.into_bytes()
+    }
+
+    /// Decodes the request.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireMetricsRequest, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireMetricsRequest {
+            id: r.get_u64("metrics id")?,
+        };
+        r.expect_exhausted("metrics request")?;
+        Ok(out)
+    }
+}
+
+/// The metrics snapshot, rendered in Prometheus text exposition format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMetricsReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The rendered exposition text (`# HELP` / `# TYPE` / samples).
+    pub text: String,
+}
+
+impl WireMetricsReply {
+    /// Encodes the reply.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(12 + self.text.len());
+        w.put_u64(self.id);
+        w.put_str(&self.text);
+        w.into_bytes()
+    }
+
+    /// Decodes the reply.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation, invalid UTF-8 or trailing
+    /// bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireMetricsReply, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let out = WireMetricsReply {
+            id: r.get_u64("metrics reply id")?,
+            text: r.get_str("metrics text")?,
+        };
+        r.expect_exhausted("metrics reply")?;
+        Ok(out)
+    }
+}
+
+/// The per-join flight recorder of a traced request, streamed after
+/// [`WireDone`] so clients that did not ask for a trace never see the
+/// frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The recorded trace (span tree + typed events).
+    pub trace: JoinTrace,
+}
+
+impl WireTrace {
+    /// Encodes the trace.
+    pub fn encode(&self) -> Vec<u8> {
+        let t = &self.trace;
+        let mut w = PayloadWriter::with_capacity(64 + 48 * (t.spans.len() + t.events.len()));
+        w.put_u64(self.id);
+        w.put_u64(t.root);
+        w.put_u64(t.dropped_events);
+        w.put_u32(t.spans.len() as u32);
+        for span in &t.spans {
+            w.put_u64(span.id);
+            w.put_u64(span.parent);
+            w.put_str(&span.label);
+            w.put_u64(span.start_ns);
+            w.put_u64(span.duration_ns);
+        }
+        w.put_u32(t.events.len() as u32);
+        for event in &t.events {
+            w.put_u64(event.span);
+            w.put_u64(event.at_ns);
+            w.put_u8(event.kind.code());
+            w.put_str(&event.label);
+            w.put_u64(event.value);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a trace payload.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation, an unknown event-kind code,
+    /// hostile counts or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WireTrace, WireError> {
+        let mut r = PayloadReader::new(payload);
+        let id = r.get_u64("trace id")?;
+        let mut trace = JoinTrace {
+            root: r.get_u64("trace root")?,
+            dropped_events: r.get_u64("trace dropped count")?,
+            ..JoinTrace::default()
+        };
+        let span_count = r.get_u32("trace span count")? as usize;
+        // A span costs ≥ 36 encoded bytes, an event ≥ 29: a hostile count
+        // cannot reserve more than the payload could physically carry.
+        trace.spans.reserve(span_count.min(payload.len() / 36 + 1));
+        for _ in 0..span_count {
+            trace.spans.push(TraceSpan {
+                id: r.get_u64("span id")?,
+                parent: r.get_u64("span parent")?,
+                label: r.get_str("span label")?,
+                start_ns: r.get_u64("span start")?,
+                duration_ns: r.get_u64("span duration")?,
+            });
+        }
+        let event_count = r.get_u32("trace event count")? as usize;
+        trace
+            .events
+            .reserve(event_count.min(payload.len() / 29 + 1));
+        for _ in 0..event_count {
+            let span = r.get_u64("event span")?;
+            let at_ns = r.get_u64("event timestamp")?;
+            let code = r.get_u8("event kind")?;
+            let kind = TraceEventKind::from_code(code).ok_or_else(|| WireError::Protocol {
+                detail: format!("unknown trace event kind {code}"),
+            })?;
+            let label = r.get_str("event label")?;
+            let value = r.get_u64("event value")?;
+            trace.events.push(FlightEvent {
+                span,
+                at_ns,
+                kind,
+                label,
+                value,
+            });
+        }
+        r.expect_exhausted("trace")?;
+        Ok(WireTrace { id, trace })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +837,7 @@ mod tests {
             scheme: WireScheme::Pipelined,
             collect_pairs: true,
             priority: 7,
+            trace: true,
             deadline_ms: 250,
             build: Relation::from_columns(vec![0, 1, 2], vec![10, 20, 30]),
             probe: Relation::from_columns(vec![5, 6], vec![20, 30]),
@@ -686,8 +866,8 @@ mod tests {
     fn request_rejects_hostile_cardinalities() {
         let req = sample_request();
         let mut bytes = req.encode();
-        // The build-count field sits after id(8) + four u8 tags + deadline(4).
-        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        // The build-count field sits after id(8) + five u8 tags + deadline(4).
+        bytes[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = WireRequest::decode(&bytes).unwrap_err();
         assert!(matches!(err, WireError::Protocol { .. }), "{err}");
     }
@@ -744,6 +924,7 @@ mod tests {
             scheme: WireScheme::DataDividing,
             collect_pairs: true,
             priority: 3,
+            trace: false,
             deadline_ms: 100,
             table: "dim_dates".to_string(),
             probe: Relation::from_columns(vec![5, 6], vec![20, 30]),
@@ -815,6 +996,63 @@ mod tests {
             message: "no table named 'dim_dates'".into(),
         };
         assert_eq!(WireFailure::decode(&fail.encode()).unwrap(), fail);
+    }
+
+    #[test]
+    fn bad_trace_flag_is_rejected() {
+        let req = sample_request();
+        let mut bytes = req.encode();
+        // The trace flag is the fifth u8 tag, right after priority.
+        bytes[12] = 7;
+        let err = WireRequest::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trace flag"), "{err}");
+    }
+
+    #[test]
+    fn metrics_messages_round_trip() {
+        let req = WireMetricsRequest { id: 77 };
+        assert_eq!(WireMetricsRequest::decode(&req.encode()).unwrap(), req);
+        let reply = WireMetricsReply {
+            id: 77,
+            text: "# HELP hj_engine_requests_served_total Requests\n".to_string(),
+        };
+        assert_eq!(WireMetricsReply::decode(&reply.encode()).unwrap(), reply);
+    }
+
+    #[test]
+    fn trace_messages_round_trip() {
+        let mut trace = JoinTrace::default();
+        let root = trace.push_span(0, "join", 0, 500);
+        let build = trace.push_span(root, "build", 10, 200);
+        trace.push_event(build, 42, TraceEventKind::Step, "b1", 123);
+        trace.push_event(root, 499, TraceEventKind::Spill, "bytes-spilled", 0);
+        trace.dropped_events = 3;
+        let wire = WireTrace { id: 9, trace };
+        assert_eq!(WireTrace::decode(&wire.encode()).unwrap(), wire);
+    }
+
+    #[test]
+    fn trace_rejects_unknown_event_kind_and_trailing_bytes() {
+        let mut trace = JoinTrace::default();
+        let root = trace.push_span(0, "join", 0, 1);
+        trace.push_event(root, 0, TraceEventKind::Mark, "m", 0);
+        let wire = WireTrace { id: 1, trace };
+        let mut bytes = wire.encode();
+        // The event-kind byte sits after id(8) + root(8) + dropped(8) +
+        // span count(4) + one span (8+8+4+4 name bytes+8+8) + event
+        // count(4) + event span(8) + event timestamp(8).
+        let kind_at = 28 + 40 + 4 + 16;
+        bytes[kind_at] = 0xEE;
+        let err = WireTrace::decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown trace event kind"),
+            "{err}"
+        );
+
+        let mut bytes = wire.encode();
+        bytes.push(0);
+        let err = WireTrace::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub mod prelude {
     pub use costmodel::{calibrate_from_relations, tune_scheme, JoinCostModel, TunedScheme};
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
     pub use hj_core::adaptive::{AdaptiveConfig, AdaptiveReport};
+    pub use hj_core::metrics::{
+        exact_quantile, JoinTrace, LatencyHistogram, MetricSample, MetricValue, MetricsRegistry,
+        TraceBuffer, TraceEventKind,
+    };
     pub use hj_core::server::{
         ClientError, JoinClient, RefRequestBuilder, RequestBuilder, ShedReason, SloConfig,
         WireAlgorithm, WireScheme,

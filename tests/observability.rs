@@ -1,0 +1,203 @@
+//! Observability integration tests: the flight recorder never perturbs
+//! join results, the trace ring drops oldest under overflow instead of
+//! blocking or growing, and the metrics registry snapshot reconciles with
+//! `EngineStats`.
+
+use coupled_hashjoin::prelude::*;
+
+fn test_pair(n: usize) -> (Relation, Relation) {
+    datagen::generate_pair(&DataGenConfig::small(n, 2 * n))
+}
+
+fn request(trace: bool) -> JoinRequest {
+    JoinRequest::builder()
+        .algorithm(Algorithm::partitioned_auto())
+        .scheme(Scheme::pipelined_paper())
+        .collect_results(true)
+        .trace(trace)
+        .build()
+        .unwrap()
+}
+
+/// The tentpole identity: a traced run returns byte-identical matches and
+/// pairs to an untraced run of the same request, on both backends.
+#[test]
+fn traced_and_untraced_joins_are_byte_identical() {
+    let (r, s) = test_pair(3_000);
+    for native in [false, true] {
+        let config = EngineConfig::for_tuples(3_000, 6_000);
+        let engine = if native {
+            JoinEngine::native(config).unwrap()
+        } else {
+            JoinEngine::coupled(config).unwrap()
+        };
+        let plain = engine.submit(&request(false), &r, &s).unwrap();
+        assert!(plain.trace.is_none(), "untraced outcomes carry no trace");
+        let traced = engine.submit(&request(true), &r, &s).unwrap();
+        assert_eq!(traced.matches, plain.matches, "native={native}");
+        assert_eq!(
+            traced.pairs, plain.pairs,
+            "tracing must not change the pair set (native={native})"
+        );
+        let trace = traced.trace.expect("opt-in must produce a trace");
+        assert!(!trace.spans.is_empty());
+        assert_eq!(trace.spans[0].label, "join");
+        // Every event references a span of this trace (or the admission
+        // pseudo-span 0).
+        for event in &trace.events {
+            assert!(
+                event.span <= trace.spans.len() as u64,
+                "event references unknown span {}",
+                event.span
+            );
+        }
+        let rendered = trace.render();
+        assert!(rendered.contains("join"), "{rendered}");
+    }
+}
+
+/// A ring far smaller than the event volume drops oldest events, counts
+/// the drops, and never blocks or fails the join.
+#[test]
+fn tiny_trace_ring_drops_oldest_and_counts() {
+    let (r, s) = test_pair(2_000);
+    let engine =
+        JoinEngine::coupled(EngineConfig::for_tuples(2_048, 4_096).trace_capacity(4)).unwrap();
+    let tracer = coupled_hashjoin::hj_core::JoinEngine::trace_buffer(&engine).clone();
+    assert_eq!(tracer.capacity(), 4);
+
+    let plain = engine.submit(&request(false), &r, &s).unwrap();
+    let traced = engine.submit(&request(true), &r, &s).unwrap();
+    assert_eq!(traced.matches, plain.matches);
+    assert_eq!(traced.pairs, plain.pairs);
+
+    // The ring is bounded: its length never exceeds the capacity, and the
+    // overflow is accounted instead of silently lost.
+    assert!(tracer.len() <= 4);
+    assert!(
+        tracer.dropped_events() > 0,
+        "two joins must overflow a 4-event ring"
+    );
+    // The drop counter also rides the metrics snapshot.
+    let text = engine.render_metrics();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("hj_trace_events_dropped_total"))
+        .expect("drop counter must be exported");
+    let dropped: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(dropped, tracer.dropped_events());
+}
+
+/// Concurrent traced joins cannot wedge on the ring: pushes are
+/// drop-oldest, never blocking, and every join completes correctly.
+#[test]
+fn trace_ring_never_blocks_concurrent_joins() {
+    let (r, s) = test_pair(1_000);
+    let expected = reference_match_count(&r, &s);
+    let engine = std::sync::Arc::new(
+        JoinEngine::coupled(
+            EngineConfig::for_tuples(1_024, 2_048)
+                .sessions(4)
+                .trace_capacity(8),
+        )
+        .unwrap(),
+    );
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = std::sync::Arc::clone(&engine);
+            let (r, s) = (r.clone(), s.clone());
+            std::thread::spawn(move || {
+                let mut matches = Vec::new();
+                for _ in 0..4 {
+                    matches.push(engine.submit(&request(true), &r, &s).unwrap().matches);
+                }
+                matches
+            })
+        })
+        .collect();
+    for handle in threads {
+        for matches in handle.join().unwrap() {
+            assert_eq!(matches, expected);
+        }
+    }
+    let tracer = coupled_hashjoin::hj_core::JoinEngine::trace_buffer(&engine);
+    assert!(tracer.len() <= 8);
+}
+
+/// The in-process metrics snapshot and `EngineStats` read the same
+/// registry atomics, so the monotonic counters agree exactly.
+#[test]
+fn metrics_snapshot_reconciles_with_engine_stats() {
+    let (r, s) = test_pair(1_000);
+    let engine = JoinEngine::coupled(EngineConfig::for_tuples(1_024, 2_048).sessions(2)).unwrap();
+    for _ in 0..5 {
+        engine.submit(&request(false), &r, &s).unwrap();
+    }
+    let stats = engine.stats();
+    let registry = coupled_hashjoin::hj_core::JoinEngine::metrics_registry(&engine);
+    let counter = |name: &str| -> u64 {
+        let sample = registry
+            .snapshot()
+            .into_iter()
+            .find(|sample| sample.name == name)
+            .unwrap_or_else(|| panic!("{name} not registered"));
+        match sample.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => v,
+            MetricValue::Histogram(_) => panic!("{name} is a histogram"),
+        }
+    };
+    assert_eq!(counter("hj_engine_requests_served_total"), 5);
+    assert_eq!(
+        counter("hj_engine_requests_served_total"),
+        stats.requests_served
+    );
+    assert_eq!(
+        counter("hj_engine_arenas_created_total"),
+        stats.arenas_created
+    );
+    assert_eq!(
+        counter("hj_adaptive_requests_total"),
+        stats.adaptive_requests
+    );
+    assert_eq!(counter("hj_cache_hits_total"), stats.cache.hits);
+}
+
+/// A spilling join records its spill counters both on the outcome report
+/// and in the registry, and its trace carries the spill events.
+#[test]
+fn spill_metrics_and_trace_events_flow_through() {
+    let (r, s) = test_pair(1_000);
+    let engine =
+        JoinEngine::coupled(EngineConfig::for_tuples(1_000, 2_000).memory_budget(16 * 1024))
+            .unwrap();
+    let req = JoinRequest::builder()
+        .collect_results(false)
+        .spill(SpillConfig::default().partitions(4).max_recursion_depth(2))
+        .trace(true)
+        .build()
+        .unwrap();
+    let outcome = engine.submit(&req, &r, &s).unwrap();
+    assert_eq!(outcome.matches, reference_match_count(&r, &s));
+    let report = outcome.spill.as_ref().expect("spill path must engage");
+    let registry = coupled_hashjoin::hj_core::JoinEngine::metrics_registry(&engine);
+    let sample = registry
+        .snapshot()
+        .into_iter()
+        .find(|sample| sample.name == "hj_spill_bytes_spilled_total")
+        .unwrap();
+    assert_eq!(
+        sample.value,
+        MetricValue::Counter(report.bytes_spilled),
+        "registry spill counter must mirror the outcome report"
+    );
+    if report.bytes_spilled > 0 {
+        let trace = outcome.trace.as_ref().unwrap();
+        assert!(
+            trace
+                .events
+                .iter()
+                .any(|e| e.kind == TraceEventKind::Spill && e.label == "bytes-spilled"),
+            "spilling traced joins must carry spill events"
+        );
+    }
+}

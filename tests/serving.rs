@@ -672,3 +672,104 @@ fn idle_connections_are_woken_and_closed_by_shutdown() {
     // The closed connection surfaces as an error on the next use.
     assert!(client.join(RequestBuilder::new(r, s).build()).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Observability over the wire: metrics exposition and per-join traces
+// ---------------------------------------------------------------------------
+
+/// `JoinClient::metrics` returns a Prometheus snapshot whose counters
+/// reconcile exactly with `EngineStats` — both read the same registry
+/// atomics — and includes the serving-layer families.
+#[test]
+fn wire_metrics_reconcile_with_engine_stats() {
+    let (r, s) = test_pair(1_000);
+    let engine =
+        Arc::new(JoinEngine::coupled(EngineConfig::for_tuples(1_024, 2_048).sessions(2)).unwrap());
+    let server = JoinServer::start(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+    for _ in 0..3 {
+        client
+            .join(RequestBuilder::new(r.clone(), s.clone()).build())
+            .unwrap();
+    }
+
+    let text = client.metrics().unwrap();
+    let stats = engine.stats();
+    let sample = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(sample("hj_engine_requests_served_total"), 3);
+    assert_eq!(
+        sample("hj_engine_requests_served_total"),
+        stats.requests_served
+    );
+    assert_eq!(
+        sample("hj_engine_arenas_created_total"),
+        stats.arenas_created
+    );
+    // The serving layer registers its families into the same registry.
+    assert!(
+        text.contains("hj_server_frames_total{type=\"request\"}"),
+        "server frame counters must ride the engine snapshot:\n{text}"
+    );
+    assert!(text.contains("hj_server_sheds_total{reason=\"deadline\"}"));
+    // Histogram families render in exposition format.
+    assert!(text.contains("hj_engine_queue_wait_ns_count"));
+}
+
+/// A traced wire join returns the same matches/pairs as an untraced one,
+/// plus a non-empty flight recorder that renders; untraced requests never
+/// see a Trace frame.
+#[test]
+fn traced_wire_joins_are_byte_identical_and_carry_a_trace() {
+    let (r, s) = test_pair(1_500);
+    let server = start_server(
+        JoinEngine::coupled(EngineConfig::for_tuples(1_536, 3_072)).unwrap(),
+        ServerConfig::default(),
+    );
+    let mut client = JoinClient::connect(server.local_addr()).unwrap();
+
+    let plain = client
+        .join(
+            RequestBuilder::new(r.clone(), s.clone())
+                .algorithm(WireAlgorithm::Phj)
+                .collect_pairs(true)
+                .build(),
+        )
+        .unwrap();
+    assert!(plain.trace.is_none(), "untraced requests carry no trace");
+
+    let traced = client
+        .join(
+            RequestBuilder::new(r.clone(), s.clone())
+                .algorithm(WireAlgorithm::Phj)
+                .collect_pairs(true)
+                .trace(true)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(traced.matches, plain.matches);
+    assert_eq!(
+        traced.pairs, plain.pairs,
+        "tracing must not change the join result"
+    );
+    let trace = traced.trace.expect("traced request must return a trace");
+    assert!(!trace.spans.is_empty());
+    let rendered = trace.render();
+    assert!(rendered.contains("join"), "{rendered}");
+
+    // Traced table-ref requests work the same way.
+    client.register_table("dim", r.clone()).unwrap();
+    let by_ref = client
+        .join_ref(RefRequestBuilder::new("dim", s.clone()).trace(true).build())
+        .unwrap();
+    assert_eq!(by_ref.matches, plain.matches);
+    assert!(by_ref.trace.is_some());
+}
