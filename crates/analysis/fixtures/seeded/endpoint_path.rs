@@ -1,0 +1,8 @@
+// Seeded violation fixture: HTTP route registered with a computed path.
+// Scanned by `hj-lint --self-test` (never compiled).
+
+pub fn register_dynamic(shard: usize) -> (&'static str, fn()) {
+    let path = format!("/debug/shard/{shard}");
+    let leaked: &'static str = Box::leak(path.into_boxed_str());
+    http_route(leaked, dump_shard)
+}

@@ -81,7 +81,7 @@ fn main() -> ExitCode {
 /// silently stopped firing is worse than no linter.  Fixtures carry a
 /// synthetic workspace-relative path so path-scoped rules (simulator
 /// modules, sanctioned spawn files) exercise their real scope.
-const FIXTURES: [(&str, &str, Rule); 7] = [
+const FIXTURES: [(&str, &str, Rule); 8] = [
     (
         "raw_sync.rs",
         "crates/fixture/src/raw_sync.rs",
@@ -116,6 +116,11 @@ const FIXTURES: [(&str, &str, Rule); 7] = [
         "metrics_name.rs",
         "crates/fixture/src/metrics_name.rs",
         Rule::MetricsNameLiteral,
+    ),
+    (
+        "endpoint_path.rs",
+        "crates/fixture/src/endpoint_path.rs",
+        Rule::EndpointPathLiteral,
     ),
 ];
 

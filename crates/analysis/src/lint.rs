@@ -21,6 +21,7 @@
 //! | `debug-assert-concurrency` | no `debug_assert!` in modules that lock (cross-thread invariants must hold in release) |
 //! | `must-use-guard` | `#[must_use]` on RAII `*Guard`/`*Grant`/`*Slot`/`*Handle` types |
 //! | `metrics-name-literal` | metric registration (`.counter(`/`.gauge(`/`.histogram(` and `_with` kin) takes a string-literal name |
+//! | `endpoint-path-literal` | HTTP route registration (`http_route(`) takes a string-literal path |
 //!
 //! The scanner is comment- and string-aware (patterns inside comments or
 //! string literals do not fire) and skips test code — files under a
@@ -63,11 +64,16 @@ pub enum Rule {
     /// (`docs/OBSERVABILITY.md`), and dynamic names are an unbounded-
     /// cardinality hazard.
     MetricsNameLiteral,
+    /// HTTP route registered with a computed (non-literal) path: the
+    /// endpoint catalogue must stay a single greppable dispatch table
+    /// (`docs/OBSERVABILITY.md`), and computed paths defeat both the
+    /// catalogue and the route-coverage tests.
+    EndpointPathLiteral,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::RawSync,
         Rule::LockUnwrap,
         Rule::RawSpawn,
@@ -75,6 +81,7 @@ impl Rule {
         Rule::DebugAssertConcurrency,
         Rule::MustUseGuard,
         Rule::MetricsNameLiteral,
+        Rule::EndpointPathLiteral,
     ];
 
     /// The rule's stable kebab-case id (used in escape comments).
@@ -87,6 +94,7 @@ impl Rule {
             Rule::DebugAssertConcurrency => "debug-assert-concurrency",
             Rule::MustUseGuard => "must-use-guard",
             Rule::MetricsNameLiteral => "metrics-name-literal",
+            Rule::EndpointPathLiteral => "endpoint-path-literal",
         }
     }
 
@@ -114,6 +122,9 @@ impl Rule {
             Rule::MetricsNameLiteral => {
                 "metric registered with a computed name — names must be string literals so the catalogue in docs/OBSERVABILITY.md stays complete and cardinality stays bounded"
             }
+            Rule::EndpointPathLiteral => {
+                "HTTP route registered with a computed path — paths must be string literals in the dispatch table so the endpoint catalogue in docs/OBSERVABILITY.md stays complete"
+            }
         }
     }
 
@@ -136,6 +147,9 @@ impl Rule {
             // Tests register probe metrics into throwaway registries;
             // only product registrations feed the exported catalogue.
             Rule::MetricsNameLiteral => false,
+            // Likewise: only the product dispatch table feeds the
+            // endpoint catalogue.
+            Rule::EndpointPathLiteral => false,
         }
     }
 }
@@ -410,6 +424,11 @@ const P_METRIC_REGISTRATIONS: [&str; 6] = [
     concat!(".histogram_with", "("),
 ];
 
+/// HTTP route registration whose first argument (the endpoint path) must
+/// be a string literal.  `http_route(` cannot match `http_routes(` — the
+/// paren ends the token.
+const P_ENDPOINT_REGISTRATION: &str = concat!("http_route", "(");
+
 /// True when `word` appears in `line` delimited by non-identifier chars.
 fn contains_word(line: &str, word: &str) -> bool {
     let mut start = 0;
@@ -538,6 +557,26 @@ pub fn scan_file(rel_path: &str, content: &str) -> Vec<Finding> {
                     flag(Rule::MetricsNameLiteral, idx, &prepared);
                     break;
                 }
+            }
+        }
+
+        // endpoint-path-literal: every route registration's first
+        // argument must start with a string literal.  The registration
+        // helper's own `fn http_route(path: …)` declaration is not a
+        // call site, so declarations (token before the match is `fn`)
+        // are exempt.
+        if let Some(at) = line.find(P_ENDPOINT_REGISTRATION) {
+            let before_ok = at == 0
+                || !line[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            let is_decl = line[..at].trim_end().ends_with("fn");
+            if before_ok
+                && !is_decl
+                && !first_arg_is_literal(&prepared.code, idx, at + P_ENDPOINT_REGISTRATION.len())
+            {
+                flag(Rule::EndpointPathLiteral, idx, &prepared);
             }
         }
 
@@ -808,6 +847,52 @@ mod tests {
         // Test modules are exempt (throwaway registries).
         let in_test = "#[cfg(test)]\nmod tests {\n    fn t(r: &R, n: &'static str) { r.gauge(n, \"h\"); }\n}\n";
         assert!(rules_fired("crates/x/src/a.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn endpoint_path_literal_requires_a_leading_string() {
+        let computed = format!(
+            "fn f(p: &'static str) {{ let _ = {}p, handler); }}\n",
+            P_ENDPOINT_REGISTRATION
+        );
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", &computed),
+            [Rule::EndpointPathLiteral]
+        );
+        let literal = format!(
+            "fn f() {{ let _ = {}\"/metrics\", handler); }}\n",
+            P_ENDPOINT_REGISTRATION
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &literal).is_empty());
+        // The helper's own declaration is not a call site.
+        let decl = format!(
+            "fn {}path: &'static str, handler: H) -> (&'static str, H) {{ (path, handler) }}\n",
+            P_ENDPOINT_REGISTRATION
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &decl).is_empty());
+        // `http_routes(` (different token) does not fire.
+        let plural = "fn f() { let _ = http_routes(); }\n";
+        assert!(rules_fired("crates/x/src/a.rs", plural).is_empty());
+        // Multi-line calls are covered, literal and computed alike.
+        let broken_literal = format!(
+            "fn f() {{\n    let _ = {}\n        \"/health\",\n        handler,\n    );\n}}\n",
+            P_ENDPOINT_REGISTRATION
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &broken_literal).is_empty());
+        let broken_computed = format!(
+            "fn f(p: &'static str) {{\n    let _ = {}\n        p,\n        handler,\n    );\n}}\n",
+            P_ENDPOINT_REGISTRATION
+        );
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", &broken_computed),
+            [Rule::EndpointPathLiteral]
+        );
+        // Test modules are exempt (throwaway route tables).
+        let in_test = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn t(p: &'static str) {{ let _ = {}p, handler); }}\n}}\n",
+            P_ENDPOINT_REGISTRATION
+        );
+        assert!(rules_fired("crates/x/src/a.rs", &in_test).is_empty());
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //!   this many percent slower than the identical untraced phase.  The
 //!   traced phase must also add zero sheds — observability is not
 //!   allowed to push the server into admission control.
+//! * `HJ_SAMPLER_MAX_OVERHEAD_PCT="2"` — fail when the scrape-under-load
+//!   phase (sampler thread on + `/metrics` and `/health` hammered over
+//!   HTTP for the whole closed loop) runs more than this many percent
+//!   slower than the identical phase with the sampler disabled and no
+//!   scraping.
 
 use crate::common::{banner, ExpContext};
 use datagen::{Relation, SmallRng};
@@ -73,6 +78,21 @@ const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Requests per client, per side, of the paired trace-overhead phase.
 const TRACE_REQS_PER_CLIENT: usize = 16;
+
+/// Requests per client, per side, of the paired sampler-overhead phase.
+const SAMPLER_REQS_PER_CLIENT: usize = 16;
+
+/// Sampler cadence of the sampled side of the sampler-overhead phase —
+/// deliberately brisker than the engine default so the phase actually
+/// exercises the snapshot path several times.
+const SAMPLER_PHASE_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Pause between `/metrics` + `/health` scrape pairs on the sampled
+/// side.  50 scrapes/sec is orders of magnitude hotter than any real
+/// collector (Prometheus defaults to one per 15 s) while keeping the
+/// scraper from degenerating into a busy-loop that measures CPU
+/// contention instead of exposition cost.
+const SCRAPE_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Outcome counters plus the latency histogram of one phase (or one
 /// sender's share of it).
@@ -146,6 +166,28 @@ fn send_one(
         }
         Err(_) => tally.errors += 1,
     }
+}
+
+/// One `GET` against the server's HTTP exposition listener; true when a
+/// complete `200` response came back.  Failures are tolerated (the server
+/// may be mid-shutdown when the scrape loop winds down) — callers count
+/// successes.
+fn scrape_ok(addr: SocketAddr, target: &str) -> bool {
+    use std::io::{Read, Write};
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(CLIENT_TIMEOUT)).is_err() {
+        return false;
+    }
+    if stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .is_err()
+    {
+        return false;
+    }
+    let mut body = String::new();
+    stream.read_to_string(&mut body).is_ok() && body.starts_with("HTTP/1.1 200")
 }
 
 /// Closed-loop saturation: [`SESSIONS`] clients back to back, each its own
@@ -361,6 +403,82 @@ pub fn serving(ctx: &mut ExpContext) {
         "the closed-loop trace phase must never push the server into shedding"
     );
 
+    // --- sampler overhead phase: the same closed-loop stream on a fresh
+    // engine+server pair per side — sampler off and unscraped vs sampler
+    // on with `/metrics` + `/health` hammered over HTTP throughout.  The
+    // sampler snapshots relaxed atomics off the hot path, so continuous
+    // profiling must cost ≈ nothing.
+    let run_sampled = |sampled: bool| -> f64 {
+        let config = EngineConfig::for_tuples(build.len(), probe.len())
+            .sessions(SESSIONS)
+            .queue_depth(256)
+            .sample_interval(if sampled {
+                SAMPLER_PHASE_INTERVAL
+            } else {
+                Duration::ZERO
+            });
+        let engine = JoinEngine::new(Box::new(NativeCpu::new()), config)
+            .expect("valid sampler-phase engine config");
+        let server_config = if sampled {
+            ServerConfig::default().http_addr("127.0.0.1:0")
+        } else {
+            ServerConfig::default()
+        };
+        let server =
+            JoinServer::start(Arc::new(engine), server_config).expect("sampler-phase server");
+        let addr = server.local_addr();
+        let http_addr = server.http_local_addr();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+
+        let elapsed = std::thread::scope(|scope| {
+            if let Some(http_addr) = http_addr {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut good = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        for target in ["/metrics", "/health"] {
+                            if scrape_ok(http_addr, target) {
+                                good += 1;
+                            }
+                        }
+                        std::thread::sleep(SCRAPE_INTERVAL);
+                    }
+                    assert!(good > 0, "the scrape loop must land at least one scrape");
+                });
+            }
+            let start = Instant::now();
+            std::thread::scope(|inner| {
+                for _ in 0..SESSIONS {
+                    inner.spawn(|| {
+                        let mut client = JoinClient::connect_timeout(addr, CLIENT_TIMEOUT)
+                            .expect("sampler-phase client connect");
+                        for _ in 0..SAMPLER_REQS_PER_CLIENT {
+                            client
+                                .join(request_for(&build, &probe))
+                                .expect("sampler-phase request");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed().as_secs_f64();
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            elapsed
+        });
+        drop(server); // graceful shutdown before the next side starts
+        elapsed
+    };
+    let mut unsampled_secs = f64::MAX;
+    let mut sampled_secs = f64::MAX;
+    for _ in 0..2 {
+        unsampled_secs = unsampled_secs.min(run_sampled(false));
+        sampled_secs = sampled_secs.min(run_sampled(true));
+    }
+    let sampler_overhead_pct = (sampled_secs / unsampled_secs.max(1e-9) - 1.0) * 100.0;
+    println!(
+        "sampler overhead: unsampled {unsampled_secs:.3}s vs sampled+scraped \
+         {sampled_secs:.3}s ({sampler_overhead_pct:+.2}%)"
+    );
+
     let stats = server.stats();
     println!(
         "server: {} served, {} shed (deadline {}, quota {}, queue {}, saturated {}), \
@@ -381,6 +499,7 @@ pub fn serving(ctx: &mut ExpContext) {
         probe.len(),
         sat_rps,
         trace_overhead_pct,
+        sampler_overhead_pct,
         &phases,
         &registry_metrics,
     );
@@ -462,6 +581,16 @@ pub fn serving(ctx: &mut ExpContext) {
             std::process::exit(1);
         }
     }
+    if let Some(cap) = crate::common::env_ratio_floor("HJ_SAMPLER_MAX_OVERHEAD_PCT") {
+        println!("gate: sampler overhead {sampler_overhead_pct:+.2}% vs cap {cap}%");
+        if sampler_overhead_pct > cap {
+            eprintln!(
+                "FAIL: the sampled+scraped closed loop is {sampler_overhead_pct:.2}% slower \
+                 than the unsampled one (HJ_SAMPLER_MAX_OVERHEAD_PCT={cap})"
+            );
+            std::process::exit(1);
+        }
+    }
     if std::env::var("HJ_SERVING_REQUIRE_SHED").is_ok_and(|v| v == "1") {
         let overload_shed: u64 = phases
             .iter()
@@ -485,6 +614,7 @@ fn render_json(
     probe_tuples: usize,
     sat_rps: f64,
     trace_overhead_pct: f64,
+    sampler_overhead_pct: f64,
     phases: &[Phase],
     registry_metrics: &str,
 ) -> String {
@@ -498,6 +628,9 @@ fn render_json(
     out.push_str(&format!("  \"saturation_rps\": {sat_rps:.1},\n"));
     out.push_str(&format!(
         "  \"trace_overhead_pct\": {trace_overhead_pct:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"sampler_overhead_pct\": {sampler_overhead_pct:.2},\n"
     ));
     out.push_str(&format!("  \"metrics\": {registry_metrics},\n"));
     out.push_str("  \"phases\": [\n");
@@ -552,11 +685,12 @@ mod tests {
                 tally: Tally::default(),
             },
         ];
-        let json = render_json(1000, 2000, 200.0, 1.25, &phases, "{\n  }");
+        let json = render_json(1000, 2000, 200.0, 1.25, 0.75, &phases, "{\n  }");
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert_eq!(json.matches("\"multiplier\"").count(), 2);
         assert!(json.contains("\"saturation_rps\": 200.0"));
         assert!(json.contains("\"trace_overhead_pct\": 1.25"));
+        assert!(json.contains("\"sampler_overhead_pct\": 0.75"));
         assert!(json.contains("\"metrics\": {\n  },"));
         // One comma between the two phase rows, one after the metrics blob.
         assert_eq!(json.matches("},\n").count(), 2);

@@ -59,15 +59,16 @@ use datagen::Relation;
 use hj_adaptive::{AdaptiveConfig, RatioTuner, SeriesKind};
 use hj_analysis::sync::{Condvar, Mutex};
 use hj_metrics::{
-    AtomicHistogram, Counter, Gauge, JoinTrace, LatencyHistogram, MetricsRegistry, TraceBuffer,
-    TraceEvent, TraceEventKind,
+    AtomicHistogram, Counter, Gauge, HealthConfig, HealthMonitor, HealthObservation, HealthReport,
+    JoinTrace, LatencyHistogram, MetricsRegistry, SlowJoinRecord, SlowLog, TimePoint,
+    TimeSeriesRing, TraceBuffer, TraceEvent, TraceEventKind,
 };
 use hj_spill::{MemoryBroker, SpillConfig, SpillManager};
 use mem_alloc::{AllocatorKind, KernelAllocator};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Tuning policy
@@ -1089,6 +1090,18 @@ impl ExecBackend for NativeCpu {
 /// Default capacity (events) of the engine's structured-trace ring.
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
 
+/// Default interval between the background sampler's registry snapshots.
+pub const DEFAULT_SAMPLE_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Default capacity (points) of the engine's time-series ring.
+pub const DEFAULT_TIMESERIES_CAPACITY: usize = 256;
+
+/// Default wall-clock threshold past which a join lands in the slow-log.
+pub const DEFAULT_SLOW_JOIN_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Default capacity (records) of the engine's slow-join log.
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 64;
+
 /// Sizing, allocator and concurrency policy of a [`JoinEngine`]'s session
 /// pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -1135,6 +1148,22 @@ pub struct EngineConfig {
     /// never blocks a worker, it only increments the dropped-events
     /// counter — so a tiny capacity is safe (it is clamped to at least 1).
     pub trace_capacity: usize,
+    /// Interval between the background sampler's registry snapshots into
+    /// the engine's time-series ring ([`JoinEngine::time_series`]).
+    /// `Duration::ZERO` disables the sampler thread entirely; sampling can
+    /// still be driven explicitly via [`JoinEngine::sample_now`].
+    pub sample_interval: Duration,
+    /// Capacity (points) of the time-series ring (drop-oldest; clamped to
+    /// at least 2 — one point derives no rates).
+    pub timeseries_capacity: usize,
+    /// Wall-clock threshold past which a completed join is retained in the
+    /// slow-log ([`JoinEngine::slow_log`]) with its full flight-recorder
+    /// trace, *even when the request was built with `trace(false)`*.
+    /// `Duration::ZERO` disables slow-join retention.
+    pub slow_join_threshold: Duration,
+    /// Capacity (records) of the slow-join log (drop-oldest; clamped to at
+    /// least 1).
+    pub slowlog_capacity: usize,
 }
 
 impl EngineConfig {
@@ -1152,6 +1181,10 @@ impl EngineConfig {
             tuning: Tuning::Static,
             memory_budget: None,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
+            timeseries_capacity: DEFAULT_TIMESERIES_CAPACITY,
+            slow_join_threshold: DEFAULT_SLOW_JOIN_THRESHOLD,
+            slowlog_capacity: DEFAULT_SLOWLOG_CAPACITY,
         }
     }
 
@@ -1221,6 +1254,32 @@ impl EngineConfig {
     /// [`trace_capacity`](Self::trace_capacity).
     pub fn trace_capacity(mut self, events: usize) -> Self {
         self.trace_capacity = events;
+        self
+    }
+
+    /// Sets the background sampler's snapshot interval
+    /// (`Duration::ZERO` disables the sampler thread).
+    pub fn sample_interval(mut self, interval: Duration) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+
+    /// Sizes the time-series ring (points; clamped to at least 2).
+    pub fn timeseries_capacity(mut self, points: usize) -> Self {
+        self.timeseries_capacity = points;
+        self
+    }
+
+    /// Sets the slow-join retention threshold (`Duration::ZERO` disables
+    /// the slow-log).
+    pub fn slow_join_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_join_threshold = threshold;
+        self
+    }
+
+    /// Sizes the slow-join log (records; clamped to at least 1).
+    pub fn slowlog_capacity(mut self, records: usize) -> Self {
+        self.slowlog_capacity = records;
         self
     }
 
@@ -1315,6 +1374,20 @@ pub struct EngineStats {
     /// indexed by the stealing worker (a subset of
     /// [`per_worker_tasks`](Self::per_worker_tasks)).
     pub per_worker_steals: Vec<u64>,
+    /// Wall-clock nanoseconds each pool worker spent executing tasks,
+    /// indexed by worker (all zeros while the pool has not spawned).
+    pub per_worker_busy_ns: Vec<u64>,
+    /// Wall-clock nanoseconds each pool worker spent parked waiting for
+    /// work, indexed by worker.
+    pub per_worker_park_ns: Vec<u64>,
+    /// Busy fraction of the worker pool over its lifetime —
+    /// `busy / (busy + park)` — `None` while the pool reported no wall
+    /// time.  The *windowed* equivalent lives in
+    /// [`hj_metrics::WindowRates::worker_utilization`].
+    pub worker_utilization: Option<f64>,
+    /// Joins that exceeded [`EngineConfig::slow_join_threshold`] and were
+    /// retained in the slow-log.
+    pub slow_joins: u64,
     /// Requests that ran with [`Tuning::Adaptive`] (and a tunable scheme).
     pub adaptive_requests: u64,
     /// Ratio re-plans the adaptive tuner performed across all requests.
@@ -1420,7 +1493,9 @@ struct StatsInner {
 /// The engine's registered metric handles: every name is a static literal
 /// (enforced by the `metrics-name-literal` hj-lint rule and catalogued in
 /// `docs/OBSERVABILITY.md`), registered once at construction; hot paths
-/// touch only the returned atomics.
+/// touch only the returned atomics.  Cloning clones the `Arc` handles, not
+/// the metrics — the sampler thread holds a clone.
+#[derive(Clone)]
 struct EngineMetrics {
     requests_served: Arc<Counter>,
     requests_failed: Arc<Counter>,
@@ -1444,6 +1519,18 @@ struct EngineMetrics {
     /// Synced from the worker pool at snapshot time, per worker.
     worker_tasks: Vec<Arc<Gauge>>,
     worker_steals: Vec<Arc<Gauge>>,
+    worker_busy: Vec<Arc<Gauge>>,
+    worker_park: Vec<Arc<Gauge>>,
+    /// Pool-wide busy fraction in permille, synced with the busy/park
+    /// gauges above.
+    worker_utilization: Arc<Gauge>,
+    /// Joins retained in the slow-log.
+    slow_joins: Arc<Counter>,
+    /// Snapshots the background sampler (or `sample_now`) has taken.
+    samples: Arc<Counter>,
+    /// The health monitor's assessed state (0 healthy / 1 degraded /
+    /// 2 saturated), set on every sample.
+    health_state: Arc<Gauge>,
     /// Synced from the hash-table cache at snapshot time.
     cache_bytes: Arc<Gauge>,
     cache_entries: Arc<Gauge>,
@@ -1548,6 +1635,40 @@ impl EngineMetrics {
                     )
                 })
                 .collect(),
+            worker_busy: (0..workers)
+                .map(|w| {
+                    registry.gauge_with(
+                        "hj_pipeline_worker_busy_ns",
+                        &[("worker", w.to_string())],
+                        "Wall-clock nanoseconds this pool worker spent executing tasks",
+                    )
+                })
+                .collect(),
+            worker_park: (0..workers)
+                .map(|w| {
+                    registry.gauge_with(
+                        "hj_pipeline_worker_park_ns",
+                        &[("worker", w.to_string())],
+                        "Wall-clock nanoseconds this pool worker spent parked waiting for work",
+                    )
+                })
+                .collect(),
+            worker_utilization: registry.gauge(
+                "hj_pipeline_worker_utilization_permille",
+                "Pool-wide busy fraction, busy/(busy+park), in permille",
+            ),
+            slow_joins: registry.counter(
+                "hj_engine_slow_joins_total",
+                "Joins that exceeded the slow-join threshold and were retained in the slow-log",
+            ),
+            samples: registry.counter(
+                "hj_sampler_samples_total",
+                "Registry snapshots the time-series sampler has taken",
+            ),
+            health_state: registry.gauge(
+                "hj_health_state",
+                "Assessed health state: 0 healthy, 1 degraded, 2 saturated",
+            ),
             cache_bytes: registry.gauge(
                 "hj_cache_resident_bytes",
                 "Bytes the cached hash tables currently keep resident",
@@ -1557,6 +1678,115 @@ impl EngineMetrics {
                 "hj_trace_events_dropped_total",
                 "Events the structured-trace ring dropped (oldest-first) since engine start",
             ),
+        }
+    }
+}
+
+/// Everything the background sampler needs, cloneable into its thread so
+/// the thread never holds (and can never cycle with) the engine itself:
+/// shared `Arc` handles on the registry, the time-series ring, the health
+/// monitor, the worker pool and the engine's gauge handles.
+#[derive(Clone)]
+struct SamplerShared {
+    registry: Arc<MetricsRegistry>,
+    timeseries: Arc<TimeSeriesRing>,
+    health: Arc<HealthMonitor>,
+    workers: SharedWorkerPool,
+    tracer: Arc<TraceBuffer>,
+    metrics: EngineMetrics,
+}
+
+impl SamplerShared {
+    /// Takes one sample: syncs the pool-derived gauges, snapshots the
+    /// registry into the ring, and feeds the freshest window's rates to
+    /// the health monitor.  Touches only atomics and the two short
+    /// observability locks — never the engine's session pool or stats.
+    fn sample_once(&self) {
+        if let Some(pool) = self.workers.spawned() {
+            for (gauge, value) in self.metrics.worker_tasks.iter().zip(pool.tasks_executed()) {
+                gauge.set(value);
+            }
+            for (gauge, value) in self.metrics.worker_steals.iter().zip(pool.tasks_stolen()) {
+                gauge.set(value);
+            }
+            let busy = pool.busy_ns();
+            let park = pool.park_ns();
+            for (gauge, value) in self.metrics.worker_busy.iter().zip(busy.iter()) {
+                gauge.set(*value);
+            }
+            for (gauge, value) in self.metrics.worker_park.iter().zip(park.iter()) {
+                gauge.set(*value);
+            }
+            let total_busy: u64 = busy.iter().sum();
+            let total_park: u64 = park.iter().sum();
+            if total_busy + total_park > 0 {
+                let permille = total_busy as f64 / (total_busy + total_park) as f64 * 1000.0;
+                self.metrics.worker_utilization.set(permille as u64);
+            }
+        }
+        self.metrics.trace_dropped.set(self.tracer.dropped_events());
+        let at_ns = self.tracer.now_ns();
+        self.timeseries.push(TimePoint {
+            at_ns,
+            samples: self.registry.snapshot(),
+        });
+        self.metrics.samples.inc();
+        // Judge the freshest window (the two newest points) so the health
+        // verdict reacts at sampler cadence, not over the whole ring.
+        if let Some(rates) = self.timeseries.rates_over_last(2) {
+            let report = self.health.observe(HealthObservation {
+                at_ns,
+                joins_per_sec: rates.joins_per_sec,
+                shed_ratio: rates.shed_ratio,
+                queue_wait_p99_ns: rates.queue_wait.quantile_ns(0.99),
+                reclaim_bytes_per_sec: rates.reclaim_bytes_per_sec,
+                worker_utilization: rates.worker_utilization,
+            });
+            self.metrics.health_state.set(report.state.level() as u64);
+        }
+    }
+}
+
+/// The sampler thread's loop: sample every `interval`, parked in between.
+/// Shutdown is a flag + unpark (no extra lock class); spurious unparks
+/// just re-check the deadline.
+fn sampler_loop(shared: SamplerShared, stop: Arc<AtomicBool>, interval: Duration) {
+    let mut next_deadline = Instant::now() + interval;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        if now < next_deadline {
+            std::thread::park_timeout(next_deadline - now);
+            continue;
+        }
+        shared.sample_once();
+        next_deadline = now + interval;
+    }
+}
+
+/// The engine's handle on its sampler thread (absent when
+/// [`EngineConfig::sample_interval`] is zero), joined on engine drop.
+#[must_use = "dropping the handle without shutdown() leaks the sampler thread"]
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    fn disabled() -> Self {
+        SamplerHandle {
+            stop: Arc::new(AtomicBool::new(false)),
+            thread: None,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            let _ = thread.join();
         }
     }
 }
@@ -1621,6 +1851,20 @@ pub struct JoinEngine {
     /// The engine-wide structured-trace ring (drop-oldest, bounded by
     /// [`EngineConfig::trace_capacity`]).
     tracer: Arc<TraceBuffer>,
+    /// The time-series ring the background sampler pushes registry
+    /// snapshots into ([`EngineConfig::sample_interval`]).
+    timeseries: Arc<TimeSeriesRing>,
+    /// Classifies each sample's windowed rates into the engine's health
+    /// state, with hysteresis.
+    health: Arc<HealthMonitor>,
+    /// Joins that breached [`EngineConfig::slow_join_threshold`], each with
+    /// its retroactively-assembled flight-recorder trace.
+    slow_log: Arc<SlowLog>,
+    /// Everything the sampler reads, kept on the engine too so
+    /// [`sample_now`](Self::sample_now) can take deterministic samples.
+    sampler_shared: SamplerShared,
+    /// The sampler thread, joined on drop.
+    sampler: SamplerHandle,
     arena_capacity: usize,
     started: Instant,
 }
@@ -1632,6 +1876,14 @@ impl std::fmt::Debug for JoinEngine {
             .field("config", &self.config)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
+    }
+}
+
+impl Drop for JoinEngine {
+    /// Stops and joins the sampler thread (the worker pool joins itself via
+    /// its own `Drop`): an engine drop leaks no threads.
+    fn drop(&mut self) {
+        self.sampler.shutdown();
     }
 }
 
@@ -1662,6 +1914,34 @@ impl JoinEngine {
         // The arenas provisioned just above are lifetime allocations too.
         metrics.arenas_created.add(config.sessions as u64);
         let tracer = Arc::new(TraceBuffer::new(config.trace_capacity));
+        let workers = SharedWorkerPool::new(config.effective_worker_threads());
+        let sampler_shared = SamplerShared {
+            registry: Arc::clone(&metrics_registry),
+            timeseries: Arc::new(TimeSeriesRing::new(config.timeseries_capacity)),
+            health: Arc::new(HealthMonitor::new(HealthConfig::default())),
+            workers: workers.clone(),
+            tracer: Arc::clone(&tracer),
+            metrics: metrics.clone(),
+        };
+        let sampler = if config.sample_interval > Duration::ZERO {
+            let stop = Arc::new(AtomicBool::new(false));
+            let shared = sampler_shared.clone();
+            let flag = Arc::clone(&stop);
+            let interval = config.sample_interval;
+            // The sampler is the engine's own background thread, joined
+            // by the engine's Drop just like the worker pool's threads.
+            // hj-lint: allow(raw-spawn)
+            let thread = std::thread::Builder::new()
+                .name("hj-sampler".to_string())
+                .spawn(move || sampler_loop(shared, flag, interval))
+                .expect("failed to spawn sampler thread");
+            SamplerHandle {
+                stop,
+                thread: Some(thread),
+            }
+        } else {
+            SamplerHandle::disabled()
+        };
         Ok(JoinEngine {
             backend,
             pool: Mutex::new(
@@ -1680,7 +1960,7 @@ impl JoinEngine {
                     ..StatsInner::default()
                 },
             ),
-            workers: SharedWorkerPool::new(config.effective_worker_threads()),
+            workers,
             cache: HashTableCache::new(
                 broker.clone(),
                 crate::cached::CacheMetrics::register(&metrics_registry),
@@ -1692,6 +1972,11 @@ impl JoinEngine {
             metrics_registry,
             metrics,
             tracer,
+            timeseries: Arc::clone(&sampler_shared.timeseries),
+            health: Arc::clone(&sampler_shared.health),
+            slow_log: Arc::new(SlowLog::new(config.slowlog_capacity)),
+            sampler_shared,
+            sampler,
             arena_capacity: capacity,
             started: Instant::now(),
             config,
@@ -1769,6 +2054,41 @@ impl JoinEngine {
         &self.tracer
     }
 
+    /// The time-series ring of registry snapshots the background sampler
+    /// maintains (every [`EngineConfig::sample_interval`]); windowed rates
+    /// come from [`hj_metrics::TimeSeriesRing::window_rates`].
+    pub fn time_series(&self) -> &Arc<TimeSeriesRing> {
+        &self.timeseries
+    }
+
+    /// The engine's health monitor (thresholds + hysteresis state).
+    pub fn health_monitor(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
+    /// The most recent health verdict — what the serving layer's
+    /// `GET /health` endpoint renders.  Defaults to `Healthy` before the
+    /// first sample.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
+    }
+
+    /// The slow-join log: joins that exceeded
+    /// [`EngineConfig::slow_join_threshold`], each retaining its full
+    /// flight-recorder trace even when submitted with `trace(false)`.
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.slow_log
+    }
+
+    /// Takes one sampler tick synchronously: syncs the derived gauges,
+    /// snapshots the registry into the time-series ring and feeds the
+    /// health monitor — exactly what the background thread does each
+    /// interval, but deterministic (tests drive this instead of sleeping).
+    pub fn sample_now(&self) {
+        self.sync_derived_metrics();
+        self.sampler_shared.sample_once();
+    }
+
     /// Renders every registered metric as a Prometheus text-format
     /// snapshot, after syncing the gauges that mirror lock-held or
     /// subsystem-owned state (in-flight, per-worker tasks/steals, cache
@@ -1796,6 +2116,20 @@ impl JoinEngine {
             }
             for (gauge, value) in self.metrics.worker_steals.iter().zip(pool.tasks_stolen()) {
                 gauge.set(value);
+            }
+            let busy = pool.busy_ns();
+            let park = pool.park_ns();
+            for (gauge, value) in self.metrics.worker_busy.iter().zip(busy.iter()) {
+                gauge.set(*value);
+            }
+            for (gauge, value) in self.metrics.worker_park.iter().zip(park.iter()) {
+                gauge.set(*value);
+            }
+            let total_busy: u64 = busy.iter().sum();
+            let total_park: u64 = park.iter().sum();
+            if total_busy + total_park > 0 {
+                let permille = total_busy as f64 / (total_busy + total_park) as f64 * 1000.0;
+                self.metrics.worker_utilization.set(permille as u64);
             }
         }
         let cache = self.cache.stats();
@@ -1876,6 +2210,20 @@ impl JoinEngine {
                 Some(pool) => pool.tasks_stolen(),
                 None => vec![0; self.workers.configured_workers()],
             },
+            per_worker_busy_ns: match self.workers.spawned() {
+                Some(pool) => pool.busy_ns(),
+                None => vec![0; self.workers.configured_workers()],
+            },
+            per_worker_park_ns: match self.workers.spawned() {
+                Some(pool) => pool.park_ns(),
+                None => vec![0; self.workers.configured_workers()],
+            },
+            worker_utilization: self.workers.spawned().and_then(|pool| {
+                let busy: u64 = pool.busy_ns().iter().sum();
+                let park: u64 = pool.park_ns().iter().sum();
+                (busy + park > 0).then(|| busy as f64 / (busy + park) as f64)
+            }),
+            slow_joins: self.metrics.slow_joins.get(),
             joins_per_sec: if elapsed > 0.0 {
                 requests_served as f64 / elapsed
             } else {
@@ -2091,7 +2439,15 @@ impl JoinEngine {
             label: "join",
             value: wall_ns,
         });
-        if request.trace_enabled() {
+        // The slow-log retains the flight recorder retroactively: the trace
+        // is assembled from data the join already produced, so a join that
+        // breached the threshold gets a full trace even when the request
+        // was built with `trace(false)`.  The outcome only carries a trace
+        // when the caller opted in — traced and untraced runs stay
+        // byte-identical.
+        let threshold_ns = self.config.slow_join_threshold.as_nanos() as u64;
+        let slow = threshold_ns > 0 && wall_ns >= threshold_ns;
+        if slow || request.trace_enabled() {
             let dropped = self.tracer.dropped_events().saturating_sub(dropped_before);
             let mut trace = assemble_join_trace(outcome, start_ns, wall_ns, dropped);
             if let Some(table) = cached_table {
@@ -2103,7 +2459,21 @@ impl JoinEngine {
                     table.id,
                 );
             }
-            outcome.trace = Some(trace);
+            if slow {
+                self.metrics.slow_joins.inc();
+                self.slow_log.push(SlowJoinRecord {
+                    at_ns: end_ns,
+                    wall_ns,
+                    threshold_ns,
+                    session_id: session_id as u64,
+                    matches: outcome.matches,
+                    traced: request.trace_enabled(),
+                    trace: trace.clone(),
+                });
+            }
+            if request.trace_enabled() {
+                outcome.trace = Some(trace);
+            }
         }
     }
 

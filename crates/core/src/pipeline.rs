@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default morsel size in tuples (~64 K, a few hundred KB of tuple data —
 /// large enough to amortise dispatch, small enough to load-balance).
@@ -288,6 +289,12 @@ struct PoolShared {
     /// Per-worker lifetime steal counters (tasks taken from a *victim's*
     /// deque), indexed by the stealing worker.
     tasks_stolen: Vec<AtomicU64>,
+    /// Per-worker wall-clock nanoseconds spent *executing* tasks — the
+    /// numerator of the utilization gauge the sampler derives.
+    busy_ns: Vec<AtomicU64>,
+    /// Per-worker wall-clock nanoseconds spent parked waiting for work —
+    /// the idle side of the utilization window.
+    park_ns: Vec<AtomicU64>,
     /// Workers currently alive; reaches zero only after every worker thread
     /// has exited its loop.
     live_workers: Arc<AtomicUsize>,
@@ -341,6 +348,7 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             // Relaxed: a pure telemetry counter — nothing branches on it,
             // and a stats snapshot may lag in-flight tasks by design.
             shared.tasks_executed[me].fetch_add(1, Ordering::Relaxed);
+            let busy_started = Instant::now();
             let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 // SAFETY: the pointee is a Sync closure owned by the
                 // submitting frame, which stays alive until this task's
@@ -350,6 +358,10 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
                 unsafe { (*task.job.run)(me, task.index) }
             }))
             .err();
+            // Relaxed telemetry: busy wall-time feeds the utilization
+            // gauge; a lagging snapshot is fine.
+            shared.busy_ns[me]
+                .fetch_add(busy_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
             task.job.complete_one(panic);
             continue;
         }
@@ -365,7 +377,10 @@ fn worker_loop(shared: Arc<PoolShared>, me: usize) {
             if shared.pending.load(Ordering::Acquire) > 0 {
                 break;
             }
+            let park_started = Instant::now();
             guard = shared.work_ready.wait(guard);
+            shared.park_ns[me]
+                .fetch_add(park_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -421,6 +436,8 @@ impl WorkerPool {
             shutdown: AtomicBool::new(false),
             tasks_executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             tasks_stolen: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            park_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             live_workers: Arc::clone(&live_workers),
             next_deque: AtomicUsize::new(0),
         });
@@ -470,6 +487,28 @@ impl WorkerPool {
             .tasks_stolen
             .iter()
             .map(|count| count.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Lifetime wall-clock nanoseconds each worker spent executing tasks,
+    /// indexed by worker.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.shared
+            .busy_ns
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Lifetime wall-clock nanoseconds each worker spent parked waiting
+    /// for work, indexed by worker.  Busy + park does not sum to the
+    /// pool's lifetime: the short pop/steal scans between the two are
+    /// deliberately unattributed.
+    pub fn park_ns(&self) -> Vec<u64> {
+        self.shared
+            .park_ns
+            .iter()
+            .map(|ns| ns.load(Ordering::Relaxed))
             .collect()
     }
 
@@ -600,9 +639,15 @@ impl WorkerPool {
 ///
 /// The engine owns one of these per instance: simulator-only engines never
 /// touch it and therefore never spawn a thread, while the first native
-/// execution materialises the full pool exactly once.  Dropping the holder
-/// joins the workers if they were ever spawned.
+/// execution materialises the full pool exactly once.  Handles are cheap
+/// clones over a shared inner cell (the sampler thread holds one), and the
+/// workers are joined when the *last* handle drops.
+#[derive(Clone)]
 pub struct SharedWorkerPool {
+    inner: Arc<SharedPoolInner>,
+}
+
+struct SharedPoolInner {
     size: usize,
     cell: std::sync::OnceLock<WorkerPool>,
 }
@@ -610,8 +655,8 @@ pub struct SharedWorkerPool {
 impl std::fmt::Debug for SharedWorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedWorkerPool")
-            .field("size", &self.size)
-            .field("spawned", &self.cell.get().is_some())
+            .field("size", &self.inner.size)
+            .field("spawned", &self.inner.cell.get().is_some())
             .finish()
     }
 }
@@ -620,24 +665,28 @@ impl SharedWorkerPool {
     /// A holder that will spawn `size` workers (at least one) on first use.
     pub fn new(size: usize) -> Self {
         SharedWorkerPool {
-            size: size.max(1),
-            cell: std::sync::OnceLock::new(),
+            inner: Arc::new(SharedPoolInner {
+                size: size.max(1),
+                cell: std::sync::OnceLock::new(),
+            }),
         }
     }
 
     /// The worker count the pool is (or will be) provisioned with.
     pub fn configured_workers(&self) -> usize {
-        self.size
+        self.inner.size
     }
 
     /// The pool, spawning its workers on the first call.
     pub fn get(&self) -> &WorkerPool {
-        self.cell.get_or_init(|| WorkerPool::new(self.size))
+        self.inner
+            .cell
+            .get_or_init(|| WorkerPool::new(self.inner.size))
     }
 
     /// The pool if its workers were ever spawned.
     pub fn spawned(&self) -> Option<&WorkerPool> {
-        self.cell.get()
+        self.inner.cell.get()
     }
 }
 

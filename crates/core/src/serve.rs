@@ -75,7 +75,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Sizing and policy knobs of one [`JoinServer`].
 #[derive(Debug, Clone)]
@@ -97,6 +97,11 @@ pub struct ServerConfig {
     pub batch_max_tuples: usize,
     /// Background dispatcher threads draining the batch queue.
     pub dispatchers: usize,
+    /// Bind address of the HTTP observability listener (`GET /metrics`,
+    /// `GET /health`, `GET /debug/slowlog`); `None` (the default) serves no
+    /// HTTP.  Use `127.0.0.1:0` for a free loopback port and read it back
+    /// with [`JoinServer::http_local_addr`].
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +114,7 @@ impl Default for ServerConfig {
             batch_max_requests: 8,
             batch_max_tuples: 8 * 1024,
             dispatchers: 1,
+            http_addr: None,
         }
     }
 }
@@ -130,6 +136,12 @@ impl ServerConfig {
     pub fn batching(mut self, max_requests: usize, max_tuples: usize) -> Self {
         self.batch_max_requests = max_requests;
         self.batch_max_tuples = max_tuples;
+        self
+    }
+
+    /// Enables the HTTP observability listener on `addr`.
+    pub fn http_addr(mut self, addr: impl Into<String>) -> Self {
+        self.http_addr = Some(addr.into());
         self
     }
 
@@ -193,6 +205,12 @@ pub struct ServerStats {
     pub request_latency: LatencyHistogram,
     /// Connection handler threads currently alive (0 after shutdown).
     pub live_handlers: usize,
+    /// HTTP requests served through the observability route table (any
+    /// status, including a 503 `/health`).
+    pub http_requests: u64,
+    /// HTTP requests answered with a 4xx (bad verb, malformed or oversized
+    /// request line, unknown or traversal path).
+    pub http_bad_requests: u64,
 }
 
 #[derive(Debug, Default)]
@@ -213,6 +231,8 @@ struct StatsInner {
     batched_requests: u64,
     protocol_errors: u64,
     request_latency: LatencyHistogram,
+    http_requests: u64,
+    http_bad_requests: u64,
 }
 
 /// What a batch dispatcher leaves in a waiting handler's slot.
@@ -299,6 +319,9 @@ struct WireMetrics {
     sheds: [Arc<Counter>; 4],
     /// Well-formed client frames by type, indexed by the `FRAME_*` consts.
     frames: [Arc<Counter>; 4],
+    /// HTTP scrapes served with a 200, by route, indexed like
+    /// [`HTTP_ROUTES`].
+    http: [Arc<Counter>; 3],
 }
 
 impl WireMetrics {
@@ -317,6 +340,13 @@ impl WireMetrics {
                 "Well-formed client frames received, by frame type",
             )
         };
+        let http = |path: &str| {
+            registry.counter_with(
+                "hj_http_requests_total",
+                &[("path", path.to_string())],
+                "HTTP scrapes served with a 200, by route",
+            )
+        };
         WireMetrics {
             sheds: [
                 shed(ShedReason::Deadline),
@@ -330,6 +360,7 @@ impl WireMetrics {
                 frame("table-ref"),
                 frame("metrics"),
             ],
+            http: [http("/metrics"), http("/health"), http("/debug/slowlog")],
         }
     }
 }
@@ -369,6 +400,10 @@ pub struct JoinServer {
     shared: Arc<ServerShared>,
     addr: SocketAddr,
     listener_thread: Option<JoinHandle<()>>,
+    /// The HTTP observability listener, when [`ServerConfig::http_addr`]
+    /// enabled one.
+    http_addr: Option<SocketAddr>,
+    http_listener_thread: Option<JoinHandle<()>>,
     dispatcher_threads: Vec<JoinHandle<()>>,
     done: bool,
 }
@@ -438,10 +473,32 @@ impl JoinServer {
                 .expect("spawn accept loop")
         };
 
+        let (http_addr, http_listener_thread) = match &shared.config.http_addr {
+            Some(bind) => {
+                let http_listener = TcpListener::bind(bind).map_err(|e| {
+                    JoinError::InvalidConfig(format!("cannot bind HTTP listener {bind}: {e}"))
+                })?;
+                let http_addr = http_listener.local_addr().map_err(|e| {
+                    JoinError::InvalidConfig(format!("cannot resolve the HTTP address: {e}"))
+                })?;
+                let thread = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("hj-serve-http".to_string())
+                        .spawn(move || http_accept_loop(&shared, http_listener))
+                        .expect("spawn HTTP accept loop")
+                };
+                (Some(http_addr), Some(thread))
+            }
+            None => (None, None),
+        };
+
         Ok(JoinServer {
             shared,
             addr,
             listener_thread: Some(listener_thread),
+            http_addr,
+            http_listener_thread,
             dispatcher_threads,
             done: false,
         })
@@ -450,6 +507,12 @@ impl JoinServer {
     /// The address the server actually bound (resolves the `:0` port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The address of the HTTP observability listener, when
+    /// [`ServerConfig::http_addr`] enabled one.
+    pub fn http_local_addr(&self) -> Option<SocketAddr> {
+        self.http_addr
     }
 
     /// A point-in-time snapshot of the serving counters.
@@ -473,6 +536,8 @@ impl JoinServer {
             protocol_errors: inner.protocol_errors,
             request_latency: inner.request_latency,
             live_handlers: self.shared.live_handlers.load(Ordering::SeqCst),
+            http_requests: inner.http_requests,
+            http_bad_requests: inner.http_bad_requests,
         }
     }
 
@@ -499,11 +564,17 @@ impl JoinServer {
         self.done = true;
         self.shared.shutting_down.store(true, Ordering::SeqCst);
 
-        // Wake the accept loop with a throwaway connection so it observes
-        // the flag, then retire it — from here on the OS refuses new
-        // connections outright (the listener is closed).
+        // Wake the accept loops with a throwaway connection each so they
+        // observe the flag, then retire them — from here on the OS refuses
+        // new connections outright (the listeners are closed).
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.listener_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(http_addr) = self.http_addr {
+            let _ = TcpStream::connect(http_addr);
+        }
+        if let Some(handle) = self.http_listener_thread.take() {
             let _ = handle.join();
         }
 
@@ -659,6 +730,260 @@ fn close_on_protocol_error(shared: &Arc<ServerShared>, stream: &mut TcpStream, e
     };
     let mut w = BufWriter::new(stream);
     let _ = write_frame(&mut w, FrameType::Error, &failure.encode());
+}
+
+// ---------------------------------------------------------------------------
+// HTTP observability listener
+// ---------------------------------------------------------------------------
+
+/// High bit marking HTTP connection ids in `ServerShared::conns`, so they
+/// can never collide with frame-protocol client ids.
+const HTTP_CLIENT_BIT: u64 = 1 << 63;
+
+/// Ceiling on an HTTP request line; anything longer gets a 414.
+const HTTP_MAX_REQUEST_LINE: usize = 1024;
+
+/// Ceiling on a whole request head; a head that never terminates inside
+/// this many bytes is malformed (400) — a scraper cannot balloon memory.
+const HTTP_MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One route handler of the observability listener: shared state in, a
+/// complete response out.
+type HttpHandler = fn(&Arc<ServerShared>) -> HttpResponse;
+
+/// Builds one dispatch-table entry.  The `endpoint-path-literal` hj-lint
+/// rule enforces that every call site passes a `&'static str` *literal* —
+/// computed route paths never reach the table.
+fn http_route(path: &'static str, handler: HttpHandler) -> (&'static str, HttpHandler) {
+    (path, handler)
+}
+
+/// The observability listener's single dispatch table.
+fn http_routes() -> [(&'static str, HttpHandler); 3] {
+    [
+        http_route("/metrics", http_metrics),
+        http_route("/health", http_health),
+        http_route("/debug/slowlog", http_slowlog),
+    ]
+}
+
+/// One response of the observability listener, always `Connection: close`.
+struct HttpResponse {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl HttpResponse {
+    fn text(status: u16, reason: &'static str, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+}
+
+/// `GET /metrics`: the engine's whole registry (serving-layer families
+/// included) as Prometheus exposition text, scrapable by stock Prometheus.
+fn http_metrics(shared: &Arc<ServerShared>) -> HttpResponse {
+    HttpResponse {
+        status: 200,
+        reason: "OK",
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: shared.engine.render_metrics(),
+    }
+}
+
+/// `GET /health`: the latest [`hj_metrics::HealthReport`] as JSON — 200
+/// while `Healthy`/`Degraded` (still serving), 503 once `Saturated`.
+fn http_health(shared: &Arc<ServerShared>) -> HttpResponse {
+    let report = shared.engine.health();
+    let (status, reason) = if report.is_serving() {
+        (200, "OK")
+    } else {
+        (503, "Service Unavailable")
+    };
+    HttpResponse {
+        status,
+        reason,
+        content_type: "application/json",
+        body: report.render_json(),
+    }
+}
+
+/// `GET /debug/slowlog`: the slow-join log as a text dump, one header per
+/// record followed by its rendered flight-recorder trace.
+fn http_slowlog(shared: &Arc<ServerShared>) -> HttpResponse {
+    HttpResponse::text(200, "OK", shared.engine.slow_log().render())
+}
+
+/// Accepts HTTP scrape connections, mirroring the frame server's accept
+/// loop: handler threads register in `shared.handlers`, stream clones in
+/// `shared.conns` (under [`HTTP_CLIENT_BIT`] ids), and shutdown wakes the
+/// loop with a self-connect after flipping the flag.
+fn http_accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            shared.stats.lock().connections_refused += 1;
+            drop(stream);
+            break;
+        }
+        next_conn += 1;
+        let conn_id = HTTP_CLIENT_BIT | next_conn;
+        // Bound how long a silent scraper can pin its handler thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().push((conn_id, clone));
+        }
+        shared.live_handlers.fetch_add(1, Ordering::SeqCst);
+        let handler_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("hj-serve-http-{next_conn}"))
+            .spawn(move || {
+                handle_http_connection(&handler_shared, stream);
+                handler_shared.conns.lock().retain(|(id, _)| *id != conn_id);
+                handler_shared.live_handlers.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn HTTP connection handler");
+        shared.handlers.lock().push(handle);
+    }
+}
+
+/// What reading a request head yielded.
+enum HeadRead {
+    /// A complete head (request line + headers), lossily decoded.
+    Head(String),
+    /// The head never terminated within [`HTTP_MAX_HEAD_BYTES`].
+    TooLarge,
+    /// The peer vanished (or timed out) before completing a head.
+    Gone,
+}
+
+/// Reads one request head (through the blank line), bounded by
+/// [`HTTP_MAX_HEAD_BYTES`].
+fn read_http_head(stream: &mut TcpStream) -> HeadRead {
+    use std::io::Read;
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        // Accept a bare-LF blank line too: hand-rolled probes send it.
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            return HeadRead::Head(String::from_utf8_lossy(&buf).into_owned());
+        }
+        if buf.len() > HTTP_MAX_HEAD_BYTES {
+            return HeadRead::TooLarge;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return HeadRead::Gone,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// Validates the request line and extracts the path.  `Err` carries the
+/// 4xx to answer with: bad verb → 405, oversized line → 414, traversal or
+/// anything malformed → 400.
+fn parse_http_request(head: &str) -> Result<&str, HttpResponse> {
+    let line = head.lines().next().unwrap_or("");
+    if line.len() > HTTP_MAX_REQUEST_LINE {
+        return Err(HttpResponse::text(
+            414,
+            "URI Too Long",
+            "request line too long\n".to_string(),
+        ));
+    }
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpResponse::text(
+            400,
+            "Bad Request",
+            "malformed request line\n".to_string(),
+        ));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(HttpResponse::text(
+            400,
+            "Bad Request",
+            "malformed request line\n".to_string(),
+        ));
+    }
+    if method != "GET" {
+        return Err(HttpResponse::text(
+            405,
+            "Method Not Allowed",
+            format!("method {method} not allowed; only GET is served\n"),
+        ));
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    if path.split('/').any(|segment| segment == "..") {
+        return Err(HttpResponse::text(
+            400,
+            "Bad Request",
+            "path traversal is not a thing here\n".to_string(),
+        ));
+    }
+    Ok(path)
+}
+
+/// Serves exactly one request per connection (`Connection: close`): read
+/// the head, dispatch through [`http_routes`], write the response.
+/// Malformed input gets a clean 4xx and a close — never a panic or hang.
+fn handle_http_connection(shared: &Arc<ServerShared>, mut stream: TcpStream) {
+    let response = match read_http_head(&mut stream) {
+        HeadRead::Gone => return,
+        HeadRead::TooLarge => {
+            HttpResponse::text(400, "Bad Request", "request head too large\n".to_string())
+        }
+        HeadRead::Head(head) => match parse_http_request(&head) {
+            Err(response) => response,
+            Ok(path) => {
+                let routes = http_routes();
+                match routes.iter().position(|(route, _)| *route == path) {
+                    Some(i) => {
+                        let response = (routes[i].1)(shared);
+                        shared.wire_metrics.http[i].inc();
+                        response
+                    }
+                    None => {
+                        HttpResponse::text(404, "Not Found", format!("no such route: {path}\n"))
+                    }
+                }
+            }
+        },
+    };
+    {
+        let mut stats = shared.stats.lock();
+        if (400..500).contains(&response.status) {
+            stats.http_bad_requests += 1;
+        } else {
+            stats.http_requests += 1;
+        }
+    }
+    write_http_response(&mut stream, &response);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Writes one complete HTTP/1.1 response, best-effort (the peer may have
+/// gone away; errors only end this connection).
+fn write_http_response(stream: &mut TcpStream, response: &HttpResponse) {
+    use std::io::Write;
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason,
+        response.content_type,
+        response.body.len()
+    );
+    let mut w = BufWriter::new(stream);
+    let _ = w.write_all(head.as_bytes());
+    let _ = w.write_all(response.body.as_bytes());
+    let _ = w.flush();
 }
 
 /// Serves one decoded request end to end.  `Err` means the *connection* is

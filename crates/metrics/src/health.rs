@@ -1,0 +1,430 @@
+//! Health assessment: a typed verdict derived from windowed rates, with
+//! hysteresis so the reported state does not flap on a single noisy window.
+//!
+//! The engine's sampler feeds one [`HealthObservation`] per sample into
+//! [`HealthMonitor::observe`]; the monitor classifies it as
+//! `Healthy`/`Degraded`/`Saturated` and only *transitions* after several
+//! consecutive windows agree — degrading needs
+//! [`HealthConfig::degrade_after`] worse windows in a row, recovering needs
+//! [`HealthConfig::recover_after`] better ones.  The `/health` HTTP
+//! endpoint renders the latest [`HealthReport`] as JSON and maps
+//! `Saturated` to 503.
+
+use hj_analysis::sync::Mutex;
+
+/// The engine's assessed health state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthState {
+    /// Every tracked signal is within budget.
+    Healthy,
+    /// The engine is serving, but one or more signals are over budget.
+    Degraded {
+        /// Human-readable over-budget signals, one per breach.
+        reasons: Vec<String>,
+    },
+    /// The engine is shedding a dominant fraction of its traffic.
+    Saturated,
+}
+
+impl HealthState {
+    /// Severity rank: 0 healthy, 1 degraded, 2 saturated.
+    pub fn level(&self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded { .. } => 1,
+            HealthState::Saturated => 2,
+        }
+    }
+
+    /// A stable lower-case name (used in JSON and metrics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded { .. } => "degraded",
+            HealthState::Saturated => "saturated",
+        }
+    }
+
+    /// The reasons behind a degraded verdict (empty otherwise).
+    pub fn reasons(&self) -> &[String] {
+        match self {
+            HealthState::Degraded { reasons } => reasons,
+            _ => &[],
+        }
+    }
+}
+
+/// One window's worth of signals, as the sampler derived them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthObservation {
+    /// When the window closed (monotonic ns on the engine's timescale).
+    pub at_ns: u64,
+    /// Joins completed per second over the window.
+    pub joins_per_sec: f64,
+    /// Shed fraction of the window's admission decisions (0..1).
+    pub shed_ratio: f64,
+    /// Upper bound on the window's queue-wait p99, `None` when no
+    /// acquisition waited in the window.
+    pub queue_wait_p99_ns: Option<u64>,
+    /// Bytes evicted under broker reclaim pressure per second.
+    pub reclaim_bytes_per_sec: f64,
+    /// Busy fraction of the worker pool (0..1), `None` while the pool is
+    /// unspawned or reported no wall time.
+    pub worker_utilization: Option<f64>,
+}
+
+/// Thresholds and hysteresis depths of one [`HealthMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Queue-wait p99 budget; a window above it is a degradation reason.
+    pub queue_wait_p99_budget_ns: u64,
+    /// Shed ratio at which a window counts as degraded.
+    pub shed_ratio_degraded: f64,
+    /// Shed ratio at which a window counts as saturated.
+    pub shed_ratio_saturated: f64,
+    /// Reclaim pressure (bytes/sec) at which a window counts as degraded.
+    pub reclaim_bytes_per_sec_degraded: f64,
+    /// Worker utilization at which a window counts as degraded (the pool
+    /// has no headroom left).
+    pub utilization_degraded: f64,
+    /// Consecutive worse windows required before the state worsens.
+    pub degrade_after: usize,
+    /// Consecutive better windows required before the state improves
+    /// (recovery is deliberately slower than degradation).
+    pub recover_after: usize,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            queue_wait_p99_budget_ns: 50_000_000, // 50 ms
+            shed_ratio_degraded: 0.02,
+            shed_ratio_saturated: 0.50,
+            reclaim_bytes_per_sec_degraded: 64.0 * 1024.0 * 1024.0,
+            utilization_degraded: 0.98,
+            degrade_after: 2,
+            recover_after: 3,
+        }
+    }
+}
+
+/// The monitor's verdict on one observation, plus the inputs it judged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// The assessed state after hysteresis.
+    pub state: HealthState,
+    /// When the judged window closed (0 before the first observation).
+    pub at_ns: u64,
+    /// The signals the verdict was derived from.
+    pub observation: HealthObservation,
+}
+
+impl Default for HealthReport {
+    fn default() -> Self {
+        HealthReport {
+            state: HealthState::Healthy,
+            at_ns: 0,
+            observation: HealthObservation::default(),
+        }
+    }
+}
+
+impl HealthReport {
+    /// Whether a load balancer should keep routing traffic here
+    /// (`Saturated` is the only "stop" verdict; `Degraded` still serves).
+    pub fn is_serving(&self) -> bool {
+        self.state.level() < 2
+    }
+
+    /// Renders the report as a compact JSON object — the `/health`
+    /// endpoint's body.
+    pub fn render_json(&self) -> String {
+        let obs = &self.observation;
+        let reasons: Vec<String> = self
+            .state
+            .reasons()
+            .iter()
+            .map(|r| format!("\"{}\"", escape_json(r)))
+            .collect();
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.4}"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"state\":\"{}\",\"reasons\":[{}],\"at_ns\":{},\
+             \"joins_per_sec\":{:.3},\"shed_ratio\":{:.4},\
+             \"queue_wait_p99_ms\":{},\"reclaim_bytes_per_sec\":{:.0},\
+             \"worker_utilization\":{}}}",
+            self.state.name(),
+            reasons.join(","),
+            self.at_ns,
+            obs.joins_per_sec,
+            obs.shed_ratio,
+            fmt_opt(obs.queue_wait_p99_ns.map(|ns| ns as f64 / 1e6)),
+            obs.reclaim_bytes_per_sec,
+            fmt_opt(obs.worker_utilization),
+        )
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Classification state behind the `health.state` lock.
+struct MonitorInner {
+    current: HealthState,
+    /// The level raw assessments have been pushing towards.
+    pending_level: u8,
+    /// How many consecutive raw assessments agreed on `pending_level`.
+    pending_streak: usize,
+    last: HealthReport,
+}
+
+/// Classifies observations into a [`HealthState`] with hysteresis (lock
+/// class `health.state`).
+pub struct HealthMonitor {
+    config: HealthConfig,
+    inner: Mutex<MonitorInner>,
+}
+
+impl std::fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("config", &self.config)
+            .field("state", &self.inner.lock().current)
+            .finish()
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor starting `Healthy` under the given thresholds.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthMonitor {
+            config,
+            inner: Mutex::new(
+                "health.state",
+                MonitorInner {
+                    current: HealthState::Healthy,
+                    pending_level: 0,
+                    pending_streak: 0,
+                    last: HealthReport::default(),
+                },
+            ),
+        }
+    }
+
+    /// The monitor's thresholds.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// Classifies one observation without hysteresis: the raw severity
+    /// level and the reasons behind it.
+    fn assess(&self, obs: &HealthObservation) -> (u8, Vec<String>) {
+        let cfg = &self.config;
+        if obs.shed_ratio >= cfg.shed_ratio_saturated {
+            return (
+                2,
+                vec![format!(
+                    "shed ratio {:.2} at or over the saturation threshold {:.2}",
+                    obs.shed_ratio, cfg.shed_ratio_saturated
+                )],
+            );
+        }
+        let mut reasons = Vec::new();
+        if obs.shed_ratio >= cfg.shed_ratio_degraded {
+            reasons.push(format!(
+                "shed ratio {:.3} over budget {:.3}",
+                obs.shed_ratio, cfg.shed_ratio_degraded
+            ));
+        }
+        if let Some(p99) = obs.queue_wait_p99_ns {
+            if p99 > cfg.queue_wait_p99_budget_ns {
+                reasons.push(format!(
+                    "queue-wait p99 {:.1} ms over budget {:.1} ms",
+                    p99 as f64 / 1e6,
+                    cfg.queue_wait_p99_budget_ns as f64 / 1e6
+                ));
+            }
+        }
+        if obs.reclaim_bytes_per_sec >= cfg.reclaim_bytes_per_sec_degraded {
+            reasons.push(format!(
+                "broker reclaim pressure {:.0} B/s over budget {:.0} B/s",
+                obs.reclaim_bytes_per_sec, cfg.reclaim_bytes_per_sec_degraded
+            ));
+        }
+        if let Some(util) = obs.worker_utilization {
+            if util >= cfg.utilization_degraded {
+                reasons.push(format!(
+                    "worker utilization {:.2} leaves no headroom (budget {:.2})",
+                    util, cfg.utilization_degraded
+                ));
+            }
+        }
+        if reasons.is_empty() {
+            (0, reasons)
+        } else {
+            (1, reasons)
+        }
+    }
+
+    /// Feeds one observation through the hysteresis machine and returns
+    /// the (possibly transitioned) report.
+    pub fn observe(&self, obs: HealthObservation) -> HealthReport {
+        let (raw_level, reasons) = self.assess(&obs);
+        let mut inner = self.inner.lock();
+        let current_level = inner.current.level();
+        if raw_level == current_level {
+            // Agreement cancels any pending transition; a degraded state
+            // keeps its reasons fresh.
+            inner.pending_streak = 0;
+            if raw_level == 1 {
+                inner.current = HealthState::Degraded { reasons };
+            }
+        } else {
+            if inner.pending_level == raw_level {
+                inner.pending_streak += 1;
+            } else {
+                inner.pending_level = raw_level;
+                inner.pending_streak = 1;
+            }
+            let needed = if raw_level > current_level {
+                self.config.degrade_after
+            } else {
+                self.config.recover_after
+            };
+            if inner.pending_streak >= needed.max(1) {
+                inner.current = match raw_level {
+                    0 => HealthState::Healthy,
+                    1 => HealthState::Degraded { reasons },
+                    _ => HealthState::Saturated,
+                };
+                inner.pending_streak = 0;
+            }
+        }
+        let report = HealthReport {
+            state: inner.current.clone(),
+            at_ns: obs.at_ns,
+            observation: obs,
+        };
+        inner.last = report.clone();
+        report
+    }
+
+    /// The most recent report (a default `Healthy` one before the first
+    /// observation).
+    pub fn report(&self) -> HealthReport {
+        self.inner.lock().last.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> HealthConfig {
+        HealthConfig {
+            degrade_after: 2,
+            recover_after: 3,
+            ..HealthConfig::default()
+        }
+    }
+
+    fn shedding(ratio: f64) -> HealthObservation {
+        HealthObservation {
+            shed_ratio: ratio,
+            ..HealthObservation::default()
+        }
+    }
+
+    #[test]
+    fn one_bad_window_does_not_degrade() {
+        let monitor = HealthMonitor::new(quick_config());
+        let report = monitor.observe(shedding(0.10));
+        assert_eq!(report.state, HealthState::Healthy, "hysteresis holds");
+        // A good window in between resets the streak.
+        monitor.observe(shedding(0.0));
+        monitor.observe(shedding(0.10));
+        assert_eq!(monitor.report().state.level(), 0);
+    }
+
+    #[test]
+    fn consecutive_bad_windows_degrade_and_recovery_is_slower() {
+        let monitor = HealthMonitor::new(quick_config());
+        monitor.observe(shedding(0.10));
+        let report = monitor.observe(shedding(0.10));
+        assert_eq!(report.state.level(), 1, "2 bad windows degrade");
+        assert!(!report.state.reasons().is_empty());
+        // Two good windows are not enough to recover (recover_after = 3)...
+        monitor.observe(shedding(0.0));
+        assert_eq!(monitor.observe(shedding(0.0)).state.level(), 1);
+        // ...the third flips back.
+        assert_eq!(monitor.observe(shedding(0.0)).state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn dominant_shedding_saturates() {
+        let monitor = HealthMonitor::new(quick_config());
+        monitor.observe(shedding(0.9));
+        let report = monitor.observe(shedding(0.9));
+        assert_eq!(report.state, HealthState::Saturated);
+        assert!(!report.is_serving());
+    }
+
+    #[test]
+    fn queue_wait_reclaim_and_utilization_are_reasons() {
+        let monitor = HealthMonitor::new(quick_config());
+        let obs = HealthObservation {
+            queue_wait_p99_ns: Some(200_000_000),
+            reclaim_bytes_per_sec: 1e9,
+            worker_utilization: Some(1.0),
+            ..HealthObservation::default()
+        };
+        let (level, reasons) = monitor.assess(&obs);
+        assert_eq!(level, 1);
+        assert_eq!(reasons.len(), 3, "{reasons:?}");
+        assert!(reasons[0].contains("queue-wait p99"));
+        assert!(reasons[1].contains("reclaim"));
+        assert!(reasons[2].contains("utilization"));
+    }
+
+    #[test]
+    fn flapping_assessments_never_transition() {
+        let monitor = HealthMonitor::new(quick_config());
+        for _ in 0..8 {
+            monitor.observe(shedding(0.10));
+            monitor.observe(shedding(0.0));
+        }
+        assert_eq!(monitor.report().state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn report_renders_valid_enough_json() {
+        let monitor = HealthMonitor::new(quick_config());
+        let json = monitor.report().render_json();
+        assert!(json.starts_with("{\"state\":\"healthy\""));
+        assert!(json.contains("\"reasons\":[]"));
+        assert!(json.contains("\"queue_wait_p99_ms\":null"));
+        monitor.observe(shedding(0.10));
+        let degraded = monitor.observe(shedding(0.10));
+        let json = degraded.render_json();
+        assert!(json.contains("\"state\":\"degraded\""));
+        assert!(json.contains("\"reasons\":[\"shed ratio"));
+        // Hostile reason content stays inside its string literal.
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

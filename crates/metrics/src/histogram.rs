@@ -15,6 +15,26 @@ use std::time::Duration;
 /// Number of log2 buckets; `2^39` ns ≈ 9.2 minutes.
 pub const HISTOGRAM_BUCKETS: usize = 40;
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and a literal newline become `\\`, `\"` and
+/// `\n`.  Label *names* and metric names are static literals enforced by
+/// hj-lint, so only values need escaping.
+pub(crate) fn escape_label_value(v: &str) -> std::borrow::Cow<'_, str> {
+    if !v.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(v);
+    }
+    let mut out = String::with_capacity(v.len() + 2);
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
 /// A log2-bucketed duration histogram (nanoseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHistogram {
@@ -71,6 +91,16 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// The bucket-wise difference `self - earlier`, saturating at zero:
+    /// the observations recorded *between* two snapshots of one growing
+    /// histogram.  The windowed-rate derivation uses this to turn lifetime
+    /// queue-wait histograms into per-window quantiles.
+    pub fn delta_since(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        LatencyHistogram::from_buckets(std::array::from_fn(|i| {
+            self.buckets[i].saturating_sub(earlier.buckets[i])
+        }))
+    }
+
     /// An upper bound (ns) on the `q`-quantile (`q` in `[0, 1]`), `None`
     /// while the histogram is empty.  Accurate to its bucket's factor-of-two
     /// width.
@@ -114,12 +144,15 @@ impl LatencyHistogram {
     pub fn render(&self, name: &str, labels: &[(&str, &str)]) -> String {
         let prefix: String = labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{v}\","))
+            .map(|(k, v)| format!("{k}=\"{}\",", escape_label_value(v)))
             .collect();
         let plain = if labels.is_empty() {
             String::new()
         } else {
-            let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                .collect();
             format!("{{{}}}", inner.join(","))
         };
         let mut out = String::new();
@@ -203,6 +236,20 @@ mod tests {
     }
 
     #[test]
+    fn delta_since_isolates_the_window() {
+        let mut earlier = LatencyHistogram::new();
+        earlier.record(1_000);
+        let mut later = earlier;
+        later.record(1_000);
+        later.record(2_000_000);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.count(), 2);
+        assert!(delta.quantile_ns(1.0).unwrap() >= 2_000_000);
+        // Reversed pair saturates to empty instead of wrapping.
+        assert_eq!(earlier.delta_since(&later).count(), 0);
+    }
+
+    #[test]
     fn merge_adds_counts() {
         let mut a = LatencyHistogram::new();
         let mut b = LatencyHistogram::new();
@@ -247,6 +294,21 @@ mod tests {
         let plain = h.render("hj_test_ns", &[]);
         assert!(plain.contains("hj_test_ns_count 2\n"));
         assert!(plain.contains("hj_test_ns_bucket{le=\"+Inf\"} 2\n"));
+    }
+
+    #[test]
+    fn render_escapes_hostile_label_values() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        let text = h.render("hj_test_ns", &[("table", "a\\b\"c\nd")]);
+        assert!(
+            text.contains("hj_test_ns_bucket{table=\"a\\\\b\\\"c\\nd\",le=\"+Inf\"} 1\n"),
+            "unescaped bucket line: {text:?}"
+        );
+        assert!(
+            text.contains("hj_test_ns_count{table=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "unescaped count line: {text:?}"
+        );
     }
 
     #[test]

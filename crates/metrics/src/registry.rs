@@ -325,7 +325,9 @@ impl MetricsRegistry {
                     } else {
                         let inner: Vec<String> = label_refs
                             .iter()
-                            .map(|(k, v)| format!("{k}=\"{v}\""))
+                            .map(|(k, v)| {
+                                format!("{k}=\"{}\"", crate::histogram::escape_label_value(v))
+                            })
                             .collect();
                         format!("{{{}}}", inner.join(","))
                     };
@@ -383,6 +385,29 @@ mod tests {
         assert!(text.contains("hj_worker_tasks_total{worker=\"1\"} 5\n"));
         // One HELP/TYPE header for the shared name.
         assert_eq!(text.matches("# TYPE hj_worker_tasks_total").count(), 1);
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter_with(
+            "hj_test_total",
+            &[("table", "a\\b\"c\nd".to_string())],
+            "counter with a hostile label value",
+        );
+        c.inc();
+        let text = reg.render_prometheus();
+        // Backslash -> \\, quote -> \", newline -> the two characters \n.
+        assert!(
+            text.contains("hj_test_total{table=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "unescaped exposition: {text:?}"
+        );
+        // No raw newline may survive inside a sample line: every line must
+        // end in a value, i.e. parse as `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line shape");
+            assert!(value.parse::<f64>().is_ok(), "broken line {line:?}");
+        }
     }
 
     #[test]

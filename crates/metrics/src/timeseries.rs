@@ -1,0 +1,333 @@
+//! Continuous self-monitoring: a bounded, drop-oldest ring of timestamped
+//! registry snapshots ([`TimeSeriesRing`]) plus windowed delta/rate
+//! derivation ([`WindowRates`]).
+//!
+//! The engine's background sampler pushes one [`TimePoint`] per
+//! `sample_interval`; the ring holds the most recent `capacity` points and
+//! silently drops the oldest on overflow, so sampling never blocks and
+//! memory stays bounded.  Rates are derived by diffing two points: every
+//! monotonic counter family is summed across its label sets at each end of
+//! the window and the delta is divided by the wall-clock span.
+//!
+//! The ring stores plain [`MetricSample`]s, so it works for *any* registry;
+//! the typed [`WindowRates`] derivation reads the engine's well-known
+//! metric names (the catalogue in `docs/OBSERVABILITY.md`) and simply
+//! reports zero for families that are not registered.
+
+use crate::histogram::LatencyHistogram;
+use crate::registry::{MetricSample, MetricValue};
+use hj_analysis::sync::Mutex;
+use std::collections::VecDeque;
+
+/// One timestamped snapshot of a metrics registry.
+#[derive(Debug, Clone)]
+pub struct TimePoint {
+    /// When the snapshot was taken, in monotonic nanoseconds on the
+    /// engine's trace timescale.
+    pub at_ns: u64,
+    /// The registry's samples at that instant, in registration order.
+    pub samples: Vec<MetricSample>,
+}
+
+/// A bounded, drop-oldest ring of [`TimePoint`]s (lock class
+/// `timeseries.ring`).  Push never blocks beyond the short ring lock and
+/// never allocates past the fixed capacity.
+#[derive(Debug)]
+pub struct TimeSeriesRing {
+    ring: Mutex<VecDeque<TimePoint>>,
+    capacity: usize,
+}
+
+impl TimeSeriesRing {
+    /// A ring holding at most `capacity` points (clamped to at least 2 —
+    /// one point derives no rates).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        TimeSeriesRing {
+            ring: Mutex::new("timeseries.ring", VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Points currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the ring holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one point, dropping the oldest when the ring is full.
+    pub fn push(&self, point: TimePoint) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(point);
+    }
+
+    /// A copy of the buffered points, oldest first.
+    pub fn snapshot(&self) -> Vec<TimePoint> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// The timestamp of the newest point, if any.
+    pub fn latest_at_ns(&self) -> Option<u64> {
+        self.ring.lock().back().map(|p| p.at_ns)
+    }
+
+    /// Rates derived over the window spanned by the newest `points` points
+    /// (clamped to what the ring holds).  `None` until the ring has two
+    /// points spanning nonzero time.
+    pub fn rates_over_last(&self, points: usize) -> Option<WindowRates> {
+        let ring = self.ring.lock();
+        if ring.len() < 2 {
+            return None;
+        }
+        let first = ring.len().saturating_sub(points.max(2));
+        WindowRates::between(&ring[first], ring.back().expect("len >= 2"))
+    }
+
+    /// Rates derived over the whole buffered window.
+    pub fn window_rates(&self) -> Option<WindowRates> {
+        self.rates_over_last(usize::MAX)
+    }
+}
+
+/// Sums one counter/gauge family across all its label sets in a snapshot
+/// (0 when the family is not registered).
+pub fn family_total(samples: &[MetricSample], name: &str) -> u64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| match &s.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+            MetricValue::Histogram(_) => 0,
+        })
+        .sum()
+}
+
+/// Merges one histogram family across all its label sets in a snapshot
+/// (empty when the family is not registered).
+pub fn family_histogram(samples: &[MetricSample], name: &str) -> LatencyHistogram {
+    let mut merged = LatencyHistogram::new();
+    for sample in samples.iter().filter(|s| s.name == name) {
+        if let MetricValue::Histogram(h) = &sample.value {
+            merged.merge(h);
+        }
+    }
+    merged
+}
+
+/// Rates and ratios derived from two [`TimePoint`]s of one registry.
+///
+/// All `*_per_sec` fields are deltas of monotonic families divided by the
+/// window's wall-clock span; ratios are delta-over-delta within the same
+/// window, `None` when the window saw no relevant traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRates {
+    /// Wall-clock span of the window in seconds (always positive).
+    pub span_secs: f64,
+    /// Joins completed per second (`hj_engine_requests_served_total`).
+    pub joins_per_sec: f64,
+    /// Requests shed per second: engine saturation rejections
+    /// (`hj_engine_rejected_saturated_total`) plus serving-layer sheds
+    /// (`hj_server_sheds_total`, all reasons).
+    pub sheds_per_sec: f64,
+    /// Shed fraction of the window's admission decisions:
+    /// `sheds / (joins + sheds)`, 0 when the window saw no traffic.
+    pub shed_ratio: f64,
+    /// Bytes spilled to disk per second (`hj_spill_bytes_spilled_total`).
+    pub spill_bytes_per_sec: f64,
+    /// Bytes evicted under broker reclaim pressure per second
+    /// (`hj_spill_reclaimed_bytes_total`).
+    pub reclaim_bytes_per_sec: f64,
+    /// Cache hits over hits+misses within the window, `None` when the
+    /// window saw no cache lookups.
+    pub cache_hit_ratio: Option<f64>,
+    /// Busy fraction of the worker pool within the window —
+    /// `Δbusy / (Δbusy + Δpark)` over `hj_pipeline_worker_busy_ns` /
+    /// `_park_ns` — `None` while the pool reported no wall time.
+    pub worker_utilization: Option<f64>,
+    /// Queue-wait observations recorded *within* the window (the
+    /// bucket-wise delta of `hj_engine_queue_wait_ns`); quantiles of this
+    /// histogram are windowed, not lifetime.
+    pub queue_wait: LatencyHistogram,
+}
+
+impl WindowRates {
+    /// Derives the rates between two snapshots of one registry, `None`
+    /// when the pair spans no time (or is reversed).
+    pub fn between(first: &TimePoint, last: &TimePoint) -> Option<WindowRates> {
+        if last.at_ns <= first.at_ns {
+            return None;
+        }
+        let span_secs = (last.at_ns - first.at_ns) as f64 / 1e9;
+        let delta = |name: &str| {
+            family_total(&last.samples, name).saturating_sub(family_total(&first.samples, name))
+        };
+        let joins = delta("hj_engine_requests_served_total");
+        let sheds = delta("hj_engine_rejected_saturated_total") + delta("hj_server_sheds_total");
+        let hits = delta("hj_cache_hits_total");
+        let misses = delta("hj_cache_misses_total");
+        let busy = delta("hj_pipeline_worker_busy_ns");
+        let park = delta("hj_pipeline_worker_park_ns");
+        let queue_wait = family_histogram(&last.samples, "hj_engine_queue_wait_ns")
+            .delta_since(&family_histogram(&first.samples, "hj_engine_queue_wait_ns"));
+        Some(WindowRates {
+            span_secs,
+            joins_per_sec: joins as f64 / span_secs,
+            sheds_per_sec: sheds as f64 / span_secs,
+            shed_ratio: if joins + sheds > 0 {
+                sheds as f64 / (joins + sheds) as f64
+            } else {
+                0.0
+            },
+            spill_bytes_per_sec: delta("hj_spill_bytes_spilled_total") as f64 / span_secs,
+            reclaim_bytes_per_sec: delta("hj_spill_reclaimed_bytes_total") as f64 / span_secs,
+            cache_hit_ratio: (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64),
+            worker_utilization: (busy + park > 0).then(|| busy as f64 / (busy + park) as f64),
+            queue_wait,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn point(at_ns: u64, reg: &MetricsRegistry) -> TimePoint {
+        TimePoint {
+            at_ns,
+            samples: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let ring = TimeSeriesRing::new(3);
+        assert_eq!(ring.capacity(), 3);
+        for i in 0..5u64 {
+            ring.push(TimePoint {
+                at_ns: i,
+                samples: Vec::new(),
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        let points = ring.snapshot();
+        assert_eq!(points.first().unwrap().at_ns, 2, "oldest dropped first");
+        assert_eq!(ring.latest_at_ns(), Some(4));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_two() {
+        assert_eq!(TimeSeriesRing::new(0).capacity(), 2);
+    }
+
+    #[test]
+    fn rates_need_two_points_and_nonzero_span() {
+        let ring = TimeSeriesRing::new(4);
+        assert!(ring.window_rates().is_none());
+        ring.push(TimePoint {
+            at_ns: 5,
+            samples: Vec::new(),
+        });
+        assert!(ring.window_rates().is_none());
+        ring.push(TimePoint {
+            at_ns: 5,
+            samples: Vec::new(),
+        });
+        assert!(ring.window_rates().is_none(), "zero span derives nothing");
+    }
+
+    #[test]
+    fn window_rates_diff_counters_across_label_sets() {
+        let reg = MetricsRegistry::new();
+        let served = reg.counter("hj_engine_requests_served_total", "served");
+        let shed_a = reg.counter_with(
+            "hj_server_sheds_total",
+            &[("reason", "quota".to_string())],
+            "sheds",
+        );
+        let shed_b = reg.counter_with(
+            "hj_server_sheds_total",
+            &[("reason", "deadline".to_string())],
+            "sheds",
+        );
+        let spilled = reg.counter("hj_spill_bytes_spilled_total", "spill bytes");
+        let hits = reg.counter("hj_cache_hits_total", "hits");
+        let misses = reg.counter("hj_cache_misses_total", "misses");
+        let ring = TimeSeriesRing::new(8);
+        served.add(10);
+        ring.push(point(0, &reg));
+        served.add(20); // 20 joins over the window
+        shed_a.add(3);
+        shed_b.add(2); // 5 sheds over the window
+        spilled.add(4_000_000_000);
+        hits.add(3);
+        misses.add(1);
+        ring.push(point(2_000_000_000, &reg)); // 2 s window
+        let rates = ring.window_rates().expect("two points, 2 s apart");
+        assert!((rates.span_secs - 2.0).abs() < 1e-9);
+        assert!((rates.joins_per_sec - 10.0).abs() < 1e-9);
+        assert!((rates.sheds_per_sec - 2.5).abs() < 1e-9);
+        assert!((rates.shed_ratio - 5.0 / 25.0).abs() < 1e-9);
+        assert!((rates.spill_bytes_per_sec - 2e9).abs() < 1e-3);
+        assert_eq!(rates.cache_hit_ratio, Some(0.75));
+        assert_eq!(rates.worker_utilization, None, "no busy/park gauges");
+    }
+
+    #[test]
+    fn utilization_and_queue_wait_are_windowed() {
+        let reg = MetricsRegistry::new();
+        let busy = reg.gauge_with(
+            "hj_pipeline_worker_busy_ns",
+            &[("worker", "0".to_string())],
+            "busy",
+        );
+        let park = reg.gauge_with(
+            "hj_pipeline_worker_park_ns",
+            &[("worker", "0".to_string())],
+            "park",
+        );
+        let wait = reg.histogram("hj_engine_queue_wait_ns", "queue wait");
+        wait.record(100);
+        let ring = TimeSeriesRing::new(8);
+        busy.set(1_000);
+        park.set(3_000);
+        ring.push(point(0, &reg));
+        busy.set(4_000); // +3000 busy
+        park.set(4_000); // +1000 parked
+        wait.record(1 << 20); // only this lands inside the window
+        ring.push(point(1_000_000_000, &reg));
+        let rates = ring.window_rates().expect("rates");
+        assert_eq!(rates.worker_utilization, Some(0.75));
+        assert_eq!(rates.queue_wait.count(), 1, "lifetime sample excluded");
+        assert!(rates.queue_wait.quantile_ns(1.0).unwrap() >= 1 << 20);
+    }
+
+    #[test]
+    fn rates_over_last_clamps_to_ring_contents() {
+        let reg = MetricsRegistry::new();
+        let served = reg.counter("hj_engine_requests_served_total", "served");
+        let ring = TimeSeriesRing::new(8);
+        for i in 0..4u64 {
+            served.add(10);
+            ring.push(point(i * 1_000_000_000, &reg));
+        }
+        // Last 2 points: one 10-join step over 1 s.
+        let short = ring.rates_over_last(2).expect("short window");
+        assert!((short.joins_per_sec - 10.0).abs() < 1e-9);
+        // Clamped: asking for more points than buffered uses the whole ring.
+        let all = ring.rates_over_last(100).expect("full window");
+        assert!((all.span_secs - 3.0).abs() < 1e-9);
+    }
+}

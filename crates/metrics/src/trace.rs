@@ -318,6 +318,111 @@ impl JoinTrace {
     }
 }
 
+/// One retained slow join: when it finished, how slow it was, and the
+/// flight-recorder trace that was assembled retroactively even when the
+/// request itself opted out of tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowJoinRecord {
+    /// When the join finished (ns on the engine trace buffer's timescale).
+    pub at_ns: u64,
+    /// The join's wall-clock duration in ns.
+    pub wall_ns: u64,
+    /// The threshold it exceeded, in ns.
+    pub threshold_ns: u64,
+    /// The session the join ran on.
+    pub session_id: u64,
+    /// Matches the join produced.
+    pub matches: u64,
+    /// Whether the caller had asked for a trace anyway (`trace(true)`).
+    pub traced: bool,
+    /// The full flight-recorder tree for the slow join.
+    pub trace: JoinTrace,
+}
+
+/// A bounded, drop-oldest ring of [`SlowJoinRecord`]s (lock class
+/// `slowlog.ring`).  The engine pushes into it from `finish_join` only
+/// when a join breached the slow threshold, so the lock is cold in the
+/// healthy case.
+#[derive(Debug)]
+pub struct SlowLog {
+    ring: Mutex<VecDeque<SlowJoinRecord>>,
+    capacity: usize,
+    recorded: AtomicU64,
+}
+
+impl SlowLog {
+    /// A slow-log holding at most `capacity` records (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SlowLog {
+            ring: Mutex::new("slowlog.ring", VecDeque::with_capacity(capacity)),
+            capacity,
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one record, dropping the oldest when the ring is full.
+    pub fn push(&self, record: SlowJoinRecord) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no slow join has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slow joins recorded since creation (including ones since dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowJoinRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Renders the retained records as the `/debug/slowlog` text dump:
+    /// one header line per record followed by its rendered trace.
+    pub fn render(&self) -> String {
+        let records = self.snapshot();
+        let mut out = format!(
+            "slow joins: {} retained ({} recorded, capacity {})\n",
+            records.len(),
+            self.recorded(),
+            self.capacity
+        );
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!(
+                "\n#{} at={}ns wall={:.3}ms threshold={:.3}ms session={} matches={} traced={}\n",
+                i + 1,
+                r.at_ns,
+                r.wall_ns as f64 / 1e6,
+                r.threshold_ns as f64 / 1e6,
+                r.session_id,
+                r.matches,
+                r.traced
+            ));
+            out.push_str(&r.trace.render());
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +504,57 @@ mod tests {
         let text = trace.render();
         assert!(text.contains("(empty trace)"));
         assert!(text.contains("3 events dropped"));
+    }
+
+    #[test]
+    fn slow_log_is_bounded_and_drop_oldest() {
+        let log = SlowLog::new(2);
+        for i in 0..4u64 {
+            let mut trace = JoinTrace::default();
+            trace.push_span(0, "join", 0, i * 1_000_000);
+            log.push(SlowJoinRecord {
+                at_ns: i,
+                wall_ns: i * 1_000_000,
+                threshold_ns: 100,
+                session_id: i,
+                matches: i,
+                traced: false,
+                trace,
+            });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.recorded(), 4);
+        let sessions: Vec<u64> = log.snapshot().iter().map(|r| r.session_id).collect();
+        assert_eq!(sessions, vec![2, 3], "oldest records are dropped");
+    }
+
+    #[test]
+    fn slow_log_capacity_is_clamped() {
+        assert_eq!(SlowLog::new(0).capacity(), 1);
+    }
+
+    #[test]
+    fn slow_log_render_includes_headers_and_traces() {
+        let log = SlowLog::new(4);
+        assert!(log.render().starts_with("slow joins: 0 retained"));
+        let mut trace = JoinTrace::default();
+        let root = trace.push_span(0, "join", 0, 7_000_000);
+        trace.push_span(root, "probe", 0, 5_000_000);
+        log.push(SlowJoinRecord {
+            at_ns: 42,
+            wall_ns: 7_000_000,
+            threshold_ns: 5_000_000,
+            session_id: 9,
+            matches: 123,
+            traced: false,
+            trace,
+        });
+        let text = log.render();
+        assert!(text.contains(
+            "#1 at=42ns wall=7.000ms threshold=5.000ms session=9 matches=123 traced=false"
+        ));
+        assert!(text.contains("join (7.000 ms)\n"));
+        assert!(text.contains("  probe (5.000 ms)\n"));
     }
 
     #[test]

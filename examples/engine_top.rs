@@ -1,20 +1,26 @@
 //! engine-top: a `top`-like live view of a running join server, built
-//! entirely on the wire metrics frame — no shared memory with the server.
+//! entirely on the exported metrics — no shared memory with the server.
 //!
 //! ```text
 //! # terminal 1
 //! cargo run --release --example serve
 //! # terminal 2
 //! cargo run --release --example engine_top
+//! cargo run --release --example engine_top -- --http   # scrape GET /metrics
 //! HJ_TOP_ADDR=host:port HJ_TOP_TICKS=20 cargo run --release --example engine_top
+//! HJ_TOP_HTTP_ADDR=host:port cargo run --release --example engine_top -- --http
 //! ```
 //!
-//! If no server is listening, the example starts one in-process and
-//! drives it with a background workload so the dashboard always has
-//! something to show.
+//! By default the dashboard reads the wire metrics frame over the join
+//! protocol; with `--http` it polls the server's HTTP exposition
+//! endpoint (`GET /metrics`, default `127.0.0.1:7641`) instead — the
+//! same Prometheus text either way.  If no server is listening, the
+//! example starts one in-process and drives it with a background
+//! workload so the dashboard always has something to show.
 
 use coupled_hashjoin::prelude::*;
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,8 +46,52 @@ fn metric(samples: &HashMap<String, f64>, key: &str) -> f64 {
     samples.get(key).copied().unwrap_or(0.0)
 }
 
+/// Where the dashboard reads its samples from: the join protocol's
+/// metrics frame, or the HTTP exposition endpoint.
+enum Source {
+    Frame(JoinClient),
+    Http(String),
+}
+
+impl Source {
+    fn fetch(&mut self) -> String {
+        match self {
+            Source::Frame(client) => client.metrics().expect("metrics frame"),
+            Source::Http(addr) => http_metrics(addr).expect("GET /metrics"),
+        }
+    }
+}
+
+/// One `GET /metrics` scrape: the Prometheus text body, or an error
+/// string describing what went wrong.
+fn http_metrics(addr: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: engine-top\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    stream
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    if !text.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "unexpected status: {}",
+            text.lines().next().unwrap_or("<empty>")
+        ));
+    }
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| "no body".to_string())
+}
+
 fn main() {
+    let http_mode = std::env::args().any(|arg| arg == "--http");
     let addr = std::env::var("HJ_TOP_ADDR").unwrap_or_else(|_| "127.0.0.1:7644".to_string());
+    let http_addr =
+        std::env::var("HJ_TOP_HTTP_ADDR").unwrap_or_else(|_| "127.0.0.1:7641".to_string());
     let ticks: usize = std::env::var("HJ_TOP_TICKS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -50,21 +100,37 @@ fn main() {
     // Try the configured address first; fall back to an in-process server
     // with a demo workload so the example is self-contained.
     let mut demo = None;
-    let mut client = match JoinClient::connect(&addr) {
-        Ok(client) => client,
-        Err(_) => {
-            let (server, stop, worker) = start_demo_server();
-            let client = JoinClient::connect(server.local_addr().to_string())
-                .expect("connect to in-process server");
-            println!("no server on {addr}; started one in-process with a demo workload\n");
-            demo = Some((server, stop, worker));
-            client
+    let mut source = if http_mode {
+        match http_metrics(&http_addr) {
+            Ok(_) => Source::Http(http_addr),
+            Err(_) => {
+                let (server, stop, worker) = start_demo_server();
+                let local = server
+                    .http_local_addr()
+                    .expect("demo server exposes HTTP")
+                    .to_string();
+                println!("no server on {http_addr}; started one in-process with a demo workload\n");
+                demo = Some((server, stop, worker));
+                Source::Http(local)
+            }
+        }
+    } else {
+        match JoinClient::connect(&addr) {
+            Ok(client) => Source::Frame(client),
+            Err(_) => {
+                let (server, stop, worker) = start_demo_server();
+                let client = JoinClient::connect(server.local_addr().to_string())
+                    .expect("connect to in-process server");
+                println!("no server on {addr}; started one in-process with a demo workload\n");
+                demo = Some((server, stop, worker));
+                Source::Frame(client)
+            }
         }
     };
 
     let mut last: Option<HashMap<String, f64>> = None;
     for tick in 0..ticks {
-        let samples = parse_samples(&client.metrics().expect("metrics frame"));
+        let samples = parse_samples(&source.fetch());
         let served = metric(&samples, "hj_engine_requests_served_total");
         let rate = last
             .as_ref()
@@ -107,8 +173,13 @@ fn start_demo_server() -> (JoinServer, Arc<AtomicBool>, std::thread::JoinHandle<
         JoinEngine::native(EngineConfig::for_tuples(tuples, 2 * tuples).sessions(2))
             .expect("engine config"),
     );
-    let server = JoinServer::start(engine, ServerConfig::default().addr("127.0.0.1:0"))
-        .expect("server start");
+    let server = JoinServer::start(
+        engine,
+        ServerConfig::default()
+            .addr("127.0.0.1:0")
+            .http_addr("127.0.0.1:0"),
+    )
+    .expect("server start");
     let addr = server.local_addr().to_string();
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);

@@ -4,7 +4,12 @@
 //! ```text
 //! cargo run --release --example serve            # binds 127.0.0.1:7644
 //! HJ_SERVE_ADDR=0.0.0.0:9000 cargo run --release --example serve
+//! HJ_SERVE_HTTP_ADDR=127.0.0.1:9641 cargo run --release --example serve
 //! ```
+//!
+//! The HTTP exposition listener (default `127.0.0.1:7641`) serves
+//! `GET /metrics`, `GET /health` and `GET /debug/slowlog` — try
+//! `curl localhost:7641/metrics` while the demo runs.
 //!
 //! Run `cargo run --release --example client` from another terminal to
 //! drive it.  Press Ctrl-C to stop (or it exits on its own after five
@@ -16,6 +21,8 @@ use std::time::Duration;
 
 fn main() {
     let addr = std::env::var("HJ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7644".to_string());
+    let http_addr =
+        std::env::var("HJ_SERVE_HTTP_ADDR").unwrap_or_else(|_| "127.0.0.1:7641".to_string());
     let tuples = 64 * 1024;
 
     // One engine, four pooled sessions: the server multiplexes every
@@ -35,7 +42,10 @@ fn main() {
 
     let server = JoinServer::start(
         Arc::clone(&engine),
-        ServerConfig::default().addr(&addr).slo(slo),
+        ServerConfig::default()
+            .addr(&addr)
+            .http_addr(&http_addr)
+            .slo(slo),
     )
     .expect("server start");
     println!(
@@ -44,6 +54,9 @@ fn main() {
         tuples,
         2 * tuples
     );
+    if let Some(http) = server.http_local_addr() {
+        println!("metrics/health/slowlog on http://{http}");
+    }
 
     // A real deployment would park here until a signal arrives; for the
     // example we poll stats for a bounded demo window.

@@ -70,8 +70,9 @@ pub mod prelude {
     pub use datagen::{DataGenConfig, KeyDistribution, Relation, Workload};
     pub use hj_core::adaptive::{AdaptiveConfig, AdaptiveReport};
     pub use hj_core::metrics::{
-        exact_quantile, JoinTrace, LatencyHistogram, MetricSample, MetricValue, MetricsRegistry,
-        TraceBuffer, TraceEventKind,
+        exact_quantile, HealthReport, HealthState, JoinTrace, LatencyHistogram, MetricSample,
+        MetricValue, MetricsRegistry, SlowLog, TimeSeriesRing, TraceBuffer, TraceEventKind,
+        WindowRates,
     };
     pub use hj_core::server::{
         ClientError, JoinClient, RefRequestBuilder, RequestBuilder, ShedReason, SloConfig,
